@@ -1,0 +1,90 @@
+//! Error type for library construction, parsing and instantiation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building, parsing, validating or instantiating
+/// MoCCML constraint automata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AutomataError {
+    /// A name (state, variable, parameter, declaration…) was referenced
+    /// but never declared.
+    UnknownName {
+        /// What kind of thing was looked up.
+        kind: &'static str,
+        /// The missing name.
+        name: String,
+    },
+    /// A name was declared twice in the same scope.
+    DuplicateName {
+        /// What kind of thing collided.
+        kind: &'static str,
+        /// The colliding name.
+        name: String,
+    },
+    /// A definition failed structural validation.
+    InvalidDefinition {
+        /// Definition name.
+        definition: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// An instantiation was incomplete or ill-typed.
+    InvalidBinding {
+        /// Instance name.
+        instance: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The textual concrete syntax could not be parsed.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// What was expected / found.
+        message: String,
+    },
+}
+
+impl fmt::Display for AutomataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomataError::UnknownName { kind, name } => {
+                write!(f, "unknown {kind} `{name}`")
+            }
+            AutomataError::DuplicateName { kind, name } => {
+                write!(f, "duplicate {kind} `{name}`")
+            }
+            AutomataError::InvalidDefinition { definition, reason } => {
+                write!(f, "invalid definition `{definition}`: {reason}")
+            }
+            AutomataError::InvalidBinding { instance, reason } => {
+                write!(f, "invalid binding for instance `{instance}`: {reason}")
+            }
+            AutomataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for AutomataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = AutomataError::UnknownName {
+            kind: "state",
+            name: "S9".into(),
+        };
+        assert_eq!(e.to_string(), "unknown state `S9`");
+        let e = AutomataError::Parse {
+            line: 3,
+            message: "expected `}`".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,694 @@
+//! Textual concrete syntax for MoCCML relation libraries.
+//!
+//! The paper combines graphical and textual notations; this module is
+//! the textual half. The grammar mirrors Fig. 3:
+//!
+//! ```text
+//! library        := "library" IDENT "{" (constraint | automaton)* "}"
+//! constraint     := "constraint" IDENT "(" [param ("," param)*] ")"
+//! param          := IDENT ":" ("event" | "int")
+//! automaton      := "automaton" IDENT "implements" IDENT "{" item* "}"
+//! item           := var | state | transition
+//! var            := "var" IDENT ":" "int" "=" intExpr ";"
+//! state          := ["initial"] ["final"] "state" IDENT ";"
+//! transition     := "from" IDENT "to" IDENT
+//!                   ["when" eventSet] ["forbid" eventSet]
+//!                   ["guard" "[" boolExpr "]"]
+//!                   ["do" action ("," action)*] ";"
+//! eventSet       := "{" [IDENT ("," IDENT)*] "}"
+//! action         := IDENT ("=" | "+=" | "-=") intExpr
+//! boolExpr       := orExpr
+//! orExpr         := andExpr ("||" andExpr)*
+//! andExpr        := notExpr ("&&" notExpr)*
+//! notExpr        := "!" notExpr | "(" boolExpr ")" | cmp | "true" | "false"
+//! cmp            := intExpr ("<"|"<="|">"|">="|"=="|"!=") intExpr
+//! intExpr        := term (("+"|"-") term)*
+//! term           := factor ("*" factor)*
+//! factor         := INT | IDENT | "-" factor | "(" intExpr ")"
+//! ```
+//!
+//! Line comments start with `//`.
+
+use crate::error::AutomataError;
+use crate::expr::{Action, BoolExpr, CmpOp, IntExpr};
+use crate::metamodel::{
+    AutomatonDefinition, ConstraintDeclaration, ParamKind, RelationLibrary, Transition, VarDecl,
+};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Sym(&'static str),
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    line: usize,
+}
+
+fn lex(input: &str) -> Result<Vec<Token>, AutomataError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(bytes[start..i].iter().collect()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let value = text.parse::<i64>().map_err(|_| AutomataError::Parse {
+                    line,
+                    message: format!("integer literal `{text}` out of range"),
+                })?;
+                tokens.push(Token {
+                    tok: Tok::Int(value),
+                    line,
+                });
+            }
+            _ => {
+                let two: String = bytes[i..(i + 2).min(bytes.len())].iter().collect();
+                let sym2 = ["<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "->"]
+                    .iter()
+                    .find(|s| **s == two);
+                if let Some(s) = sym2 {
+                    tokens.push(Token { tok: Tok::Sym(s), line });
+                    i += 2;
+                    continue;
+                }
+                let one = match c {
+                    '{' => "{",
+                    '}' => "}",
+                    '(' => "(",
+                    ')' => ")",
+                    '[' => "[",
+                    ']' => "]",
+                    ',' => ",",
+                    ';' => ";",
+                    ':' => ":",
+                    '=' => "=",
+                    '<' => "<",
+                    '>' => ">",
+                    '+' => "+",
+                    '-' => "-",
+                    '*' => "*",
+                    '!' => "!",
+                    other => {
+                        return Err(AutomataError::Parse {
+                            line,
+                            message: format!("unexpected character `{other}`"),
+                        })
+                    }
+                };
+                tokens.push(Token { tok: Tok::Sym(one), line });
+                i += 1;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// An unresolved transition: `(source, target, trueTriggers,
+/// falseTriggers, guard, actions)` with states still by name.
+type RawTransition = (
+    String,
+    String,
+    Vec<String>,
+    Vec<String>,
+    Option<BoolExpr>,
+    Vec<Action>,
+);
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn err(&self, message: String) -> AutomataError {
+        AutomataError::Parse {
+            line: self.line(),
+            message,
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_sym(&mut self, sym: &'static str) -> Result<(), AutomataError> {
+        match self.bump() {
+            Some(Tok::Sym(s)) if s == sym => Ok(()),
+            other => Err(self.err(format!("expected `{sym}`, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, AutomataError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), AutomataError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) if s == kw => Ok(()),
+            other => Err(self.err(format!("expected keyword `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn library(&mut self) -> Result<RelationLibrary, AutomataError> {
+        self.expect_keyword("library")?;
+        let name = self.expect_ident()?;
+        self.expect_sym("{")?;
+        let mut lib = RelationLibrary::new(&name);
+        loop {
+            if self.eat_sym("}") {
+                break;
+            }
+            if self.eat_keyword("constraint") {
+                lib.add_declaration(self.declaration()?)?;
+            } else if self.eat_keyword("automaton") {
+                let def = self.automaton(&lib)?;
+                lib.add_definition(def)?;
+            } else {
+                return Err(self.err(format!(
+                    "expected `constraint`, `automaton` or `}}`, found {:?}",
+                    self.peek()
+                )));
+            }
+        }
+        if self.peek().is_some() {
+            return Err(self.err("trailing input after library".to_owned()));
+        }
+        Ok(lib)
+    }
+
+    fn declaration(&mut self) -> Result<ConstraintDeclaration, AutomataError> {
+        let name = self.expect_ident()?;
+        self.expect_sym("(")?;
+        let mut params = Vec::new();
+        if !self.eat_sym(")") {
+            loop {
+                let pname = self.expect_ident()?;
+                self.expect_sym(":")?;
+                let kind = match self.bump() {
+                    Some(Tok::Ident(k)) if k == "event" => ParamKind::Event,
+                    Some(Tok::Ident(k)) if k == "int" => ParamKind::Int,
+                    other => {
+                        return Err(self.err(format!("expected `event` or `int`, found {other:?}")))
+                    }
+                };
+                params.push((pname, kind));
+                if self.eat_sym(")") {
+                    break;
+                }
+                self.expect_sym(",")?;
+            }
+        }
+        ConstraintDeclaration::new(&name, params)
+    }
+
+    fn automaton(&mut self, lib: &RelationLibrary) -> Result<AutomatonDefinition, AutomataError> {
+        let name = self.expect_ident()?;
+        self.expect_keyword("implements")?;
+        let decl_name = self.expect_ident()?;
+        let decl = lib
+            .declaration(&decl_name)
+            .ok_or_else(|| AutomataError::UnknownName {
+                kind: "constraint declaration",
+                name: decl_name.clone(),
+            })?
+            .clone();
+        self.expect_sym("{")?;
+        let mut states: Vec<String> = Vec::new();
+        let mut initial: Option<usize> = None;
+        let mut finals: Vec<usize> = Vec::new();
+        let mut variables: Vec<VarDecl> = Vec::new();
+        // transitions reference states by name; resolve after all states
+        let mut raw_transitions: Vec<RawTransition> = Vec::new();
+        loop {
+            if self.eat_sym("}") {
+                break;
+            }
+            if self.eat_keyword("var") {
+                let vname = self.expect_ident()?;
+                self.expect_sym(":")?;
+                self.expect_keyword("int")?;
+                self.expect_sym("=")?;
+                let init = self.int_expr()?;
+                self.expect_sym(";")?;
+                variables.push(VarDecl { name: vname, init });
+            } else if matches!(self.peek(), Some(Tok::Ident(k)) if k == "initial" || k == "final" || k == "state")
+            {
+                let mut is_initial = false;
+                let mut is_final = false;
+                loop {
+                    if self.eat_keyword("initial") {
+                        is_initial = true;
+                    } else if self.eat_keyword("final") {
+                        is_final = true;
+                    } else {
+                        break;
+                    }
+                }
+                self.expect_keyword("state")?;
+                let sname = self.expect_ident()?;
+                self.expect_sym(";")?;
+                let idx = match states.iter().position(|s| *s == sname) {
+                    Some(i) => i,
+                    None => {
+                        states.push(sname);
+                        states.len() - 1
+                    }
+                };
+                if is_initial {
+                    if initial.is_some() {
+                        return Err(self.err("multiple initial states".to_owned()));
+                    }
+                    initial = Some(idx);
+                }
+                if is_final && !finals.contains(&idx) {
+                    finals.push(idx);
+                }
+            } else if self.eat_keyword("from") {
+                let source = self.expect_ident()?;
+                self.expect_keyword("to")?;
+                let target = self.expect_ident()?;
+                let mut true_triggers = Vec::new();
+                let mut false_triggers = Vec::new();
+                let mut guard = None;
+                let mut actions = Vec::new();
+                if self.eat_keyword("when") {
+                    true_triggers = self.event_set()?;
+                }
+                if self.eat_keyword("forbid") {
+                    false_triggers = self.event_set()?;
+                }
+                if self.eat_keyword("guard") {
+                    self.expect_sym("[")?;
+                    guard = Some(self.bool_expr()?);
+                    self.expect_sym("]")?;
+                }
+                if self.eat_keyword("do") {
+                    loop {
+                        actions.push(self.action()?);
+                        if !self.eat_sym(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect_sym(";")?;
+                raw_transitions.push((source, target, true_triggers, false_triggers, guard, actions));
+            } else {
+                return Err(self.err(format!(
+                    "expected `var`, `state`, `from` or `}}`, found {:?}",
+                    self.peek()
+                )));
+            }
+        }
+        let initial = initial.ok_or_else(|| AutomataError::InvalidDefinition {
+            definition: name.clone(),
+            reason: "no initial state declared".to_owned(),
+        })?;
+        let mut transitions = Vec::new();
+        for (src, tgt, tt, ft, guard, actions) in raw_transitions {
+            let source = states
+                .iter()
+                .position(|s| *s == src)
+                .ok_or(AutomataError::UnknownName {
+                    kind: "state",
+                    name: src,
+                })?;
+            let target = states
+                .iter()
+                .position(|s| *s == tgt)
+                .ok_or(AutomataError::UnknownName {
+                    kind: "state",
+                    name: tgt,
+                })?;
+            transitions.push(Transition {
+                source,
+                target,
+                true_triggers: tt,
+                false_triggers: ft,
+                guard,
+                actions,
+            });
+        }
+        AutomatonDefinition::new(&name, decl, states, initial, finals, variables, transitions)
+    }
+
+    fn event_set(&mut self) -> Result<Vec<String>, AutomataError> {
+        self.expect_sym("{")?;
+        let mut out = Vec::new();
+        if self.eat_sym("}") {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.expect_ident()?);
+            if self.eat_sym("}") {
+                break;
+            }
+            self.expect_sym(",")?;
+        }
+        Ok(out)
+    }
+
+    fn action(&mut self) -> Result<Action, AutomataError> {
+        let var = self.expect_ident()?;
+        match self.bump() {
+            Some(Tok::Sym("=")) => Ok(Action::assign(&var, self.int_expr()?)),
+            Some(Tok::Sym("+=")) => Ok(Action::increment(&var, self.int_expr()?)),
+            Some(Tok::Sym("-=")) => Ok(Action::decrement(&var, self.int_expr()?)),
+            other => Err(self.err(format!("expected `=`, `+=` or `-=`, found {other:?}"))),
+        }
+    }
+
+    fn bool_expr(&mut self) -> Result<BoolExpr, AutomataError> {
+        let mut left = self.and_expr()?;
+        while self.eat_sym("||") {
+            let right = self.and_expr()?;
+            left = BoolExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<BoolExpr, AutomataError> {
+        let mut left = self.not_expr()?;
+        while self.eat_sym("&&") {
+            let right = self.not_expr()?;
+            left = BoolExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<BoolExpr, AutomataError> {
+        if self.eat_sym("!") {
+            return Ok(BoolExpr::Not(Box::new(self.not_expr()?)));
+        }
+        if self.eat_keyword("true") {
+            return Ok(BoolExpr::True);
+        }
+        if self.eat_keyword("false") {
+            return Ok(BoolExpr::False);
+        }
+        // disambiguate "( boolExpr )" from "( intExpr ) < …": try bool first
+        if matches!(self.peek(), Some(Tok::Sym("("))) {
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(inner) = self.bool_expr() {
+                if self.eat_sym(")")
+                    && !matches!(
+                        self.peek(),
+                        Some(Tok::Sym("<" | "<=" | ">" | ">=" | "==" | "!=" | "+" | "-" | "*"))
+                    )
+                {
+                    return Ok(inner);
+                }
+            }
+            self.pos = save;
+        }
+        self.cmp()
+    }
+
+    fn cmp(&mut self) -> Result<BoolExpr, AutomataError> {
+        let left = self.int_expr()?;
+        let op = match self.bump() {
+            Some(Tok::Sym("<")) => CmpOp::Lt,
+            Some(Tok::Sym("<=")) => CmpOp::Le,
+            Some(Tok::Sym(">")) => CmpOp::Gt,
+            Some(Tok::Sym(">=")) => CmpOp::Ge,
+            Some(Tok::Sym("==")) => CmpOp::Eq,
+            Some(Tok::Sym("!=")) => CmpOp::Ne,
+            other => return Err(self.err(format!("expected comparison operator, found {other:?}"))),
+        };
+        let right = self.int_expr()?;
+        Ok(BoolExpr::Cmp(left, op, right))
+    }
+
+    fn int_expr(&mut self) -> Result<IntExpr, AutomataError> {
+        let mut left = self.term()?;
+        loop {
+            if self.eat_sym("+") {
+                left = IntExpr::Add(Box::new(left), Box::new(self.term()?));
+            } else if self.eat_sym("-") {
+                left = IntExpr::Sub(Box::new(left), Box::new(self.term()?));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<IntExpr, AutomataError> {
+        let mut left = self.factor()?;
+        while self.eat_sym("*") {
+            left = IntExpr::Mul(Box::new(left), Box::new(self.factor()?));
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<IntExpr, AutomataError> {
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(IntExpr::Const(v)),
+            Some(Tok::Ident(n)) => Ok(IntExpr::Ref(n)),
+            Some(Tok::Sym("-")) => Ok(IntExpr::Neg(Box::new(self.factor()?))),
+            Some(Tok::Sym("(")) => {
+                let inner = self.int_expr()?;
+                self.expect_sym(")")?;
+                Ok(inner)
+            }
+            other => Err(self.err(format!("expected integer expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses the textual concrete syntax of a relation library.
+///
+/// See the grammar in this module's source documentation and the crate
+/// documentation for a complete example.
+///
+/// # Errors
+///
+/// Returns [`AutomataError::Parse`] on syntax errors (with the line
+/// number) and the usual validation errors
+/// ([`AutomataError::UnknownName`], [`AutomataError::DuplicateName`],
+/// [`AutomataError::InvalidDefinition`]) on well-formed but inconsistent
+/// input.
+pub fn parse_library(input: &str) -> Result<RelationLibrary, AutomataError> {
+    let tokens = lex(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.library()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PLACE: &str = r#"
+    // Fig. 3 of the paper
+    library SimpleSDFRelationLibrary {
+      constraint PlaceConstraint(write: event, read: event,
+                                 pushRate: int, popRate: int,
+                                 itsDelay: int, itsCapacity: int)
+      automaton PlaceConstraintDef implements PlaceConstraint {
+        var size: int = itsDelay;
+        initial state S0;
+        final state S0;
+        from S0 to S0 when {write} forbid {read}
+          guard [size <= itsCapacity - pushRate] do size += pushRate;
+        from S0 to S0 when {read} forbid {write}
+          guard [size >= popRate] do size -= popRate;
+      }
+    }"#;
+
+    #[test]
+    fn parses_fig3_library() {
+        let lib = parse_library(PLACE).expect("parses");
+        assert_eq!(lib.name(), "SimpleSDFRelationLibrary");
+        assert_eq!(lib.declarations().len(), 1);
+        let def = lib.definition_for("PlaceConstraint").expect("definition");
+        assert_eq!(def.states(), ["S0"]);
+        assert_eq!(def.transitions().len(), 2);
+        assert_eq!(def.variables().len(), 1);
+        assert_eq!(def.transitions()[0].true_triggers, vec!["write"]);
+        assert_eq!(def.transitions()[0].false_triggers, vec!["read"]);
+        assert!(def.transitions()[0].guard.is_some());
+        assert_eq!(def.transitions()[0].actions.len(), 1);
+    }
+
+    #[test]
+    fn parses_multiple_states_and_final_markers() {
+        let lib = parse_library(
+            r#"library L {
+              constraint C(a: event, b: event)
+              automaton D implements C {
+                initial state Idle;
+                final state Done;
+                state Work;
+                from Idle to Work when {a};
+                from Work to Done when {b} forbid {a};
+              }
+            }"#,
+        )
+        .expect("parses");
+        let def = lib.definition_for("C").expect("definition");
+        assert_eq!(def.states().len(), 3);
+        assert_eq!(def.initial(), def.state_index("Idle").expect("idle"));
+        assert_eq!(def.finals(), &[def.state_index("Done").expect("done")]);
+    }
+
+    #[test]
+    fn parses_complex_guards_and_actions() {
+        let lib = parse_library(
+            r#"library L {
+              constraint C(a: event, n: int)
+              automaton D implements C {
+                var x: int = 2 * n + 1;
+                var y: int = -n;
+                initial state S; final state S;
+                from S to S when {a}
+                  guard [(x > 0 && x <= 10) || y == -1]
+                  do x = x - 1, y += 2;
+              }
+            }"#,
+        )
+        .expect("parses");
+        let def = lib.definition_for("C").expect("definition");
+        assert_eq!(def.variables().len(), 2);
+        assert_eq!(def.transitions()[0].actions.len(), 2);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse_library("library L {\n  constraint C(\n").expect_err("fails");
+        match err {
+            AutomataError::Parse { line, .. } => assert!(line >= 2, "line = {line}"),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_declaration() {
+        let err = parse_library(
+            "library L { automaton D implements Ghost { initial state S; final state S; } }",
+        )
+        .expect_err("fails");
+        assert!(matches!(err, AutomataError::UnknownName { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_initial_state() {
+        let err = parse_library(
+            "library L { constraint C(a: event) automaton D implements C { state S; final state S; } }",
+        )
+        .expect_err("fails");
+        assert!(matches!(err, AutomataError::InvalidDefinition { .. }));
+    }
+
+    #[test]
+    fn rejects_unexpected_character() {
+        let err = parse_library("library L { @ }").expect_err("fails");
+        assert!(matches!(err, AutomataError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_trailing_input() {
+        let err = parse_library("library L { } library M { }").expect_err("fails");
+        assert!(matches!(err, AutomataError::Parse { .. }));
+    }
+
+    #[test]
+    fn empty_event_set_is_allowed_syntactically() {
+        // an automaton may have a transition with only falseTriggers
+        let lib = parse_library(
+            r#"library L {
+              constraint C(a: event, b: event)
+              automaton D implements C {
+                initial state S; final state S;
+                from S to S when {b} forbid {};
+              }
+            }"#,
+        )
+        .expect("parses");
+        assert_eq!(
+            lib.definition_for("C").expect("definition").transitions()[0]
+                .false_triggers
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn parenthesised_bool_followed_by_connective() {
+        let lib = parse_library(
+            r#"library L {
+              constraint C(a: event, n: int)
+              automaton D implements C {
+                var x: int = n;
+                initial state S; final state S;
+                from S to S when {a} guard [(x > 0) && (x < 5)];
+              }
+            }"#,
+        )
+        .expect("parses");
+        assert!(lib.definition_for("C").expect("def").transitions()[0]
+            .guard
+            .is_some());
+    }
+}

@@ -1,0 +1,53 @@
+//! Reporting helpers shared by the experiment binaries.
+
+use moccml_engine::{explore, ExploreOptions, StateSpaceStats};
+use moccml_kernel::Specification;
+
+/// Prints a Markdown-style table header.
+pub fn table_header(columns: &[&str]) {
+    println!("| {} |", columns.join(" | "));
+    println!("|{}|", columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Prints one Markdown-style table row.
+pub fn table_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Explores `spec` (bounded) and returns the aggregate statistics.
+#[must_use]
+pub fn explore_stats(spec: &Specification, max_states: usize) -> StateSpaceStats {
+    explore(spec, &ExploreOptions::default().with_max_states(max_states)).stats()
+}
+
+/// Formats statistics as experiment table cells:
+/// states, transitions, deadlocks, max parallelism, mean branching.
+#[must_use]
+pub fn stats_cells(stats: &StateSpaceStats) -> Vec<String> {
+    vec![
+        stats.states.to_string(),
+        stats.transitions.to_string(),
+        stats.deadlocks.to_string(),
+        stats.max_step_parallelism.to_string(),
+        format!("{:.2}", stats.mean_branching),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moccml_ccsl::Alternation;
+    use moccml_kernel::Universe;
+
+    #[test]
+    fn stats_cells_have_five_columns() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        let stats = explore_stats(&spec, 100);
+        let cells = stats_cells(&stats);
+        assert_eq!(cells.len(), 5);
+        assert_eq!(cells[0], "2");
+    }
+}

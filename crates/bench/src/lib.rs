@@ -1,0 +1,11 @@
+//! # moccml-bench
+//!
+//! Experiment harness for the MoCCML reproduction: shared workload
+//! builders and reporting helpers used by the `exp_e*` binaries (one per
+//! experiment of DESIGN.md §4), the Criterion benches and the examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod workloads;

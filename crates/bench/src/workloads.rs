@@ -1,0 +1,144 @@
+//! Parameterised workload generators for benches and scaling
+//! experiments.
+
+use moccml_ccsl::{Exclusion, Precedence, SubClock};
+use moccml_kernel::{Specification, Universe};
+use moccml_sdf::SdfGraph;
+
+/// A pipeline SDF graph of `stages` agents connected in a chain, all
+/// rates 1, places of the given `capacity`.
+///
+/// # Panics
+///
+/// Panics if `stages == 0` or `capacity == 0`.
+#[must_use]
+pub fn sdf_chain(stages: usize, capacity: u32) -> SdfGraph {
+    assert!(stages > 0 && capacity > 0);
+    let mut g = SdfGraph::new(&format!("chain{stages}"));
+    for i in 0..stages {
+        g.add_agent(&format!("s{i}"), 0).expect("fresh names");
+    }
+    for i in 0..stages - 1 {
+        g.connect(&format!("s{i}"), &format!("s{}", i + 1), 1, 1, capacity, 0)
+            .expect("valid place");
+    }
+    g
+}
+
+/// A fork–join ("diamond") SDF graph with `width` parallel branches.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn sdf_diamond(width: usize) -> SdfGraph {
+    assert!(width > 0);
+    let mut g = SdfGraph::new(&format!("diamond{width}"));
+    g.add_agent("src", 0).expect("fresh names");
+    g.add_agent("sink", 0).expect("fresh names");
+    for i in 0..width {
+        let mid = format!("mid{i}");
+        g.add_agent(&mid, 0).expect("fresh names");
+        g.connect("src", &mid, 1, 1, 1, 0).expect("valid place");
+        g.connect(&mid, "sink", 1, 1, 1, 0).expect("valid place");
+    }
+    g
+}
+
+/// A declarative specification with `n` events chained by sub-clock
+/// relations plus a global pairwise exclusion — a dense step-formula
+/// workload for the solver benches.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn subclock_chain_spec(n: usize) -> Specification {
+    assert!(n >= 2);
+    let mut u = Universe::new();
+    let events: Vec<_> = (0..n).map(|i| u.event(&format!("e{i}"))).collect();
+    let mut spec = Specification::new(&format!("subchain{n}"), u);
+    for w in events.windows(2) {
+        spec.add_constraint(Box::new(SubClock::new("sub", w[0], w[1])));
+    }
+    spec
+}
+
+/// A specification of `pairs` independent bounded producer/consumer
+/// precedences — a stateful workload whose state space is
+/// `(bound+1)^pairs`.
+///
+/// # Panics
+///
+/// Panics if `pairs == 0` or `bound == 0`.
+#[must_use]
+pub fn precedence_grid_spec(pairs: usize, bound: u64) -> Specification {
+    assert!(pairs > 0 && bound > 0);
+    let mut u = Universe::new();
+    let mut ids = Vec::new();
+    for i in 0..pairs {
+        let c = u.event(&format!("c{i}"));
+        let e = u.event(&format!("x{i}"));
+        ids.push((c, e));
+    }
+    let mut spec = Specification::new(&format!("grid{pairs}"), u);
+    for (i, (c, e)) in ids.iter().enumerate() {
+        spec.add_constraint(Box::new(
+            Precedence::strict(&format!("p{i}"), *c, *e).with_bound(bound),
+        ));
+    }
+    spec
+}
+
+/// An exclusion-heavy specification: `n` events, all mutually
+/// exclusive — the solver must discover that only `n + 1` of the `2^n`
+/// candidate steps are acceptable.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn exclusion_clique_spec(n: usize) -> Specification {
+    assert!(n >= 2);
+    let mut u = Universe::new();
+    let events: Vec<_> = (0..n).map(|i| u.event(&format!("e{i}"))).collect();
+    let mut spec = Specification::new(&format!("clique{n}"), u);
+    spec.add_constraint(Box::new(Exclusion::new("clique", events)));
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moccml_engine::{acceptable_steps, explore, ExploreOptions, SolverOptions};
+
+    #[test]
+    fn chain_and_diamond_are_consistent() {
+        assert!(moccml_sdf::analysis::is_consistent(&sdf_chain(5, 2)));
+        assert!(moccml_sdf::analysis::is_consistent(&sdf_diamond(3)));
+        assert_eq!(sdf_diamond(3).agents().len(), 5);
+    }
+
+    #[test]
+    fn exclusion_clique_has_n_plus_one_steps() {
+        let spec = exclusion_clique_spec(5);
+        let steps = acceptable_steps(&spec, &SolverOptions::default().with_empty(true));
+        assert_eq!(steps.len(), 6);
+    }
+
+    #[test]
+    fn precedence_grid_state_space_is_product() {
+        let spec = precedence_grid_spec(2, 2);
+        let space = explore(&spec, &ExploreOptions::default());
+        assert_eq!(space.state_count(), 9); // (2+1)^2
+    }
+
+    #[test]
+    fn subclock_chain_steps_are_upward_closed_prefixes() {
+        // acceptable non-empty steps of a sub-clock chain are the
+        // suffixes {e_k..e_n}: exactly n of them.
+        let spec = subclock_chain_spec(4);
+        let steps = acceptable_steps(&spec, &SolverOptions::default());
+        assert_eq!(steps.len(), 4);
+    }
+}

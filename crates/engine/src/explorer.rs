@@ -1,0 +1,391 @@
+//! Exhaustive exploration of the scheduling state-space.
+//!
+//! The paper's PAM study obtains "by exploration quantitative results on
+//! the scheduling state-space". This module implements that analysis: a
+//! breadth-first construction of the graph whose nodes are global
+//! constraint states ([`StateKey`](moccml_kernel::StateKey) snapshots)
+//! and whose edges are acceptable non-empty steps.
+
+use crate::solver::{acceptable_steps, SolverOptions};
+use moccml_kernel::{Specification, StateKey, Step};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Options bounding the exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Stop after interning this many states (the graph is then marked
+    /// [`truncated`](StateSpace::truncated)). Counters in constraints
+    /// such as unbounded precedences make the space infinite; the bound
+    /// keeps exploration total.
+    pub max_states: usize,
+    /// Ignore states deeper than this BFS depth (`usize::MAX` = no
+    /// bound).
+    pub max_depth: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            max_states: 100_000,
+            max_depth: usize::MAX,
+        }
+    }
+}
+
+impl ExploreOptions {
+    /// Bounds the number of states (builder style).
+    #[must_use]
+    pub fn with_max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Bounds the BFS depth (builder style).
+    #[must_use]
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+}
+
+/// The reachable scheduling state-space of a specification.
+#[derive(Debug, Clone)]
+pub struct StateSpace {
+    states: Vec<StateKey>,
+    index: HashMap<StateKey, usize>,
+    transitions: Vec<(usize, Step, usize)>,
+    initial: usize,
+    deadlocks: Vec<usize>,
+    truncated: bool,
+}
+
+impl StateSpace {
+    /// Number of distinct reachable states.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of transitions (edges labelled by steps).
+    #[must_use]
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Index of the initial state.
+    #[must_use]
+    pub fn initial(&self) -> usize {
+        self.initial
+    }
+
+    /// The interned state keys, indexable by state index.
+    #[must_use]
+    pub fn states(&self) -> &[StateKey] {
+        &self.states
+    }
+
+    /// All `(source, step, target)` transitions.
+    #[must_use]
+    pub fn transitions(&self) -> &[(usize, Step, usize)] {
+        &self.transitions
+    }
+
+    /// Indices of deadlock states (no outgoing non-empty step).
+    #[must_use]
+    pub fn deadlocks(&self) -> &[usize] {
+        &self.deadlocks
+    }
+
+    /// Whether the exploration hit a bound before exhausting the space.
+    #[must_use]
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Index of `key` if it was reached.
+    #[must_use]
+    pub fn state_index(&self, key: &StateKey) -> Option<usize> {
+        self.index.get(key).copied()
+    }
+
+    /// Outgoing transitions of state `state`.
+    pub fn outgoing(&self, state: usize) -> impl Iterator<Item = &(usize, Step, usize)> {
+        self.transitions.iter().filter(move |(s, _, _)| *s == state)
+    }
+
+    /// Counts the schedules (paths from the initial state) of exactly
+    /// `len` steps, saturating at `u128::MAX`.
+    ///
+    /// This is the "number of acceptable schedules" metric of Sec. II-C
+    /// restricted to non-stuttering steps; without constraints it would
+    /// be `(2^n − 1)^len`.
+    #[must_use]
+    pub fn count_schedules(&self, len: usize) -> u128 {
+        let mut counts = vec![0u128; self.states.len()];
+        counts[self.initial] = 1;
+        for _ in 0..len {
+            let mut next = vec![0u128; self.states.len()];
+            for (s, _, t) in &self.transitions {
+                next[*t] = next[*t].saturating_add(counts[*s]);
+            }
+            counts = next;
+        }
+        counts.iter().fold(0u128, |acc, c| acc.saturating_add(*c))
+    }
+
+    /// Aggregate metrics — the rows of the PAM experiment table.
+    #[must_use]
+    pub fn stats(&self) -> StateSpaceStats {
+        let max_step_parallelism = self
+            .transitions
+            .iter()
+            .map(|(_, step, _)| step.len())
+            .max()
+            .unwrap_or(0);
+        let mean_branching = if self.states.is_empty() {
+            0.0
+        } else {
+            self.transitions.len() as f64 / self.states.len() as f64
+        };
+        StateSpaceStats {
+            states: self.states.len(),
+            transitions: self.transitions.len(),
+            deadlocks: self.deadlocks.len(),
+            max_step_parallelism,
+            mean_branching,
+            truncated: self.truncated,
+        }
+    }
+}
+
+/// Aggregate state-space metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSpaceStats {
+    /// Reachable states.
+    pub states: usize,
+    /// Transitions.
+    pub transitions: usize,
+    /// Deadlock states.
+    pub deadlocks: usize,
+    /// Largest step cardinality on any transition — the attainable
+    /// parallelism of the configuration.
+    pub max_step_parallelism: usize,
+    /// Mean outgoing transitions per state.
+    pub mean_branching: f64,
+    /// Whether bounds truncated the exploration.
+    pub truncated: bool,
+}
+
+impl fmt::Display for StateSpaceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "states={} transitions={} deadlocks={} max_parallelism={} mean_branching={:.2}{}",
+            self.states,
+            self.transitions,
+            self.deadlocks,
+            self.max_step_parallelism,
+            self.mean_branching,
+            if self.truncated { " (truncated)" } else { "" }
+        )
+    }
+}
+
+/// Explores the reachable scheduling state-space of `spec` by BFS.
+///
+/// The exploration clones the specification, so `spec` is left
+/// untouched. Edges are the acceptable **non-empty** steps (stuttering
+/// self-loops exist at every state and would only add noise).
+///
+/// # Example
+///
+/// ```
+/// use moccml_ccsl::Alternation;
+/// use moccml_engine::{explore, ExploreOptions};
+/// use moccml_kernel::{Specification, Universe};
+/// let mut u = Universe::new();
+/// let (a, b) = (u.event("a"), u.event("b"));
+/// let mut spec = Specification::new("alt", u);
+/// spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+/// let space = explore(&spec, &ExploreOptions::default());
+/// // the alternation automaton has exactly two states
+/// assert_eq!(space.state_count(), 2);
+/// assert_eq!(space.transition_count(), 2);
+/// assert!(space.deadlocks().is_empty());
+/// ```
+#[must_use]
+pub fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
+    let mut work = spec.clone();
+    let solver_options = SolverOptions::default();
+
+    let initial_key = work.state_key();
+    let mut states = vec![initial_key.clone()];
+    let mut index = HashMap::from([(initial_key, 0usize)]);
+    let mut transitions = Vec::new();
+    let mut deadlocks = Vec::new();
+    let mut truncated = false;
+
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::from([(0usize, 0usize)]);
+    while let Some((state, depth)) = queue.pop_front() {
+        if depth >= options.max_depth {
+            truncated = true;
+            continue;
+        }
+        work.restore(&states[state])
+            .expect("interned keys restore cleanly");
+        let steps = acceptable_steps(&work, &solver_options);
+        if steps.is_empty() {
+            deadlocks.push(state);
+            continue;
+        }
+        for step in steps {
+            work.restore(&states[state])
+                .expect("interned keys restore cleanly");
+            work.fire(&step).expect("solver returns acceptable steps");
+            let key = work.state_key();
+            let target = match index.get(&key) {
+                Some(&t) => t,
+                None => {
+                    if states.len() >= options.max_states {
+                        truncated = true;
+                        continue;
+                    }
+                    let t = states.len();
+                    states.push(key.clone());
+                    index.insert(key, t);
+                    queue.push_back((t, depth + 1));
+                    t
+                }
+            };
+            transitions.push((state, step, target));
+        }
+    }
+    deadlocks.sort_unstable();
+    deadlocks.dedup();
+    StateSpace {
+        states,
+        index,
+        transitions,
+        initial: 0,
+        deadlocks,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moccml_ccsl::{Alternation, Exclusion, Precedence, SubClock};
+    use moccml_kernel::Universe;
+
+    #[test]
+    fn alternation_space_is_two_cycle() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        let space = explore(&spec, &ExploreOptions::default());
+        assert_eq!(space.state_count(), 2);
+        assert_eq!(space.transition_count(), 2);
+        assert!(!space.truncated());
+        assert_eq!(space.stats().max_step_parallelism, 1);
+        // exactly one schedule of each length
+        assert_eq!(space.count_schedules(5), 1);
+    }
+
+    #[test]
+    fn stateless_constraints_yield_single_state() {
+        let mut u = Universe::new();
+        let (a, b, c) = (u.event("a"), u.event("b"), u.event("c"));
+        let mut spec = Specification::new("excl", u);
+        spec.add_constraint(Box::new(Exclusion::new("x", [a, b, c])));
+        let space = explore(&spec, &ExploreOptions::default());
+        assert_eq!(space.state_count(), 1);
+        assert_eq!(space.transition_count(), 3); // {a},{b},{c} self-loops
+        assert_eq!(space.count_schedules(2), 9);
+    }
+
+    #[test]
+    fn deadlocked_spec_reports_deadlock() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("dead", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        spec.add_constraint(Box::new(Precedence::strict("b<a", b, a)));
+        let space = explore(&spec, &ExploreOptions::default());
+        assert_eq!(space.state_count(), 1);
+        assert_eq!(space.deadlocks(), &[0]);
+        assert_eq!(space.count_schedules(1), 0);
+    }
+
+    #[test]
+    fn unbounded_precedence_truncates_at_max_states() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("unbounded", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        let space = explore(&spec, &ExploreOptions::default().with_max_states(10));
+        assert!(space.truncated());
+        assert_eq!(space.state_count(), 10);
+    }
+
+    #[test]
+    fn bounded_precedence_space_is_finite() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("bounded", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b).with_bound(3)));
+        let space = explore(&spec, &ExploreOptions::default());
+        assert!(!space.truncated());
+        assert_eq!(space.state_count(), 4); // δ ∈ {0,1,2,3}
+    }
+
+    #[test]
+    fn depth_bound_truncates() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("unbounded", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        let space = explore(&spec, &ExploreOptions::default().with_max_depth(3));
+        assert!(space.truncated());
+        assert!(space.state_count() <= 4);
+    }
+
+    #[test]
+    fn outgoing_and_lookup() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        let space = explore(&spec, &ExploreOptions::default());
+        assert_eq!(space.outgoing(space.initial()).count(), 1);
+        let key = &space.states()[space.initial()];
+        assert_eq!(space.state_index(key), Some(space.initial()));
+    }
+
+    #[test]
+    fn subclock_space_counts_match_formula() {
+        // E2 cross-check: a ⊆ b over two events has 2 acceptable
+        // non-empty steps at every instant ⇒ 2^k schedules of length k.
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("sub", u);
+        spec.add_constraint(Box::new(SubClock::new("a⊆b", a, b)));
+        let space = explore(&spec, &ExploreOptions::default());
+        assert_eq!(space.state_count(), 1);
+        assert_eq!(space.count_schedules(3), 8);
+    }
+
+    #[test]
+    fn stats_display_is_informative() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        let stats = explore(&spec, &ExploreOptions::default()).stats();
+        let text = stats.to_string();
+        assert!(text.contains("states=2"));
+        assert!(text.contains("transitions=2"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # moccml-engine
+//!
+//! The *generic execution engine* of the paper's Fig. 1: it takes an
+//! execution model (a [`Specification`](moccml_kernel::Specification) —
+//! events plus instantiated constraints) as its configuration and offers
+//! **simulation** and **exhaustive exploration** of any conforming
+//! model.
+//!
+//! * [`acceptable_steps`] enumerates the acceptable steps of the current
+//!   configuration — the models of the conjunction of the constraints'
+//!   boolean formulas (Sec. II-C). Pruned search is the default; the
+//!   naive `2^n` enumeration is kept for the ablation benchmark.
+//! * [`Simulator`] drives a run: at every step a [`Policy`] picks one of
+//!   the acceptable steps, the engine fires it and records the schedule.
+//! * [`explore`] builds the reachable scheduling state-space by
+//!   breadth-first search over constraint state snapshots, yielding the
+//!   quantitative results the paper's PAM study reports (state and
+//!   transition counts, deadlocks, attainable parallelism).
+//!
+//! ## Example
+//!
+//! ```
+//! use moccml_ccsl::Alternation;
+//! use moccml_engine::{acceptable_steps, SolverOptions};
+//! use moccml_kernel::{Specification, Universe};
+//!
+//! let mut u = Universe::new();
+//! let a = u.event("a");
+//! let b = u.event("b");
+//! let mut spec = Specification::new("alt", u);
+//! spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+//!
+//! let steps = acceptable_steps(&spec, &SolverOptions::default());
+//! // initially only {a} is acceptable (besides the excluded empty step)
+//! assert_eq!(steps.len(), 1);
+//! assert!(steps[0].contains(a));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod explorer;
+mod export;
+mod rng;
+mod simulator;
+mod solver;
+
+pub use analysis::{
+    dead_events, deadlock_witness, is_event_fireable, is_event_live, shortest_path_to, Witness,
+};
+pub use explorer::{explore, ExploreOptions, StateSpace, StateSpaceStats};
+pub use export::{schedule_to_vcd, state_space_to_dot};
+pub use rng::SplitMix64;
+pub use simulator::{Policy, SimulationReport, Simulator};
+pub use solver::{acceptable_steps, SolverOptions};

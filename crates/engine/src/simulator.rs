@@ -1,0 +1,277 @@
+//! Simulation: repeatedly picking one acceptable step and firing it.
+
+use crate::rng::SplitMix64;
+use crate::solver::{acceptable_steps, SolverOptions};
+use moccml_kernel::{Schedule, Specification, Step};
+use std::fmt;
+
+/// Strategy for picking one step among the acceptable ones.
+///
+/// The paper leaves the choice to the engine ("for each step, one or
+/// several event(s) can occur"); these policies cover the interesting
+/// corners for the experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Policy {
+    /// Uniformly random among the acceptable non-empty steps,
+    /// deterministic for a given seed.
+    Random {
+        /// PRNG seed.
+        seed: u64,
+    },
+    /// The acceptable step with the most events (ASAP / maximal
+    /// parallelism; ties broken by step order).
+    MaxParallel,
+    /// The acceptable non-empty step with the fewest events
+    /// (interleaving semantics; ties broken by step order).
+    MinSerial,
+    /// The first acceptable step in the solver's deterministic order.
+    Lexicographic,
+    /// Like [`Policy::MaxParallel`], but with one-step deadlock
+    /// avoidance: prefers the largest step whose successor configuration
+    /// still admits a step. Falls back to plain max-parallel when every
+    /// choice wedges.
+    SafeMaxParallel,
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Policy::Random { seed } => write!(f, "random(seed={seed})"),
+            Policy::MaxParallel => write!(f, "max-parallel"),
+            Policy::MinSerial => write!(f, "min-serial"),
+            Policy::Lexicographic => write!(f, "lexicographic"),
+            Policy::SafeMaxParallel => write!(f, "safe-max-parallel"),
+        }
+    }
+}
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// The schedule prefix that was executed.
+    pub schedule: Schedule,
+    /// `true` if the run stopped because no non-empty step was
+    /// acceptable.
+    pub deadlocked: bool,
+    /// Number of steps executed (equals `schedule.len()`).
+    pub steps_taken: usize,
+}
+
+/// A simulation driver over a [`Specification`].
+///
+/// # Example
+///
+/// ```
+/// use moccml_ccsl::Alternation;
+/// use moccml_engine::{Policy, Simulator};
+/// use moccml_kernel::{Specification, Universe};
+///
+/// let mut u = Universe::new();
+/// let (a, b) = (u.event("a"), u.event("b"));
+/// let mut spec = Specification::new("alt", u);
+/// spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+///
+/// let mut sim = Simulator::new(spec, Policy::Lexicographic);
+/// let report = sim.run(6);
+/// assert_eq!(report.steps_taken, 6);
+/// assert!(!report.deadlocked);
+/// // strict alternation: a, b, a, b, …
+/// assert_eq!(report.schedule.occurrences(a), 3);
+/// assert_eq!(report.schedule.occurrences(b), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    spec: Specification,
+    policy: Policy,
+    rng: SplitMix64,
+    options: SolverOptions,
+}
+
+impl Simulator {
+    /// Creates a simulator over `spec` with the given policy.
+    #[must_use]
+    pub fn new(spec: Specification, policy: Policy) -> Self {
+        let seed = match &policy {
+            Policy::Random { seed } => *seed,
+            _ => 0,
+        };
+        Simulator {
+            spec,
+            policy,
+            rng: SplitMix64::new(seed),
+            options: SolverOptions::default(),
+        }
+    }
+
+    /// Read access to the driven specification.
+    #[must_use]
+    pub fn specification(&self) -> &Specification {
+        &self.spec
+    }
+
+    /// Picks and fires one step. Returns the step, or `None` on
+    /// deadlock (no acceptable non-empty step).
+    pub fn step(&mut self) -> Option<Step> {
+        let candidates = acceptable_steps(&self.spec, &self.options);
+        if candidates.is_empty() {
+            return None;
+        }
+        let chosen = match &self.policy {
+            Policy::Random { .. } => {
+                candidates[self.rng.next_below(candidates.len())].clone()
+            }
+            Policy::MaxParallel => candidates
+                .iter()
+                .max_by_key(|s| s.len())
+                .expect("non-empty candidate list")
+                .clone(),
+            Policy::MinSerial => candidates
+                .iter()
+                .min_by_key(|s| s.len())
+                .expect("non-empty candidate list")
+                .clone(),
+            Policy::Lexicographic => candidates[0].clone(),
+            Policy::SafeMaxParallel => {
+                let mut by_size: Vec<&Step> = candidates.iter().collect();
+                by_size.sort_by_key(|s| std::cmp::Reverse(s.len()));
+                by_size
+                    .iter()
+                    .find(|step| {
+                        let mut peek = self.spec.clone();
+                        peek.fire(step).expect("candidate is acceptable");
+                        !acceptable_steps(&peek, &self.options).is_empty()
+                    })
+                    .copied()
+                    .unwrap_or(by_size[0])
+                    .clone()
+            }
+        };
+        self.spec
+            .fire(&chosen)
+            .expect("solver only returns acceptable steps");
+        Some(chosen)
+    }
+
+    /// Runs up to `max_steps` steps, stopping early on deadlock.
+    pub fn run(&mut self, max_steps: usize) -> SimulationReport {
+        let mut schedule = Schedule::new();
+        let mut deadlocked = false;
+        for _ in 0..max_steps {
+            match self.step() {
+                Some(step) => schedule.push(step),
+                None => {
+                    deadlocked = true;
+                    break;
+                }
+            }
+        }
+        let steps_taken = schedule.len();
+        SimulationReport {
+            schedule,
+            deadlocked,
+            steps_taken,
+        }
+    }
+
+    /// Resets the specification (and the PRNG) to the initial state.
+    pub fn reset(&mut self) {
+        self.spec.reset();
+        if let Policy::Random { seed } = &self.policy {
+            self.rng = SplitMix64::new(*seed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moccml_ccsl::{Alternation, Precedence, SubClock};
+    use moccml_kernel::Universe;
+
+    fn alternating_spec() -> (Specification, moccml_kernel::EventId, moccml_kernel::EventId) {
+        let mut u = Universe::new();
+        let a = u.event("a");
+        let b = u.event("b");
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        (spec, a, b)
+    }
+
+    #[test]
+    fn lexicographic_alternation_is_strict() {
+        let (spec, a, b) = alternating_spec();
+        let mut sim = Simulator::new(spec, Policy::Lexicographic);
+        let report = sim.run(10);
+        assert!(!report.deadlocked);
+        for (i, step) in report.schedule.iter().enumerate() {
+            let expected = if i % 2 == 0 { a } else { b };
+            assert!(step.contains(expected), "step {i}");
+            assert_eq!(step.len(), 1);
+        }
+    }
+
+    #[test]
+    fn random_policy_is_reproducible() {
+        let (spec, _, _) = alternating_spec();
+        let r1 = Simulator::new(spec.clone(), Policy::Random { seed: 5 }).run(20);
+        let r2 = Simulator::new(spec, Policy::Random { seed: 5 }).run(20);
+        assert_eq!(r1.schedule, r2.schedule);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut u = Universe::new();
+        let a = u.event("a");
+        let b = u.event("b");
+        let mut spec = Specification::new("dead", u);
+        // a strictly precedes b and b strictly precedes a: no event can
+        // ever occur.
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        spec.add_constraint(Box::new(Precedence::strict("b<a", b, a)));
+        let report = Simulator::new(spec, Policy::Lexicographic).run(10);
+        assert!(report.deadlocked);
+        assert_eq!(report.steps_taken, 0);
+    }
+
+    #[test]
+    fn max_parallel_prefers_bigger_steps() {
+        let mut u = Universe::new();
+        let a = u.event("a");
+        let b = u.event("b");
+        let mut spec = Specification::new("sub", u);
+        spec.add_constraint(Box::new(SubClock::new("a⊆b", a, b)));
+        let mut sim = Simulator::new(spec, Policy::MaxParallel);
+        let step = sim.step().expect("some step");
+        assert_eq!(step.len(), 2); // {a,b} beats {b}
+    }
+
+    #[test]
+    fn min_serial_prefers_smaller_steps() {
+        let mut u = Universe::new();
+        let a = u.event("a");
+        let b = u.event("b");
+        let mut spec = Specification::new("sub", u);
+        spec.add_constraint(Box::new(SubClock::new("a⊆b", a, b)));
+        let mut sim = Simulator::new(spec, Policy::MinSerial);
+        let step = sim.step().expect("some step");
+        assert_eq!(step.len(), 1); // {b}
+    }
+
+    #[test]
+    fn reset_restores_initial_behaviour() {
+        let (spec, a, _) = alternating_spec();
+        let mut sim = Simulator::new(spec, Policy::Lexicographic);
+        let first = sim.run(4).schedule;
+        sim.reset();
+        let second = sim.run(4).schedule;
+        assert_eq!(first, second);
+        assert!(first.steps()[0].contains(a));
+    }
+
+    #[test]
+    fn policy_display() {
+        assert_eq!(Policy::MaxParallel.to_string(), "max-parallel");
+        assert_eq!(Policy::Random { seed: 9 }.to_string(), "random(seed=9)");
+    }
+}

@@ -1,0 +1,238 @@
+//! The step solver: enumerating the acceptable steps of a configuration.
+//!
+//! Sec. II-C of the paper: with `n` events and no constraints there are
+//! `2^n` possible steps; every constraint conjoins a boolean expression
+//! that shrinks the set. The solver enumerates the models of the
+//! conjunction over the *constrained* events (free events never appear
+//! in any formula; each would merely double every answer, so they are
+//! reported separately by
+//! [`Specification::free_events`](moccml_kernel::Specification::free_events)).
+
+use moccml_kernel::{EventId, Specification, Step, StepFormula};
+
+/// Options controlling the step enumeration.
+#[derive(Debug, Clone)]
+pub struct SolverOptions {
+    /// Include the empty (stuttering) step in the result. Defaults to
+    /// `false`: simulation and exploration treat "nothing happens" as a
+    /// non-step, and its acceptance is an invariant anyway.
+    pub include_empty: bool,
+    /// Prune the search with three-valued partial evaluation (default).
+    /// `false` selects the naive `2^n` enumeration — kept only for the
+    /// B3 ablation benchmark.
+    pub prune: bool,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            include_empty: false,
+            prune: true,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Options selecting the naive (unpruned) enumeration.
+    #[must_use]
+    pub fn naive() -> Self {
+        SolverOptions {
+            include_empty: false,
+            prune: false,
+        }
+    }
+
+    /// Builder-style toggle for including the empty step.
+    #[must_use]
+    pub fn with_empty(mut self, include: bool) -> Self {
+        self.include_empty = include;
+        self
+    }
+}
+
+/// Enumerates every acceptable step of `spec` in its current state.
+///
+/// A step is acceptable iff it satisfies the conjunction of all
+/// constraints' current formulas. Steps range over the constrained
+/// events only; the result is sorted (by the `Ord` on [`Step`]) so the
+/// output is deterministic.
+///
+/// # Example
+///
+/// ```
+/// use moccml_ccsl::Exclusion;
+/// use moccml_engine::{acceptable_steps, SolverOptions};
+/// use moccml_kernel::{Specification, Universe};
+/// let mut u = Universe::new();
+/// let (a, b) = (u.event("a"), u.event("b"));
+/// let mut spec = Specification::new("x", u);
+/// spec.add_constraint(Box::new(Exclusion::new("a#b", [a, b])));
+/// let steps = acceptable_steps(&spec, &SolverOptions::default());
+/// assert_eq!(steps.len(), 2); // {a} and {b}, not {a,b}
+/// ```
+#[must_use]
+pub fn acceptable_steps(spec: &Specification, options: &SolverOptions) -> Vec<Step> {
+    let formula = spec.conjunction();
+    let events: Vec<EventId> = spec.constrained_events().iter().collect();
+    let mut out = Vec::new();
+    if options.prune {
+        let mut assigned = Step::new();
+        let mut value = Step::new();
+        prune_search(&formula, &events, 0, &mut assigned, &mut value, &mut out);
+    } else {
+        naive_search(&formula, &events, &mut out);
+    }
+    if !options.include_empty {
+        out.retain(|s| !s.is_empty());
+    }
+    out.sort();
+    out
+}
+
+fn prune_search(
+    formula: &StepFormula,
+    events: &[EventId],
+    depth: usize,
+    assigned: &mut Step,
+    value: &mut Step,
+    out: &mut Vec<Step>,
+) {
+    match formula.eval_partial(assigned, value) {
+        moccml_kernel::Ternary::False => return,
+        moccml_kernel::Ternary::True => {
+            // every extension over the remaining events is a model
+            enumerate_extensions(events, depth, value.clone(), out);
+            return;
+        }
+        moccml_kernel::Ternary::Unknown => {}
+    }
+    if depth == events.len() {
+        out.push(value.clone());
+        return;
+    }
+    let e = events[depth];
+    assigned.insert(e);
+    // branch: event absent
+    prune_search(formula, events, depth + 1, assigned, value, out);
+    // branch: event present
+    value.insert(e);
+    prune_search(formula, events, depth + 1, assigned, value, out);
+    value.remove(e);
+    assigned.remove(e);
+}
+
+fn enumerate_extensions(events: &[EventId], depth: usize, base: Step, out: &mut Vec<Step>) {
+    if depth == events.len() {
+        out.push(base);
+        return;
+    }
+    enumerate_extensions(events, depth + 1, base.clone(), out);
+    let mut with = base;
+    with.insert(events[depth]);
+    enumerate_extensions(events, depth + 1, with, out);
+}
+
+fn naive_search(formula: &StepFormula, events: &[EventId], out: &mut Vec<Step>) {
+    let n = events.len();
+    assert!(n < 26, "naive enumeration is capped at 2^26 candidates");
+    for mask in 0u64..(1u64 << n) {
+        let step: Step = events
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &e)| e)
+            .collect();
+        if formula.eval(&step) {
+            out.push(step);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moccml_ccsl::{Coincidence, Exclusion, Precedence, SubClock};
+    use moccml_kernel::Universe;
+
+    fn three_events() -> (Specification, EventId, EventId, EventId) {
+        let mut u = Universe::new();
+        let a = u.event("a");
+        let b = u.event("b");
+        let c = u.event("c");
+        let spec = Specification::new("s", u);
+        (spec, a, b, c)
+    }
+
+    #[test]
+    fn unconstrained_spec_has_no_constrained_events() {
+        let (spec, _, _, _) = three_events();
+        // no constraints ⇒ no constrained events ⇒ only the empty step,
+        // which is excluded by default
+        assert!(acceptable_steps(&spec, &SolverOptions::default()).is_empty());
+        let with_empty =
+            acceptable_steps(&spec, &SolverOptions::default().with_empty(true));
+        assert_eq!(with_empty.len(), 1);
+        assert!(with_empty[0].is_empty());
+    }
+
+    #[test]
+    fn each_constraint_shrinks_the_step_set() {
+        // E2: monotone restriction (Sec. II-C) — over a fixed event set.
+        let (mut spec, a, b, _) = three_events();
+        spec.add_constraint(Box::new(SubClock::new("a⊆b", a, b)));
+        let s1 = acceptable_steps(&spec, &SolverOptions::default().with_empty(true));
+        assert_eq!(s1.len(), 3); // {}, {b}, {a,b}
+        spec.add_constraint(Box::new(Exclusion::new("a#b", [a, b])));
+        let s2 = acceptable_steps(&spec, &SolverOptions::default().with_empty(true));
+        assert_eq!(s2.len(), 2); // {}, {b}
+        for s in &s2 {
+            assert!(s1.contains(s), "adding constraints only removes steps");
+        }
+    }
+
+    #[test]
+    fn subclock_steps_match_implication() {
+        let (mut spec, a, b, _) = three_events();
+        spec.add_constraint(Box::new(SubClock::new("a⊆b", a, b)));
+        let steps = acceptable_steps(&spec, &SolverOptions::default());
+        // over {a,b}: acceptable non-empty steps are {b}, {a,b}
+        assert_eq!(steps.len(), 2);
+        assert!(steps.contains(&Step::from_events([b])));
+        assert!(steps.contains(&Step::from_events([a, b])));
+    }
+
+    #[test]
+    fn pruned_and_naive_agree() {
+        let (mut spec, a, b, c) = three_events();
+        spec.add_constraint(Box::new(SubClock::new("a⊆b", a, b)));
+        spec.add_constraint(Box::new(Exclusion::new("a#c", [a, c])));
+        spec.add_constraint(Box::new(Coincidence::new("b=c", b, c)));
+        let pruned = acceptable_steps(&spec, &SolverOptions::default());
+        let naive = acceptable_steps(&spec, &SolverOptions::naive());
+        assert_eq!(pruned, naive);
+    }
+
+    #[test]
+    fn stateful_constraint_changes_answers_after_fire() {
+        let (mut spec, a, b, _) = three_events();
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        let before = acceptable_steps(&spec, &SolverOptions::default());
+        assert_eq!(before, vec![Step::from_events([a])]);
+        spec.fire(&Step::from_events([a])).expect("fires");
+        let after = acceptable_steps(&spec, &SolverOptions::default());
+        // now b alone, a alone, or both are acceptable
+        assert_eq!(after.len(), 3);
+    }
+
+    #[test]
+    fn results_are_sorted_and_deduplicated_by_construction() {
+        let (mut spec, a, b, c) = three_events();
+        spec.add_constraint(Box::new(Exclusion::new("x", [a, b, c])));
+        let steps = acceptable_steps(&spec, &SolverOptions::default());
+        let mut sorted = steps.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(steps, sorted);
+        assert_eq!(steps.len(), 3); // {a}, {b}, {c}
+    }
+}

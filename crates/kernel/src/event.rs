@@ -1,0 +1,180 @@
+//! Events and the interning [`Universe`] that names them.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a discrete event of a MoCCML specification.
+///
+/// Events are the "clocks" of the concurrency model: the only observable
+/// things that happen during a run. An `EventId` is an index into the
+/// [`Universe`] that created it; it is cheap to copy and compare.
+///
+/// # Example
+///
+/// ```
+/// use moccml_kernel::Universe;
+/// let mut u = Universe::new();
+/// let start = u.event("agent.start");
+/// assert_eq!(u.name(start), "agent.start");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u32);
+
+impl EventId {
+    /// Returns the dense index of this event inside its universe.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `EventId` from a raw dense index.
+    ///
+    /// Mostly useful for tables indexed by event; the caller is
+    /// responsible for the index denoting an event of the intended
+    /// [`Universe`].
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        EventId(u32::try_from(index).expect("event index fits in u32"))
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An interning registry of named events.
+///
+/// Every event of a specification is registered exactly once; asking for
+/// the same name twice returns the same [`EventId`]. The universe is the
+/// single source of truth for event naming when rendering traces.
+///
+/// # Example
+///
+/// ```
+/// use moccml_kernel::Universe;
+/// let mut u = Universe::new();
+/// let a = u.event("a");
+/// let a2 = u.event("a");
+/// assert_eq!(a, a2);
+/// assert_eq!(u.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Universe {
+    names: Vec<String>,
+    by_name: HashMap<String, EventId>,
+}
+
+impl Universe {
+    /// Creates an empty universe.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the event named `name`, registering it on first use.
+    pub fn event(&mut self, name: &str) -> EventId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = EventId(u32::try_from(self.names.len()).expect("fewer than 2^32 events"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks an event up by name without registering it.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<EventId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this universe.
+    #[must_use]
+    pub fn name(&self, id: EventId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of registered events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no event has been registered yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all registered events in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = EventId> + '_ {
+        (0..self.names.len()).map(EventId::from_index)
+    }
+
+    /// Iterates over `(id, name)` pairs in registration order.
+    pub fn iter_named(&self) -> impl Iterator<Item = (EventId, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (EventId::from_index(i), n.as_str()))
+    }
+}
+
+impl fmt::Display for Universe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Universe({} events)", self.names.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut u = Universe::new();
+        let a = u.event("a");
+        let b = u.event("b");
+        assert_ne!(a, b);
+        assert_eq!(u.event("a"), a);
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_register() {
+        let u = Universe::new();
+        assert_eq!(u.lookup("missing"), None);
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let mut u = Universe::new();
+        let id = u.event("place.read");
+        assert_eq!(u.name(id), "place.read");
+        assert_eq!(u.lookup("place.read"), Some(id));
+    }
+
+    #[test]
+    fn iteration_order_is_registration_order() {
+        let mut u = Universe::new();
+        let ids: Vec<_> = ["x", "y", "z"].iter().map(|n| u.event(n)).collect();
+        let iterated: Vec<_> = u.iter().collect();
+        assert_eq!(ids, iterated);
+        let names: Vec<_> = u.iter_named().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(names, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn event_id_display_and_index() {
+        let id = EventId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "e7");
+    }
+}

@@ -1,0 +1,229 @@
+//! [`Schedule`]: a finite prefix of a run, `σ : N → 2^E`.
+
+use crate::event::{EventId, Universe};
+use crate::step::Step;
+use std::fmt;
+
+/// A finite prefix of a schedule: the sequence of steps chosen so far.
+///
+/// The paper defines a schedule as a possibly infinite sequence of steps;
+/// simulation and exploration manipulate finite prefixes. `Schedule`
+/// stores them and offers the analysis helpers used by the experiments:
+/// occurrence counts, parallelism metrics and a textual timing diagram.
+///
+/// # Example
+///
+/// ```
+/// use moccml_kernel::{Schedule, Step, Universe};
+/// let mut u = Universe::new();
+/// let a = u.event("a");
+/// let mut sched = Schedule::new();
+/// sched.push(Step::from_events([a]));
+/// sched.push(Step::new());
+/// assert_eq!(sched.occurrences(a), 1);
+/// assert_eq!(sched.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    steps: Vec<Step>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule prefix.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, step: Step) {
+        self.steps.push(step);
+    }
+
+    /// The steps recorded so far.
+    #[must_use]
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of steps recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether no step has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Iterates over the recorded steps.
+    pub fn iter(&self) -> std::slice::Iter<'_, Step> {
+        self.steps.iter()
+    }
+
+    /// How many times `event` occurred over the whole prefix.
+    #[must_use]
+    pub fn occurrences(&self, event: EventId) -> usize {
+        self.steps.iter().filter(|s| s.contains(event)).count()
+    }
+
+    /// Largest number of simultaneous events in one step — the
+    /// *attainable parallelism* metric of the PAM experiment.
+    #[must_use]
+    pub fn max_parallelism(&self) -> usize {
+        self.steps.iter().map(Step::len).max().unwrap_or(0)
+    }
+
+    /// Mean number of events per step (0.0 for an empty schedule).
+    #[must_use]
+    pub fn mean_parallelism(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.steps.iter().map(Step::len).sum();
+        total as f64 / self.steps.len() as f64
+    }
+
+    /// Number of steps in which no event occurs.
+    #[must_use]
+    pub fn idle_steps(&self) -> usize {
+        self.steps.iter().filter(|s| s.is_empty()).count()
+    }
+
+    /// Index of the first step where `event` occurs, if any.
+    #[must_use]
+    pub fn first_occurrence(&self, event: EventId) -> Option<usize> {
+        self.steps.iter().position(|s| s.contains(event))
+    }
+
+    /// Renders a textual timing diagram, one row per event of `universe`
+    /// (restricted to events that occur at least once), one column per
+    /// step. `X` marks an occurrence, `.` its absence.
+    ///
+    /// This is the "simulation trace" artefact of the paper's PAM study.
+    #[must_use]
+    pub fn render_timing_diagram(&self, universe: &Universe) -> String {
+        let mut rows = Vec::new();
+        let width = universe
+            .iter_named()
+            .map(|(_, n)| n.len())
+            .max()
+            .unwrap_or(0);
+        for (id, name) in universe.iter_named() {
+            if self.occurrences(id) == 0 {
+                continue;
+            }
+            let mut row = format!("{name:width$} |");
+            for step in &self.steps {
+                row.push(if step.contains(id) { 'X' } else { '.' });
+            }
+            rows.push(row);
+        }
+        rows.join("\n")
+    }
+
+    /// Projection of the schedule onto a subset of events: each step is
+    /// intersected with `events`.
+    #[must_use]
+    pub fn project(&self, events: &Step) -> Schedule {
+        Schedule {
+            steps: self.steps.iter().map(|s| s.intersection(events)).collect(),
+        }
+    }
+}
+
+impl Extend<Step> for Schedule {
+    fn extend<I: IntoIterator<Item = Step>>(&mut self, iter: I) {
+        self.steps.extend(iter);
+    }
+}
+
+impl FromIterator<Step> for Schedule {
+    fn from_iter<I: IntoIterator<Item = Step>>(iter: I) -> Self {
+        Schedule {
+            steps: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Schedule {
+    type Item = &'a Step;
+    type IntoIter = std::slice::Iter<'a, Step>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.steps.iter()
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.steps.iter().map(|s| s.to_string()).collect();
+        write!(f, "{}", parts.join(" ; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe3() -> (Universe, EventId, EventId, EventId) {
+        let mut u = Universe::new();
+        let a = u.event("a");
+        let b = u.event("b");
+        let c = u.event("c");
+        (u, a, b, c)
+    }
+
+    #[test]
+    fn occurrence_counting() {
+        let (_, a, b, _) = universe3();
+        let sched: Schedule = vec![
+            Step::from_events([a]),
+            Step::from_events([a, b]),
+            Step::new(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(sched.occurrences(a), 2);
+        assert_eq!(sched.occurrences(b), 1);
+        assert_eq!(sched.idle_steps(), 1);
+        assert_eq!(sched.first_occurrence(b), Some(1));
+    }
+
+    #[test]
+    fn parallelism_metrics() {
+        let (_, a, b, c) = universe3();
+        let mut sched = Schedule::new();
+        assert_eq!(sched.max_parallelism(), 0);
+        assert_eq!(sched.mean_parallelism(), 0.0);
+        sched.push(Step::from_events([a, b, c]));
+        sched.push(Step::from_events([a]));
+        assert_eq!(sched.max_parallelism(), 3);
+        assert!((sched.mean_parallelism() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timing_diagram_marks_occurrences() {
+        let (u, a, b, _) = universe3();
+        let sched: Schedule = vec![Step::from_events([a]), Step::from_events([b])]
+            .into_iter()
+            .collect();
+        let diagram = sched.render_timing_diagram(&u);
+        assert!(diagram.contains("a |X."));
+        assert!(diagram.contains("b |.X"));
+        // c never occurs, so it has no row
+        assert!(!diagram.contains("c |"));
+    }
+
+    #[test]
+    fn projection_restricts_steps() {
+        let (_, a, b, c) = universe3();
+        let sched: Schedule = vec![Step::from_events([a, b]), Step::from_events([c])]
+            .into_iter()
+            .collect();
+        let proj = sched.project(&Step::from_events([a]));
+        assert_eq!(proj.steps()[0], Step::from_events([a]));
+        assert!(proj.steps()[1].is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! [`Step`]: the set of events occurring at one instant of a schedule.
+
+use crate::event::EventId;
+use std::fmt;
+
+/// A set of simultaneously occurring events — one instant of a schedule.
+///
+/// The paper (Sec. II-C) defines a schedule `σ : N → 2^E`; a `Step` is
+/// one element of `2^E`. Steps are small dense bitsets, cheap to clone,
+/// hash and compare, which the exploration engine relies on.
+///
+/// # Example
+///
+/// ```
+/// use moccml_kernel::{Step, Universe};
+/// let mut u = Universe::new();
+/// let r = u.event("read");
+/// let w = u.event("write");
+/// let step = Step::from_events([r, w]);
+/// assert!(step.contains(r));
+/// assert_eq!(step.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Step {
+    words: Vec<u64>,
+}
+
+const WORD_BITS: usize = 64;
+
+impl Step {
+    /// Creates the empty step (no event occurs).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a step containing the given events.
+    #[must_use]
+    pub fn from_events<I: IntoIterator<Item = EventId>>(events: I) -> Self {
+        let mut step = Step::new();
+        step.extend(events);
+        step
+    }
+
+    /// Adds `event` to the step. Returns `true` if it was not present.
+    pub fn insert(&mut self, event: EventId) -> bool {
+        let (w, b) = (event.index() / WORD_BITS, event.index() % WORD_BITS);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes `event` from the step. Returns `true` if it was present.
+    pub fn remove(&mut self, event: EventId) -> bool {
+        let (w, b) = (event.index() / WORD_BITS, event.index() % WORD_BITS);
+        if w >= self.words.len() {
+            return false;
+        }
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        if present {
+            self.normalize();
+        }
+        present
+    }
+
+    /// Whether `event` occurs in this step.
+    #[must_use]
+    pub fn contains(&self, event: EventId) -> bool {
+        let (w, b) = (event.index() / WORD_BITS, event.index() % WORD_BITS);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Number of occurring events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no event occurs (the *stuttering* step).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the occurring events in increasing id order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            step: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Whether every event of `self` also occurs in `other`.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &Step) -> bool {
+        self.words.iter().enumerate().all(|(i, &w)| {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            w & !o == 0
+        })
+    }
+
+    /// Whether `self` and `other` share no event.
+    #[must_use]
+    pub fn is_disjoint_from(&self, other: &Step) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(&a, &b)| a & b == 0)
+    }
+
+    /// Set union of two steps.
+    #[must_use]
+    pub fn union(&self, other: &Step) -> Step {
+        let mut words = vec![0; self.words.len().max(other.words.len())];
+        for (i, slot) in words.iter_mut().enumerate() {
+            *slot = self.words.get(i).copied().unwrap_or(0)
+                | other.words.get(i).copied().unwrap_or(0);
+        }
+        let mut s = Step { words };
+        s.normalize();
+        s
+    }
+
+    /// Set intersection of two steps.
+    #[must_use]
+    pub fn intersection(&self, other: &Step) -> Step {
+        let mut words: Vec<u64> = self
+            .words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(&a, &b)| a & b)
+            .collect();
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        Step { words }
+    }
+
+    /// Renders the step with event names from `universe`, e.g. `{a, b}`.
+    #[must_use]
+    pub fn display(&self, universe: &crate::Universe) -> String {
+        let names: Vec<&str> = self.iter().map(|e| universe.name(e)).collect();
+        format!("{{{}}}", names.join(", "))
+    }
+
+    fn normalize(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+}
+
+impl Extend<EventId> for Step {
+    fn extend<I: IntoIterator<Item = EventId>>(&mut self, iter: I) {
+        for e in iter {
+            self.insert(e);
+        }
+    }
+}
+
+impl FromIterator<EventId> for Step {
+    fn from_iter<I: IntoIterator<Item = EventId>>(iter: I) -> Self {
+        Step::from_events(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Step {
+    type Item = EventId;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ids: Vec<String> = self.iter().map(|e| e.to_string()).collect();
+        write!(f, "{{{}}}", ids.join(", "))
+    }
+}
+
+/// Iterator over the events of a [`Step`], produced by [`Step::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    step: &'a Step,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = EventId;
+
+    fn next(&mut self) -> Option<EventId> {
+        loop {
+            if self.bits != 0 {
+                let b = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(EventId::from_index(self.word * WORD_BITS + b));
+            }
+            self.word += 1;
+            self.bits = *self.step.words.get(self.word)?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+
+    fn ids(indices: &[usize]) -> Vec<EventId> {
+        indices.iter().map(|&i| EventId::from_index(i)).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = Step::new();
+        let e = EventId::from_index(70); // forces a second word
+        assert!(s.insert(e));
+        assert!(!s.insert(e));
+        assert!(s.contains(e));
+        assert!(s.remove(e));
+        assert!(!s.remove(e));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s = Step::from_events(ids(&[130, 3, 64, 0]));
+        let got: Vec<usize> = s.iter().map(EventId::index).collect();
+        assert_eq!(got, vec![0, 3, 64, 130]);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let small = Step::from_events(ids(&[1, 65]));
+        let big = Step::from_events(ids(&[1, 2, 65]));
+        let other = Step::from_events(ids(&[3]));
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(small.is_disjoint_from(&other));
+        assert!(!small.is_disjoint_from(&big));
+        assert!(Step::new().is_subset_of(&small));
+    }
+
+    #[test]
+    fn union_intersection() {
+        let a = Step::from_events(ids(&[1, 2]));
+        let b = Step::from_events(ids(&[2, 3]));
+        assert_eq!(a.union(&b), Step::from_events(ids(&[1, 2, 3])));
+        assert_eq!(a.intersection(&b), Step::from_events(ids(&[2])));
+    }
+
+    #[test]
+    fn equality_is_content_based_after_removals() {
+        // Removing a high event must not leave a trailing zero word that
+        // breaks Eq/Hash against a freshly built step.
+        let mut a = Step::from_events(ids(&[1, 200]));
+        a.remove(EventId::from_index(200));
+        let b = Step::from_events(ids(&[1]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_with_universe() {
+        let mut u = Universe::new();
+        let r = u.event("read");
+        let w = u.event("write");
+        let s = Step::from_events([w, r]);
+        assert_eq!(s.display(&u), "{read, write}");
+        assert_eq!(Step::new().display(&u), "{}");
+    }
+}

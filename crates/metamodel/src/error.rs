@@ -1,0 +1,91 @@
+//! Error type of the metamodeling and weaving layers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by metamodel construction, model population and
+/// mapping execution (weaving).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MetamodelError {
+    /// A metaclass, attribute, reference, object or event definition was
+    /// referenced but does not exist.
+    Unknown {
+        /// What kind of thing was looked up.
+        kind: &'static str,
+        /// The missing name.
+        name: String,
+    },
+    /// A name was declared twice in the same scope.
+    Duplicate {
+        /// What kind of thing collided.
+        kind: &'static str,
+        /// The colliding name.
+        name: String,
+    },
+    /// An attribute value or argument had the wrong type.
+    TypeMismatch {
+        /// Where the mismatch happened.
+        context: String,
+        /// Expected type.
+        expected: &'static str,
+        /// Found type.
+        found: String,
+    },
+    /// A navigation path did not resolve to exactly one object.
+    Navigation {
+        /// The failing path rendered as `self.a.b`.
+        path: String,
+        /// How many targets were found.
+        found: usize,
+    },
+    /// Constraint instantiation failed during weaving.
+    Weave {
+        /// The invariant instance being created.
+        instance: String,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MetamodelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetamodelError::Unknown { kind, name } => write!(f, "unknown {kind} `{name}`"),
+            MetamodelError::Duplicate { kind, name } => write!(f, "duplicate {kind} `{name}`"),
+            MetamodelError::TypeMismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            MetamodelError::Navigation { path, found } => write!(
+                f,
+                "navigation `{path}` must reach exactly one object, found {found}"
+            ),
+            MetamodelError::Weave { instance, reason } => {
+                write!(f, "cannot weave `{instance}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MetamodelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_names() {
+        let e = MetamodelError::Unknown {
+            kind: "metaclass",
+            name: "Agent".into(),
+        };
+        assert_eq!(e.to_string(), "unknown metaclass `Agent`");
+        let e = MetamodelError::Navigation {
+            path: "self.outputPort".into(),
+            found: 0,
+        };
+        assert!(e.to_string().contains("exactly one"));
+    }
+}

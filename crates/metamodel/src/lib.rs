@@ -1,0 +1,61 @@
+//! # moccml-metamodel
+//!
+//! The metamodeling substrate of the reproduction: what the paper gets
+//! from EMF/MOF and ECL, rebuilt as a small library (the substitution is
+//! documented in DESIGN.md).
+//!
+//! Three layers, mirroring the paper's Fig. 1:
+//!
+//! * **MOF-lite** ([`Metamodel`], [`MetaClass`]) — the *abstract syntax*
+//!   of a DSL: classes with typed attributes and references.
+//! * **Models** ([`Model`], [`ObjectId`]) — instances conforming to a
+//!   metamodel, validated against it.
+//! * **Mapping** ([`MappingSpec`]) — the ECL-inspired weaving of
+//!   Listing 1: event definitions in the *context* of a metaclass
+//!   (`context Agent def: start : Event`) and invariants instantiating
+//!   MoCC constraints with navigation arguments
+//!   (`inv PlaceLimitation: RelationPlaceConstraint(self.outputPort.write, …)`).
+//!
+//! [`weave`] executes the mapping over a model: it creates one event per
+//! (object, event definition) pair, resolves every invariant's
+//! arguments by navigation, instantiates the named constraints through a
+//! [`ConstraintRegistry`] (automata libraries and/or native CCSL
+//! factories), and returns the executable
+//! [`Specification`](moccml_kernel::Specification) — the *execution
+//! model* that configures the generic engine.
+//!
+//! ## Example
+//!
+//! ```
+//! use moccml_metamodel::{Metamodel, MetaClass, AttrType, Model};
+//!
+//! let mut mm = Metamodel::new("Tiny");
+//! mm.add_class(
+//!     MetaClass::new("Task")
+//!         .with_attr("budget", AttrType::Int)
+//!         .with_ref("next", "Task", false),
+//! )?;
+//!
+//! let mut model = Model::new(mm.into());
+//! let t1 = model.add_object("Task", "t1")?;
+//! let t2 = model.add_object("Task", "t2")?;
+//! model.set_int(t1, "budget", 3)?;
+//! model.add_link(t1, "next", t2)?;
+//! assert_eq!(model.int_attr(t1, "budget")?, 3);
+//! # Ok::<(), moccml_metamodel::MetamodelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod mapping;
+mod meta;
+mod model;
+mod registry;
+
+pub use error::MetamodelError;
+pub use mapping::{ArgExpr, EventDef, InvariantDef, MappingSpec, NavPath, weave};
+pub use meta::{AttrType, Attribute, MetaClass, Metamodel, Reference};
+pub use model::{AttrValue, Model, Object, ObjectId};
+pub use registry::ConstraintRegistry;

@@ -1,0 +1,511 @@
+//! The ECL-inspired mapping of Listing 1 and its execution (weaving).
+//!
+//! The paper separates the MoCC from the DSL through a *mapping* —
+//! events declared in the context of DSL concepts and invariants
+//! instantiating MoCC constraints from navigated arguments:
+//!
+//! ```text
+//! context Agent
+//!   def: start : Event
+//! context Place
+//!   inv PlaceLimitation:
+//!     RelationPlaceConstraint(self.outputPort.write, self.inputPort.read,
+//!                             self.outputPort.rate, self.inputPort.rate,
+//!                             self.delay, self.capacity)
+//! ```
+//!
+//! [`MappingSpec`] is that artefact; [`weave`] executes it over a
+//! [`Model`] to produce the execution model.
+
+use crate::error::MetamodelError;
+use crate::model::{Model, ObjectId};
+use crate::registry::ConstraintRegistry;
+use moccml_kernel::{EventId, Specification, Universe};
+use std::fmt;
+
+/// A navigation path from `self` through reference names,
+/// e.g. `self.outputPort`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NavPath(Vec<String>);
+
+impl NavPath {
+    /// The empty path (`self`).
+    #[must_use]
+    pub fn self_() -> Self {
+        NavPath(Vec::new())
+    }
+
+    /// A path following the given reference names in order.
+    #[must_use]
+    pub fn through<I, S>(segments: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        NavPath(segments.into_iter().map(Into::into).collect())
+    }
+
+    /// The reference names traversed.
+    #[must_use]
+    pub fn segments(&self) -> &[String] {
+        &self.0
+    }
+
+    /// Resolves the path from `start`, requiring exactly one target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetamodelError::Navigation`] if the path reaches zero
+    /// or several objects, [`MetamodelError::Unknown`] if a segment is
+    /// not a declared reference.
+    pub fn resolve_single(
+        &self,
+        model: &Model,
+        start: ObjectId,
+    ) -> Result<ObjectId, MetamodelError> {
+        let mut current = vec![start];
+        for segment in &self.0 {
+            let mut next = Vec::new();
+            for &obj in &current {
+                let class = model
+                    .metamodel()
+                    .class(model.object(obj).class())
+                    .expect("objects conform by construction");
+                if class.reference(segment).is_none() {
+                    return Err(MetamodelError::Unknown {
+                        kind: "reference",
+                        name: format!("{}.{segment}", class.name()),
+                    });
+                }
+                next.extend_from_slice(model.targets(obj, segment));
+            }
+            current = next;
+        }
+        match current.as_slice() {
+            [single] => Ok(*single),
+            other => Err(MetamodelError::Navigation {
+                path: self.to_string(),
+                found: other.len(),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for NavPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "self")?;
+        for s in &self.0 {
+            write!(f, ".{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An argument of a constraint invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgExpr {
+    /// Navigate, then take the named event of the reached object
+    /// (e.g. `self.outputPort.write`).
+    Event {
+        /// Navigation to the owning object.
+        path: NavPath,
+        /// Event definition name on that object's class.
+        event: String,
+    },
+    /// Navigate, then read the named integer attribute
+    /// (e.g. `self.inputPort.rate`).
+    IntAttr {
+        /// Navigation to the owning object.
+        path: NavPath,
+        /// Attribute name.
+        attr: String,
+    },
+    /// A literal integer.
+    IntConst(i64),
+}
+
+impl ArgExpr {
+    /// Event argument shorthand.
+    #[must_use]
+    pub fn event<I, S>(path: I, event: &str) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ArgExpr::Event {
+            path: NavPath::through(path),
+            event: event.to_owned(),
+        }
+    }
+
+    /// Integer attribute argument shorthand.
+    #[must_use]
+    pub fn attr<I, S>(path: I, attr: &str) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ArgExpr::IntAttr {
+            path: NavPath::through(path),
+            attr: attr.to_owned(),
+        }
+    }
+}
+
+/// `context C def: name : Event` — an event defined on every instance
+/// of metaclass `context`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventDef {
+    /// Owning metaclass.
+    pub context: String,
+    /// Event name within the context.
+    pub event: String,
+}
+
+/// `context C inv name: Constraint(args…)` — a constraint instantiated
+/// for every instance of metaclass `context`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantDef {
+    /// Owning metaclass.
+    pub context: String,
+    /// Invariant name (instance names are `object.invariant`).
+    pub name: String,
+    /// Constraint to instantiate (resolved by the registry).
+    pub constraint: String,
+    /// Positional arguments: events first, integers after, in the
+    /// constraint's declaration order.
+    pub args: Vec<ArgExpr>,
+}
+
+/// The complete mapping of a DSL: its events and its constraint
+/// invariants, both attached to metaclasses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MappingSpec {
+    event_defs: Vec<EventDef>,
+    invariants: Vec<InvariantDef>,
+}
+
+impl MappingSpec {
+    /// Creates an empty mapping.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares `context C def: event : Event` (builder style).
+    #[must_use]
+    pub fn def_event(mut self, context: &str, event: &str) -> Self {
+        self.event_defs.push(EventDef {
+            context: context.to_owned(),
+            event: event.to_owned(),
+        });
+        self
+    }
+
+    /// Declares an invariant (builder style).
+    #[must_use]
+    pub fn def_invariant(
+        mut self,
+        context: &str,
+        name: &str,
+        constraint: &str,
+        args: Vec<ArgExpr>,
+    ) -> Self {
+        self.invariants.push(InvariantDef {
+            context: context.to_owned(),
+            name: name.to_owned(),
+            constraint: constraint.to_owned(),
+            args,
+        });
+        self
+    }
+
+    /// Declared event definitions.
+    #[must_use]
+    pub fn event_defs(&self) -> &[EventDef] {
+        &self.event_defs
+    }
+
+    /// Declared invariants.
+    #[must_use]
+    pub fn invariants(&self) -> &[InvariantDef] {
+        &self.invariants
+    }
+
+    /// Whether metaclass `class` declares event `event`.
+    #[must_use]
+    pub fn has_event(&self, class: &str, event: &str) -> bool {
+        self.event_defs
+            .iter()
+            .any(|d| d.context == class && d.event == event)
+    }
+}
+
+/// Canonical name of the event `event` on object `object`.
+#[must_use]
+fn event_name(object_name: &str, event: &str) -> String {
+    format!("{object_name}.{event}")
+}
+
+/// Executes a mapping over a model: generates the event universe and
+/// instantiates every invariant for every instance of its context —
+/// the automatic generation of the *execution model* of Fig. 1.
+///
+/// # Errors
+///
+/// Propagates navigation, typing and instantiation failures as
+/// [`MetamodelError`]; the specification is only returned when every
+/// invariant wove successfully.
+pub fn weave(
+    model: &Model,
+    mapping: &MappingSpec,
+    registry: &ConstraintRegistry,
+) -> Result<Specification, MetamodelError> {
+    // 1. events: one per (object, event definition in its class context)
+    let mut universe = Universe::new();
+    for obj in model.objects() {
+        for def in mapping.event_defs() {
+            if def.context == obj.class() {
+                universe.event(&event_name(obj.name(), &def.event));
+            }
+        }
+    }
+    let mut spec = Specification::new(model.metamodel().name(), universe);
+
+    // 2. invariants: instantiate per context instance
+    for inv in mapping.invariants() {
+        for ctx in model.objects_of_class(&inv.context) {
+            let ctx_name = model.object(ctx).name().to_owned();
+            let instance_name = format!("{ctx_name}.{}", inv.name);
+            let mut events: Vec<EventId> = Vec::new();
+            let mut ints: Vec<i64> = Vec::new();
+            for arg in &inv.args {
+                match arg {
+                    ArgExpr::Event { path, event } => {
+                        let target = path.resolve_single(model, ctx)?;
+                        let target_obj = model.object(target);
+                        if !mapping.has_event(target_obj.class(), event) {
+                            return Err(MetamodelError::Unknown {
+                                kind: "event definition",
+                                name: format!("{}.{event}", target_obj.class()),
+                            });
+                        }
+                        let name = event_name(target_obj.name(), event);
+                        let id = spec
+                            .universe_mut()
+                            .lookup(&name)
+                            .expect("event generated in phase 1");
+                        events.push(id);
+                    }
+                    ArgExpr::IntAttr { path, attr } => {
+                        let target = path.resolve_single(model, ctx)?;
+                        ints.push(model.int_attr(target, attr)?);
+                    }
+                    ArgExpr::IntConst(v) => ints.push(*v),
+                }
+            }
+            let constraint =
+                registry.instantiate(&inv.constraint, &instance_name, &events, &ints)?;
+            spec.add_constraint(constraint);
+        }
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::{AttrType, MetaClass, Metamodel};
+    use moccml_automata::parse_library;
+    use std::sync::Arc;
+
+    /// A miniature SigPML: Agent → Port, Place connecting two ports.
+    fn sigpml_metamodel() -> Arc<Metamodel> {
+        let mut mm = Metamodel::new("MiniSigPML");
+        mm.add_class(MetaClass::new("Agent").with_ref("out", "Port", false))
+            .expect("class");
+        mm.add_class(MetaClass::new("Port").with_attr("rate", AttrType::Int))
+            .expect("class");
+        mm.add_class(
+            MetaClass::new("Place")
+                .with_attr("capacity", AttrType::Int)
+                .with_attr("delay", AttrType::Int)
+                .with_ref("outputPort", "Port", false)
+                .with_ref("inputPort", "Port", false),
+        )
+        .expect("class");
+        mm.validate().expect("valid metamodel");
+        Arc::new(mm)
+    }
+
+    fn place_registry() -> ConstraintRegistry {
+        let lib = parse_library(
+            r#"library SDF {
+              constraint PlaceConstraint(write: event, read: event,
+                                         pushRate: int, popRate: int,
+                                         itsDelay: int, itsCapacity: int)
+              automaton PlaceConstraintDef implements PlaceConstraint {
+                var size: int = itsDelay;
+                initial state S0; final state S0;
+                from S0 to S0 when {write} forbid {read}
+                  guard [size <= itsCapacity - pushRate] do size += pushRate;
+                from S0 to S0 when {read} forbid {write}
+                  guard [size >= popRate] do size -= popRate;
+              }
+            }"#,
+        )
+        .expect("parses");
+        let mut reg = ConstraintRegistry::new();
+        reg.add_library(Arc::new(lib));
+        reg
+    }
+
+    fn listing1_mapping() -> MappingSpec {
+        MappingSpec::new()
+            .def_event("Port", "read")
+            .def_event("Port", "write")
+            .def_invariant(
+                "Place",
+                "PlaceLimitation",
+                "PlaceConstraint",
+                vec![
+                    ArgExpr::event(["outputPort"], "write"),
+                    ArgExpr::event(["inputPort"], "read"),
+                    ArgExpr::attr(["outputPort"], "rate"),
+                    ArgExpr::attr(["inputPort"], "rate"),
+                    ArgExpr::attr(Vec::<String>::new(), "delay"),
+                    ArgExpr::attr(Vec::<String>::new(), "capacity"),
+                ],
+            )
+    }
+
+    fn one_place_model() -> Model {
+        let mut m = Model::new(sigpml_metamodel());
+        let src = m.add_object("Port", "a.out").expect("port");
+        let dst = m.add_object("Port", "b.in").expect("port");
+        m.set_int(src, "rate", 1).expect("rate");
+        m.set_int(dst, "rate", 1).expect("rate");
+        let place = m.add_object("Place", "p").expect("place");
+        m.set_int(place, "capacity", 2).expect("cap");
+        m.set_int(place, "delay", 0).expect("delay");
+        m.add_link(place, "outputPort", src).expect("link");
+        m.add_link(place, "inputPort", dst).expect("link");
+        m
+    }
+
+    #[test]
+    fn weave_generates_events_and_constraints() {
+        let model = one_place_model();
+        let spec = weave(&model, &listing1_mapping(), &place_registry()).expect("weaves");
+        // two ports × two events
+        assert_eq!(spec.universe().len(), 4);
+        assert!(spec.universe().lookup("a.out.write").is_some());
+        assert!(spec.universe().lookup("b.in.read").is_some());
+        // one Place ⇒ one PlaceConstraint instance
+        assert_eq!(spec.constraint_count(), 1);
+        assert_eq!(spec.constraints()[0].name(), "p.PlaceLimitation");
+    }
+
+    #[test]
+    fn woven_constraint_behaves_like_fig3() {
+        use moccml_kernel::Step;
+        let model = one_place_model();
+        let mut spec = weave(&model, &listing1_mapping(), &place_registry()).expect("weaves");
+        let w = spec.universe().lookup("a.out.write").expect("event");
+        let r = spec.universe().lookup("b.in.read").expect("event");
+        assert!(spec.accepts(&Step::from_events([w])));
+        assert!(!spec.accepts(&Step::from_events([r]))); // empty place
+        spec.fire(&Step::from_events([w])).expect("fills");
+        assert!(spec.accepts(&Step::from_events([r])));
+    }
+
+    #[test]
+    fn invariant_is_instantiated_per_context_instance() {
+        let mut model = one_place_model();
+        let src2 = model.add_object("Port", "c.out").expect("port");
+        let dst2 = model.add_object("Port", "d.in").expect("port");
+        model.set_int(src2, "rate", 1).expect("rate");
+        model.set_int(dst2, "rate", 1).expect("rate");
+        let p2 = model.add_object("Place", "p2").expect("place");
+        model.set_int(p2, "capacity", 1).expect("cap");
+        model.set_int(p2, "delay", 0).expect("delay");
+        model.add_link(p2, "outputPort", src2).expect("link");
+        model.add_link(p2, "inputPort", dst2).expect("link");
+        let spec = weave(&model, &listing1_mapping(), &place_registry()).expect("weaves");
+        assert_eq!(spec.constraint_count(), 2);
+    }
+
+    #[test]
+    fn unresolved_navigation_is_reported() {
+        let mut model = Model::new(sigpml_metamodel());
+        let place = model.add_object("Place", "dangling").expect("place");
+        model.set_int(place, "capacity", 1).expect("cap");
+        model.set_int(place, "delay", 0).expect("delay");
+        // no ports linked: navigation self.outputPort finds 0 objects
+        let r = weave(&model, &listing1_mapping(), &place_registry());
+        assert!(matches!(r, Err(MetamodelError::Navigation { .. })));
+    }
+
+    #[test]
+    fn unknown_event_definition_is_reported() {
+        let model = one_place_model();
+        let mapping = MappingSpec::new()
+            // note: no Port.write event def
+            .def_event("Port", "read")
+            .def_invariant(
+                "Place",
+                "Bad",
+                "PlaceConstraint",
+                vec![
+                    ArgExpr::event(["outputPort"], "write"),
+                    ArgExpr::event(["inputPort"], "read"),
+                    ArgExpr::IntConst(1),
+                    ArgExpr::IntConst(1),
+                    ArgExpr::IntConst(0),
+                    ArgExpr::IntConst(1),
+                ],
+            );
+        let r = weave(&model, &mapping, &place_registry());
+        assert!(matches!(r, Err(MetamodelError::Unknown { .. })));
+    }
+
+    #[test]
+    fn nav_path_display_and_resolution() {
+        let model = one_place_model();
+        let place = model.object_by_name("p").expect("place").id();
+        let path = NavPath::through(["outputPort"]);
+        assert_eq!(path.to_string(), "self.outputPort");
+        assert_eq!(NavPath::self_().to_string(), "self");
+        let target = path.resolve_single(&model, place).expect("resolves");
+        assert_eq!(model.object(target).name(), "a.out");
+        // self resolves to the start object
+        let same = NavPath::self_().resolve_single(&model, place).expect("self");
+        assert_eq!(same, place);
+        // unknown reference segment
+        let bad = NavPath::through(["ghost"]);
+        assert!(bad.resolve_single(&model, place).is_err());
+    }
+
+    #[test]
+    fn int_const_args_bypass_navigation() {
+        let model = one_place_model();
+        let mapping = MappingSpec::new()
+            .def_event("Port", "read")
+            .def_event("Port", "write")
+            .def_invariant(
+                "Place",
+                "Inv",
+                "PlaceConstraint",
+                vec![
+                    ArgExpr::event(["outputPort"], "write"),
+                    ArgExpr::event(["inputPort"], "read"),
+                    ArgExpr::IntConst(1),
+                    ArgExpr::IntConst(1),
+                    ArgExpr::IntConst(5),
+                    ArgExpr::IntConst(9),
+                ],
+            );
+        let spec = weave(&model, &mapping, &place_registry()).expect("weaves");
+        assert_eq!(spec.constraint_count(), 1);
+    }
+}

@@ -1,0 +1,269 @@
+//! MOF-lite: metamodels as classes with typed attributes and references.
+
+use crate::error::MetamodelError;
+
+/// Type of a metaclass attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// 64-bit signed integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// String.
+    Str,
+}
+
+impl AttrType {
+    /// Human-readable type name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AttrType::Int => "int",
+            AttrType::Bool => "bool",
+            AttrType::Str => "string",
+        }
+    }
+}
+
+/// An attribute of a metaclass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute type.
+    pub ty: AttrType,
+}
+
+/// A reference from one metaclass to another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reference {
+    /// Reference name.
+    pub name: String,
+    /// Name of the target metaclass.
+    pub target: String,
+    /// Whether the reference holds many objects (`0..*`) or at most one.
+    pub many: bool,
+}
+
+/// A metaclass: the unit of a DSL's abstract syntax.
+///
+/// Built fluently:
+///
+/// ```
+/// use moccml_metamodel::{MetaClass, AttrType};
+/// let agent = MetaClass::new("Agent")
+///     .with_attr("cycles", AttrType::Int)
+///     .with_ref("inputPorts", "Port", true);
+/// assert_eq!(agent.name(), "Agent");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaClass {
+    name: String,
+    attributes: Vec<Attribute>,
+    references: Vec<Reference>,
+}
+
+impl MetaClass {
+    /// Creates an empty metaclass.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        MetaClass {
+            name: name.to_owned(),
+            attributes: Vec::new(),
+            references: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute (builder style).
+    #[must_use]
+    pub fn with_attr(mut self, name: &str, ty: AttrType) -> Self {
+        self.attributes.push(Attribute {
+            name: name.to_owned(),
+            ty,
+        });
+        self
+    }
+
+    /// Adds a reference (builder style). `many` selects `0..*` over
+    /// `0..1` multiplicity.
+    #[must_use]
+    pub fn with_ref(mut self, name: &str, target: &str, many: bool) -> Self {
+        self.references.push(Reference {
+            name: name.to_owned(),
+            target: target.to_owned(),
+            many,
+        });
+        self
+    }
+
+    /// Metaclass name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared attributes.
+    #[must_use]
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Declared references.
+    #[must_use]
+    pub fn references(&self) -> &[Reference] {
+        &self.references
+    }
+
+    /// Looks up an attribute.
+    #[must_use]
+    pub fn attribute(&self, name: &str) -> Option<&Attribute> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    /// Looks up a reference.
+    #[must_use]
+    pub fn reference(&self, name: &str) -> Option<&Reference> {
+        self.references.iter().find(|r| r.name == name)
+    }
+}
+
+/// A metamodel: a named set of metaclasses — the abstract syntax of a
+/// DSL (what BNF/MOF provide in the paper's analogy).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metamodel {
+    name: String,
+    classes: Vec<MetaClass>,
+}
+
+impl Metamodel {
+    /// Creates an empty metamodel.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Metamodel {
+            name: name.to_owned(),
+            classes: Vec::new(),
+        }
+    }
+
+    /// Metamodel name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a metaclass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetamodelError::Duplicate`] on a name collision and
+    /// [`MetamodelError::Duplicate`] for duplicate attribute/reference
+    /// names inside the class.
+    pub fn add_class(&mut self, class: MetaClass) -> Result<(), MetamodelError> {
+        if self.class(class.name()).is_some() {
+            return Err(MetamodelError::Duplicate {
+                kind: "metaclass",
+                name: class.name().to_owned(),
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for a in class.attributes() {
+            if !seen.insert(a.name.clone()) {
+                return Err(MetamodelError::Duplicate {
+                    kind: "attribute",
+                    name: a.name.clone(),
+                });
+            }
+        }
+        for r in class.references() {
+            if !seen.insert(r.name.clone()) {
+                return Err(MetamodelError::Duplicate {
+                    kind: "reference",
+                    name: r.name.clone(),
+                });
+            }
+        }
+        self.classes.push(class);
+        Ok(())
+    }
+
+    /// Looks up a metaclass.
+    #[must_use]
+    pub fn class(&self, name: &str) -> Option<&MetaClass> {
+        self.classes.iter().find(|c| c.name() == name)
+    }
+
+    /// All metaclasses.
+    #[must_use]
+    pub fn classes(&self) -> &[MetaClass] {
+        &self.classes
+    }
+
+    /// Checks that every reference targets an existing metaclass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetamodelError::Unknown`] naming the first dangling
+    /// target.
+    pub fn validate(&self) -> Result<(), MetamodelError> {
+        for c in &self.classes {
+            for r in c.references() {
+                if self.class(&r.target).is_none() {
+                    return Err(MetamodelError::Unknown {
+                        kind: "metaclass (reference target)",
+                        name: r.target.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let c = MetaClass::new("Place")
+            .with_attr("capacity", AttrType::Int)
+            .with_attr("name", AttrType::Str)
+            .with_ref("inputPort", "Port", false);
+        assert_eq!(c.attribute("capacity").map(|a| a.ty), Some(AttrType::Int));
+        assert!(c.attribute("ghost").is_none());
+        assert_eq!(c.reference("inputPort").map(|r| r.many), Some(false));
+    }
+
+    #[test]
+    fn duplicate_class_is_rejected() {
+        let mut mm = Metamodel::new("M");
+        mm.add_class(MetaClass::new("A")).expect("first");
+        assert!(mm.add_class(MetaClass::new("A")).is_err());
+    }
+
+    #[test]
+    fn duplicate_member_is_rejected() {
+        let mut mm = Metamodel::new("M");
+        let bad = MetaClass::new("A")
+            .with_attr("x", AttrType::Int)
+            .with_ref("x", "A", false);
+        assert!(mm.add_class(bad).is_err());
+    }
+
+    #[test]
+    fn validate_catches_dangling_reference() {
+        let mut mm = Metamodel::new("M");
+        mm.add_class(MetaClass::new("A").with_ref("b", "B", true))
+            .expect("adds");
+        assert!(matches!(mm.validate(), Err(MetamodelError::Unknown { .. })));
+        mm.add_class(MetaClass::new("B")).expect("adds");
+        assert!(mm.validate().is_ok());
+    }
+
+    #[test]
+    fn attr_type_names() {
+        assert_eq!(AttrType::Int.name(), "int");
+        assert_eq!(AttrType::Bool.name(), "bool");
+        assert_eq!(AttrType::Str.name(), "string");
+    }
+}

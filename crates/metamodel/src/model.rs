@@ -1,0 +1,389 @@
+//! Models: object graphs conforming to a [`Metamodel`].
+
+use crate::error::MetamodelError;
+use crate::meta::{AttrType, Metamodel};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of an object inside a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(u32);
+
+impl ObjectId {
+    /// Dense index of the object.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// A typed attribute value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrValue {
+    /// Integer value.
+    Int(i64),
+    /// Boolean value.
+    Bool(bool),
+    /// String value.
+    Str(String),
+}
+
+impl AttrValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            AttrValue::Int(_) => "int",
+            AttrValue::Bool(_) => "bool",
+            AttrValue::Str(_) => "string",
+        }
+    }
+
+    fn matches(&self, ty: AttrType) -> bool {
+        matches!(
+            (self, ty),
+            (AttrValue::Int(_), AttrType::Int)
+                | (AttrValue::Bool(_), AttrType::Bool)
+                | (AttrValue::Str(_), AttrType::Str)
+        )
+    }
+}
+
+/// An object: an instance of a metaclass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Object {
+    id: ObjectId,
+    class: String,
+    name: String,
+    attrs: HashMap<String, AttrValue>,
+    refs: HashMap<String, Vec<ObjectId>>,
+}
+
+impl Object {
+    /// The object's id.
+    #[must_use]
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// The instantiated metaclass name.
+    #[must_use]
+    pub fn class(&self) -> &str {
+        &self.class
+    }
+
+    /// The object's unique name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// An object graph conforming to a metamodel.
+///
+/// All mutations are validated against the metamodel: unknown classes,
+/// attributes or references, type mismatches and multiplicity violations
+/// are rejected eagerly, so a `Model` is conformant by construction.
+#[derive(Debug, Clone)]
+pub struct Model {
+    metamodel: Arc<Metamodel>,
+    objects: Vec<Object>,
+    by_name: HashMap<String, ObjectId>,
+}
+
+impl Model {
+    /// Creates an empty model over `metamodel`.
+    #[must_use]
+    pub fn new(metamodel: Arc<Metamodel>) -> Self {
+        Model {
+            metamodel,
+            objects: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// The conformed-to metamodel.
+    #[must_use]
+    pub fn metamodel(&self) -> &Metamodel {
+        &self.metamodel
+    }
+
+    /// Adds an object of metaclass `class` with a model-unique `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetamodelError::Unknown`] for an unknown class and
+    /// [`MetamodelError::Duplicate`] for a name collision.
+    pub fn add_object(&mut self, class: &str, name: &str) -> Result<ObjectId, MetamodelError> {
+        if self.metamodel.class(class).is_none() {
+            return Err(MetamodelError::Unknown {
+                kind: "metaclass",
+                name: class.to_owned(),
+            });
+        }
+        if self.by_name.contains_key(name) {
+            return Err(MetamodelError::Duplicate {
+                kind: "object name",
+                name: name.to_owned(),
+            });
+        }
+        let id = ObjectId(u32::try_from(self.objects.len()).expect("fewer than 2^32 objects"));
+        self.objects.push(Object {
+            id,
+            class: class.to_owned(),
+            name: name.to_owned(),
+            attrs: HashMap::new(),
+            refs: HashMap::new(),
+        });
+        self.by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// The object with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this model.
+    #[must_use]
+    pub fn object(&self, id: ObjectId) -> &Object {
+        &self.objects[id.index()]
+    }
+
+    /// Looks an object up by name.
+    #[must_use]
+    pub fn object_by_name(&self, name: &str) -> Option<&Object> {
+        self.by_name.get(name).map(|&id| self.object(id))
+    }
+
+    /// All objects, in creation order.
+    #[must_use]
+    pub fn objects(&self) -> &[Object] {
+        &self.objects
+    }
+
+    /// Ids of all objects instantiating metaclass `class`.
+    #[must_use]
+    pub fn objects_of_class(&self, class: &str) -> Vec<ObjectId> {
+        self.objects
+            .iter()
+            .filter(|o| o.class == class)
+            .map(|o| o.id)
+            .collect()
+    }
+
+    fn check_attr(
+        &self,
+        id: ObjectId,
+        attr: &str,
+        value: &AttrValue,
+    ) -> Result<(), MetamodelError> {
+        let obj = self.object(id);
+        let class = self
+            .metamodel
+            .class(&obj.class)
+            .expect("object class validated at creation");
+        let decl = class.attribute(attr).ok_or_else(|| MetamodelError::Unknown {
+            kind: "attribute",
+            name: format!("{}.{attr}", obj.class),
+        })?;
+        if !value.matches(decl.ty) {
+            return Err(MetamodelError::TypeMismatch {
+                context: format!("{}.{attr}", obj.name),
+                expected: decl.ty.name(),
+                found: value.type_name().to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Sets an attribute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetamodelError::Unknown`] for undeclared attributes and
+    /// [`MetamodelError::TypeMismatch`] for ill-typed values.
+    pub fn set_attr(
+        &mut self,
+        id: ObjectId,
+        attr: &str,
+        value: AttrValue,
+    ) -> Result<(), MetamodelError> {
+        self.check_attr(id, attr, &value)?;
+        self.objects[id.index()].attrs.insert(attr.to_owned(), value);
+        Ok(())
+    }
+
+    /// Shorthand for setting an integer attribute.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`set_attr`](Model::set_attr).
+    pub fn set_int(&mut self, id: ObjectId, attr: &str, value: i64) -> Result<(), MetamodelError> {
+        self.set_attr(id, attr, AttrValue::Int(value))
+    }
+
+    /// Reads an attribute value, if set.
+    #[must_use]
+    pub fn attr(&self, id: ObjectId, attr: &str) -> Option<&AttrValue> {
+        self.object(id).attrs.get(attr)
+    }
+
+    /// Reads an integer attribute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetamodelError::Unknown`] when unset and
+    /// [`MetamodelError::TypeMismatch`] when not an integer.
+    pub fn int_attr(&self, id: ObjectId, attr: &str) -> Result<i64, MetamodelError> {
+        match self.attr(id, attr) {
+            Some(AttrValue::Int(v)) => Ok(*v),
+            Some(other) => Err(MetamodelError::TypeMismatch {
+                context: format!("{}.{attr}", self.object(id).name),
+                expected: "int",
+                found: other.type_name().to_owned(),
+            }),
+            None => Err(MetamodelError::Unknown {
+                kind: "attribute value",
+                name: format!("{}.{attr}", self.object(id).name),
+            }),
+        }
+    }
+
+    /// Links `source.reference` to `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetamodelError::Unknown`] for undeclared references,
+    /// [`MetamodelError::TypeMismatch`] when the target's class disagrees
+    /// with the declaration or a single-valued reference already holds a
+    /// target.
+    pub fn add_link(
+        &mut self,
+        source: ObjectId,
+        reference: &str,
+        target: ObjectId,
+    ) -> Result<(), MetamodelError> {
+        let src = self.object(source);
+        let class = self
+            .metamodel
+            .class(&src.class)
+            .expect("object class validated at creation");
+        let decl = class
+            .reference(reference)
+            .ok_or_else(|| MetamodelError::Unknown {
+                kind: "reference",
+                name: format!("{}.{reference}", src.class),
+            })?
+            .clone();
+        let tgt = self.object(target);
+        if tgt.class != decl.target {
+            return Err(MetamodelError::TypeMismatch {
+                context: format!("{}.{reference}", src.name),
+                expected: "object of the declared target class",
+                found: tgt.class.clone(),
+            });
+        }
+        let slots = self.objects[source.index()]
+            .refs
+            .entry(reference.to_owned())
+            .or_default();
+        if !decl.many && !slots.is_empty() {
+            return Err(MetamodelError::TypeMismatch {
+                context: format!("{}.{reference}", self.objects[source.index()].name),
+                expected: "at most one target (0..1 reference)",
+                found: "second target".to_owned(),
+            });
+        }
+        slots.push(target);
+        Ok(())
+    }
+
+    /// Objects reachable through `source.reference` (empty if unset).
+    #[must_use]
+    pub fn targets(&self, source: ObjectId, reference: &str) -> &[ObjectId] {
+        self.object(source)
+            .refs
+            .get(reference)
+            .map_or(&[], Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::MetaClass;
+
+    fn tiny_metamodel() -> Arc<Metamodel> {
+        let mut mm = Metamodel::new("Tiny");
+        mm.add_class(
+            MetaClass::new("Agent")
+                .with_attr("cycles", AttrType::Int)
+                .with_attr("active", AttrType::Bool)
+                .with_ref("ports", "Port", true)
+                .with_ref("main", "Port", false),
+        )
+        .expect("class");
+        mm.add_class(MetaClass::new("Port").with_attr("rate", AttrType::Int))
+            .expect("class");
+        Arc::new(mm)
+    }
+
+    #[test]
+    fn object_creation_and_lookup() {
+        let mut m = Model::new(tiny_metamodel());
+        let a = m.add_object("Agent", "a1").expect("adds");
+        assert_eq!(m.object(a).name(), "a1");
+        assert_eq!(m.object(a).class(), "Agent");
+        assert_eq!(m.object_by_name("a1").map(Object::id), Some(a));
+        assert!(m.object_by_name("nope").is_none());
+        assert!(m.add_object("Ghost", "g").is_err());
+        assert!(m.add_object("Agent", "a1").is_err()); // duplicate name
+    }
+
+    #[test]
+    fn attribute_typing_is_enforced() {
+        let mut m = Model::new(tiny_metamodel());
+        let a = m.add_object("Agent", "a1").expect("adds");
+        m.set_int(a, "cycles", 4).expect("sets int");
+        assert_eq!(m.int_attr(a, "cycles").expect("reads"), 4);
+        assert!(m.set_attr(a, "cycles", AttrValue::Bool(true)).is_err());
+        assert!(m.set_attr(a, "ghost", AttrValue::Int(1)).is_err());
+        m.set_attr(a, "active", AttrValue::Bool(true)).expect("bool ok");
+        assert!(m.int_attr(a, "active").is_err()); // wrong reader
+        assert!(m.int_attr(a, "ghost").is_err()); // unset
+    }
+
+    #[test]
+    fn link_multiplicity_and_target_class() {
+        let mut m = Model::new(tiny_metamodel());
+        let a = m.add_object("Agent", "a1").expect("adds");
+        let p1 = m.add_object("Port", "p1").expect("adds");
+        let p2 = m.add_object("Port", "p2").expect("adds");
+        m.add_link(a, "ports", p1).expect("many ref");
+        m.add_link(a, "ports", p2).expect("many ref again");
+        assert_eq!(m.targets(a, "ports"), &[p1, p2]);
+        m.add_link(a, "main", p1).expect("single ref");
+        assert!(m.add_link(a, "main", p2).is_err()); // 0..1 violated
+        assert!(m.add_link(a, "ghost", p1).is_err());
+        assert!(m.add_link(p1, "rate", a).is_err()); // attr, not reference
+        // wrong target class
+        let a2 = m.add_object("Agent", "a2").expect("adds");
+        assert!(m.add_link(a, "ports", a2).is_err());
+    }
+
+    #[test]
+    fn class_queries() {
+        let mut m = Model::new(tiny_metamodel());
+        let a1 = m.add_object("Agent", "a1").expect("adds");
+        let _p = m.add_object("Port", "p1").expect("adds");
+        let a2 = m.add_object("Agent", "a2").expect("adds");
+        assert_eq!(m.objects_of_class("Agent"), vec![a1, a2]);
+        assert_eq!(m.objects_of_class("Ghost").len(), 0);
+        assert_eq!(m.objects().len(), 3);
+    }
+}

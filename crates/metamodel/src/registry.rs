@@ -1,0 +1,239 @@
+//! The constraint registry: resolving invariant constraint names to
+//! instantiable constraints (automata definitions or native factories).
+
+use crate::error::MetamodelError;
+use moccml_automata::{ParamKind, RelationLibrary};
+use moccml_kernel::{Constraint, EventId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Factory signature for native (hand-written, e.g. CCSL) constraints:
+/// `(instance_name, event_args, int_args) → constraint`.
+type NativeFactory =
+    Arc<dyn Fn(&str, &[EventId], &[i64]) -> Result<Box<dyn Constraint>, String> + Send + Sync>;
+
+/// Resolves constraint names used by mapping invariants to concrete
+/// constraint instances.
+///
+/// Two sources, matching the paper's Fig. 1 where the MoCC libraries
+/// contain both automata-based and declarative definitions:
+///
+/// * [`RelationLibrary`] — MoCCML constraint automata; arguments are
+///   bound to declaration parameters **in declaration order** (events to
+///   event parameters, integers to integer parameters);
+/// * native factories — arbitrary [`Constraint`] constructors, used for
+///   the CCSL relations of `moccml-ccsl`.
+pub struct ConstraintRegistry {
+    libraries: Vec<Arc<RelationLibrary>>,
+    native: HashMap<String, NativeFactory>,
+}
+
+impl fmt::Debug for ConstraintRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConstraintRegistry")
+            .field(
+                "libraries",
+                &self.libraries.iter().map(|l| l.name().to_owned()).collect::<Vec<_>>(),
+            )
+            .field("native", &self.native.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Default for ConstraintRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConstraintRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        ConstraintRegistry {
+            libraries: Vec::new(),
+            native: HashMap::new(),
+        }
+    }
+
+    /// Registers an automata library; all its declarations become
+    /// resolvable.
+    pub fn add_library(&mut self, library: Arc<RelationLibrary>) {
+        self.libraries.push(library);
+    }
+
+    /// Registers a native factory under `name`.
+    pub fn add_native<F>(&mut self, name: &str, factory: F)
+    where
+        F: Fn(&str, &[EventId], &[i64]) -> Result<Box<dyn Constraint>, String>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.native.insert(name.to_owned(), Arc::new(factory));
+    }
+
+    /// Whether `name` is resolvable.
+    #[must_use]
+    pub fn knows(&self, name: &str) -> bool {
+        self.native.contains_key(name)
+            || self
+                .libraries
+                .iter()
+                .any(|l| l.definition_for(name).is_some())
+    }
+
+    /// Instantiates constraint `name` with positional arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetamodelError::Unknown`] when no source resolves
+    /// `name`, and [`MetamodelError::Weave`] when arity/kinds disagree or
+    /// the underlying factory fails.
+    pub fn instantiate(
+        &self,
+        name: &str,
+        instance_name: &str,
+        events: &[EventId],
+        ints: &[i64],
+    ) -> Result<Box<dyn Constraint>, MetamodelError> {
+        if let Some(factory) = self.native.get(name) {
+            return factory(instance_name, events, ints).map_err(|reason| {
+                MetamodelError::Weave {
+                    instance: instance_name.to_owned(),
+                    reason,
+                }
+            });
+        }
+        for lib in &self.libraries {
+            let Some(def) = lib.definition_for(name) else {
+                continue;
+            };
+            let decl = def.declaration();
+            let (n_events, n_ints) = (decl.event_params().len(), decl.int_params().len());
+            if events.len() != n_events || ints.len() != n_ints {
+                return Err(MetamodelError::Weave {
+                    instance: instance_name.to_owned(),
+                    reason: format!(
+                        "`{name}` expects {n_events} event and {n_ints} integer arguments, \
+                         got {} and {}",
+                        events.len(),
+                        ints.len()
+                    ),
+                });
+            }
+            let mut builder = lib
+                .instantiate(name, instance_name)
+                .expect("definition located above");
+            for (param, &event) in decl.event_params().iter().zip(events) {
+                builder = builder.bind_event(param, event);
+            }
+            for (param, &value) in decl.int_params().iter().zip(ints) {
+                builder = builder.bind_int(param, value);
+            }
+            let instance = builder.finish().map_err(|e| MetamodelError::Weave {
+                instance: instance_name.to_owned(),
+                reason: e.to_string(),
+            })?;
+            return Ok(Box::new(instance));
+        }
+        Err(MetamodelError::Unknown {
+            kind: "constraint",
+            name: name.to_owned(),
+        })
+    }
+}
+
+/// Re-export so downstream code can express parameter kinds without
+/// importing `moccml-automata` directly.
+pub use moccml_automata::ParamKind as RegistryParamKind;
+
+#[allow(unused)]
+fn _kind_is_reexported(k: ParamKind) -> RegistryParamKind {
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moccml_automata::parse_library;
+    use moccml_ccsl::SubClock;
+    use moccml_kernel::Universe;
+
+    fn lib() -> Arc<RelationLibrary> {
+        Arc::new(
+            parse_library(
+                r#"library L {
+                  constraint Gate(open: event, pass: event, limit: int)
+                  automaton GateDef implements Gate {
+                    var n: int = 0;
+                    initial state S; final state S;
+                    from S to S when {open};
+                    from S to S when {pass} guard [n < limit] do n += 1;
+                  }
+                }"#,
+            )
+            .expect("parses"),
+        )
+    }
+
+    #[test]
+    fn resolves_automata_constraints() {
+        let mut reg = ConstraintRegistry::new();
+        reg.add_library(lib());
+        assert!(reg.knows("Gate"));
+        assert!(!reg.knows("Ghost"));
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let c = reg
+            .instantiate("Gate", "g1", &[a, b], &[3])
+            .expect("instantiates");
+        assert_eq!(c.name(), "g1");
+        assert_eq!(c.constrained_events(), vec![a, b]);
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let mut reg = ConstraintRegistry::new();
+        reg.add_library(lib());
+        let mut u = Universe::new();
+        let a = u.event("a");
+        let r = reg.instantiate("Gate", "g1", &[a], &[3]);
+        assert!(matches!(r, Err(MetamodelError::Weave { .. })));
+    }
+
+    #[test]
+    fn resolves_native_constraints() {
+        let mut reg = ConstraintRegistry::new();
+        reg.add_native("SubClock", |name, events, _ints| match events {
+            [sub, sup] => Ok(Box::new(SubClock::new(name, *sub, *sup)) as Box<dyn Constraint>),
+            _ => Err("SubClock takes exactly two events".to_owned()),
+        });
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let c = reg
+            .instantiate("SubClock", "s", &[a, b], &[])
+            .expect("instantiates");
+        assert_eq!(c.constrained_events(), vec![a, b]);
+        // factory error surfaces as Weave
+        let r = reg.instantiate("SubClock", "s", &[a], &[]);
+        assert!(matches!(r, Err(MetamodelError::Weave { .. })));
+    }
+
+    #[test]
+    fn unknown_constraint_errors() {
+        let reg = ConstraintRegistry::new();
+        let r = reg.instantiate("Nope", "x", &[], &[]);
+        assert!(matches!(r, Err(MetamodelError::Unknown { .. })));
+    }
+
+    #[test]
+    fn debug_lists_sources() {
+        let mut reg = ConstraintRegistry::new();
+        reg.add_library(lib());
+        reg.add_native("N", |_, _, _| Err("nope".into()));
+        let text = format!("{reg:?}");
+        assert!(text.contains('L') && text.contains('N'));
+    }
+}

@@ -1,0 +1,218 @@
+//! Classical SDF static analysis: topology matrix, repetition vector,
+//! consistency (Lee & Messerschmitt 1987, the paper's reference \[1\]).
+
+use crate::error::SdfError;
+use crate::graph::SdfGraph;
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+/// The topology matrix `Γ`: one row per place, one column per agent;
+/// `Γ[p][a] = +push` if agent `a` writes place `p`, `−pop` if it reads
+/// it (a self-loop contributes `push − pop`).
+#[must_use]
+pub fn topology_matrix(graph: &SdfGraph) -> Vec<Vec<i64>> {
+    let mut matrix = vec![vec![0i64; graph.agents().len()]; graph.places().len()];
+    for (p, place) in graph.places().iter().enumerate() {
+        let out = &graph.ports()[place.output_port];
+        let inp = &graph.ports()[place.input_port];
+        matrix[p][out.agent] += i64::from(out.rate);
+        matrix[p][inp.agent] -= i64::from(inp.rate);
+    }
+    matrix
+}
+
+/// Computes the repetition vector: the smallest positive integer vector
+/// `r` with `Γ·r = 0`, i.e. `r[src]·push = r[dst]·pop` for every place.
+///
+/// Agents disconnected from the rest get their own component (solved
+/// per weakly-connected component).
+///
+/// # Errors
+///
+/// Returns [`SdfError::Inconsistent`] when no such vector exists (the
+/// graph has no periodic bounded-memory schedule).
+pub fn repetition_vector(graph: &SdfGraph) -> Result<Vec<u64>, SdfError> {
+    let n = graph.agents().len();
+    // rational solution r[a] = num[a]/den[a], propagated by BFS
+    let mut num = vec![0u64; n];
+    let mut den = vec![1u64; n];
+    let mut visited = vec![false; n];
+
+    // adjacency: (neighbor, my_rate, neighbor_rate, place_index)
+    let mut adj: Vec<Vec<(usize, u64, u64, usize)>> = vec![Vec::new(); n];
+    for (p, place) in graph.places().iter().enumerate() {
+        let out = &graph.ports()[place.output_port];
+        let inp = &graph.ports()[place.input_port];
+        // r[src]·push = r[dst]·pop
+        adj[out.agent].push((inp.agent, u64::from(out.rate), u64::from(inp.rate), p));
+        adj[inp.agent].push((out.agent, u64::from(inp.rate), u64::from(out.rate), p));
+    }
+
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        num[start] = 1;
+        den[start] = 1;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(a) = queue.pop_front() {
+            for &(b, rate_a, rate_b, place) in &adj[a] {
+                // r[a]·rate_a = r[b]·rate_b  ⇒  r[b] = r[a]·rate_a/rate_b
+                let nb = num[a] * rate_a;
+                let db = den[a] * rate_b;
+                let g = gcd(nb, db);
+                let (nb, db) = (nb / g, db / g);
+                if !visited[b] {
+                    visited[b] = true;
+                    num[b] = nb;
+                    den[b] = db;
+                    queue.push_back(b);
+                } else if num[b] * db != nb * den[b] {
+                    return Err(SdfError::Inconsistent {
+                        place: graph.place_label(&graph.places()[place]),
+                    });
+                }
+            }
+        }
+    }
+
+    // scale to the least integer vector
+    let denominator_lcm = den.iter().copied().fold(1u64, lcm);
+    let mut r: Vec<u64> = num
+        .iter()
+        .zip(&den)
+        .map(|(&n_i, &d_i)| n_i * (denominator_lcm / d_i))
+        .collect();
+    let overall_gcd = r.iter().copied().fold(0u64, gcd);
+    if overall_gcd > 1 {
+        for v in &mut r {
+            *v /= overall_gcd;
+        }
+    }
+    Ok(r)
+}
+
+/// Whether the graph admits a periodic bounded-memory schedule.
+#[must_use]
+pub fn is_consistent(graph: &SdfGraph) -> bool {
+    repetition_vector(graph).is_ok()
+}
+
+/// Total activations in one iteration of the periodic schedule
+/// (the sum of the repetition vector).
+///
+/// # Errors
+///
+/// Propagates [`SdfError::Inconsistent`] from the repetition vector.
+pub fn iteration_length(graph: &SdfGraph) -> Result<u64, SdfError> {
+    Ok(repetition_vector(graph)?.iter().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_chain(k: usize) -> SdfGraph {
+        let mut g = SdfGraph::new("chain");
+        for i in 0..k {
+            g.add_agent(&format!("a{i}"), 0).expect("agent");
+        }
+        for i in 0..k.saturating_sub(1) {
+            g.connect(&format!("a{i}"), &format!("a{}", i + 1), 1, 1, 2, 0)
+                .expect("place");
+        }
+        g
+    }
+
+    #[test]
+    fn uniform_chain_has_unit_vector() {
+        let g = uniform_chain(4);
+        assert_eq!(repetition_vector(&g).expect("consistent"), vec![1, 1, 1, 1]);
+        assert_eq!(iteration_length(&g).expect("consistent"), 4);
+    }
+
+    #[test]
+    fn multirate_chain_scales() {
+        // a --2:3--> b : r = [3, 2]
+        let mut g = SdfGraph::new("mr");
+        g.add_agent("a", 0).expect("a");
+        g.add_agent("b", 0).expect("b");
+        g.connect("a", "b", 2, 3, 6, 0).expect("place");
+        assert_eq!(repetition_vector(&g).expect("consistent"), vec![3, 2]);
+    }
+
+    #[test]
+    fn classic_lee_messerschmitt_example() {
+        // rates chosen so r = [3, 2, 6]? check: a→b 2:3 (3·2=2·3 ✓ with
+        // r=[3,2]); b→c 3:1 gives r[c] = 2·3 = 6.
+        let mut g = SdfGraph::new("lm");
+        g.add_agent("a", 0).expect("a");
+        g.add_agent("b", 0).expect("b");
+        g.add_agent("c", 0).expect("c");
+        g.connect("a", "b", 2, 3, 6, 0).expect("p1");
+        g.connect("b", "c", 3, 1, 3, 0).expect("p2");
+        assert_eq!(repetition_vector(&g).expect("consistent"), vec![3, 2, 6]);
+    }
+
+    #[test]
+    fn inconsistent_cycle_is_detected() {
+        // a→b 1:1, b→a 2:1 ⇒ r[a]=r[b] and 2r[b]=r[a]: impossible
+        let mut g = SdfGraph::new("bad");
+        g.add_agent("a", 0).expect("a");
+        g.add_agent("b", 0).expect("b");
+        g.connect("a", "b", 1, 1, 2, 0).expect("p1");
+        g.connect("b", "a", 2, 1, 2, 1).expect("p2");
+        assert!(matches!(
+            repetition_vector(&g),
+            Err(SdfError::Inconsistent { .. })
+        ));
+        assert!(!is_consistent(&g));
+    }
+
+    #[test]
+    fn consistent_cycle_works() {
+        let mut g = SdfGraph::new("ring");
+        g.add_agent("a", 0).expect("a");
+        g.add_agent("b", 0).expect("b");
+        g.connect("a", "b", 1, 1, 1, 0).expect("p1");
+        g.connect("b", "a", 1, 1, 1, 1).expect("p2");
+        assert_eq!(repetition_vector(&g).expect("consistent"), vec![1, 1]);
+    }
+
+    #[test]
+    fn disconnected_components_each_get_ones() {
+        let mut g = SdfGraph::new("two");
+        g.add_agent("a", 0).expect("a");
+        g.add_agent("b", 0).expect("b");
+        assert_eq!(repetition_vector(&g).expect("consistent"), vec![1, 1]);
+    }
+
+    #[test]
+    fn topology_matrix_signs() {
+        let mut g = SdfGraph::new("mr");
+        g.add_agent("a", 0).expect("a");
+        g.add_agent("b", 0).expect("b");
+        g.connect("a", "b", 2, 3, 6, 0).expect("place");
+        assert_eq!(topology_matrix(&g), vec![vec![2, -3]]);
+    }
+
+    #[test]
+    fn self_loop_contributes_net_rate() {
+        let mut g = SdfGraph::new("loop");
+        g.add_agent("a", 0).expect("a");
+        g.connect("a", "a", 1, 1, 1, 1).expect("place");
+        assert_eq!(topology_matrix(&g), vec![vec![0]]);
+        assert_eq!(repetition_vector(&g).expect("consistent"), vec![1]);
+    }
+}

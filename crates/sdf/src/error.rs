@@ -1,0 +1,86 @@
+//! Error type of the SDF crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or analysing SDF graphs and their
+/// execution models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SdfError {
+    /// An agent name was used twice.
+    DuplicateAgent {
+        /// The colliding name.
+        name: String,
+    },
+    /// An agent was referenced but never added.
+    UnknownAgent {
+        /// The missing name.
+        name: String,
+    },
+    /// A structural parameter was out of range (zero rate, zero
+    /// capacity, capacity smaller than rates or delay…).
+    InvalidParameter {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The graph is not consistent (no repetition vector exists).
+    Inconsistent {
+        /// The offending place, rendered as `src→dst`.
+        place: String,
+    },
+    /// A lower layer failed while generating the execution model.
+    Build {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdfError::DuplicateAgent { name } => write!(f, "duplicate agent `{name}`"),
+            SdfError::UnknownAgent { name } => write!(f, "unknown agent `{name}`"),
+            SdfError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            SdfError::Inconsistent { place } => {
+                write!(f, "graph is not consistent at place {place}")
+            }
+            SdfError::Build { reason } => write!(f, "cannot build execution model: {reason}"),
+        }
+    }
+}
+
+impl Error for SdfError {}
+
+impl From<moccml_automata::AutomataError> for SdfError {
+    fn from(e: moccml_automata::AutomataError) -> Self {
+        SdfError::Build {
+            reason: e.to_string(),
+        }
+    }
+}
+
+impl From<moccml_metamodel::MetamodelError> for SdfError {
+    fn from(e: moccml_metamodel::MetamodelError) -> Self {
+        SdfError::Build {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_subject() {
+        assert!(SdfError::DuplicateAgent { name: "a".into() }
+            .to_string()
+            .contains("`a`"));
+        assert!(SdfError::Inconsistent {
+            place: "a→b".into()
+        }
+        .to_string()
+        .contains("a→b"));
+    }
+}

@@ -1,0 +1,318 @@
+//! Abstract syntax of the SDF extension (SigPML): agents, ports,
+//! places.
+
+use crate::error::SdfError;
+
+/// Direction of a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDirection {
+    /// Consumes tokens (carries the `read` event).
+    Input,
+    /// Produces tokens (carries the `write` event).
+    Output,
+}
+
+/// A data port of an agent, with its SDF rate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Unique port name (`agent.in0` / `agent.out0`).
+    pub name: String,
+    /// Owning agent index.
+    pub agent: usize,
+    /// Direction.
+    pub direction: PortDirection,
+    /// Tokens produced/consumed per activation.
+    pub rate: u32,
+}
+
+/// An agent (actor) of the application.
+///
+/// `cycles` is the paper's `N`: the number of `isExecuting` occurrences
+/// between `start` and `stop`. `N = 0` recovers the pure SDF
+/// abstraction where `read`, `start`, `stop` and `write` are
+/// simultaneous; a positive `N` models an execution time, "for example
+/// according to a deployment on a specific platform".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Agent {
+    /// Unique agent name.
+    pub name: String,
+    /// Processing cycles per activation (the paper's `N`).
+    pub cycles: u32,
+    /// Indices of the agent's ports.
+    pub ports: Vec<usize>,
+}
+
+/// A bounded place buffering tokens between an output and an input
+/// port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Place {
+    /// Writing (output) port index.
+    pub output_port: usize,
+    /// Reading (input) port index.
+    pub input_port: usize,
+    /// Maximum number of stored tokens.
+    pub capacity: u32,
+    /// Initial tokens (SDF delay).
+    pub delay: u32,
+}
+
+/// A complete SigPML application model.
+///
+/// # Example
+///
+/// ```
+/// use moccml_sdf::SdfGraph;
+/// let mut g = SdfGraph::new("demo");
+/// g.add_agent("src", 0)?;
+/// g.add_agent("fft", 2)?;
+/// g.connect("src", "fft", 1, 4, 8, 0)?; // src pushes 1, fft pops 4
+/// assert_eq!(g.agents().len(), 2);
+/// assert_eq!(g.places().len(), 1);
+/// # Ok::<(), moccml_sdf::SdfError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SdfGraph {
+    name: String,
+    agents: Vec<Agent>,
+    ports: Vec<Port>,
+    places: Vec<Place>,
+}
+
+impl SdfGraph {
+    /// Creates an empty application named `name`.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        SdfGraph {
+            name: name.to_owned(),
+            agents: Vec::new(),
+            ports: Vec::new(),
+            places: Vec::new(),
+        }
+    }
+
+    /// Application name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an agent with `cycles` processing cycles per activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdfError::DuplicateAgent`] on a name collision.
+    pub fn add_agent(&mut self, name: &str, cycles: u32) -> Result<usize, SdfError> {
+        if self.agent_index(name).is_some() {
+            return Err(SdfError::DuplicateAgent {
+                name: name.to_owned(),
+            });
+        }
+        self.agents.push(Agent {
+            name: name.to_owned(),
+            cycles,
+            ports: Vec::new(),
+        });
+        Ok(self.agents.len() - 1)
+    }
+
+    /// Connects `src` to `dst` through a new place.
+    ///
+    /// Creates an output port on `src` with rate `push_rate`, an input
+    /// port on `dst` with rate `pop_rate`, and a place of the given
+    /// `capacity` pre-loaded with `delay` tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdfError::UnknownAgent`] for unknown agents and
+    /// [`SdfError::InvalidParameter`] when a rate is zero, the capacity
+    /// is smaller than either rate, or the delay exceeds the capacity
+    /// (the place could never operate).
+    pub fn connect(
+        &mut self,
+        src: &str,
+        dst: &str,
+        push_rate: u32,
+        pop_rate: u32,
+        capacity: u32,
+        delay: u32,
+    ) -> Result<usize, SdfError> {
+        let src_idx = self.agent_index(src).ok_or_else(|| SdfError::UnknownAgent {
+            name: src.to_owned(),
+        })?;
+        let dst_idx = self.agent_index(dst).ok_or_else(|| SdfError::UnknownAgent {
+            name: dst.to_owned(),
+        })?;
+        if push_rate == 0 || pop_rate == 0 {
+            return Err(SdfError::InvalidParameter {
+                reason: "rates must be positive".to_owned(),
+            });
+        }
+        if capacity < push_rate || capacity < pop_rate {
+            return Err(SdfError::InvalidParameter {
+                reason: format!(
+                    "capacity {capacity} is smaller than a rate ({push_rate}/{pop_rate})"
+                ),
+            });
+        }
+        if delay > capacity {
+            return Err(SdfError::InvalidParameter {
+                reason: format!("delay {delay} exceeds capacity {capacity}"),
+            });
+        }
+        let out_port = self.add_port(src_idx, PortDirection::Output, push_rate);
+        let in_port = self.add_port(dst_idx, PortDirection::Input, pop_rate);
+        self.places.push(Place {
+            output_port: out_port,
+            input_port: in_port,
+            capacity,
+            delay,
+        });
+        Ok(self.places.len() - 1)
+    }
+
+    fn add_port(&mut self, agent: usize, direction: PortDirection, rate: u32) -> usize {
+        let count = self.agents[agent]
+            .ports
+            .iter()
+            .filter(|&&p| self.ports[p].direction == direction)
+            .count();
+        let suffix = match direction {
+            PortDirection::Input => format!("in{count}"),
+            PortDirection::Output => format!("out{count}"),
+        };
+        let name = format!("{}.{suffix}", self.agents[agent].name);
+        self.ports.push(Port {
+            name,
+            agent,
+            direction,
+            rate,
+        });
+        let idx = self.ports.len() - 1;
+        self.agents[agent].ports.push(idx);
+        idx
+    }
+
+    /// Index of agent `name`.
+    #[must_use]
+    pub fn agent_index(&self, name: &str) -> Option<usize> {
+        self.agents.iter().position(|a| a.name == name)
+    }
+
+    /// All agents.
+    #[must_use]
+    pub fn agents(&self) -> &[Agent] {
+        &self.agents
+    }
+
+    /// All ports.
+    #[must_use]
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// All places.
+    #[must_use]
+    pub fn places(&self) -> &[Place] {
+        &self.places
+    }
+
+    /// Renders a place as `src.outK→dst.inL` for diagnostics.
+    #[must_use]
+    pub fn place_label(&self, place: &Place) -> String {
+        format!(
+            "{}→{}",
+            self.ports[place.output_port].name, self.ports[place.input_port].name
+        )
+    }
+
+    /// Input ports of agent `agent`.
+    #[must_use]
+    pub fn input_ports(&self, agent: usize) -> Vec<usize> {
+        self.agents[agent]
+            .ports
+            .iter()
+            .copied()
+            .filter(|&p| self.ports[p].direction == PortDirection::Input)
+            .collect()
+    }
+
+    /// Output ports of agent `agent`.
+    #[must_use]
+    pub fn output_ports(&self, agent: usize) -> Vec<usize> {
+        self.agents[agent]
+            .ports
+            .iter()
+            .copied()
+            .filter(|&p| self.ports[p].direction == PortDirection::Output)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> SdfGraph {
+        let mut g = SdfGraph::new("chain");
+        g.add_agent("a", 0).expect("a");
+        g.add_agent("b", 1).expect("b");
+        g.connect("a", "b", 2, 3, 6, 0).expect("place");
+        g
+    }
+
+    #[test]
+    fn builder_assigns_port_names_and_rates() {
+        let g = chain();
+        assert_eq!(g.ports()[0].name, "a.out0");
+        assert_eq!(g.ports()[0].rate, 2);
+        assert_eq!(g.ports()[1].name, "b.in0");
+        assert_eq!(g.ports()[1].rate, 3);
+        assert_eq!(g.place_label(&g.places()[0]), "a.out0→b.in0");
+    }
+
+    #[test]
+    fn duplicate_and_unknown_agents_error() {
+        let mut g = chain();
+        assert!(matches!(
+            g.add_agent("a", 0),
+            Err(SdfError::DuplicateAgent { .. })
+        ));
+        assert!(matches!(
+            g.connect("a", "ghost", 1, 1, 1, 0),
+            Err(SdfError::UnknownAgent { .. })
+        ));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let mut g = chain();
+        assert!(g.connect("a", "b", 0, 1, 1, 0).is_err()); // zero rate
+        assert!(g.connect("a", "b", 2, 1, 1, 0).is_err()); // capacity < rate
+        assert!(g.connect("a", "b", 1, 1, 2, 3).is_err()); // delay > capacity
+    }
+
+    #[test]
+    fn multiple_ports_get_distinct_names() {
+        let mut g = SdfGraph::new("fanout");
+        g.add_agent("s", 0).expect("s");
+        g.add_agent("t", 0).expect("t");
+        g.connect("s", "t", 1, 1, 1, 0).expect("p0");
+        g.connect("s", "t", 1, 1, 1, 0).expect("p1");
+        assert_eq!(g.ports()[0].name, "s.out0");
+        assert_eq!(g.ports()[2].name, "s.out1");
+        assert_eq!(g.ports()[3].name, "t.in1");
+        assert_eq!(g.output_ports(0).len(), 2);
+        assert_eq!(g.input_ports(1).len(), 2);
+    }
+
+    #[test]
+    fn self_loop_is_allowed() {
+        // SDF self-loops model state; the builder must accept them
+        let mut g = SdfGraph::new("loop");
+        g.add_agent("a", 0).expect("a");
+        g.connect("a", "a", 1, 1, 1, 1).expect("self place");
+        assert_eq!(g.places().len(), 1);
+        assert_eq!(g.input_ports(0).len(), 1);
+        assert_eq!(g.output_ports(0).len(), 1);
+    }
+}

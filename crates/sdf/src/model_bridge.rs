@@ -1,0 +1,287 @@
+//! The metamodel + mapping pipeline for SigPML — the paper's actual
+//! architecture (Fig. 1): abstract syntax as a metamodel, the MoCC
+//! woven through an ECL-like mapping, execution model generated
+//! automatically for any conforming model.
+//!
+//! [`build_specification`](crate::mocc::build_specification) constructs
+//! the same execution model directly; this module goes through the
+//! generic [`weave`] machinery instead, and a
+//! test asserts both paths agree. Keeping both demonstrates the paper's
+//! separation claim: the MoCC (the automata library) is untouched by
+//! the DSL wiring.
+
+use crate::error::SdfError;
+use crate::graph::{PortDirection, SdfGraph};
+use crate::mocc::{sdf_library, MoccVariant};
+use moccml_ccsl::Coincidence;
+use moccml_kernel::{Constraint, Specification};
+use moccml_metamodel::{
+    weave, ArgExpr, AttrType, ConstraintRegistry, MappingSpec, MetaClass, Metamodel, Model,
+};
+use std::sync::Arc;
+
+/// The SigPML metamodel: `Agent`, `InputPort`, `OutputPort`, `Place`.
+///
+/// MOF-lite has no inheritance, so the two port directions are distinct
+/// metaclasses; both carry a `rate` and an `owner` reference.
+#[must_use]
+pub fn sigpml_metamodel() -> Arc<Metamodel> {
+    let mut mm = Metamodel::new("SigPML");
+    mm.add_class(MetaClass::new("Agent").with_attr("cycles", AttrType::Int))
+        .expect("fresh metamodel accepts Agent");
+    mm.add_class(
+        MetaClass::new("InputPort")
+            .with_attr("rate", AttrType::Int)
+            .with_ref("owner", "Agent", false),
+    )
+    .expect("fresh metamodel accepts InputPort");
+    mm.add_class(
+        MetaClass::new("OutputPort")
+            .with_attr("rate", AttrType::Int)
+            .with_ref("owner", "Agent", false),
+    )
+    .expect("fresh metamodel accepts OutputPort");
+    mm.add_class(
+        MetaClass::new("Place")
+            .with_attr("capacity", AttrType::Int)
+            .with_attr("delay", AttrType::Int)
+            .with_ref("outputPort", "OutputPort", false)
+            .with_ref("inputPort", "InputPort", false),
+    )
+    .expect("fresh metamodel accepts Place");
+    mm.validate().expect("SigPML metamodel is closed");
+    Arc::new(mm)
+}
+
+/// The SigPML mapping — Listing 1 of the paper, completed with the
+/// agent activation invariant and the read/start, write/stop
+/// coincidences of Sec. III-A.
+#[must_use]
+pub fn sigpml_mapping(variant: MoccVariant) -> MappingSpec {
+    let place_constraint = match variant {
+        MoccVariant::Standard => "PlaceConstraint",
+        MoccVariant::Multiport => "PlaceConstraintMultiport",
+    };
+    MappingSpec::new()
+        // context Agent def: start/stop/isExecuting : Event (Listing 1)
+        .def_event("Agent", "start")
+        .def_event("Agent", "stop")
+        .def_event("Agent", "isExecuting")
+        .def_event("InputPort", "read")
+        .def_event("OutputPort", "write")
+        // inv PlaceLimitation (Listing 1, line 6)
+        .def_invariant(
+            "Place",
+            "PlaceLimitation",
+            place_constraint,
+            vec![
+                ArgExpr::event(["outputPort"], "write"),
+                ArgExpr::event(["inputPort"], "read"),
+                ArgExpr::attr(["outputPort"], "rate"),
+                ArgExpr::attr(["inputPort"], "rate"),
+                ArgExpr::attr(Vec::<String>::new(), "delay"),
+                ArgExpr::attr(Vec::<String>::new(), "capacity"),
+            ],
+        )
+        // the agent automaton of Sec. III-A
+        .def_invariant(
+            "Agent",
+            "Activation",
+            "AgentConstraint",
+            vec![
+                ArgExpr::event(Vec::<String>::new(), "start"),
+                ArgExpr::event(Vec::<String>::new(), "stop"),
+                ArgExpr::event(Vec::<String>::new(), "isExecuting"),
+                ArgExpr::attr(Vec::<String>::new(), "cycles"),
+            ],
+        )
+        // "read is simultaneous to start"
+        .def_invariant(
+            "InputPort",
+            "ReadWithStart",
+            "Coincidence",
+            vec![
+                ArgExpr::event(Vec::<String>::new(), "read"),
+                ArgExpr::event(["owner"], "start"),
+            ],
+        )
+        // "stop is simultaneous to a write"
+        .def_invariant(
+            "OutputPort",
+            "WriteWithStop",
+            "Coincidence",
+            vec![
+                ArgExpr::event(Vec::<String>::new(), "write"),
+                ArgExpr::event(["owner"], "stop"),
+            ],
+        )
+}
+
+/// The constraint registry for SigPML: the SDF automata library plus
+/// the native CCSL coincidence.
+#[must_use]
+pub fn sigpml_registry() -> ConstraintRegistry {
+    let mut registry = ConstraintRegistry::new();
+    registry.add_library(sdf_library());
+    registry.add_native("Coincidence", |name, events, _ints| match events {
+        [left, right] => {
+            Ok(Box::new(Coincidence::new(name, *left, *right)) as Box<dyn Constraint>)
+        }
+        other => Err(format!(
+            "Coincidence takes exactly two events, got {}",
+            other.len()
+        )),
+    });
+    registry
+}
+
+/// Converts an [`SdfGraph`] into a SigPML [`Model`].
+///
+/// # Errors
+///
+/// Returns [`SdfError::Build`] if the graph violates the metamodel
+/// (cannot happen for graphs built through the `SdfGraph` API).
+pub fn to_model(graph: &SdfGraph) -> Result<Model, SdfError> {
+    let mut model = Model::new(sigpml_metamodel());
+    let mut agent_ids = Vec::new();
+    for agent in graph.agents() {
+        let id = model.add_object("Agent", &agent.name)?;
+        model.set_int(id, "cycles", i64::from(agent.cycles))?;
+        agent_ids.push(id);
+    }
+    let mut port_ids = Vec::new();
+    for port in graph.ports() {
+        let class = match port.direction {
+            PortDirection::Input => "InputPort",
+            PortDirection::Output => "OutputPort",
+        };
+        let id = model.add_object(class, &port.name)?;
+        model.set_int(id, "rate", i64::from(port.rate))?;
+        model.add_link(id, "owner", agent_ids[port.agent])?;
+        port_ids.push(id);
+    }
+    for place in graph.places() {
+        let label = graph.place_label(place);
+        let id = model.add_object("Place", &label)?;
+        model.set_int(id, "capacity", i64::from(place.capacity))?;
+        model.set_int(id, "delay", i64::from(place.delay))?;
+        model.add_link(id, "outputPort", port_ids[place.output_port])?;
+        model.add_link(id, "inputPort", port_ids[place.input_port])?;
+    }
+    Ok(model)
+}
+
+/// Generates the execution model through the full metamodel pipeline
+/// (model → mapping → weave), as Fig. 1 prescribes.
+///
+/// # Errors
+///
+/// Returns [`SdfError::Build`] when conversion or weaving fails.
+pub fn weave_specification(
+    graph: &SdfGraph,
+    variant: MoccVariant,
+) -> Result<Specification, SdfError> {
+    let model = to_model(graph)?;
+    Ok(weave(&model, &sigpml_mapping(variant), &sigpml_registry())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mocc::build_specification_with;
+    use moccml_engine::{acceptable_steps, SolverOptions};
+    use moccml_kernel::Step;
+    use std::collections::BTreeSet;
+
+    fn pc_graph() -> SdfGraph {
+        let mut g = SdfGraph::new("pc");
+        g.add_agent("prod", 0).expect("prod");
+        g.add_agent("cons", 0).expect("cons");
+        g.connect("prod", "cons", 1, 1, 2, 1).expect("place");
+        g
+    }
+
+    /// Renders a step as a sorted set of event names (universes of the
+    /// two pipelines assign different ids).
+    fn step_names(spec: &Specification, step: &Step) -> BTreeSet<String> {
+        step.iter()
+            .map(|e| spec.universe().name(e).to_owned())
+            .collect()
+    }
+
+    fn acceptable_names(spec: &Specification) -> BTreeSet<BTreeSet<String>> {
+        acceptable_steps(spec, &SolverOptions::default())
+            .iter()
+            .map(|s| step_names(spec, s))
+            .collect()
+    }
+
+    #[test]
+    fn model_conversion_creates_all_objects() {
+        let model = to_model(&pc_graph()).expect("converts");
+        assert_eq!(model.objects_of_class("Agent").len(), 2);
+        assert_eq!(model.objects_of_class("OutputPort").len(), 1);
+        assert_eq!(model.objects_of_class("InputPort").len(), 1);
+        assert_eq!(model.objects_of_class("Place").len(), 1);
+        let place = model.object_by_name("prod.out0→cons.in0").expect("place");
+        assert_eq!(model.int_attr(place.id(), "capacity").expect("attr"), 2);
+    }
+
+    #[test]
+    fn woven_and_native_specifications_agree_initially() {
+        // the central separation claim: weaving the reusable MoCC
+        // through the mapping equals wiring it by hand
+        let g = pc_graph();
+        let native = build_specification_with(&g, MoccVariant::Standard).expect("native");
+        let woven = weave_specification(&g, MoccVariant::Standard).expect("woven");
+        assert_eq!(native.constraint_count(), woven.constraint_count());
+        assert_eq!(acceptable_names(&native), acceptable_names(&woven));
+    }
+
+    #[test]
+    fn woven_and_native_agree_along_a_run() {
+        let g = pc_graph();
+        let mut native = build_specification_with(&g, MoccVariant::Standard).expect("native");
+        let mut woven = weave_specification(&g, MoccVariant::Standard).expect("woven");
+        for _ in 0..5 {
+            let steps_native = acceptable_steps(&native, &SolverOptions::default());
+            assert!(!steps_native.is_empty(), "no deadlock expected");
+            let chosen = steps_native[0].clone();
+            let names = step_names(&native, &chosen);
+            // replay the same named step in the woven spec
+            let replay: Step = names
+                .iter()
+                .map(|n| woven.universe().lookup(n).expect("same event names"))
+                .collect();
+            assert!(woven.accepts(&replay), "woven accepts {names:?}");
+            native.fire(&chosen).expect("native fires");
+            woven.fire(&replay).expect("woven fires");
+            assert_eq!(acceptable_names(&native), acceptable_names(&woven));
+        }
+    }
+
+    #[test]
+    fn woven_multiport_variant_differs_from_standard() {
+        let mut g = SdfGraph::new("pc");
+        g.add_agent("prod", 0).expect("prod");
+        g.add_agent("cons", 0).expect("cons");
+        g.connect("prod", "cons", 1, 1, 1, 1).expect("place");
+        let standard = weave_specification(&g, MoccVariant::Standard).expect("std");
+        let multiport = weave_specification(&g, MoccVariant::Multiport).expect("mp");
+        let std_steps = acceptable_names(&standard);
+        let mp_steps = acceptable_names(&multiport);
+        assert!(std_steps.is_subset(&mp_steps));
+        assert!(mp_steps.len() > std_steps.len(), "variant strictly enlarges");
+    }
+
+    #[test]
+    fn mapping_declares_listing1_events() {
+        let mapping = sigpml_mapping(MoccVariant::Standard);
+        assert!(mapping.has_event("Agent", "start"));
+        assert!(mapping.has_event("Agent", "stop"));
+        assert!(mapping.has_event("Agent", "isExecuting"));
+        assert!(mapping.has_event("InputPort", "read"));
+        assert!(mapping.has_event("OutputPort", "write"));
+        assert_eq!(mapping.invariants().len(), 4);
+    }
+}

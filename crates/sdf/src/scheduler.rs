@@ -1,0 +1,290 @@
+//! Static SDF scheduling (Lee & Messerschmitt 1987): construction of a
+//! periodic admissible sequential schedule (PASS) and buffer-bound
+//! analysis.
+//!
+//! The paper's MoCC makes *all* valid schedules explorable at run time;
+//! the classical static scheduler computes one particular valid
+//! schedule at compile time. Having both lets the test-suite check that
+//! the static schedule is accepted by the woven execution model — the
+//! two semantics agree.
+
+use crate::analysis::repetition_vector;
+use crate::error::SdfError;
+use crate::graph::SdfGraph;
+
+/// A periodic admissible sequential schedule: one iteration as an
+/// ordered list of agent indices (each agent `a` appears exactly
+/// `repetition_vector[a]` times).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pass {
+    firings: Vec<usize>,
+}
+
+impl Pass {
+    /// The firing order (agent indices).
+    #[must_use]
+    pub fn firings(&self) -> &[usize] {
+        &self.firings
+    }
+
+    /// Number of firings in one iteration.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.firings.len()
+    }
+
+    /// Whether the schedule is empty (graph without agents).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.firings.is_empty()
+    }
+
+    /// Renders the schedule with agent names, e.g. `a b a c`.
+    #[must_use]
+    pub fn display(&self, graph: &SdfGraph) -> String {
+        self.firings
+            .iter()
+            .map(|&a| graph.agents()[a].name.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// State of the places during a symbolic execution.
+struct TokenState {
+    sizes: Vec<i64>,
+}
+
+impl TokenState {
+    fn new(graph: &SdfGraph) -> Self {
+        TokenState {
+            sizes: graph.places().iter().map(|p| i64::from(p.delay)).collect(),
+        }
+    }
+
+    /// Whether agent `a` can fire: enough tokens on every input, enough
+    /// room on every output (`bounded` selects capacity enforcement).
+    fn can_fire(&self, graph: &SdfGraph, a: usize, bounded: bool) -> bool {
+        graph.places().iter().enumerate().all(|(i, place)| {
+            let out = &graph.ports()[place.output_port];
+            let inp = &graph.ports()[place.input_port];
+            let mut size = self.sizes[i];
+            // reads happen before writes within one firing
+            if inp.agent == a {
+                size -= i64::from(inp.rate);
+                if size < 0 {
+                    return false;
+                }
+            }
+            if out.agent == a {
+                size += i64::from(out.rate);
+                if bounded && size > i64::from(place.capacity) {
+                    return false;
+                }
+            }
+            true
+        })
+    }
+
+    fn fire(&mut self, graph: &SdfGraph, a: usize) {
+        for (i, place) in graph.places().iter().enumerate() {
+            let out = &graph.ports()[place.output_port];
+            let inp = &graph.ports()[place.input_port];
+            if inp.agent == a {
+                self.sizes[i] -= i64::from(inp.rate);
+            }
+            if out.agent == a {
+                self.sizes[i] += i64::from(out.rate);
+            }
+        }
+    }
+}
+
+/// Constructs a PASS by demand-driven list scheduling, honouring place
+/// capacities.
+///
+/// # Errors
+///
+/// Returns [`SdfError::Inconsistent`] for inconsistent graphs and
+/// [`SdfError::InvalidParameter`] when no admissible schedule exists
+/// under the declared capacities/delays (the classical SDF deadlock).
+pub fn sequential_schedule(graph: &SdfGraph) -> Result<Pass, SdfError> {
+    let r = repetition_vector(graph)?;
+    let mut remaining: Vec<u64> = r.clone();
+    let mut state = TokenState::new(graph);
+    let mut firings = Vec::new();
+    let total: u64 = r.iter().sum();
+    while (firings.len() as u64) < total {
+        let fired = (0..graph.agents().len()).find(|&a| {
+            remaining[a] > 0 && state.can_fire(graph, a, true)
+        });
+        match fired {
+            Some(a) => {
+                state.fire(graph, a);
+                remaining[a] -= 1;
+                firings.push(a);
+            }
+            None => {
+                return Err(SdfError::InvalidParameter {
+                    reason: "no admissible sequential schedule: the graph deadlocks \
+                             under the declared delays/capacities"
+                        .to_owned(),
+                })
+            }
+        }
+    }
+    // a full iteration must return every place to its initial marking
+    debug_assert_eq!(
+        state.sizes,
+        graph
+            .places()
+            .iter()
+            .map(|p| i64::from(p.delay))
+            .collect::<Vec<_>>()
+    );
+    Ok(Pass { firings })
+}
+
+/// Computes, per place, the maximum occupancy reached by the
+/// capacity-unbounded PASS — the minimal capacities under which that
+/// schedule stays admissible (classical buffer-sizing analysis).
+///
+/// # Errors
+///
+/// Returns [`SdfError::Inconsistent`] for inconsistent graphs and
+/// [`SdfError::InvalidParameter`] when even unbounded buffers admit no
+/// schedule (a delay-free cycle).
+pub fn minimal_buffer_bounds(graph: &SdfGraph) -> Result<Vec<u32>, SdfError> {
+    let r = repetition_vector(graph)?;
+    let mut remaining: Vec<u64> = r.clone();
+    let mut state = TokenState::new(graph);
+    let mut maxima: Vec<i64> = state.sizes.clone();
+    let total: u64 = r.iter().sum();
+    let mut fired_count = 0u64;
+    while fired_count < total {
+        let fired = (0..graph.agents().len())
+            .find(|&a| remaining[a] > 0 && state.can_fire(graph, a, false));
+        match fired {
+            Some(a) => {
+                state.fire(graph, a);
+                remaining[a] -= 1;
+                fired_count += 1;
+                for (m, s) in maxima.iter_mut().zip(&state.sizes) {
+                    *m = (*m).max(*s);
+                }
+            }
+            None => {
+                return Err(SdfError::InvalidParameter {
+                    reason: "graph deadlocks even with unbounded buffers".to_owned(),
+                })
+            }
+        }
+    }
+    Ok(maxima
+        .into_iter()
+        .map(|m| u32::try_from(m).expect("occupancy is non-negative"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mocc::build_specification;
+    use moccml_kernel::Step;
+
+    fn multirate() -> SdfGraph {
+        let mut g = SdfGraph::new("mr");
+        g.add_agent("a", 0).expect("fresh");
+        g.add_agent("b", 0).expect("fresh");
+        g.connect("a", "b", 2, 3, 6, 0).expect("valid");
+        g
+    }
+
+    #[test]
+    fn pass_respects_repetition_vector() {
+        let g = multirate();
+        let pass = sequential_schedule(&g).expect("schedulable");
+        assert_eq!(pass.len(), 5); // r = [3, 2]
+        let a_count = pass.firings().iter().filter(|&&x| x == 0).count();
+        let b_count = pass.firings().iter().filter(|&&x| x == 1).count();
+        assert_eq!((a_count, b_count), (3, 2));
+        // list scheduling in agent order: `a` fires while capacity lasts
+        assert_eq!(pass.display(&g), "a a a b b");
+    }
+
+    #[test]
+    fn deadlocked_graph_has_no_pass() {
+        let mut g = SdfGraph::new("dead");
+        g.add_agent("a", 0).expect("fresh");
+        g.add_agent("b", 0).expect("fresh");
+        g.connect("a", "b", 1, 1, 1, 0).expect("valid");
+        g.connect("b", "a", 1, 1, 1, 0).expect("valid");
+        assert!(matches!(
+            sequential_schedule(&g),
+            Err(SdfError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            minimal_buffer_bounds(&g),
+            Err(SdfError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn buffer_bounds_match_peak_occupancy() {
+        let g = multirate();
+        let bounds = minimal_buffer_bounds(&g).expect("schedulable");
+        // the unbounded list schedule fires a a a first: peak 6 tokens
+        assert_eq!(bounds, vec![6]);
+    }
+
+    #[test]
+    fn bounds_make_tight_graphs_schedulable() {
+        // shrink capacities to the computed bounds and re-schedule
+        let g = multirate();
+        let bounds = minimal_buffer_bounds(&g).expect("schedulable");
+        let mut tight = SdfGraph::new("tight");
+        tight.add_agent("a", 0).expect("fresh");
+        tight.add_agent("b", 0).expect("fresh");
+        tight.connect("a", "b", 2, 3, bounds[0], 0).expect("valid");
+        assert!(sequential_schedule(&tight).is_ok());
+    }
+
+    #[test]
+    fn pass_is_accepted_by_the_execution_model() {
+        // the bridge theorem: replaying the static schedule as atomic
+        // activations is a valid run of the woven MoCC.
+        let g = multirate();
+        let pass = sequential_schedule(&g).expect("schedulable");
+        let mut spec = build_specification(&g).expect("builds");
+        for &agent in pass.firings() {
+            let name = &g.agents()[agent].name;
+            let u = spec.universe();
+            let mut step = Step::new();
+            step.insert(u.lookup(&format!("{name}.start")).expect("event"));
+            step.insert(u.lookup(&format!("{name}.stop")).expect("event"));
+            for p in g.input_ports(agent) {
+                step.insert(
+                    u.lookup(&format!("{}.read", g.ports()[p].name)).expect("event"),
+                );
+            }
+            for p in g.output_ports(agent) {
+                step.insert(
+                    u.lookup(&format!("{}.write", g.ports()[p].name)).expect("event"),
+                );
+            }
+            assert!(spec.accepts(&step), "PASS firing of `{name}` accepted");
+            spec.fire(&step).expect("accepted step fires");
+        }
+    }
+
+    #[test]
+    fn delays_unlock_cycles() {
+        let mut g = SdfGraph::new("ring");
+        g.add_agent("a", 0).expect("fresh");
+        g.add_agent("b", 0).expect("fresh");
+        g.connect("a", "b", 1, 1, 1, 0).expect("valid");
+        g.connect("b", "a", 1, 1, 1, 1).expect("valid");
+        let pass = sequential_schedule(&g).expect("delay unlocks the ring");
+        assert_eq!(pass.display(&g), "a b");
+    }
+}

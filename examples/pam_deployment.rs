@@ -1,0 +1,42 @@
+//! The Passive Acoustic Monitoring study from the paper's conclusion:
+//! model the application under infinite resources, then deploy it on
+//! three platforms and measure the impact of the allocation on the
+//! valid schedulings by exhaustive exploration.
+//!
+//! Run with: `cargo run -p moccml-bench --example pam_deployment`
+
+use moccml_engine::{explore, ExploreOptions, Policy, Simulator};
+use moccml_sdf::pam;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("PAM application: {} agents, {} places\n",
+        pam::pam_application().agents().len(),
+        pam::pam_application().places().len());
+
+    let mut configs = vec![("infinite-resources".to_owned(), pam::infinite_resources()?)];
+    for (platform, deployment) in [
+        pam::deployment_single_core(),
+        pam::deployment_dual_core(),
+        pam::deployment_quad_core(),
+    ] {
+        configs.push((platform.name().to_owned(), pam::deployed(&platform, &deployment)?));
+    }
+
+    println!("{:<20} {:>8} {:>12} {:>10} {:>8}", "configuration", "states", "transitions", "deadlocks", "max ∥");
+    for (name, spec) in &configs {
+        let stats = explore(spec, &ExploreOptions::default()).stats();
+        println!(
+            "{name:<20} {:>8} {:>12} {:>10} {:>8}",
+            stats.states, stats.transitions, stats.deadlocks, stats.max_step_parallelism
+        );
+    }
+
+    // a trace on the dual-core platform
+    let (platform, deployment) = pam::deployment_dual_core();
+    let spec = pam::deployed(&platform, &deployment)?;
+    let mut sim = Simulator::new(spec, Policy::SafeMaxParallel);
+    let report = sim.run(16);
+    println!("\ndual-core 16-step schedule (deadlock-avoiding ASAP policy):");
+    println!("{}", report.schedule.render_timing_diagram(sim.specification().universe()));
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! Property-based tests on the CCSL declarative constraints: every
+//! schedule produced by the engine satisfies the defining invariant of
+//! each relation, for arbitrary seeds and parameters.
+
+use moccml_ccsl::{Alternation, Delay, Exclusion, Periodic, Precedence, SubClock, Union};
+use moccml_engine::{Policy, Simulator};
+use moccml_kernel::{EventId, Schedule, Specification, Universe};
+use proptest::prelude::*;
+
+fn three_event_spec() -> (Universe, EventId, EventId, EventId) {
+    let mut u = Universe::new();
+    let a = u.event("a");
+    let b = u.event("b");
+    let c = u.event("c");
+    (u, a, b, c)
+}
+
+fn run(spec: Specification, seed: u64, steps: usize) -> Schedule {
+    Simulator::new(spec, Policy::Random { seed }).run(steps).schedule
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sub-clock: every step containing `a` also contains `b`.
+    #[test]
+    fn subclock_invariant(seed in any::<u64>()) {
+        let (u, a, b, _) = three_event_spec();
+        let mut spec = Specification::new("t", u);
+        spec.add_constraint(Box::new(SubClock::new("s", a, b)));
+        for step in run(spec, seed, 30).iter() {
+            prop_assert!(!step.contains(a) || step.contains(b));
+        }
+    }
+
+    /// Exclusion: no step contains two of the excluded events.
+    #[test]
+    fn exclusion_invariant(seed in any::<u64>()) {
+        let (u, a, b, c) = three_event_spec();
+        let mut spec = Specification::new("t", u);
+        spec.add_constraint(Box::new(Exclusion::new("x", [a, b, c])));
+        for step in run(spec, seed, 30).iter() {
+            let hits = [a, b, c].iter().filter(|e| step.contains(**e)).count();
+            prop_assert!(hits <= 1);
+        }
+    }
+
+    /// Strict precedence: the cause count strictly dominates; with a
+    /// bound, the drift never exceeds it.
+    #[test]
+    fn bounded_precedence_invariant(seed in any::<u64>(), bound in 1u64..4) {
+        let (u, a, b, _) = three_event_spec();
+        let mut spec = Specification::new("t", u);
+        spec.add_constraint(Box::new(Precedence::strict("p", a, b).with_bound(bound)));
+        let schedule = run(spec, seed, 40);
+        let mut ca = 0i64;
+        let mut cb = 0i64;
+        for step in schedule.iter() {
+            // within a step the new cause is counted before the effect
+            if step.contains(a) { ca += 1; }
+            if step.contains(b) { cb += 1; }
+            prop_assert!(cb <= ca, "effect ahead of cause");
+            prop_assert!(ca - cb <= bound as i64, "drift exceeds bound");
+        }
+    }
+
+    /// Alternation: occurrences of `a` and `b` strictly interleave.
+    #[test]
+    fn alternation_invariant(seed in any::<u64>()) {
+        let (u, a, b, _) = three_event_spec();
+        let mut spec = Specification::new("t", u);
+        spec.add_constraint(Box::new(Alternation::new("alt", a, b)));
+        let mut expect_a = true;
+        for step in run(spec, seed, 30).iter() {
+            prop_assert!(!(step.contains(a) && step.contains(b)));
+            if step.contains(a) {
+                prop_assert!(expect_a);
+                expect_a = false;
+            }
+            if step.contains(b) {
+                prop_assert!(!expect_a);
+                expect_a = true;
+            }
+        }
+    }
+
+    /// Union: the result ticks exactly when an operand ticks.
+    #[test]
+    fn union_invariant(seed in any::<u64>()) {
+        let (u, a, b, r) = three_event_spec();
+        let mut spec = Specification::new("t", u);
+        spec.add_constraint(Box::new(Union::new("u", r, [a, b])));
+        for step in run(spec, seed, 30).iter() {
+            prop_assert_eq!(step.contains(r), step.contains(a) || step.contains(b));
+        }
+    }
+
+    /// Delay: the result's k-th tick coincides with the base's
+    /// (k+delay)-th tick.
+    #[test]
+    fn delay_invariant(seed in any::<u64>(), delay in 0u64..4) {
+        let (u, base, _, r) = three_event_spec();
+        let mut spec = Specification::new("t", u);
+        spec.add_constraint(Box::new(Delay::new("d", r, base, delay)));
+        let mut base_count = 0u64;
+        for step in run(spec, seed, 40).iter() {
+            if step.contains(base) { base_count += 1; }
+            if step.contains(r) {
+                prop_assert!(step.contains(base), "result only with base");
+                prop_assert!(base_count > delay, "result before the delay elapsed");
+            } else if step.contains(base) {
+                prop_assert!(base_count <= delay, "result missed a due tick");
+            }
+        }
+    }
+
+    /// Periodic: the result selects exactly the occurrences of the base
+    /// whose index matches the period.
+    #[test]
+    fn periodic_invariant(seed in any::<u64>(), period in 1u64..5) {
+        let (u, base, _, r) = three_event_spec();
+        let mut spec = Specification::new("t", u);
+        spec.add_constraint(Box::new(Periodic::every("p", r, base, period)));
+        let mut k = 0u64;
+        for step in run(spec, seed, 40).iter() {
+            if step.contains(base) {
+                prop_assert_eq!(step.contains(r), k.is_multiple_of(period));
+                k += 1;
+            } else {
+                prop_assert!(!step.contains(r));
+            }
+        }
+    }
+
+    /// State snapshots round-trip at every instant of a random run.
+    #[test]
+    fn state_keys_round_trip_along_runs(seed in any::<u64>()) {
+        let (u, a, b, _) = three_event_spec();
+        let mut spec = Specification::new("t", u);
+        spec.add_constraint(Box::new(Precedence::strict("p", a, b).with_bound(3)));
+        spec.add_constraint(Box::new(Alternation::new("alt", a, b)));
+        let mut sim = Simulator::new(spec.clone(), Policy::Random { seed });
+        for _ in 0..20 {
+            if sim.step().is_none() {
+                break;
+            }
+            let key = sim.specification().state_key();
+            let mut copy = spec.clone();
+            copy.restore(&key).expect("restores");
+            prop_assert_eq!(copy.state_key(), key);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based equivalence of the pruned step solver against the
+//! naive `2^n` enumeration, over randomly generated constraint sets —
+//! the correctness side of the B3 ablation.
+
+use moccml_ccsl::{Coincidence, Exclusion, Precedence, SubClock, Union};
+use moccml_engine::{acceptable_steps, Policy, Simulator, SolverOptions};
+use moccml_kernel::{Constraint, EventId, Specification, Universe};
+use proptest::prelude::*;
+
+/// A recipe for one random constraint over a small event universe.
+#[derive(Debug, Clone)]
+enum Recipe {
+    Sub(u8, u8),
+    Excl(u8, u8, u8),
+    Coinc(u8, u8),
+    Prec(u8, u8, u8),
+    Union(u8, u8, u8),
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    prop_oneof![
+        (0u8..6, 0u8..6).prop_map(|(a, b)| Recipe::Sub(a, b)),
+        (0u8..6, 0u8..6, 0u8..6).prop_map(|(a, b, c)| Recipe::Excl(a, b, c)),
+        (0u8..6, 0u8..6).prop_map(|(a, b)| Recipe::Coinc(a, b)),
+        (0u8..6, 0u8..6, 1u8..4).prop_map(|(a, b, k)| Recipe::Prec(a, b, k)),
+        (0u8..6, 0u8..6, 0u8..6).prop_map(|(a, b, c)| Recipe::Union(a, b, c)),
+    ]
+}
+
+fn build(recipes: &[Recipe]) -> Specification {
+    let mut u = Universe::new();
+    let events: Vec<EventId> = (0..6).map(|i| u.event(&format!("e{i}"))).collect();
+    let mut spec = Specification::new("random", u);
+    for (i, r) in recipes.iter().enumerate() {
+        let name = format!("c{i}");
+        let c: Option<Box<dyn Constraint>> = match *r {
+            Recipe::Sub(a, b) if a != b => Some(Box::new(SubClock::new(
+                &name,
+                events[a as usize],
+                events[b as usize],
+            ))),
+            Recipe::Excl(a, b, c2) if a != b && b != c2 && a != c2 => Some(Box::new(
+                Exclusion::new(&name, [events[a as usize], events[b as usize], events[c2 as usize]]),
+            )),
+            Recipe::Coinc(a, b) if a != b => Some(Box::new(Coincidence::new(
+                &name,
+                events[a as usize],
+                events[b as usize],
+            ))),
+            Recipe::Prec(a, b, k) if a != b => Some(Box::new(
+                Precedence::strict(&name, events[a as usize], events[b as usize])
+                    .with_bound(u64::from(k)),
+            )),
+            Recipe::Union(a, b, c2) if a != b && a != c2 => Some(Box::new(Union::new(
+                &name,
+                events[a as usize],
+                [events[b as usize], events[c2 as usize]],
+            ))),
+            _ => None, // degenerate draws are skipped
+        };
+        if let Some(c) = c {
+            spec.add_constraint(c);
+        }
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pruned and naive enumerations agree on arbitrary constraint sets
+    /// in the initial state.
+    #[test]
+    fn pruned_equals_naive_initially(recipes in proptest::collection::vec(recipe_strategy(), 1..6)) {
+        let spec = build(&recipes);
+        let pruned = acceptable_steps(&spec, &SolverOptions::default());
+        let naive = acceptable_steps(&spec, &SolverOptions::naive());
+        prop_assert_eq!(pruned, naive);
+    }
+
+    /// They also agree after advancing the state along a random run.
+    #[test]
+    fn pruned_equals_naive_along_runs(
+        recipes in proptest::collection::vec(recipe_strategy(), 1..5),
+        seed in any::<u64>(),
+    ) {
+        let spec = build(&recipes);
+        let mut sim = Simulator::new(spec, Policy::Random { seed });
+        for _ in 0..6 {
+            if sim.step().is_none() {
+                break;
+            }
+            let spec = sim.specification();
+            let pruned = acceptable_steps(spec, &SolverOptions::default());
+            let naive = acceptable_steps(spec, &SolverOptions::naive());
+            prop_assert_eq!(pruned, naive);
+        }
+    }
+
+    /// Every enumerated step really satisfies the conjunction, and the
+    /// specification's `accepts` agrees.
+    #[test]
+    fn enumerated_steps_are_accepted(recipes in proptest::collection::vec(recipe_strategy(), 1..6)) {
+        let spec = build(&recipes);
+        let formula = spec.conjunction();
+        for step in acceptable_steps(&spec, &SolverOptions::default()) {
+            prop_assert!(formula.eval(&step));
+            prop_assert!(spec.accepts(&step));
+        }
+    }
+}

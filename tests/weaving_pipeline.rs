@@ -1,0 +1,99 @@
+//! Property-based check of the paper's central separation claim: for
+//! random SDF graphs, the execution model produced by the metamodel +
+//! ECL-style mapping pipeline is step-for-step equivalent to the
+//! hand-wired one.
+
+use moccml_engine::{acceptable_steps, SolverOptions};
+use moccml_kernel::{Specification, Step};
+use moccml_sdf::mocc::{build_specification_with, MoccVariant};
+use moccml_sdf::model_bridge::weave_specification;
+use moccml_sdf::SdfGraph;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A random small acyclic chain-with-optional-fork SDF graph.
+fn graph_strategy() -> impl Strategy<Value = SdfGraph> {
+    (
+        2usize..5,                                  // number of agents
+        proptest::collection::vec(1u32..3, 0..8),   // rate pool
+        proptest::collection::vec(0u32..2, 0..8),   // delay pool
+        proptest::collection::vec(0u32..3, 4),      // cycles pool
+    )
+        .prop_map(|(agents, rates, delays, cycles)| {
+            let mut g = SdfGraph::new("random");
+            for i in 0..agents {
+                let n = cycles.get(i).copied().unwrap_or(0);
+                g.add_agent(&format!("a{i}"), n).expect("fresh names");
+            }
+            for i in 0..agents - 1 {
+                let push = rates.get(2 * i).copied().unwrap_or(1);
+                let pop = rates.get(2 * i + 1).copied().unwrap_or(1);
+                let delay = delays.get(i).copied().unwrap_or(0);
+                let capacity = (push.max(pop) * 2).max(delay);
+                g.connect(
+                    &format!("a{i}"),
+                    &format!("a{}", i + 1),
+                    push,
+                    pop,
+                    capacity,
+                    delay,
+                )
+                .expect("capacity covers rates and delay");
+            }
+            g
+        })
+}
+
+fn step_names(spec: &Specification, step: &Step) -> BTreeSet<String> {
+    step.iter()
+        .map(|e| spec.universe().name(e).to_owned())
+        .collect()
+}
+
+fn acceptable_names(spec: &Specification) -> BTreeSet<BTreeSet<String>> {
+    acceptable_steps(spec, &SolverOptions::default())
+        .iter()
+        .map(|s| step_names(spec, s))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Native and woven execution models accept the same named steps
+    /// along a deterministic run.
+    #[test]
+    fn woven_equals_native_along_runs(graph in graph_strategy()) {
+        let mut native =
+            build_specification_with(&graph, MoccVariant::Standard).expect("native builds");
+        let mut woven =
+            weave_specification(&graph, MoccVariant::Standard).expect("pipeline weaves");
+        prop_assert_eq!(native.constraint_count(), woven.constraint_count());
+        for _ in 0..6 {
+            let native_steps = acceptable_steps(&native, &SolverOptions::default());
+            prop_assert_eq!(
+                acceptable_names(&native),
+                acceptable_names(&woven),
+                "step sets diverge"
+            );
+            let Some(chosen) = native_steps.first() else { break };
+            let names = step_names(&native, chosen);
+            let replay: Step = names
+                .iter()
+                .map(|n| woven.universe().lookup(n).expect("event names align"))
+                .collect();
+            native.fire(chosen).expect("native fires its own step");
+            woven.fire(&replay).expect("woven fires the same step");
+        }
+    }
+
+    /// Both pipelines also agree on the multiport variant.
+    #[test]
+    fn woven_equals_native_multiport(graph in graph_strategy()) {
+        let native =
+            build_specification_with(&graph, MoccVariant::Multiport).expect("native builds");
+        let woven =
+            weave_specification(&graph, MoccVariant::Multiport).expect("pipeline weaves");
+        prop_assert_eq!(acceptable_names(&native), acceptable_names(&woven));
+    }
+}
