@@ -271,9 +271,14 @@ mod tests {
     fn int_expr_arithmetic() {
         let e = IntExpr::Sub(
             Box::new(IntExpr::var("cap")),
-            Box::new(IntExpr::Mul(Box::new(IntExpr::Const(2)), Box::new(IntExpr::var("rate")))),
+            Box::new(IntExpr::Mul(
+                Box::new(IntExpr::Const(2)),
+                Box::new(IntExpr::var("rate")),
+            )),
         );
-        let v = e.eval(&env(&[("cap", 10), ("rate", 3)])).expect("evaluates");
+        let v = e
+            .eval(&env(&[("cap", 10), ("rate", 3)]))
+            .expect("evaluates");
         assert_eq!(v, 4);
         assert_eq!(e.to_string(), "(cap - (2 * rate))");
     }
@@ -311,7 +316,11 @@ mod tests {
     #[test]
     fn bool_expr_connectives() {
         let g = BoolExpr::And(
-            Box::new(BoolExpr::cmp(IntExpr::var("x"), CmpOp::Gt, IntExpr::Const(0))),
+            Box::new(BoolExpr::cmp(
+                IntExpr::var("x"),
+                CmpOp::Gt,
+                IntExpr::Const(0),
+            )),
             Box::new(BoolExpr::Not(Box::new(BoolExpr::cmp(
                 IntExpr::var("x"),
                 CmpOp::Gt,
@@ -326,7 +335,11 @@ mod tests {
     #[test]
     fn refs_are_collected() {
         let g = BoolExpr::Or(
-            Box::new(BoolExpr::cmp(IntExpr::var("a"), CmpOp::Eq, IntExpr::var("b"))),
+            Box::new(BoolExpr::cmp(
+                IntExpr::var("a"),
+                CmpOp::Eq,
+                IntExpr::var("b"),
+            )),
             Box::new(BoolExpr::True),
         );
         let mut refs = Vec::new();

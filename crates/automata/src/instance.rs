@@ -292,11 +292,7 @@ impl Constraint for AutomatonInstance {
             return Ok(());
         }
         // stuttering is acceptable when none of our events occur
-        if self
-            .event_bindings
-            .iter()
-            .all(|(_, e)| !step.contains(*e))
-        {
+        if self.event_bindings.iter().all(|(_, e)| !step.contains(*e)) {
             return Ok(());
         }
         Err(KernelError::StepRejected {
@@ -306,9 +302,8 @@ impl Constraint for AutomatonInstance {
     }
 
     fn state_key(&self) -> StateKey {
-        let mut key = StateKey::from_values([
-            i64::try_from(self.current).expect("state index fits i64")
-        ]);
+        let mut key =
+            StateKey::from_values([i64::try_from(self.current).expect("state index fits i64")]);
         for (_, v) in &self.vars {
             key.push(*v);
         }
@@ -327,7 +322,9 @@ impl Constraint for AutomatonInstance {
                 ),
             });
         }
-        let state = usize::try_from(values[0]).ok().filter(|s| *s < self.def.states().len());
+        let state = usize::try_from(values[0])
+            .ok()
+            .filter(|s| *s < self.def.states().len());
         let Some(state) = state else {
             return Err(KernelError::InvalidStateKey {
                 constraint: self.name.clone(),
@@ -477,7 +474,8 @@ mod tests {
         let (mut p, _, _) = place_instance(&mut u, 0, 2);
         let other = u.event("other");
         let key = p.state_key();
-        p.fire(&Step::from_events([other])).expect("foreign event ignored");
+        p.fire(&Step::from_events([other]))
+            .expect("foreign event ignored");
         assert_eq!(p.state_key(), key);
     }
 

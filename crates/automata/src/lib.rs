@@ -84,10 +84,10 @@ mod parser;
 mod render;
 
 pub use error::AutomataError;
-pub use render::{automaton_to_dot, library_to_text};
 pub use expr::{Action, BoolExpr, CmpOp, IntExpr};
 pub use instance::{AutomatonInstance, InstanceBuilder};
 pub use metamodel::{
     AutomatonDefinition, ConstraintDeclaration, ParamKind, RelationLibrary, Transition, VarDecl,
 };
 pub use parser::parse_library;
+pub use render::{automaton_to_dot, library_to_text};

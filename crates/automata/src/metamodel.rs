@@ -32,10 +32,7 @@ impl ConstraintDeclaration {
     ///
     /// Returns [`AutomataError::DuplicateName`] if two parameters share a
     /// name.
-    pub fn new(
-        name: &str,
-        params: Vec<(String, ParamKind)>,
-    ) -> Result<Self, AutomataError> {
+    pub fn new(name: &str, params: Vec<(String, ParamKind)>) -> Result<Self, AutomataError> {
         let mut seen = HashSet::new();
         for (p, _) in &params {
             if !seen.insert(p.clone()) {
@@ -66,10 +63,7 @@ impl ConstraintDeclaration {
     /// Kind of parameter `name`, if declared.
     #[must_use]
     pub fn param_kind(&self, name: &str) -> Option<ParamKind> {
-        self.params
-            .iter()
-            .find(|(p, _)| p == name)
-            .map(|(_, k)| *k)
+        self.params.iter().find(|(p, _)| p == name).map(|(_, k)| *k)
     }
 
     /// Names of the event parameters, in declaration order.
@@ -179,7 +173,9 @@ impl AutomatonDefinition {
             }
         }
         if initial >= states.len() {
-            return Err(invalid(format!("initial state index {initial} out of range")));
+            return Err(invalid(format!(
+                "initial state index {initial} out of range"
+            )));
         }
         if finals.is_empty() {
             return Err(invalid("at least one final state is required".into()));
@@ -215,12 +211,13 @@ impl AutomatonDefinition {
                 }
             }
         }
-        let int_ok = |n: &str| {
-            var_names.contains(n) || declaration.param_kind(n) == Some(ParamKind::Int)
-        };
+        let int_ok =
+            |n: &str| var_names.contains(n) || declaration.param_kind(n) == Some(ParamKind::Int);
         for (i, t) in transitions.iter().enumerate() {
             if t.source >= states.len() || t.target >= states.len() {
-                return Err(invalid(format!("transition {i} references a missing state")));
+                return Err(invalid(format!(
+                    "transition {i} references a missing state"
+                )));
             }
             for trig in t.true_triggers.iter().chain(&t.false_triggers) {
                 if declaration.param_kind(trig) != Some(ParamKind::Event) {
@@ -408,10 +405,7 @@ impl RelationLibrary {
     /// declaration is missing, [`AutomataError::InvalidDefinition`] if
     /// its parameters disagree, [`AutomataError::DuplicateName`] if a
     /// definition for the declaration already exists.
-    pub fn add_definition(
-        &mut self,
-        definition: AutomatonDefinition,
-    ) -> Result<(), AutomataError> {
+    pub fn add_definition(&mut self, definition: AutomatonDefinition) -> Result<(), AutomataError> {
         let decl_name = definition.declaration().name().to_owned();
         let Some(existing) = self.declaration(&decl_name) else {
             return Err(AutomataError::UnknownName {
@@ -516,7 +510,11 @@ mod tests {
                 target: 0,
                 true_triggers: vec!["e".into()],
                 false_triggers: vec![],
-                guard: Some(BoolExpr::cmp(IntExpr::var("x"), CmpOp::Gt, IntExpr::Const(0))),
+                guard: Some(BoolExpr::cmp(
+                    IntExpr::var("x"),
+                    CmpOp::Gt,
+                    IntExpr::Const(0),
+                )),
                 actions: vec![Action::decrement("x", IntExpr::Const(1))],
             }],
         )

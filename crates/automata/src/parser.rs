@@ -97,7 +97,10 @@ fn lex(input: &str) -> Result<Vec<Token>, AutomataError> {
                     .iter()
                     .find(|s| **s == two);
                 if let Some(s) = sym2 {
-                    tokens.push(Token { tok: Tok::Sym(s), line });
+                    tokens.push(Token {
+                        tok: Tok::Sym(s),
+                        line,
+                    });
                     i += 2;
                     continue;
                 }
@@ -125,7 +128,10 @@ fn lex(input: &str) -> Result<Vec<Token>, AutomataError> {
                         })
                     }
                 };
-                tokens.push(Token { tok: Tok::Sym(one), line });
+                tokens.push(Token {
+                    tok: Tok::Sym(one),
+                    line,
+                });
                 i += 1;
             }
         }
@@ -354,7 +360,14 @@ impl Parser {
                     }
                 }
                 self.expect_sym(";")?;
-                raw_transitions.push((source, target, true_triggers, false_triggers, guard, actions));
+                raw_transitions.push((
+                    source,
+                    target,
+                    true_triggers,
+                    false_triggers,
+                    guard,
+                    actions,
+                ));
             } else {
                 return Err(self.err(format!(
                     "expected `var`, `state`, `from` or `}}`, found {:?}",
@@ -368,20 +381,22 @@ impl Parser {
         })?;
         let mut transitions = Vec::new();
         for (src, tgt, tt, ft, guard, actions) in raw_transitions {
-            let source = states
-                .iter()
-                .position(|s| *s == src)
-                .ok_or(AutomataError::UnknownName {
-                    kind: "state",
-                    name: src,
-                })?;
-            let target = states
-                .iter()
-                .position(|s| *s == tgt)
-                .ok_or(AutomataError::UnknownName {
-                    kind: "state",
-                    name: tgt,
-                })?;
+            let source =
+                states
+                    .iter()
+                    .position(|s| *s == src)
+                    .ok_or(AutomataError::UnknownName {
+                        kind: "state",
+                        name: src,
+                    })?;
+            let target =
+                states
+                    .iter()
+                    .position(|s| *s == tgt)
+                    .ok_or(AutomataError::UnknownName {
+                        kind: "state",
+                        name: tgt,
+                    })?;
             transitions.push(Transition {
                 source,
                 target,
@@ -456,7 +471,9 @@ impl Parser {
                 if self.eat_sym(")")
                     && !matches!(
                         self.peek(),
-                        Some(Tok::Sym("<" | "<=" | ">" | ">=" | "==" | "!=" | "+" | "-" | "*"))
+                        Some(Tok::Sym(
+                            "<" | "<=" | ">" | ">=" | "==" | "!=" | "+" | "-" | "*"
+                        ))
                     )
                 {
                     return Ok(inner);

@@ -29,7 +29,12 @@ pub fn library_to_text(library: &RelationLibrary) -> String {
             .collect();
         let _ = writeln!(out, "  constraint {}({})", decl.name(), params.join(", "));
         if let Some(def) = library.definition_for(decl.name()) {
-            let _ = writeln!(out, "  automaton {} implements {} {{", def.name(), decl.name());
+            let _ = writeln!(
+                out,
+                "  automaton {} implements {} {{",
+                def.name(),
+                decl.name()
+            );
             for v in def.variables() {
                 let _ = writeln!(out, "    var {}: int = {};", v.name, render_expr(&v.init));
             }
@@ -101,7 +106,11 @@ pub fn automaton_to_dot(def: &AutomatonDefinition) -> String {
         } else {
             "circle"
         };
-        let style = if def.initial() == i { ", style=bold" } else { "" };
+        let style = if def.initial() == i {
+            ", style=bold"
+        } else {
+            ""
+        };
         let _ = writeln!(out, "  {state} [shape={shape}{style}];");
     }
     for t in def.transitions() {
@@ -190,7 +199,10 @@ mod tests {
         let reparsed = parse_library(&library_to_text(&lib)).expect("round-trips");
         assert_eq!(
             lib.definition_for("PlaceConstraint").expect("def").as_ref(),
-            reparsed.definition_for("PlaceConstraint").expect("def").as_ref()
+            reparsed
+                .definition_for("PlaceConstraint")
+                .expect("def")
+                .as_ref()
         );
     }
 }

@@ -1,48 +1,27 @@
 //! E6 bench target — the PAM study: exploration and simulation cost of
 //! the infinite-resource model and the three deployments.
+//!
+//! Runs on the in-repo `Instant`-based harness (criterion is not
+//! fetchable offline); emits `BENCH_pam.json` at the workspace root.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use moccml_bench::experiments::e6_configs;
+use moccml_bench::harness::BenchGroup;
 use moccml_engine::{explore, ExploreOptions, Policy, Simulator};
-use moccml_sdf::pam;
 use std::hint::black_box;
 
-fn bench_pam_exploration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pam_exploration");
-    group.sample_size(10);
-    let configs: Vec<(&str, moccml_kernel::Specification)> = vec![
-        ("infinite", pam::infinite_resources().expect("builds")),
-        ("mono", {
-            let (p, d) = pam::deployment_single_core();
-            pam::deployed(&p, &d).expect("deploys")
-        }),
-        ("dual", {
-            let (p, d) = pam::deployment_dual_core();
-            pam::deployed(&p, &d).expect("deploys")
-        }),
-        ("quad", {
-            let (p, d) = pam::deployment_quad_core();
-            pam::deployed(&p, &d).expect("deploys")
-        }),
-    ];
+fn main() {
+    let configs = e6_configs();
+    let mut group = BenchGroup::new("pam").with_iters(10);
     for (name, spec) in &configs {
-        group.bench_function(*name, |b| {
-            b.iter(|| explore(black_box(spec), &ExploreOptions::default()));
+        group.bench(&format!("exploration/{name}"), || {
+            explore(black_box(spec), &ExploreOptions::default())
         });
     }
-    group.finish();
-
-    let mut group = c.benchmark_group("pam_simulation");
-    group.sample_size(10);
     for (name, spec) in &configs {
-        group.bench_function(*name, |b| {
-            b.iter(|| {
-                let mut sim = Simulator::new(spec.clone(), Policy::SafeMaxParallel);
-                black_box(sim.run(30))
-            });
+        group.bench(&format!("simulation_30_steps/{name}"), || {
+            let mut sim = Simulator::new(spec.clone(), Policy::SafeMaxParallel);
+            black_box(sim.run(30))
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_pam_exploration);
-criterion_main!(benches);

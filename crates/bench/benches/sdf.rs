@@ -6,105 +6,69 @@
 //! * `mocc_variants` (E4): exploration cost, standard vs multiport.
 //! * `exploration_scaling` (B2): state-space construction vs chain
 //!   length and place capacity.
+//!
+//! Runs on the in-repo `Instant`-based harness (criterion is not
+//! fetchable offline); emits `BENCH_sdf.json` at the workspace root.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moccml_bench::experiments::e1_place;
+use moccml_bench::harness::BenchGroup;
 use moccml_bench::workloads::{sdf_chain, sdf_diamond};
 use moccml_engine::{explore, ExploreOptions, Policy, Simulator};
-use moccml_kernel::{Constraint, Step, Universe};
+use moccml_kernel::{Constraint, Step};
 use moccml_sdf::mocc::{build_specification, build_specification_with, MoccVariant};
 use std::hint::black_box;
 
-fn bench_place_constraint(c: &mut Criterion) {
-    let lib = moccml_sdf::mocc::sdf_library();
-    let mut u = Universe::new();
-    let (w, r) = (u.event("w"), u.event("r"));
-    let place = lib
-        .instantiate("PlaceConstraint", "p")
-        .expect("declared")
-        .bind_event("write", w)
-        .bind_event("read", r)
-        .bind_int("pushRate", 1)
-        .bind_int("popRate", 1)
-        .bind_int("itsDelay", 0)
-        .bind_int("itsCapacity", 4)
-        .finish()
-        .expect("bindings complete");
-    c.bench_function("place_constraint_formula", |b| {
-        b.iter(|| black_box(&place).current_formula());
-    });
-    c.bench_function("place_constraint_fire_cycle", |b| {
-        let write = Step::from_events([w]);
-        let read = Step::from_events([r]);
-        b.iter(|| {
-            let mut p = place.clone();
-            p.fire(black_box(&write)).expect("room");
-            p.fire(black_box(&read)).expect("token");
-        });
-    });
-}
+fn main() {
+    let mut group = BenchGroup::new("sdf").with_iters(15);
 
-fn bench_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sdf_simulation");
-    group.sample_size(15);
+    let (place, w, r) = e1_place(4, 0);
+    group.bench("place_constraint/formula", || {
+        black_box(&place).current_formula()
+    });
+    let write = Step::from_events([w]);
+    let read = Step::from_events([r]);
+    group.bench("place_constraint/fire_cycle", || {
+        let mut p = place.clone();
+        p.fire(black_box(&write)).expect("room");
+        p.fire(black_box(&read)).expect("token");
+    });
+
     for stages in [4usize, 8] {
         let spec = build_specification(&sdf_chain(stages, 2)).expect("builds");
-        group.bench_with_input(BenchmarkId::new("chain_50_steps", stages), &spec, |b, spec| {
-            b.iter(|| {
-                let mut sim = Simulator::new(spec.clone(), Policy::MaxParallel);
-                black_box(sim.run(50))
-            });
+        group.bench(&format!("simulation_chain_50_steps/{stages}"), || {
+            let mut sim = Simulator::new(spec.clone(), Policy::MaxParallel);
+            sim.run(50)
         });
     }
-    group.finish();
-}
 
-fn bench_variants(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mocc_variants");
-    group.sample_size(15);
     let graph = sdf_chain(4, 2);
     for (label, variant) in [
         ("standard", MoccVariant::Standard),
         ("multiport", MoccVariant::Multiport),
     ] {
         let spec = build_specification_with(&graph, variant).expect("builds");
-        group.bench_function(label, |b| {
-            b.iter(|| explore(black_box(&spec), &ExploreOptions::default()));
+        group.bench(&format!("mocc_variants/{label}"), || {
+            explore(black_box(&spec), &ExploreOptions::default())
         });
     }
-    group.finish();
-}
 
-fn bench_exploration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exploration_scaling");
-    group.sample_size(10);
+    let mut group = group.with_iters(10);
     for stages in [3usize, 5, 7] {
         let spec = build_specification(&sdf_chain(stages, 2)).expect("builds");
-        group.bench_with_input(BenchmarkId::new("chain", stages), &spec, |b, spec| {
-            b.iter(|| explore(black_box(spec), &ExploreOptions::default()));
+        group.bench(&format!("exploration_chain/{stages}"), || {
+            explore(black_box(&spec), &ExploreOptions::default())
         });
     }
     for capacity in [1u32, 2, 4] {
         let spec = build_specification(&sdf_chain(4, capacity)).expect("builds");
-        group.bench_with_input(
-            BenchmarkId::new("capacity", capacity),
-            &spec,
-            |b, spec| {
-                b.iter(|| explore(black_box(spec), &ExploreOptions::default()));
-            },
-        );
+        group.bench(&format!("exploration_capacity/{capacity}"), || {
+            explore(black_box(&spec), &ExploreOptions::default())
+        });
     }
     let diamond = build_specification(&sdf_diamond(3)).expect("builds");
-    group.bench_function("diamond_3", |b| {
-        b.iter(|| explore(black_box(&diamond), &ExploreOptions::default()));
+    group.bench("exploration_diamond/3", || {
+        explore(black_box(&diamond), &ExploreOptions::default())
     });
+
     group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_place_constraint,
-    bench_simulation,
-    bench_variants,
-    bench_exploration
-);
-criterion_main!(benches);

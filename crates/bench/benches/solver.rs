@@ -3,42 +3,35 @@
 //! B1: acceptable-step enumeration time vs number of events for the
 //! sub-clock chain and exclusion clique workloads.
 //! B3 (ablation): pruned three-valued search vs naive 2^n enumeration.
+//!
+//! Runs on the in-repo `Instant`-based harness (criterion is not
+//! fetchable offline); emits `BENCH_solver.json` at the workspace root.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moccml_bench::harness::BenchGroup;
 use moccml_bench::workloads::{exclusion_clique_spec, subclock_chain_spec};
 use moccml_engine::{acceptable_steps, SolverOptions};
 use std::hint::black_box;
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("step_solver_scaling");
-    group.sample_size(20);
+fn main() {
+    let mut group = BenchGroup::new("solver").with_iters(20);
     for n in [4usize, 8, 12] {
         let chain = subclock_chain_spec(n);
-        group.bench_with_input(BenchmarkId::new("subclock_chain", n), &chain, |b, spec| {
-            b.iter(|| acceptable_steps(black_box(spec), &SolverOptions::default()));
+        group.bench(&format!("subclock_chain/{n}"), || {
+            acceptable_steps(black_box(&chain), &SolverOptions::default())
         });
         let clique = exclusion_clique_spec(n);
-        group.bench_with_input(BenchmarkId::new("exclusion_clique", n), &clique, |b, spec| {
-            b.iter(|| acceptable_steps(black_box(spec), &SolverOptions::default()));
+        group.bench(&format!("exclusion_clique/{n}"), || {
+            acceptable_steps(black_box(&clique), &SolverOptions::default())
         });
     }
-    group.finish();
-}
-
-fn bench_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver_ablation");
-    group.sample_size(20);
     for n in [8usize, 12] {
         let spec = exclusion_clique_spec(n);
-        group.bench_with_input(BenchmarkId::new("pruned", n), &spec, |b, spec| {
-            b.iter(|| acceptable_steps(black_box(spec), &SolverOptions::default()));
+        group.bench(&format!("ablation_pruned/{n}"), || {
+            acceptable_steps(black_box(&spec), &SolverOptions::default())
         });
-        group.bench_with_input(BenchmarkId::new("naive_2n", n), &spec, |b, spec| {
-            b.iter(|| acceptable_steps(black_box(spec), &SolverOptions::naive()));
+        group.bench(&format!("ablation_naive_2n/{n}"), || {
+            acceptable_steps(black_box(&spec), &SolverOptions::naive())
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_scaling, bench_ablation);
-criterion_main!(benches);

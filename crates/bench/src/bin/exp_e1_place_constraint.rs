@@ -4,35 +4,21 @@
 //! its occupancy range: `read` blocked without tokens, `write` blocked
 //! without room, `size` initialised to `itsDelay`.
 
-use moccml_automata::parse_library;
-use moccml_kernel::{Constraint, Step, Universe};
-use moccml_sdf::mocc::SDF_LIBRARY_SOURCE;
+use moccml_bench::experiments::{e1_place, table_header, table_row};
+use moccml_kernel::{Constraint, Step};
 
 fn main() {
-    let lib = parse_library(SDF_LIBRARY_SOURCE).expect("embedded library parses");
-    let mut u = Universe::new();
-    let (w, r) = (u.event("write"), u.event("read"));
     let capacity = 3i64;
     let delay = 1i64;
-    let mut place = lib
-        .instantiate("PlaceConstraint", "fig3")
-        .expect("declared")
-        .bind_event("write", w)
-        .bind_event("read", r)
-        .bind_int("pushRate", 1)
-        .bind_int("popRate", 1)
-        .bind_int("itsDelay", delay)
-        .bind_int("itsCapacity", capacity)
-        .finish()
-        .expect("bindings complete");
+    let (mut place, w, r) = e1_place(capacity, delay);
 
     println!("# E1 — Fig. 3 PlaceConstraint (capacity={capacity}, delay={delay}, rates=1)");
     println!();
-    moccml_bench::experiments::table_header(&["size", "write ok", "read ok", "write∧read ok"]);
+    table_header(&["size", "write ok", "read ok", "write∧read ok"]);
     // sweep the occupancy by writing up to capacity (size starts at delay)
     for size in delay..=capacity {
         let f = place.current_formula();
-        moccml_bench::experiments::table_row(&[
+        table_row(&[
             size.to_string(),
             f.eval(&Step::from_events([w])).to_string(),
             f.eval(&Step::from_events([r])).to_string(),

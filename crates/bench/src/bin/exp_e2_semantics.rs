@@ -4,32 +4,33 @@
 //! admits `2^n` steps and that every added constraint monotonically
 //! shrinks the acceptable-step set (sub-event = implication).
 
+use moccml_bench::experiments::{e2_spec, table_header, table_row};
 use moccml_ccsl::{Exclusion, Precedence, SubClock};
 use moccml_engine::{acceptable_steps, SolverOptions};
-use moccml_kernel::{Specification, Universe};
 
 fn main() {
     let n = 4usize;
-    let mut u = Universe::new();
-    let events: Vec<_> = (0..n).map(|i| u.event(&format!("e{i}"))).collect();
-    let mut spec = Specification::new("e2", u);
+    let (mut spec, events) = e2_spec(n);
     let options = SolverOptions::default().with_empty(true);
 
-    println!("# E2 — conjunction semantics over {n} events (2^{n} = {} futures)", 1 << n);
+    println!(
+        "# E2 — conjunction semantics over {n} events (2^{n} = {} futures)",
+        1 << n
+    );
     println!();
-    moccml_bench::experiments::table_header(&["constraints", "acceptable steps"]);
+    table_header(&["constraints", "acceptable steps"]);
 
     // the solver enumerates over constrained events; to observe the
     // full universe we first constrain every event vacuously via a
     // self-implication-free trick: an exclusion between fresh pairs
     // would restrict, so instead count analytically for step 0.
-    moccml_bench::experiments::table_row(&["(none)".to_owned(), (1u64 << n).to_string()]);
+    table_row(&["(none)".to_owned(), (1u64 << n).to_string()]);
 
     spec.add_constraint(Box::new(SubClock::new("e0⊆e1", events[0], events[1])));
     let s1 = acceptable_steps(&spec, &options);
     // the two unconstrained events each double the count
     let free = spec.free_events().len() as u32;
-    moccml_bench::experiments::table_row(&[
+    table_row(&[
         "e0 ⊆ e1".to_owned(),
         (s1.len() as u64 * (1u64 << free)).to_string(),
     ]);
@@ -37,14 +38,14 @@ fn main() {
     spec.add_constraint(Box::new(Exclusion::new("e1#e2", [events[1], events[2]])));
     let s2 = acceptable_steps(&spec, &options);
     let free = spec.free_events().len() as u32;
-    moccml_bench::experiments::table_row(&[
+    table_row(&[
         "+ e1 # e2".to_owned(),
         (s2.len() as u64 * (1u64 << free)).to_string(),
     ]);
 
     spec.add_constraint(Box::new(Precedence::strict("e2<e3", events[2], events[3])));
     let s3 = acceptable_steps(&spec, &options);
-    moccml_bench::experiments::table_row(&["+ e2 < e3 (initial state)".to_owned(), s3.len().to_string()]);
+    table_row(&["+ e2 < e3 (initial state)".to_owned(), s3.len().to_string()]);
 
     println!();
     println!("Expected shape: strictly decreasing — each conjunct removes steps.");

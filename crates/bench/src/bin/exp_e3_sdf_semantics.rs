@@ -6,20 +6,15 @@
 //! simulation trace as a timing diagram (the paper's "simulation
 //! traces" artefact).
 
+use moccml_bench::experiments::{e3_graph, table_header, table_row};
 use moccml_engine::{Policy, Simulator};
 use moccml_sdf::analysis::repetition_vector;
 use moccml_sdf::mocc::MoccVariant;
 use moccml_sdf::model_bridge::weave_specification;
-use moccml_sdf::SdfGraph;
 
 fn main() {
     // a --2:3--> b --1:1--> c, bounded places
-    let mut g = SdfGraph::new("e3");
-    g.add_agent("a", 0).expect("fresh graph");
-    g.add_agent("b", 0).expect("fresh graph");
-    g.add_agent("c", 0).expect("fresh graph");
-    g.connect("a", "b", 2, 3, 6, 0).expect("valid place");
-    g.connect("b", "c", 1, 1, 2, 0).expect("valid place");
+    let g = e3_graph();
 
     let r = repetition_vector(&g).expect("consistent graph");
     println!("# E3 — SDF semantics through the metamodel pipeline");
@@ -32,19 +27,26 @@ fn main() {
     let report = sim.run(24);
     let u = sim.specification().universe();
 
-    println!("simulation trace ({} steps, policy safe-max-parallel):", report.steps_taken);
+    println!(
+        "simulation trace ({} steps, policy safe-max-parallel):",
+        report.steps_taken
+    );
     println!();
     println!("{}", report.schedule.render_timing_diagram(u));
     println!();
 
-    moccml_bench::experiments::table_header(&["agent", "activations", "per-iteration ratio"]);
+    table_header(&["agent", "activations", "per-iteration ratio"]);
     let names = ["a", "b", "c"];
     let counts: Vec<usize> = names
         .iter()
-        .map(|n| report.schedule.occurrences(u.lookup(&format!("{n}.start")).expect("event")))
+        .map(|n| {
+            report
+                .schedule
+                .occurrences(u.lookup(&format!("{n}.start")).expect("event"))
+        })
         .collect();
     for (i, name) in names.iter().enumerate() {
-        moccml_bench::experiments::table_row(&[
+        table_row(&[
             (*name).to_owned(),
             counts[i].to_string(),
             format!("{:.2}", counts[i] as f64 / counts[0] as f64 * r[0] as f64),

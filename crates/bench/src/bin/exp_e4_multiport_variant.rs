@@ -4,19 +4,16 @@
 //! Compares state-space statistics of the same producer/consumer graph
 //! under the Fig. 3 place and the multiport variant.
 
+use moccml_bench::experiments::{e4_graph, table_header, table_row};
 use moccml_engine::{explore, ExploreOptions};
 use moccml_sdf::mocc::{build_specification_with, MoccVariant};
-use moccml_sdf::SdfGraph;
 
 fn main() {
-    let mut g = SdfGraph::new("e4");
-    g.add_agent("prod", 0).expect("fresh graph");
-    g.add_agent("cons", 0).expect("fresh graph");
-    g.connect("prod", "cons", 1, 1, 2, 1).expect("valid place");
+    let g = e4_graph();
 
     println!("# E4 — MoCC variation: Fig. 3 place vs multiport memory");
     println!();
-    moccml_bench::experiments::table_header(&[
+    table_header(&[
         "variant",
         "states",
         "transitions",
@@ -31,7 +28,7 @@ fn main() {
         let spec = build_specification_with(&g, variant).expect("builds");
         let space = explore(&spec, &ExploreOptions::default());
         let stats = space.stats();
-        moccml_bench::experiments::table_row(&[
+        table_row(&[
             label.to_owned(),
             stats.states.to_string(),
             stats.transitions.to_string(),

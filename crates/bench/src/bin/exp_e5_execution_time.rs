@@ -5,24 +5,16 @@
 //! order. Reports throughput (consumer activations per step) for a
 //! producer/consumer pair as N grows.
 
+use moccml_bench::experiments::{e5_graph, table_header, table_row};
 use moccml_engine::{explore, ExploreOptions, Policy, Simulator};
 use moccml_sdf::mocc::build_specification;
-use moccml_sdf::SdfGraph;
 
 fn main() {
     println!("# E5 — execution time N stretches schedules");
     println!();
-    moccml_bench::experiments::table_header(&[
-        "N",
-        "states",
-        "cons activations / 30 steps",
-        "throughput",
-    ]);
+    table_header(&["N", "states", "cons activations / 30 steps", "throughput"]);
     for n in [0u32, 1, 2, 4] {
-        let mut g = SdfGraph::new("e5");
-        g.add_agent("prod", n).expect("fresh graph");
-        g.add_agent("cons", n).expect("fresh graph");
-        g.connect("prod", "cons", 1, 1, 2, 0).expect("valid place");
+        let g = e5_graph(n);
         let spec = build_specification(&g).expect("builds");
         let states = explore(&spec, &ExploreOptions::default()).state_count();
         let mut sim = Simulator::new(spec, Policy::SafeMaxParallel);
@@ -32,7 +24,7 @@ fn main() {
         let fired = report
             .schedule
             .occurrences(u.lookup("cons.start").expect("event"));
-        moccml_bench::experiments::table_row(&[
+        table_row(&[
             n.to_string(),
             states.to_string(),
             fired.to_string(),

@@ -4,7 +4,7 @@
 //! Regenerates the quantitative scheduling-state-space table and one
 //! simulation trace per configuration.
 
-use moccml_bench::experiments::{explore_stats, stats_cells, table_header, table_row};
+use moccml_bench::experiments::{e6_configs, explore_stats, stats_cells, table_header, table_row};
 use moccml_engine::{Policy, Simulator};
 use moccml_sdf::pam;
 
@@ -22,26 +22,7 @@ fn main() {
         "safe sim 30 steps?",
     ]);
 
-    let configs: Vec<(String, moccml_kernel::Specification)> = {
-        let mut v = Vec::new();
-        v.push((
-            "infinite resources".to_owned(),
-            pam::infinite_resources().expect("builds"),
-        ));
-        for (platform, deployment) in [
-            pam::deployment_single_core(),
-            pam::deployment_dual_core(),
-            pam::deployment_quad_core(),
-        ] {
-            v.push((
-                platform.name().to_owned(),
-                pam::deployed(&platform, &deployment).expect("deploys"),
-            ));
-        }
-        v
-    };
-
-    for (name, spec) in &configs {
+    for (name, spec) in &e6_configs() {
         let stats = explore_stats(spec, 200_000);
         let greedy = Simulator::new(spec.clone(), Policy::MaxParallel).run(30);
         let safe = Simulator::new(spec.clone(), Policy::SafeMaxParallel).run(30);
@@ -66,5 +47,10 @@ fn main() {
     let report = sim.run(12);
     println!("## infinite-resource simulation trace (12 steps)");
     println!();
-    println!("{}", report.schedule.render_timing_diagram(sim.specification().universe()));
+    println!(
+        "{}",
+        report
+            .schedule
+            .render_timing_diagram(sim.specification().universe())
+    );
 }

@@ -1,17 +1,125 @@
-//! Reporting helpers shared by the experiment binaries.
+//! Workload builders and reporting helpers shared by the experiment
+//! binaries (`exp_e1` … `exp_e6`), the bench targets and the smoke
+//! tests.
+//!
+//! Each `e*` function builds exactly the artefact its binary studies,
+//! parameterised so tests can exercise it at tiny sizes.
 
+use moccml_automata::AutomatonInstance;
 use moccml_engine::{explore, ExploreOptions, StateSpaceStats};
-use moccml_kernel::Specification;
+use moccml_kernel::{EventId, Specification, Universe};
+use moccml_sdf::{pam, SdfGraph};
 
-/// Prints a Markdown-style table header.
-pub fn table_header(columns: &[&str]) {
-    println!("| {} |", columns.join(" | "));
-    println!("|{}|", columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+pub use crate::report::{table_header, table_row};
+
+/// E1 — the Fig. 3 `PlaceConstraint` automaton instantiated over a
+/// fresh `write`/`read` pair, with unit rates.
+///
+/// # Panics
+///
+/// Panics if the embedded SDF library fails to parse or bind — both
+/// would be seed-data bugs.
+#[must_use]
+pub fn e1_place(capacity: i64, delay: i64) -> (AutomatonInstance, EventId, EventId) {
+    let lib = moccml_automata::parse_library(moccml_sdf::mocc::SDF_LIBRARY_SOURCE)
+        .expect("embedded library parses");
+    let mut u = Universe::new();
+    let (w, r) = (u.event("write"), u.event("read"));
+    let place = lib
+        .instantiate("PlaceConstraint", "fig3")
+        .expect("declared")
+        .bind_event("write", w)
+        .bind_event("read", r)
+        .bind_int("pushRate", 1)
+        .bind_int("popRate", 1)
+        .bind_int("itsDelay", delay)
+        .bind_int("itsCapacity", capacity)
+        .finish()
+        .expect("bindings complete");
+    (place, w, r)
 }
 
-/// Prints one Markdown-style table row.
-pub fn table_row(cells: &[String]) {
-    println!("| {} |", cells.join(" | "));
+/// E2 — an unconstrained universe of `n` events (constraints are added
+/// incrementally by the binary to show monotone shrinking).
+#[must_use]
+pub fn e2_spec(n: usize) -> (Specification, Vec<EventId>) {
+    let mut u = Universe::new();
+    let events: Vec<EventId> = (0..n).map(|i| u.event(&format!("e{i}"))).collect();
+    (Specification::new("e2", u), events)
+}
+
+/// E3 — the multirate chain `a --2:3--> b --1:1--> c` with bounded
+/// places (repetition vector `[3, 2, 2]`: the binary prints the
+/// activation ratios it induces).
+///
+/// # Panics
+///
+/// Panics if the fixed graph is rejected — a seed-data bug.
+#[must_use]
+pub fn e3_graph() -> SdfGraph {
+    let mut g = SdfGraph::new("e3");
+    g.add_agent("a", 0).expect("fresh graph");
+    g.add_agent("b", 0).expect("fresh graph");
+    g.add_agent("c", 0).expect("fresh graph");
+    g.connect("a", "b", 2, 3, 6, 0).expect("valid place");
+    g.connect("b", "c", 1, 1, 2, 0).expect("valid place");
+    g
+}
+
+/// E4 — the producer/consumer pair with one delayed place, compared
+/// under the standard and multiport MoCC variants.
+///
+/// # Panics
+///
+/// Panics if the fixed graph is rejected — a seed-data bug.
+#[must_use]
+pub fn e4_graph() -> SdfGraph {
+    let mut g = SdfGraph::new("e4");
+    g.add_agent("prod", 0).expect("fresh graph");
+    g.add_agent("cons", 0).expect("fresh graph");
+    g.connect("prod", "cons", 1, 1, 2, 1).expect("valid place");
+    g
+}
+
+/// E5 — a producer/consumer pair whose agents take `n` execution
+/// cycles per activation (`stop` at the n-th `isExecuting`).
+///
+/// # Panics
+///
+/// Panics if the fixed graph is rejected — a seed-data bug.
+#[must_use]
+pub fn e5_graph(n: u32) -> SdfGraph {
+    let mut g = SdfGraph::new("e5");
+    g.add_agent("prod", n).expect("fresh graph");
+    g.add_agent("cons", n).expect("fresh graph");
+    g.connect("prod", "cons", 1, 1, 2, 0).expect("valid place");
+    g
+}
+
+/// E6 — the PAM study's four configurations: infinite resources plus
+/// the single/dual/quad-core deployments.
+///
+/// # Panics
+///
+/// Panics if the embedded PAM models fail to build — a seed-data bug.
+#[must_use]
+pub fn e6_configs() -> Vec<(String, Specification)> {
+    let mut v = Vec::new();
+    v.push((
+        "infinite resources".to_owned(),
+        pam::infinite_resources().expect("builds"),
+    ));
+    for (platform, deployment) in [
+        pam::deployment_single_core(),
+        pam::deployment_dual_core(),
+        pam::deployment_quad_core(),
+    ] {
+        v.push((
+            platform.name().to_owned(),
+            pam::deployed(&platform, &deployment).expect("deploys"),
+        ));
+    }
+    v
 }
 
 /// Explores `spec` (bounded) and returns the aggregate statistics.
@@ -37,7 +145,6 @@ pub fn stats_cells(stats: &StateSpaceStats) -> Vec<String> {
 mod tests {
     use super::*;
     use moccml_ccsl::Alternation;
-    use moccml_kernel::Universe;
 
     #[test]
     fn stats_cells_have_five_columns() {

@@ -1,0 +1,193 @@
+//! A std-only micro-benchmark harness: `Instant`-based timing with
+//! warmup, a fixed iteration count, and median/p95 reporting.
+//!
+//! Replaces criterion (unfetchable in this offline workspace) for the
+//! `[[bench]]` targets; results go through [`crate::report`] — the
+//! same path the `exp_e*` binaries use — as a Markdown table plus a
+//! `BENCH_<group>.json` baseline.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use moccml_bench::harness::BenchGroup;
+//!
+//! let mut group = BenchGroup::new("demo");
+//! group.bench("sum_1k", || (0..1000u64).sum::<u64>());
+//! group.finish();
+//! ```
+
+use crate::report::{table_header, table_row, write_bench_json, BenchRecord};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Default measured iterations per benchmark.
+pub const DEFAULT_ITERS: u32 = 30;
+/// Default warmup iterations (timed but discarded).
+pub const DEFAULT_WARMUP: u32 = 3;
+
+/// Times one closure: `warmup` discarded runs, then `iters` measured
+/// runs, returning the per-iteration statistics.
+///
+/// The closure's return value is routed through
+/// [`std::hint::black_box`] so the optimizer cannot delete the work.
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
+pub fn measure<T>(name: &str, warmup: u32, iters: u32, mut f: impl FnMut() -> T) -> BenchRecord {
+    assert!(iters > 0, "iters must be positive");
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut samples: Vec<u128> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        samples.push(start.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    let sum: u128 = samples.iter().sum();
+    BenchRecord {
+        name: name.to_owned(),
+        iters,
+        min_ns: samples[0],
+        mean_ns: sum / u128::from(iters),
+        median_ns: percentile(&samples, 50),
+        p95_ns: percentile(&samples, 95),
+        max_ns: samples[samples.len() - 1],
+    }
+}
+
+/// The `p`-th percentile of sorted nanosecond samples
+/// (nearest-rank method).
+fn percentile(sorted: &[u128], p: u32) -> u128 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (u128::from(p) * sorted.len() as u128).div_ceil(100);
+    sorted[(rank.max(1) as usize) - 1]
+}
+
+/// A named collection of benchmarks sharing iteration settings; on
+/// [`finish`](BenchGroup::finish) it prints one table and writes
+/// `BENCH_<group>.json`.
+#[derive(Debug)]
+pub struct BenchGroup {
+    group: String,
+    warmup: u32,
+    iters: u32,
+    records: Vec<BenchRecord>,
+}
+
+impl BenchGroup {
+    /// Creates a group with the default warmup/iteration counts.
+    #[must_use]
+    pub fn new(group: &str) -> Self {
+        BenchGroup {
+            group: group.to_owned(),
+            warmup: DEFAULT_WARMUP,
+            iters: DEFAULT_ITERS,
+            records: Vec::new(),
+        }
+    }
+
+    /// Overrides the measured iteration count for subsequent
+    /// [`bench`](BenchGroup::bench) calls (heavy workloads use fewer).
+    #[must_use]
+    pub fn with_iters(mut self, iters: u32) -> Self {
+        self.iters = iters;
+        self
+    }
+
+    /// Overrides the warmup count for subsequent benches.
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: u32) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Runs and records one benchmark.
+    pub fn bench<T>(&mut self, name: &str, f: impl FnMut() -> T) {
+        let record = measure(name, self.warmup, self.iters, f);
+        eprintln!(
+            "  {}/{}: median {} (p95 {}, {} iters)",
+            self.group,
+            record.name,
+            crate::report::format_ns(record.median_ns),
+            crate::report::format_ns(record.p95_ns),
+            record.iters,
+        );
+        self.records.push(record);
+    }
+
+    /// Measured records so far (mostly for tests).
+    #[must_use]
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Prints the group's Markdown table and writes the JSON baseline,
+    /// returning the records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the JSON baseline cannot be written.
+    pub fn finish(self) -> Vec<BenchRecord> {
+        println!();
+        println!("## bench group `{}`", self.group);
+        println!();
+        table_header(&["benchmark", "iters", "median", "p95", "min"]);
+        for r in &self.records {
+            table_row(&r.cells());
+        }
+        println!();
+        let path = write_bench_json(&self.group, &self.records)
+            .expect("BENCH json baseline must be writable");
+        println!("baseline written to {}", path.display());
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_produces_ordered_stats() {
+        let r = measure("spin", 1, 25, || {
+            let mut acc = 0u64;
+            for i in 0..500u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert_eq!(r.iters, 25);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.median_ns <= r.p95_ns);
+        assert!(r.p95_ns <= r.max_ns);
+        assert!(r.min_ns <= r.mean_ns && r.mean_ns <= r.max_ns);
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let sorted: Vec<u128> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50), 50);
+        assert_eq!(percentile(&sorted, 95), 95);
+        assert_eq!(percentile(&[7], 95), 7);
+        assert_eq!(percentile(&[3, 9], 50), 3);
+    }
+
+    #[test]
+    fn group_collects_records() {
+        let mut g = BenchGroup::new("unit").with_iters(3).with_warmup(0);
+        g.bench("noop", || 1u8);
+        g.bench("noop2", || 2u8);
+        assert_eq!(g.records().len(), 2);
+        assert_eq!(g.records()[0].name, "noop");
+        assert_eq!(g.records()[1].iters, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_iters_panics() {
+        measure("bad", 0, 0, || ());
+    }
+}

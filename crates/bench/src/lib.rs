@@ -1,11 +1,15 @@
 //! # moccml-bench
 //!
 //! Experiment harness for the MoCCML reproduction: shared workload
-//! builders and reporting helpers used by the `exp_e*` binaries (one per
-//! experiment of DESIGN.md §4), the Criterion benches and the examples.
+//! builders, the offline std-only bench [`harness`], and the single
+//! reporting path ([`report`]) used by the `exp_e*` binaries (one per
+//! experiment of DESIGN.md §4), the `[[bench]]` targets and the
+//! examples.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
+pub mod report;
 pub mod workloads;

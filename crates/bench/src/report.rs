@@ -1,0 +1,199 @@
+//! The single reporting path shared by the `exp_e*` experiment
+//! binaries and the bench targets: Markdown tables on stdout and
+//! `BENCH_<group>.json` files at the workspace root.
+//!
+//! Hand-rolled JSON writing keeps the workspace buildable with no
+//! network access (no serde).
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Prints a Markdown-style table header.
+pub fn table_header(columns: &[&str]) {
+    println!("| {} |", columns.join(" | "));
+    println!(
+        "|{}|",
+        columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+}
+
+/// Prints one Markdown-style table row.
+pub fn table_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// One measured benchmark: a label plus nanosecond statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Benchmark label, e.g. `subclock_chain/8`.
+    pub name: String,
+    /// Measured iterations (after warmup).
+    pub iters: u32,
+    /// Fastest iteration, in nanoseconds.
+    pub min_ns: u128,
+    /// Mean over all iterations, in nanoseconds.
+    pub mean_ns: u128,
+    /// Median over all iterations, in nanoseconds.
+    pub median_ns: u128,
+    /// 95th-percentile iteration, in nanoseconds.
+    pub p95_ns: u128,
+    /// Slowest iteration, in nanoseconds.
+    pub max_ns: u128,
+}
+
+impl BenchRecord {
+    /// The five standard table cells for [`table_row`]:
+    /// name, iters, median, p95, min.
+    #[must_use]
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            self.name.clone(),
+            self.iters.to_string(),
+            format_ns(self.median_ns),
+            format_ns(self.p95_ns),
+            format_ns(self.min_ns),
+        ]
+    }
+}
+
+/// Formats a nanosecond count with a human-readable unit.
+#[must_use]
+pub fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Where `BENCH_*.json` files land: `$MOCCML_BENCH_OUT` if set,
+/// otherwise the workspace root (the nearest ancestor of the current
+/// directory whose `Cargo.toml` declares `[workspace]`, matching
+/// cargo's own resolution), otherwise the current directory.
+#[must_use]
+pub fn output_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("MOCCML_BENCH_OUT") {
+        return PathBuf::from(dir);
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    cwd.ancestors()
+        .find(|dir| manifest_declares_workspace(&dir.join("Cargo.toml")))
+        .map_or(cwd.clone(), Path::to_path_buf)
+}
+
+fn manifest_declares_workspace(manifest: &Path) -> bool {
+    std::fs::read_to_string(manifest)
+        .map(|text| text.lines().any(|l| l.trim() == "[workspace]"))
+        .unwrap_or(false)
+}
+
+/// Writes `BENCH_<group>.json` into [`output_dir`] and returns its
+/// path.
+///
+/// # Errors
+///
+/// Propagates any I/O failure creating or writing the file.
+pub fn write_bench_json(group: &str, records: &[BenchRecord]) -> std::io::Result<PathBuf> {
+    let path = output_dir().join(format!("BENCH_{group}.json"));
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"group\": {},\n", json_string(group)));
+    out.push_str("  \"unit\": \"ns\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"iters\": {}, \"min_ns\": {}, \"mean_ns\": {}, \
+             \"median_ns\": {}, \"p95_ns\": {}, \"max_ns\": {}}}{}\n",
+            json_string(&r.name),
+            r.iters,
+            r.min_ns,
+            r.mean_ns,
+            r.median_ns,
+            r.p95_ns,
+            r.max_ns,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(out.as_bytes())?;
+    Ok(path)
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // the two env-mutating tests must not interleave
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert_eq!(format_ns(999), "999 ns");
+        assert_eq!(format_ns(1_500), "1.500 µs");
+        assert_eq!(format_ns(2_000_000), "2.000 ms");
+        assert_eq!(format_ns(3_000_000_000), "3.000 s");
+    }
+
+    #[test]
+    fn bench_json_round_trips_to_disk() {
+        let _guard = ENV_LOCK.lock().expect("env lock");
+        let dir = std::env::temp_dir().join("moccml_bench_report_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        std::env::set_var("MOCCML_BENCH_OUT", &dir);
+        let records = [BenchRecord {
+            name: "unit/1".to_owned(),
+            iters: 5,
+            min_ns: 10,
+            mean_ns: 12,
+            median_ns: 11,
+            p95_ns: 15,
+            max_ns: 16,
+        }];
+        let path = write_bench_json("selftest", &records).expect("writes");
+        std::env::remove_var("MOCCML_BENCH_OUT");
+        let text = std::fs::read_to_string(&path).expect("readable");
+        assert!(path.ends_with("BENCH_selftest.json"));
+        assert!(text.contains("\"group\": \"selftest\""));
+        assert!(text.contains("\"median_ns\": 11"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn output_dir_honours_env_override() {
+        let _guard = ENV_LOCK.lock().expect("env lock");
+        std::env::set_var("MOCCML_BENCH_OUT", "/tmp/somewhere");
+        let dir = output_dir();
+        std::env::remove_var("MOCCML_BENCH_OUT");
+        assert_eq!(dir, PathBuf::from("/tmp/somewhere"));
+    }
+}

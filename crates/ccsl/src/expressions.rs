@@ -61,7 +61,12 @@ impl Constraint for Union {
     fn current_formula(&self) -> StepFormula {
         StepFormula::iff(
             StepFormula::event(self.result),
-            StepFormula::or(self.operands.iter().map(|&e| StepFormula::event(e)).collect()),
+            StepFormula::or(
+                self.operands
+                    .iter()
+                    .map(|&e| StepFormula::event(e))
+                    .collect(),
+            ),
         )
     }
     fn fire(&mut self, step: &Step) -> Result<(), KernelError> {
@@ -78,7 +83,10 @@ impl Constraint for Union {
         if key.is_empty() {
             Ok(())
         } else {
-            Err(bad_key(&self.name, "stateless expression expects empty key"))
+            Err(bad_key(
+                &self.name,
+                "stateless expression expects empty key",
+            ))
         }
     }
     fn reset(&mut self) {}
@@ -105,7 +113,10 @@ impl Intersection {
     #[must_use]
     pub fn new<I: IntoIterator<Item = EventId>>(name: &str, result: EventId, operands: I) -> Self {
         let operands: Vec<EventId> = operands.into_iter().collect();
-        assert!(!operands.is_empty(), "intersection needs at least one operand");
+        assert!(
+            !operands.is_empty(),
+            "intersection needs at least one operand"
+        );
         Intersection {
             name: name.to_owned(),
             result,
@@ -126,7 +137,12 @@ impl Constraint for Intersection {
     fn current_formula(&self) -> StepFormula {
         StepFormula::iff(
             StepFormula::event(self.result),
-            StepFormula::and(self.operands.iter().map(|&e| StepFormula::event(e)).collect()),
+            StepFormula::and(
+                self.operands
+                    .iter()
+                    .map(|&e| StepFormula::event(e))
+                    .collect(),
+            ),
         )
     }
     fn fire(&mut self, step: &Step) -> Result<(), KernelError> {
@@ -143,7 +159,10 @@ impl Constraint for Intersection {
         if key.is_empty() {
             Ok(())
         } else {
-            Err(bad_key(&self.name, "stateless expression expects empty key"))
+            Err(bad_key(
+                &self.name,
+                "stateless expression expects empty key",
+            ))
         }
     }
     fn reset(&mut self) {}
@@ -204,7 +223,10 @@ impl Constraint for Delay {
         if self.seen < self.delay {
             StepFormula::not(StepFormula::event(self.result))
         } else {
-            StepFormula::iff(StepFormula::event(self.result), StepFormula::event(self.base))
+            StepFormula::iff(
+                StepFormula::event(self.result),
+                StepFormula::event(self.base),
+            )
         }
     }
     fn fire(&mut self, step: &Step) -> Result<(), KernelError> {
@@ -291,7 +313,10 @@ impl Constraint for Periodic {
     }
     fn current_formula(&self) -> StepFormula {
         if self.selected_now() {
-            StepFormula::iff(StepFormula::event(self.result), StepFormula::event(self.base))
+            StepFormula::iff(
+                StepFormula::event(self.result),
+                StepFormula::event(self.base),
+            )
         } else {
             StepFormula::not(StepFormula::event(self.result))
         }
@@ -369,7 +394,10 @@ impl Constraint for SampledOn {
     }
     fn current_formula(&self) -> StepFormula {
         if self.pending {
-            StepFormula::iff(StepFormula::event(self.result), StepFormula::event(self.base))
+            StepFormula::iff(
+                StepFormula::event(self.result),
+                StepFormula::event(self.base),
+            )
         } else {
             StepFormula::not(StepFormula::event(self.result))
         }
@@ -479,7 +507,10 @@ impl Constraint for FilteredBy {
     }
     fn current_formula(&self) -> StepFormula {
         if self.selected_now() {
-            StepFormula::iff(StepFormula::event(self.result), StepFormula::event(self.base))
+            StepFormula::iff(
+                StepFormula::event(self.result),
+                StepFormula::event(self.base),
+            )
         } else {
             StepFormula::not(StepFormula::event(self.result))
         }
@@ -622,7 +653,8 @@ mod tests {
         let (_, trig, base, r) = setup();
         let mut s = SampledOn::new("s", r, trig, base);
         s.fire(&Step::from_events([trig])).expect("arm");
-        s.fire(&Step::from_events([base, r, trig])).expect("emit+rearm");
+        s.fire(&Step::from_events([base, r, trig]))
+            .expect("emit+rearm");
         // the simultaneous trigger re-armed the sampler
         s.fire(&Step::from_events([base, r])).expect("emit again");
     }
@@ -662,8 +694,7 @@ mod tests {
     fn filtered_by_matches_periodic_special_case() {
         let (_, base, _, r) = setup();
         let mut periodic = Periodic::every("p", r, base, 3);
-        let mut filtered =
-            FilteredBy::new("f", r, base, vec![], vec![true, false, false]);
+        let mut filtered = FilteredBy::new("f", r, base, vec![], vec![true, false, false]);
         for k in 0..9 {
             let step = if k % 3 == 0 {
                 Step::from_events([base, r])

@@ -185,7 +185,10 @@ impl Constraint for Coincidence {
         vec![self.left, self.right]
     }
     fn current_formula(&self) -> StepFormula {
-        StepFormula::iff(StepFormula::event(self.left), StepFormula::event(self.right))
+        StepFormula::iff(
+            StepFormula::event(self.left),
+            StepFormula::event(self.right),
+        )
     }
     fn fire(&mut self, step: &Step) -> Result<(), KernelError> {
         if self.current_formula().eval(step) {

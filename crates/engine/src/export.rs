@@ -46,7 +46,12 @@ pub fn schedule_to_vcd(schedule: &Schedule, universe: &Universe, module: &str) -
         s
     };
     for (id, name) in universe.iter_named() {
-        let _ = writeln!(out, "$var wire 1 {} {} $end", code(id.index()), name.replace(' ', "_"));
+        let _ = writeln!(
+            out,
+            "$var wire 1 {} {} $end",
+            code(id.index()),
+            name.replace(' ', "_")
+        );
     }
     let _ = writeln!(out, "$upscope $end");
     let _ = writeln!(out, "$enddefinitions $end");

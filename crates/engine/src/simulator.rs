@@ -118,9 +118,7 @@ impl Simulator {
             return None;
         }
         let chosen = match &self.policy {
-            Policy::Random { .. } => {
-                candidates[self.rng.next_below(candidates.len())].clone()
-            }
+            Policy::Random { .. } => candidates[self.rng.next_below(candidates.len())].clone(),
             Policy::MaxParallel => candidates
                 .iter()
                 .max_by_key(|s| s.len())
@@ -189,7 +187,11 @@ mod tests {
     use moccml_ccsl::{Alternation, Precedence, SubClock};
     use moccml_kernel::Universe;
 
-    fn alternating_spec() -> (Specification, moccml_kernel::EventId, moccml_kernel::EventId) {
+    fn alternating_spec() -> (
+        Specification,
+        moccml_kernel::EventId,
+        moccml_kernel::EventId,
+    ) {
         let mut u = Universe::new();
         let a = u.event("a");
         let b = u.event("b");

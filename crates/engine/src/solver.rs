@@ -169,8 +169,7 @@ mod tests {
         // no constraints ⇒ no constrained events ⇒ only the empty step,
         // which is excluded by default
         assert!(acceptable_steps(&spec, &SolverOptions::default()).is_empty());
-        let with_empty =
-            acceptable_steps(&spec, &SolverOptions::default().with_empty(true));
+        let with_empty = acceptable_steps(&spec, &SolverOptions::default().with_empty(true));
         assert_eq!(with_empty.len(), 1);
         assert!(with_empty[0].is_empty());
     }

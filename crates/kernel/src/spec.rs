@@ -168,22 +168,24 @@ impl Specification {
         let values = key.values();
         let mut cursor = 0usize;
         for c in &mut self.constraints {
-            let len = *values.get(cursor).ok_or_else(|| KernelError::InvalidStateKey {
-                constraint: c.name().to_owned(),
-                reason: "global key too short".to_owned(),
-            })?;
+            let len = *values
+                .get(cursor)
+                .ok_or_else(|| KernelError::InvalidStateKey {
+                    constraint: c.name().to_owned(),
+                    reason: "global key too short".to_owned(),
+                })?;
             cursor += 1;
             let len = usize::try_from(len).map_err(|_| KernelError::InvalidStateKey {
                 constraint: c.name().to_owned(),
                 reason: "negative length prefix".to_owned(),
             })?;
             let end = cursor + len;
-            let slice = values.get(cursor..end).ok_or_else(|| {
-                KernelError::InvalidStateKey {
+            let slice = values
+                .get(cursor..end)
+                .ok_or_else(|| KernelError::InvalidStateKey {
                     constraint: c.name().to_owned(),
                     reason: "global key too short".to_owned(),
-                }
-            })?;
+                })?;
             c.restore(&StateKey::from_values(slice.iter().copied()))?;
             cursor = end;
         }
@@ -315,9 +317,7 @@ mod tests {
     fn restore_rejects_malformed_keys() {
         let (mut spec, _) = spec_with_budget(2);
         assert!(spec.restore(&StateKey::new()).is_err());
-        assert!(spec
-            .restore(&StateKey::from_values([1, 0, 99]))
-            .is_err());
+        assert!(spec.restore(&StateKey::from_values([1, 0, 99])).is_err());
     }
 
     #[test]

@@ -118,8 +118,8 @@ impl Step {
     pub fn union(&self, other: &Step) -> Step {
         let mut words = vec![0; self.words.len().max(other.words.len())];
         for (i, slot) in words.iter_mut().enumerate() {
-            *slot = self.words.get(i).copied().unwrap_or(0)
-                | other.words.get(i).copied().unwrap_or(0);
+            *slot =
+                self.words.get(i).copied().unwrap_or(0) | other.words.get(i).copied().unwrap_or(0);
         }
         let mut s = Step { words };
         s.normalize();

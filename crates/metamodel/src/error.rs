@@ -57,7 +57,10 @@ impl fmt::Display for MetamodelError {
                 context,
                 expected,
                 found,
-            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
             MetamodelError::Navigation { path, found } => write!(
                 f,
                 "navigation `{path}` must reach exactly one object, found {found}"

@@ -55,7 +55,7 @@ mod model;
 mod registry;
 
 pub use error::MetamodelError;
-pub use mapping::{ArgExpr, EventDef, InvariantDef, MappingSpec, NavPath, weave};
+pub use mapping::{weave, ArgExpr, EventDef, InvariantDef, MappingSpec, NavPath};
 pub use meta::{AttrType, Attribute, MetaClass, Metamodel, Reference};
 pub use model::{AttrValue, Model, Object, ObjectId};
 pub use registry::ConstraintRegistry;

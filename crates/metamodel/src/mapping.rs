@@ -479,7 +479,9 @@ mod tests {
         let target = path.resolve_single(&model, place).expect("resolves");
         assert_eq!(model.object(target).name(), "a.out");
         // self resolves to the start object
-        let same = NavPath::self_().resolve_single(&model, place).expect("self");
+        let same = NavPath::self_()
+            .resolve_single(&model, place)
+            .expect("self");
         assert_eq!(same, place);
         // unknown reference segment
         let bad = NavPath::through(["ghost"]);

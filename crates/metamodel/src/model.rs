@@ -187,10 +187,12 @@ impl Model {
             .metamodel
             .class(&obj.class)
             .expect("object class validated at creation");
-        let decl = class.attribute(attr).ok_or_else(|| MetamodelError::Unknown {
-            kind: "attribute",
-            name: format!("{}.{attr}", obj.class),
-        })?;
+        let decl = class
+            .attribute(attr)
+            .ok_or_else(|| MetamodelError::Unknown {
+                kind: "attribute",
+                name: format!("{}.{attr}", obj.class),
+            })?;
         if !value.matches(decl.ty) {
             return Err(MetamodelError::TypeMismatch {
                 context: format!("{}.{attr}", obj.name),
@@ -214,7 +216,9 @@ impl Model {
         value: AttrValue,
     ) -> Result<(), MetamodelError> {
         self.check_attr(id, attr, &value)?;
-        self.objects[id.index()].attrs.insert(attr.to_owned(), value);
+        self.objects[id.index()]
+            .attrs
+            .insert(attr.to_owned(), value);
         Ok(())
     }
 
@@ -353,7 +357,8 @@ mod tests {
         assert_eq!(m.int_attr(a, "cycles").expect("reads"), 4);
         assert!(m.set_attr(a, "cycles", AttrValue::Bool(true)).is_err());
         assert!(m.set_attr(a, "ghost", AttrValue::Int(1)).is_err());
-        m.set_attr(a, "active", AttrValue::Bool(true)).expect("bool ok");
+        m.set_attr(a, "active", AttrValue::Bool(true))
+            .expect("bool ok");
         assert!(m.int_attr(a, "active").is_err()); // wrong reader
         assert!(m.int_attr(a, "ghost").is_err()); // unset
     }
@@ -371,7 +376,7 @@ mod tests {
         assert!(m.add_link(a, "main", p2).is_err()); // 0..1 violated
         assert!(m.add_link(a, "ghost", p1).is_err());
         assert!(m.add_link(p1, "rate", a).is_err()); // attr, not reference
-        // wrong target class
+                                                     // wrong target class
         let a2 = m.add_object("Agent", "a2").expect("adds");
         assert!(m.add_link(a, "ports", a2).is_err());
     }

@@ -34,7 +34,11 @@ impl fmt::Debug for ConstraintRegistry {
         f.debug_struct("ConstraintRegistry")
             .field(
                 "libraries",
-                &self.libraries.iter().map(|l| l.name().to_owned()).collect::<Vec<_>>(),
+                &self
+                    .libraries
+                    .iter()
+                    .map(|l| l.name().to_owned())
+                    .collect::<Vec<_>>(),
             )
             .field("native", &self.native.keys().collect::<Vec<_>>())
             .finish()
@@ -99,11 +103,9 @@ impl ConstraintRegistry {
         ints: &[i64],
     ) -> Result<Box<dyn Constraint>, MetamodelError> {
         if let Some(factory) = self.native.get(name) {
-            return factory(instance_name, events, ints).map_err(|reason| {
-                MetamodelError::Weave {
-                    instance: instance_name.to_owned(),
-                    reason,
-                }
+            return factory(instance_name, events, ints).map_err(|reason| MetamodelError::Weave {
+                instance: instance_name.to_owned(),
+                reason,
             });
         }
         for lib in &self.libraries {

@@ -136,12 +136,16 @@ impl SdfGraph {
         capacity: u32,
         delay: u32,
     ) -> Result<usize, SdfError> {
-        let src_idx = self.agent_index(src).ok_or_else(|| SdfError::UnknownAgent {
-            name: src.to_owned(),
-        })?;
-        let dst_idx = self.agent_index(dst).ok_or_else(|| SdfError::UnknownAgent {
-            name: dst.to_owned(),
-        })?;
+        let src_idx = self
+            .agent_index(src)
+            .ok_or_else(|| SdfError::UnknownAgent {
+                name: src.to_owned(),
+            })?;
+        let dst_idx = self
+            .agent_index(dst)
+            .ok_or_else(|| SdfError::UnknownAgent {
+                name: dst.to_owned(),
+            })?;
         if push_rate == 0 || pop_rate == 0 {
             return Err(SdfError::InvalidParameter {
                 reason: "rates must be positive".to_owned(),

@@ -164,9 +164,7 @@ pub fn build_specification_with(
     for port in graph.ports() {
         match port.direction {
             crate::graph::PortDirection::Input => universe.event(&port_event(&port.name, "read")),
-            crate::graph::PortDirection::Output => {
-                universe.event(&port_event(&port.name, "write"))
-            }
+            crate::graph::PortDirection::Output => universe.event(&port_event(&port.name, "write")),
         };
     }
 
@@ -253,14 +251,17 @@ pub fn build_specification_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use moccml_engine::{acceptable_steps, explore, ExploreOptions, Policy, Simulator, SolverOptions};
+    use moccml_engine::{
+        acceptable_steps, explore, ExploreOptions, Policy, Simulator, SolverOptions,
+    };
     use moccml_kernel::Step;
 
     fn producer_consumer(capacity: u32, delay: u32) -> SdfGraph {
         let mut g = SdfGraph::new("pc");
         g.add_agent("prod", 0).expect("prod");
         g.add_agent("cons", 0).expect("cons");
-        g.connect("prod", "cons", 1, 1, capacity, delay).expect("place");
+        g.connect("prod", "cons", 1, 1, capacity, delay)
+            .expect("place");
         g
     }
 
@@ -380,8 +381,7 @@ mod tests {
         // E4: the paper's multiport-memory variant strictly enlarges
         // the acceptable steps.
         let g = producer_consumer(1, 0);
-        let mut spec =
-            build_specification_with(&g, MoccVariant::Multiport).expect("builds");
+        let mut spec = build_specification_with(&g, MoccVariant::Multiport).expect("builds");
         let u = spec.universe();
         let prod_fire: Step = [
             u.lookup("prod.start").expect("e"),
@@ -422,7 +422,8 @@ mod tests {
         spec.fire(&Step::from_events([exec])).expect("cycle 1");
         // second (=N-th) cycle must carry the stop
         assert!(!spec.accepts(&Step::from_events([exec])));
-        spec.fire(&Step::from_events([exec, stop])).expect("cycle 2 + stop");
+        spec.fire(&Step::from_events([exec, stop]))
+            .expect("cycle 2 + stop");
     }
 
     #[test]

@@ -124,9 +124,7 @@ pub fn sigpml_registry() -> ConstraintRegistry {
     let mut registry = ConstraintRegistry::new();
     registry.add_library(sdf_library());
     registry.add_native("Coincidence", |name, events, _ints| match events {
-        [left, right] => {
-            Ok(Box::new(Coincidence::new(name, *left, *right)) as Box<dyn Constraint>)
-        }
+        [left, right] => Ok(Box::new(Coincidence::new(name, *left, *right)) as Box<dyn Constraint>),
         other => Err(format!(
             "Coincidence takes exactly two events, got {}",
             other.len()
@@ -271,7 +269,10 @@ mod tests {
         let std_steps = acceptable_names(&standard);
         let mp_steps = acceptable_names(&multiport);
         assert!(std_steps.is_subset(&mp_steps));
-        assert!(mp_steps.len() > std_steps.len(), "variant strictly enlarges");
+        assert!(
+            mp_steps.len() > std_steps.len(),
+            "variant strictly enlarges"
+        );
     }
 
     #[test]

@@ -180,7 +180,10 @@ mod tests {
         // the headline claim of the PAM study: deployments restrict the
         // attainable parallelism, visible in the explored state space.
         let infinite = infinite_resources().expect("builds");
-        let space_inf = explore(&infinite, &ExploreOptions::default().with_max_states(20_000));
+        let space_inf = explore(
+            &infinite,
+            &ExploreOptions::default().with_max_states(20_000),
+        );
         let (p1, d1) = deployment_single_core();
         let mono = deployed(&p1, &d1).expect("deploys");
         let space_mono = explore(&mono, &ExploreOptions::default().with_max_states(20_000));
@@ -204,7 +207,9 @@ mod tests {
         // holding the processor); more cores mean fewer of them, and the
         // infinite-resource model has none.
         let infinite = infinite_resources().expect("builds");
-        let d_inf = explore(&infinite, &ExploreOptions::default()).deadlocks().len();
+        let d_inf = explore(&infinite, &ExploreOptions::default())
+            .deadlocks()
+            .len();
         let mut counts = Vec::new();
         for (platform, deployment) in [
             deployment_single_core(),

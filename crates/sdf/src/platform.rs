@@ -36,7 +36,10 @@ impl Platform {
     /// Panics if `processor_count` is zero.
     #[must_use]
     pub fn new(name: &str, processor_count: usize) -> Self {
-        assert!(processor_count > 0, "a platform needs at least one processor");
+        assert!(
+            processor_count > 0,
+            "a platform needs at least one processor"
+        );
         Platform {
             name: name.to_owned(),
             processors: (0..processor_count).map(|i| format!("p{i}")).collect(),
@@ -276,11 +279,12 @@ pub fn deploy(
     let deployed = {
         let mut g = SdfGraph::new(&format!("{}@{}", graph.name(), platform.name()));
         for agent in graph.agents() {
-            let cycles = deployment.cycles_of(&agent.name).ok_or_else(|| {
-                SdfError::InvalidParameter {
-                    reason: format!("agent `{}` is not allocated", agent.name),
-                }
-            })?;
+            let cycles =
+                deployment
+                    .cycles_of(&agent.name)
+                    .ok_or_else(|| SdfError::InvalidParameter {
+                        reason: format!("agent `{}` is not allocated", agent.name),
+                    })?;
             g.add_agent(&agent.name, cycles)?;
         }
         for place in graph.places() {
@@ -402,7 +406,10 @@ mod tests {
     fn deployment_validates_agent_and_processor() {
         let g = two_agent_graph();
         let platform = Platform::new("mono", 1);
-        let d = Deployment::new().assign("ghost", 0, 1).assign("a", 0, 1).assign("b", 0, 1);
+        let d = Deployment::new()
+            .assign("ghost", 0, 1)
+            .assign("a", 0, 1)
+            .assign("b", 0, 1);
         assert!(matches!(
             deploy(&g, &platform, &d),
             Err(SdfError::UnknownAgent { .. })

@@ -115,9 +115,8 @@ pub fn sequential_schedule(graph: &SdfGraph) -> Result<Pass, SdfError> {
     let mut firings = Vec::new();
     let total: u64 = r.iter().sum();
     while (firings.len() as u64) < total {
-        let fired = (0..graph.agents().len()).find(|&a| {
-            remaining[a] > 0 && state.can_fire(graph, a, true)
-        });
+        let fired =
+            (0..graph.agents().len()).find(|&a| remaining[a] > 0 && state.can_fire(graph, a, true));
         match fired {
             Some(a) => {
                 state.fire(graph, a);
@@ -264,12 +263,14 @@ mod tests {
             step.insert(u.lookup(&format!("{name}.stop")).expect("event"));
             for p in g.input_ports(agent) {
                 step.insert(
-                    u.lookup(&format!("{}.read", g.ports()[p].name)).expect("event"),
+                    u.lookup(&format!("{}.read", g.ports()[p].name))
+                        .expect("event"),
                 );
             }
             for p in g.output_ports(agent) {
                 step.insert(
-                    u.lookup(&format!("{}.write", g.ports()[p].name)).expect("event"),
+                    u.lookup(&format!("{}.write", g.ports()[p].name))
+                        .expect("event"),
                 );
             }
             assert!(spec.accepts(&step), "PASS firing of `{name}` accepted");

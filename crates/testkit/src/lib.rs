@@ -1,0 +1,113 @@
+//! # moccml-testkit
+//!
+//! A zero-dependency, fully deterministic property-testing harness for
+//! the MoCCML workspace. The repository must build and test with **no
+//! network access**, so the randomized differential tests (solver
+//! equivalence, CCSL invariants, weaving equivalence) run on this
+//! in-repo harness instead of `proptest`.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Determinism** — a suite runs the same cases on every platform
+//!    and every invocation. Case `i` of a runner seeded with `s` always
+//!    sees the same random stream (derived with a SplitMix64 hash, the
+//!    same generator family as `moccml_engine::SplitMix64`).
+//! 2. **Reproducible failures** — a failing case panics with the exact
+//!    case seed and a one-line recipe (`MOCCML_TESTKIT_SEED=…`) that
+//!    replays only that case.
+//! 3. **Frictionless porting from proptest** — properties are closures
+//!    over a [`TestRng`] returning `Result<(), String>`; the
+//!    [`prop_assert!`] and [`prop_assert_eq!`] macros keep the assertion
+//!    style of the original suites.
+//!
+//! ## Example
+//!
+//! ```
+//! use moccml_testkit::{cases, prop_assert, prop_assert_eq};
+//!
+//! cases(64).run("addition commutes", |rng| {
+//!     let a = rng.u64_below(1 << 20);
+//!     let b = rng.u64_below(1 << 20);
+//!     prop_assert_eq!(a + b, b + a);
+//!     prop_assert!(a + b >= a, "no wrap for small operands");
+//!     Ok(())
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod rng;
+mod runner;
+
+pub use rng::TestRng;
+pub use runner::{cases, Cases};
+
+/// The `Result` type every property closure returns: `Ok(())` when the
+/// case passes, `Err(message)` when it fails.
+pub type PropResult = Result<(), String>;
+
+/// Asserts a condition inside a property closure; on failure returns an
+/// `Err` carrying the stringified condition, an optional formatted
+/// message, and the source location.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed at {}:{}: `{}`",
+                file!(),
+                line!(),
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed at {}:{}: `{}` — {}",
+                file!(),
+                line!(),
+                stringify!($cond),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property closure; on
+/// failure returns an `Err` showing both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err(format!(
+                "equality failed at {}:{}: `{}` == `{}`\n  left:  {:?}\n  right: {:?}",
+                file!(),
+                line!(),
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err(format!(
+                "equality failed at {}:{}: `{}` == `{}` — {}\n  left:  {:?}\n  right: {:?}",
+                file!(),
+                line!(),
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}

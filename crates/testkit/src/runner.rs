@@ -1,0 +1,245 @@
+//! The `cases(n)` runner: derives one seeded [`TestRng`] per case and
+//! reports failures with a replay recipe.
+
+use crate::rng::{splitmix64, TestRng};
+use crate::PropResult;
+
+/// Environment variable that replays a single case: set it to the case
+/// seed printed by a failure report and re-run the test.
+pub const REPLAY_ENV: &str = "MOCCML_TESTKIT_SEED";
+
+/// Default base seed; suites can pin a different one with
+/// [`Cases::with_seed`] so distinct suites explore distinct streams.
+const DEFAULT_BASE_SEED: u64 = 0x4D6F_4343_4D4C_2015; // "MoCCML" 2015
+
+/// A configured property run: how many cases, from which base seed.
+///
+/// Built by [`cases`]; consumed by [`Cases::run`].
+#[derive(Debug, Clone)]
+pub struct Cases {
+    n: usize,
+    base_seed: u64,
+}
+
+/// Configures a property run of `n` cases with the default base seed.
+///
+/// # Example
+///
+/// ```
+/// use moccml_testkit::{cases, prop_assert};
+///
+/// cases(32).with_seed(7).run("xor is involutive", |rng| {
+///     let (a, b) = (rng.any_u64(), rng.any_u64());
+///     prop_assert!((a ^ b) ^ b == a);
+///     Ok(())
+/// });
+/// ```
+#[must_use]
+pub fn cases(n: usize) -> Cases {
+    Cases {
+        n,
+        base_seed: DEFAULT_BASE_SEED,
+    }
+}
+
+impl Cases {
+    /// Pins a suite-specific base seed (cases stay deterministic, but
+    /// the explored stream differs from other suites).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Number of cases this run will execute.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// The seed of case `i` — what a failure report prints and what
+    /// [`REPLAY_ENV`] accepts.
+    #[must_use]
+    pub fn case_seed(&self, i: usize) -> u64 {
+        // hash, don't add: adjacent case indices must not produce
+        // overlapping xorshift streams.
+        splitmix64(self.base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Runs `property` once per case, each with a fresh [`TestRng`]
+    /// seeded from the case index.
+    ///
+    /// If [`REPLAY_ENV`] is set, only that seed is run — the exact
+    /// replay of one failing case.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case, reporting the property name,
+    /// case index, case seed, the failure message, and the replay
+    /// recipe.
+    pub fn run(self, name: &str, property: impl FnMut(&mut TestRng) -> PropResult) {
+        self.run_with_replay(name, property, replay_seed());
+    }
+
+    fn run_with_replay(
+        self,
+        name: &str,
+        mut property: impl FnMut(&mut TestRng) -> PropResult,
+        replay: Option<u64>,
+    ) {
+        if let Some(seed) = replay {
+            // a leftover exported var silently reduces every suite to
+            // one case — make replay mode loudly visible
+            eprintln!("moccml-testkit: {REPLAY_ENV} set, replaying single seed {seed:#018x}");
+            let mut rng = TestRng::new(seed);
+            if let Err(msg) = property(&mut rng) {
+                panic!("property '{name}' failed on replay seed {seed:#018x}:\n{msg}");
+            }
+            return;
+        }
+        for i in 0..self.n {
+            let seed = self.case_seed(i);
+            let mut rng = TestRng::new(seed);
+            if let Err(msg) = property(&mut rng) {
+                // a whitespace-bearing property name is not a valid
+                // libtest filter, so leave it out of the recipe then
+                let filter = if name.contains(char::is_whitespace) {
+                    String::new()
+                } else {
+                    format!(" {name}")
+                };
+                panic!(
+                    "property '{name}' failed at case {i}/{total} (seed {seed:#018x}):\n\
+                     {msg}\n\
+                     replay just this case with: {REPLAY_ENV}={seed} cargo test{filter}",
+                    total = self.n,
+                );
+            }
+        }
+    }
+}
+
+fn replay_seed() -> Option<u64> {
+    let raw = std::env::var(REPLAY_ENV).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(seed) => Some(seed),
+        Err(_) => panic!("{REPLAY_ENV} must be a u64 (decimal or 0x-hex), got '{raw}'"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // the runner's own tests pass `replay: None` explicitly so an
+    // exported MOCCML_TESTKIT_SEED (someone reproducing a property
+    // failure elsewhere in the workspace) cannot make them flake
+
+    #[test]
+    fn runs_exactly_n_cases() {
+        let mut count = 0;
+        cases(48).run_with_replay(
+            "counter",
+            |_rng| {
+                count += 1;
+                Ok(())
+            },
+            None,
+        );
+        assert_eq!(count, 48);
+    }
+
+    #[test]
+    fn replay_runs_exactly_one_case_on_the_given_seed() {
+        let mut seen = Vec::new();
+        cases(48).run_with_replay(
+            "replay",
+            |rng| {
+                seen.push(rng.any_u64());
+                Ok(())
+            },
+            Some(99),
+        );
+        assert_eq!(seen, vec![TestRng::new(99).any_u64()]);
+    }
+
+    #[test]
+    fn case_seeds_are_deterministic_and_distinct() {
+        let a = cases(64);
+        let b = cases(64);
+        let seeds: Vec<u64> = (0..64).map(|i| a.case_seed(i)).collect();
+        assert_eq!(seeds, (0..64).map(|i| b.case_seed(i)).collect::<Vec<_>>());
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "case seeds must not collide");
+    }
+
+    #[test]
+    fn with_seed_changes_the_stream() {
+        assert_ne!(
+            cases(1).with_seed(1).case_seed(0),
+            cases(1).with_seed(2).case_seed(0)
+        );
+    }
+
+    #[test]
+    fn failure_reports_name_seed_and_replay_recipe() {
+        let result = std::panic::catch_unwind(|| {
+            cases(8).run_with_replay("always fails", |_rng| Err("boom".to_owned()), None);
+        });
+        let msg = *result
+            .expect_err("property must fail")
+            .downcast::<String>()
+            .expect("panic payload is a String");
+        assert!(msg.contains("always fails"), "names the property: {msg}");
+        assert!(msg.contains("case 0/8"), "names the case: {msg}");
+        assert!(msg.contains("boom"), "carries the message: {msg}");
+        assert!(msg.contains(REPLAY_ENV), "gives the replay recipe: {msg}");
+        assert!(
+            msg.contains(&format!("{}", cases(8).case_seed(0))),
+            "prints the decimal seed for the env var: {msg}"
+        );
+    }
+
+    #[test]
+    fn failing_case_seed_reproduces_the_same_values() {
+        // collect the value each case sees, then re-derive case 3's
+        // value from its reported seed alone — the replay path.
+        let mut values = Vec::new();
+        cases(5).run_with_replay(
+            "collect",
+            |rng| {
+                values.push(rng.any_u64());
+                Ok(())
+            },
+            None,
+        );
+        let seed3 = cases(5).case_seed(3);
+        assert_eq!(TestRng::new(seed3).any_u64(), values[3]);
+    }
+
+    #[test]
+    fn prop_macros_pass_and_fail() {
+        fn passing(rng: &mut TestRng) -> crate::PropResult {
+            let v = rng.u64_below(10);
+            crate::prop_assert!(v < 10);
+            crate::prop_assert_eq!(v, v);
+            Ok(())
+        }
+        fn failing(_rng: &mut TestRng) -> crate::PropResult {
+            crate::prop_assert_eq!(1 + 1, 3, "arithmetic broke");
+            Ok(())
+        }
+        assert!(passing(&mut TestRng::new(1)).is_ok());
+        let err = failing(&mut TestRng::new(1)).unwrap_err();
+        assert!(err.contains("arithmetic broke"));
+        assert!(err.contains("left:  2"));
+    }
+}

@@ -95,6 +95,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim = Simulator::new(spec, Policy::Random { seed: 7 });
     let report = sim.run(12);
     println!("\n12-step random run:");
-    println!("{}", report.schedule.render_timing_diagram(sim.specification().universe()));
+    println!(
+        "{}",
+        report
+            .schedule
+            .render_timing_diagram(sim.specification().universe())
+    );
     Ok(())
 }

@@ -13,7 +13,8 @@ fn ring(capacity: u32, delay: u32) -> SdfGraph {
     g.add_agent("a", 0).expect("fresh graph");
     g.add_agent("b", 0).expect("fresh graph");
     g.connect("a", "b", 1, 1, capacity, 0).expect("valid place");
-    g.connect("b", "a", 1, 1, capacity, delay).expect("valid place");
+    g.connect("b", "a", 1, 1, capacity, delay)
+        .expect("valid place");
     g
 }
 

@@ -9,9 +9,11 @@ use moccml_engine::{explore, ExploreOptions, Policy, Simulator};
 use moccml_sdf::pam;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("PAM application: {} agents, {} places\n",
+    println!(
+        "PAM application: {} agents, {} places\n",
         pam::pam_application().agents().len(),
-        pam::pam_application().places().len());
+        pam::pam_application().places().len()
+    );
 
     let mut configs = vec![("infinite-resources".to_owned(), pam::infinite_resources()?)];
     for (platform, deployment) in [
@@ -19,10 +21,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pam::deployment_dual_core(),
         pam::deployment_quad_core(),
     ] {
-        configs.push((platform.name().to_owned(), pam::deployed(&platform, &deployment)?));
+        configs.push((
+            platform.name().to_owned(),
+            pam::deployed(&platform, &deployment)?,
+        ));
     }
 
-    println!("{:<20} {:>8} {:>12} {:>10} {:>8}", "configuration", "states", "transitions", "deadlocks", "max ∥");
+    println!(
+        "{:<20} {:>8} {:>12} {:>10} {:>8}",
+        "configuration", "states", "transitions", "deadlocks", "max ∥"
+    );
     for (name, spec) in &configs {
         let stats = explore(spec, &ExploreOptions::default()).stats();
         println!(
@@ -37,6 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim = Simulator::new(spec, Policy::SafeMaxParallel);
     let report = sim.run(16);
     println!("\ndual-core 16-step schedule (deadlock-avoiding ASAP policy):");
-    println!("{}", report.schedule.render_timing_diagram(sim.specification().universe()));
+    println!(
+        "{}",
+        report
+            .schedule
+            .render_timing_diagram(sim.specification().universe())
+    );
     Ok(())
 }

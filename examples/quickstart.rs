@@ -55,7 +55,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut simulator = Simulator::new(spec, Policy::Random { seed: 2015 });
     let report = simulator.run(10);
     println!();
-    println!("10-step random simulation (deadlocked: {}):", report.deadlocked);
-    println!("{}", report.schedule.render_timing_diagram(simulator.specification().universe()));
+    println!(
+        "10-step random simulation (deadlocked: {}):",
+        report.deadlocked
+    );
+    println!(
+        "{}",
+        report
+            .schedule
+            .render_timing_diagram(simulator.specification().universe())
+    );
     Ok(())
 }

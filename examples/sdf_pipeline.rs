@@ -39,6 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim = Simulator::new(spec, Policy::SafeMaxParallel);
     let report = sim.run(20);
     println!("\n20-step as-soon-as-possible schedule:");
-    println!("{}", report.schedule.render_timing_diagram(sim.specification().universe()));
+    println!(
+        "{}",
+        report
+            .schedule
+            .render_timing_diagram(sim.specification().universe())
+    );
     Ok(())
 }

@@ -1,0 +1,48 @@
+//! # moccml
+//!
+//! Facade crate for the Rust reproduction of *"Towards a Meta-Language
+//! for the Concurrency Concern in DSLs"* (DeAntoni, Diallo, Teodorov,
+//! Champeau, Combemale — DATE 2015).
+//!
+//! Each layer of the paper's Fig. 1 lives in its own crate; this
+//! package re-exports them under one roof and owns the cross-crate
+//! integration tests (`tests/`) and runnable walkthroughs
+//! (`examples/`).
+//!
+//! * [`kernel`] — events, steps, schedules, step formulas, the
+//!   [`Constraint`](kernel::Constraint) protocol;
+//! * [`automata`] — MoCCML constraint automata (Fig. 2/3) and their
+//!   textual concrete syntax;
+//! * [`ccsl`] — the declarative CCSL relation/expression library;
+//! * [`metamodel`] — MOF-lite metamodels, models and the ECL-style
+//!   mapping that weaves constraints over a model;
+//! * [`engine`] — the generic execution engine: step solver,
+//!   simulator, exhaustive explorer;
+//! * [`sdf`] — the paper's illustrative DSL (SigPML/SDF) and the PAM
+//!   case study.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use moccml::ccsl::Alternation;
+//! use moccml::engine::{Policy, Simulator};
+//! use moccml::kernel::{Specification, Universe};
+//!
+//! let mut u = Universe::new();
+//! let a = u.event("a");
+//! let b = u.event("b");
+//! let mut spec = Specification::new("alt", u);
+//! spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+//! let report = Simulator::new(spec, Policy::Lexicographic).run(4);
+//! assert_eq!(report.steps_taken, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use moccml_automata as automata;
+pub use moccml_ccsl as ccsl;
+pub use moccml_engine as engine;
+pub use moccml_kernel as kernel;
+pub use moccml_metamodel as metamodel;
+pub use moccml_sdf as sdf;

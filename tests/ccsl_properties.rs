@@ -1,11 +1,17 @@
 //! Property-based tests on the CCSL declarative constraints: every
 //! schedule produced by the engine satisfies the defining invariant of
 //! each relation, for arbitrary seeds and parameters.
+//!
+//! Ported from `proptest` (48 cases per property) to the deterministic
+//! in-repo `moccml-testkit` harness at 64 cases per property; failures
+//! report a replayable case seed.
 
 use moccml_ccsl::{Alternation, Delay, Exclusion, Periodic, Precedence, SubClock, Union};
 use moccml_engine::{Policy, Simulator};
 use moccml_kernel::{EventId, Schedule, Specification, Universe};
-use proptest::prelude::*;
+use moccml_testkit::{cases, prop_assert, prop_assert_eq};
+
+const CASES: usize = 64; // seed suite ran 48
 
 fn three_event_spec() -> (Universe, EventId, EventId, EventId) {
     let mut u = Universe::new();
@@ -16,26 +22,31 @@ fn three_event_spec() -> (Universe, EventId, EventId, EventId) {
 }
 
 fn run(spec: Specification, seed: u64, steps: usize) -> Schedule {
-    Simulator::new(spec, Policy::Random { seed }).run(steps).schedule
+    Simulator::new(spec, Policy::Random { seed })
+        .run(steps)
+        .schedule
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Sub-clock: every step containing `a` also contains `b`.
-    #[test]
-    fn subclock_invariant(seed in any::<u64>()) {
+/// Sub-clock: every step containing `a` also contains `b`.
+#[test]
+fn subclock_invariant() {
+    cases(CASES).run("subclock_invariant", |rng| {
+        let seed = rng.any_u64();
         let (u, a, b, _) = three_event_spec();
         let mut spec = Specification::new("t", u);
         spec.add_constraint(Box::new(SubClock::new("s", a, b)));
         for step in run(spec, seed, 30).iter() {
             prop_assert!(!step.contains(a) || step.contains(b));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Exclusion: no step contains two of the excluded events.
-    #[test]
-    fn exclusion_invariant(seed in any::<u64>()) {
+/// Exclusion: no step contains two of the excluded events.
+#[test]
+fn exclusion_invariant() {
+    cases(CASES).run("exclusion_invariant", |rng| {
+        let seed = rng.any_u64();
         let (u, a, b, c) = three_event_spec();
         let mut spec = Specification::new("t", u);
         spec.add_constraint(Box::new(Exclusion::new("x", [a, b, c])));
@@ -43,12 +54,17 @@ proptest! {
             let hits = [a, b, c].iter().filter(|e| step.contains(**e)).count();
             prop_assert!(hits <= 1);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Strict precedence: the cause count strictly dominates; with a
-    /// bound, the drift never exceeds it.
-    #[test]
-    fn bounded_precedence_invariant(seed in any::<u64>(), bound in 1u64..4) {
+/// Strict precedence: the cause count strictly dominates; with a
+/// bound, the drift never exceeds it.
+#[test]
+fn bounded_precedence_invariant() {
+    cases(CASES).run("bounded_precedence_invariant", |rng| {
+        let seed = rng.any_u64();
+        let bound = rng.u64_in(1..4);
         let (u, a, b, _) = three_event_spec();
         let mut spec = Specification::new("t", u);
         spec.add_constraint(Box::new(Precedence::strict("p", a, b).with_bound(bound)));
@@ -57,16 +73,24 @@ proptest! {
         let mut cb = 0i64;
         for step in schedule.iter() {
             // within a step the new cause is counted before the effect
-            if step.contains(a) { ca += 1; }
-            if step.contains(b) { cb += 1; }
+            if step.contains(a) {
+                ca += 1;
+            }
+            if step.contains(b) {
+                cb += 1;
+            }
             prop_assert!(cb <= ca, "effect ahead of cause");
             prop_assert!(ca - cb <= bound as i64, "drift exceeds bound");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Alternation: occurrences of `a` and `b` strictly interleave.
-    #[test]
-    fn alternation_invariant(seed in any::<u64>()) {
+/// Alternation: occurrences of `a` and `b` strictly interleave.
+#[test]
+fn alternation_invariant() {
+    cases(CASES).run("alternation_invariant", |rng| {
+        let seed = rng.any_u64();
         let (u, a, b, _) = three_event_spec();
         let mut spec = Specification::new("t", u);
         spec.add_constraint(Box::new(Alternation::new("alt", a, b)));
@@ -82,29 +106,40 @@ proptest! {
                 expect_a = true;
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Union: the result ticks exactly when an operand ticks.
-    #[test]
-    fn union_invariant(seed in any::<u64>()) {
+/// Union: the result ticks exactly when an operand ticks.
+#[test]
+fn union_invariant() {
+    cases(CASES).run("union_invariant", |rng| {
+        let seed = rng.any_u64();
         let (u, a, b, r) = three_event_spec();
         let mut spec = Specification::new("t", u);
         spec.add_constraint(Box::new(Union::new("u", r, [a, b])));
         for step in run(spec, seed, 30).iter() {
             prop_assert_eq!(step.contains(r), step.contains(a) || step.contains(b));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Delay: the result's k-th tick coincides with the base's
-    /// (k+delay)-th tick.
-    #[test]
-    fn delay_invariant(seed in any::<u64>(), delay in 0u64..4) {
+/// Delay: the result's k-th tick coincides with the base's
+/// (k+delay)-th tick.
+#[test]
+fn delay_invariant() {
+    cases(CASES).run("delay_invariant", |rng| {
+        let seed = rng.any_u64();
+        let delay = rng.u64_in(0..4);
         let (u, base, _, r) = three_event_spec();
         let mut spec = Specification::new("t", u);
         spec.add_constraint(Box::new(Delay::new("d", r, base, delay)));
         let mut base_count = 0u64;
         for step in run(spec, seed, 40).iter() {
-            if step.contains(base) { base_count += 1; }
+            if step.contains(base) {
+                base_count += 1;
+            }
             if step.contains(r) {
                 prop_assert!(step.contains(base), "result only with base");
                 prop_assert!(base_count > delay, "result before the delay elapsed");
@@ -112,12 +147,17 @@ proptest! {
                 prop_assert!(base_count <= delay, "result missed a due tick");
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Periodic: the result selects exactly the occurrences of the base
-    /// whose index matches the period.
-    #[test]
-    fn periodic_invariant(seed in any::<u64>(), period in 1u64..5) {
+/// Periodic: the result selects exactly the occurrences of the base
+/// whose index matches the period.
+#[test]
+fn periodic_invariant() {
+    cases(CASES).run("periodic_invariant", |rng| {
+        let seed = rng.any_u64();
+        let period = rng.u64_in(1..5);
         let (u, base, _, r) = three_event_spec();
         let mut spec = Specification::new("t", u);
         spec.add_constraint(Box::new(Periodic::every("p", r, base, period)));
@@ -130,11 +170,15 @@ proptest! {
                 prop_assert!(!step.contains(r));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// State snapshots round-trip at every instant of a random run.
-    #[test]
-    fn state_keys_round_trip_along_runs(seed in any::<u64>()) {
+/// State snapshots round-trip at every instant of a random run.
+#[test]
+fn state_keys_round_trip_along_runs() {
+    cases(CASES).run("state_keys_round_trip_along_runs", |rng| {
+        let seed = rng.any_u64();
         let (u, a, b, _) = three_event_spec();
         let mut spec = Specification::new("t", u);
         spec.add_constraint(Box::new(Precedence::strict("p", a, b).with_bound(3)));
@@ -149,5 +193,6 @@ proptest! {
             copy.restore(&key).expect("restores");
             prop_assert_eq!(copy.state_key(), key);
         }
-    }
+        Ok(())
+    });
 }

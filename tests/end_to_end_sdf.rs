@@ -73,7 +73,11 @@ fn activation_ratios_follow_repetition_vector() {
     let u = sim.specification().universe();
     let counts: Vec<i64> = ["a", "b", "c"]
         .iter()
-        .map(|n| report.schedule.occurrences(u.lookup(&format!("{n}.start")).expect("event")) as i64)
+        .map(|n| {
+            report
+                .schedule
+                .occurrences(u.lookup(&format!("{n}.start")).expect("event")) as i64
+        })
         .collect();
     // each agent fired at least one full iteration's worth
     for (i, &c) in counts.iter().enumerate() {

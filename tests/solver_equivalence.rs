@@ -1,11 +1,17 @@
 //! Property-based equivalence of the pruned step solver against the
 //! naive `2^n` enumeration, over randomly generated constraint sets —
 //! the correctness side of the B3 ablation.
+//!
+//! Ported from `proptest` (64 cases per property) to the deterministic
+//! in-repo `moccml-testkit` harness at 96 cases per property; failures
+//! report a replayable case seed.
 
 use moccml_ccsl::{Coincidence, Exclusion, Precedence, SubClock, Union};
 use moccml_engine::{acceptable_steps, Policy, Simulator, SolverOptions};
 use moccml_kernel::{Constraint, EventId, Specification, Universe};
-use proptest::prelude::*;
+use moccml_testkit::{cases, prop_assert, prop_assert_eq, TestRng};
+
+const CASES: usize = 96; // seed suite ran 64
 
 /// A recipe for one random constraint over a small event universe.
 #[derive(Debug, Clone)]
@@ -17,14 +23,14 @@ enum Recipe {
     Union(u8, u8, u8),
 }
 
-fn recipe_strategy() -> impl Strategy<Value = Recipe> {
-    prop_oneof![
-        (0u8..6, 0u8..6).prop_map(|(a, b)| Recipe::Sub(a, b)),
-        (0u8..6, 0u8..6, 0u8..6).prop_map(|(a, b, c)| Recipe::Excl(a, b, c)),
-        (0u8..6, 0u8..6).prop_map(|(a, b)| Recipe::Coinc(a, b)),
-        (0u8..6, 0u8..6, 1u8..4).prop_map(|(a, b, k)| Recipe::Prec(a, b, k)),
-        (0u8..6, 0u8..6, 0u8..6).prop_map(|(a, b, c)| Recipe::Union(a, b, c)),
-    ]
+fn random_recipe(rng: &mut TestRng) -> Recipe {
+    match rng.u8_in(0..5) {
+        0 => Recipe::Sub(rng.u8_in(0..6), rng.u8_in(0..6)),
+        1 => Recipe::Excl(rng.u8_in(0..6), rng.u8_in(0..6), rng.u8_in(0..6)),
+        2 => Recipe::Coinc(rng.u8_in(0..6), rng.u8_in(0..6)),
+        3 => Recipe::Prec(rng.u8_in(0..6), rng.u8_in(0..6), rng.u8_in(1..4)),
+        _ => Recipe::Union(rng.u8_in(0..6), rng.u8_in(0..6), rng.u8_in(0..6)),
+    }
 }
 
 fn build(recipes: &[Recipe]) -> Specification {
@@ -39,9 +45,12 @@ fn build(recipes: &[Recipe]) -> Specification {
                 events[a as usize],
                 events[b as usize],
             ))),
-            Recipe::Excl(a, b, c2) if a != b && b != c2 && a != c2 => Some(Box::new(
-                Exclusion::new(&name, [events[a as usize], events[b as usize], events[c2 as usize]]),
-            )),
+            Recipe::Excl(a, b, c2) if a != b && b != c2 && a != c2 => {
+                Some(Box::new(Exclusion::new(
+                    &name,
+                    [events[a as usize], events[b as usize], events[c2 as usize]],
+                )))
+            }
             Recipe::Coinc(a, b) if a != b => Some(Box::new(Coincidence::new(
                 &name,
                 events[a as usize],
@@ -65,25 +74,26 @@ fn build(recipes: &[Recipe]) -> Specification {
     spec
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Pruned and naive enumerations agree on arbitrary constraint sets
-    /// in the initial state.
-    #[test]
-    fn pruned_equals_naive_initially(recipes in proptest::collection::vec(recipe_strategy(), 1..6)) {
+/// Pruned and naive enumerations agree on arbitrary constraint sets
+/// in the initial state.
+#[test]
+fn pruned_equals_naive_initially() {
+    cases(CASES).run("pruned_equals_naive_initially", |rng| {
+        let recipes = rng.vec_of(1..6, random_recipe);
         let spec = build(&recipes);
         let pruned = acceptable_steps(&spec, &SolverOptions::default());
         let naive = acceptable_steps(&spec, &SolverOptions::naive());
-        prop_assert_eq!(pruned, naive);
-    }
+        prop_assert_eq!(pruned, naive, "recipes: {recipes:?}");
+        Ok(())
+    });
+}
 
-    /// They also agree after advancing the state along a random run.
-    #[test]
-    fn pruned_equals_naive_along_runs(
-        recipes in proptest::collection::vec(recipe_strategy(), 1..5),
-        seed in any::<u64>(),
-    ) {
+/// They also agree after advancing the state along a random run.
+#[test]
+fn pruned_equals_naive_along_runs() {
+    cases(CASES).run("pruned_equals_naive_along_runs", |rng| {
+        let recipes = rng.vec_of(1..5, random_recipe);
+        let seed = rng.any_u64();
         let spec = build(&recipes);
         let mut sim = Simulator::new(spec, Policy::Random { seed });
         for _ in 0..6 {
@@ -93,19 +103,24 @@ proptest! {
             let spec = sim.specification();
             let pruned = acceptable_steps(spec, &SolverOptions::default());
             let naive = acceptable_steps(spec, &SolverOptions::naive());
-            prop_assert_eq!(pruned, naive);
+            prop_assert_eq!(pruned, naive, "recipes: {recipes:?}");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Every enumerated step really satisfies the conjunction, and the
-    /// specification's `accepts` agrees.
-    #[test]
-    fn enumerated_steps_are_accepted(recipes in proptest::collection::vec(recipe_strategy(), 1..6)) {
+/// Every enumerated step really satisfies the conjunction, and the
+/// specification's `accepts` agrees.
+#[test]
+fn enumerated_steps_are_accepted() {
+    cases(CASES).run("enumerated_steps_are_accepted", |rng| {
+        let recipes = rng.vec_of(1..6, random_recipe);
         let spec = build(&recipes);
         let formula = spec.conjunction();
         for step in acceptable_steps(&spec, &SolverOptions::default()) {
             prop_assert!(formula.eval(&step));
             prop_assert!(spec.accepts(&step));
         }
-    }
+        Ok(())
+    });
 }

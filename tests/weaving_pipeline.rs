@@ -2,46 +2,48 @@
 //! random SDF graphs, the execution model produced by the metamodel +
 //! ECL-style mapping pipeline is step-for-step equivalent to the
 //! hand-wired one.
+//!
+//! Ported from `proptest` (24 cases per property) to the deterministic
+//! in-repo `moccml-testkit` harness at 32 cases per property; failures
+//! report a replayable case seed.
 
 use moccml_engine::{acceptable_steps, SolverOptions};
 use moccml_kernel::{Specification, Step};
 use moccml_sdf::mocc::{build_specification_with, MoccVariant};
 use moccml_sdf::model_bridge::weave_specification;
 use moccml_sdf::SdfGraph;
-use proptest::prelude::*;
+use moccml_testkit::{cases, prop_assert_eq, TestRng};
 use std::collections::BTreeSet;
 
+const CASES: usize = 32; // seed suite ran 24
+
 /// A random small acyclic chain-with-optional-fork SDF graph.
-fn graph_strategy() -> impl Strategy<Value = SdfGraph> {
-    (
-        2usize..5,                                  // number of agents
-        proptest::collection::vec(1u32..3, 0..8),   // rate pool
-        proptest::collection::vec(0u32..2, 0..8),   // delay pool
-        proptest::collection::vec(0u32..3, 4),      // cycles pool
-    )
-        .prop_map(|(agents, rates, delays, cycles)| {
-            let mut g = SdfGraph::new("random");
-            for i in 0..agents {
-                let n = cycles.get(i).copied().unwrap_or(0);
-                g.add_agent(&format!("a{i}"), n).expect("fresh names");
-            }
-            for i in 0..agents - 1 {
-                let push = rates.get(2 * i).copied().unwrap_or(1);
-                let pop = rates.get(2 * i + 1).copied().unwrap_or(1);
-                let delay = delays.get(i).copied().unwrap_or(0);
-                let capacity = (push.max(pop) * 2).max(delay);
-                g.connect(
-                    &format!("a{i}"),
-                    &format!("a{}", i + 1),
-                    push,
-                    pop,
-                    capacity,
-                    delay,
-                )
-                .expect("capacity covers rates and delay");
-            }
-            g
-        })
+fn random_graph(rng: &mut TestRng) -> SdfGraph {
+    let agents = rng.usize_in(2..5);
+    let rates = rng.vec_of(0..8, |r| r.u32_in(1..3));
+    let delays = rng.vec_of(0..8, |r| r.u32_in(0..2));
+    let cycles = rng.vec_exact(4, |r| r.u32_in(0..3));
+    let mut g = SdfGraph::new("random");
+    for i in 0..agents {
+        let n = cycles.get(i).copied().unwrap_or(0);
+        g.add_agent(&format!("a{i}"), n).expect("fresh names");
+    }
+    for i in 0..agents - 1 {
+        let push = rates.get(2 * i).copied().unwrap_or(1);
+        let pop = rates.get(2 * i + 1).copied().unwrap_or(1);
+        let delay = delays.get(i).copied().unwrap_or(0);
+        let capacity = (push.max(pop) * 2).max(delay);
+        g.connect(
+            &format!("a{i}"),
+            &format!("a{}", i + 1),
+            push,
+            pop,
+            capacity,
+            delay,
+        )
+        .expect("capacity covers rates and delay");
+    }
+    g
 }
 
 fn step_names(spec: &Specification, step: &Step) -> BTreeSet<String> {
@@ -57,13 +59,12 @@ fn acceptable_names(spec: &Specification) -> BTreeSet<BTreeSet<String>> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Native and woven execution models accept the same named steps
-    /// along a deterministic run.
-    #[test]
-    fn woven_equals_native_along_runs(graph in graph_strategy()) {
+/// Native and woven execution models accept the same named steps
+/// along a deterministic run.
+#[test]
+fn woven_equals_native_along_runs() {
+    cases(CASES).run("woven_equals_native_along_runs", |rng| {
+        let graph = random_graph(rng);
         let mut native =
             build_specification_with(&graph, MoccVariant::Standard).expect("native builds");
         let mut woven =
@@ -76,7 +77,9 @@ proptest! {
                 acceptable_names(&woven),
                 "step sets diverge"
             );
-            let Some(chosen) = native_steps.first() else { break };
+            let Some(chosen) = native_steps.first() else {
+                break;
+            };
             let names = step_names(&native, chosen);
             let replay: Step = names
                 .iter()
@@ -85,15 +88,19 @@ proptest! {
             native.fire(chosen).expect("native fires its own step");
             woven.fire(&replay).expect("woven fires the same step");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Both pipelines also agree on the multiport variant.
-    #[test]
-    fn woven_equals_native_multiport(graph in graph_strategy()) {
+/// Both pipelines also agree on the multiport variant.
+#[test]
+fn woven_equals_native_multiport() {
+    cases(CASES).run("woven_equals_native_multiport", |rng| {
+        let graph = random_graph(rng);
         let native =
             build_specification_with(&graph, MoccVariant::Multiport).expect("native builds");
-        let woven =
-            weave_specification(&graph, MoccVariant::Multiport).expect("pipeline weaves");
+        let woven = weave_specification(&graph, MoccVariant::Multiport).expect("pipeline weaves");
         prop_assert_eq!(acceptable_names(&native), acceptable_names(&woven));
-    }
+        Ok(())
+    });
 }
