@@ -6,7 +6,7 @@
 
 use moccml_bench::experiments::e6_configs;
 use moccml_bench::harness::BenchGroup;
-use moccml_engine::{explore, ExploreOptions, Policy, Simulator};
+use moccml_engine::{CompiledSpec, ExploreOptions, SafeMaxParallel, Simulator};
 use std::hint::black_box;
 
 fn main() {
@@ -14,12 +14,12 @@ fn main() {
     let mut group = BenchGroup::new("pam").with_iters(10);
     for (name, spec) in &configs {
         group.bench(&format!("exploration/{name}"), || {
-            explore(black_box(spec), &ExploreOptions::default())
+            CompiledSpec::compile(black_box(spec)).explore(&ExploreOptions::default())
         });
     }
     for (name, spec) in &configs {
         group.bench(&format!("simulation_30_steps/{name}"), || {
-            let mut sim = Simulator::new(spec.clone(), Policy::SafeMaxParallel);
+            let mut sim = Simulator::new(spec.clone(), SafeMaxParallel);
             black_box(sim.run(30))
         });
     }

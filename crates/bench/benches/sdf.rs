@@ -13,7 +13,7 @@
 use moccml_bench::experiments::e1_place;
 use moccml_bench::harness::BenchGroup;
 use moccml_bench::workloads::{sdf_chain, sdf_diamond};
-use moccml_engine::{explore, ExploreOptions, Policy, Simulator};
+use moccml_engine::{CompiledSpec, ExploreOptions, MaxParallel, Simulator};
 use moccml_kernel::{Constraint, Step};
 use moccml_sdf::mocc::{build_specification, build_specification_with, MoccVariant};
 use std::hint::black_box;
@@ -36,7 +36,7 @@ fn main() {
     for stages in [4usize, 8] {
         let spec = build_specification(&sdf_chain(stages, 2)).expect("builds");
         group.bench(&format!("simulation_chain_50_steps/{stages}"), || {
-            let mut sim = Simulator::new(spec.clone(), Policy::MaxParallel);
+            let mut sim = Simulator::new(spec.clone(), MaxParallel);
             sim.run(50)
         });
     }
@@ -48,7 +48,7 @@ fn main() {
     ] {
         let spec = build_specification_with(&graph, variant).expect("builds");
         group.bench(&format!("mocc_variants/{label}"), || {
-            explore(black_box(&spec), &ExploreOptions::default())
+            CompiledSpec::compile(black_box(&spec)).explore(&ExploreOptions::default())
         });
     }
 
@@ -56,18 +56,18 @@ fn main() {
     for stages in [3usize, 5, 7] {
         let spec = build_specification(&sdf_chain(stages, 2)).expect("builds");
         group.bench(&format!("exploration_chain/{stages}"), || {
-            explore(black_box(&spec), &ExploreOptions::default())
+            CompiledSpec::compile(black_box(&spec)).explore(&ExploreOptions::default())
         });
     }
     for capacity in [1u32, 2, 4] {
         let spec = build_specification(&sdf_chain(4, capacity)).expect("builds");
         group.bench(&format!("exploration_capacity/{capacity}"), || {
-            explore(black_box(&spec), &ExploreOptions::default())
+            CompiledSpec::compile(black_box(&spec)).explore(&ExploreOptions::default())
         });
     }
     let diamond = build_specification(&sdf_diamond(3)).expect("builds");
     group.bench("exploration_diamond/3", || {
-        explore(black_box(&diamond), &ExploreOptions::default())
+        CompiledSpec::compile(black_box(&diamond)).explore(&ExploreOptions::default())
     });
 
     group.finish();

@@ -1,36 +1,69 @@
-//! B1/B3 — step-solver scaling and the unit-propagation ablation.
+//! B1/B3 — step-solver scaling, the unit-propagation ablation, and the
+//! compiled-path speedup.
 //!
 //! B1: acceptable-step enumeration time vs number of events for the
-//! sub-clock chain and exclusion clique workloads.
+//! sub-clock chain and exclusion clique workloads (compiled path).
 //! B3 (ablation): pruned three-valued search vs naive 2^n enumeration.
+//! B4 (compilation): `CompiledSpec` queries vs the deprecated
+//! recompile-per-step shim on the same specification — the hot-path win
+//! of hoisting formula lowering out of the query loop.
 //!
 //! Runs on the in-repo `Instant`-based harness (criterion is not
 //! fetchable offline); emits `BENCH_solver.json` at the workspace root.
 
 use moccml_bench::harness::BenchGroup;
-use moccml_bench::workloads::{exclusion_clique_spec, subclock_chain_spec};
-use moccml_engine::{acceptable_steps, SolverOptions};
+use moccml_bench::workloads::{exclusion_clique_spec, sdf_chain, subclock_chain_spec};
+use moccml_engine::{CompiledSpec, SolverOptions};
+use moccml_sdf::mocc::build_specification;
 use std::hint::black_box;
 
 fn main() {
     let mut group = BenchGroup::new("solver").with_iters(20);
     for n in [4usize, 8, 12] {
-        let chain = subclock_chain_spec(n);
+        let chain = CompiledSpec::new(subclock_chain_spec(n));
         group.bench(&format!("subclock_chain/{n}"), || {
-            acceptable_steps(black_box(&chain), &SolverOptions::default())
+            black_box(&chain).acceptable_steps(&SolverOptions::default())
         });
-        let clique = exclusion_clique_spec(n);
+        let clique = CompiledSpec::new(exclusion_clique_spec(n));
         group.bench(&format!("exclusion_clique/{n}"), || {
-            acceptable_steps(black_box(&clique), &SolverOptions::default())
+            black_box(&clique).acceptable_steps(&SolverOptions::default())
         });
     }
     for n in [8usize, 12] {
-        let spec = exclusion_clique_spec(n);
+        let spec = CompiledSpec::new(exclusion_clique_spec(n));
         group.bench(&format!("ablation_pruned/{n}"), || {
-            acceptable_steps(black_box(&spec), &SolverOptions::default())
+            black_box(&spec).acceptable_steps(&SolverOptions::default())
         });
         group.bench(&format!("ablation_naive_2n/{n}"), || {
-            acceptable_steps(black_box(&spec), &SolverOptions::naive())
+            black_box(&spec).acceptable_steps(&SolverOptions::naive())
+        });
+    }
+    // B4: the tentpole's hot-path claim — querying a compiled spec vs
+    // re-lowering every constraint formula on each call (the deprecated
+    // 0.1 entry point, kept as the measured baseline). The SDF chain is
+    // the representative workload: automaton constraints lower their
+    // formulas by walking transitions and guard expressions, exactly
+    // the work `CompiledSpec` hoists out of the query loop.
+    for n in [8usize, 12] {
+        let spec = subclock_chain_spec(n);
+        let compiled = CompiledSpec::compile(&spec);
+        group.bench(&format!("compiled/subclock_chain/{n}"), || {
+            black_box(&compiled).acceptable_steps(&SolverOptions::default())
+        });
+        group.bench(&format!("recompile_per_step/subclock_chain/{n}"), || {
+            #[allow(deprecated)]
+            moccml_engine::acceptable_steps(black_box(&spec), &SolverOptions::default())
+        });
+    }
+    for stages in [4usize, 6] {
+        let spec = build_specification(&sdf_chain(stages, 2)).expect("builds");
+        let compiled = CompiledSpec::compile(&spec);
+        group.bench(&format!("compiled/sdf_chain/{stages}"), || {
+            black_box(&compiled).acceptable_steps(&SolverOptions::default())
+        });
+        group.bench(&format!("recompile_per_step/sdf_chain/{stages}"), || {
+            #[allow(deprecated)]
+            moccml_engine::acceptable_steps(black_box(&spec), &SolverOptions::default())
         });
     }
     group.finish();

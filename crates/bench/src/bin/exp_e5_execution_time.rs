@@ -6,7 +6,7 @@
 //! producer/consumer pair as N grows.
 
 use moccml_bench::experiments::{e5_graph, table_header, table_row};
-use moccml_engine::{explore, ExploreOptions, Policy, Simulator};
+use moccml_engine::{CompiledSpec, ExploreOptions, SafeMaxParallel, Simulator};
 use moccml_sdf::mocc::build_specification;
 
 fn main() {
@@ -16,8 +16,10 @@ fn main() {
     for n in [0u32, 1, 2, 4] {
         let g = e5_graph(n);
         let spec = build_specification(&g).expect("builds");
-        let states = explore(&spec, &ExploreOptions::default()).state_count();
-        let mut sim = Simulator::new(spec, Policy::SafeMaxParallel);
+        let states = CompiledSpec::compile(&spec)
+            .explore(&ExploreOptions::default())
+            .state_count();
+        let mut sim = Simulator::new(spec, SafeMaxParallel);
         let report = sim.run(30);
         assert!(!report.deadlocked, "N={n} must not deadlock");
         let u = sim.specification().universe();

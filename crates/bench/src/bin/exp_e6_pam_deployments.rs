@@ -5,7 +5,7 @@
 //! simulation trace per configuration.
 
 use moccml_bench::experiments::{e6_configs, explore_stats, stats_cells, table_header, table_row};
-use moccml_engine::{Policy, Simulator};
+use moccml_engine::{MaxParallel, SafeMaxParallel, Simulator};
 use moccml_sdf::pam;
 
 fn main() {
@@ -24,8 +24,8 @@ fn main() {
 
     for (name, spec) in &e6_configs() {
         let stats = explore_stats(spec, 200_000);
-        let greedy = Simulator::new(spec.clone(), Policy::MaxParallel).run(30);
-        let safe = Simulator::new(spec.clone(), Policy::SafeMaxParallel).run(30);
+        let greedy = Simulator::new(spec.clone(), MaxParallel).run(30);
+        let safe = Simulator::new(spec.clone(), SafeMaxParallel).run(30);
         let mut cells = vec![name.clone()];
         cells.extend(stats_cells(&stats));
         cells.push(greedy.deadlocked.to_string());
@@ -43,7 +43,7 @@ fn main() {
 
     // one simulation trace, the paper's other artefact
     let spec = pam::infinite_resources().expect("builds");
-    let mut sim = Simulator::new(spec, Policy::SafeMaxParallel);
+    let mut sim = Simulator::new(spec, SafeMaxParallel);
     let report = sim.run(12);
     println!("## infinite-resource simulation trace (12 steps)");
     println!();

@@ -6,7 +6,7 @@
 //! parameterised so tests can exercise it at tiny sizes.
 
 use moccml_automata::AutomatonInstance;
-use moccml_engine::{explore, ExploreOptions, StateSpaceStats};
+use moccml_engine::{CompiledSpec, ExploreOptions, StateSpaceStats};
 use moccml_kernel::{EventId, Specification, Universe};
 use moccml_sdf::{pam, SdfGraph};
 
@@ -122,10 +122,13 @@ pub fn e6_configs() -> Vec<(String, Specification)> {
     v
 }
 
-/// Explores `spec` (bounded) and returns the aggregate statistics.
+/// Explores `spec` (bounded, on the compiled path) and returns the
+/// aggregate statistics.
 #[must_use]
 pub fn explore_stats(spec: &Specification, max_states: usize) -> StateSpaceStats {
-    explore(spec, &ExploreOptions::default().with_max_states(max_states)).stats()
+    CompiledSpec::compile(spec)
+        .explore(&ExploreOptions::default().with_max_states(max_states))
+        .stats()
 }
 
 /// Formats statistics as experiment table cells:

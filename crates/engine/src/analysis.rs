@@ -24,14 +24,14 @@ pub struct Witness {
 ///
 /// ```
 /// use moccml_ccsl::Precedence;
-/// use moccml_engine::{deadlock_witness, explore, ExploreOptions};
+/// use moccml_engine::{deadlock_witness, CompiledSpec, ExploreOptions};
 /// use moccml_kernel::{Specification, Universe};
 /// let mut u = Universe::new();
 /// let (a, b) = (u.event("a"), u.event("b"));
 /// let mut spec = Specification::new("d", u);
 /// spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
 /// spec.add_constraint(Box::new(Precedence::strict("b<a", b, a)));
-/// let space = explore(&spec, &ExploreOptions::default());
+/// let space = CompiledSpec::new(spec).explore(&ExploreOptions::default());
 /// let witness = deadlock_witness(&space).expect("deadlocked spec");
 /// assert_eq!(witness.schedule.len(), 0); // already dead at the start
 /// ```
@@ -138,9 +138,14 @@ pub fn is_event_live(space: &StateSpace, event: EventId) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::explorer::{explore, ExploreOptions};
+    use crate::compiled::CompiledSpec;
+    use crate::explorer::ExploreOptions;
     use moccml_ccsl::{Alternation, Precedence};
     use moccml_kernel::{Specification, Universe};
+
+    fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
+        CompiledSpec::compile(spec).explore(options)
+    }
 
     fn alternating() -> (Specification, EventId, EventId) {
         let mut u = Universe::new();

@@ -1,0 +1,338 @@
+//! [`CompiledSpec`]: a specification lowered once, queried many times.
+//!
+//! The legacy entry points re-lowered `spec.conjunction()` — walking
+//! every constraint, building and simplifying one big `And` — on *every*
+//! step of a simulation and every state of an exploration. A
+//! `CompiledSpec` hoists that work out of the query loop:
+//!
+//! * the constrained-event list is interned once at compile time;
+//! * each constraint keeps its lowered (simplified) formula in a slot,
+//!   memoised by the constraint's local
+//!   [`StateKey`](moccml_kernel::StateKey), so lowering happens once per
+//!   *reached constraint state* instead of once per query;
+//! * after a [`fire`](CompiledSpec::fire), only the slots whose events
+//!   intersect the fired step are refreshed (the stuttering guarantee of
+//!   the [`Constraint`](moccml_kernel::Constraint) protocol: a step that
+//!   touches none of a constraint's events leaves its state unchanged);
+//! * [`restore`](CompiledSpec::restore) re-syncs slots by comparing
+//!   local keys, hitting the memo for every previously seen state — the
+//!   common case in breadth-first exploration, which revisits the same
+//!   constraint states across many global states.
+
+use crate::explorer::{explore_compiled, ExploreOptions, StateSpace};
+use crate::solver::{enumerate_steps, SolverOptions};
+use moccml_kernel::{EventId, KernelError, Specification, StateKey, Step, StepFormula};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One constraint's compiled view: its event footprint, its lowered
+/// formula for the current local state, and the memo of formulas for
+/// every local state seen so far.
+#[derive(Debug, Clone)]
+struct Slot {
+    events: Step,
+    key: StateKey,
+    formula: Arc<StepFormula>,
+    memo: HashMap<StateKey, Arc<StepFormula>>,
+}
+
+impl Slot {
+    fn new(events: Step, key: StateKey, formula: StepFormula) -> Self {
+        let formula = Arc::new(formula);
+        let memo = HashMap::from([(key.clone(), Arc::clone(&formula))]);
+        Slot {
+            events,
+            key,
+            formula,
+            memo,
+        }
+    }
+}
+
+/// A [`Specification`] compiled for repeated step queries.
+///
+/// Constructed once (from an owned spec with [`new`](CompiledSpec::new)
+/// or from a borrow with [`compile`](CompiledSpec::compile)), then
+/// driven through [`acceptable_steps`](CompiledSpec::acceptable_steps),
+/// [`fire`](CompiledSpec::fire), [`state_key`](CompiledSpec::state_key)
+/// / [`restore`](CompiledSpec::restore) and
+/// [`explore`](CompiledSpec::explore). The constraint population is
+/// frozen at compile time — that is what makes the interned event list
+/// and the per-slot memos sound.
+///
+/// # Example
+///
+/// ```
+/// use moccml_ccsl::Alternation;
+/// use moccml_engine::{CompiledSpec, SolverOptions};
+/// use moccml_kernel::{Specification, Universe};
+///
+/// let mut u = Universe::new();
+/// let (a, b) = (u.event("a"), u.event("b"));
+/// let mut spec = Specification::new("alt", u);
+/// spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+///
+/// let mut compiled = CompiledSpec::new(spec);
+/// let options = SolverOptions::default();
+/// let first = compiled.acceptable_steps(&options);
+/// assert_eq!(first.len(), 1); // only {a}
+/// compiled.fire(&first[0]).expect("acceptable");
+/// assert!(compiled.acceptable_steps(&options)[0].contains(b));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledSpec {
+    spec: Specification,
+    events: Vec<EventId>,
+    slots: Vec<Slot>,
+}
+
+impl CompiledSpec {
+    /// Compiles an owned specification.
+    #[must_use]
+    pub fn new(spec: Specification) -> Self {
+        let events: Vec<EventId> = spec.constrained_events().iter().collect();
+        let keys = spec.constraint_state_keys();
+        let formulas = spec.lowered_formulas();
+        let slots = spec
+            .constraints()
+            .iter()
+            .zip(keys)
+            .zip(formulas)
+            .map(|((c, key), formula)| {
+                Slot::new(Step::from_events(c.constrained_events()), key, formula)
+            })
+            .collect();
+        CompiledSpec {
+            spec,
+            events,
+            slots,
+        }
+    }
+
+    /// Compiles a borrowed specification (clones it).
+    #[must_use]
+    pub fn compile(spec: &Specification) -> Self {
+        Self::new(spec.clone())
+    }
+
+    /// Read access to the underlying specification.
+    #[must_use]
+    pub fn specification(&self) -> &Specification {
+        &self.spec
+    }
+
+    /// Recovers the specification (in its current state).
+    #[must_use]
+    pub fn into_specification(self) -> Specification {
+        self.spec
+    }
+
+    /// The interned list of constrained events the solver ranges over.
+    #[must_use]
+    pub fn constrained_events(&self) -> &[EventId] {
+        &self.events
+    }
+
+    /// Total number of `(constraint, local state)` formulas currently
+    /// memoised — a cache-size observability hook for tests and tuning.
+    #[must_use]
+    pub fn cached_formula_count(&self) -> usize {
+        self.slots.iter().map(|s| s.memo.len()).sum()
+    }
+
+    /// Enumerates every acceptable step in the current state, using the
+    /// cached per-constraint formulas (no lowering on this path). The
+    /// result is sorted, exactly as the legacy free function sorted it.
+    #[must_use]
+    pub fn acceptable_steps(&self, options: &SolverOptions) -> Vec<Step> {
+        let formulas: Vec<&StepFormula> = self.slots.iter().map(|s| s.formula.as_ref()).collect();
+        enumerate_steps(&formulas, &self.events, options)
+    }
+
+    /// Whether `step` satisfies every constraint in the current state —
+    /// evaluated on the cached formulas, without lowering.
+    #[must_use]
+    pub fn accepts(&self, step: &Step) -> bool {
+        self.slots.iter().all(|s| s.formula.eval(step))
+    }
+
+    /// Fires `step` and refreshes the slots of the constraints whose
+    /// events intersect it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::StepRejected`] if `step` is not
+    /// acceptable; like [`Specification::fire`], the underlying state is
+    /// then poisoned and the caller should [`reset`](CompiledSpec::reset)
+    /// or [`restore`](CompiledSpec::restore).
+    pub fn fire(&mut self, step: &Step) -> Result<(), KernelError> {
+        self.spec.fire(step)?;
+        let Self { spec, slots, .. } = self;
+        for (slot, c) in slots.iter_mut().zip(spec.constraints()) {
+            if !slot.events.is_disjoint_from(step) {
+                refresh(slot, c.as_ref());
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the global constraint state (delegates to
+    /// [`Specification::state_key`]).
+    #[must_use]
+    pub fn state_key(&self) -> StateKey {
+        self.spec.state_key()
+    }
+
+    /// Restores a state produced by [`state_key`](CompiledSpec::state_key)
+    /// and re-syncs every slot whose local state changed. Previously
+    /// visited states hit the formula memo, so winding exploration back
+    /// and forth does not re-lower anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidStateKey`] if the key does not
+    /// match the constraint population.
+    pub fn restore(&mut self, key: &StateKey) -> Result<(), KernelError> {
+        self.spec.restore(key)?;
+        self.resync();
+        Ok(())
+    }
+
+    /// Resets every constraint to its initial state.
+    pub fn reset(&mut self) {
+        self.spec.reset();
+        self.resync();
+    }
+
+    /// Explores the reachable scheduling state-space from the *current*
+    /// state (restored afterwards). See the module docs of
+    /// [`explorer`](crate::StateSpace) for the graph's semantics.
+    #[must_use]
+    pub fn explore(&mut self, options: &ExploreOptions) -> StateSpace {
+        explore_compiled(self, options)
+    }
+
+    /// Re-syncs every slot against the constraint's actual local state.
+    fn resync(&mut self) {
+        let Self { spec, slots, .. } = self;
+        for (slot, c) in slots.iter_mut().zip(spec.constraints()) {
+            refresh(slot, c.as_ref());
+        }
+    }
+}
+
+impl From<Specification> for CompiledSpec {
+    fn from(spec: Specification) -> Self {
+        CompiledSpec::new(spec)
+    }
+}
+
+/// Brings `slot` up to date with `c`'s current state, lowering the
+/// formula only on the first visit of that state.
+fn refresh(slot: &mut Slot, c: &dyn moccml_kernel::Constraint) {
+    let key = c.state_key();
+    if key == slot.key {
+        return;
+    }
+    let formula = slot
+        .memo
+        .entry(key.clone())
+        .or_insert_with(|| Arc::new(c.current_formula().simplify()));
+    slot.formula = Arc::clone(formula);
+    slot.key = key;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moccml_ccsl::{Alternation, Precedence, SubClock};
+    use moccml_kernel::Universe;
+
+    fn alternating() -> (Specification, EventId, EventId) {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        (spec, a, b)
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn matches_legacy_solver_along_a_run() {
+        let mut u = Universe::new();
+        let (a, b, c) = (u.event("a"), u.event("b"), u.event("c"));
+        let mut spec = Specification::new("mix", u);
+        spec.add_constraint(Box::new(SubClock::new("a⊆b", a, b)));
+        spec.add_constraint(Box::new(Precedence::strict("b<c", b, c).with_bound(2)));
+        let mut compiled = CompiledSpec::compile(&spec);
+        let options = SolverOptions::default();
+        for _ in 0..8 {
+            let fast = compiled.acceptable_steps(&options);
+            let slow = crate::solver::acceptable_steps(&spec, &options);
+            assert_eq!(fast, slow);
+            let Some(step) = fast.first().cloned() else {
+                break;
+            };
+            compiled.fire(&step).expect("acceptable");
+            spec.fire(&step).expect("acceptable");
+        }
+    }
+
+    #[test]
+    fn fire_refreshes_only_touched_slots() {
+        let (spec, a, _) = alternating();
+        let mut compiled = CompiledSpec::new(spec);
+        let initial = compiled.cached_formula_count();
+        assert_eq!(initial, 1);
+        compiled.fire(&Step::from_events([a])).expect("fires");
+        // the alternation moved to its second state: one new memo entry
+        assert_eq!(compiled.cached_formula_count(), 2);
+    }
+
+    #[test]
+    fn restore_hits_the_memo() {
+        let (spec, a, b) = alternating();
+        let mut compiled = CompiledSpec::new(spec);
+        let start = compiled.state_key();
+        compiled.fire(&Step::from_events([a])).expect("fires");
+        compiled.fire(&Step::from_events([b])).expect("fires");
+        let after_cycle = compiled.cached_formula_count();
+        // wind back and forth: the memo must not grow
+        for _ in 0..4 {
+            compiled.restore(&start).expect("restores");
+            compiled.fire(&Step::from_events([a])).expect("fires");
+        }
+        assert_eq!(compiled.cached_formula_count(), after_cycle);
+    }
+
+    #[test]
+    fn reset_returns_to_initial_answers() {
+        let (spec, a, _) = alternating();
+        let mut compiled = CompiledSpec::new(spec);
+        let options = SolverOptions::default();
+        let initial = compiled.acceptable_steps(&options);
+        compiled.fire(&Step::from_events([a])).expect("fires");
+        assert_ne!(compiled.acceptable_steps(&options), initial);
+        compiled.reset();
+        assert_eq!(compiled.acceptable_steps(&options), initial);
+    }
+
+    #[test]
+    fn accepts_agrees_with_enumeration() {
+        let (spec, a, b) = alternating();
+        let compiled = CompiledSpec::new(spec);
+        assert!(compiled.accepts(&Step::from_events([a])));
+        assert!(!compiled.accepts(&Step::from_events([b])));
+        assert!(compiled.accepts(&Step::new()), "stuttering is acceptable");
+    }
+
+    #[test]
+    fn into_specification_round_trips_state() {
+        let (spec, a, _) = alternating();
+        let mut compiled = CompiledSpec::new(spec);
+        compiled.fire(&Step::from_events([a])).expect("fires");
+        let key = compiled.state_key();
+        let spec = compiled.into_specification();
+        assert_eq!(spec.state_key(), key);
+    }
+}

@@ -1,0 +1,376 @@
+//! [`Engine`]: a compiled execution session over one specification.
+//!
+//! This is the paper's "generic execution engine" (Fig. 1) as a single
+//! configured object: the specification is compiled once
+//! ([`CompiledSpec`]), a pluggable [`Policy`] picks among acceptable
+//! steps, [`Observer`]s stream every fired step, and simulation,
+//! exploration and the analysis queries all run on the same compiled
+//! state — no re-lowering anywhere in the hot loop.
+
+use crate::compiled::CompiledSpec;
+use crate::explorer::{ExploreOptions, StateSpace};
+use crate::observer::Observer;
+use crate::policy::{Lexicographic, Policy, PolicyContext};
+use crate::solver::SolverOptions;
+use moccml_kernel::{Schedule, Specification, Step};
+use std::fmt;
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// The schedule prefix that was executed.
+    pub schedule: Schedule,
+    /// `true` if the run stopped because no non-empty step was
+    /// acceptable.
+    pub deadlocked: bool,
+    /// Number of steps executed (equals `schedule.len()`).
+    pub steps_taken: usize,
+}
+
+/// A configured execution session: compiled specification + policy +
+/// solver options + observers.
+///
+/// Built with [`Engine::builder`]:
+///
+/// ```
+/// use moccml_ccsl::Alternation;
+/// use moccml_engine::{Engine, MetricsObserver, Random, SolverOptions};
+/// use moccml_kernel::{Specification, Universe};
+///
+/// let mut u = Universe::new();
+/// let (a, b) = (u.event("a"), u.event("b"));
+/// let mut spec = Specification::new("alt", u);
+/// spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+///
+/// let metrics = MetricsObserver::new();
+/// let mut engine = Engine::builder(spec)
+///     .policy(Random::new(2015))
+///     .solver(SolverOptions::default())
+///     .observer(metrics.clone())
+///     .build();
+/// let report = engine.run(10);
+/// assert_eq!(report.steps_taken, 10);
+/// assert_eq!(metrics.snapshot().steps, 10);
+/// ```
+pub struct Engine {
+    compiled: CompiledSpec,
+    policy: Box<dyn Policy>,
+    solver: SolverOptions,
+    observers: Vec<Box<dyn Observer>>,
+    steps_taken: usize,
+}
+
+impl Engine {
+    /// Starts configuring a session over `spec`.
+    #[must_use]
+    pub fn builder(spec: Specification) -> EngineBuilder {
+        EngineBuilder {
+            compiled: CompiledSpec::new(spec),
+            policy: None,
+            solver: SolverOptions::default(),
+            observers: Vec::new(),
+        }
+    }
+
+    /// Starts configuring a session over an already compiled
+    /// specification (reuses its formula memo).
+    #[must_use]
+    pub fn from_compiled(compiled: CompiledSpec) -> EngineBuilder {
+        EngineBuilder {
+            compiled,
+            policy: None,
+            solver: SolverOptions::default(),
+            observers: Vec::new(),
+        }
+    }
+
+    /// Read access to the driven specification.
+    #[must_use]
+    pub fn specification(&self) -> &Specification {
+        self.compiled.specification()
+    }
+
+    /// Read access to the compiled specification.
+    #[must_use]
+    pub fn compiled(&self) -> &CompiledSpec {
+        &self.compiled
+    }
+
+    /// The session's solver options.
+    #[must_use]
+    pub fn solver(&self) -> &SolverOptions {
+        &self.solver
+    }
+
+    /// Steps fired since the session started (or was last reset).
+    #[must_use]
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// The acceptable steps of the current configuration, on the
+    /// compiled path.
+    #[must_use]
+    pub fn acceptable_steps(&self) -> Vec<Step> {
+        self.compiled.acceptable_steps(&self.solver)
+    }
+
+    /// Picks and fires one step. Returns the step, or `None` when no
+    /// step is acceptable (observers get
+    /// [`on_deadlock`](Observer::on_deadlock)) or the policy declines.
+    pub fn step(&mut self) -> Option<Step> {
+        let mut candidates = self.compiled.acceptable_steps(&self.solver);
+        if candidates.is_empty() {
+            for o in &mut self.observers {
+                o.on_deadlock(self.steps_taken);
+            }
+            return None;
+        }
+        let chosen = {
+            let mut ctx = PolicyContext::new(&candidates, &mut self.compiled, &self.solver);
+            self.policy.choose(&mut ctx)?
+        };
+        assert!(
+            chosen < candidates.len(),
+            "policy `{}` chose candidate {chosen} of {}",
+            self.policy.name(),
+            candidates.len()
+        );
+        let step = candidates.swap_remove(chosen);
+        self.compiled
+            .fire(&step)
+            .expect("solver only returns acceptable steps");
+        for o in &mut self.observers {
+            o.on_step(self.steps_taken, &step);
+        }
+        self.steps_taken += 1;
+        Some(step)
+    }
+
+    /// Runs up to `max_steps` steps, stopping early on deadlock or
+    /// when the policy declines to choose. Only a genuine deadlock (no
+    /// acceptable step) sets
+    /// [`deadlocked`](SimulationReport::deadlocked); a policy returning
+    /// `None` merely ends the run.
+    pub fn run(&mut self, max_steps: usize) -> SimulationReport {
+        let mut schedule = Schedule::new();
+        let mut deadlocked = false;
+        for _ in 0..max_steps {
+            match self.step() {
+                Some(step) => schedule.push(step),
+                None => {
+                    deadlocked = self.acceptable_steps().is_empty();
+                    break;
+                }
+            }
+        }
+        let steps_taken = schedule.len();
+        SimulationReport {
+            schedule,
+            deadlocked,
+            steps_taken,
+        }
+    }
+
+    /// Explores the reachable scheduling state-space from the current
+    /// configuration (restored afterwards), on the compiled path. The
+    /// solver configuration comes from `options`
+    /// ([`ExploreOptions::solver`]), not from the session's simulation
+    /// options.
+    #[must_use]
+    pub fn explore(&mut self, options: &ExploreOptions) -> StateSpace {
+        self.compiled.explore(options)
+    }
+
+    /// Resets the specification, the policy (PRNG seeds) and the step
+    /// counter to the initial state, and restarts the observers.
+    pub fn reset(&mut self) {
+        self.compiled.reset();
+        self.policy.reset();
+        self.steps_taken = 0;
+        for o in &mut self.observers {
+            o.on_session_start(self.compiled.specification());
+        }
+    }
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("spec", &self.compiled.specification().name())
+            .field("policy", &self.policy.name())
+            .field("solver", &self.solver)
+            .field("observers", &self.observers.len())
+            .field("steps_taken", &self.steps_taken)
+            .finish()
+    }
+}
+
+/// Builder for an [`Engine`] session. Defaults: [`Lexicographic`]
+/// policy, [`SolverOptions::default`], no observers.
+pub struct EngineBuilder {
+    compiled: CompiledSpec,
+    policy: Option<Box<dyn Policy>>,
+    solver: SolverOptions,
+    observers: Vec<Box<dyn Observer>>,
+}
+
+impl EngineBuilder {
+    /// Sets the step-choice policy.
+    #[must_use]
+    pub fn policy(mut self, policy: impl Policy + 'static) -> Self {
+        self.policy = Some(Box::new(policy));
+        self
+    }
+
+    /// Sets an already boxed policy (for heterogeneous policy lists).
+    #[must_use]
+    pub fn policy_boxed(mut self, policy: Box<dyn Policy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Sets the solver options used for simulation stepping.
+    #[must_use]
+    pub fn solver(mut self, solver: SolverOptions) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Registers an observer (may be called repeatedly).
+    #[must_use]
+    pub fn observer(mut self, observer: impl Observer + 'static) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Finishes the session; notifies every observer of the start.
+    #[must_use]
+    pub fn build(self) -> Engine {
+        let mut engine = Engine {
+            compiled: self.compiled,
+            policy: self.policy.unwrap_or_else(|| Box::new(Lexicographic)),
+            solver: self.solver,
+            observers: self.observers,
+            steps_taken: 0,
+        };
+        for o in &mut engine.observers {
+            o.on_session_start(engine.compiled.specification());
+        }
+        engine
+    }
+}
+
+impl fmt::Debug for EngineBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineBuilder")
+            .field("spec", &self.compiled.specification().name())
+            .field("observers", &self.observers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{MaxParallel, Random};
+    use moccml_ccsl::{Alternation, Precedence, SubClock};
+    use moccml_kernel::Universe;
+
+    fn alternating() -> (Specification, moccml_kernel::EventId) {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        (spec, a)
+    }
+
+    #[test]
+    fn default_policy_is_lexicographic() {
+        let (spec, a) = alternating();
+        let mut engine = Engine::builder(spec).build();
+        let step = engine.step().expect("step");
+        assert!(step.contains(a));
+        assert_eq!(engine.steps_taken(), 1);
+    }
+
+    #[test]
+    fn run_detects_deadlock() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("dead", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        spec.add_constraint(Box::new(Precedence::strict("b<a", b, a)));
+        let report = Engine::builder(spec).build().run(10);
+        assert!(report.deadlocked);
+        assert_eq!(report.steps_taken, 0);
+    }
+
+    #[test]
+    fn explore_restores_the_session_state() {
+        let (spec, _) = alternating();
+        let mut engine = Engine::builder(spec).policy(MaxParallel).build();
+        let before = engine.acceptable_steps();
+        let space = engine.explore(&ExploreOptions::default());
+        assert_eq!(space.state_count(), 2);
+        assert_eq!(engine.acceptable_steps(), before);
+    }
+
+    #[test]
+    fn reset_restarts_policy_and_counter() {
+        let (spec, _) = alternating();
+        let mut engine = Engine::builder(spec).policy(Random::new(5)).build();
+        let first = engine.run(6).schedule;
+        assert_eq!(engine.steps_taken(), 6);
+        engine.reset();
+        assert_eq!(engine.steps_taken(), 0);
+        assert_eq!(engine.run(6).schedule, first);
+    }
+
+    #[test]
+    fn policy_decline_is_not_a_deadlock() {
+        /// Halts after two choices.
+        #[derive(Debug)]
+        struct Budgeted(usize);
+        impl crate::Policy for Budgeted {
+            fn name(&self) -> &str {
+                "budgeted"
+            }
+            fn choose(&mut self, _ctx: &mut crate::PolicyContext<'_>) -> Option<usize> {
+                if self.0 == 0 {
+                    return None;
+                }
+                self.0 -= 1;
+                Some(0)
+            }
+        }
+        let (spec, _) = alternating();
+        let report = Engine::builder(spec).policy(Budgeted(2)).build().run(10);
+        assert_eq!(report.steps_taken, 2);
+        assert!(
+            !report.deadlocked,
+            "a declining policy must not be reported as a deadlock"
+        );
+    }
+
+    #[test]
+    fn solver_options_apply_to_stepping() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("sub", u);
+        spec.add_constraint(Box::new(SubClock::new("a⊆b", a, b)));
+        // with the empty step included, lexicographic picks {} forever
+        let mut engine = Engine::builder(spec)
+            .solver(SolverOptions::default().with_empty(true))
+            .build();
+        assert!(engine.step().expect("empty step is a candidate").is_empty());
+    }
+
+    #[test]
+    fn debug_formats_name_and_policy() {
+        let (spec, _) = alternating();
+        let engine = Engine::builder(spec).policy(MaxParallel).build();
+        let text = format!("{engine:?}");
+        assert!(text.contains("alt") && text.contains("max-parallel"));
+    }
+}

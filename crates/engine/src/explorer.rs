@@ -5,13 +5,21 @@
 //! breadth-first construction of the graph whose nodes are global
 //! constraint states ([`StateKey`](moccml_kernel::StateKey) snapshots)
 //! and whose edges are acceptable non-empty steps.
+//!
+//! Exploration runs on the compiled path
+//! ([`CompiledSpec::explore`](crate::CompiledSpec::explore) /
+//! [`Engine::explore`](crate::Engine::explore)): every `restore` of an
+//! already visited constraint state hits the per-constraint formula
+//! memo, so BFS does no formula lowering after a constraint's local
+//! states have been seen once.
 
-use crate::solver::{acceptable_steps, SolverOptions};
+use crate::compiled::CompiledSpec;
+use crate::solver::SolverOptions;
 use moccml_kernel::{Specification, StateKey, Step};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
-/// Options bounding the exploration.
+/// Options bounding and configuring the exploration.
 #[derive(Debug, Clone)]
 pub struct ExploreOptions {
     /// Stop after interning this many states (the graph is then marked
@@ -22,6 +30,11 @@ pub struct ExploreOptions {
     /// Ignore states deeper than this BFS depth (`usize::MAX` = no
     /// bound).
     pub max_depth: usize,
+    /// Solver configuration used to enumerate each state's outgoing
+    /// steps, so the pruned/naive ablation covers exploration too.
+    /// `include_empty` is ignored: stuttering self-loops exist at every
+    /// state and would only add noise.
+    pub solver: SolverOptions,
 }
 
 impl Default for ExploreOptions {
@@ -29,6 +42,7 @@ impl Default for ExploreOptions {
         ExploreOptions {
             max_states: 100_000,
             max_depth: usize::MAX,
+            solver: SolverOptions::default(),
         }
     }
 }
@@ -45,6 +59,13 @@ impl ExploreOptions {
     #[must_use]
     pub fn with_max_depth(mut self, max_depth: usize) -> Self {
         self.max_depth = max_depth;
+        self
+    }
+
+    /// Sets the solver configuration (builder style).
+    #[must_use]
+    pub fn with_solver(mut self, solver: SolverOptions) -> Self {
+        self.solver = solver;
         self
     }
 }
@@ -192,34 +213,17 @@ impl fmt::Display for StateSpaceStats {
     }
 }
 
-/// Explores the reachable scheduling state-space of `spec` by BFS.
-///
-/// The exploration clones the specification, so `spec` is left
-/// untouched. Edges are the acceptable **non-empty** steps (stuttering
-/// self-loops exist at every state and would only add noise).
-///
-/// # Example
-///
-/// ```
-/// use moccml_ccsl::Alternation;
-/// use moccml_engine::{explore, ExploreOptions};
-/// use moccml_kernel::{Specification, Universe};
-/// let mut u = Universe::new();
-/// let (a, b) = (u.event("a"), u.event("b"));
-/// let mut spec = Specification::new("alt", u);
-/// spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
-/// let space = explore(&spec, &ExploreOptions::default());
-/// // the alternation automaton has exactly two states
-/// assert_eq!(space.state_count(), 2);
-/// assert_eq!(space.transition_count(), 2);
-/// assert!(space.deadlocks().is_empty());
-/// ```
-#[must_use]
-pub fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
-    let mut work = spec.clone();
-    let solver_options = SolverOptions::default();
+/// BFS over the compiled specification, starting at (and returning to)
+/// its current state.
+pub(crate) fn explore_compiled(
+    compiled: &mut CompiledSpec,
+    options: &ExploreOptions,
+) -> StateSpace {
+    // the empty step is a self-loop at every state: never enumerate it
+    let solver_options = options.solver.clone().with_empty(false);
+    let entry_key = compiled.state_key();
 
-    let initial_key = work.state_key();
+    let initial_key = entry_key.clone();
     let mut states = vec![initial_key.clone()];
     let mut index = HashMap::from([(initial_key, 0usize)]);
     let mut transitions = Vec::new();
@@ -232,18 +236,22 @@ pub fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
             truncated = true;
             continue;
         }
-        work.restore(&states[state])
+        compiled
+            .restore(&states[state])
             .expect("interned keys restore cleanly");
-        let steps = acceptable_steps(&work, &solver_options);
+        let steps = compiled.acceptable_steps(&solver_options);
         if steps.is_empty() {
             deadlocks.push(state);
             continue;
         }
         for step in steps {
-            work.restore(&states[state])
+            compiled
+                .restore(&states[state])
                 .expect("interned keys restore cleanly");
-            work.fire(&step).expect("solver returns acceptable steps");
-            let key = work.state_key();
+            compiled
+                .fire(&step)
+                .expect("solver returns acceptable steps");
+            let key = compiled.state_key();
             let target = match index.get(&key) {
                 Some(&t) => t,
                 None => {
@@ -261,6 +269,9 @@ pub fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
             transitions.push((state, step, target));
         }
     }
+    compiled
+        .restore(&entry_key)
+        .expect("entry snapshot restores");
     deadlocks.sort_unstable();
     deadlocks.dedup();
     StateSpace {
@@ -273,11 +284,45 @@ pub fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
     }
 }
 
+/// Explores the reachable scheduling state-space of `spec` by BFS.
+///
+/// This free function compiles a clone of `spec` on every call; it is
+/// kept as a migration shim for one release. Compile once instead:
+///
+/// ```
+/// # #![allow(deprecated)]
+/// use moccml_ccsl::Alternation;
+/// use moccml_engine::{CompiledSpec, ExploreOptions};
+/// use moccml_kernel::{Specification, Universe};
+/// let mut u = Universe::new();
+/// let (a, b) = (u.event("a"), u.event("b"));
+/// let mut spec = Specification::new("alt", u);
+/// spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+/// let space = CompiledSpec::new(spec).explore(&ExploreOptions::default());
+/// // the alternation automaton has exactly two states
+/// assert_eq!(space.state_count(), 2);
+/// assert_eq!(space.transition_count(), 2);
+/// assert!(space.deadlocks().is_empty());
+/// ```
+#[must_use]
+#[deprecated(
+    since = "0.2.0",
+    note = "compiles a throwaway clone per call; build a `CompiledSpec` once and \
+            call `.explore(..)` on it (or `Engine::explore`)"
+)]
+pub fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
+    explore_compiled(&mut CompiledSpec::compile(spec), options)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use moccml_ccsl::{Alternation, Exclusion, Precedence, SubClock};
     use moccml_kernel::Universe;
+
+    fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
+        CompiledSpec::compile(spec).explore(options)
+    }
 
     #[test]
     fn alternation_space_is_two_cycle() {
@@ -375,6 +420,39 @@ mod tests {
         let space = explore(&spec, &ExploreOptions::default());
         assert_eq!(space.state_count(), 1);
         assert_eq!(space.count_schedules(3), 8);
+    }
+
+    #[test]
+    fn naive_solver_explores_the_same_space() {
+        // the B3 ablation now covers exploration: pruned and naive
+        // enumeration must build identical graphs
+        let mut u = Universe::new();
+        let (a, b, c) = (u.event("a"), u.event("b"), u.event("c"));
+        let mut spec = Specification::new("mix", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        spec.add_constraint(Box::new(Precedence::strict("b<c", b, c).with_bound(2)));
+        let pruned = explore(&spec, &ExploreOptions::default());
+        let naive = explore(
+            &spec,
+            &ExploreOptions::default().with_solver(SolverOptions::naive()),
+        );
+        assert_eq!(pruned.state_count(), naive.state_count());
+        assert_eq!(pruned.transitions(), naive.transitions());
+        assert_eq!(pruned.deadlocks(), naive.deadlocks());
+    }
+
+    #[test]
+    fn include_empty_is_ignored_by_exploration() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        let space = explore(
+            &spec,
+            &ExploreOptions::default().with_solver(SolverOptions::default().with_empty(true)),
+        );
+        assert_eq!(space.transition_count(), 2, "no stuttering self-loops");
+        assert!(space.deadlocks().is_empty());
     }
 
     #[test]

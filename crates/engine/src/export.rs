@@ -6,6 +6,7 @@
 //! graph renders with Graphviz.
 
 use crate::explorer::StateSpace;
+use crate::observer::vcd_code;
 use moccml_kernel::{Schedule, Universe};
 use std::fmt::Write as _;
 
@@ -32,19 +33,9 @@ pub fn schedule_to_vcd(schedule: &Schedule, universe: &Universe, module: &str) -
     let _ = writeln!(out, "$version moccml-engine $end");
     let _ = writeln!(out, "$timescale 1ns $end");
     let _ = writeln!(out, "$scope module {module} $end");
-    // VCD identifier codes: printable ASCII starting at '!'
-    let code = |i: usize| -> String {
-        let mut n = i;
-        let mut s = String::new();
-        loop {
-            s.push(char::from(b'!' + (n % 94) as u8));
-            n /= 94;
-            if n == 0 {
-                break;
-            }
-        }
-        s
-    };
+    // VCD identifier codes: printable ASCII starting at '!' (shared
+    // with the streaming `VcdObserver` so both emit identical files)
+    let code = vcd_code;
     for (id, name) in universe.iter_named() {
         let _ = writeln!(
             out,
@@ -108,9 +99,14 @@ pub fn state_space_to_dot(space: &StateSpace, universe: &Universe, name: &str) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::explorer::{explore, ExploreOptions};
+    use crate::compiled::CompiledSpec;
+    use crate::explorer::ExploreOptions;
     use moccml_ccsl::{Alternation, Precedence};
     use moccml_kernel::{Specification, Step};
+
+    fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
+        CompiledSpec::compile(spec).explore(options)
+    }
 
     #[test]
     fn vcd_pulses_every_occurrence() {

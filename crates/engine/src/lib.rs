@@ -6,22 +6,33 @@
 //! **simulation** and **exhaustive exploration** of any conforming
 //! model.
 //!
-//! * [`acceptable_steps`] enumerates the acceptable steps of the current
-//!   configuration — the models of the conjunction of the constraints'
-//!   boolean formulas (Sec. II-C). Pruned search is the default; the
-//!   naive `2^n` enumeration is kept for the ablation benchmark.
-//! * [`Simulator`] drives a run: at every step a [`Policy`] picks one of
-//!   the acceptable steps, the engine fires it and records the schedule.
-//! * [`explore`] builds the reachable scheduling state-space by
-//!   breadth-first search over constraint state snapshots, yielding the
-//!   quantitative results the paper's PAM study reports (state and
-//!   transition counts, deadlocks, attainable parallelism).
+//! The engine is organised around two concepts:
+//!
+//! * [`CompiledSpec`] — a specification *lowered once*: the
+//!   constrained-event list is interned and each constraint's boolean
+//!   formula (Sec. II-C) is cached per local state, so neither
+//!   simulation steps nor exploration states ever re-lower the
+//!   conjunction.
+//! * [`Engine`] — a configured session over a compiled specification:
+//!   a pluggable [`Policy`] (open trait; [`Random`], [`MaxParallel`],
+//!   [`MinSerial`], [`Lexicographic`] and [`SafeMaxParallel`] are
+//!   provided), [`SolverOptions`] for the pruned/naive ablation, and
+//!   streaming [`Observer`]s ([`VcdObserver`], [`MetricsObserver`])
+//!   that receive every fired step as it happens.
+//!
+//! [`Simulator`] is a thin wrapper over [`Engine`] implementing
+//! `Iterator<Item = Step>`; [`CompiledSpec::explore`] /
+//! [`Engine::explore`] build the reachable scheduling state-space
+//! ([`StateSpace`]) whose quantitative metrics the paper's PAM study
+//! reports, and the analysis queries ([`dead_events`],
+//! [`is_event_live`], [`shortest_path_to`], [`deadlock_witness`])
+//! operate on that explored space.
 //!
 //! ## Example
 //!
 //! ```
 //! use moccml_ccsl::Alternation;
-//! use moccml_engine::{acceptable_steps, SolverOptions};
+//! use moccml_engine::{Engine, MetricsObserver, Random};
 //! use moccml_kernel::{Specification, Universe};
 //!
 //! let mut u = Universe::new();
@@ -30,18 +41,48 @@
 //! let mut spec = Specification::new("alt", u);
 //! spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
 //!
-//! let steps = acceptable_steps(&spec, &SolverOptions::default());
+//! let metrics = MetricsObserver::new();
+//! let mut engine = Engine::builder(spec)
+//!     .policy(Random::new(42))
+//!     .observer(metrics.clone())
+//!     .build();
+//!
 //! // initially only {a} is acceptable (besides the excluded empty step)
-//! assert_eq!(steps.len(), 1);
-//! assert!(steps[0].contains(a));
+//! assert_eq!(engine.acceptable_steps().len(), 1);
+//! let report = engine.run(6);
+//! assert!(!report.deadlocked);
+//! assert_eq!(metrics.snapshot().steps, 6);
 //! ```
+//!
+//! ## Migrating from the 0.1 free functions
+//!
+//! The 0.1 entry points re-lowered every constraint formula on every
+//! call; they remain as `#[deprecated]` shims for one release:
+//!
+//! * `acceptable_steps(&spec, &options)` →
+//!   `CompiledSpec::new(spec).acceptable_steps(&options)` (compile
+//!   once, query many times), or `engine.acceptable_steps()` inside a
+//!   session;
+//! * `explore(&spec, &options)` →
+//!   `CompiledSpec::new(spec).explore(&options)` or
+//!   `engine.explore(&options)`;
+//! * `Policy` enum variants → the provided policy structs
+//!   (`Policy::Random { seed }` → `Random::new(seed)`,
+//!   `Policy::MaxParallel` → `MaxParallel`, …); custom strategies
+//!   implement the [`Policy`] trait;
+//! * post-hoc `schedule_to_vcd` stays for rendering stored schedules,
+//!   but long-running sessions should stream through a [`VcdObserver`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod analysis;
+mod compiled;
+mod engine;
 mod explorer;
 mod export;
+mod observer;
+mod policy;
 mod rng;
 mod simulator;
 mod solver;
@@ -49,8 +90,19 @@ mod solver;
 pub use analysis::{
     dead_events, deadlock_witness, is_event_fireable, is_event_live, shortest_path_to, Witness,
 };
-pub use explorer::{explore, ExploreOptions, StateSpace, StateSpaceStats};
+pub use compiled::CompiledSpec;
+pub use engine::{Engine, EngineBuilder, SimulationReport};
+pub use explorer::{ExploreOptions, StateSpace, StateSpaceStats};
 pub use export::{schedule_to_vcd, state_space_to_dot};
+pub use observer::{Metrics, MetricsObserver, Observer, VcdObserver};
+pub use policy::{
+    Lexicographic, MaxParallel, MinSerial, Policy, PolicyContext, Random, SafeMaxParallel,
+};
 pub use rng::SplitMix64;
-pub use simulator::{Policy, SimulationReport, Simulator};
-pub use solver::{acceptable_steps, SolverOptions};
+pub use simulator::Simulator;
+pub use solver::SolverOptions;
+
+#[allow(deprecated)]
+pub use explorer::explore;
+#[allow(deprecated)]
+pub use solver::acceptable_steps;

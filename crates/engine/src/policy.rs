@@ -1,0 +1,303 @@
+//! [`Policy`]: the open strategy interface for picking one acceptable
+//! step among many.
+//!
+//! The paper leaves the choice to the engine ("for each step, one or
+//! several event(s) can occur"). The seed shipped a closed enum; this
+//! module opens it: any `Policy` implementation can be plugged into an
+//! [`Engine`](crate::Engine) session, and the five historical variants
+//! ship as provided implementations — [`Random`], [`MaxParallel`],
+//! [`MinSerial`], [`Lexicographic`] and [`SafeMaxParallel`].
+
+use crate::compiled::CompiledSpec;
+use crate::rng::SplitMix64;
+use crate::solver::SolverOptions;
+use moccml_kernel::{Specification, Step};
+use std::fmt;
+
+/// What a policy sees when asked to choose: the sorted candidate list
+/// and a bounded lookahead into successor configurations, implemented
+/// on the compiled path with `state_key()`/`restore()` snapshots (no
+/// specification cloning).
+pub struct PolicyContext<'a> {
+    candidates: &'a [Step],
+    compiled: &'a mut CompiledSpec,
+    solver: &'a SolverOptions,
+}
+
+impl<'a> PolicyContext<'a> {
+    pub(crate) fn new(
+        candidates: &'a [Step],
+        compiled: &'a mut CompiledSpec,
+        solver: &'a SolverOptions,
+    ) -> Self {
+        PolicyContext {
+            candidates,
+            compiled,
+            solver,
+        }
+    }
+
+    /// The acceptable steps of the current configuration, in the
+    /// solver's deterministic sorted order. Never empty: the engine
+    /// reports a deadlock itself instead of consulting the policy.
+    #[must_use]
+    pub fn candidates(&self) -> &[Step] {
+        self.candidates
+    }
+
+    /// The solver options of the running session (lookahead uses the
+    /// same options as the main enumeration).
+    #[must_use]
+    pub fn solver(&self) -> &SolverOptions {
+        self.solver
+    }
+
+    /// Read access to the driven specification (event names, universe).
+    #[must_use]
+    pub fn specification(&self) -> &Specification {
+        self.compiled.specification()
+    }
+
+    /// One-step lookahead: would firing `candidate` leave a
+    /// configuration that still admits an acceptable **non-empty**
+    /// step? (The stuttering step is acceptable in every state, so
+    /// counting it would make the lookahead vacuous — it is excluded
+    /// regardless of the session's `include_empty` setting.)
+    ///
+    /// Implemented as snapshot → fire → query → restore on the compiled
+    /// specification; thanks to the per-constraint formula memo the
+    /// round trip does no formula lowering after the first visit of a
+    /// state. Returns `false` for a step the current state rejects.
+    pub fn successor_admits_step(&mut self, candidate: &Step) -> bool {
+        if !self.compiled.accepts(candidate) {
+            return false;
+        }
+        let lookahead = self.solver.clone().with_empty(false);
+        let snapshot = self.compiled.state_key();
+        self.compiled
+            .fire(candidate)
+            .expect("accepted candidate fires");
+        let admits = !self.compiled.acceptable_steps(&lookahead).is_empty();
+        self.compiled
+            .restore(&snapshot)
+            .expect("own snapshot restores");
+        admits
+    }
+}
+
+impl fmt::Debug for PolicyContext<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolicyContext")
+            .field("candidates", &self.candidates.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Strategy for picking one step among the acceptable ones.
+///
+/// Implementations return the *index* of the chosen candidate in
+/// [`PolicyContext::candidates`]; returning `None` halts the run (the
+/// provided policies never do — the engine only consults a policy when
+/// at least one candidate exists).
+pub trait Policy: fmt::Debug + Send {
+    /// Short human-readable name, used in traces and diagnostics.
+    fn name(&self) -> &str;
+
+    /// Picks the index of one candidate step.
+    fn choose(&mut self, ctx: &mut PolicyContext<'_>) -> Option<usize>;
+
+    /// Rewinds any internal state (e.g. a PRNG) to its initial value;
+    /// called by [`Engine::reset`](crate::Engine::reset).
+    fn reset(&mut self) {}
+}
+
+/// Uniformly random among the acceptable steps, deterministic for a
+/// given seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Random {
+    seed: u64,
+    rng: SplitMix64,
+}
+
+impl Random {
+    /// A random policy with the given PRNG seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Random {
+            seed,
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+impl Policy for Random {
+    fn name(&self) -> &str {
+        "random"
+    }
+    fn choose(&mut self, ctx: &mut PolicyContext<'_>) -> Option<usize> {
+        Some(self.rng.next_below(ctx.candidates().len()))
+    }
+    fn reset(&mut self) {
+        self.rng = SplitMix64::new(self.seed);
+    }
+}
+
+/// The acceptable step with the most events (ASAP / maximal
+/// parallelism; ties broken by step order).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxParallel;
+
+impl Policy for MaxParallel {
+    fn name(&self) -> &str {
+        "max-parallel"
+    }
+    fn choose(&mut self, ctx: &mut PolicyContext<'_>) -> Option<usize> {
+        ctx.candidates()
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.len())
+            .map(|(i, _)| i)
+    }
+}
+
+/// The acceptable non-empty step with the fewest events (interleaving
+/// semantics; ties broken by step order).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinSerial;
+
+impl Policy for MinSerial {
+    fn name(&self) -> &str {
+        "min-serial"
+    }
+    fn choose(&mut self, ctx: &mut PolicyContext<'_>) -> Option<usize> {
+        // skip the stuttering step (a session with `include_empty` may
+        // offer it): this policy picks the smallest step that makes
+        // progress, falling back to {} only when it is the sole option
+        ctx.candidates()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .min_by_key(|(_, s)| s.len())
+            .map(|(i, _)| i)
+            .or(Some(0))
+    }
+}
+
+/// The first acceptable step in the solver's deterministic order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Lexicographic;
+
+impl Policy for Lexicographic {
+    fn name(&self) -> &str {
+        "lexicographic"
+    }
+    fn choose(&mut self, _ctx: &mut PolicyContext<'_>) -> Option<usize> {
+        Some(0)
+    }
+}
+
+/// Like [`MaxParallel`], but with one-step deadlock avoidance: prefers
+/// the largest step whose successor configuration still admits a step.
+/// Falls back to plain max-parallel when every choice wedges.
+///
+/// The seed implementation cloned the entire specification per
+/// candidate per step; this one uses the compiled
+/// `state_key()`/`restore()` lookahead of
+/// [`PolicyContext::successor_admits_step`] — same chosen schedule,
+/// no cloning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SafeMaxParallel;
+
+impl Policy for SafeMaxParallel {
+    fn name(&self) -> &str {
+        "safe-max-parallel"
+    }
+    fn choose(&mut self, ctx: &mut PolicyContext<'_>) -> Option<usize> {
+        let mut by_size: Vec<usize> = (0..ctx.candidates().len()).collect();
+        // stable sort: candidates of equal size keep the solver's order,
+        // matching the seed's tie-breaking exactly
+        by_size.sort_by_key(|&i| std::cmp::Reverse(ctx.candidates()[i].len()));
+        for &i in &by_size {
+            let candidate = ctx.candidates()[i].clone();
+            if ctx.successor_admits_step(&candidate) {
+                return Some(i);
+            }
+        }
+        by_size.first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use moccml_ccsl::{Alternation, SubClock};
+    use moccml_kernel::Universe;
+
+    fn subclock_spec() -> Specification {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("sub", u);
+        spec.add_constraint(Box::new(SubClock::new("a⊆b", a, b)));
+        spec
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(MaxParallel.name(), "max-parallel");
+        assert_eq!(MinSerial.name(), "min-serial");
+        assert_eq!(Lexicographic.name(), "lexicographic");
+        assert_eq!(SafeMaxParallel.name(), "safe-max-parallel");
+        assert_eq!(Random::new(9).name(), "random");
+    }
+
+    #[test]
+    fn max_parallel_picks_biggest_min_serial_smallest() {
+        let mut max = Engine::builder(subclock_spec()).policy(MaxParallel).build();
+        assert_eq!(max.step().expect("step").len(), 2); // {a,b}
+        let mut min = Engine::builder(subclock_spec()).policy(MinSerial).build();
+        assert_eq!(min.step().expect("step").len(), 1); // {b}
+    }
+
+    #[test]
+    fn min_serial_skips_the_empty_step() {
+        use crate::solver::SolverOptions;
+        let mut engine = Engine::builder(subclock_spec())
+            .policy(MinSerial)
+            .solver(SolverOptions::default().with_empty(true))
+            .build();
+        // candidates are [{}, {b}, {a,b}]: the documented choice is the
+        // smallest *non-empty* step
+        assert_eq!(engine.step().expect("step").len(), 1);
+    }
+
+    #[test]
+    fn random_resets_with_its_seed() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        let mut engine = Engine::builder(spec).policy(Random::new(3)).build();
+        let first = engine.run(8).schedule;
+        engine.reset();
+        assert_eq!(engine.run(8).schedule, first);
+    }
+
+    #[test]
+    fn custom_policies_plug_in() {
+        /// Picks the last candidate — not expressible with the old enum.
+        #[derive(Debug)]
+        struct Last;
+        impl Policy for Last {
+            fn name(&self) -> &str {
+                "last"
+            }
+            fn choose(&mut self, ctx: &mut PolicyContext<'_>) -> Option<usize> {
+                Some(ctx.candidates().len() - 1)
+            }
+        }
+        let mut engine = Engine::builder(subclock_spec()).policy(Last).build();
+        // sorted candidates of a⊆b are [{b}, {a,b}]: last is {a,b}
+        assert_eq!(engine.step().expect("step").len(), 2);
+    }
+}

@@ -1,70 +1,23 @@
-//! Simulation: repeatedly picking one acceptable step and firing it.
+//! [`Simulator`]: a thin convenience wrapper over an [`Engine`]
+//! session, implementing `Iterator<Item = Step>`.
+//!
+//! The seed's `Simulator` owned the solver loop itself; it is now a
+//! facade over [`Engine`] — one constructor call instead of a builder
+//! chain — kept because "give me a simulation of this spec under that
+//! policy" is the single most common engine use.
 
-use crate::rng::SplitMix64;
-use crate::solver::{acceptable_steps, SolverOptions};
-use moccml_kernel::{Schedule, Specification, Step};
-use std::fmt;
+use crate::engine::{Engine, SimulationReport};
+use crate::policy::Policy;
+use moccml_kernel::{Specification, Step};
 
-/// Strategy for picking one step among the acceptable ones.
-///
-/// The paper leaves the choice to the engine ("for each step, one or
-/// several event(s) can occur"); these policies cover the interesting
-/// corners for the experiments.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum Policy {
-    /// Uniformly random among the acceptable non-empty steps,
-    /// deterministic for a given seed.
-    Random {
-        /// PRNG seed.
-        seed: u64,
-    },
-    /// The acceptable step with the most events (ASAP / maximal
-    /// parallelism; ties broken by step order).
-    MaxParallel,
-    /// The acceptable non-empty step with the fewest events
-    /// (interleaving semantics; ties broken by step order).
-    MinSerial,
-    /// The first acceptable step in the solver's deterministic order.
-    Lexicographic,
-    /// Like [`Policy::MaxParallel`], but with one-step deadlock
-    /// avoidance: prefers the largest step whose successor configuration
-    /// still admits a step. Falls back to plain max-parallel when every
-    /// choice wedges.
-    SafeMaxParallel,
-}
-
-impl fmt::Display for Policy {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Policy::Random { seed } => write!(f, "random(seed={seed})"),
-            Policy::MaxParallel => write!(f, "max-parallel"),
-            Policy::MinSerial => write!(f, "min-serial"),
-            Policy::Lexicographic => write!(f, "lexicographic"),
-            Policy::SafeMaxParallel => write!(f, "safe-max-parallel"),
-        }
-    }
-}
-
-/// Outcome of a simulation run.
-#[derive(Debug, Clone)]
-pub struct SimulationReport {
-    /// The schedule prefix that was executed.
-    pub schedule: Schedule,
-    /// `true` if the run stopped because no non-empty step was
-    /// acceptable.
-    pub deadlocked: bool,
-    /// Number of steps executed (equals `schedule.len()`).
-    pub steps_taken: usize,
-}
-
-/// A simulation driver over a [`Specification`].
+/// A simulation driver over a [`Specification`]: `Engine::builder`
+/// with the defaults filled in.
 ///
 /// # Example
 ///
 /// ```
 /// use moccml_ccsl::Alternation;
-/// use moccml_engine::{Policy, Simulator};
+/// use moccml_engine::{Lexicographic, Simulator};
 /// use moccml_kernel::{Specification, Universe};
 ///
 /// let mut u = Universe::new();
@@ -72,118 +25,97 @@ pub struct SimulationReport {
 /// let mut spec = Specification::new("alt", u);
 /// spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
 ///
-/// let mut sim = Simulator::new(spec, Policy::Lexicographic);
+/// let mut sim = Simulator::new(spec, Lexicographic);
 /// let report = sim.run(6);
 /// assert_eq!(report.steps_taken, 6);
 /// assert!(!report.deadlocked);
 /// // strict alternation: a, b, a, b, …
 /// assert_eq!(report.schedule.occurrences(a), 3);
 /// assert_eq!(report.schedule.occurrences(b), 3);
+///
+/// // or drive it as an iterator:
+/// sim.reset();
+/// let first_two: Vec<_> = sim.by_ref().take(2).collect();
+/// assert!(first_two[0].contains(a) && first_two[1].contains(b));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Simulator {
-    spec: Specification,
-    policy: Policy,
-    rng: SplitMix64,
-    options: SolverOptions,
+    engine: Engine,
 }
 
 impl Simulator {
     /// Creates a simulator over `spec` with the given policy.
     #[must_use]
-    pub fn new(spec: Specification, policy: Policy) -> Self {
-        let seed = match &policy {
-            Policy::Random { seed } => *seed,
-            _ => 0,
-        };
+    pub fn new(spec: Specification, policy: impl Policy + 'static) -> Self {
         Simulator {
-            spec,
-            policy,
-            rng: SplitMix64::new(seed),
-            options: SolverOptions::default(),
+            engine: Engine::builder(spec).policy(policy).build(),
+        }
+    }
+
+    /// Creates a simulator from an already boxed policy (useful when
+    /// iterating over heterogeneous policy lists).
+    #[must_use]
+    pub fn with_boxed_policy(spec: Specification, policy: Box<dyn Policy>) -> Self {
+        Simulator {
+            engine: Engine::builder(spec).policy_boxed(policy).build(),
         }
     }
 
     /// Read access to the driven specification.
     #[must_use]
     pub fn specification(&self) -> &Specification {
-        &self.spec
+        self.engine.specification()
+    }
+
+    /// Read access to the underlying engine session.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Recovers the underlying engine session (to add exploration or
+    /// analysis on the same compiled state).
+    #[must_use]
+    pub fn into_engine(self) -> Engine {
+        self.engine
     }
 
     /// Picks and fires one step. Returns the step, or `None` on
     /// deadlock (no acceptable non-empty step).
     pub fn step(&mut self) -> Option<Step> {
-        let candidates = acceptable_steps(&self.spec, &self.options);
-        if candidates.is_empty() {
-            return None;
-        }
-        let chosen = match &self.policy {
-            Policy::Random { .. } => candidates[self.rng.next_below(candidates.len())].clone(),
-            Policy::MaxParallel => candidates
-                .iter()
-                .max_by_key(|s| s.len())
-                .expect("non-empty candidate list")
-                .clone(),
-            Policy::MinSerial => candidates
-                .iter()
-                .min_by_key(|s| s.len())
-                .expect("non-empty candidate list")
-                .clone(),
-            Policy::Lexicographic => candidates[0].clone(),
-            Policy::SafeMaxParallel => {
-                let mut by_size: Vec<&Step> = candidates.iter().collect();
-                by_size.sort_by_key(|s| std::cmp::Reverse(s.len()));
-                by_size
-                    .iter()
-                    .find(|step| {
-                        let mut peek = self.spec.clone();
-                        peek.fire(step).expect("candidate is acceptable");
-                        !acceptable_steps(&peek, &self.options).is_empty()
-                    })
-                    .copied()
-                    .unwrap_or(by_size[0])
-                    .clone()
-            }
-        };
-        self.spec
-            .fire(&chosen)
-            .expect("solver only returns acceptable steps");
-        Some(chosen)
+        self.engine.step()
     }
 
     /// Runs up to `max_steps` steps, stopping early on deadlock.
     pub fn run(&mut self, max_steps: usize) -> SimulationReport {
-        let mut schedule = Schedule::new();
-        let mut deadlocked = false;
-        for _ in 0..max_steps {
-            match self.step() {
-                Some(step) => schedule.push(step),
-                None => {
-                    deadlocked = true;
-                    break;
-                }
-            }
-        }
-        let steps_taken = schedule.len();
-        SimulationReport {
-            schedule,
-            deadlocked,
-            steps_taken,
-        }
+        self.engine.run(max_steps)
     }
 
-    /// Resets the specification (and the PRNG) to the initial state.
+    /// Resets the specification (and the policy's PRNG) to the initial
+    /// state.
     pub fn reset(&mut self) {
-        self.spec.reset();
-        if let Policy::Random { seed } = &self.policy {
-            self.rng = SplitMix64::new(*seed);
-        }
+        self.engine.reset();
+    }
+}
+
+impl Iterator for Simulator {
+    type Item = Step;
+
+    fn next(&mut self) -> Option<Step> {
+        self.engine.step()
+    }
+}
+
+impl From<Engine> for Simulator {
+    fn from(engine: Engine) -> Self {
+        Simulator { engine }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{Lexicographic, MaxParallel, MinSerial, Random, SafeMaxParallel};
     use moccml_ccsl::{Alternation, Precedence, SubClock};
     use moccml_kernel::Universe;
 
@@ -203,7 +135,7 @@ mod tests {
     #[test]
     fn lexicographic_alternation_is_strict() {
         let (spec, a, b) = alternating_spec();
-        let mut sim = Simulator::new(spec, Policy::Lexicographic);
+        let mut sim = Simulator::new(spec, Lexicographic);
         let report = sim.run(10);
         assert!(!report.deadlocked);
         for (i, step) in report.schedule.iter().enumerate() {
@@ -216,8 +148,8 @@ mod tests {
     #[test]
     fn random_policy_is_reproducible() {
         let (spec, _, _) = alternating_spec();
-        let r1 = Simulator::new(spec.clone(), Policy::Random { seed: 5 }).run(20);
-        let r2 = Simulator::new(spec, Policy::Random { seed: 5 }).run(20);
+        let r1 = Simulator::new(spec.clone(), Random::new(5)).run(20);
+        let r2 = Simulator::new(spec, Random::new(5)).run(20);
         assert_eq!(r1.schedule, r2.schedule);
     }
 
@@ -231,7 +163,7 @@ mod tests {
         // ever occur.
         spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
         spec.add_constraint(Box::new(Precedence::strict("b<a", b, a)));
-        let report = Simulator::new(spec, Policy::Lexicographic).run(10);
+        let report = Simulator::new(spec, Lexicographic).run(10);
         assert!(report.deadlocked);
         assert_eq!(report.steps_taken, 0);
     }
@@ -243,7 +175,7 @@ mod tests {
         let b = u.event("b");
         let mut spec = Specification::new("sub", u);
         spec.add_constraint(Box::new(SubClock::new("a⊆b", a, b)));
-        let mut sim = Simulator::new(spec, Policy::MaxParallel);
+        let mut sim = Simulator::new(spec, MaxParallel);
         let step = sim.step().expect("some step");
         assert_eq!(step.len(), 2); // {a,b} beats {b}
     }
@@ -255,7 +187,7 @@ mod tests {
         let b = u.event("b");
         let mut spec = Specification::new("sub", u);
         spec.add_constraint(Box::new(SubClock::new("a⊆b", a, b)));
-        let mut sim = Simulator::new(spec, Policy::MinSerial);
+        let mut sim = Simulator::new(spec, MinSerial);
         let step = sim.step().expect("some step");
         assert_eq!(step.len(), 1); // {b}
     }
@@ -263,7 +195,7 @@ mod tests {
     #[test]
     fn reset_restores_initial_behaviour() {
         let (spec, a, _) = alternating_spec();
-        let mut sim = Simulator::new(spec, Policy::Lexicographic);
+        let mut sim = Simulator::new(spec, Lexicographic);
         let first = sim.run(4).schedule;
         sim.reset();
         let second = sim.run(4).schedule;
@@ -272,8 +204,33 @@ mod tests {
     }
 
     #[test]
-    fn policy_display() {
-        assert_eq!(Policy::MaxParallel.to_string(), "max-parallel");
-        assert_eq!(Policy::Random { seed: 9 }.to_string(), "random(seed=9)");
+    fn iterator_yields_steps_until_deadlock() {
+        let mut u = Universe::new();
+        let a = u.event("a");
+        let b = u.event("b");
+        let mut spec = Specification::new("bounded", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b).with_bound(1)));
+        spec.add_constraint(Box::new(Precedence::strict("b<a", b, a).with_bound(1)));
+        // a and b must alternate within bound 1 in both directions:
+        // the iterator ends exactly when the engine deadlocks
+        let sim = Simulator::new(spec.clone(), Lexicographic);
+        let steps: Vec<Step> = sim.take(100).collect();
+        let report = Simulator::new(spec, Lexicographic).run(100);
+        assert_eq!(steps.len(), report.steps_taken);
+        assert_eq!(steps, report.schedule.steps().to_vec());
+    }
+
+    #[test]
+    fn boxed_policies_drive_heterogeneous_lists() {
+        let (spec, _, _) = alternating_spec();
+        let policies: Vec<Box<dyn crate::Policy>> = vec![
+            Box::new(Lexicographic),
+            Box::new(MaxParallel),
+            Box::new(SafeMaxParallel),
+        ];
+        for policy in policies {
+            let report = Simulator::with_boxed_policy(spec.clone(), policy).run(4);
+            assert_eq!(report.steps_taken, 4);
+        }
     }
 }

@@ -7,8 +7,14 @@
 //! in any formula; each would merely double every answer, so they are
 //! reported separately by
 //! [`Specification::free_events`](moccml_kernel::Specification::free_events)).
+//!
+//! The conjunction is represented as a *slice of per-constraint
+//! formulas* rather than one materialised `And` node: that is what lets
+//! [`CompiledSpec`](crate::CompiledSpec) cache each constraint's lowered
+//! formula independently and hand the solver the cached slice with zero
+//! per-query lowering work.
 
-use moccml_kernel::{EventId, Specification, Step, StepFormula};
+use moccml_kernel::{EventId, Specification, Step, StepFormula, Ternary};
 
 /// Options controlling the step enumeration.
 #[derive(Debug, Clone)]
@@ -50,37 +56,24 @@ impl SolverOptions {
     }
 }
 
-/// Enumerates every acceptable step of `spec` in its current state.
+/// Enumerates the models of a conjunction of formulas over `events`.
 ///
-/// A step is acceptable iff it satisfies the conjunction of all
-/// constraints' current formulas. Steps range over the constrained
-/// events only; the result is sorted (by the `Ord` on [`Step`]) so the
-/// output is deterministic.
-///
-/// # Example
-///
-/// ```
-/// use moccml_ccsl::Exclusion;
-/// use moccml_engine::{acceptable_steps, SolverOptions};
-/// use moccml_kernel::{Specification, Universe};
-/// let mut u = Universe::new();
-/// let (a, b) = (u.event("a"), u.event("b"));
-/// let mut spec = Specification::new("x", u);
-/// spec.add_constraint(Box::new(Exclusion::new("a#b", [a, b])));
-/// let steps = acceptable_steps(&spec, &SolverOptions::default());
-/// assert_eq!(steps.len(), 2); // {a} and {b}, not {a,b}
-/// ```
-#[must_use]
-pub fn acceptable_steps(spec: &Specification, options: &SolverOptions) -> Vec<Step> {
-    let formula = spec.conjunction();
-    let events: Vec<EventId> = spec.constrained_events().iter().collect();
+/// This is the shared core of the compiled and the legacy paths: the
+/// caller owns the lowering (once, in [`CompiledSpec`](crate::CompiledSpec),
+/// or per call, in the deprecated [`acceptable_steps`] shim) and the
+/// solver only searches. The result is sorted by the `Ord` on [`Step`].
+pub(crate) fn enumerate_steps(
+    formulas: &[&StepFormula],
+    events: &[EventId],
+    options: &SolverOptions,
+) -> Vec<Step> {
     let mut out = Vec::new();
     if options.prune {
         let mut assigned = Step::new();
         let mut value = Step::new();
-        prune_search(&formula, &events, 0, &mut assigned, &mut value, &mut out);
+        prune_search(formulas, events, 0, &mut assigned, &mut value, &mut out);
     } else {
-        naive_search(&formula, &events, &mut out);
+        naive_search(formulas, events, &mut out);
     }
     if !options.include_empty {
         out.retain(|s| !s.is_empty());
@@ -89,22 +82,75 @@ pub fn acceptable_steps(spec: &Specification, options: &SolverOptions) -> Vec<St
     out
 }
 
+/// Enumerates every acceptable step of `spec` in its current state.
+///
+/// A step is acceptable iff it satisfies the conjunction of all
+/// constraints' current formulas. Steps range over the constrained
+/// events only; the result is sorted (by the `Ord` on [`Step`]) so the
+/// output is deterministic.
+///
+/// This free function re-lowers every constraint formula on each call;
+/// it is kept as a migration shim for one release. Compile the
+/// specification once instead:
+///
+/// ```
+/// # #![allow(deprecated)]
+/// use moccml_ccsl::Exclusion;
+/// use moccml_engine::{CompiledSpec, SolverOptions};
+/// use moccml_kernel::{Specification, Universe};
+/// let mut u = Universe::new();
+/// let (a, b) = (u.event("a"), u.event("b"));
+/// let mut spec = Specification::new("x", u);
+/// spec.add_constraint(Box::new(Exclusion::new("a#b", [a, b])));
+/// let compiled = CompiledSpec::new(spec);
+/// let steps = compiled.acceptable_steps(&SolverOptions::default());
+/// assert_eq!(steps.len(), 2); // {a} and {b}, not {a,b}
+/// ```
+#[must_use]
+#[deprecated(
+    since = "0.2.0",
+    note = "re-lowers every constraint formula per call; build a `CompiledSpec` \
+            (or an `Engine` session) once and query it instead"
+)]
+pub fn acceptable_steps(spec: &Specification, options: &SolverOptions) -> Vec<Step> {
+    let formulas = spec.lowered_formulas();
+    let refs: Vec<&StepFormula> = formulas.iter().collect();
+    let events: Vec<EventId> = spec.constrained_events().iter().collect();
+    enumerate_steps(&refs, &events, options)
+}
+
+/// Three-valued evaluation of the conjunction: `False` as soon as one
+/// conjunct is refuted, `True` only when every conjunct is decided
+/// true. Mirrors `StepFormula::eval_partial` on an `And` node without
+/// requiring the conjuncts to live in one allocation.
+fn eval_partial_all(formulas: &[&StepFormula], assigned: &Step, value: &Step) -> Ternary {
+    let mut out = Ternary::True;
+    for f in formulas {
+        match f.eval_partial(assigned, value) {
+            Ternary::False => return Ternary::False,
+            Ternary::Unknown => out = Ternary::Unknown,
+            Ternary::True => {}
+        }
+    }
+    out
+}
+
 fn prune_search(
-    formula: &StepFormula,
+    formulas: &[&StepFormula],
     events: &[EventId],
     depth: usize,
     assigned: &mut Step,
     value: &mut Step,
     out: &mut Vec<Step>,
 ) {
-    match formula.eval_partial(assigned, value) {
-        moccml_kernel::Ternary::False => return,
-        moccml_kernel::Ternary::True => {
+    match eval_partial_all(formulas, assigned, value) {
+        Ternary::False => return,
+        Ternary::True => {
             // every extension over the remaining events is a model
             enumerate_extensions(events, depth, value.clone(), out);
             return;
         }
-        moccml_kernel::Ternary::Unknown => {}
+        Ternary::Unknown => {}
     }
     if depth == events.len() {
         out.push(value.clone());
@@ -113,10 +159,10 @@ fn prune_search(
     let e = events[depth];
     assigned.insert(e);
     // branch: event absent
-    prune_search(formula, events, depth + 1, assigned, value, out);
+    prune_search(formulas, events, depth + 1, assigned, value, out);
     // branch: event present
     value.insert(e);
-    prune_search(formula, events, depth + 1, assigned, value, out);
+    prune_search(formulas, events, depth + 1, assigned, value, out);
     value.remove(e);
     assigned.remove(e);
 }
@@ -132,7 +178,7 @@ fn enumerate_extensions(events: &[EventId], depth: usize, base: Step, out: &mut 
     enumerate_extensions(events, depth + 1, with, out);
 }
 
-fn naive_search(formula: &StepFormula, events: &[EventId], out: &mut Vec<Step>) {
+fn naive_search(formulas: &[&StepFormula], events: &[EventId], out: &mut Vec<Step>) {
     let n = events.len();
     assert!(n < 26, "naive enumeration is capped at 2^26 candidates");
     for mask in 0u64..(1u64 << n) {
@@ -142,7 +188,7 @@ fn naive_search(formula: &StepFormula, events: &[EventId], out: &mut Vec<Step>) 
             .filter(|(i, _)| mask & (1 << i) != 0)
             .map(|(_, &e)| e)
             .collect();
-        if formula.eval(&step) {
+        if formulas.iter().all(|f| f.eval(&step)) {
             out.push(step);
         }
     }
@@ -151,6 +197,7 @@ fn naive_search(formula: &StepFormula, events: &[EventId], out: &mut Vec<Step>) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compiled::CompiledSpec;
     use moccml_ccsl::{Coincidence, Exclusion, Precedence, SubClock};
     use moccml_kernel::Universe;
 
@@ -163,13 +210,17 @@ mod tests {
         (spec, a, b, c)
     }
 
+    fn steps(spec: &Specification, options: &SolverOptions) -> Vec<Step> {
+        CompiledSpec::compile(spec).acceptable_steps(options)
+    }
+
     #[test]
     fn unconstrained_spec_has_no_constrained_events() {
         let (spec, _, _, _) = three_events();
         // no constraints ⇒ no constrained events ⇒ only the empty step,
         // which is excluded by default
-        assert!(acceptable_steps(&spec, &SolverOptions::default()).is_empty());
-        let with_empty = acceptable_steps(&spec, &SolverOptions::default().with_empty(true));
+        assert!(steps(&spec, &SolverOptions::default()).is_empty());
+        let with_empty = steps(&spec, &SolverOptions::default().with_empty(true));
         assert_eq!(with_empty.len(), 1);
         assert!(with_empty[0].is_empty());
     }
@@ -179,10 +230,10 @@ mod tests {
         // E2: monotone restriction (Sec. II-C) — over a fixed event set.
         let (mut spec, a, b, _) = three_events();
         spec.add_constraint(Box::new(SubClock::new("a⊆b", a, b)));
-        let s1 = acceptable_steps(&spec, &SolverOptions::default().with_empty(true));
+        let s1 = steps(&spec, &SolverOptions::default().with_empty(true));
         assert_eq!(s1.len(), 3); // {}, {b}, {a,b}
         spec.add_constraint(Box::new(Exclusion::new("a#b", [a, b])));
-        let s2 = acceptable_steps(&spec, &SolverOptions::default().with_empty(true));
+        let s2 = steps(&spec, &SolverOptions::default().with_empty(true));
         assert_eq!(s2.len(), 2); // {}, {b}
         for s in &s2 {
             assert!(s1.contains(s), "adding constraints only removes steps");
@@ -193,7 +244,7 @@ mod tests {
     fn subclock_steps_match_implication() {
         let (mut spec, a, b, _) = three_events();
         spec.add_constraint(Box::new(SubClock::new("a⊆b", a, b)));
-        let steps = acceptable_steps(&spec, &SolverOptions::default());
+        let steps = steps(&spec, &SolverOptions::default());
         // over {a,b}: acceptable non-empty steps are {b}, {a,b}
         assert_eq!(steps.len(), 2);
         assert!(steps.contains(&Step::from_events([b])));
@@ -206,8 +257,8 @@ mod tests {
         spec.add_constraint(Box::new(SubClock::new("a⊆b", a, b)));
         spec.add_constraint(Box::new(Exclusion::new("a#c", [a, c])));
         spec.add_constraint(Box::new(Coincidence::new("b=c", b, c)));
-        let pruned = acceptable_steps(&spec, &SolverOptions::default());
-        let naive = acceptable_steps(&spec, &SolverOptions::naive());
+        let pruned = steps(&spec, &SolverOptions::default());
+        let naive = steps(&spec, &SolverOptions::naive());
         assert_eq!(pruned, naive);
     }
 
@@ -215,10 +266,11 @@ mod tests {
     fn stateful_constraint_changes_answers_after_fire() {
         let (mut spec, a, b, _) = three_events();
         spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
-        let before = acceptable_steps(&spec, &SolverOptions::default());
+        let mut compiled = CompiledSpec::new(spec);
+        let before = compiled.acceptable_steps(&SolverOptions::default());
         assert_eq!(before, vec![Step::from_events([a])]);
-        spec.fire(&Step::from_events([a])).expect("fires");
-        let after = acceptable_steps(&spec, &SolverOptions::default());
+        compiled.fire(&Step::from_events([a])).expect("fires");
+        let after = compiled.acceptable_steps(&SolverOptions::default());
         // now b alone, a alone, or both are acceptable
         assert_eq!(after.len(), 3);
     }
@@ -227,11 +279,30 @@ mod tests {
     fn results_are_sorted_and_deduplicated_by_construction() {
         let (mut spec, a, b, c) = three_events();
         spec.add_constraint(Box::new(Exclusion::new("x", [a, b, c])));
-        let steps = acceptable_steps(&spec, &SolverOptions::default());
+        let steps = steps(&spec, &SolverOptions::default());
         let mut sorted = steps.clone();
         sorted.sort();
         sorted.dedup();
         assert_eq!(steps, sorted);
         assert_eq!(steps.len(), 3); // {a}, {b}, {c}
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shim_matches_compiled_path() {
+        let (mut spec, a, b, c) = three_events();
+        spec.add_constraint(Box::new(SubClock::new("a⊆b", a, b)));
+        spec.add_constraint(Box::new(Precedence::strict("b<c", b, c)));
+        for options in [
+            SolverOptions::default(),
+            SolverOptions::naive(),
+            SolverOptions::default().with_empty(true),
+        ] {
+            assert_eq!(
+                acceptable_steps(&spec, &options),
+                steps(&spec, &options),
+                "shim and compiled path must agree"
+            );
+        }
     }
 }

@@ -95,6 +95,32 @@ impl Specification {
         .simplify()
     }
 
+    /// Per-constraint lowered formulas, in constraint order: each
+    /// constraint's [`current_formula`](Constraint::current_formula),
+    /// structurally simplified.
+    ///
+    /// A step satisfies [`conjunction`](Specification::conjunction) iff
+    /// it satisfies every formula of this vector — the engine's
+    /// `CompiledSpec` caches these per constraint (keyed by the local
+    /// [`state_key`](Constraint::state_key)) so the lowering happens
+    /// once per reached constraint state instead of once per query.
+    #[must_use]
+    pub fn lowered_formulas(&self) -> Vec<StepFormula> {
+        self.constraints
+            .iter()
+            .map(|c| c.current_formula().simplify())
+            .collect()
+    }
+
+    /// Per-constraint state keys, in constraint order — the same
+    /// snapshots [`state_key`](Specification::state_key) concatenates,
+    /// but kept separate so a caller can detect *which* constraints
+    /// changed state.
+    #[must_use]
+    pub fn constraint_state_keys(&self) -> Vec<StateKey> {
+        self.constraints.iter().map(|c| c.state_key()).collect()
+    }
+
     /// The set of events restricted by at least one constraint.
     ///
     /// Events outside this set are *free*: nothing ever forbids or

@@ -252,9 +252,17 @@ pub fn build_specification_with(
 mod tests {
     use super::*;
     use moccml_engine::{
-        acceptable_steps, explore, ExploreOptions, Policy, Simulator, SolverOptions,
+        CompiledSpec, ExploreOptions, Lexicographic, Simulator, SolverOptions, StateSpace,
     };
-    use moccml_kernel::Step;
+    use moccml_kernel::{Specification, Step};
+
+    fn acceptable_steps(spec: &Specification, options: &SolverOptions) -> Vec<Step> {
+        CompiledSpec::compile(spec).acceptable_steps(options)
+    }
+
+    fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
+        CompiledSpec::compile(spec).explore(options)
+    }
 
     fn producer_consumer(capacity: u32, delay: u32) -> SdfGraph {
         let mut g = SdfGraph::new("pc");
@@ -305,10 +313,7 @@ mod tests {
     #[test]
     fn consumer_fires_only_after_producer() {
         let g = producer_consumer(2, 0);
-        let mut sim = Simulator::new(
-            build_specification(&g).expect("builds"),
-            Policy::Lexicographic,
-        );
+        let mut sim = Simulator::new(build_specification(&g).expect("builds"), Lexicographic);
         let report = sim.run(6);
         assert!(!report.deadlocked);
         let u = sim.specification().universe();
@@ -443,10 +448,7 @@ mod tests {
         g.add_agent("a", 0).expect("a");
         g.add_agent("b", 0).expect("b");
         g.connect("a", "b", 2, 3, 6, 0).expect("place");
-        let mut sim = Simulator::new(
-            build_specification(&g).expect("builds"),
-            Policy::Lexicographic,
-        );
+        let mut sim = Simulator::new(build_specification(&g).expect("builds"), Lexicographic);
         let report = sim.run(10);
         assert!(!report.deadlocked);
         let u = sim.specification().universe();

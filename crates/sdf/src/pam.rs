@@ -131,7 +131,14 @@ pub fn deployed(platform: &Platform, deployment: &Deployment) -> Result<Specific
 mod tests {
     use super::*;
     use crate::analysis::repetition_vector;
-    use moccml_engine::{explore, ExploreOptions, Policy, Simulator};
+    use moccml_engine::{
+        CompiledSpec, ExploreOptions, MaxParallel, SafeMaxParallel, Simulator, StateSpace,
+    };
+    use moccml_kernel::Specification;
+
+    fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
+        CompiledSpec::compile(spec).explore(options)
+    }
 
     #[test]
     fn application_is_consistent_and_uniform() {
@@ -145,7 +152,7 @@ mod tests {
     #[test]
     fn infinite_resources_run_never_deadlocks() {
         let spec = infinite_resources().expect("builds");
-        let report = Simulator::new(spec, Policy::MaxParallel).run(20);
+        let report = Simulator::new(spec, MaxParallel).run(20);
         assert!(!report.deadlocked);
     }
 
@@ -161,7 +168,7 @@ mod tests {
             deployment_quad_core(),
         ] {
             let spec = deployed(&platform, &deployment).expect("deploys");
-            let report = Simulator::new(spec, Policy::SafeMaxParallel).run(30);
+            let report = Simulator::new(spec, SafeMaxParallel).run(30);
             assert!(!report.deadlocked, "{} deadlocked", platform.name());
             assert_eq!(report.steps_taken, 30);
         }
@@ -171,7 +178,7 @@ mod tests {
     fn greedy_scheduling_wedges_on_the_single_core() {
         let (platform, deployment) = deployment_single_core();
         let spec = deployed(&platform, &deployment).expect("deploys");
-        let report = Simulator::new(spec, Policy::MaxParallel).run(30);
+        let report = Simulator::new(spec, MaxParallel).run(30);
         assert!(report.deadlocked, "greedy schedule hits the wedge");
     }
 

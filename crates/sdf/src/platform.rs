@@ -332,8 +332,12 @@ pub fn deploy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use moccml_engine::{explore, ExploreOptions, Policy, Simulator};
-    use moccml_kernel::Universe;
+    use moccml_engine::{CompiledSpec, ExploreOptions, MaxParallel, Simulator, StateSpace};
+    use moccml_kernel::{Specification, Universe};
+
+    fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
+        CompiledSpec::compile(spec).explore(options)
+    }
 
     fn two_agent_graph() -> SdfGraph {
         let mut g = SdfGraph::new("pair");
@@ -445,7 +449,7 @@ mod tests {
         let platform = Platform::new("mono", 1);
         let d = Deployment::new().assign("a", 0, 2).assign("b", 0, 2);
         let deployed = deploy(&g, &platform, &d).expect("deploys");
-        let mut sim = Simulator::new(deployed, Policy::MaxParallel);
+        let mut sim = Simulator::new(deployed, MaxParallel);
         let report = sim.run(12);
         assert!(!report.deadlocked);
         let u = sim.specification().universe();

@@ -9,7 +9,7 @@
 
 use moccml_automata::parse_library;
 use moccml_ccsl::Exclusion;
-use moccml_engine::{explore, ExploreOptions, Policy, Simulator};
+use moccml_engine::{Engine, ExploreOptions, Random};
 use moccml_kernel::Constraint;
 use moccml_metamodel::{
     weave, ArgExpr, AttrType, ConstraintRegistry, MappingSpec, MetaClass, Metamodel, Model,
@@ -87,19 +87,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     spec.add_constraint(Box::new(Exclusion::new("axi.grantSerialization", grants)));
 
-    // 6. analyse
-    let space = explore(&spec, &ExploreOptions::default());
+    // 6. analyse: one session drives exploration and simulation on
+    //    the same compiled execution model
+    let mut engine = Engine::builder(spec).policy(Random::new(7)).build();
+    let space = engine.explore(&ExploreOptions::default());
     println!("BusDSL execution model: {}", space.stats());
     println!("schedules of length 4: {}", space.count_schedules(4));
 
-    let mut sim = Simulator::new(spec, Policy::Random { seed: 7 });
-    let report = sim.run(12);
+    let report = engine.run(12);
     println!("\n12-step random run:");
     println!(
         "{}",
         report
             .schedule
-            .render_timing_diagram(sim.specification().universe())
+            .render_timing_diagram(engine.specification().universe())
     );
     Ok(())
 }

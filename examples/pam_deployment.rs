@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run -p moccml-bench --example pam_deployment`
 
-use moccml_engine::{explore, ExploreOptions, Policy, Simulator};
+use moccml_engine::{CompiledSpec, Engine, ExploreOptions, SafeMaxParallel};
 use moccml_sdf::pam;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,7 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "configuration", "states", "transitions", "deadlocks", "max ∥"
     );
     for (name, spec) in &configs {
-        let stats = explore(spec, &ExploreOptions::default()).stats();
+        let stats = CompiledSpec::compile(spec)
+            .explore(&ExploreOptions::default())
+            .stats();
         println!(
             "{name:<20} {:>8} {:>12} {:>10} {:>8}",
             stats.states, stats.transitions, stats.deadlocks, stats.max_step_parallelism
@@ -42,14 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // a trace on the dual-core platform
     let (platform, deployment) = pam::deployment_dual_core();
     let spec = pam::deployed(&platform, &deployment)?;
-    let mut sim = Simulator::new(spec, Policy::SafeMaxParallel);
-    let report = sim.run(16);
+    let mut engine = Engine::builder(spec).policy(SafeMaxParallel).build();
+    let report = engine.run(16);
     println!("\ndual-core 16-step schedule (deadlock-avoiding ASAP policy):");
     println!(
         "{}",
         report
             .schedule
-            .render_timing_diagram(sim.specification().universe())
+            .render_timing_diagram(engine.specification().universe())
     );
     Ok(())
 }

@@ -5,7 +5,7 @@
 //! Run with: `cargo run -p moccml-bench --example quickstart`
 
 use moccml_automata::parse_library;
-use moccml_engine::{acceptable_steps, Policy, Simulator, SolverOptions};
+use moccml_engine::{Engine, Random, SolverOptions, VcdObserver};
 use moccml_kernel::{Specification, Universe};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -45,15 +45,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .finish()?,
     ));
 
-    // 3. what can happen right now?
+    // 3. a compiled engine session: policy + solver + streaming VCD
+    let vcd = VcdObserver::new("quickstart");
+    let mut engine = Engine::builder(spec)
+        .policy(Random::new(2015))
+        .solver(SolverOptions::default())
+        .observer(vcd.clone())
+        .build();
+
+    // 4. what can happen right now? (no re-lowering: the spec was
+    //    compiled once when the session was built)
     println!("acceptable first steps:");
-    for step in acceptable_steps(&spec, &SolverOptions::default()) {
-        println!("  {}", step.display(spec.universe()));
+    for step in engine.acceptable_steps() {
+        println!("  {}", step.display(engine.specification().universe()));
     }
 
-    // 4. simulate 10 steps and print the trace
-    let mut simulator = Simulator::new(spec, Policy::Random { seed: 2015 });
-    let report = simulator.run(10);
+    // 5. simulate 10 steps and print the trace
+    let report = engine.run(10);
     println!();
     println!(
         "10-step random simulation (deadlocked: {}):",
@@ -63,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{}",
         report
             .schedule
-            .render_timing_diagram(simulator.specification().universe())
+            .render_timing_diagram(engine.specification().universe())
+    );
+    println!(
+        "streamed VCD: {} bytes (open in GTKWave)",
+        vcd.render().len()
     );
     Ok(())
 }

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run -p moccml-bench --example sdf_pipeline`
 
-use moccml_engine::{explore, ExploreOptions, Policy, Simulator};
+use moccml_engine::{Engine, ExploreOptions, MetricsObserver, SafeMaxParallel};
 use moccml_sdf::analysis::{is_consistent, repetition_vector, topology_matrix};
 use moccml_sdf::mocc::MoccVariant;
 use moccml_sdf::model_bridge::weave_specification;
@@ -33,17 +33,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         spec.constraint_count()
     );
 
-    let space = explore(&spec, &ExploreOptions::default());
+    // one engine session: exploration, simulation and streaming
+    // metrics all run on the same compiled execution model
+    let metrics = MetricsObserver::new();
+    let mut engine = Engine::builder(spec)
+        .policy(SafeMaxParallel)
+        .observer(metrics.clone())
+        .build();
+    let space = engine.explore(&ExploreOptions::default());
     println!("state space: {}", space.stats());
 
-    let mut sim = Simulator::new(spec, Policy::SafeMaxParallel);
-    let report = sim.run(20);
+    let report = engine.run(20);
     println!("\n20-step as-soon-as-possible schedule:");
     println!(
         "{}",
         report
             .schedule
-            .render_timing_diagram(sim.specification().universe())
+            .render_timing_diagram(engine.specification().universe())
+    );
+    let m = metrics.snapshot();
+    println!(
+        "streamed metrics: {} steps, max ∥ {}, mean ∥ {:.2}",
+        m.steps,
+        m.max_parallelism,
+        m.mean_parallelism()
     );
     Ok(())
 }

@@ -16,16 +16,22 @@
 //! * [`ccsl`] — the declarative CCSL relation/expression library;
 //! * [`metamodel`] — MOF-lite metamodels, models and the ECL-style
 //!   mapping that weaves constraints over a model;
-//! * [`engine`] — the generic execution engine: step solver,
-//!   simulator, exhaustive explorer;
+//! * [`engine`] — the generic execution engine: compiled
+//!   specifications, `Engine` sessions with pluggable policies and
+//!   streaming observers, exhaustive explorer;
 //! * [`sdf`] — the paper's illustrative DSL (SigPML/SDF) and the PAM
 //!   case study.
 //!
 //! ## Quickstart
 //!
+//! A specification is compiled once into an [`engine::Engine`] session;
+//! the session then drives simulation (under a pluggable
+//! [`engine::Policy`]), exploration and streaming observers on the same
+//! compiled state:
+//!
 //! ```
 //! use moccml::ccsl::Alternation;
-//! use moccml::engine::{Policy, Simulator};
+//! use moccml::engine::{Engine, ExploreOptions, Lexicographic, MetricsObserver};
 //! use moccml::kernel::{Specification, Universe};
 //!
 //! let mut u = Universe::new();
@@ -33,9 +39,22 @@
 //! let b = u.event("b");
 //! let mut spec = Specification::new("alt", u);
 //! spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
-//! let report = Simulator::new(spec, Policy::Lexicographic).run(4);
+//!
+//! let metrics = MetricsObserver::new();
+//! let mut engine = Engine::builder(spec)
+//!     .policy(Lexicographic)
+//!     .observer(metrics.clone())
+//!     .build();
+//! let space = engine.explore(&ExploreOptions::default());
+//! assert_eq!(space.state_count(), 2); // the alternation two-cycle
+//! let report = engine.run(4);
 //! assert_eq!(report.steps_taken, 4);
+//! assert_eq!(metrics.snapshot().steps, 4);
 //! ```
+//!
+//! (The 0.1 free functions `engine::acceptable_steps` / `engine::explore`
+//! remain as `#[deprecated]` shims for one release; see the migration
+//! note in [`engine`].)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

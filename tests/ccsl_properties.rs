@@ -7,7 +7,7 @@
 //! report a replayable case seed.
 
 use moccml_ccsl::{Alternation, Delay, Exclusion, Periodic, Precedence, SubClock, Union};
-use moccml_engine::{Policy, Simulator};
+use moccml_engine::{Random, Simulator};
 use moccml_kernel::{EventId, Schedule, Specification, Universe};
 use moccml_testkit::{cases, prop_assert, prop_assert_eq};
 
@@ -22,9 +22,7 @@ fn three_event_spec() -> (Universe, EventId, EventId, EventId) {
 }
 
 fn run(spec: Specification, seed: u64, steps: usize) -> Schedule {
-    Simulator::new(spec, Policy::Random { seed })
-        .run(steps)
-        .schedule
+    Simulator::new(spec, Random::new(seed)).run(steps).schedule
 }
 
 /// Sub-clock: every step containing `a` also contains `b`.
@@ -183,7 +181,7 @@ fn state_keys_round_trip_along_runs() {
         let mut spec = Specification::new("t", u);
         spec.add_constraint(Box::new(Precedence::strict("p", a, b).with_bound(3)));
         spec.add_constraint(Box::new(Alternation::new("alt", a, b)));
-        let mut sim = Simulator::new(spec.clone(), Policy::Random { seed });
+        let mut sim = Simulator::new(spec.clone(), Random::new(seed));
         for _ in 0..20 {
             if sim.step().is_none() {
                 break;

@@ -1,0 +1,191 @@
+//! Property-based equivalence of the compiled path against the legacy
+//! recompile-per-query solver, over randomly generated CCSL constraint
+//! sets — the correctness side of the `CompiledSpec` redesign: caching
+//! per-constraint lowered formulas must change *no* step semantics.
+//!
+//! Runs ≥64 cases per property on the deterministic in-repo
+//! `moccml-testkit` harness; failures report a replayable case seed.
+//!
+//! The legacy free function is deprecated; this suite is its one
+//! sanctioned caller (it *is* the differential baseline).
+#![allow(deprecated)]
+
+use moccml_ccsl::{Alternation, Coincidence, Exclusion, Precedence, SubClock, Union};
+use moccml_engine::{acceptable_steps, CompiledSpec, SolverOptions};
+use moccml_kernel::{Constraint, EventId, Specification, Universe};
+use moccml_testkit::{cases, prop_assert, prop_assert_eq, TestRng};
+
+const CASES: usize = 96; // ISSUE 2 requires ≥ 64
+
+/// A recipe for one random constraint over a small event universe.
+#[derive(Debug, Clone)]
+enum Recipe {
+    Sub(u8, u8),
+    Excl(u8, u8, u8),
+    Coinc(u8, u8),
+    Prec(u8, u8, u8),
+    Union(u8, u8, u8),
+    Alt(u8, u8),
+}
+
+fn random_recipe(rng: &mut TestRng) -> Recipe {
+    match rng.u8_in(0..6) {
+        0 => Recipe::Sub(rng.u8_in(0..6), rng.u8_in(0..6)),
+        1 => Recipe::Excl(rng.u8_in(0..6), rng.u8_in(0..6), rng.u8_in(0..6)),
+        2 => Recipe::Coinc(rng.u8_in(0..6), rng.u8_in(0..6)),
+        3 => Recipe::Prec(rng.u8_in(0..6), rng.u8_in(0..6), rng.u8_in(1..4)),
+        4 => Recipe::Union(rng.u8_in(0..6), rng.u8_in(0..6), rng.u8_in(0..6)),
+        _ => Recipe::Alt(rng.u8_in(0..6), rng.u8_in(0..6)),
+    }
+}
+
+fn build(recipes: &[Recipe]) -> Specification {
+    let mut u = Universe::new();
+    let events: Vec<EventId> = (0..6).map(|i| u.event(&format!("e{i}"))).collect();
+    let mut spec = Specification::new("random", u);
+    for (i, r) in recipes.iter().enumerate() {
+        let name = format!("c{i}");
+        let c: Option<Box<dyn Constraint>> = match *r {
+            Recipe::Sub(a, b) if a != b => Some(Box::new(SubClock::new(
+                &name,
+                events[a as usize],
+                events[b as usize],
+            ))),
+            Recipe::Excl(a, b, c2) if a != b && b != c2 && a != c2 => {
+                Some(Box::new(Exclusion::new(
+                    &name,
+                    [events[a as usize], events[b as usize], events[c2 as usize]],
+                )))
+            }
+            Recipe::Coinc(a, b) if a != b => Some(Box::new(Coincidence::new(
+                &name,
+                events[a as usize],
+                events[b as usize],
+            ))),
+            Recipe::Prec(a, b, k) if a != b => Some(Box::new(
+                Precedence::strict(&name, events[a as usize], events[b as usize])
+                    .with_bound(u64::from(k)),
+            )),
+            Recipe::Union(a, b, c2) if a != b && a != c2 => Some(Box::new(Union::new(
+                &name,
+                events[a as usize],
+                [events[b as usize], events[c2 as usize]],
+            ))),
+            Recipe::Alt(a, b) if a != b => Some(Box::new(Alternation::new(
+                &name,
+                events[a as usize],
+                events[b as usize],
+            ))),
+            _ => None, // degenerate draws are skipped
+        };
+        if let Some(c) = c {
+            spec.add_constraint(c);
+        }
+    }
+    spec
+}
+
+fn solver_variants() -> [SolverOptions; 3] {
+    [
+        SolverOptions::default(),
+        SolverOptions::naive(),
+        SolverOptions::default().with_empty(true),
+    ]
+}
+
+/// In the initial state, the compiled path yields step sets
+/// byte-identical to the legacy recompile-per-query enumeration, for
+/// every solver configuration.
+#[test]
+fn compiled_equals_legacy_initially() {
+    cases(CASES).run("compiled_equals_legacy_initially", |rng| {
+        let recipes = rng.vec_of(1..6, random_recipe);
+        let spec = build(&recipes);
+        let compiled = CompiledSpec::compile(&spec);
+        for options in solver_variants() {
+            prop_assert_eq!(
+                compiled.acceptable_steps(&options),
+                acceptable_steps(&spec, &options),
+                "options {options:?}, recipes {recipes:?}"
+            );
+        }
+        Ok(())
+    });
+}
+
+/// The agreement holds along random runs: both sides fire the same
+/// (randomly chosen) acceptable step and must keep identical answers —
+/// this exercises the incremental slot refresh after `fire`.
+#[test]
+fn compiled_equals_legacy_along_runs() {
+    cases(CASES).run("compiled_equals_legacy_along_runs", |rng| {
+        let recipes = rng.vec_of(1..5, random_recipe);
+        let mut spec = build(&recipes);
+        let mut compiled = CompiledSpec::compile(&spec);
+        let options = SolverOptions::default();
+        for _ in 0..8 {
+            let fast = compiled.acceptable_steps(&options);
+            let slow = acceptable_steps(&spec, &options);
+            prop_assert_eq!(&fast, &slow, "recipes {recipes:?}");
+            if fast.is_empty() {
+                break;
+            }
+            let step = fast[rng.usize_in(0..fast.len())].clone();
+            compiled.fire(&step).map_err(|e| e.to_string())?;
+            spec.fire(&step).map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    });
+}
+
+/// `restore` re-syncs the cached formulas exactly: winding a compiled
+/// spec back to a snapshot yields the answers the legacy path computed
+/// there — this exercises the memo-hit path exploration depends on.
+#[test]
+fn compiled_restore_matches_legacy_snapshots() {
+    cases(CASES).run("compiled_restore_matches_legacy_snapshots", |rng| {
+        let recipes = rng.vec_of(1..5, random_recipe);
+        let mut spec = build(&recipes);
+        let mut compiled = CompiledSpec::compile(&spec);
+        let options = SolverOptions::default();
+        let mut snapshots = vec![(compiled.state_key(), acceptable_steps(&spec, &options))];
+        for _ in 0..6 {
+            let steps = compiled.acceptable_steps(&options);
+            if steps.is_empty() {
+                break;
+            }
+            let step = steps[rng.usize_in(0..steps.len())].clone();
+            compiled.fire(&step).map_err(|e| e.to_string())?;
+            spec.fire(&step).map_err(|e| e.to_string())?;
+            snapshots.push((compiled.state_key(), acceptable_steps(&spec, &options)));
+        }
+        // revisit the snapshots in random order
+        for _ in 0..snapshots.len() {
+            let (key, expected) = &snapshots[rng.usize_in(0..snapshots.len())];
+            compiled.restore(key).map_err(|e| e.to_string())?;
+            prop_assert_eq!(
+                &compiled.acceptable_steps(&options),
+                expected,
+                "recipes {recipes:?}"
+            );
+        }
+        Ok(())
+    });
+}
+
+/// Every step the compiled path enumerates is genuinely accepted by the
+/// specification, and `CompiledSpec::accepts` agrees with the
+/// enumeration.
+#[test]
+fn compiled_steps_are_accepted() {
+    cases(CASES).run("compiled_steps_are_accepted", |rng| {
+        let recipes = rng.vec_of(1..6, random_recipe);
+        let spec = build(&recipes);
+        let compiled = CompiledSpec::compile(&spec);
+        for step in compiled.acceptable_steps(&SolverOptions::default()) {
+            prop_assert!(spec.accepts(&step));
+            prop_assert!(compiled.accepts(&step));
+        }
+        Ok(())
+    });
+}

@@ -1,7 +1,10 @@
 //! End-to-end integration: SDF graph → execution model → engine,
 //! checking global SDF invariants along whole runs.
 
-use moccml_engine::{explore, ExploreOptions, Policy, Simulator};
+use moccml_engine::{
+    CompiledSpec, ExploreOptions, Lexicographic, MaxParallel, MinSerial, Policy, Random,
+    SafeMaxParallel, Simulator,
+};
 use moccml_sdf::analysis::repetition_vector;
 use moccml_sdf::mocc::{build_specification, build_specification_with, MoccVariant};
 use moccml_sdf::SdfGraph;
@@ -21,16 +24,18 @@ fn multirate() -> SdfGraph {
 #[test]
 fn place_occupancy_is_invariant_under_all_policies() {
     let g = multirate();
-    for policy in [
-        Policy::Lexicographic,
-        Policy::MaxParallel,
-        Policy::MinSerial,
-        Policy::SafeMaxParallel,
-        Policy::Random { seed: 11 },
-        Policy::Random { seed: 99 },
-    ] {
+    let policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(Lexicographic),
+        Box::new(MaxParallel),
+        Box::new(MinSerial),
+        Box::new(SafeMaxParallel),
+        Box::new(Random::new(11)),
+        Box::new(Random::new(99)),
+    ];
+    for policy in policies {
+        let policy_name = policy.name().to_owned();
         let spec = build_specification(&g).expect("builds");
-        let mut sim = Simulator::new(spec, policy.clone());
+        let mut sim = Simulator::with_boxed_policy(spec, policy);
         let report = sim.run(40);
         let u = sim.specification().universe();
         for place in g.places() {
@@ -52,7 +57,7 @@ fn place_occupancy_is_invariant_under_all_policies() {
                 }
                 assert!(
                     size >= 0 && size <= i64::from(place.capacity),
-                    "policy {policy}: occupancy {size} out of bounds"
+                    "policy {policy_name}: occupancy {size} out of bounds"
                 );
             }
         }
@@ -67,7 +72,7 @@ fn activation_ratios_follow_repetition_vector() {
     let r = repetition_vector(&g).expect("consistent");
     assert_eq!(r, vec![3, 2, 1]);
     let spec = build_specification(&g).expect("builds");
-    let mut sim = Simulator::new(spec, Policy::SafeMaxParallel);
+    let mut sim = Simulator::new(spec, SafeMaxParallel);
     let report = sim.run(60);
     assert!(!report.deadlocked);
     let u = sim.specification().universe();
@@ -95,7 +100,7 @@ fn activation_ratios_follow_repetition_vector() {
 fn sdf_abstraction_coincidences_hold() {
     let g = multirate();
     let spec = build_specification(&g).expect("builds");
-    let mut sim = Simulator::new(spec, Policy::Random { seed: 4 });
+    let mut sim = Simulator::new(spec, Random::new(4));
     let report = sim.run(40);
     let u = sim.specification().universe();
     for (idx, agent) in g.agents().iter().enumerate() {
@@ -133,8 +138,8 @@ fn multiport_exploration_contains_standard() {
     g.connect("p", "c", 1, 1, 2, 1).expect("valid");
     let std_spec = build_specification_with(&g, MoccVariant::Standard).expect("builds");
     let mp_spec = build_specification_with(&g, MoccVariant::Multiport).expect("builds");
-    let std_space = explore(&std_spec, &ExploreOptions::default());
-    let mp_space = explore(&mp_spec, &ExploreOptions::default());
+    let std_space = CompiledSpec::new(std_spec).explore(&ExploreOptions::default());
+    let mp_space = CompiledSpec::new(mp_spec).explore(&ExploreOptions::default());
     assert!(mp_space.transition_count() > std_space.transition_count());
     assert!(mp_space.count_schedules(5) > std_space.count_schedules(5));
     assert_eq!(std_space.deadlocks().len(), 0);
@@ -150,7 +155,7 @@ fn timed_agents_never_nest_activations() {
     g.add_agent("y", 2).expect("fresh");
     g.connect("x", "y", 1, 1, 2, 0).expect("valid");
     let spec = build_specification(&g).expect("builds");
-    let mut sim = Simulator::new(spec, Policy::Random { seed: 21 });
+    let mut sim = Simulator::new(spec, Random::new(21));
     let report = sim.run(60);
     let u = sim.specification().universe();
     for agent in ["x", "y"] {

@@ -5,7 +5,7 @@
 
 use moccml_bench::experiments::{e1_place, e2_spec, e3_graph, e4_graph, e5_graph, e6_configs};
 use moccml_bench::harness::measure;
-use moccml_engine::{acceptable_steps, Policy, Simulator, SolverOptions};
+use moccml_engine::{CompiledSpec, SafeMaxParallel, Simulator, SolverOptions};
 use moccml_kernel::{Constraint, Step};
 use moccml_sdf::analysis::repetition_vector;
 use moccml_sdf::mocc::{build_specification, build_specification_with, MoccVariant};
@@ -35,7 +35,7 @@ fn e3_graph_is_consistent_and_runs() {
     let g = e3_graph();
     assert_eq!(repetition_vector(&g).expect("consistent"), vec![3, 2, 2]);
     let spec = build_specification(&g).expect("builds");
-    let report = Simulator::new(spec, Policy::SafeMaxParallel).run(8);
+    let report = Simulator::new(spec, SafeMaxParallel).run(8);
     assert!(!report.deadlocked);
 }
 
@@ -45,7 +45,9 @@ fn e4_graph_admits_both_variants() {
     for variant in [MoccVariant::Standard, MoccVariant::Multiport] {
         let spec = build_specification_with(&g, variant).expect("builds");
         assert!(
-            !acceptable_steps(&spec, &SolverOptions::default()).is_empty(),
+            !CompiledSpec::new(spec)
+                .acceptable_steps(&SolverOptions::default())
+                .is_empty(),
             "{variant:?} must offer at least one step"
         );
     }
@@ -55,7 +57,7 @@ fn e4_graph_admits_both_variants() {
 fn e5_graph_respects_execution_time_at_tiny_n() {
     for n in [0u32, 1] {
         let spec = build_specification(&e5_graph(n)).expect("builds");
-        let report = Simulator::new(spec, Policy::SafeMaxParallel).run(10);
+        let report = Simulator::new(spec, SafeMaxParallel).run(10);
         assert!(!report.deadlocked, "N={n} must not deadlock");
     }
 }
@@ -65,7 +67,7 @@ fn e6_configs_build_and_simulate() {
     let configs = e6_configs();
     assert_eq!(configs.len(), 4, "infinite + three deployments");
     for (name, spec) in &configs {
-        let report = Simulator::new(spec.clone(), Policy::SafeMaxParallel).run(3);
+        let report = Simulator::new(spec.clone(), SafeMaxParallel).run(3);
         assert!(!report.deadlocked, "{name}: safe policy must not wedge");
     }
 }
@@ -75,8 +77,9 @@ fn harness_measures_an_engine_workload() {
     // the bench harness itself is part of the experiment path: one
     // tiny end-to-end measurement through the shared reporting types.
     let (spec, _) = e2_spec(2);
+    let compiled = CompiledSpec::new(spec);
     let record = measure("smoke", 1, 3, || {
-        acceptable_steps(&spec, &SolverOptions::default().with_empty(true))
+        compiled.acceptable_steps(&SolverOptions::default().with_empty(true))
     });
     assert_eq!(record.iters, 3);
     assert!(record.min_ns <= record.p95_ns);

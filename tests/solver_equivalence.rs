@@ -7,7 +7,7 @@
 //! report a replayable case seed.
 
 use moccml_ccsl::{Coincidence, Exclusion, Precedence, SubClock, Union};
-use moccml_engine::{acceptable_steps, Policy, Simulator, SolverOptions};
+use moccml_engine::{CompiledSpec, Random, Simulator, SolverOptions};
 use moccml_kernel::{Constraint, EventId, Specification, Universe};
 use moccml_testkit::{cases, prop_assert, prop_assert_eq, TestRng};
 
@@ -80,9 +80,9 @@ fn build(recipes: &[Recipe]) -> Specification {
 fn pruned_equals_naive_initially() {
     cases(CASES).run("pruned_equals_naive_initially", |rng| {
         let recipes = rng.vec_of(1..6, random_recipe);
-        let spec = build(&recipes);
-        let pruned = acceptable_steps(&spec, &SolverOptions::default());
-        let naive = acceptable_steps(&spec, &SolverOptions::naive());
+        let compiled = CompiledSpec::new(build(&recipes));
+        let pruned = compiled.acceptable_steps(&SolverOptions::default());
+        let naive = compiled.acceptable_steps(&SolverOptions::naive());
         prop_assert_eq!(pruned, naive, "recipes: {recipes:?}");
         Ok(())
     });
@@ -95,14 +95,14 @@ fn pruned_equals_naive_along_runs() {
         let recipes = rng.vec_of(1..5, random_recipe);
         let seed = rng.any_u64();
         let spec = build(&recipes);
-        let mut sim = Simulator::new(spec, Policy::Random { seed });
+        let mut sim = Simulator::new(spec, Random::new(seed));
         for _ in 0..6 {
             if sim.step().is_none() {
                 break;
             }
-            let spec = sim.specification();
-            let pruned = acceptable_steps(spec, &SolverOptions::default());
-            let naive = acceptable_steps(spec, &SolverOptions::naive());
+            let compiled = sim.engine().compiled();
+            let pruned = compiled.acceptable_steps(&SolverOptions::default());
+            let naive = compiled.acceptable_steps(&SolverOptions::naive());
             prop_assert_eq!(pruned, naive, "recipes: {recipes:?}");
         }
         Ok(())
@@ -117,7 +117,7 @@ fn enumerated_steps_are_accepted() {
         let recipes = rng.vec_of(1..6, random_recipe);
         let spec = build(&recipes);
         let formula = spec.conjunction();
-        for step in acceptable_steps(&spec, &SolverOptions::default()) {
+        for step in CompiledSpec::compile(&spec).acceptable_steps(&SolverOptions::default()) {
             prop_assert!(formula.eval(&step));
             prop_assert!(spec.accepts(&step));
         }
