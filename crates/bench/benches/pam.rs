@@ -1,12 +1,14 @@
 //! E6 bench target — the PAM study: exploration and simulation cost of
-//! the infinite-resource model and the three deployments.
+//! the infinite-resource model and the three deployments, plus the
+//! serial-vs-parallel exploration pair on the largest deployment
+//! state-space.
 //!
 //! Runs on the in-repo `Instant`-based harness (criterion is not
 //! fetchable offline); emits `BENCH_pam.json` at the workspace root.
 
 use moccml_bench::experiments::e6_configs;
 use moccml_bench::harness::BenchGroup;
-use moccml_engine::{CompiledSpec, ExploreOptions, SafeMaxParallel, Simulator};
+use moccml_engine::{ExploreOptions, Program, SafeMaxParallel, Simulator};
 use std::hint::black_box;
 
 fn main() {
@@ -14,13 +16,27 @@ fn main() {
     let mut group = BenchGroup::new("pam").with_iters(10);
     for (name, spec) in &configs {
         group.bench(&format!("exploration/{name}"), || {
-            CompiledSpec::compile(black_box(spec)).explore(&ExploreOptions::default())
+            Program::compile(black_box(spec)).explore(&ExploreOptions::default())
         });
     }
     for (name, spec) in &configs {
         group.bench(&format!("simulation_30_steps/{name}"), || {
             let mut sim = Simulator::new(spec.clone(), SafeMaxParallel);
             black_box(sim.run(30))
+        });
+    }
+    // The serial/parallel explorer pair on the large PAM workload: one
+    // shared program (same warmed formula memo for both sides), only
+    // the worker count differs, and the resulting StateSpaces are
+    // byte-identical. The quad-core deployment has the largest
+    // reachable space of the four configurations.
+    for (name, spec) in &configs {
+        let program = Program::compile(spec);
+        group.bench(&format!("explore_serial/{name}"), || {
+            black_box(&program).explore(&ExploreOptions::default().with_workers(1))
+        });
+        group.bench(&format!("explore_parallel/{name}"), || {
+            black_box(&program).explore(&ExploreOptions::default().with_workers(4))
         });
     }
     group.finish();

@@ -13,7 +13,7 @@
 use moccml_bench::experiments::e1_place;
 use moccml_bench::harness::BenchGroup;
 use moccml_bench::workloads::{sdf_chain, sdf_diamond};
-use moccml_engine::{CompiledSpec, ExploreOptions, MaxParallel, Simulator};
+use moccml_engine::{ExploreOptions, MaxParallel, Program, Simulator};
 use moccml_kernel::{Constraint, Step};
 use moccml_sdf::mocc::{build_specification, build_specification_with, MoccVariant};
 use std::hint::black_box;
@@ -48,7 +48,7 @@ fn main() {
     ] {
         let spec = build_specification_with(&graph, variant).expect("builds");
         group.bench(&format!("mocc_variants/{label}"), || {
-            CompiledSpec::compile(black_box(&spec)).explore(&ExploreOptions::default())
+            Program::compile(black_box(&spec)).explore(&ExploreOptions::default())
         });
     }
 
@@ -56,18 +56,18 @@ fn main() {
     for stages in [3usize, 5, 7] {
         let spec = build_specification(&sdf_chain(stages, 2)).expect("builds");
         group.bench(&format!("exploration_chain/{stages}"), || {
-            CompiledSpec::compile(black_box(&spec)).explore(&ExploreOptions::default())
+            Program::compile(black_box(&spec)).explore(&ExploreOptions::default())
         });
     }
     for capacity in [1u32, 2, 4] {
         let spec = build_specification(&sdf_chain(4, capacity)).expect("builds");
         group.bench(&format!("exploration_capacity/{capacity}"), || {
-            CompiledSpec::compile(black_box(&spec)).explore(&ExploreOptions::default())
+            Program::compile(black_box(&spec)).explore(&ExploreOptions::default())
         });
     }
     let diamond = build_specification(&sdf_diamond(3)).expect("builds");
     group.bench("exploration_diamond/3", || {
-        CompiledSpec::compile(black_box(&diamond)).explore(&ExploreOptions::default())
+        Program::compile(black_box(&diamond)).explore(&ExploreOptions::default())
     });
 
     group.finish();

@@ -6,7 +6,7 @@
 
 use moccml_bench::experiments::{e2_spec, table_header, table_row};
 use moccml_ccsl::{Exclusion, Precedence, SubClock};
-use moccml_engine::{CompiledSpec, SolverOptions};
+use moccml_engine::{Program, SolverOptions};
 
 fn main() {
     let n = 4usize;
@@ -27,7 +27,7 @@ fn main() {
     table_row(&["(none)".to_owned(), (1u64 << n).to_string()]);
 
     spec.add_constraint(Box::new(SubClock::new("e0⊆e1", events[0], events[1])));
-    let s1 = CompiledSpec::compile(&spec).acceptable_steps(&options);
+    let s1 = Program::compile(&spec).cursor().acceptable_steps(&options);
     // the two unconstrained events each double the count
     let free = spec.free_events().len() as u32;
     table_row(&[
@@ -36,7 +36,7 @@ fn main() {
     ]);
 
     spec.add_constraint(Box::new(Exclusion::new("e1#e2", [events[1], events[2]])));
-    let s2 = CompiledSpec::compile(&spec).acceptable_steps(&options);
+    let s2 = Program::compile(&spec).cursor().acceptable_steps(&options);
     let free = spec.free_events().len() as u32;
     table_row(&[
         "+ e1 # e2".to_owned(),
@@ -44,7 +44,7 @@ fn main() {
     ]);
 
     spec.add_constraint(Box::new(Precedence::strict("e2<e3", events[2], events[3])));
-    let s3 = CompiledSpec::compile(&spec).acceptable_steps(&options);
+    let s3 = Program::compile(&spec).cursor().acceptable_steps(&options);
     table_row(&["+ e2 < e3 (initial state)".to_owned(), s3.len().to_string()]);
 
     println!();

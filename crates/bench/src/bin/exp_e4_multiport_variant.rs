@@ -5,7 +5,7 @@
 //! under the Fig. 3 place and the multiport variant.
 
 use moccml_bench::experiments::{e4_graph, table_header, table_row};
-use moccml_engine::{CompiledSpec, ExploreOptions};
+use moccml_engine::{ExploreOptions, Program};
 use moccml_sdf::mocc::{build_specification_with, MoccVariant};
 
 fn main() {
@@ -26,7 +26,7 @@ fn main() {
         ("multiport", MoccVariant::Multiport),
     ] {
         let spec = build_specification_with(&g, variant).expect("builds");
-        let space = CompiledSpec::new(spec).explore(&ExploreOptions::default());
+        let space = Program::new(spec).explore(&ExploreOptions::default());
         let stats = space.stats();
         table_row(&[
             label.to_owned(),

@@ -6,7 +6,7 @@
 //! producer/consumer pair as N grows.
 
 use moccml_bench::experiments::{e5_graph, table_header, table_row};
-use moccml_engine::{CompiledSpec, ExploreOptions, SafeMaxParallel, Simulator};
+use moccml_engine::{ExploreOptions, Program, SafeMaxParallel, Simulator};
 use moccml_sdf::mocc::build_specification;
 
 fn main() {
@@ -16,7 +16,7 @@ fn main() {
     for n in [0u32, 1, 2, 4] {
         let g = e5_graph(n);
         let spec = build_specification(&g).expect("builds");
-        let states = CompiledSpec::compile(&spec)
+        let states = Program::compile(&spec)
             .explore(&ExploreOptions::default())
             .state_count();
         let mut sim = Simulator::new(spec, SafeMaxParallel);

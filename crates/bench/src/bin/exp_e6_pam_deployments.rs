@@ -3,13 +3,44 @@
 //!
 //! Regenerates the quantitative scheduling-state-space table and one
 //! simulation trace per configuration.
+//!
+//! Flags:
+//!
+//! * `--workers N` — worker threads for the parallel explorer
+//!   (default: available parallelism; the table is identical for every
+//!   value, only the wall-clock changes);
+//! * `--max-states N` — exploration bound (default 200 000).
 
-use moccml_bench::experiments::{e6_configs, explore_stats, stats_cells, table_header, table_row};
-use moccml_engine::{MaxParallel, SafeMaxParallel, Simulator};
+use moccml_bench::experiments::{
+    e6_configs, explore_stats_with, stats_cells, table_header, table_row,
+};
+use moccml_engine::{ExploreOptions, MaxParallel, SafeMaxParallel, Simulator};
 use moccml_sdf::pam;
 
+fn parse_flag(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} expects a positive integer, got '{v}'"))
+        })
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut options = ExploreOptions::default()
+        .with_max_states(parse_flag(&args, "--max-states").unwrap_or(200_000));
+    if let Some(workers) = parse_flag(&args, "--workers") {
+        options = options.with_workers(workers);
+    }
+
     println!("# E6 — PAM: impact of allocation on the valid scheduling");
+    println!();
+    println!(
+        "(exploring with {} worker(s), max {} states)",
+        options.workers, options.max_states
+    );
     println!();
     table_header(&[
         "configuration",
@@ -23,7 +54,7 @@ fn main() {
     ]);
 
     for (name, spec) in &e6_configs() {
-        let stats = explore_stats(spec, 200_000);
+        let stats = explore_stats_with(spec, &options);
         let greedy = Simulator::new(spec.clone(), MaxParallel).run(30);
         let safe = Simulator::new(spec.clone(), SafeMaxParallel).run(30);
         let mut cells = vec![name.clone()];

@@ -6,7 +6,7 @@
 //! parameterised so tests can exercise it at tiny sizes.
 
 use moccml_automata::AutomatonInstance;
-use moccml_engine::{CompiledSpec, ExploreOptions, StateSpaceStats};
+use moccml_engine::{ExploreOptions, Program, StateSpaceStats};
 use moccml_kernel::{EventId, Specification, Universe};
 use moccml_sdf::{pam, SdfGraph};
 
@@ -122,13 +122,19 @@ pub fn e6_configs() -> Vec<(String, Specification)> {
     v
 }
 
-/// Explores `spec` (bounded, on the compiled path) and returns the
-/// aggregate statistics.
+/// Explores `spec` (bounded, on the compiled path, default worker
+/// count) and returns the aggregate statistics.
 #[must_use]
 pub fn explore_stats(spec: &Specification, max_states: usize) -> StateSpaceStats {
-    CompiledSpec::compile(spec)
-        .explore(&ExploreOptions::default().with_max_states(max_states))
-        .stats()
+    explore_stats_with(spec, &ExploreOptions::default().with_max_states(max_states))
+}
+
+/// Explores `spec` under explicit [`ExploreOptions`] — the experiment
+/// binaries use this to thread `--workers` / `--max-states` flags
+/// through to the parallel explorer.
+#[must_use]
+pub fn explore_stats_with(spec: &Specification, options: &ExploreOptions) -> StateSpaceStats {
+    Program::compile(spec).explore(options).stats()
 }
 
 /// Formats statistics as experiment table cells:

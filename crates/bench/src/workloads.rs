@@ -110,10 +110,10 @@ pub fn exclusion_clique_spec(n: usize) -> Specification {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use moccml_engine::{CompiledSpec, ExploreOptions, SolverOptions};
+    use moccml_engine::{ExploreOptions, Program, SolverOptions};
 
     fn acceptable_steps(spec: &Specification, options: &SolverOptions) -> Vec<moccml_kernel::Step> {
-        CompiledSpec::compile(spec).acceptable_steps(options)
+        Program::compile(spec).cursor().acceptable_steps(options)
     }
 
     #[test]
@@ -133,7 +133,7 @@ mod tests {
     #[test]
     fn precedence_grid_state_space_is_product() {
         let spec = precedence_grid_spec(2, 2);
-        let space = CompiledSpec::new(spec).explore(&ExploreOptions::default());
+        let space = Program::new(spec).explore(&ExploreOptions::default());
         assert_eq!(space.state_count(), 9); // (2+1)^2
     }
 

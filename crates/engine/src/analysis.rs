@@ -24,14 +24,14 @@ pub struct Witness {
 ///
 /// ```
 /// use moccml_ccsl::Precedence;
-/// use moccml_engine::{deadlock_witness, CompiledSpec, ExploreOptions};
+/// use moccml_engine::{deadlock_witness, ExploreOptions, Program};
 /// use moccml_kernel::{Specification, Universe};
 /// let mut u = Universe::new();
 /// let (a, b) = (u.event("a"), u.event("b"));
 /// let mut spec = Specification::new("d", u);
 /// spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
 /// spec.add_constraint(Box::new(Precedence::strict("b<a", b, a)));
-/// let space = CompiledSpec::new(spec).explore(&ExploreOptions::default());
+/// let space = Program::new(spec).explore(&ExploreOptions::default());
 /// let witness = deadlock_witness(&space).expect("deadlocked spec");
 /// assert_eq!(witness.schedule.len(), 0); // already dead at the start
 /// ```
@@ -94,12 +94,18 @@ pub fn is_event_fireable(space: &StateSpace, event: EventId) -> bool {
 /// Events that never occur on any transition of the explored fragment —
 /// dead events usually reveal a mis-wired mapping or an over-constrained
 /// MoCC.
+///
+/// Computed as a single set difference — the union of all transition
+/// steps subtracted from the universe — instead of scanning every
+/// transition once per event.
 #[must_use]
 pub fn dead_events(space: &StateSpace, universe: &moccml_kernel::Universe) -> Vec<EventId> {
-    universe
+    let fired = space
+        .transitions()
         .iter()
-        .filter(|e| !is_event_fireable(space, *e))
-        .collect()
+        .fold(Step::new(), |acc, (_, step, _)| acc.union(step));
+    let all: Step = universe.iter().collect();
+    all.difference(&fired).iter().collect()
 }
 
 /// Whether every state of the explored fragment can still reach a state
@@ -138,13 +144,13 @@ pub fn is_event_live(space: &StateSpace, event: EventId) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::compiled::CompiledSpec;
     use crate::explorer::ExploreOptions;
+    use crate::program::Program;
     use moccml_ccsl::{Alternation, Precedence};
     use moccml_kernel::{Specification, Universe};
 
     fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
-        CompiledSpec::compile(spec).explore(options)
+        Program::compile(spec).explore(options)
     }
 
     fn alternating() -> (Specification, EventId, EventId) {

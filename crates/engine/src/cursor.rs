@@ -1,0 +1,334 @@
+//! [`Cursor`]: the mutable per-worker half of a compiled
+//! specification.
+//!
+//! A cursor owns exactly the state one execution needs — a clone of
+//! the constraint vector plus, per constraint, the currently selected
+//! lowered formula — and borrows everything immutable (event interning,
+//! footprints, the formula memo) from its [`Program`](crate::Program).
+//! Cursors are therefore cheap to create and fully independent: the
+//! parallel explorer hands one to every worker thread, and all of them
+//! share every formula-lowering cache hit through the program's
+//! sharded memo.
+//!
+//! Each cursor keeps a small L1 cache in front of the shared memo
+//! (one map per constraint), so a `(constraint, state)` pair locks a
+//! memo shard only the first time *this cursor* meets it — re-visits,
+//! the overwhelmingly common case in breadth-first exploration, are
+//! lock-free.
+
+use crate::explorer::{explore_program, ExploreOptions, StateSpace};
+use crate::program::Program;
+use crate::solver::{enumerate_steps, SolverOptions};
+use moccml_kernel::{KernelError, Specification, StateKey, Step, StepFormula};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One constraint's run state inside a cursor: its local state key,
+/// the lowered formula selected for that state, and the cursor-local
+/// L1 cache over the program's shared memo.
+#[derive(Debug, Clone)]
+struct Slot {
+    key: StateKey,
+    formula: Arc<StepFormula>,
+    l1: HashMap<StateKey, Arc<StepFormula>>,
+}
+
+/// A mutable execution position over a compiled [`Program`].
+///
+/// Created by [`Program::cursor`]; driven through
+/// [`acceptable_steps`](Cursor::acceptable_steps),
+/// [`fire`](Cursor::fire), [`state_key`](Cursor::state_key) /
+/// [`restore`](Cursor::restore) and [`explore`](Cursor::explore) —
+/// the same step protocol as the constraints themselves.
+///
+/// # Example
+///
+/// ```
+/// use moccml_ccsl::Alternation;
+/// use moccml_engine::{Program, SolverOptions};
+/// use moccml_kernel::{Specification, Universe};
+///
+/// let mut u = Universe::new();
+/// let (a, b) = (u.event("a"), u.event("b"));
+/// let mut spec = Specification::new("alt", u);
+/// spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+///
+/// let program = Program::new(spec);
+/// let mut cursor = program.cursor();
+/// let snapshot = cursor.state_key();
+/// let steps = cursor.acceptable_steps(&SolverOptions::default());
+/// cursor.fire(&steps[0]).expect("acceptable");
+/// cursor.restore(&snapshot).expect("own snapshot restores");
+/// assert_eq!(cursor.acceptable_steps(&SolverOptions::default()), steps);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cursor {
+    program: Arc<Program>,
+    spec: Specification,
+    slots: Vec<Slot>,
+}
+
+impl Cursor {
+    pub(crate) fn new(program: Arc<Program>) -> Self {
+        let spec = program.specification().clone();
+        let slots = program
+            .initial_slots()
+            .iter()
+            .map(|(key, formula)| Slot {
+                key: key.clone(),
+                formula: Arc::clone(formula),
+                l1: HashMap::from([(key.clone(), Arc::clone(formula))]),
+            })
+            .collect();
+        Cursor {
+            program,
+            spec,
+            slots,
+        }
+    }
+
+    /// The program this cursor executes.
+    #[must_use]
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Read access to this cursor's specification (in its *current*
+    /// state — unlike [`Program::specification`], which stays at the
+    /// compile-time state).
+    #[must_use]
+    pub fn specification(&self) -> &Specification {
+        &self.spec
+    }
+
+    /// Recovers the specification (in its current state).
+    #[must_use]
+    pub fn into_specification(self) -> Specification {
+        self.spec
+    }
+
+    /// Enumerates every acceptable step in the current state, using the
+    /// cached per-constraint formulas (no lowering on this path). The
+    /// result is sorted by the `Ord` on [`Step`].
+    #[must_use]
+    pub fn acceptable_steps(&self, options: &SolverOptions) -> Vec<Step> {
+        let formulas: Vec<&StepFormula> = self.slots.iter().map(|s| s.formula.as_ref()).collect();
+        enumerate_steps(&formulas, self.program.constrained_events(), options)
+    }
+
+    /// Whether `step` satisfies every constraint in the current state —
+    /// evaluated on the cached formulas, without lowering.
+    #[must_use]
+    pub fn accepts(&self, step: &Step) -> bool {
+        self.slots.iter().all(|s| s.formula.eval(step))
+    }
+
+    /// Fires `step` and refreshes the slots of the constraints whose
+    /// event footprints intersect it (the stuttering guarantee of the
+    /// [`Constraint`](moccml_kernel::Constraint) protocol: a step that
+    /// touches none of a constraint's events leaves its state
+    /// unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::StepRejected`] if `step` is not
+    /// acceptable; like [`Specification::fire`], the underlying state
+    /// is then poisoned and the caller should [`reset`](Cursor::reset)
+    /// or [`restore`](Cursor::restore).
+    pub fn fire(&mut self, step: &Step) -> Result<(), KernelError> {
+        self.spec.fire(step)?;
+        let Self {
+            program,
+            spec,
+            slots,
+        } = self;
+        let footprints = program.footprints();
+        for (i, (slot, c)) in slots.iter_mut().zip(spec.constraints()).enumerate() {
+            if !footprints[i].is_disjoint_from(step) {
+                refresh(program, i, slot, c.as_ref());
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the global constraint state (delegates to
+    /// [`Specification::state_key`]).
+    #[must_use]
+    pub fn state_key(&self) -> StateKey {
+        self.spec.state_key()
+    }
+
+    /// Restores a state produced by [`state_key`](Cursor::state_key)
+    /// and re-syncs every slot whose local state changed. Previously
+    /// visited states hit the cursor's L1 cache (or, first time, the
+    /// program memo), so winding exploration back and forth does not
+    /// re-lower anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidStateKey`] if the key does not
+    /// match the constraint population.
+    pub fn restore(&mut self, key: &StateKey) -> Result<(), KernelError> {
+        self.spec.restore(key)?;
+        self.resync();
+        Ok(())
+    }
+
+    /// Resets every constraint to its initial state.
+    pub fn reset(&mut self) {
+        self.spec.reset();
+        self.resync();
+    }
+
+    /// Explores the reachable scheduling state-space from the cursor's
+    /// *current* state. The cursor itself is untouched — exploration
+    /// runs on its own worker cursors. See the
+    /// [`explorer`](crate::StateSpace) docs for the graph's semantics
+    /// and the determinism guarantee.
+    #[must_use]
+    pub fn explore(&self, options: &ExploreOptions) -> StateSpace {
+        explore_program(&self.program, self.state_key(), options)
+    }
+
+    /// Re-syncs every slot against the constraint's actual local state.
+    fn resync(&mut self) {
+        let Self {
+            program,
+            spec,
+            slots,
+        } = self;
+        for (i, (slot, c)) in slots.iter_mut().zip(spec.constraints()).enumerate() {
+            refresh(program, i, slot, c.as_ref());
+        }
+    }
+}
+
+/// Brings `slot` up to date with `c`'s current state, lowering the
+/// formula only on the program-wide first visit of that state.
+fn refresh(program: &Program, index: usize, slot: &mut Slot, c: &dyn moccml_kernel::Constraint) {
+    let key = c.state_key();
+    if key == slot.key {
+        return;
+    }
+    let formula = if let Some(f) = slot.l1.get(&key) {
+        Arc::clone(f)
+    } else {
+        let f = program
+            .memo()
+            .get_or_insert(index, &key, || c.current_formula().simplify());
+        slot.l1.insert(key.clone(), Arc::clone(&f));
+        f
+    };
+    slot.formula = formula;
+    slot.key = key;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moccml_ccsl::{Alternation, Precedence, SubClock};
+    use moccml_kernel::{EventId, Universe};
+
+    fn alternating() -> (Specification, EventId, EventId) {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        (spec, a, b)
+    }
+
+    #[test]
+    fn matches_recompiled_solver_along_a_run() {
+        let mut u = Universe::new();
+        let (a, b, c) = (u.event("a"), u.event("b"), u.event("c"));
+        let mut spec = Specification::new("mix", u);
+        spec.add_constraint(Box::new(SubClock::new("a⊆b", a, b)));
+        spec.add_constraint(Box::new(Precedence::strict("b<c", b, c).with_bound(2)));
+        let mut cursor = Program::compile(&spec).cursor();
+        let options = SolverOptions::default();
+        for _ in 0..8 {
+            let fast = cursor.acceptable_steps(&options);
+            // the recompile-per-query baseline: lower everything afresh
+            let slow = Program::compile(&spec).cursor().acceptable_steps(&options);
+            assert_eq!(fast, slow);
+            let Some(step) = fast.first().cloned() else {
+                break;
+            };
+            cursor.fire(&step).expect("acceptable");
+            spec.fire(&step).expect("acceptable");
+        }
+    }
+
+    #[test]
+    fn fire_refreshes_only_touched_slots() {
+        let (spec, a, _) = alternating();
+        let program = Program::new(spec);
+        let mut cursor = program.cursor();
+        assert_eq!(program.cached_formula_count(), 1);
+        cursor.fire(&Step::from_events([a])).expect("fires");
+        // the alternation moved to its second state: one new memo entry
+        assert_eq!(program.cached_formula_count(), 2);
+    }
+
+    #[test]
+    fn restore_hits_the_memo() {
+        let (spec, a, b) = alternating();
+        let program = Program::new(spec);
+        let mut cursor = program.cursor();
+        let start = cursor.state_key();
+        cursor.fire(&Step::from_events([a])).expect("fires");
+        cursor.fire(&Step::from_events([b])).expect("fires");
+        let after_cycle = program.cached_formula_count();
+        // wind back and forth: the memo must not grow
+        for _ in 0..4 {
+            cursor.restore(&start).expect("restores");
+            cursor.fire(&Step::from_events([a])).expect("fires");
+        }
+        assert_eq!(program.cached_formula_count(), after_cycle);
+    }
+
+    #[test]
+    fn reset_returns_to_initial_answers() {
+        let (spec, a, _) = alternating();
+        let mut cursor = Program::new(spec).cursor();
+        let options = SolverOptions::default();
+        let initial = cursor.acceptable_steps(&options);
+        cursor.fire(&Step::from_events([a])).expect("fires");
+        assert_ne!(cursor.acceptable_steps(&options), initial);
+        cursor.reset();
+        assert_eq!(cursor.acceptable_steps(&options), initial);
+    }
+
+    #[test]
+    fn accepts_agrees_with_enumeration() {
+        let (spec, a, b) = alternating();
+        let cursor = Program::new(spec).cursor();
+        assert!(cursor.accepts(&Step::from_events([a])));
+        assert!(!cursor.accepts(&Step::from_events([b])));
+        assert!(cursor.accepts(&Step::new()), "stuttering is acceptable");
+    }
+
+    #[test]
+    fn into_specification_round_trips_state() {
+        let (spec, a, _) = alternating();
+        let mut cursor = Program::new(spec).cursor();
+        cursor.fire(&Step::from_events([a])).expect("fires");
+        let key = cursor.state_key();
+        let spec = cursor.into_specification();
+        assert_eq!(spec.state_key(), key);
+    }
+
+    #[test]
+    fn cloned_cursor_diverges_without_affecting_the_original() {
+        let (spec, a, _) = alternating();
+        let mut original = Program::new(spec).cursor();
+        let before = original.state_key();
+        let mut clone = original.clone();
+        clone.fire(&Step::from_events([a])).expect("fires");
+        assert_eq!(original.state_key(), before);
+        assert_ne!(clone.state_key(), before);
+        // both still answer correctly
+        original.fire(&Step::from_events([a])).expect("fires");
+        assert_eq!(original.state_key(), clone.state_key());
+    }
+}

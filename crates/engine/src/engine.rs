@@ -1,19 +1,22 @@
 //! [`Engine`]: a compiled execution session over one specification.
 //!
 //! This is the paper's "generic execution engine" (Fig. 1) as a single
-//! configured object: the specification is compiled once
-//! ([`CompiledSpec`]), a pluggable [`Policy`] picks among acceptable
-//! steps, [`Observer`]s stream every fired step, and simulation,
-//! exploration and the analysis queries all run on the same compiled
-//! state — no re-lowering anywhere in the hot loop.
+//! configured object: the specification is compiled once into an
+//! immutable [`Program`], the session drives its own [`Cursor`] over
+//! it, a pluggable [`Policy`] picks among acceptable steps,
+//! [`Observer`]s stream every fired step, and simulation, exploration
+//! and the analysis queries all run on the same compiled program — no
+//! re-lowering anywhere in the hot loop.
 
-use crate::compiled::CompiledSpec;
+use crate::cursor::Cursor;
 use crate::explorer::{ExploreOptions, StateSpace};
 use crate::observer::Observer;
 use crate::policy::{Lexicographic, Policy, PolicyContext};
+use crate::program::Program;
 use crate::solver::SolverOptions;
 use moccml_kernel::{Schedule, Specification, Step};
 use std::fmt;
+use std::sync::Arc;
 
 /// Outcome of a simulation run.
 #[derive(Debug, Clone)]
@@ -27,8 +30,8 @@ pub struct SimulationReport {
     pub steps_taken: usize,
 }
 
-/// A configured execution session: compiled specification + policy +
-/// solver options + observers.
+/// A configured execution session: a cursor over a compiled program +
+/// policy + solver options + observers.
 ///
 /// Built with [`Engine::builder`]:
 ///
@@ -53,7 +56,7 @@ pub struct SimulationReport {
 /// assert_eq!(metrics.snapshot().steps, 10);
 /// ```
 pub struct Engine {
-    compiled: CompiledSpec,
+    cursor: Cursor,
     policy: Box<dyn Policy>,
     solver: SolverOptions,
     observers: Vec<Box<dyn Observer>>,
@@ -61,39 +64,41 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Starts configuring a session over `spec`.
+    /// Starts configuring a session over `spec` (compiles it).
     #[must_use]
     pub fn builder(spec: Specification) -> EngineBuilder {
-        EngineBuilder {
-            compiled: CompiledSpec::new(spec),
-            policy: None,
-            solver: SolverOptions::default(),
-            observers: Vec::new(),
-        }
+        Self::from_program(&Program::new(spec))
     }
 
-    /// Starts configuring a session over an already compiled
-    /// specification (reuses its formula memo).
+    /// Starts configuring a session over an already compiled program.
+    /// Sessions created this way share the program's formula memo with
+    /// every other cursor of that program.
     #[must_use]
-    pub fn from_compiled(compiled: CompiledSpec) -> EngineBuilder {
+    pub fn from_program(program: &Arc<Program>) -> EngineBuilder {
         EngineBuilder {
-            compiled,
+            cursor: program.cursor(),
             policy: None,
             solver: SolverOptions::default(),
             observers: Vec::new(),
         }
     }
 
-    /// Read access to the driven specification.
+    /// Read access to the driven specification (in its current state).
     #[must_use]
     pub fn specification(&self) -> &Specification {
-        self.compiled.specification()
+        self.cursor.specification()
     }
 
-    /// Read access to the compiled specification.
+    /// The compiled program this session executes.
     #[must_use]
-    pub fn compiled(&self) -> &CompiledSpec {
-        &self.compiled
+    pub fn program(&self) -> &Arc<Program> {
+        self.cursor.program()
+    }
+
+    /// The session's cursor (its current execution position).
+    #[must_use]
+    pub fn cursor(&self) -> &Cursor {
+        &self.cursor
     }
 
     /// The session's solver options.
@@ -112,14 +117,14 @@ impl Engine {
     /// compiled path.
     #[must_use]
     pub fn acceptable_steps(&self) -> Vec<Step> {
-        self.compiled.acceptable_steps(&self.solver)
+        self.cursor.acceptable_steps(&self.solver)
     }
 
     /// Picks and fires one step. Returns the step, or `None` when no
     /// step is acceptable (observers get
     /// [`on_deadlock`](Observer::on_deadlock)) or the policy declines.
     pub fn step(&mut self) -> Option<Step> {
-        let mut candidates = self.compiled.acceptable_steps(&self.solver);
+        let mut candidates = self.cursor.acceptable_steps(&self.solver);
         if candidates.is_empty() {
             for o in &mut self.observers {
                 o.on_deadlock(self.steps_taken);
@@ -127,7 +132,7 @@ impl Engine {
             return None;
         }
         let chosen = {
-            let mut ctx = PolicyContext::new(&candidates, &mut self.compiled, &self.solver);
+            let mut ctx = PolicyContext::new(&candidates, &mut self.cursor, &self.solver);
             self.policy.choose(&mut ctx)?
         };
         assert!(
@@ -137,7 +142,7 @@ impl Engine {
             candidates.len()
         );
         let step = candidates.swap_remove(chosen);
-        self.compiled
+        self.cursor
             .fire(&step)
             .expect("solver only returns acceptable steps");
         for o in &mut self.observers {
@@ -173,23 +178,24 @@ impl Engine {
     }
 
     /// Explores the reachable scheduling state-space from the current
-    /// configuration (restored afterwards), on the compiled path. The
+    /// configuration. The session itself is untouched — exploration
+    /// runs on its own worker cursors over the shared program. The
     /// solver configuration comes from `options`
     /// ([`ExploreOptions::solver`]), not from the session's simulation
     /// options.
     #[must_use]
-    pub fn explore(&mut self, options: &ExploreOptions) -> StateSpace {
-        self.compiled.explore(options)
+    pub fn explore(&self, options: &ExploreOptions) -> StateSpace {
+        self.cursor.explore(options)
     }
 
     /// Resets the specification, the policy (PRNG seeds) and the step
     /// counter to the initial state, and restarts the observers.
     pub fn reset(&mut self) {
-        self.compiled.reset();
+        self.cursor.reset();
         self.policy.reset();
         self.steps_taken = 0;
         for o in &mut self.observers {
-            o.on_session_start(self.compiled.specification());
+            o.on_session_start(self.cursor.specification());
         }
     }
 }
@@ -197,7 +203,7 @@ impl Engine {
 impl fmt::Debug for Engine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Engine")
-            .field("spec", &self.compiled.specification().name())
+            .field("spec", &self.cursor.specification().name())
             .field("policy", &self.policy.name())
             .field("solver", &self.solver)
             .field("observers", &self.observers.len())
@@ -209,7 +215,7 @@ impl fmt::Debug for Engine {
 /// Builder for an [`Engine`] session. Defaults: [`Lexicographic`]
 /// policy, [`SolverOptions::default`], no observers.
 pub struct EngineBuilder {
-    compiled: CompiledSpec,
+    cursor: Cursor,
     policy: Option<Box<dyn Policy>>,
     solver: SolverOptions,
     observers: Vec<Box<dyn Observer>>,
@@ -248,14 +254,14 @@ impl EngineBuilder {
     #[must_use]
     pub fn build(self) -> Engine {
         let mut engine = Engine {
-            compiled: self.compiled,
+            cursor: self.cursor,
             policy: self.policy.unwrap_or_else(|| Box::new(Lexicographic)),
             solver: self.solver,
             observers: self.observers,
             steps_taken: 0,
         };
         for o in &mut engine.observers {
-            o.on_session_start(engine.compiled.specification());
+            o.on_session_start(engine.cursor.specification());
         }
         engine
     }
@@ -264,7 +270,7 @@ impl EngineBuilder {
 impl fmt::Debug for EngineBuilder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EngineBuilder")
-            .field("spec", &self.compiled.specification().name())
+            .field("spec", &self.cursor.specification().name())
             .field("observers", &self.observers.len())
             .finish_non_exhaustive()
     }
@@ -307,13 +313,32 @@ mod tests {
     }
 
     #[test]
-    fn explore_restores_the_session_state() {
+    fn explore_leaves_the_session_state_alone() {
         let (spec, _) = alternating();
         let mut engine = Engine::builder(spec).policy(MaxParallel).build();
         let before = engine.acceptable_steps();
         let space = engine.explore(&ExploreOptions::default());
         assert_eq!(space.state_count(), 2);
         assert_eq!(engine.acceptable_steps(), before);
+        // mid-run exploration is rooted at the session's current state
+        engine.step().expect("step");
+        let rooted = engine.explore(&ExploreOptions::default());
+        assert_eq!(
+            rooted.states()[rooted.initial()],
+            engine.cursor().state_key()
+        );
+    }
+
+    #[test]
+    fn sessions_over_one_program_share_the_memo() {
+        let (spec, _) = alternating();
+        let program = Program::new(spec);
+        let mut first = Engine::from_program(&program).build();
+        first.run(6);
+        let grown = program.cached_formula_count();
+        let mut second = Engine::from_program(&program).build();
+        second.run(6);
+        assert_eq!(program.cached_formula_count(), grown);
     }
 
     #[test]

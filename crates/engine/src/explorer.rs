@@ -1,4 +1,5 @@
-//! Exhaustive exploration of the scheduling state-space.
+//! Exhaustive exploration of the scheduling state-space — breadth
+//! first, optionally across worker threads, always deterministic.
 //!
 //! The paper's PAM study obtains "by exploration quantitative results on
 //! the scheduling state-space". This module implements that analysis: a
@@ -6,18 +7,40 @@
 //! constraint states ([`StateKey`](moccml_kernel::StateKey) snapshots)
 //! and whose edges are acceptable non-empty steps.
 //!
-//! Exploration runs on the compiled path
-//! ([`CompiledSpec::explore`](crate::CompiledSpec::explore) /
-//! [`Engine::explore`](crate::Engine::explore)): every `restore` of an
-//! already visited constraint state hits the per-constraint formula
-//! memo, so BFS does no formula lowering after a constraint's local
-//! states have been seen once.
+//! # Architecture: depth-synchronized parallel BFS
+//!
+//! Exploration proceeds level by level. Within a level, every frontier
+//! state is *expanded* independently — restore the state on a worker's
+//! [`Cursor`](crate::Cursor), enumerate its acceptable steps, fire each
+//! to learn the successor key. Expansion dominates the cost (it is
+//! where formulas are evaluated), and it embarrasses in parallel:
+//! [`ExploreOptions::workers`] worker threads pull striped batches of
+//! frontier states off the level, resolving successor keys against a
+//! sharded read-only index of all previously interned states.
+//!
+//! At the level barrier, a single canonicalization pass absorbs the
+//! expansions *in frontier order*: new states are interned (and the
+//! [`max_states`](ExploreOptions::max_states) bound applied) in the
+//! order the serial explorer would have discovered them — by (source
+//! state index, step rank) — and transitions are appended in that same
+//! order. The result is **byte-identical for every worker count**: the
+//! worker threads only change *who computes* an expansion, never the
+//! order in which its results are absorbed. `workers == 1` skips the
+//! threads entirely and runs the identical algorithm inline.
+//!
+//! All of this uses only `std::thread` scoped threads and `mpsc`
+//! channels — no dependencies. Worker cursors share the program's
+//! sharded formula memo, so a constraint state reached by one worker is
+//! never re-lowered by another.
 
-use crate::compiled::CompiledSpec;
+use crate::cursor::Cursor;
+use crate::program::Program;
 use crate::solver::SolverOptions;
-use moccml_kernel::{Specification, StateKey, Step};
-use std::collections::{HashMap, VecDeque};
+use moccml_kernel::{StateKey, Step};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::mpsc;
+use std::sync::RwLock;
 
 /// Options bounding and configuring the exploration.
 #[derive(Debug, Clone)]
@@ -35,6 +58,11 @@ pub struct ExploreOptions {
     /// `include_empty` is ignored: stuttering self-loops exist at every
     /// state and would only add noise.
     pub solver: SolverOptions,
+    /// Number of worker threads expanding each BFS level. Defaults to
+    /// [`std::thread::available_parallelism`]; `1` runs the identical
+    /// algorithm inline with no threads. The resulting [`StateSpace`]
+    /// is byte-identical for every value.
+    pub workers: usize,
 }
 
 impl Default for ExploreOptions {
@@ -43,6 +71,9 @@ impl Default for ExploreOptions {
             max_states: 100_000,
             max_depth: usize::MAX,
             solver: SolverOptions::default(),
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
         }
     }
 }
@@ -68,10 +99,24 @@ impl ExploreOptions {
         self.solver = solver;
         self
     }
+
+    /// Sets the number of worker threads (builder style). `1` selects
+    /// the serial in-line path; any value yields the same
+    /// [`StateSpace`], byte for byte.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
 }
 
 /// The reachable scheduling state-space of a specification.
-#[derive(Debug, Clone)]
+///
+/// Equality compares the full graph — interned states, transitions,
+/// initial state, deadlocks and the truncation flag — which is exactly
+/// the explorer's determinism contract: `explore` with any
+/// [`workers`](ExploreOptions::workers) count yields `==` spaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StateSpace {
     states: Vec<StateKey>,
     index: HashMap<StateKey, usize>,
@@ -213,67 +258,191 @@ impl fmt::Display for StateSpaceStats {
     }
 }
 
-/// BFS over the compiled specification, starting at (and returning to)
-/// its current state.
-pub(crate) fn explore_compiled(
-    compiled: &mut CompiledSpec,
-    options: &ExploreOptions,
-) -> StateSpace {
-    // the empty step is a self-loop at every state: never enumerate it
-    let solver_options = options.solver.clone().with_empty(false);
-    let entry_key = compiled.state_key();
+/// Explores the reachable scheduling state-space of `program` from its
+/// template (compile-time) state.
+///
+/// Convenience free function over [`Program::explore`] /
+/// [`Cursor::explore`](crate::Cursor::explore) for one-shot analyses:
+///
+/// ```
+/// use moccml_ccsl::Alternation;
+/// use moccml_engine::{explore, ExploreOptions, Program};
+/// use moccml_kernel::{Specification, Universe};
+/// let mut u = Universe::new();
+/// let (a, b) = (u.event("a"), u.event("b"));
+/// let mut spec = Specification::new("alt", u);
+/// spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+/// let space = explore(&Program::new(spec), &ExploreOptions::default());
+/// // the alternation automaton has exactly two states
+/// assert_eq!(space.state_count(), 2);
+/// assert_eq!(space.transition_count(), 2);
+/// assert!(space.deadlocks().is_empty());
+/// ```
+#[must_use]
+pub fn explore(program: &Program, options: &ExploreOptions) -> StateSpace {
+    program.explore(options)
+}
 
-    let initial_key = entry_key.clone();
-    let mut states = vec![initial_key.clone()];
-    let mut index = HashMap::from([(initial_key, 0usize)]);
+/// Sharded `StateKey → state index` map: read concurrently by workers
+/// during a level, written only by the canonicalization pass at the
+/// level barrier — reads vastly outnumber writes, so shards are
+/// `RwLock`s. Shard selection is shared with the formula memo
+/// ([`shard_of`](crate::program::shard_of)).
+struct ShardedIndex {
+    shards: Vec<RwLock<HashMap<StateKey, usize>>>,
+}
+
+impl ShardedIndex {
+    fn new() -> Self {
+        ShardedIndex {
+            shards: (0..crate::program::SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn get(&self, key: &StateKey) -> Option<usize> {
+        self.shards[crate::program::shard_of(key, self.shards.len())]
+            .read()
+            .expect("state index shard lock")
+            .get(key)
+            .copied()
+    }
+
+    fn insert(&self, key: StateKey, index: usize) {
+        self.shards[crate::program::shard_of(&key, self.shards.len())]
+            .write()
+            .expect("state index shard lock")
+            .insert(key, index);
+    }
+}
+
+/// A successor resolved by a worker: either a state interned in a
+/// previous level (index known) or a fresh key the barrier will intern.
+enum Target {
+    Known(usize),
+    New(StateKey),
+}
+
+/// One frontier state's expansion: its position in the frontier (the
+/// canonical absorption order) and its outgoing steps, or a deadlock.
+struct Expansion {
+    order: usize,
+    deadlock: bool,
+    succs: Vec<(Step, Target)>,
+}
+
+/// Expands one frontier state on `cursor`: enumerate its acceptable
+/// steps, fire each, resolve the successor against `index`.
+fn expand_state(
+    cursor: &mut Cursor,
+    order: usize,
+    key: &StateKey,
+    solver: &SolverOptions,
+    index: &ShardedIndex,
+) -> Expansion {
+    cursor.restore(key).expect("interned keys restore cleanly");
+    let steps = cursor.acceptable_steps(solver);
+    if steps.is_empty() {
+        return Expansion {
+            order,
+            deadlock: true,
+            succs: Vec::new(),
+        };
+    }
+    let mut succs = Vec::with_capacity(steps.len());
+    for step in steps {
+        cursor.restore(key).expect("interned keys restore cleanly");
+        cursor.fire(&step).expect("solver returns acceptable steps");
+        let successor = cursor.state_key();
+        let target = match index.get(&successor) {
+            Some(t) => Target::Known(t),
+            None => Target::New(successor),
+        };
+        succs.push((step, target));
+    }
+    Expansion {
+        order,
+        deadlock: false,
+        succs,
+    }
+}
+
+/// The canonical BFS construction shared by the serial and parallel
+/// paths. `expand_level` turns one frontier (as `(order, key)` jobs)
+/// into its expansions, in any order; everything order-sensitive —
+/// interning, the `max_states` bound, transition and deadlock
+/// recording — happens here, in frontier order.
+fn explore_with(
+    root: StateKey,
+    options: &ExploreOptions,
+    index: &ShardedIndex,
+    mut expand_level: impl FnMut(Vec<(usize, StateKey)>, &ShardedIndex) -> Vec<Expansion>,
+) -> StateSpace {
+    let mut states = vec![root.clone()];
+    index.insert(root, 0);
     let mut transitions = Vec::new();
     let mut deadlocks = Vec::new();
     let mut truncated = false;
 
-    let mut queue: VecDeque<(usize, usize)> = VecDeque::from([(0usize, 0usize)]);
-    while let Some((state, depth)) = queue.pop_front() {
+    let mut frontier: Vec<usize> = vec![0];
+    let mut depth = 0usize;
+    while !frontier.is_empty() {
         if depth >= options.max_depth {
             truncated = true;
-            continue;
+            break;
         }
-        compiled
-            .restore(&states[state])
-            .expect("interned keys restore cleanly");
-        let steps = compiled.acceptable_steps(&solver_options);
-        if steps.is_empty() {
-            deadlocks.push(state);
-            continue;
-        }
-        for step in steps {
-            compiled
-                .restore(&states[state])
-                .expect("interned keys restore cleanly");
-            compiled
-                .fire(&step)
-                .expect("solver returns acceptable steps");
-            let key = compiled.state_key();
-            let target = match index.get(&key) {
-                Some(&t) => t,
-                None => {
-                    if states.len() >= options.max_states {
-                        truncated = true;
-                        continue;
+        let jobs: Vec<(usize, StateKey)> = frontier
+            .iter()
+            .enumerate()
+            .map(|(order, &s)| (order, states[s].clone()))
+            .collect();
+        let mut expansions = expand_level(jobs, index);
+        expansions.sort_unstable_by_key(|e| e.order);
+        let mut next = Vec::new();
+        for expansion in expansions {
+            let source = frontier[expansion.order];
+            if expansion.deadlock {
+                deadlocks.push(source);
+                continue;
+            }
+            for (step, target) in expansion.succs {
+                let target = match target {
+                    Target::Known(t) => t,
+                    Target::New(key) => {
+                        // the key may have been interned earlier in
+                        // this very pass (discovered twice in a level)
+                        match index.get(&key) {
+                            Some(t) => t,
+                            None => {
+                                if states.len() >= options.max_states {
+                                    truncated = true;
+                                    continue;
+                                }
+                                let t = states.len();
+                                states.push(key.clone());
+                                index.insert(key, t);
+                                next.push(t);
+                                t
+                            }
+                        }
                     }
-                    let t = states.len();
-                    states.push(key.clone());
-                    index.insert(key, t);
-                    queue.push_back((t, depth + 1));
-                    t
-                }
-            };
-            transitions.push((state, step, target));
+                };
+                transitions.push((source, step, target));
+            }
         }
+        frontier = next;
+        depth += 1;
     }
-    compiled
-        .restore(&entry_key)
-        .expect("entry snapshot restores");
+
     deadlocks.sort_unstable();
     deadlocks.dedup();
+    let index = states
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, k)| (k, i))
+        .collect();
     StateSpace {
         states,
         index,
@@ -284,44 +453,136 @@ pub(crate) fn explore_compiled(
     }
 }
 
-/// Explores the reachable scheduling state-space of `spec` by BFS.
-///
-/// This free function compiles a clone of `spec` on every call; it is
-/// kept as a migration shim for one release. Compile once instead:
-///
-/// ```
-/// # #![allow(deprecated)]
-/// use moccml_ccsl::Alternation;
-/// use moccml_engine::{CompiledSpec, ExploreOptions};
-/// use moccml_kernel::{Specification, Universe};
-/// let mut u = Universe::new();
-/// let (a, b) = (u.event("a"), u.event("b"));
-/// let mut spec = Specification::new("alt", u);
-/// spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
-/// let space = CompiledSpec::new(spec).explore(&ExploreOptions::default());
-/// // the alternation automaton has exactly two states
-/// assert_eq!(space.state_count(), 2);
-/// assert_eq!(space.transition_count(), 2);
-/// assert!(space.deadlocks().is_empty());
-/// ```
-#[must_use]
-#[deprecated(
-    since = "0.2.0",
-    note = "compiles a throwaway clone per call; build a `CompiledSpec` once and \
-            call `.explore(..)` on it (or `Engine::explore`)"
-)]
-pub fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
-    explore_compiled(&mut CompiledSpec::compile(spec), options)
+/// BFS over `program` from `root`, serial or parallel per
+/// `options.workers`.
+pub(crate) fn explore_program(
+    program: &Program,
+    root: StateKey,
+    options: &ExploreOptions,
+) -> StateSpace {
+    // the empty step is a self-loop at every state: never enumerate it
+    let solver = options.solver.clone().with_empty(false);
+    let workers = options.workers.max(1);
+    let index = ShardedIndex::new();
+
+    if workers == 1 {
+        let mut cursor = program.cursor();
+        return explore_with(root, options, &index, |jobs, index| {
+            jobs.iter()
+                .map(|(order, key)| expand_state(&mut cursor, *order, key, &solver, index))
+                .collect()
+        });
+    }
+
+    // Parallel: `workers` persistent threads, one cursor each, fed one
+    // striped batch of the frontier per level. The scope borrows
+    // `program` and `index`; job/result channels carry owned data.
+    // Workers are spawned lazily, on the first frontier wide enough to
+    // amortise the channel round trip — narrow levels (and entire
+    // small explorations) run inline on the main thread's cursor, so
+    // a 2-state doctest pays for zero threads even at `workers = 8`.
+    std::thread::scope(|scope| {
+        let index = &index;
+        let solver = &solver;
+        let mut pool: Option<WorkerPool> = None;
+        let mut inline_cursor = program.cursor();
+
+        // the closure ignores its `&ShardedIndex` argument in favour of
+        // the captured `index` — same object, but the capture carries
+        // the scope-level lifetime the spawned workers need
+        let space = explore_with(root, options, index, |jobs, _| {
+            if jobs.len() < MIN_PARALLEL_FRONTIER.max(workers) {
+                return jobs
+                    .iter()
+                    .map(|(order, key)| {
+                        expand_state(&mut inline_cursor, *order, key, solver, index)
+                    })
+                    .collect();
+            }
+            let pool = pool
+                .get_or_insert_with(|| WorkerPool::spawn(scope, workers, program, solver, index));
+            // stripe the frontier across workers: neighbouring states
+            // (often similar expansion cost) land on different threads
+            let mut batches: Vec<Vec<(usize, StateKey)>> = vec![Vec::new(); workers];
+            for (i, job) in jobs.into_iter().enumerate() {
+                batches[i % workers].push(job);
+            }
+            for (tx, batch) in pool.job_txs.iter().zip(batches) {
+                tx.send(batch).expect("worker alive while exploring");
+            }
+            let mut expansions = Vec::new();
+            for (w, rx) in pool.result_rxs.iter().enumerate() {
+                // a disconnected result channel means that worker
+                // panicked (a Constraint broke the restore/stuttering
+                // contract): fail loudly instead of waiting forever
+                expansions.extend(rx.recv().unwrap_or_else(|_| {
+                    panic!("explorer worker {w} died mid-level (see its panic above)")
+                }));
+            }
+            expansions
+        });
+        drop(pool); // job channels disconnect; workers drain and exit
+        space
+    })
+}
+
+/// Frontiers narrower than this are expanded inline even when worker
+/// threads are available: the per-level channel round trip costs more
+/// than enumerating a handful of states.
+const MIN_PARALLEL_FRONTIER: usize = 16;
+
+/// The lazily spawned expansion threads of one parallel exploration:
+/// per-worker job and result channels (one result vector per batch, so
+/// a worker that dies is detected as *its* channel disconnecting
+/// rather than a barrier that never completes).
+struct WorkerPool {
+    job_txs: Vec<mpsc::Sender<Vec<(usize, StateKey)>>>,
+    result_rxs: Vec<mpsc::Receiver<Vec<Expansion>>>,
+}
+
+impl WorkerPool {
+    fn spawn<'scope>(
+        scope: &'scope std::thread::Scope<'scope, '_>,
+        workers: usize,
+        program: &'scope Program,
+        solver: &'scope SolverOptions,
+        index: &'scope ShardedIndex,
+    ) -> Self {
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut result_rxs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (job_tx, job_rx) = mpsc::channel::<Vec<(usize, StateKey)>>();
+            let (result_tx, result_rx) = mpsc::channel::<Vec<Expansion>>();
+            scope.spawn(move || {
+                let mut cursor = program.cursor();
+                while let Ok(batch) = job_rx.recv() {
+                    let out: Vec<Expansion> = batch
+                        .iter()
+                        .map(|(order, key)| expand_state(&mut cursor, *order, key, solver, index))
+                        .collect();
+                    if result_tx.send(out).is_err() {
+                        break;
+                    }
+                }
+            });
+            job_txs.push(job_tx);
+            result_rxs.push(result_rx);
+        }
+        WorkerPool {
+            job_txs,
+            result_rxs,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use moccml_ccsl::{Alternation, Exclusion, Precedence, SubClock};
-    use moccml_kernel::Universe;
+    use moccml_kernel::{Specification, Universe};
 
     fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
-        CompiledSpec::compile(spec).explore(options)
+        Program::compile(spec).explore(options)
     }
 
     #[test]
@@ -436,9 +697,7 @@ mod tests {
             &spec,
             &ExploreOptions::default().with_solver(SolverOptions::naive()),
         );
-        assert_eq!(pruned.state_count(), naive.state_count());
-        assert_eq!(pruned.transitions(), naive.transitions());
-        assert_eq!(pruned.deadlocks(), naive.deadlocks());
+        assert_eq!(pruned, naive);
     }
 
     #[test]
@@ -453,6 +712,80 @@ mod tests {
         );
         assert_eq!(space.transition_count(), 2, "no stuttering self-loops");
         assert!(space.deadlocks().is_empty());
+    }
+
+    #[test]
+    fn worker_counts_build_equal_spaces() {
+        let mut u = Universe::new();
+        let (a, b, c) = (u.event("a"), u.event("b"), u.event("c"));
+        let mut spec = Specification::new("mix", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        spec.add_constraint(Box::new(Precedence::strict("b<c", b, c).with_bound(3)));
+        let serial = explore(&spec, &ExploreOptions::default().with_workers(1));
+        for workers in [2, 3, 8] {
+            let parallel = explore(&spec, &ExploreOptions::default().with_workers(workers));
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn threaded_path_agrees_on_wide_frontiers() {
+        // three independent bounded precedences: a 5×5×5 product space
+        // (125 states) whose BFS levels grow past MIN_PARALLEL_FRONTIER
+        // (level d holds the states with max coordinate d; d=2 already
+        // has 19), so multi-worker runs genuinely engage the thread
+        // pool instead of the inline small-frontier path
+        let mut u = Universe::new();
+        let pairs: Vec<_> = (0..3)
+            .map(|i| (u.event(&format!("a{i}")), u.event(&format!("b{i}"))))
+            .collect();
+        let mut spec = Specification::new("grid", u);
+        for (i, (a, b)) in pairs.into_iter().enumerate() {
+            spec.add_constraint(Box::new(
+                Precedence::strict(&format!("p{i}"), a, b).with_bound(4),
+            ));
+        }
+        let serial = explore(&spec, &ExploreOptions::default().with_workers(1));
+        assert_eq!(serial.state_count(), 125);
+        for workers in [2, 4] {
+            let parallel = explore(&spec, &ExploreOptions::default().with_workers(workers));
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn worker_counts_agree_under_truncation() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("unbounded", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        let options = ExploreOptions::default().with_max_states(7);
+        let serial = explore(&spec, &options.clone().with_workers(1));
+        assert!(serial.truncated());
+        for workers in [2, 5] {
+            let parallel = explore(&spec, &options.clone().with_workers(workers));
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn explore_starts_from_the_cursor_state() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        let program = Program::new(spec);
+        let mut cursor = program.cursor();
+        cursor
+            .fire(&moccml_kernel::Step::from_events([a]))
+            .expect("fires");
+        let space = cursor.explore(&ExploreOptions::default());
+        // same two-cycle, but rooted at the post-`a` state
+        assert_eq!(space.state_count(), 2);
+        assert_eq!(space.states()[space.initial()], cursor.state_key());
+        // the next step from the root fires b
+        let (_, step, _) = space.outgoing(space.initial()).next().expect("one edge");
+        assert!(step.contains(b));
     }
 
     #[test]

@@ -99,13 +99,13 @@ pub fn state_space_to_dot(space: &StateSpace, universe: &Universe, name: &str) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::compiled::CompiledSpec;
     use crate::explorer::ExploreOptions;
+    use crate::program::Program;
     use moccml_ccsl::{Alternation, Precedence};
     use moccml_kernel::{Specification, Step};
 
     fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
-        CompiledSpec::compile(spec).explore(options)
+        Program::compile(spec).explore(options)
     }
 
     #[test]

@@ -6,25 +6,32 @@
 //! **simulation** and **exhaustive exploration** of any conforming
 //! model.
 //!
-//! The engine is organised around two concepts:
+//! The engine is organised around three concepts:
 //!
-//! * [`CompiledSpec`] — a specification *lowered once*: the
-//!   constrained-event list is interned and each constraint's boolean
-//!   formula (Sec. II-C) is cached per local state, so neither
-//!   simulation steps nor exploration states ever re-lower the
-//!   conjunction.
-//! * [`Engine`] — a configured session over a compiled specification:
-//!   a pluggable [`Policy`] (open trait; [`Random`], [`MaxParallel`],
-//!   [`MinSerial`], [`Lexicographic`] and [`SafeMaxParallel`] are
-//!   provided), [`SolverOptions`] for the pruned/naive ablation, and
-//!   streaming [`Observer`]s ([`VcdObserver`], [`MetricsObserver`])
-//!   that receive every fired step as it happens.
+//! * [`Program`] — the *immutable* half of a compiled specification:
+//!   interned constrained-event list, per-constraint event footprints,
+//!   and the `(constraint, local state) → lowered formula` memo behind
+//!   interior sharding. A program is `Send + Sync` and shared by every
+//!   execution over it — across threads, all cursors hit one cache.
+//! * [`Cursor`] — the *mutable* per-worker half: one execution
+//!   position (constraint states + currently selected formulas) with
+//!   `fire` / `restore` / `state_key` / `acceptable_steps`. Cursors
+//!   are cheap; the parallel explorer hands one to every worker.
+//! * [`Engine`] — a configured session (a cursor plus policy, solver
+//!   options and observers): a pluggable [`Policy`] (open trait;
+//!   [`Random`], [`MaxParallel`], [`MinSerial`], [`Lexicographic`] and
+//!   [`SafeMaxParallel`] are provided), [`SolverOptions`] for the
+//!   pruned/naive ablation, and streaming [`Observer`]s
+//!   ([`VcdObserver`], [`MetricsObserver`]) that receive every fired
+//!   step as it happens.
 //!
 //! [`Simulator`] is a thin wrapper over [`Engine`] implementing
-//! `Iterator<Item = Step>`; [`CompiledSpec::explore`] /
-//! [`Engine::explore`] build the reachable scheduling state-space
-//! ([`StateSpace`]) whose quantitative metrics the paper's PAM study
-//! reports, and the analysis queries ([`dead_events`],
+//! `Iterator<Item = Step>`; [`Program::explore`] / [`Cursor::explore`]
+//! / [`Engine::explore`] (or the [`explore`] free function) build the
+//! reachable scheduling state-space ([`StateSpace`]) whose quantitative
+//! metrics the paper's PAM study reports — breadth first, across
+//! [`ExploreOptions::workers`] threads, with a **byte-identical result
+//! for every worker count**. The analysis queries ([`dead_events`],
 //! [`is_event_live`], [`shortest_path_to`], [`deadlock_witness`])
 //! operate on that explored space.
 //!
@@ -54,35 +61,39 @@
 //! assert_eq!(metrics.snapshot().steps, 6);
 //! ```
 //!
-//! ## Migrating from the 0.1 free functions
+//! ## Migrating from 0.2 (`CompiledSpec`) and the 0.1 free functions
 //!
-//! The 0.1 entry points re-lowered every constraint formula on every
-//! call; they remain as `#[deprecated]` shims for one release:
+//! The 0.2 `CompiledSpec` fused the immutable compiled artifacts with
+//! the mutable run state; it is split into [`Program`] + [`Cursor`]:
 //!
-//! * `acceptable_steps(&spec, &options)` →
-//!   `CompiledSpec::new(spec).acceptable_steps(&options)` (compile
-//!   once, query many times), or `engine.acceptable_steps()` inside a
-//!   session;
-//! * `explore(&spec, &options)` →
-//!   `CompiledSpec::new(spec).explore(&options)` or
-//!   `engine.explore(&options)`;
-//! * `Policy` enum variants → the provided policy structs
-//!   (`Policy::Random { seed }` → `Random::new(seed)`,
-//!   `Policy::MaxParallel` → `MaxParallel`, …); custom strategies
-//!   implement the [`Policy`] trait;
-//! * post-hoc `schedule_to_vcd` stays for rendering stored schedules,
-//!   but long-running sessions should stream through a [`VcdObserver`].
+//! * `CompiledSpec::new(spec)` / `CompiledSpec::compile(&spec)` →
+//!   [`Program::new`] / [`Program::compile`] (now returning
+//!   `Arc<Program>`), then [`Program::cursor`] for a queryable
+//!   position;
+//! * `compiled.acceptable_steps(..)` / `fire` / `restore` /
+//!   `state_key` / `reset` → the same methods on [`Cursor`];
+//! * `compiled.explore(..)` → [`Program::explore`] (from the
+//!   compile-time state) or [`Cursor::explore`] (from the cursor's
+//!   current state);
+//! * `Engine::from_compiled(compiled)` → [`Engine::from_program`].
+//!
+//! The 0.1 free functions `acceptable_steps(&spec, ..)` and
+//! `explore(&spec, ..)` — deprecated shims that re-lowered every
+//! formula per call — are **removed** as promised; compile a
+//! [`Program`] once instead. (The [`explore`] name now takes a
+//! `&Program`.)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod analysis;
-mod compiled;
+mod cursor;
 mod engine;
 mod explorer;
 mod export;
 mod observer;
 mod policy;
+mod program;
 mod rng;
 mod simulator;
 mod solver;
@@ -90,19 +101,15 @@ mod solver;
 pub use analysis::{
     dead_events, deadlock_witness, is_event_fireable, is_event_live, shortest_path_to, Witness,
 };
-pub use compiled::CompiledSpec;
+pub use cursor::Cursor;
 pub use engine::{Engine, EngineBuilder, SimulationReport};
-pub use explorer::{ExploreOptions, StateSpace, StateSpaceStats};
+pub use explorer::{explore, ExploreOptions, StateSpace, StateSpaceStats};
 pub use export::{schedule_to_vcd, state_space_to_dot};
 pub use observer::{Metrics, MetricsObserver, Observer, VcdObserver};
 pub use policy::{
     Lexicographic, MaxParallel, MinSerial, Policy, PolicyContext, Random, SafeMaxParallel,
 };
+pub use program::Program;
 pub use rng::SplitMix64;
 pub use simulator::Simulator;
 pub use solver::SolverOptions;
-
-#[allow(deprecated)]
-pub use explorer::explore;
-#[allow(deprecated)]
-pub use solver::acceptable_steps;

@@ -8,7 +8,7 @@
 //! ship as provided implementations — [`Random`], [`MaxParallel`],
 //! [`MinSerial`], [`Lexicographic`] and [`SafeMaxParallel`].
 
-use crate::compiled::CompiledSpec;
+use crate::cursor::Cursor;
 use crate::rng::SplitMix64;
 use crate::solver::SolverOptions;
 use moccml_kernel::{Specification, Step};
@@ -16,23 +16,23 @@ use std::fmt;
 
 /// What a policy sees when asked to choose: the sorted candidate list
 /// and a bounded lookahead into successor configurations, implemented
-/// on the compiled path with `state_key()`/`restore()` snapshots (no
-/// specification cloning).
+/// on the session's [`Cursor`] with `state_key()`/`restore()`
+/// snapshots (no specification cloning).
 pub struct PolicyContext<'a> {
     candidates: &'a [Step],
-    compiled: &'a mut CompiledSpec,
+    cursor: &'a mut Cursor,
     solver: &'a SolverOptions,
 }
 
 impl<'a> PolicyContext<'a> {
     pub(crate) fn new(
         candidates: &'a [Step],
-        compiled: &'a mut CompiledSpec,
+        cursor: &'a mut Cursor,
         solver: &'a SolverOptions,
     ) -> Self {
         PolicyContext {
             candidates,
-            compiled,
+            cursor,
             solver,
         }
     }
@@ -55,7 +55,7 @@ impl<'a> PolicyContext<'a> {
     /// Read access to the driven specification (event names, universe).
     #[must_use]
     pub fn specification(&self) -> &Specification {
-        self.compiled.specification()
+        self.cursor.specification()
     }
 
     /// One-step lookahead: would firing `candidate` leave a
@@ -64,21 +64,21 @@ impl<'a> PolicyContext<'a> {
     /// counting it would make the lookahead vacuous — it is excluded
     /// regardless of the session's `include_empty` setting.)
     ///
-    /// Implemented as snapshot → fire → query → restore on the compiled
-    /// specification; thanks to the per-constraint formula memo the
+    /// Implemented as snapshot → fire → query → restore on the
+    /// session's cursor; thanks to the program-wide formula memo the
     /// round trip does no formula lowering after the first visit of a
     /// state. Returns `false` for a step the current state rejects.
     pub fn successor_admits_step(&mut self, candidate: &Step) -> bool {
-        if !self.compiled.accepts(candidate) {
+        if !self.cursor.accepts(candidate) {
             return false;
         }
         let lookahead = self.solver.clone().with_empty(false);
-        let snapshot = self.compiled.state_key();
-        self.compiled
+        let snapshot = self.cursor.state_key();
+        self.cursor
             .fire(candidate)
             .expect("accepted candidate fires");
-        let admits = !self.compiled.acceptable_steps(&lookahead).is_empty();
-        self.compiled
+        let admits = !self.cursor.acceptable_steps(&lookahead).is_empty();
+        self.cursor
             .restore(&snapshot)
             .expect("own snapshot restores");
         admits

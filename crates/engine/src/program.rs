@@ -1,0 +1,343 @@
+//! [`Program`]: the immutable half of a compiled specification.
+//!
+//! PR 2's `CompiledSpec` fused two layers into one object: the
+//! *compiled artifacts* of a specification (the interned
+//! constrained-event list, the per-constraint lowered-formula memo) and
+//! the *run state* that queries mutate (constraint states, the
+//! currently selected formula per constraint). That fusion made the
+//! hot path single-threaded: exploration could not fan out without
+//! cloning the whole object — and cloned memos no longer share cache
+//! hits.
+//!
+//! This module is the split's immutable side. A [`Program`] is
+//! `Send + Sync` and never changes after compilation:
+//!
+//! * the constrained-event list is interned once;
+//! * every constraint's event footprint is precomputed once;
+//! * the `(constraint, local state) → lowered formula` memo lives
+//!   behind interior sharding ([`FormulaMemo`]), so *all* cursors of a
+//!   program — across threads — share every cache hit: a formula is
+//!   lowered exactly once per reached constraint state, program-wide.
+//!
+//! The mutable side is [`Cursor`](crate::Cursor): cheap per-worker run
+//! state created by [`Program::cursor`]. One program can drive any
+//! number of concurrent cursors, which is what makes the parallel
+//! state-space explorer ([`explore`](crate::explore)) possible.
+
+use crate::cursor::Cursor;
+use crate::explorer::{explore_program, ExploreOptions, StateSpace};
+use moccml_kernel::{EventId, Specification, StateKey, Step, StepFormula};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, Weak};
+
+/// Number of shards in the engine's sharded maps (the formula memo
+/// here and the explorer's interned-state index). Sixteen keeps lock
+/// contention negligible for any worker count
+/// `std::thread::available_parallelism` realistically reports while
+/// wasting no memory on small programs.
+pub(crate) const SHARD_COUNT: usize = 16;
+
+/// Shard selection shared by every sharded map in the engine: hash the
+/// key, take it modulo the shard count.
+pub(crate) fn shard_of<K: Hash>(key: &K, shard_count: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % shard_count
+}
+
+/// One memo shard: `(constraint index, local state) → lowered formula`.
+type MemoShard = HashMap<(usize, StateKey), Arc<StepFormula>>;
+
+/// The sharded `(constraint index, local state) → lowered formula`
+/// memo. Shards are plain `Mutex<HashMap>`s: lookups are short, and a
+/// cursor-local L1 cache in front of this map (see
+/// [`Cursor`](crate::Cursor)) means a shard is only locked the *first*
+/// time a cursor meets a `(constraint, state)` pair.
+#[derive(Debug)]
+pub(crate) struct FormulaMemo {
+    shards: Vec<Mutex<MemoShard>>,
+}
+
+impl FormulaMemo {
+    fn new() -> Self {
+        FormulaMemo {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Returns the memoised formula for `(slot, key)`, lowering it with
+    /// `lower` on the program-wide first visit.
+    pub(crate) fn get_or_insert(
+        &self,
+        slot: usize,
+        key: &StateKey,
+        lower: impl FnOnce() -> StepFormula,
+    ) -> Arc<StepFormula> {
+        let mut shard = self.shards[shard_of(&(slot, key), self.shards.len())]
+            .lock()
+            .expect("formula memo shard lock");
+        if let Some(f) = shard.get(&(slot, key.clone())) {
+            return Arc::clone(f);
+        }
+        let f = Arc::new(lower());
+        shard.insert((slot, key.clone()), Arc::clone(&f));
+        f
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("formula memo shard lock").len())
+            .sum()
+    }
+}
+
+/// A [`Specification`] compiled into an immutable, shareable program.
+///
+/// Constructed once with [`new`](Program::new) (owned) or
+/// [`compile`](Program::compile) (borrowed, clones); both return
+/// `Arc<Program>` because a program's whole point is to be shared —
+/// every [`Cursor`](crate::Cursor) keeps a handle to its program. The
+/// constraint population is frozen at compile time: that is what makes
+/// the interned event list, the per-constraint footprints and the
+/// sharded formula memo sound.
+///
+/// A program carries **no run state**. Queries that need one go through
+/// a cursor ([`Program::cursor`]); [`Program::explore`] spawns its own
+/// worker cursors internally.
+///
+/// # Example
+///
+/// ```
+/// use moccml_ccsl::Alternation;
+/// use moccml_engine::{Program, SolverOptions};
+/// use moccml_kernel::{Specification, Universe};
+///
+/// let mut u = Universe::new();
+/// let (a, b) = (u.event("a"), u.event("b"));
+/// let mut spec = Specification::new("alt", u);
+/// spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+///
+/// let program = Program::new(spec);
+/// let mut cursor = program.cursor();
+/// let options = SolverOptions::default();
+/// let first = cursor.acceptable_steps(&options);
+/// assert_eq!(first.len(), 1); // only {a}
+/// cursor.fire(&first[0]).expect("acceptable");
+/// assert!(cursor.acceptable_steps(&options)[0].contains(b));
+/// ```
+#[derive(Debug)]
+pub struct Program {
+    /// The template specification, frozen in the state it had at
+    /// compile time. Cursors clone it; nothing ever mutates it.
+    spec: Specification,
+    /// Snapshot of the template's global state — the root every cursor
+    /// starts from.
+    template_key: StateKey,
+    /// The interned list of constrained events the solver ranges over.
+    events: Vec<EventId>,
+    /// Per-constraint event footprints, used by cursors to skip
+    /// refreshing constraints a fired step cannot have touched.
+    footprints: Vec<Step>,
+    /// Per-constraint `(local state key, lowered formula)` at the
+    /// template state — the starting slots of every fresh cursor.
+    initial_slots: Vec<(StateKey, Arc<StepFormula>)>,
+    /// The program-wide sharded formula memo.
+    memo: FormulaMemo,
+    /// Back-reference to the owning `Arc`, so `cursor(&self)` can hand
+    /// out handles without the caller threading the `Arc` around.
+    self_ref: Weak<Program>,
+}
+
+impl Program {
+    /// Compiles an owned specification.
+    #[must_use]
+    pub fn new(spec: Specification) -> Arc<Self> {
+        let events: Vec<EventId> = spec.constrained_events().iter().collect();
+        let template_key = spec.state_key();
+        let keys = spec.constraint_state_keys();
+        let formulas = spec.lowered_formulas();
+        let footprints: Vec<Step> = spec
+            .constraints()
+            .iter()
+            .map(|c| Step::from_events(c.constrained_events()))
+            .collect();
+        let memo = FormulaMemo::new();
+        let initial_slots: Vec<(StateKey, Arc<StepFormula>)> = keys
+            .into_iter()
+            .zip(formulas)
+            .enumerate()
+            .map(|(i, (key, formula))| {
+                let formula = memo.get_or_insert(i, &key, || formula);
+                (key, formula)
+            })
+            .collect();
+        Arc::new_cyclic(|self_ref| Program {
+            spec,
+            template_key,
+            events,
+            footprints,
+            initial_slots,
+            memo,
+            self_ref: self_ref.clone(),
+        })
+    }
+
+    /// Compiles a borrowed specification (clones it).
+    #[must_use]
+    pub fn compile(spec: &Specification) -> Arc<Self> {
+        Self::new(spec.clone())
+    }
+
+    /// Read access to the template specification (in its compile-time
+    /// state).
+    #[must_use]
+    pub fn specification(&self) -> &Specification {
+        &self.spec
+    }
+
+    /// The global state key of the template — the state fresh cursors
+    /// start in.
+    #[must_use]
+    pub fn template_key(&self) -> &StateKey {
+        &self.template_key
+    }
+
+    /// The interned list of constrained events the solver ranges over.
+    #[must_use]
+    pub fn constrained_events(&self) -> &[EventId] {
+        &self.events
+    }
+
+    /// Total number of `(constraint, local state)` formulas currently
+    /// memoised program-wide — a cache-size observability hook for
+    /// tests and tuning. Grows as cursors visit fresh constraint
+    /// states; never shrinks.
+    #[must_use]
+    pub fn cached_formula_count(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// A fresh cursor positioned at the template state. Cursors are
+    /// cheap (they clone the constraint vector, not the memo) and
+    /// independent: one program can drive any number of them, from any
+    /// number of threads.
+    #[must_use]
+    pub fn cursor(&self) -> Cursor {
+        let program = self
+            .self_ref
+            .upgrade()
+            .expect("a Program is only reachable through its Arc");
+        Cursor::new(program)
+    }
+
+    /// Explores the reachable scheduling state-space from the template
+    /// state. See the [`explorer`](crate::StateSpace) docs for the
+    /// graph's semantics and the determinism guarantee;
+    /// [`ExploreOptions::workers`] selects the parallel frontier width.
+    #[must_use]
+    pub fn explore(&self, options: &ExploreOptions) -> StateSpace {
+        explore_program(self, self.template_key.clone(), options)
+    }
+
+    /// The per-constraint event footprints (parallel to
+    /// `specification().constraints()`).
+    pub(crate) fn footprints(&self) -> &[Step] {
+        &self.footprints
+    }
+
+    /// The starting slots of a fresh cursor.
+    pub(crate) fn initial_slots(&self) -> &[(StateKey, Arc<StepFormula>)] {
+        &self.initial_slots
+    }
+
+    /// The program-wide formula memo.
+    pub(crate) fn memo(&self) -> &FormulaMemo {
+        &self.memo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolverOptions;
+    use moccml_ccsl::Alternation;
+    use moccml_kernel::Universe;
+
+    fn alternating() -> (Specification, EventId, EventId) {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        (spec, a, b)
+    }
+
+    #[test]
+    fn program_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Program>();
+    }
+
+    #[test]
+    fn cursors_share_one_memo() {
+        let (spec, a, b) = alternating();
+        let program = Program::new(spec);
+        assert_eq!(program.cached_formula_count(), 1);
+        let mut c1 = program.cursor();
+        c1.fire(&Step::from_events([a])).expect("fires");
+        // c1 reached the alternation's second state: one new entry
+        assert_eq!(program.cached_formula_count(), 2);
+        // a second cursor re-visiting both states adds nothing
+        let mut c2 = program.cursor();
+        c2.fire(&Step::from_events([a])).expect("fires");
+        c2.fire(&Step::from_events([b])).expect("fires");
+        assert_eq!(program.cached_formula_count(), 2);
+    }
+
+    #[test]
+    fn cursors_are_independent() {
+        let (spec, a, _) = alternating();
+        let program = Program::new(spec);
+        let options = SolverOptions::default();
+        let mut c1 = program.cursor();
+        let c2 = program.cursor();
+        let initial = c2.acceptable_steps(&options);
+        c1.fire(&Step::from_events([a])).expect("fires");
+        assert_ne!(c1.acceptable_steps(&options), initial);
+        assert_eq!(c2.acceptable_steps(&options), initial);
+    }
+
+    #[test]
+    fn template_key_is_the_compile_time_state() {
+        let (mut spec, a, _) = alternating();
+        spec.fire(&Step::from_events([a])).expect("fires");
+        let program = Program::compile(&spec);
+        assert_eq!(program.template_key(), &spec.state_key());
+        // fresh cursors start there, not at the reset state
+        assert_eq!(program.cursor().state_key(), spec.state_key());
+    }
+
+    #[test]
+    fn memo_is_shared_across_threads() {
+        let (spec, a, b) = alternating();
+        let program = Program::new(spec);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let program = &program;
+                s.spawn(move || {
+                    let mut c = program.cursor();
+                    for _ in 0..3 {
+                        c.fire(&Step::from_events([a])).expect("fires");
+                        c.fire(&Step::from_events([b])).expect("fires");
+                    }
+                });
+            }
+        });
+        // two automaton states, no matter how many workers visited them
+        assert_eq!(program.cached_formula_count(), 2);
+    }
+}

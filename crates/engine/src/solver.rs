@@ -10,11 +10,12 @@
 //!
 //! The conjunction is represented as a *slice of per-constraint
 //! formulas* rather than one materialised `And` node: that is what lets
-//! [`CompiledSpec`](crate::CompiledSpec) cache each constraint's lowered
-//! formula independently and hand the solver the cached slice with zero
-//! per-query lowering work.
+//! a [`Program`](crate::Program) cache each constraint's lowered
+//! formula independently and hand the solver a
+//! [`Cursor`](crate::Cursor)'s cached slice with zero per-query
+//! lowering work.
 
-use moccml_kernel::{EventId, Specification, Step, StepFormula, Ternary};
+use moccml_kernel::{EventId, Step, StepFormula, Ternary};
 
 /// Options controlling the step enumeration.
 #[derive(Debug, Clone)]
@@ -58,10 +59,9 @@ impl SolverOptions {
 
 /// Enumerates the models of a conjunction of formulas over `events`.
 ///
-/// This is the shared core of the compiled and the legacy paths: the
-/// caller owns the lowering (once, in [`CompiledSpec`](crate::CompiledSpec),
-/// or per call, in the deprecated [`acceptable_steps`] shim) and the
-/// solver only searches. The result is sorted by the `Ord` on [`Step`].
+/// The caller owns the lowering (once per reached constraint state, in
+/// the [`Program`](crate::Program) memo) and the solver only searches.
+/// The result is sorted by the `Ord` on [`Step`].
 pub(crate) fn enumerate_steps(
     formulas: &[&StepFormula],
     events: &[EventId],
@@ -80,43 +80,6 @@ pub(crate) fn enumerate_steps(
     }
     out.sort();
     out
-}
-
-/// Enumerates every acceptable step of `spec` in its current state.
-///
-/// A step is acceptable iff it satisfies the conjunction of all
-/// constraints' current formulas. Steps range over the constrained
-/// events only; the result is sorted (by the `Ord` on [`Step`]) so the
-/// output is deterministic.
-///
-/// This free function re-lowers every constraint formula on each call;
-/// it is kept as a migration shim for one release. Compile the
-/// specification once instead:
-///
-/// ```
-/// # #![allow(deprecated)]
-/// use moccml_ccsl::Exclusion;
-/// use moccml_engine::{CompiledSpec, SolverOptions};
-/// use moccml_kernel::{Specification, Universe};
-/// let mut u = Universe::new();
-/// let (a, b) = (u.event("a"), u.event("b"));
-/// let mut spec = Specification::new("x", u);
-/// spec.add_constraint(Box::new(Exclusion::new("a#b", [a, b])));
-/// let compiled = CompiledSpec::new(spec);
-/// let steps = compiled.acceptable_steps(&SolverOptions::default());
-/// assert_eq!(steps.len(), 2); // {a} and {b}, not {a,b}
-/// ```
-#[must_use]
-#[deprecated(
-    since = "0.2.0",
-    note = "re-lowers every constraint formula per call; build a `CompiledSpec` \
-            (or an `Engine` session) once and query it instead"
-)]
-pub fn acceptable_steps(spec: &Specification, options: &SolverOptions) -> Vec<Step> {
-    let formulas = spec.lowered_formulas();
-    let refs: Vec<&StepFormula> = formulas.iter().collect();
-    let events: Vec<EventId> = spec.constrained_events().iter().collect();
-    enumerate_steps(&refs, &events, options)
 }
 
 /// Three-valued evaluation of the conjunction: `False` as soon as one
@@ -197,9 +160,9 @@ fn naive_search(formulas: &[&StepFormula], events: &[EventId], out: &mut Vec<Ste
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::compiled::CompiledSpec;
+    use crate::program::Program;
     use moccml_ccsl::{Coincidence, Exclusion, Precedence, SubClock};
-    use moccml_kernel::Universe;
+    use moccml_kernel::{Specification, Universe};
 
     fn three_events() -> (Specification, EventId, EventId, EventId) {
         let mut u = Universe::new();
@@ -211,7 +174,7 @@ mod tests {
     }
 
     fn steps(spec: &Specification, options: &SolverOptions) -> Vec<Step> {
-        CompiledSpec::compile(spec).acceptable_steps(options)
+        Program::compile(spec).cursor().acceptable_steps(options)
     }
 
     #[test]
@@ -266,11 +229,11 @@ mod tests {
     fn stateful_constraint_changes_answers_after_fire() {
         let (mut spec, a, b, _) = three_events();
         spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
-        let mut compiled = CompiledSpec::new(spec);
-        let before = compiled.acceptable_steps(&SolverOptions::default());
+        let mut cursor = Program::new(spec).cursor();
+        let before = cursor.acceptable_steps(&SolverOptions::default());
         assert_eq!(before, vec![Step::from_events([a])]);
-        compiled.fire(&Step::from_events([a])).expect("fires");
-        let after = compiled.acceptable_steps(&SolverOptions::default());
+        cursor.fire(&Step::from_events([a])).expect("fires");
+        let after = cursor.acceptable_steps(&SolverOptions::default());
         // now b alone, a alone, or both are acceptable
         assert_eq!(after.len(), 3);
     }
@@ -288,8 +251,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_shim_matches_compiled_path() {
+    fn enumeration_is_stable_across_fresh_compiles() {
         let (mut spec, a, b, c) = three_events();
         spec.add_constraint(Box::new(SubClock::new("a⊆b", a, b)));
         spec.add_constraint(Box::new(Precedence::strict("b<c", b, c)));
@@ -299,9 +261,9 @@ mod tests {
             SolverOptions::default().with_empty(true),
         ] {
             assert_eq!(
-                acceptable_steps(&spec, &options),
                 steps(&spec, &options),
-                "shim and compiled path must agree"
+                steps(&spec, &options),
+                "two compiles of one spec must enumerate identically"
             );
         }
     }

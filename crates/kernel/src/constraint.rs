@@ -109,7 +109,13 @@ impl FromIterator<i64> for StateKey {
 /// step in which none of those events occur is acceptable and leaves the
 /// state unchanged (*stuttering*: a constraint never restricts events it
 /// does not know about).
-pub trait Constraint: fmt::Debug + Send {
+///
+/// Constraints are `Send + Sync`: all mutation goes through `&mut self`
+/// (`fire`/`restore`/`reset`), never interior mutability. This is what
+/// lets the engine share one immutable compiled
+/// `Program` — including the template specification — across the worker
+/// threads of the parallel state-space explorer.
+pub trait Constraint: fmt::Debug + Send + Sync {
     /// Human-readable instance name (used in traces and diagnostics).
     fn name(&self) -> &str;
 

@@ -101,9 +101,10 @@ impl Specification {
     ///
     /// A step satisfies [`conjunction`](Specification::conjunction) iff
     /// it satisfies every formula of this vector — the engine's
-    /// `CompiledSpec` caches these per constraint (keyed by the local
-    /// [`state_key`](Constraint::state_key)) so the lowering happens
-    /// once per reached constraint state instead of once per query.
+    /// compiled `Program` memoises these per constraint (keyed by the
+    /// local [`state_key`](Constraint::state_key)) so the lowering
+    /// happens once per reached constraint state instead of once per
+    /// query, shared across all of its cursors.
     #[must_use]
     pub fn lowered_formulas(&self) -> Vec<StepFormula> {
         self.constraints

@@ -141,6 +141,35 @@ impl Step {
         Step { words }
     }
 
+    /// Set difference: the events of `self` that do not occur in
+    /// `other`.
+    #[must_use]
+    pub fn difference(&self, other: &Step) -> Step {
+        let words: Vec<u64> = self
+            .words
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| a & !other.words.get(i).copied().unwrap_or(0))
+            .collect();
+        let mut s = Step { words };
+        s.normalize();
+        s
+    }
+
+    /// Symmetric difference: the events occurring in exactly one of
+    /// `self` and `other`.
+    #[must_use]
+    pub fn symmetric_difference(&self, other: &Step) -> Step {
+        let mut words = vec![0; self.words.len().max(other.words.len())];
+        for (i, slot) in words.iter_mut().enumerate() {
+            *slot =
+                self.words.get(i).copied().unwrap_or(0) ^ other.words.get(i).copied().unwrap_or(0);
+        }
+        let mut s = Step { words };
+        s.normalize();
+        s
+    }
+
     /// Renders the step with event names from `universe`, e.g. `{a, b}`.
     #[must_use]
     pub fn display(&self, universe: &crate::Universe) -> String {
@@ -255,6 +284,38 @@ mod tests {
         let b = Step::from_events(ids(&[2, 3]));
         assert_eq!(a.union(&b), Step::from_events(ids(&[1, 2, 3])));
         assert_eq!(a.intersection(&b), Step::from_events(ids(&[2])));
+    }
+
+    #[test]
+    fn difference_and_symmetric_difference() {
+        let a = Step::from_events(ids(&[1, 2, 65]));
+        let b = Step::from_events(ids(&[2, 3]));
+        assert_eq!(a.difference(&b), Step::from_events(ids(&[1, 65])));
+        assert_eq!(b.difference(&a), Step::from_events(ids(&[3])));
+        assert_eq!(
+            a.symmetric_difference(&b),
+            Step::from_events(ids(&[1, 3, 65]))
+        );
+        assert_eq!(a.symmetric_difference(&a), Step::new());
+        assert_eq!(a.difference(&Step::new()), a);
+        assert_eq!(Step::new().difference(&a), Step::new());
+    }
+
+    #[test]
+    fn difference_normalizes_trailing_zero_words() {
+        // removing the only high event must not leave a trailing zero
+        // word that breaks Eq/Hash — the same normalization guarantee as
+        // union/intersection
+        let a = Step::from_events(ids(&[1, 200]));
+        let high = Step::from_events(ids(&[200]));
+        assert_eq!(a.difference(&high), Step::from_events(ids(&[1])));
+        assert_eq!(a.symmetric_difference(&high), Step::from_events(ids(&[1])));
+        let long = Step::from_events(ids(&[1, 200]));
+        assert_eq!(
+            long.symmetric_difference(&Step::from_events(ids(&[200])))
+                .len(),
+            1
+        );
     }
 
     #[test]

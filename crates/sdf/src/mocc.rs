@@ -252,16 +252,16 @@ pub fn build_specification_with(
 mod tests {
     use super::*;
     use moccml_engine::{
-        CompiledSpec, ExploreOptions, Lexicographic, Simulator, SolverOptions, StateSpace,
+        ExploreOptions, Lexicographic, Program, Simulator, SolverOptions, StateSpace,
     };
     use moccml_kernel::{Specification, Step};
 
     fn acceptable_steps(spec: &Specification, options: &SolverOptions) -> Vec<Step> {
-        CompiledSpec::compile(spec).acceptable_steps(options)
+        Program::compile(spec).cursor().acceptable_steps(options)
     }
 
     fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
-        CompiledSpec::compile(spec).explore(options)
+        Program::compile(spec).explore(options)
     }
 
     fn producer_consumer(capacity: u32, delay: u32) -> SdfGraph {

@@ -187,12 +187,12 @@ pub fn weave_specification(
 mod tests {
     use super::*;
     use crate::mocc::build_specification_with;
-    use moccml_engine::{CompiledSpec, SolverOptions};
+    use moccml_engine::{Program, SolverOptions};
     use moccml_kernel::Step;
     use std::collections::BTreeSet;
 
     fn acceptable_steps(spec: &Specification, options: &SolverOptions) -> Vec<Step> {
-        CompiledSpec::compile(spec).acceptable_steps(options)
+        Program::compile(spec).cursor().acceptable_steps(options)
     }
 
     fn pc_graph() -> SdfGraph {

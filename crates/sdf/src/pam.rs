@@ -132,12 +132,12 @@ mod tests {
     use super::*;
     use crate::analysis::repetition_vector;
     use moccml_engine::{
-        CompiledSpec, ExploreOptions, MaxParallel, SafeMaxParallel, Simulator, StateSpace,
+        ExploreOptions, MaxParallel, Program, SafeMaxParallel, Simulator, StateSpace,
     };
     use moccml_kernel::Specification;
 
     fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
-        CompiledSpec::compile(spec).explore(options)
+        Program::compile(spec).explore(options)
     }
 
     #[test]

@@ -332,11 +332,11 @@ pub fn deploy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use moccml_engine::{CompiledSpec, ExploreOptions, MaxParallel, Simulator, StateSpace};
+    use moccml_engine::{ExploreOptions, MaxParallel, Program, Simulator, StateSpace};
     use moccml_kernel::{Specification, Universe};
 
     fn explore(spec: &Specification, options: &ExploreOptions) -> StateSpace {
-        CompiledSpec::compile(spec).explore(options)
+        Program::compile(spec).explore(options)
     }
 
     fn two_agent_graph() -> SdfGraph {

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run -p moccml-bench --example exploration`
 
-use moccml_engine::{CompiledSpec, ExploreOptions};
+use moccml_engine::{ExploreOptions, Program};
 use moccml_sdf::mocc::build_specification;
 use moccml_sdf::SdfGraph;
 
@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("cap 2, delay 2", 2, 2),
     ] {
         let spec = build_specification(&ring(capacity, delay))?;
-        let space = CompiledSpec::new(spec).explore(&ExploreOptions::default());
+        let space = Program::new(spec).explore(&ExploreOptions::default());
         println!(
             "{label:<24} {:>7} {:>12} {:>10} {:>16}",
             space.state_count(),

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run -p moccml-bench --example pam_deployment`
 
-use moccml_engine::{CompiledSpec, Engine, ExploreOptions, SafeMaxParallel};
+use moccml_engine::{Engine, ExploreOptions, Program, SafeMaxParallel};
 use moccml_sdf::pam;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "configuration", "states", "transitions", "deadlocks", "max ∥"
     );
     for (name, spec) in &configs {
-        let stats = CompiledSpec::compile(spec)
+        let stats = Program::compile(spec)
             .explore(&ExploreOptions::default())
             .stats();
         println!(

@@ -16,9 +16,10 @@
 //! * [`ccsl`] — the declarative CCSL relation/expression library;
 //! * [`metamodel`] — MOF-lite metamodels, models and the ECL-style
 //!   mapping that weaves constraints over a model;
-//! * [`engine`] — the generic execution engine: compiled
-//!   specifications, `Engine` sessions with pluggable policies and
-//!   streaming observers, exhaustive explorer;
+//! * [`engine`] — the generic execution engine: immutable compiled
+//!   [`engine::Program`]s with cheap per-worker [`engine::Cursor`]s,
+//!   `Engine` sessions with pluggable policies and streaming
+//!   observers, and a deterministic parallel explorer;
 //! * [`sdf`] — the paper's illustrative DSL (SigPML/SDF) and the PAM
 //!   case study.
 //!
@@ -52,9 +53,12 @@
 //! assert_eq!(metrics.snapshot().steps, 4);
 //! ```
 //!
-//! (The 0.1 free functions `engine::acceptable_steps` / `engine::explore`
-//! remain as `#[deprecated]` shims for one release; see the migration
-//! note in [`engine`].)
+//! Exploration runs breadth first across
+//! [`engine::ExploreOptions::workers`] threads and is **deterministic**:
+//! the resulting state-space is byte-identical for every worker count.
+//! (The 0.1 free functions `engine::acceptable_steps` /
+//! `engine::explore(&spec, ..)` completed their one-release deprecation
+//! and are gone; see the migration note in [`engine`].)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -2,7 +2,7 @@
 //! checking global SDF invariants along whole runs.
 
 use moccml_engine::{
-    CompiledSpec, ExploreOptions, Lexicographic, MaxParallel, MinSerial, Policy, Random,
+    ExploreOptions, Lexicographic, MaxParallel, MinSerial, Policy, Program, Random,
     SafeMaxParallel, Simulator,
 };
 use moccml_sdf::analysis::repetition_vector;
@@ -138,8 +138,8 @@ fn multiport_exploration_contains_standard() {
     g.connect("p", "c", 1, 1, 2, 1).expect("valid");
     let std_spec = build_specification_with(&g, MoccVariant::Standard).expect("builds");
     let mp_spec = build_specification_with(&g, MoccVariant::Multiport).expect("builds");
-    let std_space = CompiledSpec::new(std_spec).explore(&ExploreOptions::default());
-    let mp_space = CompiledSpec::new(mp_spec).explore(&ExploreOptions::default());
+    let std_space = Program::new(std_spec).explore(&ExploreOptions::default());
+    let mp_space = Program::new(mp_spec).explore(&ExploreOptions::default());
     assert!(mp_space.transition_count() > std_space.transition_count());
     assert!(mp_space.count_schedules(5) > std_space.count_schedules(5));
     assert_eq!(std_space.deadlocks().len(), 0);

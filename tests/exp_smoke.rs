@@ -5,7 +5,7 @@
 
 use moccml_bench::experiments::{e1_place, e2_spec, e3_graph, e4_graph, e5_graph, e6_configs};
 use moccml_bench::harness::measure;
-use moccml_engine::{CompiledSpec, SafeMaxParallel, Simulator, SolverOptions};
+use moccml_engine::{Program, SafeMaxParallel, Simulator, SolverOptions};
 use moccml_kernel::{Constraint, Step};
 use moccml_sdf::analysis::repetition_vector;
 use moccml_sdf::mocc::{build_specification, build_specification_with, MoccVariant};
@@ -45,7 +45,8 @@ fn e4_graph_admits_both_variants() {
     for variant in [MoccVariant::Standard, MoccVariant::Multiport] {
         let spec = build_specification_with(&g, variant).expect("builds");
         assert!(
-            !CompiledSpec::new(spec)
+            !Program::new(spec)
+                .cursor()
                 .acceptable_steps(&SolverOptions::default())
                 .is_empty(),
             "{variant:?} must offer at least one step"
@@ -77,7 +78,7 @@ fn harness_measures_an_engine_workload() {
     // the bench harness itself is part of the experiment path: one
     // tiny end-to-end measurement through the shared reporting types.
     let (spec, _) = e2_spec(2);
-    let compiled = CompiledSpec::new(spec);
+    let compiled = Program::new(spec).cursor();
     let record = measure("smoke", 1, 3, || {
         compiled.acceptable_steps(&SolverOptions::default().with_empty(true))
     });

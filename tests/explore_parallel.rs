@@ -1,0 +1,182 @@
+//! Property-based determinism of the parallel state-space explorer:
+//! `explore` with workers ∈ {1, 2, 8} must build **identical**
+//! `StateSpace`s — same interned states in the same order, same
+//! transitions, same deadlocks, same truncation flag — on random CCSL
+//! specifications, including runs truncated by `max_states`.
+//!
+//! This is the contract the canonicalization pass of the explorer
+//! promises: worker threads only change *who expands* a frontier
+//! state, never the order in which discoveries are absorbed.
+//!
+//! Runs ≥64 cases per property on the deterministic in-repo
+//! `moccml-testkit` harness; failures report a replayable case seed.
+
+use moccml_ccsl::{Alternation, Coincidence, Exclusion, Precedence, SubClock, Union};
+use moccml_engine::{ExploreOptions, Program, StateSpace};
+use moccml_kernel::{Constraint, EventId, Specification, Universe};
+use moccml_testkit::{cases, prop_assert, prop_assert_eq, TestRng};
+
+const CASES: usize = 72; // ISSUE 3 requires ≥ 64
+const WORKERS: [usize; 3] = [1, 2, 8];
+
+/// A recipe for one random constraint over a small event universe.
+/// Bounded precedences and alternations are weighted up: they are the
+/// stateful constraints that grow multi-level BFS frontiers.
+#[derive(Debug, Clone)]
+enum Recipe {
+    Sub(u8, u8),
+    Excl(u8, u8, u8),
+    Coinc(u8, u8),
+    Prec(u8, u8, u8),
+    Union(u8, u8, u8),
+    Alt(u8, u8),
+}
+
+fn random_recipe(rng: &mut TestRng) -> Recipe {
+    match rng.u8_in(0..8) {
+        0 => Recipe::Sub(rng.u8_in(0..5), rng.u8_in(0..5)),
+        1 => Recipe::Excl(rng.u8_in(0..5), rng.u8_in(0..5), rng.u8_in(0..5)),
+        2 => Recipe::Coinc(rng.u8_in(0..5), rng.u8_in(0..5)),
+        3 | 4 => Recipe::Prec(rng.u8_in(0..5), rng.u8_in(0..5), rng.u8_in(1..5)),
+        5 => Recipe::Union(rng.u8_in(0..5), rng.u8_in(0..5), rng.u8_in(0..5)),
+        _ => Recipe::Alt(rng.u8_in(0..5), rng.u8_in(0..5)),
+    }
+}
+
+fn build(recipes: &[Recipe]) -> Specification {
+    let mut u = Universe::new();
+    let events: Vec<EventId> = (0..5).map(|i| u.event(&format!("e{i}"))).collect();
+    let mut spec = Specification::new("random", u);
+    for (i, r) in recipes.iter().enumerate() {
+        let name = format!("c{i}");
+        let c: Option<Box<dyn Constraint>> = match *r {
+            Recipe::Sub(a, b) if a != b => Some(Box::new(SubClock::new(
+                &name,
+                events[a as usize],
+                events[b as usize],
+            ))),
+            Recipe::Excl(a, b, c2) if a != b && b != c2 && a != c2 => {
+                Some(Box::new(Exclusion::new(
+                    &name,
+                    [events[a as usize], events[b as usize], events[c2 as usize]],
+                )))
+            }
+            Recipe::Coinc(a, b) if a != b => Some(Box::new(Coincidence::new(
+                &name,
+                events[a as usize],
+                events[b as usize],
+            ))),
+            Recipe::Prec(a, b, k) if a != b => Some(Box::new(
+                Precedence::strict(&name, events[a as usize], events[b as usize])
+                    .with_bound(u64::from(k)),
+            )),
+            Recipe::Union(a, b, c2) if a != b && a != c2 => Some(Box::new(Union::new(
+                &name,
+                events[a as usize],
+                [events[b as usize], events[c2 as usize]],
+            ))),
+            Recipe::Alt(a, b) if a != b => Some(Box::new(Alternation::new(
+                &name,
+                events[a as usize],
+                events[b as usize],
+            ))),
+            _ => None, // degenerate draws are skipped
+        };
+        if let Some(c) = c {
+            spec.add_constraint(c);
+        }
+    }
+    spec
+}
+
+/// Field-by-field identity check with readable failure messages (the
+/// `PartialEq` on `StateSpace` covers the same surface; spelling the
+/// fields out pinpoints *what* diverged on a failing seed).
+fn assert_identical(serial: &StateSpace, parallel: &StateSpace, ctx: &str) -> Result<(), String> {
+    prop_assert_eq!(serial.states(), parallel.states(), "states: {ctx}");
+    prop_assert_eq!(
+        serial.transitions(),
+        parallel.transitions(),
+        "transitions: {ctx}"
+    );
+    prop_assert_eq!(serial.deadlocks(), parallel.deadlocks(), "deadlocks: {ctx}");
+    prop_assert_eq!(serial.initial(), parallel.initial(), "initial: {ctx}");
+    prop_assert_eq!(serial.truncated(), parallel.truncated(), "truncated: {ctx}");
+    prop_assert!(serial == parallel, "PartialEq must agree: {ctx}");
+    Ok(())
+}
+
+/// Full (untruncated-where-finite) exploration is identical for every
+/// worker count.
+#[test]
+fn worker_counts_build_identical_spaces() {
+    cases(CASES).run("worker_counts_build_identical_spaces", |rng| {
+        let recipes = rng.vec_of(1..5, random_recipe);
+        let spec = build(&recipes);
+        let program = Program::compile(&spec);
+        // bounded so that pathological draws stay fast; most cases
+        // finish untruncated
+        let base = ExploreOptions::default().with_max_states(3_000);
+        let serial = program.explore(&base.clone().with_workers(WORKERS[0]));
+        for &workers in &WORKERS[1..] {
+            let parallel = program.explore(&base.clone().with_workers(workers));
+            assert_identical(
+                &serial,
+                &parallel,
+                &format!("workers={workers}, recipes {recipes:?}"),
+            )?;
+        }
+        Ok(())
+    });
+}
+
+/// `max_states`-truncated exploration — where *which* states get
+/// interned depends on the exact discovery order — is also identical
+/// for every worker count.
+#[test]
+fn worker_counts_agree_under_max_states_truncation() {
+    cases(CASES).run("worker_counts_agree_under_max_states_truncation", |rng| {
+        let recipes = rng.vec_of(2..6, random_recipe);
+        let spec = build(&recipes);
+        let program = Program::compile(&spec);
+        // a tight random bound forces truncation on any non-trivial
+        // space, right where interning order matters most
+        let max_states = rng.usize_in(1..25);
+        let base = ExploreOptions::default().with_max_states(max_states);
+        let serial = program.explore(&base.clone().with_workers(WORKERS[0]));
+        prop_assert!(serial.state_count() <= max_states);
+        for &workers in &WORKERS[1..] {
+            let parallel = program.explore(&base.clone().with_workers(workers));
+            assert_identical(
+                &serial,
+                &parallel,
+                &format!("workers={workers}, max_states={max_states}, recipes {recipes:?}"),
+            )?;
+        }
+        Ok(())
+    });
+}
+
+/// Depth-bounded exploration agrees too (the other truncation path).
+#[test]
+fn worker_counts_agree_under_depth_truncation() {
+    cases(CASES).run("worker_counts_agree_under_depth_truncation", |rng| {
+        let recipes = rng.vec_of(2..6, random_recipe);
+        let spec = build(&recipes);
+        let program = Program::compile(&spec);
+        let max_depth = rng.usize_in(0..6);
+        let base = ExploreOptions::default()
+            .with_max_states(3_000)
+            .with_max_depth(max_depth);
+        let serial = program.explore(&base.clone().with_workers(WORKERS[0]));
+        for &workers in &WORKERS[1..] {
+            let parallel = program.explore(&base.clone().with_workers(workers));
+            assert_identical(
+                &serial,
+                &parallel,
+                &format!("workers={workers}, max_depth={max_depth}, recipes {recipes:?}"),
+            )?;
+        }
+        Ok(())
+    });
+}

@@ -5,14 +5,19 @@
 //! The reference below reimplements the seed algorithm verbatim —
 //! sort candidates by descending size (stable), fire each on a cloned
 //! specification, take the first whose successor still admits a step,
-//! fall back to the largest — against the deprecated solver entry
-//! point, which this test is sanctioned to call (it *is* the baseline).
-#![allow(deprecated)]
+//! fall back to the largest — enumerating with a throwaway
+//! recompile-per-query program, exactly what the seed's (since removed)
+//! free-function solver did.
 
-use moccml_engine::{acceptable_steps, SafeMaxParallel, Simulator, SolverOptions};
+use moccml_engine::{Program, SafeMaxParallel, Simulator, SolverOptions};
 use moccml_kernel::{Schedule, Specification, Step};
 use moccml_sdf::mocc::build_specification;
 use moccml_sdf::{pam, SdfGraph};
+
+/// The seed's solver entry point: re-lower every formula, enumerate.
+fn acceptable_steps(spec: &Specification, options: &SolverOptions) -> Vec<Step> {
+    Program::compile(spec).cursor().acceptable_steps(options)
+}
 
 /// The seed's `Policy::SafeMaxParallel` step choice, clone-based.
 fn reference_safe_max_step(spec: &mut Specification, options: &SolverOptions) -> Option<Step> {

@@ -7,7 +7,7 @@
 //! report a replayable case seed.
 
 use moccml_ccsl::{Coincidence, Exclusion, Precedence, SubClock, Union};
-use moccml_engine::{CompiledSpec, Random, Simulator, SolverOptions};
+use moccml_engine::{Program, Random, Simulator, SolverOptions};
 use moccml_kernel::{Constraint, EventId, Specification, Universe};
 use moccml_testkit::{cases, prop_assert, prop_assert_eq, TestRng};
 
@@ -80,7 +80,7 @@ fn build(recipes: &[Recipe]) -> Specification {
 fn pruned_equals_naive_initially() {
     cases(CASES).run("pruned_equals_naive_initially", |rng| {
         let recipes = rng.vec_of(1..6, random_recipe);
-        let compiled = CompiledSpec::new(build(&recipes));
+        let compiled = Program::new(build(&recipes)).cursor();
         let pruned = compiled.acceptable_steps(&SolverOptions::default());
         let naive = compiled.acceptable_steps(&SolverOptions::naive());
         prop_assert_eq!(pruned, naive, "recipes: {recipes:?}");
@@ -100,7 +100,7 @@ fn pruned_equals_naive_along_runs() {
             if sim.step().is_none() {
                 break;
             }
-            let compiled = sim.engine().compiled();
+            let compiled = sim.engine().cursor();
             let pruned = compiled.acceptable_steps(&SolverOptions::default());
             let naive = compiled.acceptable_steps(&SolverOptions::naive());
             prop_assert_eq!(pruned, naive, "recipes: {recipes:?}");
@@ -117,7 +117,10 @@ fn enumerated_steps_are_accepted() {
         let recipes = rng.vec_of(1..6, random_recipe);
         let spec = build(&recipes);
         let formula = spec.conjunction();
-        for step in CompiledSpec::compile(&spec).acceptable_steps(&SolverOptions::default()) {
+        for step in Program::compile(&spec)
+            .cursor()
+            .acceptable_steps(&SolverOptions::default())
+        {
             prop_assert!(formula.eval(&step));
             prop_assert!(spec.accepts(&step));
         }

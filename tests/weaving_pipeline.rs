@@ -7,7 +7,7 @@
 //! in-repo `moccml-testkit` harness at 32 cases per property; failures
 //! report a replayable case seed.
 
-use moccml_engine::{CompiledSpec, SolverOptions};
+use moccml_engine::{Program, SolverOptions};
 use moccml_kernel::{Specification, Step};
 use moccml_sdf::mocc::{build_specification_with, MoccVariant};
 use moccml_sdf::model_bridge::weave_specification;
@@ -53,7 +53,8 @@ fn step_names(spec: &Specification, step: &Step) -> BTreeSet<String> {
 }
 
 fn acceptable_names(spec: &Specification) -> BTreeSet<BTreeSet<String>> {
-    CompiledSpec::compile(spec)
+    Program::compile(spec)
+        .cursor()
         .acceptable_steps(&SolverOptions::default())
         .iter()
         .map(|s| step_names(spec, s))
@@ -72,8 +73,9 @@ fn woven_equals_native_along_runs() {
             weave_specification(&graph, MoccVariant::Standard).expect("pipeline weaves");
         prop_assert_eq!(native.constraint_count(), woven.constraint_count());
         for _ in 0..6 {
-            let native_steps =
-                CompiledSpec::compile(&native).acceptable_steps(&SolverOptions::default());
+            let native_steps = Program::compile(&native)
+                .cursor()
+                .acceptable_steps(&SolverOptions::default());
             prop_assert_eq!(
                 acceptable_names(&native),
                 acceptable_names(&woven),
