@@ -12,20 +12,10 @@
 //! * `--max-states N` — exploration bound (default 200 000).
 
 use moccml_bench::experiments::{
-    e6_configs, explore_stats_with, stats_cells, table_header, table_row,
+    e6_configs, explore_stats_with, parse_flag, stats_cells, table_header, table_row,
 };
 use moccml_engine::{ExploreOptions, MaxParallel, SafeMaxParallel, Simulator};
 use moccml_sdf::pam;
-
-fn parse_flag(args: &[String], flag: &str) -> Option<usize> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(|v| {
-            v.parse()
-                .unwrap_or_else(|_| panic!("{flag} expects a positive integer, got '{v}'"))
-        })
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

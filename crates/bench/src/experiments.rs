@@ -6,9 +6,10 @@
 //! parameterised so tests can exercise it at tiny sizes.
 
 use moccml_automata::AutomatonInstance;
-use moccml_engine::{ExploreOptions, Program, StateSpaceStats};
-use moccml_kernel::{EventId, Specification, Universe};
+use moccml_engine::{ExploreOptions, Program, SafeMaxParallel, Simulator, StateSpaceStats};
+use moccml_kernel::{EventId, Schedule, Specification, StepPred, Universe};
 use moccml_sdf::{pam, SdfGraph};
+use moccml_verify::Prop;
 
 pub use crate::report::{table_header, table_row};
 
@@ -120,6 +121,62 @@ pub fn e6_configs() -> Vec<(String, Specification)> {
         ));
     }
     v
+}
+
+/// E7 — the seeded violating verification workload: the quad-core PAM
+/// deployment plus a safety property it violates ("the detector never
+/// starts"). The shortest counterexample needs the whole pipeline to
+/// flow (hydro → filter → fusion → detect), so the violation sits deep
+/// enough that on-the-fly early stop visits strictly fewer states than
+/// a full exploration — the `BENCH_verify.json` claim.
+///
+/// # Panics
+///
+/// Panics if the embedded PAM models fail to build — a seed-data bug.
+#[must_use]
+pub fn e7_violating_pam() -> (Specification, Prop) {
+    let (platform, deployment) = pam::deployment_quad_core();
+    let spec = pam::deployed(&platform, &deployment).expect("deploys");
+    let detect_start = spec
+        .universe()
+        .lookup("detect.start")
+        .expect("PAM detector event");
+    (spec, Prop::Never(StepPred::fired(detect_start)))
+}
+
+/// E7 — a conforming reference trace for the conformance-checking
+/// bench: `steps` steps of the quad-core PAM deployment under the
+/// deadlock-avoiding policy.
+///
+/// # Panics
+///
+/// Panics if the embedded PAM models fail to build or the simulation
+/// wedges — both seed-data bugs.
+#[must_use]
+pub fn e7_conformance_trace(steps: usize) -> (Specification, Schedule) {
+    let (platform, deployment) = pam::deployment_quad_core();
+    let spec = pam::deployed(&platform, &deployment).expect("deploys");
+    let report = Simulator::new(spec.clone(), SafeMaxParallel).run(steps);
+    assert!(!report.deadlocked, "safe policy completes on PAM");
+    (spec, report.schedule)
+}
+
+/// Parses a `--flag N` pair from an argument list — the shared CLI
+/// convention of the `exp_*` binaries.
+///
+/// # Panics
+///
+/// Panics with a usage message if the flag's value is present but not
+/// a positive integer.
+#[must_use]
+pub fn parse_flag(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} expects a positive integer, got '{v}'"))
+        })
 }
 
 /// Explores `spec` (bounded, on the compiled path, default worker

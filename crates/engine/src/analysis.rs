@@ -108,9 +108,70 @@ pub fn dead_events(space: &StateSpace, universe: &moccml_kernel::Universe) -> Ve
     all.difference(&fired).iter().collect()
 }
 
+/// All events that are live in the explored fragment — the memoised
+/// all-events variant of [`is_event_live`], answering every event in
+/// one fixpoint instead of one full reachability scan per call.
+///
+/// An event is live iff from *every* state some state with an outgoing
+/// transition firing it stays reachable. Equivalently: the event
+/// belongs to `F(s)` for every state `s`, where `F(s)` is the set of
+/// events occurring on transitions forward-reachable from `s`. `F` is
+/// computed as one backward fixpoint over the transition graph with
+/// [`Step`] bitsets, so the cost is shared across all events of
+/// `universe` — callers that loop over events should use this instead
+/// of [`is_event_live`] per event.
+#[must_use]
+pub fn live_events(space: &StateSpace, universe: &moccml_kernel::Universe) -> Vec<EventId> {
+    let n = space.state_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    // reverse adjacency (deduplicated predecessor lists)
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut reach: Vec<Step> = vec![Step::new(); n];
+    for (src, step, dst) in space.transitions() {
+        preds[*dst].push(*src);
+        reach[*src] = reach[*src].union(step);
+    }
+    for p in &mut preds {
+        p.sort_unstable();
+        p.dedup();
+    }
+    // backward fixpoint: F(src) ⊇ F(dst) for every edge src → dst
+    let mut queue: VecDeque<usize> = (0..n).collect();
+    let mut queued = vec![true; n];
+    while let Some(state) = queue.pop_front() {
+        queued[state] = false;
+        let here = reach[state].clone();
+        for &p in &preds[state] {
+            let merged = reach[p].union(&here);
+            if merged != reach[p] {
+                reach[p] = merged;
+                if !queued[p] {
+                    queued[p] = true;
+                    queue.push_back(p);
+                }
+            }
+        }
+    }
+    // live = events in the intersection of every state's F
+    let everywhere = reach
+        .iter()
+        .skip(1)
+        .fold(reach[0].clone(), |acc, f| acc.intersection(f));
+    universe
+        .iter()
+        .filter(|e| everywhere.contains(*e))
+        .collect()
+}
+
 /// Whether every state of the explored fragment can still reach a state
 /// from which `event` fires (a weak liveness check; exact on fully
 /// explored spaces).
+///
+/// One full backward-reachability scan per call — when querying several
+/// events of one space, use [`live_events`] instead, which amortises
+/// the scan across the whole universe.
 #[must_use]
 pub fn is_event_live(space: &StateSpace, event: EventId) -> bool {
     // states with an outgoing transition firing `event`
@@ -169,6 +230,27 @@ mod tests {
         assert!(is_event_live(&space, a));
         assert!(is_event_live(&space, b));
         assert!(dead_events(&space, spec.universe()).is_empty());
+        assert_eq!(live_events(&space, spec.universe()), vec![a, b]);
+    }
+
+    #[test]
+    fn live_events_agrees_with_per_event_scans() {
+        // a wedgeable spec: some events live, some not
+        let mut u = Universe::new();
+        let (a, b, c) = (u.event("a"), u.event("b"), u.event("c"));
+        let mut spec = Specification::new("wedge", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b).with_bound(1)));
+        spec.add_constraint(Box::new(Precedence::strict("c<b", c, b)));
+        spec.add_constraint(Box::new(Precedence::strict("b<c", b, c)));
+        let space = explore(&spec, &ExploreOptions::default());
+        let live = live_events(&space, spec.universe());
+        for e in spec.universe().iter() {
+            assert_eq!(
+                live.contains(&e),
+                is_event_live(&space, e),
+                "event {e} disagrees"
+            );
+        }
     }
 
     #[test]

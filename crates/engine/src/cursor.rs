@@ -19,7 +19,7 @@
 use crate::explorer::{explore_program, ExploreOptions, StateSpace};
 use crate::program::Program;
 use crate::solver::{enumerate_steps, SolverOptions};
-use moccml_kernel::{KernelError, Specification, StateKey, Step, StepFormula};
+use moccml_kernel::{EventId, KernelError, Specification, StateKey, Step, StepFormula};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -123,6 +123,33 @@ impl Cursor {
         self.slots.iter().all(|s| s.formula.eval(step))
     }
 
+    /// Names of the constraints whose current formula rejects `step`,
+    /// in constraint order — empty iff [`accepts`](Cursor::accepts).
+    /// The conformance checker's diagnostic: *which* constraints a
+    /// recorded schedule violates at a step, not just that one does.
+    #[must_use]
+    pub fn violated_constraints(&self, step: &Step) -> Vec<String> {
+        self.slots
+            .iter()
+            .zip(self.spec.constraints())
+            .filter(|(slot, _)| !slot.formula.eval(step))
+            .map(|(_, c)| c.name().to_owned())
+            .collect()
+    }
+
+    /// Enumerates every acceptable step over an explicit `events` list
+    /// instead of the program's own constrained-event list. Events in
+    /// `events` that no constraint of *this* program mentions are free
+    /// (they may occur or not in any step); events outside `events`
+    /// never occur. The synchronized-product equivalence checker uses
+    /// this to compare two programs over the *union* of their
+    /// constrained events. Sorted by the `Ord` on [`Step`].
+    #[must_use]
+    pub fn acceptable_steps_over(&self, events: &[EventId], options: &SolverOptions) -> Vec<Step> {
+        let formulas: Vec<&StepFormula> = self.slots.iter().map(|s| s.formula.as_ref()).collect();
+        enumerate_steps(&formulas, events, options)
+    }
+
     /// Fires `step` and refreshes the slots of the constraints whose
     /// event footprints intersect it (the stuttering guarantee of the
     /// [`Constraint`](moccml_kernel::Constraint) protocol: a step that
@@ -187,7 +214,19 @@ impl Cursor {
     /// and the determinism guarantee.
     #[must_use]
     pub fn explore(&self, options: &ExploreOptions) -> StateSpace {
-        explore_program(&self.program, self.state_key(), options)
+        explore_program(&self.program, self.state_key(), options, &mut ())
+    }
+
+    /// [`explore`](Cursor::explore) with a streaming
+    /// [`ExploreVisitor`](crate::ExploreVisitor) — see
+    /// [`Program::explore_with`].
+    #[must_use]
+    pub fn explore_with(
+        &self,
+        options: &ExploreOptions,
+        visitor: &mut dyn crate::ExploreVisitor,
+    ) -> StateSpace {
+        explore_program(&self.program, self.state_key(), options, visitor)
     }
 
     /// Re-syncs every slot against the constraint's actual local state.

@@ -78,6 +78,70 @@ impl Default for ExploreOptions {
     }
 }
 
+/// Flow control returned by [`ExploreVisitor::on_level_end`]: keep
+/// exploring, or stop at this level barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VisitControl {
+    /// Continue with the next BFS level.
+    Continue,
+    /// Stop the exploration at this level barrier. The returned
+    /// [`StateSpace`] contains everything absorbed so far and is marked
+    /// [`truncated`](StateSpace::truncated) iff unexplored frontier
+    /// states remain.
+    Stop,
+}
+
+/// Streaming hook into the explorer's canonicalization pass — the
+/// on-the-fly half of `explore`.
+///
+/// Callbacks fire *inside the level barrier*, in the canonical
+/// absorption order (source frontier order, then step rank), which is
+/// identical for every [`ExploreOptions::workers`] count. A visitor
+/// therefore observes the exact same call sequence — and can stop at
+/// the exact same level — whether the expansion ran on one thread or
+/// eight. This is what lets `moccml-verify` evaluate property monitors
+/// during BFS and terminate deterministically at the first violating
+/// level instead of materialising the full space.
+///
+/// All methods have no-op defaults; `()` implements the trait as the
+/// always-continue visitor.
+pub trait ExploreVisitor {
+    /// A transition `(source, step, target)` was just recorded while
+    /// absorbing level `depth`. Target states of fresh keys are
+    /// announced here with their newly interned index.
+    fn on_transition(&mut self, source: usize, step: &Step, target: usize, depth: usize) {
+        let _ = (source, step, target, depth);
+    }
+
+    /// Frontier state `state` (expanded at level `depth`) has no
+    /// outgoing non-empty step.
+    fn on_deadlock(&mut self, state: usize, depth: usize) {
+        let _ = (state, depth);
+    }
+
+    /// The [`max_states`](ExploreOptions::max_states) bound just
+    /// dropped a freshly discovered successor (and its transition)
+    /// while absorbing level `depth`. From this point on the visitor
+    /// sees an *incomplete* transition relation: "nothing reachable"
+    /// conclusions drawn from the absorbed graph are no longer sound,
+    /// while every positively observed path remains real.
+    fn on_states_dropped(&mut self, depth: usize) {
+        let _ = depth;
+    }
+
+    /// Level `depth` was fully absorbed; `state_count` states are
+    /// interned so far. Returning [`VisitControl::Stop`] ends the
+    /// exploration at this barrier — deterministically, because the
+    /// barrier sequence itself is worker-count-independent.
+    fn on_level_end(&mut self, depth: usize, state_count: usize) -> VisitControl {
+        let _ = (depth, state_count);
+        VisitControl::Continue
+    }
+}
+
+/// The always-continue visitor: plain exploration.
+impl ExploreVisitor for () {}
+
 impl ExploreOptions {
     /// Bounds the number of states (builder style).
     #[must_use]
@@ -377,6 +441,7 @@ fn explore_with(
     root: StateKey,
     options: &ExploreOptions,
     index: &ShardedIndex,
+    visitor: &mut dyn ExploreVisitor,
     mut expand_level: impl FnMut(Vec<(usize, StateKey)>, &ShardedIndex) -> Vec<Expansion>,
 ) -> StateSpace {
     let mut states = vec![root.clone()];
@@ -404,6 +469,7 @@ fn explore_with(
             let source = frontier[expansion.order];
             if expansion.deadlock {
                 deadlocks.push(source);
+                visitor.on_deadlock(source, depth);
                 continue;
             }
             for (step, target) in expansion.succs {
@@ -417,6 +483,7 @@ fn explore_with(
                             None => {
                                 if states.len() >= options.max_states {
                                     truncated = true;
+                                    visitor.on_states_dropped(depth);
                                     continue;
                                 }
                                 let t = states.len();
@@ -428,11 +495,19 @@ fn explore_with(
                         }
                     }
                 };
+                visitor.on_transition(source, &step, target, depth);
                 transitions.push((source, step, target));
             }
         }
+        let control = visitor.on_level_end(depth, states.len());
         frontier = next;
         depth += 1;
+        if control == VisitControl::Stop {
+            if !frontier.is_empty() {
+                truncated = true;
+            }
+            break;
+        }
     }
 
     deadlocks.sort_unstable();
@@ -454,11 +529,12 @@ fn explore_with(
 }
 
 /// BFS over `program` from `root`, serial or parallel per
-/// `options.workers`.
+/// `options.workers`, reporting every absorption to `visitor`.
 pub(crate) fn explore_program(
     program: &Program,
     root: StateKey,
     options: &ExploreOptions,
+    visitor: &mut dyn ExploreVisitor,
 ) -> StateSpace {
     // the empty step is a self-loop at every state: never enumerate it
     let solver = options.solver.clone().with_empty(false);
@@ -467,7 +543,7 @@ pub(crate) fn explore_program(
 
     if workers == 1 {
         let mut cursor = program.cursor();
-        return explore_with(root, options, &index, |jobs, index| {
+        return explore_with(root, options, &index, visitor, |jobs, index| {
             jobs.iter()
                 .map(|(order, key)| expand_state(&mut cursor, *order, key, &solver, index))
                 .collect()
@@ -490,7 +566,7 @@ pub(crate) fn explore_program(
         // the closure ignores its `&ShardedIndex` argument in favour of
         // the captured `index` — same object, but the capture carries
         // the scope-level lifetime the spawned workers need
-        let space = explore_with(root, options, index, |jobs, _| {
+        let space = explore_with(root, options, index, visitor, |jobs, _| {
             if jobs.len() < MIN_PARALLEL_FRONTIER.max(workers) {
                 return jobs
                     .iter()
@@ -786,6 +862,105 @@ mod tests {
         // the next step from the root fires b
         let (_, step, _) = space.outgoing(space.initial()).next().expect("one edge");
         assert!(step.contains(b));
+    }
+
+    /// One recorded `on_transition` callback: source, step, target,
+    /// depth.
+    type SeenTransition = (usize, Step, usize, usize);
+
+    /// Records every callback; stops after absorbing `stop_after` levels.
+    struct Recorder {
+        transitions: Vec<SeenTransition>,
+        deadlocks: Vec<(usize, usize)>,
+        levels: Vec<(usize, usize)>,
+        stop_after: usize,
+    }
+
+    impl Recorder {
+        fn new(stop_after: usize) -> Self {
+            Recorder {
+                transitions: Vec::new(),
+                deadlocks: Vec::new(),
+                levels: Vec::new(),
+                stop_after,
+            }
+        }
+    }
+
+    impl ExploreVisitor for Recorder {
+        fn on_transition(&mut self, source: usize, step: &Step, target: usize, depth: usize) {
+            self.transitions.push((source, step.clone(), target, depth));
+        }
+        fn on_deadlock(&mut self, state: usize, depth: usize) {
+            self.deadlocks.push((state, depth));
+        }
+        fn on_level_end(&mut self, depth: usize, state_count: usize) -> VisitControl {
+            self.levels.push((depth, state_count));
+            if self.levels.len() >= self.stop_after {
+                VisitControl::Stop
+            } else {
+                VisitControl::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn visitor_sees_the_whole_space_in_recorded_order() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        let program = Program::new(spec);
+        let mut recorder = Recorder::new(usize::MAX);
+        let space = program.explore_with(&ExploreOptions::default(), &mut recorder);
+        let seen: Vec<(usize, Step, usize)> = recorder
+            .transitions
+            .iter()
+            .map(|(s, st, t, _)| (*s, st.clone(), *t))
+            .collect();
+        assert_eq!(seen, space.transitions().to_vec());
+        assert!(recorder.deadlocks.is_empty());
+        // level barriers: depths strictly increasing, counts monotone
+        assert!(recorder.levels.windows(2).all(|w| w[0].0 + 1 == w[1].0));
+        assert_eq!(recorder.levels.last().unwrap().1, space.state_count());
+    }
+
+    #[test]
+    fn visitor_stop_truncates_deterministically() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("unbounded", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        let program = Program::new(spec);
+        let mut first: Option<(StateSpace, Vec<SeenTransition>)> = None;
+        for workers in [1, 2, 8] {
+            let mut recorder = Recorder::new(3);
+            let space = program.explore_with(
+                &ExploreOptions::default().with_workers(workers),
+                &mut recorder,
+            );
+            assert!(space.truncated(), "stopped with frontier remaining");
+            assert_eq!(recorder.levels.len(), 3);
+            match &first {
+                None => first = Some((space, recorder.transitions)),
+                Some((s0, t0)) => {
+                    assert_eq!(s0, &space, "workers={workers}");
+                    assert_eq!(t0, &recorder.transitions, "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn visitor_reports_deadlocks() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("dead", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        spec.add_constraint(Box::new(Precedence::strict("b<a", b, a)));
+        let mut recorder = Recorder::new(usize::MAX);
+        let _ = Program::new(spec).explore_with(&ExploreOptions::default(), &mut recorder);
+        assert_eq!(recorder.deadlocks, vec![(0, 0)]);
     }
 
     #[test]

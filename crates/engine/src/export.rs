@@ -65,13 +65,22 @@ pub fn schedule_to_vcd(schedule: &Schedule, universe: &Universe, module: &str) -
     out
 }
 
+/// Escapes a string for use inside a double-quoted DOT string: quotes
+/// and backslashes would otherwise terminate the label (or smuggle
+/// Graphviz escapes) and produce an invalid or misleading graph.
+fn escape_dot(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 /// Renders an explored state space as a Graphviz `digraph`: states are
 /// nodes (deadlocks drawn as double circles), transitions are edges
-/// labelled with the step's event names.
+/// labelled with the step's event names. Names are escaped, so hostile
+/// universes (quotes or backslashes in event names) still yield valid
+/// DOT.
 #[must_use]
 pub fn state_space_to_dot(space: &StateSpace, universe: &Universe, name: &str) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "digraph \"{}\" {{", escape_dot(name));
     let _ = writeln!(out, "  rankdir=LR;");
     let _ = writeln!(out, "  node [shape=circle];");
     for (i, key) in space.states().iter().enumerate() {
@@ -82,12 +91,16 @@ pub fn state_space_to_dot(space: &StateSpace, universe: &Universe, name: &str) -
         } else {
             "circle"
         };
-        let _ = writeln!(out, "  s{i} [shape={shape}, label=\"s{i}\\n{key}\"];");
+        let _ = writeln!(
+            out,
+            "  s{i} [shape={shape}, label=\"s{i}\\n{}\"];",
+            escape_dot(&key.to_string())
+        );
     }
     for (src, step, dst) in space.transitions() {
         let label = step
             .iter()
-            .map(|e| universe.name(e))
+            .map(|e| escape_dot(universe.name(e)))
             .collect::<Vec<_>>()
             .join(", ");
         let _ = writeln!(out, "  s{src} -> s{dst} [label=\"{label}\"];");
@@ -153,6 +166,28 @@ mod tests {
         let dot = state_space_to_dot(&space, &u, "dead");
         assert!(dot.contains("doublecircle"));
         assert!(dot.contains("digraph \"dead\""));
+    }
+
+    #[test]
+    fn dot_escapes_hostile_event_names() {
+        // names with quotes and backslashes must not break out of the
+        // label strings
+        let mut u = Universe::new();
+        let (a, b) = (u.event("ev\"il"), u.event("back\\slash"));
+        let mut spec = Specification::new("hostile", u.clone());
+        spec.add_constraint(Box::new(Alternation::new("x", a, b)));
+        let space = explore(&spec, &ExploreOptions::default());
+        let dot = state_space_to_dot(&space, &u, "na\"me");
+        assert!(dot.contains("digraph \"na\\\"me\""));
+        assert!(dot.contains("label=\"ev\\\"il\""));
+        assert!(dot.contains("label=\"back\\\\slash\""));
+        // every label's quotes are balanced: no line has a bare quote
+        // that terminates the attribute early
+        for line in dot.lines().filter(|l| l.contains("label=")) {
+            let unescaped = line.replace("\\\\", "").replace("\\\"", "");
+            let quotes = unescaped.matches('"').count();
+            assert_eq!(quotes % 2, 0, "unbalanced quotes in: {line}");
+        }
     }
 
     #[test]

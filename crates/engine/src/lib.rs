@@ -31,9 +31,14 @@
 //! reachable scheduling state-space ([`StateSpace`]) whose quantitative
 //! metrics the paper's PAM study reports — breadth first, across
 //! [`ExploreOptions::workers`] threads, with a **byte-identical result
-//! for every worker count**. The analysis queries ([`dead_events`],
-//! [`is_event_live`], [`shortest_path_to`], [`deadlock_witness`])
-//! operate on that explored space.
+//! for every worker count**. [`Program::explore_with`] additionally
+//! streams every absorbed transition, deadlock and level barrier to an
+//! [`ExploreVisitor`] — in canonical order, worker-count-independent —
+//! which is the hook the `moccml-verify` crate checks temporal
+//! properties through on the fly, with deterministic early stop. The
+//! analysis queries ([`dead_events`], [`is_event_live`],
+//! [`live_events`], [`shortest_path_to`], [`deadlock_witness`])
+//! operate on the explored space.
 //!
 //! ## Example
 //!
@@ -99,11 +104,14 @@ mod simulator;
 mod solver;
 
 pub use analysis::{
-    dead_events, deadlock_witness, is_event_fireable, is_event_live, shortest_path_to, Witness,
+    dead_events, deadlock_witness, is_event_fireable, is_event_live, live_events, shortest_path_to,
+    Witness,
 };
 pub use cursor::Cursor;
 pub use engine::{Engine, EngineBuilder, SimulationReport};
-pub use explorer::{explore, ExploreOptions, StateSpace, StateSpaceStats};
+pub use explorer::{
+    explore, ExploreOptions, ExploreVisitor, StateSpace, StateSpaceStats, VisitControl,
+};
 pub use export::{schedule_to_vcd, state_space_to_dot};
 pub use observer::{Metrics, MetricsObserver, Observer, VcdObserver};
 pub use policy::{

@@ -241,7 +241,23 @@ impl Program {
     /// [`ExploreOptions::workers`] selects the parallel frontier width.
     #[must_use]
     pub fn explore(&self, options: &ExploreOptions) -> StateSpace {
-        explore_program(self, self.template_key.clone(), options)
+        explore_program(self, self.template_key.clone(), options, &mut ())
+    }
+
+    /// Explores like [`explore`](Program::explore) while streaming every
+    /// absorbed transition, deadlock and level barrier to `visitor` —
+    /// the on-the-fly hook `moccml-verify` checks properties through.
+    /// The visitor runs in the canonical absorption order and can stop
+    /// the BFS at a level barrier; both the callback sequence and the
+    /// resulting (possibly early-stopped) [`StateSpace`] are identical
+    /// for every [`ExploreOptions::workers`] count.
+    #[must_use]
+    pub fn explore_with(
+        &self,
+        options: &ExploreOptions,
+        visitor: &mut dyn crate::ExploreVisitor,
+    ) -> StateSpace {
+        explore_program(self, self.template_key.clone(), options, visitor)
     }
 
     /// The per-constraint event footprints (parallel to

@@ -33,6 +33,13 @@ pub enum KernelError {
         /// What was wrong.
         reason: String,
     },
+    /// A textual schedule could not be parsed back into steps.
+    ScheduleParse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -49,6 +56,9 @@ impl fmt::Display for KernelError {
             }
             KernelError::InvalidSpecification { reason } => {
                 write!(f, "invalid specification: {reason}")
+            }
+            KernelError::ScheduleParse { line, reason } => {
+                write!(f, "schedule parse error at line {line}: {reason}")
             }
         }
     }

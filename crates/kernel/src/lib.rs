@@ -16,7 +16,10 @@
 //!
 //! * [`Universe`] — an interning registry of named events;
 //! * [`Step`] — a set of simultaneously occurring events (bitset);
-//! * [`Schedule`] — a finite prefix of a run, with analysis helpers;
+//! * [`Schedule`] — a finite prefix of a run, with analysis helpers
+//!   and a serde-free text round-trip (`to_lines` / `parse_lines`);
+//! * [`StepPred`] — boolean predicates over one step, the atoms the
+//!   verification layer's temporal properties quantify over;
 //! * [`StepFormula`] — boolean formulas over events with full and
 //!   partial evaluation (the engine's solver builds on partial
 //!   evaluation);
@@ -53,6 +56,7 @@ mod constraint;
 mod error;
 mod event;
 mod formula;
+mod pred;
 mod schedule;
 mod spec;
 mod step;
@@ -61,6 +65,7 @@ pub use constraint::{Constraint, StateKey};
 pub use error::KernelError;
 pub use event::{EventId, Universe};
 pub use formula::{StepFormula, Ternary};
+pub use pred::StepPred;
 pub use schedule::Schedule;
 pub use spec::Specification;
 pub use step::Step;

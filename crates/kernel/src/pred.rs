@@ -1,0 +1,199 @@
+//! [`StepPred`]: boolean predicates over a single [`Step`] — the atoms
+//! the verification layer's temporal properties quantify over.
+//!
+//! A [`StepFormula`](crate::StepFormula) is what a *constraint* denotes
+//! (it restricts which steps may fire); a `StepPred` is what an
+//! *observer* asks about a step that did fire. The two are kept apart on
+//! purpose: predicates never participate in solving, so they stay a
+//! plain recursive evaluator with no partial-evaluation machinery.
+
+use crate::event::{EventId, Universe};
+use crate::step::Step;
+use std::fmt;
+
+/// A boolean predicate over one step of a schedule.
+///
+/// The atoms mirror the property classes of CCSL-style specification
+/// checking: an event occurring, two events excluding each other within
+/// an instant, and one event's occurrence implying another's
+/// (sub-clocking). [`And`](StepPred::And) / [`Or`](StepPred::Or) /
+/// [`Not`](StepPred::Not) close them under boolean combination.
+///
+/// # Example
+///
+/// ```
+/// use moccml_kernel::{Step, StepPred, Universe};
+/// let mut u = Universe::new();
+/// let (a, b) = (u.event("a"), u.event("b"));
+/// let pred = StepPred::implies(a, b); // a ⇒ b within one step
+/// assert!(pred.eval(&Step::from_events([a, b])));
+/// assert!(pred.eval(&Step::new()));
+/// assert!(!pred.eval(&Step::from_events([a])));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepPred {
+    /// The event occurs in the step.
+    Fired(EventId),
+    /// The two events do not occur together in the step.
+    Excludes(EventId, EventId),
+    /// If the first event occurs, the second does too (per-step
+    /// sub-clocking / implication).
+    Implies(EventId, EventId),
+    /// Both operands hold.
+    And(Box<StepPred>, Box<StepPred>),
+    /// At least one operand holds.
+    Or(Box<StepPred>, Box<StepPred>),
+    /// The operand does not hold.
+    Not(Box<StepPred>),
+}
+
+impl StepPred {
+    /// Convenience constructor for [`StepPred::Fired`].
+    #[must_use]
+    pub fn fired(event: EventId) -> Self {
+        StepPred::Fired(event)
+    }
+
+    /// Convenience constructor for [`StepPred::Excludes`].
+    #[must_use]
+    pub fn excludes(a: EventId, b: EventId) -> Self {
+        StepPred::Excludes(a, b)
+    }
+
+    /// Convenience constructor for [`StepPred::Implies`].
+    #[must_use]
+    pub fn implies(premise: EventId, conclusion: EventId) -> Self {
+        StepPred::Implies(premise, conclusion)
+    }
+
+    /// Convenience constructor for [`StepPred::And`].
+    #[must_use]
+    pub fn and(a: StepPred, b: StepPred) -> Self {
+        StepPred::And(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for [`StepPred::Or`].
+    #[must_use]
+    pub fn or(a: StepPred, b: StepPred) -> Self {
+        StepPred::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for [`StepPred::Not`].
+    #[must_use]
+    pub fn negate(p: StepPred) -> Self {
+        StepPred::Not(Box::new(p))
+    }
+
+    /// Evaluates the predicate on `step`.
+    #[must_use]
+    pub fn eval(&self, step: &Step) -> bool {
+        match self {
+            StepPred::Fired(e) => step.contains(*e),
+            StepPred::Excludes(a, b) => !(step.contains(*a) && step.contains(*b)),
+            StepPred::Implies(a, b) => !step.contains(*a) || step.contains(*b),
+            StepPred::And(a, b) => a.eval(step) && b.eval(step),
+            StepPred::Or(a, b) => a.eval(step) || b.eval(step),
+            StepPred::Not(p) => !p.eval(step),
+        }
+    }
+
+    /// All events the predicate mentions, as a [`Step`] bitset.
+    #[must_use]
+    pub fn events(&self) -> Step {
+        match self {
+            StepPred::Fired(e) => Step::from_events([*e]),
+            StepPred::Excludes(a, b) | StepPred::Implies(a, b) => Step::from_events([*a, *b]),
+            StepPred::And(a, b) | StepPred::Or(a, b) => a.events().union(&b.events()),
+            StepPred::Not(p) => p.events(),
+        }
+    }
+
+    /// Renders the predicate with event names from `universe`.
+    #[must_use]
+    pub fn display(&self, universe: &Universe) -> String {
+        match self {
+            StepPred::Fired(e) => universe.name(*e).to_owned(),
+            StepPred::Excludes(a, b) => {
+                format!("{} # {}", universe.name(*a), universe.name(*b))
+            }
+            StepPred::Implies(a, b) => {
+                format!("{} => {}", universe.name(*a), universe.name(*b))
+            }
+            StepPred::And(a, b) => format!("({} && {})", a.display(universe), b.display(universe)),
+            StepPred::Or(a, b) => format!("({} || {})", a.display(universe), b.display(universe)),
+            StepPred::Not(p) => format!("!{}", p.display(universe)),
+        }
+    }
+}
+
+impl fmt::Display for StepPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepPred::Fired(e) => write!(f, "{e}"),
+            StepPred::Excludes(a, b) => write!(f, "{a} # {b}"),
+            StepPred::Implies(a, b) => write!(f, "{a} => {b}"),
+            StepPred::And(a, b) => write!(f, "({a} && {b})"),
+            StepPred::Or(a, b) => write!(f, "({a} || {b})"),
+            StepPred::Not(p) => write!(f, "!{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe3() -> (Universe, EventId, EventId, EventId) {
+        let mut u = Universe::new();
+        let a = u.event("a");
+        let b = u.event("b");
+        let c = u.event("c");
+        (u, a, b, c)
+    }
+
+    #[test]
+    fn atoms_evaluate() {
+        let (_, a, b, _) = universe3();
+        let ab = Step::from_events([a, b]);
+        let only_a = Step::from_events([a]);
+        assert!(StepPred::fired(a).eval(&only_a));
+        assert!(!StepPred::fired(b).eval(&only_a));
+        assert!(!StepPred::excludes(a, b).eval(&ab));
+        assert!(StepPred::excludes(a, b).eval(&only_a));
+        assert!(StepPred::excludes(a, b).eval(&Step::new()));
+        assert!(StepPred::implies(a, b).eval(&ab));
+        assert!(!StepPred::implies(a, b).eval(&only_a));
+    }
+
+    #[test]
+    fn combinators_evaluate() {
+        let (_, a, b, c) = universe3();
+        let step = Step::from_events([a, c]);
+        let p = StepPred::and(StepPred::fired(a), StepPred::negate(StepPred::fired(b)));
+        assert!(p.eval(&step));
+        let q = StepPred::or(StepPred::fired(b), StepPred::fired(c));
+        assert!(q.eval(&step));
+        assert!(!StepPred::negate(q).eval(&step));
+    }
+
+    #[test]
+    fn events_collects_all_mentions() {
+        let (_, a, b, c) = universe3();
+        let p = StepPred::or(
+            StepPred::and(StepPred::fired(a), StepPred::excludes(b, c)),
+            StepPred::negate(StepPred::implies(a, c)),
+        );
+        assert_eq!(p.events(), Step::from_events([a, b, c]));
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let (u, a, b, _) = universe3();
+        assert_eq!(StepPred::implies(a, b).display(&u), "a => b");
+        assert_eq!(
+            StepPred::negate(StepPred::excludes(a, b)).display(&u),
+            "!a # b"
+        );
+        assert_eq!(StepPred::fired(a).to_string(), "e0");
+    }
+}

@@ -1,5 +1,6 @@
 //! [`Schedule`]: a finite prefix of a run, `σ : N → 2^E`.
 
+use crate::error::KernelError;
 use crate::event::{EventId, Universe};
 use crate::step::Step;
 use std::fmt;
@@ -132,6 +133,66 @@ impl Schedule {
             steps: self.steps.iter().map(|s| s.intersection(events)).collect(),
         }
     }
+
+    /// Serialises the schedule as plain text: one step per line, the
+    /// step's event names (from `universe`) separated by single spaces,
+    /// an empty step as an empty line. The inverse of
+    /// [`parse_lines`](Schedule::parse_lines), so counterexamples and
+    /// conformance inputs round-trip through files without serde.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidSpecification`] if any occurring
+    /// event's name contains whitespace (such names cannot round-trip
+    /// through the whitespace-separated format).
+    pub fn to_lines(&self, universe: &Universe) -> Result<String, KernelError> {
+        let mut out = String::new();
+        for step in &self.steps {
+            let mut first = true;
+            for event in step {
+                let name = universe.name(event);
+                if name.contains(char::is_whitespace) {
+                    return Err(KernelError::InvalidSpecification {
+                        reason: format!("event name '{name}' contains whitespace"),
+                    });
+                }
+                if !first {
+                    out.push(' ');
+                }
+                out.push_str(name);
+                first = false;
+            }
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Parses the textual format of [`to_lines`](Schedule::to_lines):
+    /// one step per line, whitespace-separated event names looked up in
+    /// `universe`, blank lines as empty (stuttering) steps. A trailing
+    /// final newline does not add a step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ScheduleParse`] naming the 1-based line of
+    /// the first event name `universe` does not know.
+    pub fn parse_lines(text: &str, universe: &Universe) -> Result<Schedule, KernelError> {
+        let mut steps = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let mut step = Step::new();
+            for name in line.split_whitespace() {
+                let event = universe
+                    .lookup(name)
+                    .ok_or_else(|| KernelError::ScheduleParse {
+                        line: i + 1,
+                        reason: format!("unknown event '{name}'"),
+                    })?;
+                step.insert(event);
+            }
+            steps.push(step);
+        }
+        Ok(Schedule { steps })
+    }
 }
 
 impl Extend<Step> for Schedule {
@@ -214,6 +275,60 @@ mod tests {
         assert!(diagram.contains("b |.X"));
         // c never occurs, so it has no row
         assert!(!diagram.contains("c |"));
+    }
+
+    #[test]
+    fn text_round_trip_preserves_steps() {
+        let (u, a, b, c) = universe3();
+        let sched: Schedule = vec![
+            Step::from_events([a, c]),
+            Step::new(),
+            Step::from_events([b]),
+        ]
+        .into_iter()
+        .collect();
+        let text = sched.to_lines(&u).expect("plain names serialise");
+        assert_eq!(text, "a c\n\nb\n");
+        let parsed = Schedule::parse_lines(&text, &u).expect("own output parses");
+        assert_eq!(parsed, sched);
+        // the empty schedule round-trips to the empty string
+        let empty = Schedule::new();
+        let text = empty.to_lines(&u).expect("serialises");
+        assert_eq!(text, "");
+        assert_eq!(Schedule::parse_lines(&text, &u).expect("parses"), empty);
+    }
+
+    #[test]
+    fn parse_lines_tolerates_extra_whitespace_and_no_final_newline() {
+        let (u, a, b, _) = universe3();
+        let parsed = Schedule::parse_lines("  a   b \nb", &u).expect("parses");
+        assert_eq!(parsed.steps()[0], Step::from_events([a, b]));
+        assert_eq!(parsed.steps()[1], Step::from_events([b]));
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn parse_lines_reports_unknown_events_with_line_numbers() {
+        let (u, _, _, _) = universe3();
+        let err = Schedule::parse_lines("a\nbogus b\n", &u).expect_err("unknown event");
+        match err {
+            KernelError::ScheduleParse { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("bogus"));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn to_lines_rejects_whitespace_names() {
+        let mut u = Universe::new();
+        let weird = u.event("has space");
+        let sched: Schedule = vec![Step::from_events([weird])].into_iter().collect();
+        assert!(sched.to_lines(&u).is_err());
+        // a schedule never firing the hostile event still serialises
+        let ok: Schedule = vec![Step::new()].into_iter().collect();
+        assert_eq!(ok.to_lines(&u).expect("serialises"), "\n");
     }
 
     #[test]

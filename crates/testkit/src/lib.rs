@@ -41,7 +41,7 @@ mod rng;
 mod runner;
 
 pub use rng::TestRng;
-pub use runner::{cases, Cases};
+pub use runner::{cases, Cases, REPLAY_ENV};
 
 /// The `Result` type every property closure returns: `Ok(())` when the
 /// case passes, `Err(message)` when it fails.

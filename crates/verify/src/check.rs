@@ -1,0 +1,786 @@
+//! On-the-fly property checking over the exploration engine.
+//!
+//! [`check_props`] compiles each [`Prop`] into an observer monitor and
+//! runs them *inside* the explorer's canonicalization pass, through the
+//! [`ExploreVisitor`](moccml_engine::ExploreVisitor) hook: every
+//! absorbed transition, deadlock and level barrier is fed to the
+//! monitors in canonical order, so the BFS terminates at the first
+//! violating level instead of materialising the full state-space — and
+//! does so **deterministically for every worker count**, because the
+//! visitor sequence itself is worker-count-independent.
+//!
+//! Violations come back as [`Counterexample`]s: a shortest replayable
+//! [`Schedule`] from the initial state, reconstructed from the parent
+//! links the monitors maintain and re-validated through a fresh
+//! [`Cursor`](moccml_engine::Cursor) before it is returned.
+
+use crate::conformance::{conformance, Verdict};
+use crate::prop::Prop;
+use moccml_engine::{ExploreOptions, ExploreVisitor, Program, VisitControl};
+use moccml_kernel::{Schedule, Step, StepPred};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A violation witness: a shortest acceptable schedule from the
+/// initial state whose execution exhibits the violation.
+///
+/// For a safety violation the *last* step of the schedule is the
+/// offending one; for deadlock-freedom the schedule ends in the
+/// deadlock state; for bounded liveness the schedule is a maximal (or
+/// length-`k`) predicate-free prefix. In every case the schedule
+/// replays cleanly through a fresh cursor — [`check_props`] asserts
+/// this before returning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The replayable schedule from the initial state.
+    pub schedule: Schedule,
+    /// Index (in the explored [`StateSpace`](moccml_engine::StateSpace))
+    /// of the state the schedule reaches.
+    pub state: usize,
+}
+
+impl Counterexample {
+    /// Whether the schedule replays step by step through a fresh cursor
+    /// of `program` — the re-validation contract of every
+    /// counterexample this crate returns.
+    #[must_use]
+    pub fn replays_on(&self, program: &Program) -> bool {
+        conformance(program, &self.schedule) == Verdict::Conforms
+    }
+}
+
+/// The verdict for one property after a check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropStatus {
+    /// The property holds on the fully explored state-space.
+    Holds,
+    /// The property is violated; the counterexample is a shortest
+    /// witness.
+    Violated(Counterexample),
+    /// The exploration stopped early (a bound was hit, or another
+    /// property's violation ended the run) before this property could
+    /// be decided.
+    Undetermined,
+}
+
+impl PropStatus {
+    /// Whether this status carries a violation.
+    #[must_use]
+    pub fn is_violated(&self) -> bool {
+        matches!(self, PropStatus::Violated(_))
+    }
+}
+
+/// The result of [`check_props`]: one [`PropStatus`] per property, in
+/// input order, plus the exploration effort it took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Per-property statuses, parallel to the `props` slice.
+    pub statuses: Vec<PropStatus>,
+    /// States interned before the check ended — the early-stop metric:
+    /// strictly fewer than a full exploration whenever a violation cut
+    /// the BFS short.
+    pub states_visited: usize,
+    /// Transitions absorbed before the check ended.
+    pub transitions_visited: usize,
+    /// Whether the whole reachable space was explored (no bound hit,
+    /// no early stop with frontier remaining).
+    pub completed: bool,
+}
+
+impl CheckReport {
+    /// The first violated property, as `(index, counterexample)`.
+    #[must_use]
+    pub fn first_violation(&self) -> Option<(usize, &Counterexample)> {
+        self.statuses.iter().enumerate().find_map(|(i, s)| match s {
+            PropStatus::Violated(ce) => Some((i, ce)),
+            _ => None,
+        })
+    }
+
+    /// Whether any property was violated.
+    #[must_use]
+    pub fn any_violated(&self) -> bool {
+        self.statuses.iter().any(PropStatus::is_violated)
+    }
+}
+
+/// Checks several properties in one exploration pass, on the fly.
+///
+/// The explorer runs under `options` (bounds, solver, `workers` — the
+/// result is identical for every worker count) and stops at the first
+/// level barrier where at least one property is violated, or as soon
+/// as every property is resolved. Properties left undecided by an
+/// early stop report [`PropStatus::Undetermined`].
+///
+/// # Panics
+///
+/// Panics if a reconstructed counterexample fails to replay through a
+/// fresh cursor — that would be an engine determinism bug, not a user
+/// error.
+///
+/// # Example
+///
+/// ```
+/// use moccml_ccsl::Alternation;
+/// use moccml_engine::{ExploreOptions, Program};
+/// use moccml_kernel::{Specification, StepPred, Universe};
+/// use moccml_verify::{check_props, Prop, PropStatus};
+///
+/// let mut u = Universe::new();
+/// let (a, b) = (u.event("a"), u.event("b"));
+/// let mut spec = Specification::new("alt", u);
+/// spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+/// let program = Program::new(spec);
+///
+/// let props = [
+///     Prop::DeadlockFree,                                  // holds
+///     Prop::Never(StepPred::fired(b)),                     // violated at depth 2
+/// ];
+/// let report = check_props(&program, &props, &ExploreOptions::default());
+/// assert_eq!(report.statuses[0], PropStatus::Holds);
+/// let (_, ce) = report.first_violation().expect("b eventually fires");
+/// assert_eq!(ce.schedule.len(), 2); // a then b — the shortest witness
+/// ```
+#[must_use]
+pub fn check_props(program: &Program, props: &[Prop], options: &ExploreOptions) -> CheckReport {
+    let track_adj = props
+        .iter()
+        .any(|p| matches!(p, Prop::EventuallyWithin(..)));
+    let mut visitor = CheckVisitor {
+        monitors: props.iter().map(Monitor::new).collect(),
+        shared: Shared::new(track_adj),
+    };
+    let space = program.explore_with(options, &mut visitor);
+    let CheckVisitor {
+        mut monitors,
+        shared,
+    } = visitor;
+    let completed = !space.truncated();
+    let statuses: Vec<PropStatus> = monitors
+        .iter_mut()
+        .map(|m| m.resolve(completed, &shared))
+        .collect();
+    for (prop, status) in props.iter().zip(&statuses) {
+        if let PropStatus::Violated(ce) = status {
+            assert!(
+                ce.replays_on(program),
+                "counterexample for `{prop}` does not replay: {}",
+                ce.schedule
+            );
+        }
+    }
+    CheckReport {
+        statuses,
+        states_visited: space.state_count(),
+        transitions_visited: shared.transitions,
+        completed,
+    }
+}
+
+/// Checks a single property — [`check_props`] for one [`Prop`].
+#[must_use]
+pub fn check(program: &Program, prop: &Prop, options: &ExploreOptions) -> PropStatus {
+    check_props(program, std::slice::from_ref(prop), options)
+        .statuses
+        .pop()
+        .expect("one prop in, one status out")
+}
+
+/// Exploration bookkeeping shared by all monitors: shortest-path parent
+/// links (for counterexample reconstruction), the adjacency the bounded
+/// liveness propagation walks (only populated when a liveness monitor
+/// is present — pure safety/deadlock checks skip that memory), the
+/// known deadlock states, and whether the `max_states` bound has
+/// dropped any transition yet (poisoning "nothing reachable"
+/// conclusions).
+struct Shared {
+    parents: Vec<Option<(usize, Step)>>,
+    adj: Vec<Vec<(Step, usize)>>,
+    track_adj: bool,
+    deadlocks: HashSet<usize>,
+    transitions: usize,
+    dropped: bool,
+}
+
+impl Shared {
+    fn new(track_adj: bool) -> Self {
+        Shared {
+            parents: vec![None],
+            adj: vec![Vec::new()],
+            track_adj,
+            deadlocks: HashSet::new(),
+            transitions: 0,
+            dropped: false,
+        }
+    }
+
+    fn ensure(&mut self, state: usize) {
+        if self.parents.len() <= state {
+            self.parents.resize(state + 1, None);
+            self.adj.resize(state + 1, Vec::new());
+        }
+    }
+
+    fn note_transition(&mut self, source: usize, step: &Step, target: usize) {
+        self.ensure(source.max(target));
+        // the first transition into a state, in canonical BFS absorption
+        // order, is a shortest path to it
+        if target != 0 && self.parents[target].is_none() {
+            self.parents[target] = Some((source, step.clone()));
+        }
+        if self.track_adj {
+            self.adj[source].push((step.clone(), target));
+        }
+        self.transitions += 1;
+    }
+
+    /// The shortest schedule from the initial state to `state`, via the
+    /// recorded parent links.
+    fn path_to(&self, state: usize) -> Schedule {
+        schedule_through_parents(&self.parents, state)
+    }
+}
+
+/// Reconstructs the schedule from the root to `state` by walking
+/// first-discovery parent links (`parents[s] = (predecessor, step)`,
+/// `None` at the root). Shared by the on-the-fly checker and the
+/// equivalence product explorer.
+pub(crate) fn schedule_through_parents(
+    parents: &[Option<(usize, Step)>],
+    state: usize,
+) -> Schedule {
+    let mut steps = Vec::new();
+    let mut s = state;
+    while let Some((prev, step)) = &parents[s] {
+        steps.push(step.clone());
+        s = *prev;
+    }
+    steps.reverse();
+    steps.into_iter().collect()
+}
+
+/// One compiled property monitor.
+enum Monitor {
+    /// `Always(pred)` (and `Never(p)` as `Always(¬p)`): violated by the
+    /// first absorbed transition whose step refutes `pred`.
+    Safety {
+        pred: StepPred,
+        violation: Option<(usize, Step, usize)>,
+    },
+    /// Violated by the first reported deadlock state.
+    DeadlockFree { violation: Option<usize> },
+    /// Bounded liveness, tracked by level-synchronized propagation of
+    /// the pred-free-reachable state set.
+    Eventually(Eventually),
+}
+
+impl Monitor {
+    fn new(prop: &Prop) -> Self {
+        match prop {
+            Prop::Always(p) => Monitor::Safety {
+                pred: p.clone(),
+                violation: None,
+            },
+            Prop::Never(p) => Monitor::Safety {
+                pred: StepPred::negate(p.clone()),
+                violation: None,
+            },
+            Prop::DeadlockFree => Monitor::DeadlockFree { violation: None },
+            Prop::EventuallyWithin(p, k) => Monitor::Eventually(Eventually::new(p.clone(), *k)),
+        }
+    }
+
+    fn violated(&self) -> bool {
+        match self {
+            Monitor::Safety { violation, .. } => violation.is_some(),
+            Monitor::DeadlockFree { violation } => violation.is_some(),
+            Monitor::Eventually(ev) => {
+                matches!(
+                    ev.outcome,
+                    Some(EvOutcome::Prefix { .. } | EvOutcome::Wedged { .. })
+                )
+            }
+        }
+    }
+
+    fn resolved(&self) -> bool {
+        match self {
+            Monitor::Eventually(ev) => ev.outcome.is_some(),
+            _ => self.violated(),
+        }
+    }
+
+    fn resolve(&mut self, completed: bool, shared: &Shared) -> PropStatus {
+        match self {
+            Monitor::Safety { violation, .. } => match violation.take() {
+                Some((source, step, target)) => {
+                    let mut schedule = shared.path_to(source);
+                    schedule.push(step);
+                    PropStatus::Violated(Counterexample {
+                        schedule,
+                        state: target,
+                    })
+                }
+                None if completed => PropStatus::Holds,
+                None => PropStatus::Undetermined,
+            },
+            Monitor::DeadlockFree { violation } => match violation.take() {
+                Some(state) => PropStatus::Violated(Counterexample {
+                    schedule: shared.path_to(state),
+                    state,
+                }),
+                None if completed => PropStatus::Holds,
+                None => PropStatus::Undetermined,
+            },
+            Monitor::Eventually(ev) => {
+                ev.finish(completed, shared);
+                match &ev.outcome {
+                    Some(EvOutcome::Holds) => PropStatus::Holds,
+                    Some(EvOutcome::Prefix { state }) => PropStatus::Violated(Counterexample {
+                        schedule: ev.witness(*state, ev.depth),
+                        state: *state,
+                    }),
+                    Some(EvOutcome::Wedged { state, depth }) => {
+                        PropStatus::Violated(Counterexample {
+                            schedule: ev.witness(*state, *depth),
+                            state: *state,
+                        })
+                    }
+                    Some(EvOutcome::Inconclusive) | None => PropStatus::Undetermined,
+                }
+            }
+        }
+    }
+}
+
+/// How an [`Eventually`] monitor resolved.
+enum EvOutcome {
+    /// Every pred-free path died out before the bound: the property
+    /// holds. Only concluded while the absorbed transition relation is
+    /// still complete (no `max_states` drop yet): the propagated set
+    /// under-approximates afterwards, so an empty set would prove
+    /// nothing.
+    Holds,
+    /// A pred-free prefix of full length `bound` exists, ending in
+    /// `state`.
+    Prefix { state: usize },
+    /// A pred-free path of length `depth < bound` ends in deadlock
+    /// `state`: the run can never satisfy the predicate.
+    Wedged { state: usize, depth: usize },
+    /// The pred-free set emptied *after* the `max_states` bound
+    /// started dropping transitions: no violation was found, but
+    /// "holds" would be unsound and nothing more can be learned from
+    /// the incomplete graph — reported as
+    /// [`PropStatus::Undetermined`].
+    Inconclusive,
+}
+
+/// The `EventuallyWithin(pred, bound)` monitor.
+///
+/// Invariant: `current` is S_d, the set of states reachable from the
+/// initial state by a schedule of exactly `depth` steps none of which
+/// satisfies `pred`; `levels[j]` records, for every member of S_j, the
+/// predecessor link that discovered it (for witness reconstruction).
+/// S_{d+1} only needs the outgoing edges of S_d's members — all of BFS
+/// depth ≤ d, hence fully absorbed by the level-`d` barrier — so the
+/// propagation runs level-synchronized with the exploration itself.
+struct Eventually {
+    pred: StepPred,
+    bound: usize,
+    depth: usize,
+    current: BTreeSet<usize>,
+    levels: Vec<HashMap<usize, (usize, Step)>>,
+    outcome: Option<EvOutcome>,
+}
+
+impl Eventually {
+    fn new(pred: StepPred, bound: usize) -> Self {
+        let mut ev = Eventually {
+            pred,
+            bound,
+            depth: 0,
+            current: BTreeSet::from([0]),
+            levels: vec![HashMap::new()],
+            outcome: None,
+        };
+        if bound == 0 {
+            // "within zero steps" is unsatisfiable: the empty prefix
+            // is already pred-free and of full length
+            ev.outcome = Some(EvOutcome::Prefix { state: 0 });
+        }
+        ev
+    }
+
+    /// Called at the barrier that just absorbed level `depth` — all
+    /// outgoing edges of states at BFS depth ≤ `depth` are now known.
+    fn at_barrier(&mut self, depth: usize, shared: &Shared) {
+        if self.outcome.is_some() || self.depth != depth {
+            return;
+        }
+        self.check_deadlocks(shared);
+        if self.outcome.is_none() {
+            self.propagate(shared);
+        }
+    }
+
+    /// A deadlocked member of S_d (d < bound) wedges the run pred-free.
+    fn check_deadlocks(&mut self, shared: &Shared) {
+        if let Some(&s) = self.current.iter().find(|s| shared.deadlocks.contains(*s)) {
+            self.outcome = Some(EvOutcome::Wedged {
+                state: s,
+                depth: self.depth,
+            });
+        }
+    }
+
+    /// One propagation step: S_d → S_{d+1} over the absorbed adjacency.
+    fn propagate(&mut self, shared: &Shared) {
+        let mut next = BTreeSet::new();
+        let mut level: HashMap<usize, (usize, Step)> = HashMap::new();
+        for &s in &self.current {
+            for (step, t) in &shared.adj[s] {
+                if !self.pred.eval(step) && next.insert(*t) {
+                    level.insert(*t, (s, step.clone()));
+                }
+            }
+        }
+        self.levels.push(level);
+        self.current = next;
+        self.depth += 1;
+        if self.current.is_empty() {
+            // an empty set proves the property only while the absorbed
+            // graph is complete; after a max_states drop it may merely
+            // reflect the missing transitions
+            self.outcome = Some(if shared.dropped {
+                EvOutcome::Inconclusive
+            } else {
+                EvOutcome::Holds
+            });
+        } else if self.depth == self.bound {
+            let state = *self.current.iter().next().expect("non-empty");
+            self.outcome = Some(EvOutcome::Prefix { state });
+        }
+    }
+
+    /// After a *complete* exploration the adjacency is final: keep
+    /// propagating (cycles can extend pred-free paths past the BFS
+    /// horizon) until the monitor resolves — at most `bound` rounds.
+    fn finish(&mut self, completed: bool, shared: &Shared) {
+        if !completed {
+            return;
+        }
+        while self.outcome.is_none() {
+            self.check_deadlocks(shared);
+            if self.outcome.is_none() {
+                self.propagate(shared);
+            }
+        }
+    }
+
+    /// Reconstructs the pred-free schedule of length `depth` ending in
+    /// `state`, through the per-level predecessor links.
+    fn witness(&self, state: usize, depth: usize) -> Schedule {
+        let mut steps = Vec::new();
+        let mut s = state;
+        for j in (1..=depth).rev() {
+            let (prev, step) = &self.levels[j][&s];
+            steps.push(step.clone());
+            s = *prev;
+        }
+        steps.reverse();
+        steps.into_iter().collect()
+    }
+}
+
+/// The [`ExploreVisitor`] wiring the monitors into the explorer.
+struct CheckVisitor {
+    monitors: Vec<Monitor>,
+    shared: Shared,
+}
+
+impl ExploreVisitor for CheckVisitor {
+    fn on_transition(&mut self, source: usize, step: &Step, target: usize, _depth: usize) {
+        self.shared.note_transition(source, step, target);
+        for m in &mut self.monitors {
+            if let Monitor::Safety { pred, violation } = m {
+                if violation.is_none() && !pred.eval(step) {
+                    *violation = Some((source, step.clone(), target));
+                }
+            }
+        }
+    }
+
+    fn on_states_dropped(&mut self, _depth: usize) {
+        self.shared.dropped = true;
+    }
+
+    fn on_deadlock(&mut self, state: usize, _depth: usize) {
+        self.shared.ensure(state);
+        self.shared.deadlocks.insert(state);
+        for m in &mut self.monitors {
+            if let Monitor::DeadlockFree { violation } = m {
+                if violation.is_none() {
+                    *violation = Some(state);
+                }
+            }
+        }
+    }
+
+    fn on_level_end(&mut self, depth: usize, _state_count: usize) -> VisitControl {
+        for m in &mut self.monitors {
+            if let Monitor::Eventually(ev) = m {
+                ev.at_barrier(depth, &self.shared);
+            }
+        }
+        let any_violated = self.monitors.iter().any(Monitor::violated);
+        let all_resolved = self.monitors.iter().all(Monitor::resolved);
+        if any_violated || all_resolved {
+            VisitControl::Stop
+        } else {
+            VisitControl::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moccml_ccsl::{Alternation, Exclusion, Precedence};
+    use moccml_kernel::{EventId, Specification, Universe};
+    use std::sync::Arc;
+
+    fn alternating() -> (Arc<Program>, EventId, EventId) {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        (Program::new(spec), a, b)
+    }
+
+    #[test]
+    fn safety_holds_on_complete_spaces() {
+        let (program, a, b) = alternating();
+        // the alternation never fires a and b together
+        let status = check(
+            &program,
+            &Prop::Never(StepPred::and(StepPred::fired(a), StepPred::fired(b))),
+            &ExploreOptions::default(),
+        );
+        assert_eq!(status, PropStatus::Holds);
+    }
+
+    #[test]
+    fn safety_violation_is_shortest_and_replayable() {
+        let (program, _, b) = alternating();
+        let status = check(
+            &program,
+            &Prop::Never(StepPred::fired(b)),
+            &ExploreOptions::default(),
+        );
+        let PropStatus::Violated(ce) = status else {
+            panic!("b fires on the second step");
+        };
+        assert_eq!(ce.schedule.len(), 2);
+        assert!(ce.schedule.steps()[1].contains(b));
+        assert!(ce.replays_on(&program));
+    }
+
+    #[test]
+    fn always_reports_the_first_refuting_step() {
+        let (program, a, b) = alternating();
+        // "every step fires a" is refuted by the second step {b}
+        let status = check(
+            &program,
+            &Prop::Always(StepPred::fired(a)),
+            &ExploreOptions::default(),
+        );
+        let PropStatus::Violated(ce) = status else {
+            panic!("violated");
+        };
+        assert_eq!(ce.schedule.len(), 2);
+        assert!(ce.schedule.steps()[1].contains(b));
+    }
+
+    #[test]
+    fn deadlock_free_finds_the_wedge() {
+        let mut u = Universe::new();
+        let (a, b, c) = (u.event("a"), u.event("b"), u.event("c"));
+        let mut spec = Specification::new("wedge", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b).with_bound(1)));
+        spec.add_constraint(Box::new(Precedence::strict("c<b", c, b)));
+        spec.add_constraint(Box::new(Precedence::strict("b<c", b, c)));
+        let program = Program::new(spec);
+        let status = check(&program, &Prop::DeadlockFree, &ExploreOptions::default());
+        let PropStatus::Violated(ce) = status else {
+            panic!("wedges after a");
+        };
+        assert_eq!(ce.schedule.len(), 1);
+        assert!(ce.schedule.steps()[0].contains(a));
+        assert!(ce.replays_on(&program));
+    }
+
+    #[test]
+    fn bounded_liveness_violation_has_exact_length() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("lazy", u);
+        // b needs a first, but a may fire forever without b
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        let program = Program::new(spec);
+        let status = check(
+            &program,
+            &Prop::EventuallyWithin(StepPred::fired(b), 3),
+            &ExploreOptions::default(),
+        );
+        let PropStatus::Violated(ce) = status else {
+            panic!("a a a never fires b");
+        };
+        assert_eq!(ce.schedule.len(), 3);
+        assert!(ce.schedule.iter().all(|s| !s.contains(b)));
+        assert!(ce.replays_on(&program));
+    }
+
+    #[test]
+    fn bounded_liveness_holds_when_pred_is_forced() {
+        let (program, a, _) = alternating();
+        // a must fire in the very first step of any run
+        let status = check(
+            &program,
+            &Prop::EventuallyWithin(StepPred::fired(a), 1),
+            &ExploreOptions::default(),
+        );
+        assert_eq!(status, PropStatus::Holds);
+    }
+
+    #[test]
+    fn bounded_liveness_detects_wedged_runs() {
+        let mut u = Universe::new();
+        let (a, b, c) = (u.event("a"), u.event("b"), u.event("c"));
+        let mut spec = Specification::new("wedge", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b).with_bound(1)));
+        spec.add_constraint(Box::new(Precedence::strict("c<b", c, b)));
+        spec.add_constraint(Box::new(Precedence::strict("b<c", b, c)));
+        let program = Program::new(spec);
+        // b never fires, and the run wedges after one step — long
+        // before the bound of 50 is reached
+        let status = check(
+            &program,
+            &Prop::EventuallyWithin(StepPred::fired(b), 50),
+            &ExploreOptions::default(),
+        );
+        let PropStatus::Violated(ce) = status else {
+            panic!("wedged pred-free");
+        };
+        assert!(ce.schedule.len() <= 1);
+        assert!(ce.replays_on(&program));
+    }
+
+    #[test]
+    fn bounded_liveness_propagates_past_the_bfs_horizon() {
+        // the alternation's space has BFS depth 2, but pred-free paths
+        // cycle: "c fires within 5" must still be refuted by unrolling
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let c = u.event("c");
+        let mut spec = Specification::new("alt+c", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        spec.add_constraint(Box::new(Exclusion::new("c#a", [c, a])));
+        let program = Program::new(spec);
+        let status = check(
+            &program,
+            &Prop::EventuallyWithin(StepPred::fired(c), 5),
+            &ExploreOptions::default(),
+        );
+        let PropStatus::Violated(ce) = status else {
+            panic!("a b a b a avoids c");
+        };
+        assert_eq!(ce.schedule.len(), 5);
+        assert!(ce.replays_on(&program));
+    }
+
+    #[test]
+    fn zero_bound_is_unsatisfiable() {
+        let (program, a, _) = alternating();
+        let status = check(
+            &program,
+            &Prop::EventuallyWithin(StepPred::fired(a), 0),
+            &ExploreOptions::default(),
+        );
+        let PropStatus::Violated(ce) = status else {
+            panic!("k=0 is unsatisfiable");
+        };
+        assert!(ce.schedule.is_empty());
+    }
+
+    #[test]
+    fn early_stop_visits_fewer_states_than_full_exploration() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("unbounded", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        let program = Program::new(spec);
+        let options = ExploreOptions::default().with_max_states(500);
+        let full = program.explore(&options).state_count();
+        let report = check_props(&program, &[Prop::Never(StepPred::fired(b))], &options);
+        assert!(report.any_violated());
+        assert!(
+            report.states_visited < full,
+            "early stop ({}) must beat full exploration ({full})",
+            report.states_visited
+        );
+    }
+
+    #[test]
+    fn bounded_liveness_is_undetermined_not_holds_under_truncation() {
+        // regression: under max_states truncation the explorer drops
+        // transitions, so the pred-free set empties spuriously — the
+        // monitor must not certify a genuinely violated property
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("unbounded", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        let program = Program::new(spec);
+        // the run `a ; a` is b-free at full bound length: violated
+        let prop = Prop::EventuallyWithin(StepPred::fired(b), 2);
+        let full = check(&program, &prop, &ExploreOptions::default());
+        assert!(full.is_violated(), "a;a avoids b");
+        let truncated = check(
+            &program,
+            &prop,
+            &ExploreOptions::default().with_max_states(1),
+        );
+        assert_eq!(truncated, PropStatus::Undetermined);
+    }
+
+    #[test]
+    fn undetermined_on_truncated_exploration() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("unbounded", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        let program = Program::new(spec);
+        // safety that holds everywhere, on a space truncated by bounds
+        let report = check_props(
+            &program,
+            &[Prop::Always(StepPred::implies(b, b))],
+            &ExploreOptions::default().with_max_states(5),
+        );
+        assert!(!report.completed);
+        assert_eq!(report.statuses[0], PropStatus::Undetermined);
+    }
+
+    #[test]
+    fn multi_prop_reports_keep_input_order() {
+        let (program, a, b) = alternating();
+        let props = [
+            Prop::DeadlockFree,
+            Prop::Never(StepPred::and(StepPred::fired(a), StepPred::fired(b))),
+            Prop::Never(StepPred::fired(a)),
+        ];
+        let report = check_props(&program, &props, &ExploreOptions::default());
+        // the third prop violates at level 0, stopping the run: the
+        // other two see a complete space iff the frontier was done
+        assert!(report.statuses[2].is_violated());
+        assert_eq!(report.first_violation().expect("violated").0, 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Schedule conformance checking: does a recorded trace satisfy a
+//! specification?
+//!
+//! This is the CoCoMoT-style workload: a log (a [`Schedule`], e.g.
+//! parsed from text via
+//! [`Schedule::parse_lines`](moccml_kernel::Schedule::parse_lines)) is
+//! replayed step by step against a compiled [`Program`]; the verdict is
+//! either full conformance or the first violating step index together
+//! with the *names* of the constraints that reject it.
+
+use moccml_engine::Program;
+use moccml_kernel::Schedule;
+
+/// The outcome of replaying a schedule against a specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every step of the schedule is acceptable in sequence.
+    Conforms,
+    /// The schedule violates the specification.
+    Violation {
+        /// Index of the first violating step.
+        step: usize,
+        /// Names of the constraints whose current formula rejects that
+        /// step, in constraint order.
+        violated: Vec<String>,
+    },
+}
+
+impl Verdict {
+    /// Whether the schedule conforms.
+    #[must_use]
+    pub fn conforms(&self) -> bool {
+        matches!(self, Verdict::Conforms)
+    }
+}
+
+/// Replays `schedule` from the initial state of `program` and reports
+/// the first violation, if any.
+///
+/// Empty (stuttering) steps are always acceptable and merely advance
+/// time; events no constraint mentions are free. The replay runs on a
+/// fresh [`Cursor`](moccml_engine::Cursor), so checking a trace never
+/// perturbs other executions of the shared program.
+///
+/// # Example
+///
+/// ```
+/// use moccml_ccsl::Alternation;
+/// use moccml_engine::Program;
+/// use moccml_kernel::{Schedule, Specification, Universe};
+/// use moccml_verify::{conformance, Verdict};
+///
+/// let mut u = Universe::new();
+/// let (a, b) = (u.event("a"), u.event("b"));
+/// let mut spec = Specification::new("alt", u.clone());
+/// spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+/// let program = Program::new(spec);
+///
+/// let good = Schedule::parse_lines("a\nb\na\n", &u).expect("parses");
+/// assert!(conformance(&program, &good).conforms());
+///
+/// let bad = Schedule::parse_lines("a\na\n", &u).expect("parses");
+/// match conformance(&program, &bad) {
+///     Verdict::Violation { step, violated } => {
+///         assert_eq!(step, 1);
+///         assert_eq!(violated, vec!["a~b".to_owned()]);
+///     }
+///     Verdict::Conforms => unreachable!("a a breaks the alternation"),
+/// }
+/// ```
+#[must_use]
+pub fn conformance(program: &Program, schedule: &Schedule) -> Verdict {
+    let mut cursor = program.cursor();
+    for (i, step) in schedule.iter().enumerate() {
+        if !cursor.accepts(step) {
+            return Verdict::Violation {
+                step: i,
+                violated: cursor.violated_constraints(step),
+            };
+        }
+        cursor.fire(step).expect("accepted step fires");
+    }
+    Verdict::Conforms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moccml_ccsl::{Alternation, Precedence};
+    use moccml_kernel::{Specification, Step, Universe};
+
+    #[test]
+    fn empty_schedule_conforms() {
+        let u = Universe::new();
+        let program = Program::new(Specification::new("empty", u));
+        assert_eq!(conformance(&program, &Schedule::new()), Verdict::Conforms);
+    }
+
+    #[test]
+    fn stuttering_steps_are_acceptable() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        let program = Program::new(spec);
+        let sched: Schedule = vec![Step::new(), Step::from_events([a]), Step::new()]
+            .into_iter()
+            .collect();
+        assert!(conformance(&program, &sched).conforms());
+    }
+
+    #[test]
+    fn violation_names_every_rejecting_constraint() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("two", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        let program = Program::new(spec);
+        // {b} first: rejected by the precedence; the alternation
+        // expects a first too
+        let sched: Schedule = vec![Step::from_events([b])].into_iter().collect();
+        match conformance(&program, &sched) {
+            Verdict::Violation { step, violated } => {
+                assert_eq!(step, 0);
+                assert_eq!(violated, vec!["a<b".to_owned(), "a~b".to_owned()]);
+            }
+            Verdict::Conforms => panic!("b-first violates both constraints"),
+        }
+    }
+
+    #[test]
+    fn violation_reports_the_first_bad_step_only() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        let program = Program::new(spec);
+        let sched: Schedule = vec![
+            Step::from_events([a]),
+            Step::from_events([a]), // violates here
+            Step::from_events([b]),
+        ]
+        .into_iter()
+        .collect();
+        match conformance(&program, &sched) {
+            Verdict::Violation { step, .. } => assert_eq!(step, 1),
+            Verdict::Conforms => panic!("double a violates"),
+        }
+    }
+}

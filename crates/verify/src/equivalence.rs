@@ -1,0 +1,439 @@
+//! Bounded behavioural equivalence and refinement between two compiled
+//! specifications over one universe.
+//!
+//! The FinTech constraint-equivalence workload: two different
+//! formulations of "the same" timing rules should accept exactly the
+//! same schedules. [`check_equivalence`] explores the *synchronized
+//! product* of two [`Program`]s breadth first — both cursors restored
+//! to each reachable state pair, both acceptable-step sets enumerated
+//! over the union of their constrained events — and returns a shortest
+//! distinguishing schedule on the first mismatch. [`check_refinement`]
+//! is the one-sided variant (every schedule of the left program is a
+//! schedule of the right).
+
+use moccml_engine::{Program, SolverOptions};
+use moccml_kernel::{EventId, Schedule, StateKey, Step};
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// Errors of the product construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// The two programs are built over different universes (different
+    /// event names or numbering), so their steps are not comparable.
+    UniverseMismatch,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::UniverseMismatch => {
+                write!(f, "programs are built over different universes")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Which side of a comparison a distinguishing step belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The first (`left`) program.
+    Left,
+    /// The second (`right`) program.
+    Right,
+}
+
+/// A behavioural difference: after the common `schedule`, exactly one
+/// program accepts `step`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Distinguisher {
+    /// The common prefix, acceptable to both programs.
+    pub schedule: Schedule,
+    /// The step accepted by only one of them.
+    pub step: Step,
+    /// Which program accepts `step`.
+    pub only_accepted_by: Side,
+}
+
+/// The outcome of a bounded product exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivalenceVerdict {
+    /// Every reachable state pair (within the bound) agrees on its
+    /// acceptable steps; the product space was exhausted.
+    Equivalent {
+        /// State pairs visited.
+        pairs_visited: usize,
+    },
+    /// The programs differ; a shortest distinguishing schedule.
+    Distinguished(Distinguisher),
+    /// The bound was hit before a difference was found: unknown.
+    Unknown {
+        /// State pairs visited before the bound.
+        pairs_visited: usize,
+    },
+}
+
+impl EquivalenceVerdict {
+    /// Whether the verdict is [`Equivalent`](EquivalenceVerdict::Equivalent)
+    /// (for refinement checks: *refines*).
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        matches!(self, EquivalenceVerdict::Equivalent { .. })
+    }
+}
+
+/// Options bounding the product exploration.
+#[derive(Debug, Clone)]
+pub struct EquivOptions {
+    /// Stop after this many interned state pairs (verdict becomes
+    /// [`Unknown`](EquivalenceVerdict::Unknown) if no difference was
+    /// found first).
+    pub max_states: usize,
+    /// Solver configuration for the per-pair step enumeration
+    /// (`include_empty` is ignored: the empty step is acceptable to
+    /// every specification and distinguishes nothing).
+    pub solver: SolverOptions,
+}
+
+impl Default for EquivOptions {
+    fn default() -> Self {
+        EquivOptions {
+            max_states: 100_000,
+            solver: SolverOptions::default(),
+        }
+    }
+}
+
+impl EquivOptions {
+    /// Bounds the number of state pairs (builder style).
+    #[must_use]
+    pub fn with_max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+}
+
+/// Checks two programs for behavioural equivalence up to
+/// `options.max_states` product states: at every reachable pair, both
+/// must accept exactly the same non-empty steps over the union of
+/// their constrained events (events only one side constrains are free
+/// — always allowed — on the other).
+///
+/// The exploration is deterministic: pairs are visited breadth first
+/// and steps in sorted order, so the returned [`Distinguisher`] is a
+/// *shortest* distinguishing schedule with the `Ord`-smallest
+/// distinguishing step.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::UniverseMismatch`] if the programs were
+/// compiled over different universes.
+///
+/// # Example
+///
+/// ```
+/// use moccml_ccsl::{Alternation, Precedence};
+/// use moccml_engine::Program;
+/// use moccml_kernel::{Specification, Universe};
+/// use moccml_verify::{check_equivalence, EquivOptions, Side};
+///
+/// let mut u = Universe::new();
+/// let (a, b) = (u.event("a"), u.event("b"));
+/// let mut strict = Specification::new("alt", u.clone());
+/// strict.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+/// let mut loose = Specification::new("prec", u.clone());
+/// loose.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+///
+/// let verdict = check_equivalence(
+///     &Program::new(strict),
+///     &Program::new(loose),
+///     &EquivOptions::default(),
+/// ).expect("same universe");
+/// // the precedence admits a second `a` before any `b`; the
+/// // alternation does not
+/// let d = match verdict {
+///     moccml_verify::EquivalenceVerdict::Distinguished(d) => d,
+///     other => panic!("must differ: {other:?}"),
+/// };
+/// assert_eq!(d.only_accepted_by, Side::Right);
+/// ```
+pub fn check_equivalence(
+    left: &Program,
+    right: &Program,
+    options: &EquivOptions,
+) -> Result<EquivalenceVerdict, VerifyError> {
+    product_explore(left, right, options, Mode::Equivalence)
+}
+
+/// Checks that `left` *refines* `right`: along every schedule of
+/// `left`, each step `left` accepts is also accepted by `right` (the
+/// product follows `left`'s steps only). The returned distinguisher,
+/// if any, always has
+/// [`only_accepted_by`](Distinguisher::only_accepted_by) =
+/// [`Side::Left`].
+///
+/// # Errors
+///
+/// Returns [`VerifyError::UniverseMismatch`] if the programs were
+/// compiled over different universes.
+pub fn check_refinement(
+    left: &Program,
+    right: &Program,
+    options: &EquivOptions,
+) -> Result<EquivalenceVerdict, VerifyError> {
+    product_explore(left, right, options, Mode::Refinement)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Equivalence,
+    Refinement,
+}
+
+fn product_explore(
+    left: &Program,
+    right: &Program,
+    options: &EquivOptions,
+    mode: Mode,
+) -> Result<EquivalenceVerdict, VerifyError> {
+    if left.specification().universe() != right.specification().universe() {
+        return Err(VerifyError::UniverseMismatch);
+    }
+    // compare over the union of constrained events: an event only one
+    // side constrains is free on the other, and `Step` collects the
+    // union as a sorted, deduplicated bitset
+    let union: Vec<EventId> = {
+        let mut all: Step = left.constrained_events().iter().copied().collect();
+        all.extend(right.constrained_events().iter().copied());
+        all.iter().collect()
+    };
+    let solver = options.solver.clone().with_empty(false);
+
+    let mut lcur = left.cursor();
+    let mut rcur = right.cursor();
+    let root = (lcur.state_key(), rcur.state_key());
+    let mut keys: Vec<(StateKey, StateKey)> = vec![root.clone()];
+    let mut index: HashMap<(StateKey, StateKey), usize> = HashMap::from([(root, 0)]);
+    let mut parents: Vec<Option<(usize, Step)>> = vec![None];
+    let mut queue: VecDeque<usize> = VecDeque::from([0]);
+    let mut truncated = false;
+
+    while let Some(pair) = queue.pop_front() {
+        let (lkey, rkey) = keys[pair].clone();
+        lcur.restore(&lkey).expect("interned keys restore");
+        rcur.restore(&rkey).expect("interned keys restore");
+        let ls = lcur.acceptable_steps_over(&union, &solver);
+        let rs = rcur.acceptable_steps_over(&union, &solver);
+        if let Some((step, side)) = first_difference(&ls, &rs, mode) {
+            return Ok(EquivalenceVerdict::Distinguished(Distinguisher {
+                schedule: crate::check::schedule_through_parents(&parents, pair),
+                step,
+                only_accepted_by: side,
+            }));
+        }
+        // successors follow the agreed steps (equivalence: ls == rs;
+        // refinement: ls ⊆ rs), in sorted order
+        for step in &ls {
+            lcur.restore(&lkey).expect("interned keys restore");
+            rcur.restore(&rkey).expect("interned keys restore");
+            lcur.fire(step).expect("enumerated steps fire");
+            rcur.fire(step).expect("enumerated steps fire");
+            let succ = (lcur.state_key(), rcur.state_key());
+            if index.contains_key(&succ) {
+                continue;
+            }
+            if keys.len() >= options.max_states {
+                truncated = true;
+                continue;
+            }
+            let i = keys.len();
+            keys.push(succ.clone());
+            index.insert(succ, i);
+            parents.push(Some((pair, step.clone())));
+            queue.push_back(i);
+        }
+    }
+
+    let pairs_visited = keys.len();
+    Ok(if truncated {
+        EquivalenceVerdict::Unknown { pairs_visited }
+    } else {
+        EquivalenceVerdict::Equivalent { pairs_visited }
+    })
+}
+
+/// First step on which the sorted step sets disagree, with the side
+/// that accepts it. In refinement mode only `left`-only steps count.
+fn first_difference(ls: &[Step], rs: &[Step], mode: Mode) -> Option<(Step, Side)> {
+    let (mut i, mut j) = (0, 0);
+    while i < ls.len() && j < rs.len() {
+        match ls[i].cmp(&rs[j]) {
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                return Some((ls[i].clone(), Side::Left));
+            }
+            std::cmp::Ordering::Greater => {
+                if mode == Mode::Equivalence {
+                    return Some((rs[j].clone(), Side::Right));
+                }
+                j += 1;
+            }
+        }
+    }
+    if i < ls.len() {
+        return Some((ls[i].clone(), Side::Left));
+    }
+    if j < rs.len() && mode == Mode::Equivalence {
+        return Some((rs[j].clone(), Side::Right));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moccml_ccsl::{Alternation, Coincidence, Precedence, SubClock};
+    use moccml_kernel::{Specification, Universe};
+    use std::sync::Arc;
+
+    fn program_with(u: &Universe, build: impl FnOnce(&mut Specification)) -> Arc<Program> {
+        let mut spec = Specification::new("spec", u.clone());
+        build(&mut spec);
+        Program::new(spec)
+    }
+
+    #[test]
+    fn identical_specs_are_equivalent() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let p1 = program_with(&u, |s| {
+            s.add_constraint(Box::new(Alternation::new("x", a, b)));
+        });
+        let p2 = program_with(&u, |s| {
+            s.add_constraint(Box::new(Alternation::new("y", a, b)));
+        });
+        let verdict = check_equivalence(&p1, &p2, &EquivOptions::default()).expect("same universe");
+        assert!(verdict.holds());
+    }
+
+    #[test]
+    fn syntactically_different_equivalent_formulations() {
+        // a ⊆ b expressed as a sub-clock vs. as a coincidence of a with
+        // a∩b — here simply: subclock(a,b) vs subclock(a,b) conjoined
+        // with a tautological second subclock
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let p1 = program_with(&u, |s| {
+            s.add_constraint(Box::new(SubClock::new("one", a, b)));
+        });
+        let p2 = program_with(&u, |s| {
+            s.add_constraint(Box::new(SubClock::new("one", a, b)));
+            s.add_constraint(Box::new(SubClock::new("again", a, b)));
+        });
+        let verdict = check_equivalence(&p1, &p2, &EquivOptions::default()).expect("same universe");
+        assert!(verdict.holds());
+    }
+
+    #[test]
+    fn distinguishing_schedule_is_shortest_and_replayable() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let alt = program_with(&u, |s| {
+            s.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        });
+        let prec = program_with(&u, |s| {
+            s.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        });
+        let verdict =
+            check_equivalence(&alt, &prec, &EquivOptions::default()).expect("same universe");
+        let EquivalenceVerdict::Distinguished(d) = verdict else {
+            panic!("alternation ≠ precedence");
+        };
+        // after `a`, the precedence also allows another `a` (and {a,b});
+        // the distinguishing prefix is the single step {a}
+        assert_eq!(d.schedule.len(), 1);
+        assert_eq!(d.only_accepted_by, Side::Right);
+        // the prefix replays on both, prefix+step only on the right
+        assert!(crate::conformance(&alt, &d.schedule).conforms());
+        let mut extended = d.schedule.clone();
+        extended.push(d.step.clone());
+        assert!(!crate::conformance(&alt, &extended).conforms());
+        assert!(crate::conformance(&prec, &extended).conforms());
+    }
+
+    #[test]
+    fn refinement_is_one_sided() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let alt = program_with(&u, |s| {
+            s.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        });
+        let prec = program_with(&u, |s| {
+            s.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        });
+        // every alternating schedule respects the precedence…
+        assert!(check_refinement(&alt, &prec, &EquivOptions::default())
+            .expect("same universe")
+            .holds());
+        // …but not vice versa
+        let verdict =
+            check_refinement(&prec, &alt, &EquivOptions::default()).expect("same universe");
+        let EquivalenceVerdict::Distinguished(d) = verdict else {
+            panic!("precedence does not refine alternation");
+        };
+        assert_eq!(d.only_accepted_by, Side::Left);
+    }
+
+    #[test]
+    fn events_constrained_on_one_side_only_distinguish() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let constrained = program_with(&u, |s| {
+            s.add_constraint(Box::new(Coincidence::new("a=b", a, b)));
+        });
+        let free = program_with(&u, |_| {});
+        let verdict = check_equivalence(&constrained, &free, &EquivOptions::default())
+            .expect("same universe");
+        let EquivalenceVerdict::Distinguished(d) = verdict else {
+            panic!("free universe accepts {{a}} alone");
+        };
+        assert!(d.schedule.is_empty());
+        assert_eq!(d.only_accepted_by, Side::Right);
+    }
+
+    #[test]
+    fn unbounded_product_reports_unknown() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let p1 = program_with(&u, |s| {
+            s.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        });
+        let p2 = program_with(&u, |s| {
+            s.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        });
+        let verdict = check_equivalence(&p1, &p2, &EquivOptions::default().with_max_states(8))
+            .expect("same universe");
+        assert_eq!(verdict, EquivalenceVerdict::Unknown { pairs_visited: 8 });
+    }
+
+    #[test]
+    fn universe_mismatch_is_rejected() {
+        let mut u1 = Universe::new();
+        u1.event("a");
+        let mut u2 = Universe::new();
+        u2.event("different");
+        let p1 = Program::new(Specification::new("one", u1));
+        let p2 = Program::new(Specification::new("two", u2));
+        assert_eq!(
+            check_equivalence(&p1, &p2, &EquivOptions::default()),
+            Err(VerifyError::UniverseMismatch)
+        );
+    }
+}

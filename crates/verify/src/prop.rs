@@ -1,0 +1,95 @@
+//! [`Prop`]: the property language of the verification layer.
+//!
+//! Properties quantify a [`StepPred`] over the schedules of a
+//! specification: safety (`Always` / `Never`), bounded liveness
+//! (`EventuallyWithin`) and deadlock-freedom. They are deliberately a
+//! small, closed set — each variant compiles into an observer monitor
+//! the explorer evaluates per absorbed step (see
+//! [`check_props`](crate::check_props)), so every property here is
+//! checkable *on the fly*, with a deterministic early stop and a
+//! replayable counterexample.
+
+use moccml_kernel::{StepPred, Universe};
+use std::fmt;
+
+/// A temporal property over the schedules of a specification.
+///
+/// Semantics, over maximal runs from the initial state:
+///
+/// * [`Always(p)`](Prop::Always) — every step of every run satisfies
+///   `p`. Violated by a schedule whose *last* step refutes `p`.
+/// * [`Never(p)`](Prop::Never) — no step of any run satisfies `p`
+///   (sugar for `Always(¬p)`).
+/// * [`EventuallyWithin(p, k)`](Prop::EventuallyWithin) — every run
+///   satisfies `p` within its first `k` steps. Violated by a `p`-free
+///   schedule of length `k`, or by a `p`-free schedule into a deadlock
+///   (the run cannot be extended to ever satisfy `p`).
+/// * [`DeadlockFree`](Prop::DeadlockFree) — no reachable state lacks
+///   an outgoing non-empty step. Violated by a schedule into a
+///   deadlock state.
+///
+/// # Example
+///
+/// ```
+/// use moccml_kernel::{StepPred, Universe};
+/// use moccml_verify::Prop;
+/// let mut u = Universe::new();
+/// let (req, ack) = (u.event("req"), u.event("ack"));
+/// let safety = Prop::Never(StepPred::and(StepPred::fired(req), StepPred::fired(ack)));
+/// assert_eq!(safety.display(&u), "never((req && ack))");
+/// let liveness = Prop::EventuallyWithin(StepPred::fired(ack), 4);
+/// assert_eq!(liveness.display(&u), "eventually<=4(ack)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Prop {
+    /// Every step of every run satisfies the predicate.
+    Always(StepPred),
+    /// No step of any run satisfies the predicate.
+    Never(StepPred),
+    /// Every run satisfies the predicate within its first `k` steps
+    /// (bounded liveness). `k = 0` is unsatisfiable by construction.
+    EventuallyWithin(StepPred, usize),
+    /// No reachable state is a deadlock.
+    DeadlockFree,
+}
+
+impl Prop {
+    /// Renders the property with event names from `universe`.
+    #[must_use]
+    pub fn display(&self, universe: &Universe) -> String {
+        match self {
+            Prop::Always(p) => format!("always({})", p.display(universe)),
+            Prop::Never(p) => format!("never({})", p.display(universe)),
+            Prop::EventuallyWithin(p, k) => {
+                format!("eventually<={k}({})", p.display(universe))
+            }
+            Prop::DeadlockFree => "deadlock-free".to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for Prop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prop::Always(p) => write!(f, "always({p})"),
+            Prop::Never(p) => write!(f, "never({p})"),
+            Prop::EventuallyWithin(p, k) => write!(f, "eventually<={k}({p})"),
+            Prop::DeadlockFree => write!(f, "deadlock-free"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_names() {
+        let mut u = Universe::new();
+        let a = u.event("start");
+        let p = Prop::Always(StepPred::fired(a));
+        assert_eq!(p.display(&u), "always(start)");
+        assert_eq!(p.to_string(), "always(e0)");
+        assert_eq!(Prop::DeadlockFree.display(&u), "deadlock-free");
+    }
+}

@@ -20,6 +20,11 @@
 //!   [`engine::Program`]s with cheap per-worker [`engine::Cursor`]s,
 //!   `Engine` sessions with pluggable policies and streaming
 //!   observers, and a deterministic parallel explorer;
+//! * [`verify`] — the verification layer: temporal properties
+//!   ([`verify::Prop`]) checked on the fly during exploration with
+//!   deterministic early stop and replayable
+//!   [`verify::Counterexample`]s, schedule conformance checking, and
+//!   bounded equivalence/refinement between two specifications;
 //! * [`sdf`] — the paper's illustrative DSL (SigPML/SDF) and the PAM
 //!   case study.
 //!
@@ -69,3 +74,4 @@ pub use moccml_engine as engine;
 pub use moccml_kernel as kernel;
 pub use moccml_metamodel as metamodel;
 pub use moccml_sdf as sdf;
+pub use moccml_verify as verify;

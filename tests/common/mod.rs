@@ -1,0 +1,92 @@
+//! Shared test infrastructure: the random CCSL specification generator
+//! used by the explorer-determinism, verify and analysis property
+//! suites (`tests/explore_parallel.rs`, `tests/verify_properties.rs`,
+//! `tests/analysis_witness.rs`). One copy, so a change to the
+//! constraint pool or the generator weights reaches every suite.
+//!
+//! Not a test target itself — Cargo treats `tests/common/mod.rs` as a
+//! plain module each suite pulls in with `mod common;`.
+#![allow(dead_code)] // each suite uses a different subset
+
+use moccml_ccsl::{Alternation, Coincidence, Exclusion, Precedence, SubClock, Union};
+use moccml_kernel::{Constraint, EventId, Specification, Universe};
+use moccml_testkit::TestRng;
+
+/// Number of events every random specification ranges over.
+pub const EVENTS: usize = 5;
+
+/// A recipe for one random constraint over the [`EVENTS`]-event
+/// universe. Bounded precedences and alternations are weighted up:
+/// they are the stateful constraints that grow multi-level BFS
+/// frontiers.
+#[derive(Debug, Clone)]
+pub enum Recipe {
+    Sub(u8, u8),
+    Excl(u8, u8, u8),
+    Coinc(u8, u8),
+    Prec(u8, u8, u8),
+    Union(u8, u8, u8),
+    Alt(u8, u8),
+}
+
+/// Draws one random recipe.
+pub fn random_recipe(rng: &mut TestRng) -> Recipe {
+    let e = |rng: &mut TestRng| rng.u8_in(0..EVENTS as u8);
+    match rng.u8_in(0..8) {
+        0 => Recipe::Sub(e(rng), e(rng)),
+        1 => Recipe::Excl(e(rng), e(rng), e(rng)),
+        2 => Recipe::Coinc(e(rng), e(rng)),
+        3 | 4 => Recipe::Prec(e(rng), e(rng), rng.u8_in(1..EVENTS as u8)),
+        5 => Recipe::Union(e(rng), e(rng), e(rng)),
+        _ => Recipe::Alt(e(rng), e(rng)),
+    }
+}
+
+/// Materialises recipes into a specification over events `e0`…`e4`
+/// (all [`EVENTS`] of them registered, constrained or not).
+/// Degenerate draws (duplicate operands) are skipped.
+pub fn build(recipes: &[Recipe]) -> Specification {
+    let mut u = Universe::new();
+    let events: Vec<EventId> = (0..EVENTS).map(|i| u.event(&format!("e{i}"))).collect();
+    let mut spec = Specification::new("random", u);
+    for (i, r) in recipes.iter().enumerate() {
+        let name = format!("c{i}");
+        let c: Option<Box<dyn Constraint>> = match *r {
+            Recipe::Sub(a, b) if a != b => Some(Box::new(SubClock::new(
+                &name,
+                events[a as usize],
+                events[b as usize],
+            ))),
+            Recipe::Excl(a, b, c2) if a != b && b != c2 && a != c2 => {
+                Some(Box::new(Exclusion::new(
+                    &name,
+                    [events[a as usize], events[b as usize], events[c2 as usize]],
+                )))
+            }
+            Recipe::Coinc(a, b) if a != b => Some(Box::new(Coincidence::new(
+                &name,
+                events[a as usize],
+                events[b as usize],
+            ))),
+            Recipe::Prec(a, b, k) if a != b => Some(Box::new(
+                Precedence::strict(&name, events[a as usize], events[b as usize])
+                    .with_bound(u64::from(k)),
+            )),
+            Recipe::Union(a, b, c2) if a != b && a != c2 => Some(Box::new(Union::new(
+                &name,
+                events[a as usize],
+                [events[b as usize], events[c2 as usize]],
+            ))),
+            Recipe::Alt(a, b) if a != b => Some(Box::new(Alternation::new(
+                &name,
+                events[a as usize],
+                events[b as usize],
+            ))),
+            _ => None, // degenerate draws are skipped
+        };
+        if let Some(c) = c {
+            spec.add_constraint(c);
+        }
+    }
+    spec
+}

@@ -3,7 +3,10 @@
 //! broken experiment shows up in `cargo test`, not at paper-regeneration
 //! time.
 
-use moccml_bench::experiments::{e1_place, e2_spec, e3_graph, e4_graph, e5_graph, e6_configs};
+use moccml_bench::experiments::{
+    e1_place, e2_spec, e3_graph, e4_graph, e5_graph, e6_configs, e7_conformance_trace,
+    e7_violating_pam,
+};
 use moccml_bench::harness::measure;
 use moccml_engine::{Program, SafeMaxParallel, Simulator, SolverOptions};
 use moccml_kernel::{Constraint, Step};
@@ -71,6 +74,36 @@ fn e6_configs_build_and_simulate() {
         let report = Simulator::new(spec.clone(), SafeMaxParallel).run(3);
         assert!(!report.deadlocked, "{name}: safe policy must not wedge");
     }
+}
+
+#[test]
+fn e7_seeded_property_is_violated_with_early_stop() {
+    let (spec, prop) = e7_violating_pam();
+    let program = Program::compile(&spec);
+    let options = moccml_engine::ExploreOptions::default();
+    let report = moccml_verify::check_props(&program, std::slice::from_ref(&prop), &options);
+    let (_, ce) = report.first_violation().expect("detector does start");
+    assert!(ce.replays_on(&program));
+    // the BENCH_verify claim, kept under test: early stop beats the
+    // full exploration on the seeded workload
+    let full = program.explore(&options).state_count();
+    assert!(
+        report.states_visited < full,
+        "early stop ({}) vs full ({full})",
+        report.states_visited
+    );
+}
+
+#[test]
+fn e7_conformance_trace_conforms() {
+    let (spec, trace) = e7_conformance_trace(6);
+    assert_eq!(trace.len(), 6);
+    let program = Program::compile(&spec);
+    assert!(moccml_verify::conformance(&program, &trace).conforms());
+    // and round-trips through the text format
+    let text = trace.to_lines(spec.universe()).expect("plain names");
+    let parsed = moccml_kernel::Schedule::parse_lines(&text, spec.universe()).expect("parses");
+    assert_eq!(parsed, trace);
 }
 
 #[test]

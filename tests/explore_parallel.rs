@@ -11,83 +11,14 @@
 //! Runs ≥64 cases per property on the deterministic in-repo
 //! `moccml-testkit` harness; failures report a replayable case seed.
 
-use moccml_ccsl::{Alternation, Coincidence, Exclusion, Precedence, SubClock, Union};
 use moccml_engine::{ExploreOptions, Program, StateSpace};
-use moccml_kernel::{Constraint, EventId, Specification, Universe};
-use moccml_testkit::{cases, prop_assert, prop_assert_eq, TestRng};
+use moccml_testkit::{cases, prop_assert, prop_assert_eq};
+
+mod common;
+use common::{build, random_recipe};
 
 const CASES: usize = 72; // ISSUE 3 requires ≥ 64
 const WORKERS: [usize; 3] = [1, 2, 8];
-
-/// A recipe for one random constraint over a small event universe.
-/// Bounded precedences and alternations are weighted up: they are the
-/// stateful constraints that grow multi-level BFS frontiers.
-#[derive(Debug, Clone)]
-enum Recipe {
-    Sub(u8, u8),
-    Excl(u8, u8, u8),
-    Coinc(u8, u8),
-    Prec(u8, u8, u8),
-    Union(u8, u8, u8),
-    Alt(u8, u8),
-}
-
-fn random_recipe(rng: &mut TestRng) -> Recipe {
-    match rng.u8_in(0..8) {
-        0 => Recipe::Sub(rng.u8_in(0..5), rng.u8_in(0..5)),
-        1 => Recipe::Excl(rng.u8_in(0..5), rng.u8_in(0..5), rng.u8_in(0..5)),
-        2 => Recipe::Coinc(rng.u8_in(0..5), rng.u8_in(0..5)),
-        3 | 4 => Recipe::Prec(rng.u8_in(0..5), rng.u8_in(0..5), rng.u8_in(1..5)),
-        5 => Recipe::Union(rng.u8_in(0..5), rng.u8_in(0..5), rng.u8_in(0..5)),
-        _ => Recipe::Alt(rng.u8_in(0..5), rng.u8_in(0..5)),
-    }
-}
-
-fn build(recipes: &[Recipe]) -> Specification {
-    let mut u = Universe::new();
-    let events: Vec<EventId> = (0..5).map(|i| u.event(&format!("e{i}"))).collect();
-    let mut spec = Specification::new("random", u);
-    for (i, r) in recipes.iter().enumerate() {
-        let name = format!("c{i}");
-        let c: Option<Box<dyn Constraint>> = match *r {
-            Recipe::Sub(a, b) if a != b => Some(Box::new(SubClock::new(
-                &name,
-                events[a as usize],
-                events[b as usize],
-            ))),
-            Recipe::Excl(a, b, c2) if a != b && b != c2 && a != c2 => {
-                Some(Box::new(Exclusion::new(
-                    &name,
-                    [events[a as usize], events[b as usize], events[c2 as usize]],
-                )))
-            }
-            Recipe::Coinc(a, b) if a != b => Some(Box::new(Coincidence::new(
-                &name,
-                events[a as usize],
-                events[b as usize],
-            ))),
-            Recipe::Prec(a, b, k) if a != b => Some(Box::new(
-                Precedence::strict(&name, events[a as usize], events[b as usize])
-                    .with_bound(u64::from(k)),
-            )),
-            Recipe::Union(a, b, c2) if a != b && a != c2 => Some(Box::new(Union::new(
-                &name,
-                events[a as usize],
-                [events[b as usize], events[c2 as usize]],
-            ))),
-            Recipe::Alt(a, b) if a != b => Some(Box::new(Alternation::new(
-                &name,
-                events[a as usize],
-                events[b as usize],
-            ))),
-            _ => None, // degenerate draws are skipped
-        };
-        if let Some(c) = c {
-            spec.add_constraint(c);
-        }
-    }
-    spec
-}
 
 /// Field-by-field identity check with readable failure messages (the
 /// `PartialEq` on `StateSpace` covers the same surface; spelling the
