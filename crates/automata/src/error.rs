@@ -41,6 +41,8 @@ pub enum AutomataError {
     Parse {
         /// 1-based line of the offending token.
         line: usize,
+        /// 1-based column of the offending token on its line.
+        column: usize,
         /// What was expected / found.
         message: String,
     },
@@ -61,8 +63,12 @@ impl fmt::Display for AutomataError {
             AutomataError::InvalidBinding { instance, reason } => {
                 write!(f, "invalid binding for instance `{instance}`: {reason}")
             }
-            AutomataError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
+            AutomataError::Parse {
+                line,
+                column,
+                message,
+            } => {
+                write!(f, "parse error at line {line}, column {column}: {message}")
             }
         }
     }
@@ -83,8 +89,10 @@ mod tests {
         assert_eq!(e.to_string(), "unknown state `S9`");
         let e = AutomataError::Parse {
             line: 3,
+            column: 14,
             message: "expected `}`".into(),
         };
         assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("column 14"));
     }
 }

@@ -46,19 +46,25 @@ enum Tok {
 struct Token {
     tok: Tok,
     line: usize,
+    column: usize,
 }
 
 fn lex(input: &str) -> Result<Vec<Token>, AutomataError> {
     let mut tokens = Vec::new();
     let mut line = 1usize;
+    // index (into `bytes`) of the first char of the current line, so a
+    // token's 1-based column is `i - line_start + 1`
+    let mut line_start = 0usize;
     let bytes: Vec<char> = input.chars().collect();
     let mut i = 0usize;
     while i < bytes.len() {
         let c = bytes[i];
+        let column = i - line_start + 1;
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             c if c.is_whitespace() => i += 1,
             '/' if bytes.get(i + 1) == Some(&'/') => {
@@ -74,6 +80,7 @@ fn lex(input: &str) -> Result<Vec<Token>, AutomataError> {
                 tokens.push(Token {
                     tok: Tok::Ident(bytes[start..i].iter().collect()),
                     line,
+                    column,
                 });
             }
             c if c.is_ascii_digit() => {
@@ -84,11 +91,13 @@ fn lex(input: &str) -> Result<Vec<Token>, AutomataError> {
                 let text: String = bytes[start..i].iter().collect();
                 let value = text.parse::<i64>().map_err(|_| AutomataError::Parse {
                     line,
+                    column,
                     message: format!("integer literal `{text}` out of range"),
                 })?;
                 tokens.push(Token {
                     tok: Tok::Int(value),
                     line,
+                    column,
                 });
             }
             _ => {
@@ -100,6 +109,7 @@ fn lex(input: &str) -> Result<Vec<Token>, AutomataError> {
                     tokens.push(Token {
                         tok: Tok::Sym(s),
                         line,
+                        column,
                     });
                     i += 2;
                     continue;
@@ -124,6 +134,7 @@ fn lex(input: &str) -> Result<Vec<Token>, AutomataError> {
                     other => {
                         return Err(AutomataError::Parse {
                             line,
+                            column,
                             message: format!("unexpected character `{other}`"),
                         })
                     }
@@ -131,6 +142,7 @@ fn lex(input: &str) -> Result<Vec<Token>, AutomataError> {
                 tokens.push(Token {
                     tok: Tok::Sym(one),
                     line,
+                    column,
                 });
                 i += 1;
             }
@@ -160,15 +172,20 @@ impl Parser {
         self.tokens.get(self.pos).map(|t| &t.tok)
     }
 
-    fn line(&self) -> usize {
+    /// `(line, column)` of the token the parser is looking at — or of
+    /// the last token when the input ended early, or `(1, 1)` for an
+    /// empty token stream (positions are documented 1-based).
+    fn position(&self) -> (usize, usize) {
         self.tokens
             .get(self.pos.min(self.tokens.len().saturating_sub(1)))
-            .map_or(0, |t| t.line)
+            .map_or((1, 1), |t| (t.line, t.column))
     }
 
     fn err(&self, message: String) -> AutomataError {
+        let (line, column) = self.position();
         AutomataError::Parse {
-            line: self.line(),
+            line,
+            column,
             message,
         }
     }
@@ -636,6 +653,27 @@ mod tests {
         let err = parse_library("library L {\n  constraint C(\n").expect_err("fails");
         match err {
             AutomataError::Parse { line, .. } => assert!(line >= 2, "line = {line}"),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn reports_columns() {
+        // the stray `@` sits at line 2, column 7
+        let err = parse_library("library L {\n      @\n}").expect_err("fails");
+        match err {
+            AutomataError::Parse { line, column, .. } => {
+                assert_eq!((line, column), (2, 7));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        // a syntax error points at the offending *token*'s column:
+        // `state` (line 1, column 28) where a library item was expected
+        let err = parse_library("library L { constraint C() state }").expect_err("fails");
+        match err {
+            AutomataError::Parse { line, column, .. } => {
+                assert_eq!((line, column), (1, 28));
+            }
             other => panic!("expected parse error, got {other}"),
         }
     }

@@ -1,0 +1,15 @@
+//! The `moccml` CLI entry point — see [`moccml_lang::cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    let code = moccml_lang::cli::run(&args, &mut out);
+    if code == moccml_lang::cli::EXIT_ERROR {
+        eprint!("{out}");
+    } else {
+        print!("{out}");
+    }
+    ExitCode::from(u8::try_from(code).unwrap_or(2))
+}

@@ -1,0 +1,418 @@
+//! The `moccml` command-line interface: drive a textual `.mcc`
+//! specification end to end — parse, compile, explore, verify —
+//! without writing any Rust.
+//!
+//! ```text
+//! moccml check       <spec.mcc> [--workers N] [--max-states N] [--max-depth N]
+//! moccml explore     <spec.mcc> [--workers N] [--max-states N] [--max-depth N]
+//! moccml simulate    <spec.mcc> [--steps N] [--policy P] [--seed N]
+//! moccml conformance <spec.mcc> <trace.txt>
+//! ```
+//!
+//! `check` verifies every `assert`ed property with
+//! [`check_props`] (deterministic early
+//! stop, identical for every `--workers` count) and reports violations
+//! with a replayable witness schedule *and* its locally minimal form
+//! (see [`minimize_witness`]).
+//! `conformance` replays a recorded schedule in the plain-text
+//! [`Schedule::parse_lines`] format. Exit codes: `0` success / all
+//! properties hold, `1` a property or the trace is violated (or the
+//! simulation deadlocked), `2` usage, I/O or compilation errors.
+//!
+//! Everything the subcommands print is derived from the same values
+//! the programmatic API returns, so a `.mcc` spec and its Rust
+//! transcription produce byte-identical verdicts — the golden contract
+//! `crates/lang/tests/cli_golden.rs` pins.
+
+use crate::compile::Compiled;
+use crate::error::LangError;
+use moccml_engine::{
+    Engine, ExploreOptions, Lexicographic, MaxParallel, MinSerial, Policy, Random, SafeMaxParallel,
+};
+use moccml_kernel::{Schedule, Universe};
+use moccml_verify::{check_props, conformance, minimize_witness, PropStatus, Verdict};
+use std::fmt::Write as _;
+
+/// Exit code: success (all properties hold / trace conforms).
+pub const EXIT_OK: i32 = 0;
+/// Exit code: a property, trace or simulation was violated.
+pub const EXIT_VIOLATED: i32 = 1;
+/// Exit code: usage, I/O, parse or compilation error.
+pub const EXIT_ERROR: i32 = 2;
+
+const USAGE: &str = "\
+usage: moccml <command> <spec.mcc> [options]
+
+commands:
+  check        verify every `assert`ed property of the spec
+  explore      build the scheduling state-space and print its metrics
+  simulate     run a simulation and print the schedule
+  conformance  replay a recorded schedule: moccml conformance <spec.mcc> <trace>
+
+options:
+  --workers N     worker threads for exploration (default: all cores;
+                  results are identical for every value)
+  --max-states N  exploration bound (default 100000)
+  --max-depth N   BFS depth bound (default: unbounded)
+  --steps N       simulation steps (default 20)
+  --policy P      simulation policy: lexicographic | random |
+                  max-parallel | min-serial | safe (default lexicographic)
+  --seed N        seed for the random policy (default 42)
+";
+
+/// Runs the CLI on `args` (without the program name), writing all
+/// output to `out`. Returns the process exit code.
+///
+/// Factored out of `main` so integration tests can drive the CLI
+/// in-process and golden-compare its output.
+pub fn run(args: &[String], out: &mut String) -> i32 {
+    match try_run(args, out) {
+        Ok(code) => code,
+        Err(message) => {
+            let _ = writeln!(out, "error: {message}");
+            EXIT_ERROR
+        }
+    }
+}
+
+fn try_run(args: &[String], out: &mut String) -> Result<i32, String> {
+    let Some(command) = args.first() else {
+        return Err(format!("missing command\n{USAGE}"));
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        let _ = write!(out, "{USAGE}");
+        return Ok(EXIT_OK);
+    }
+    let Some(spec_path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        return Err(format!("missing <spec.mcc> path\n{USAGE}"));
+    };
+    let source = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read `{spec_path}`: {e}"))?;
+    let compiled = crate::compile_str(&source).map_err(|e| render_error(spec_path, &e))?;
+    let rest = &args[2..];
+    match command.as_str() {
+        "check" => Ok(check(&compiled, &explore_options(rest)?, out)),
+        "explore" => Ok(explore(&compiled, &explore_options(rest)?, out)),
+        "simulate" => simulate(&compiled, rest, out),
+        "conformance" => {
+            let Some(trace_path) = rest.first().filter(|a| !a.starts_with("--")) else {
+                return Err(format!("conformance needs a trace file\n{USAGE}"));
+            };
+            conformance_cmd(&compiled, trace_path, out)
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+/// `file:line:col`-style rendering of a [`LangError`].
+fn render_error(path: &str, e: &LangError) -> String {
+    let (line, column) = e.position();
+    format!("{path}:{line}:{column}: {e}")
+}
+
+fn flag(args: &[String], name: &str) -> Result<Option<usize>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(Some)
+            .ok_or_else(|| format!("{name} needs a non-negative integer")),
+    }
+}
+
+fn explore_options(args: &[String]) -> Result<ExploreOptions, String> {
+    let mut options = ExploreOptions::default();
+    if let Some(n) = flag(args, "--max-states")? {
+        options = options.with_max_states(n);
+    }
+    if let Some(n) = flag(args, "--max-depth")? {
+        options = options.with_max_depth(n);
+    }
+    if let Some(n) = flag(args, "--workers")? {
+        options = options.with_workers(n);
+    }
+    Ok(options)
+}
+
+/// Renders a schedule as ` ; `-separated steps of space-separated
+/// event names (the single-line form of `Schedule::to_lines`).
+fn render_schedule(schedule: &Schedule, universe: &Universe) -> String {
+    match schedule.to_lines(universe) {
+        Ok(lines) => lines.trim_end().replace('\n', " ; "),
+        // names with whitespace cannot round-trip as text: fall back
+        // to the raw event-id rendering
+        Err(_) => schedule.to_string(),
+    }
+}
+
+fn check(compiled: &Compiled, options: &ExploreOptions, out: &mut String) -> i32 {
+    let universe = compiled.universe();
+    if compiled.props.is_empty() {
+        let _ = writeln!(
+            out,
+            "spec `{}`: no properties to check (add `assert …;` items)",
+            compiled.name
+        );
+        return EXIT_OK;
+    }
+    let mut violated = false;
+    // one exploration per property (the programmatic `check` call), so
+    // every property is decided — and each row shows its own
+    // early-stop cost
+    for prop in &compiled.props {
+        let report = check_props(&compiled.program, std::slice::from_ref(prop), options);
+        match &report.statuses[0] {
+            PropStatus::Holds => {
+                let _ = writeln!(
+                    out,
+                    "{:<40} holds        ({} states)",
+                    prop.display(universe),
+                    report.states_visited
+                );
+            }
+            PropStatus::Violated(ce) => {
+                violated = true;
+                let _ = writeln!(
+                    out,
+                    "{:<40} VIOLATED     ({} states), witness ({} steps): {}",
+                    prop.display(universe),
+                    report.states_visited,
+                    ce.schedule.len(),
+                    render_schedule(&ce.schedule, universe)
+                );
+                let minimized = minimize_witness(&compiled.program, prop, &ce.schedule);
+                let _ = writeln!(
+                    out,
+                    "{:<40} minimized ({} steps): {}",
+                    "",
+                    minimized.len(),
+                    render_schedule(&minimized, universe)
+                );
+            }
+            PropStatus::Undetermined => {
+                let _ = writeln!(
+                    out,
+                    "{:<40} undetermined ({} states explored, bound hit)",
+                    prop.display(universe),
+                    report.states_visited
+                );
+            }
+        }
+    }
+    if violated {
+        EXIT_VIOLATED
+    } else {
+        EXIT_OK
+    }
+}
+
+fn explore(compiled: &Compiled, options: &ExploreOptions, out: &mut String) -> i32 {
+    let space = compiled.program.explore(options);
+    let _ = writeln!(out, "spec `{}`: {}", compiled.name, space.stats());
+    let _ = writeln!(
+        out,
+        "schedules of length 1/2/4/8: {}/{}/{}/{}",
+        space.count_schedules(1),
+        space.count_schedules(2),
+        space.count_schedules(4),
+        space.count_schedules(8)
+    );
+    EXIT_OK
+}
+
+fn boxed_policy(name: &str, seed: u64) -> Result<Box<dyn Policy>, String> {
+    Ok(match name {
+        "lexicographic" => Box::new(Lexicographic),
+        "random" => Box::new(Random::new(seed)),
+        "max-parallel" => Box::new(MaxParallel),
+        "min-serial" => Box::new(MinSerial),
+        "safe" => Box::new(SafeMaxParallel),
+        other => {
+            return Err(format!(
+                "unknown policy `{other}` (expected lexicographic, random, \
+                 max-parallel, min-serial or safe)"
+            ))
+        }
+    })
+}
+
+fn simulate(compiled: &Compiled, args: &[String], out: &mut String) -> Result<i32, String> {
+    let steps = flag(args, "--steps")?.unwrap_or(20);
+    let seed = flag(args, "--seed")?.unwrap_or(42) as u64;
+    let policy_name = match args.iter().position(|a| a == "--policy") {
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .ok_or("--policy needs a policy name")?,
+        None => "lexicographic".to_owned(),
+    };
+    let policy = boxed_policy(&policy_name, seed)?;
+    let universe = compiled.universe().clone();
+    // reuse the already compiled program (and its formula memo)
+    // instead of recompiling the specification into a second one
+    let mut engine = Engine::from_program(&compiled.program)
+        .policy_boxed(policy)
+        .build();
+    let report = engine.run(steps);
+    let _ = writeln!(
+        out,
+        "spec `{}`, policy {policy_name}: {} step(s){}",
+        compiled.name,
+        report.steps_taken,
+        if report.deadlocked {
+            ", DEADLOCKED"
+        } else {
+            ""
+        }
+    );
+    let diagram = report.schedule.render_timing_diagram(&universe);
+    if !diagram.is_empty() {
+        let _ = writeln!(out, "{diagram}");
+    }
+    let _ = writeln!(
+        out,
+        "schedule: {}",
+        render_schedule(&report.schedule, &universe)
+    );
+    Ok(if report.deadlocked {
+        EXIT_VIOLATED
+    } else {
+        EXIT_OK
+    })
+}
+
+fn conformance_cmd(compiled: &Compiled, trace_path: &str, out: &mut String) -> Result<i32, String> {
+    let text = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("cannot read `{trace_path}`: {e}"))?;
+    let universe = compiled.universe();
+    let schedule =
+        Schedule::parse_lines(&text, universe).map_err(|e| format!("{trace_path}: {e}"))?;
+    match conformance(&compiled.program, &schedule) {
+        Verdict::Conforms => {
+            let _ = writeln!(
+                out,
+                "trace conforms ({} steps replay cleanly)",
+                schedule.len()
+            );
+            Ok(EXIT_OK)
+        }
+        Verdict::Violation { step, violated } => {
+            let _ = writeln!(
+                out,
+                "trace VIOLATES at step {step}: constraints {violated:?}"
+            );
+            Ok(EXIT_VIOLATED)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("moccml-cli-test-{name}"));
+        std::fs::write(&path, content).expect("temp file writes");
+        path
+    }
+
+    const ALT: &str = "spec alt {\n  events a, b;\n  constraint alt = alternates(a, b);\n  assert never((a && b));\n  assert never(b);\n}\n";
+
+    #[test]
+    fn check_reports_verdicts_and_exit_codes() {
+        let path = write_temp("alt.mcc", ALT);
+        let args: Vec<String> = ["check", path.to_str().expect("utf8 path")]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let mut out = String::new();
+        let code = run(&args, &mut out);
+        assert_eq!(code, EXIT_VIOLATED, "never(b) is violated:\n{out}");
+        assert!(out.contains("never((a && b))"));
+        assert!(out.contains("holds"));
+        assert!(out.contains("VIOLATED"));
+        assert!(out.contains("witness (2 steps): a ; b"), "{out}");
+        assert!(out.contains("minimized (2 steps): a ; b"), "{out}");
+    }
+
+    #[test]
+    fn explore_and_simulate_run() {
+        let path = write_temp("alt2.mcc", ALT);
+        let p = path.to_str().expect("utf8 path").to_owned();
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &["explore".into(), p.clone(), "--workers".into(), "2".into()],
+                &mut out
+            ),
+            EXIT_OK
+        );
+        assert!(out.contains("states=2"), "{out}");
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &["simulate".into(), p, "--steps".into(), "4".into()],
+                &mut out
+            ),
+            EXIT_OK
+        );
+        assert!(out.contains("4 step(s)"), "{out}");
+        assert!(out.contains("schedule: a ; b ; a ; b"), "{out}");
+    }
+
+    #[test]
+    fn conformance_verdicts() {
+        let spec = write_temp("alt3.mcc", ALT);
+        let good = write_temp("good.trace", "a\nb\n");
+        let bad = write_temp("bad.trace", "a\na\n");
+        let s = spec.to_str().expect("utf8").to_owned();
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &[
+                    "conformance".into(),
+                    s.clone(),
+                    good.to_str().expect("utf8").into()
+                ],
+                &mut out
+            ),
+            EXIT_OK
+        );
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &["conformance".into(), s, bad.to_str().expect("utf8").into()],
+                &mut out
+            ),
+            EXIT_VIOLATED
+        );
+        assert!(out.contains("step 1"), "{out}");
+    }
+
+    #[test]
+    fn errors_name_file_line_and_column() {
+        let path = write_temp("broken.mcc", "spec x {\n  events a b;\n}");
+        let mut out = String::new();
+        let code = run(
+            &["check".into(), path.to_str().expect("utf8").into()],
+            &mut out,
+        );
+        assert_eq!(code, EXIT_ERROR);
+        assert!(out.contains(":2:12:"), "{out}");
+    }
+
+    #[test]
+    fn usage_errors() {
+        let mut out = String::new();
+        assert_eq!(run(&[], &mut out), EXIT_ERROR);
+        let mut out = String::new();
+        assert_eq!(run(&["help".into()], &mut out), EXIT_OK);
+        assert!(out.contains("usage"));
+        let mut out = String::new();
+        assert_eq!(
+            run(&["frobnicate".into(), "x.mcc".into()], &mut out),
+            EXIT_ERROR
+        );
+    }
+}

@@ -1,0 +1,693 @@
+//! Compiling a parsed `.mcc` AST into the engine's compiled form: an
+//! `Arc<Program>` plus the asserted properties as [`Prop`]s.
+//!
+//! Compilation is deterministic: events are interned in declaration
+//! order, constraints are added in source order, so a `.mcc` file and
+//! its programmatic transcription produce byte-identical state keys,
+//! schedules and verdicts — the golden contract the CLI tests pin.
+
+use crate::ast::{Arg, ConstraintDecl, Item, Name, PredAst, PropAst, SpecAst};
+use crate::error::LangError;
+use moccml_automata::{ParamKind, RelationLibrary};
+use moccml_ccsl::{
+    Alternation, Coincidence, Delay, Exclusion, FilteredBy, Intersection, Periodic, Precedence,
+    SampledOn, SubClock, Union,
+};
+use moccml_engine::Program;
+use moccml_kernel::{Constraint, EventId, Specification, StepPred, Universe};
+use moccml_verify::Prop;
+use std::sync::Arc;
+
+/// The result of compiling a `.mcc` specification: the engine-ready
+/// program and the asserted properties, ready for
+/// [`moccml_verify::check_props`].
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The specification name (`spec <name> { … }`).
+    pub name: String,
+    /// The compiled program (events interned in declaration order,
+    /// constraints in source order).
+    pub program: Arc<Program>,
+    /// The asserted properties, in source order.
+    pub props: Vec<Prop>,
+}
+
+impl Compiled {
+    /// The event universe of the compiled program.
+    #[must_use]
+    pub fn universe(&self) -> &Universe {
+        self.program.specification().universe()
+    }
+}
+
+fn resolve_err(line: usize, column: usize, message: String) -> LangError {
+    LangError::Resolve {
+        line,
+        column,
+        message,
+    }
+}
+
+fn lookup_event(universe: &Universe, name: &Name) -> Result<EventId, LangError> {
+    universe.lookup(&name.text).ok_or_else(|| {
+        resolve_err(
+            name.line,
+            name.column,
+            format!(
+                "unknown event `{}` (declare it with `events …;`)",
+                name.text
+            ),
+        )
+    })
+}
+
+/// Extracts argument `i` as an event reference.
+fn event_arg(decl: &ConstraintDecl, i: usize, universe: &Universe) -> Result<EventId, LangError> {
+    match decl.args.get(i) {
+        Some(Arg::Event(name)) => lookup_event(universe, name),
+        Some(other) => {
+            let (l, c) = other.position();
+            Err(resolve_err(
+                l,
+                c,
+                format!(
+                    "`{}` expects an event as argument {}, found a {}",
+                    decl.ctor,
+                    i + 1,
+                    other.kind()
+                ),
+            ))
+        }
+        None => Err(resolve_err(
+            decl.ctor.line,
+            decl.ctor.column,
+            format!("`{}` is missing argument {}", decl.ctor, i + 1),
+        )),
+    }
+}
+
+/// Extracts argument `i` as an integer within `min..=max`.
+fn int_arg(decl: &ConstraintDecl, i: usize, min: i64, max: i64) -> Result<i64, LangError> {
+    match decl.args.get(i) {
+        Some(Arg::Int(v, l, c)) => {
+            if *v < min || *v > max {
+                Err(resolve_err(
+                    *l,
+                    *c,
+                    format!(
+                        "argument {} of `{}` must be in {min}..={max}, found {v}",
+                        i + 1,
+                        decl.ctor
+                    ),
+                ))
+            } else {
+                Ok(*v)
+            }
+        }
+        Some(other) => {
+            let (l, c) = other.position();
+            Err(resolve_err(
+                l,
+                c,
+                format!(
+                    "`{}` expects an integer as argument {}, found a {}",
+                    decl.ctor,
+                    i + 1,
+                    other.kind()
+                ),
+            ))
+        }
+        None => Err(resolve_err(
+            decl.ctor.line,
+            decl.ctor.column,
+            format!("`{}` is missing argument {}", decl.ctor, i + 1),
+        )),
+    }
+}
+
+/// Extracts argument `i` as a `[bits]` vector.
+fn bits_arg(decl: &ConstraintDecl, i: usize) -> Result<Vec<bool>, LangError> {
+    match decl.args.get(i) {
+        Some(Arg::Bits(bits, _, _)) => Ok(bits.clone()),
+        Some(other) => {
+            let (l, c) = other.position();
+            Err(resolve_err(
+                l,
+                c,
+                format!(
+                    "`{}` expects a `[bits]` vector as argument {}, found a {}",
+                    decl.ctor,
+                    i + 1,
+                    other.kind()
+                ),
+            ))
+        }
+        None => Err(resolve_err(
+            decl.ctor.line,
+            decl.ctor.column,
+            format!("`{}` is missing argument {}", decl.ctor, i + 1),
+        )),
+    }
+}
+
+fn arity(decl: &ConstraintDecl, expected: &str, ok: bool) -> Result<(), LangError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(resolve_err(
+            decl.ctor.line,
+            decl.ctor.column,
+            format!(
+                "`{}` expects {expected}, found {} argument(s)",
+                decl.ctor,
+                decl.args.len()
+            ),
+        ))
+    }
+}
+
+/// Builds one of the built-in CCSL relations/expressions, or returns
+/// `Ok(None)` when the constructor name is not a built-in (the caller
+/// then searches the embedded libraries).
+#[allow(clippy::too_many_lines)] // one arm per constructor, all trivial
+fn build_builtin(
+    decl: &ConstraintDecl,
+    universe: &Universe,
+) -> Result<Option<Box<dyn Constraint>>, LangError> {
+    let name = &decl.name.text;
+    let n = decl.args.len();
+    let c: Box<dyn Constraint> = match decl.ctor.text.as_str() {
+        "subclock" => {
+            arity(decl, "(sub, sup)", n == 2)?;
+            Box::new(SubClock::new(
+                name,
+                event_arg(decl, 0, universe)?,
+                event_arg(decl, 1, universe)?,
+            ))
+        }
+        "exclusion" => {
+            arity(decl, "at least two events", n >= 2)?;
+            let events: Vec<EventId> = (0..n)
+                .map(|i| event_arg(decl, i, universe))
+                .collect::<Result<_, _>>()?;
+            Box::new(Exclusion::new(name, events))
+        }
+        "coincidence" => {
+            arity(decl, "(left, right)", n == 2)?;
+            Box::new(Coincidence::new(
+                name,
+                event_arg(decl, 0, universe)?,
+                event_arg(decl, 1, universe)?,
+            ))
+        }
+        "precedes" | "weak_precedes" => {
+            arity(
+                decl,
+                "(cause, effect) or (cause, effect, bound)",
+                n == 2 || n == 3,
+            )?;
+            let cause = event_arg(decl, 0, universe)?;
+            let effect = event_arg(decl, 1, universe)?;
+            let mut p = if decl.ctor.text == "precedes" {
+                Precedence::strict(name, cause, effect)
+            } else {
+                Precedence::weak(name, cause, effect)
+            };
+            if n == 3 {
+                let bound = int_arg(decl, 2, 1, i64::MAX)?;
+                p = p.with_bound(bound as u64);
+            }
+            Box::new(p)
+        }
+        "alternates" => {
+            arity(decl, "(first, second)", n == 2)?;
+            Box::new(Alternation::new(
+                name,
+                event_arg(decl, 0, universe)?,
+                event_arg(decl, 1, universe)?,
+            ))
+        }
+        "union" => {
+            arity(decl, "(result, operand, …)", n >= 2)?;
+            let result = event_arg(decl, 0, universe)?;
+            let operands: Vec<EventId> = (1..n)
+                .map(|i| event_arg(decl, i, universe))
+                .collect::<Result<_, _>>()?;
+            Box::new(Union::new(name, result, operands))
+        }
+        "intersection" => {
+            arity(decl, "(result, operand, …)", n >= 2)?;
+            let result = event_arg(decl, 0, universe)?;
+            let operands: Vec<EventId> = (1..n)
+                .map(|i| event_arg(decl, i, universe))
+                .collect::<Result<_, _>>()?;
+            Box::new(Intersection::new(name, result, operands))
+        }
+        "delay" => {
+            arity(decl, "(result, base, delay)", n == 3)?;
+            Box::new(Delay::new(
+                name,
+                event_arg(decl, 0, universe)?,
+                event_arg(decl, 1, universe)?,
+                int_arg(decl, 2, 0, i64::MAX)? as u64,
+            ))
+        }
+        "periodic" => {
+            arity(decl, "(result, base, offset, period)", n == 4)?;
+            Box::new(Periodic::new(
+                name,
+                event_arg(decl, 0, universe)?,
+                event_arg(decl, 1, universe)?,
+                int_arg(decl, 2, 0, i64::MAX)? as u64,
+                int_arg(decl, 3, 1, i64::MAX)? as u64,
+            ))
+        }
+        "sampled" => {
+            arity(decl, "(result, trigger, base)", n == 3)?;
+            Box::new(SampledOn::new(
+                name,
+                event_arg(decl, 0, universe)?,
+                event_arg(decl, 1, universe)?,
+                event_arg(decl, 2, universe)?,
+            ))
+        }
+        "filtered" => {
+            arity(decl, "(result, base, [head], [cycle])", n == 4)?;
+            let result = event_arg(decl, 0, universe)?;
+            let base = event_arg(decl, 1, universe)?;
+            let head = bits_arg(decl, 2)?;
+            let cycle = bits_arg(decl, 3)?;
+            if cycle.is_empty() {
+                let (l, c) = decl.args[3].position();
+                return Err(resolve_err(
+                    l,
+                    c,
+                    "the periodic part of `filtered` must be non-empty".to_owned(),
+                ));
+            }
+            Box::new(FilteredBy::new(name, result, base, head, cycle))
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some(c))
+}
+
+/// Instantiates a constraint declared in one of the embedded automata
+/// libraries, binding arguments positionally against the declaration's
+/// typed parameter list.
+fn build_automaton(
+    decl: &ConstraintDecl,
+    library: &RelationLibrary,
+    universe: &Universe,
+) -> Result<Box<dyn Constraint>, LangError> {
+    let declaration = library
+        .declaration(&decl.ctor.text)
+        .expect("caller checked the declaration exists")
+        .clone();
+    let params = declaration.params().to_vec();
+    arity(
+        decl,
+        &format!("{} argument(s)", params.len()),
+        decl.args.len() == params.len(),
+    )?;
+    let mut builder = library
+        .instantiate(&decl.ctor.text, &decl.name.text)
+        .map_err(|e| resolve_err(decl.ctor.line, decl.ctor.column, e.to_string()))?;
+    for (i, (param, kind)) in params.iter().enumerate() {
+        builder = match kind {
+            ParamKind::Event => builder.bind_event(param, event_arg(decl, i, universe)?),
+            ParamKind::Int => builder.bind_int(param, int_arg(decl, i, i64::MIN, i64::MAX)?),
+        };
+    }
+    let instance = builder
+        .finish()
+        .map_err(|e| resolve_err(decl.name.line, decl.name.column, e.to_string()))?;
+    Ok(Box::new(instance))
+}
+
+impl PredAst {
+    /// Resolves event names against `universe`, producing the kernel
+    /// predicate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Resolve`] (with the name's span) on
+    /// unknown events.
+    pub fn resolve(&self, universe: &Universe) -> Result<StepPred, LangError> {
+        Ok(match self {
+            PredAst::Fired(n) => StepPred::fired(lookup_event(universe, n)?),
+            PredAst::Excludes(a, b) => {
+                StepPred::excludes(lookup_event(universe, a)?, lookup_event(universe, b)?)
+            }
+            PredAst::Implies(a, b) => {
+                StepPred::implies(lookup_event(universe, a)?, lookup_event(universe, b)?)
+            }
+            PredAst::And(a, b) => StepPred::and(a.resolve(universe)?, b.resolve(universe)?),
+            PredAst::Or(a, b) => StepPred::or(a.resolve(universe)?, b.resolve(universe)?),
+            PredAst::Not(p) => StepPred::negate(p.resolve(universe)?),
+        })
+    }
+}
+
+impl PropAst {
+    /// Resolves event names against `universe`, producing the verify
+    /// layer's property.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Resolve`] (with the name's span) on
+    /// unknown events.
+    pub fn resolve(&self, universe: &Universe) -> Result<Prop, LangError> {
+        Ok(match self {
+            PropAst::Always(p) => Prop::Always(p.resolve(universe)?),
+            PropAst::Never(p) => Prop::Never(p.resolve(universe)?),
+            PropAst::EventuallyWithin(p, k) => Prop::EventuallyWithin(p.resolve(universe)?, *k),
+            PropAst::DeadlockFree => Prop::DeadlockFree,
+        })
+    }
+}
+
+/// Compiles a parsed specification into an [`Arc<Program>`] plus the
+/// asserted [`Prop`]s, through the existing ccsl/automata/engine
+/// layers.
+///
+/// # Errors
+///
+/// Returns [`LangError::Resolve`] on duplicate event or constraint
+/// names, unknown events, unknown constructors and ill-typed or
+/// ill-arity instantiations — each pointing at the offending token.
+pub fn compile(ast: &SpecAst) -> Result<Compiled, LangError> {
+    // pass 1: the universe, in declaration order
+    let mut universe = Universe::new();
+    for item in &ast.items {
+        if let Item::Events(names) = item {
+            for name in names {
+                if universe.lookup(&name.text).is_some() {
+                    return Err(resolve_err(
+                        name.line,
+                        name.column,
+                        format!("event `{}` is declared twice", name.text),
+                    ));
+                }
+                universe.event(&name.text);
+            }
+        }
+    }
+
+    // pass 2: constraints and properties, in source order; libraries
+    // accumulate as they appear (a constructor may only reference a
+    // library block that precedes it, mirroring reading order)
+    let mut spec = Specification::new(&ast.name, universe.clone());
+    let mut libraries: Vec<&RelationLibrary> = Vec::new();
+    let mut props = Vec::new();
+    let mut constraint_names: Vec<&str> = Vec::new();
+    for item in &ast.items {
+        match item {
+            Item::Events(_) => {}
+            Item::Library(block) => libraries.push(&block.library),
+            Item::Constraint(decl) => {
+                if constraint_names.contains(&decl.name.text.as_str()) {
+                    return Err(resolve_err(
+                        decl.name.line,
+                        decl.name.column,
+                        format!("constraint `{}` is declared twice", decl.name.text),
+                    ));
+                }
+                constraint_names.push(&decl.name.text);
+                let constraint = match build_builtin(decl, &universe)? {
+                    Some(c) => c,
+                    None => {
+                        let library = libraries
+                            .iter()
+                            .rev()
+                            .find(|l| l.declaration(&decl.ctor.text).is_some());
+                        match library {
+                            Some(library) => build_automaton(decl, library, &universe)?,
+                            None => {
+                                return Err(resolve_err(
+                                    decl.ctor.line,
+                                    decl.ctor.column,
+                                    format!(
+                                        "unknown constructor `{}` (not a built-in relation or \
+                                         expression, and no preceding library declares it)",
+                                        decl.ctor.text
+                                    ),
+                                ))
+                            }
+                        }
+                    }
+                };
+                spec.add_constraint(constraint);
+            }
+            Item::Assert(prop) => props.push(prop.resolve(&universe)?),
+        }
+    }
+
+    Ok(Compiled {
+        name: ast.name.clone(),
+        program: Program::new(spec),
+        props,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_str, parse_spec};
+    use moccml_engine::ExploreOptions;
+    use moccml_verify::{check_props, PropStatus};
+
+    const PIPELINE: &str = r#"
+spec pipeline {
+  events w1, r1, w2, r2;
+
+  library SDF {
+    constraint PlaceConstraint(write: event, read: event,
+                               pushRate: int, popRate: int,
+                               itsDelay: int, itsCapacity: int)
+    automaton PlaceConstraintDef implements PlaceConstraint {
+      var size: int = itsDelay;
+      initial state S0;
+      final state S0;
+      from S0 to S0 when {write} forbid {read}
+        guard [size <= itsCapacity - pushRate] do size += pushRate;
+      from S0 to S0 when {read} forbid {write}
+        guard [size >= popRate] do size -= popRate;
+    }
+  }
+
+  constraint p1 = PlaceConstraint(w1, r1, 1, 1, 0, 1);
+  constraint chain = coincidence(r1, w2);
+  constraint p2 = PlaceConstraint(w2, r2, 1, 1, 0, 1);
+
+  assert deadlock-free;
+  assert never((r1 && w1));
+  assert eventually<=4(r2);
+}
+"#;
+
+    /// The programmatic transcription of [`PIPELINE`], built through
+    /// the same layers a Rust user would use.
+    fn programmatic() -> Compiled {
+        let mut u = Universe::new();
+        let (w1, r1) = (u.event("w1"), u.event("r1"));
+        let (w2, r2) = (u.event("w2"), u.event("r2"));
+        let lib = moccml_automata::parse_library(
+            r#"library SDF {
+              constraint PlaceConstraint(write: event, read: event,
+                                         pushRate: int, popRate: int,
+                                         itsDelay: int, itsCapacity: int)
+              automaton PlaceConstraintDef implements PlaceConstraint {
+                var size: int = itsDelay;
+                initial state S0;
+                final state S0;
+                from S0 to S0 when {write} forbid {read}
+                  guard [size <= itsCapacity - pushRate] do size += pushRate;
+                from S0 to S0 when {read} forbid {write}
+                  guard [size >= popRate] do size -= popRate;
+              }
+            }"#,
+        )
+        .expect("parses");
+        let place = |name: &str, w, r| {
+            lib.instantiate("PlaceConstraint", name)
+                .expect("declared")
+                .bind_event("write", w)
+                .bind_event("read", r)
+                .bind_int("pushRate", 1)
+                .bind_int("popRate", 1)
+                .bind_int("itsDelay", 0)
+                .bind_int("itsCapacity", 1)
+                .finish()
+                .expect("complete binding")
+        };
+        let mut spec = Specification::new("pipeline", u.clone());
+        spec.add_constraint(Box::new(place("p1", w1, r1)));
+        spec.add_constraint(Box::new(Coincidence::new("chain", r1, w2)));
+        spec.add_constraint(Box::new(place("p2", w2, r2)));
+        let props = vec![
+            Prop::DeadlockFree,
+            Prop::Never(StepPred::and(StepPred::fired(r1), StepPred::fired(w1))),
+            Prop::EventuallyWithin(StepPred::fired(r2), 4),
+        ];
+        Compiled {
+            name: "pipeline".to_owned(),
+            program: Program::new(spec),
+            props,
+        }
+    }
+
+    #[test]
+    fn textual_and_programmatic_specs_agree_byte_for_byte() {
+        let textual = compile_str(PIPELINE).expect("compiles");
+        let reference = programmatic();
+        // same universe, same interned events, same constraint states
+        assert_eq!(textual.universe(), reference.universe());
+        assert_eq!(
+            textual.program.template_key(),
+            reference.program.template_key()
+        );
+        assert_eq!(textual.props, reference.props);
+        // same explored space and the same verdicts, counterexamples
+        // included
+        let options = ExploreOptions::default();
+        assert_eq!(
+            textual.program.explore(&options),
+            reference.program.explore(&options)
+        );
+        let report_t = check_props(&textual.program, &textual.props, &options);
+        let report_r = check_props(&reference.program, &reference.props, &options);
+        assert_eq!(report_t, report_r);
+        // the liveness bound is violated (the pipeline needs 2 writes
+        // before r2 can fire twice... the witness replays either way)
+        for status in &report_t.statuses {
+            if let PropStatus::Violated(ce) = status {
+                assert!(ce.replays_on(&textual.program));
+                assert!(ce.replays_on(&reference.program));
+            }
+        }
+    }
+
+    #[test]
+    fn print_parse_round_trip_preserves_the_ast() {
+        let ast = parse_spec(PIPELINE).expect("parses");
+        let printed = ast.to_text();
+        let reparsed = parse_spec(&printed).expect("printed form parses");
+        assert_eq!(ast, reparsed, "\n--- printed ---\n{printed}");
+        // and the canonical form is a fixpoint
+        assert_eq!(printed, reparsed.to_text());
+    }
+
+    #[test]
+    fn compiled_round_trip_produces_the_same_program() {
+        let direct = compile_str(PIPELINE).expect("compiles");
+        let printed = parse_spec(PIPELINE).expect("parses").to_text();
+        let reprinted = compile_str(&printed).expect("printed form compiles");
+        assert_eq!(direct.universe(), reprinted.universe());
+        assert_eq!(
+            direct.program.template_key(),
+            reprinted.program.template_key()
+        );
+        assert_eq!(direct.props, reprinted.props);
+    }
+
+    #[test]
+    fn resolve_errors_point_at_the_offending_token() {
+        for (src, line, column, fragment) in [
+            // unknown event in a constraint
+            (
+                "spec x {\n  events a;\n  constraint c = subclock(a, ghost);\n}",
+                3,
+                30,
+                "unknown event `ghost`",
+            ),
+            // unknown event in a property
+            (
+                "spec x {\n  events a;\n  assert never(ghost);\n}",
+                3,
+                16,
+                "unknown event `ghost`",
+            ),
+            // unknown constructor
+            (
+                "spec x {\n  events a, b;\n  constraint c = frobnicates(a, b);\n}",
+                3,
+                18,
+                "unknown constructor `frobnicates`",
+            ),
+            // arity error at the ctor
+            (
+                "spec x {\n  events a, b;\n  constraint c = subclock(a);\n}",
+                3,
+                18,
+                "expects (sub, sup)",
+            ),
+            // kind error at the argument
+            (
+                "spec x {\n  events a, b;\n  constraint c = subclock(a, 3);\n}",
+                3,
+                30,
+                "expects an event",
+            ),
+            // zero bound rejected before the ccsl layer could panic
+            (
+                "spec x {\n  events a, b;\n  constraint c = precedes(a, b, 0);\n}",
+                3,
+                33,
+                "must be in 1..=",
+            ),
+            // duplicate event declaration
+            (
+                "spec x {\n  events a, a;\n}",
+                2,
+                13,
+                "declared twice",
+            ),
+            // duplicate constraint name
+            (
+                "spec x {\n  events a, b;\n  constraint c = subclock(a, b);\n  constraint c = subclock(b, a);\n}",
+                4,
+                14,
+                "declared twice",
+            ),
+        ] {
+            let err = compile_str(src).expect_err(src);
+            assert_eq!(err.position(), (line, column), "{src}\n{err}");
+            assert!(err.to_string().contains(fragment), "{src}\n{err}");
+        }
+    }
+
+    #[test]
+    fn automata_binding_errors_carry_spans() {
+        // an int where the declaration wants an event
+        let src = "spec x {\n  events a, b;\n  library L {\n    constraint C(x: event, n: int)\n    automaton D implements C {\n      initial final state S;\n      from S to S when {x} guard [n > 0];\n    }\n  }\n  constraint c = C(5, 1);\n}";
+        let err = compile_str(src).expect_err("int for event");
+        assert_eq!(err.position(), (10, 20), "{err}");
+        // wrong arity against the declaration
+        let src = src.replace("C(5, 1)", "C(a)");
+        let err = compile_str(&src).expect_err("missing int");
+        assert!(err.to_string().contains("expects 2 argument(s)"), "{err}");
+    }
+
+    #[test]
+    fn constructors_see_only_preceding_libraries() {
+        let src = "spec x {\n  events a;\n  constraint c = C(a);\n  library L {\n    constraint C(x: event)\n    automaton D implements C {\n      initial final state S;\n      from S to S when {x};\n    }\n  }\n}";
+        let err = compile_str(src).expect_err("library comes later");
+        assert!(err.to_string().contains("unknown constructor `C`"), "{err}");
+    }
+
+    #[test]
+    fn builtin_expressions_compile_and_run() {
+        let compiled = compile_str(
+            "spec exprs {\n  events a, b, r, s;\n\
+             constraint u = union(r, a, b);\n\
+             constraint d = delay(s, r, 1);\n\
+             constraint f = filtered(b, a, [0], [1]);\n}",
+        )
+        .expect("compiles");
+        let space = compiled
+            .program
+            .explore(&ExploreOptions::default().with_max_states(100));
+        assert!(space.state_count() > 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! The `.mcc` lexer: identifiers, integers and punctuation, every
+//! token carrying its 1-based `line:column` span and byte offset.
+//!
+//! The symbol set is the union of what the `.mcc` grammar itself needs
+//! (`#`, `=>`, `<=`, …) and everything the embedded automata-library
+//! syntax uses (`+=`, `-=`, `==`, …): the spec parser skips over
+//! `library { … }` blocks token by token (balancing braces) and hands
+//! the raw source slice to [`moccml_automata::parse_library`], so the
+//! lexer must at least tokenize that dialect without choking.
+
+use crate::error::LangError;
+
+/// One lexed token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    /// An identifier or keyword (`spec`, `events`, an event name, …).
+    Ident(String),
+    /// A non-negative integer literal.
+    Int(i64),
+    /// Punctuation / operator, interned as a static string.
+    Sym(&'static str),
+}
+
+/// A token with its position: 1-based line and column, plus the byte
+/// offset span `[start, end)` into the source (used to slice embedded
+/// library blocks out verbatim).
+#[derive(Debug, Clone)]
+pub(crate) struct Token {
+    pub tok: Tok,
+    pub line: usize,
+    pub column: usize,
+    pub start: usize,
+    pub end: usize,
+}
+
+/// Two-character symbols, longest-match-first.
+const SYM2: [&str; 9] = ["<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "=>"];
+
+/// Lexes `input` into a token stream.
+pub(crate) fn lex(input: &str) -> Result<Vec<Token>, LangError> {
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    // char index of the first char of the current line, for columns
+    let mut line_start = 0usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let (offset, c) = chars[i];
+        let column = i - line_start + 1;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+                line_start = i;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if matches!(chars.get(i + 1), Some((_, '/'))) => {
+                while i < chars.len() && chars[i].1 != '\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                // event names may be dotted (`hydroA.start`), matching
+                // the agent-event convention of the sdf crate
+                while i < chars.len()
+                    && (chars[i].1.is_ascii_alphanumeric()
+                        || chars[i].1 == '_'
+                        || chars[i].1 == '.')
+                {
+                    i += 1;
+                }
+                let end = chars.get(i).map_or(input.len(), |(o, _)| *o);
+                tokens.push(Token {
+                    tok: Tok::Ident(input[offset..end].to_owned()),
+                    line,
+                    column,
+                    start: offset,
+                    end,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                while i < chars.len() && chars[i].1.is_ascii_digit() {
+                    i += 1;
+                }
+                let end = chars.get(i).map_or(input.len(), |(o, _)| *o);
+                let text = &input[offset..end];
+                let value = text.parse::<i64>().map_err(|_| LangError::Parse {
+                    line,
+                    column,
+                    message: format!("integer literal `{text}` out of range"),
+                })?;
+                tokens.push(Token {
+                    tok: Tok::Int(value),
+                    line,
+                    column,
+                    start: offset,
+                    end,
+                });
+            }
+            _ => {
+                if let Some((_, d)) = chars.get(i + 1) {
+                    let two: String = [c, *d].iter().collect();
+                    if let Some(s) = SYM2.iter().find(|s| **s == two) {
+                        tokens.push(Token {
+                            tok: Tok::Sym(s),
+                            line,
+                            column,
+                            start: offset,
+                            end: offset + s.len(),
+                        });
+                        i += 2;
+                        continue;
+                    }
+                }
+                let one = match c {
+                    '{' => "{",
+                    '}' => "}",
+                    '(' => "(",
+                    ')' => ")",
+                    '[' => "[",
+                    ']' => "]",
+                    ',' => ",",
+                    ';' => ";",
+                    ':' => ":",
+                    '=' => "=",
+                    '<' => "<",
+                    '>' => ">",
+                    '+' => "+",
+                    '-' => "-",
+                    '*' => "*",
+                    '!' => "!",
+                    '#' => "#",
+                    other => {
+                        return Err(LangError::Parse {
+                            line,
+                            column,
+                            message: format!("unexpected character `{other}`"),
+                        })
+                    }
+                };
+                tokens.push(Token {
+                    tok: Tok::Sym(one),
+                    line,
+                    column,
+                    start: offset,
+                    end: offset + one.len(),
+                });
+                i += 1;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_lines_and_columns() {
+        let toks = lex("spec X {\n  events a;\n}").expect("lexes");
+        let spec = &toks[0];
+        assert_eq!((spec.line, spec.column), (1, 1));
+        let events = toks.iter().find(|t| t.tok == Tok::Ident("events".into()));
+        let events = events.expect("events token");
+        assert_eq!((events.line, events.column), (2, 3));
+    }
+
+    #[test]
+    fn dotted_idents_and_two_char_symbols() {
+        let toks = lex("a.start => b.stop <= 3 # x").expect("lexes");
+        let kinds: Vec<Tok> = toks.into_iter().map(|t| t.tok).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Ident("a.start".into()),
+                Tok::Sym("=>"),
+                Tok::Ident("b.stop".into()),
+                Tok::Sym("<="),
+                Tok::Int(3),
+                Tok::Sym("#"),
+                Tok::Ident("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("a // comment { } ;\nb").expect("lexes");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn offsets_slice_the_source_back() {
+        let src = "library L { var x: int = 1; }";
+        let toks = lex(src).expect("lexes");
+        let last = toks.last().expect("non-empty");
+        assert_eq!(&src[toks[0].start..last.end], src);
+    }
+
+    #[test]
+    fn rejects_hostile_characters_with_position() {
+        let err = lex("spec X {\n  €\n}").expect_err("fails");
+        assert_eq!(err.position(), (2, 3));
+        let err = lex(&format!("n = {}9", "9".repeat(30))).expect_err("overflow");
+        assert_eq!(err.position(), (1, 5));
+    }
+}

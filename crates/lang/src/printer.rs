@@ -1,0 +1,108 @@
+//! The canonical pretty-printer: `.mcc` text that reparses to an
+//! equal AST (`parse_spec(&ast.to_text())? == ast` — spans excluded,
+//! see [`ast`](crate::ast)).
+//!
+//! Predicates and properties print in exactly the format
+//! [`StepPred::display`](moccml_kernel::StepPred::display) and
+//! [`Prop::display`](moccml_verify::Prop::display) use, so the
+//! verification layer's rendered output is itself valid `.mcc`
+//! property syntax.
+
+use crate::ast::{Arg, ConstraintDecl, Item, PredAst, PropAst, SpecAst};
+use moccml_automata::library_to_text;
+use std::fmt;
+
+impl fmt::Display for PredAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredAst::Fired(n) => write!(f, "{n}"),
+            PredAst::Excludes(a, b) => write!(f, "{a} # {b}"),
+            PredAst::Implies(a, b) => write!(f, "{a} => {b}"),
+            PredAst::And(a, b) => write!(f, "({a} && {b})"),
+            PredAst::Or(a, b) => write!(f, "({a} || {b})"),
+            PredAst::Not(p) => write!(f, "!{p}"),
+        }
+    }
+}
+
+impl fmt::Display for PropAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropAst::Always(p) => write!(f, "always({p})"),
+            PropAst::Never(p) => write!(f, "never({p})"),
+            PropAst::EventuallyWithin(p, k) => write!(f, "eventually<={k}({p})"),
+            PropAst::DeadlockFree => write!(f, "deadlock-free"),
+        }
+    }
+}
+
+impl fmt::Display for Arg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arg::Event(n) => write!(f, "{n}"),
+            Arg::Int(v, _, _) => write!(f, "{v}"),
+            Arg::Bits(bits, _, _) => {
+                let cells: Vec<&str> = bits.iter().map(|b| if *b { "1" } else { "0" }).collect();
+                write!(f, "[{}]", cells.join(", "))
+            }
+        }
+    }
+}
+
+impl fmt::Display for ConstraintDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<String> = self.args.iter().map(ToString::to_string).collect();
+        write!(
+            f,
+            "constraint {} = {}({});",
+            self.name,
+            self.ctor,
+            args.join(", ")
+        )
+    }
+}
+
+impl SpecAst {
+    /// Renders the specification in the canonical `.mcc` concrete
+    /// syntax. Parsing the output yields an AST equal to `self`
+    /// (spans excluded) — the round-trip contract the property suite
+    /// pins down.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("spec {} {{\n", self.name));
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            match item {
+                Item::Events(names) => {
+                    let cells: Vec<&str> = names.iter().map(|n| n.text.as_str()).collect();
+                    out.push_str(&format!("  events {};\n", cells.join(", ")));
+                }
+                Item::Library(block) => {
+                    // re-indent the automata renderer's output two deep
+                    for line in library_to_text(&block.library).lines() {
+                        if line.is_empty() {
+                            out.push('\n');
+                        } else {
+                            out.push_str("  ");
+                            out.push_str(line);
+                            out.push('\n');
+                        }
+                    }
+                }
+                Item::Constraint(c) => out.push_str(&format!("  {c}\n")),
+                Item::Assert(p) => out.push_str(&format!("  assert {p};\n")),
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for SpecAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}

@@ -4,16 +4,21 @@
 //! The FinTech constraint-equivalence workload: two different
 //! formulations of "the same" timing rules should accept exactly the
 //! same schedules. [`check_equivalence`] explores the *synchronized
-//! product* of two [`Program`]s breadth first — both cursors restored
-//! to each reachable state pair, both acceptable-step sets enumerated
-//! over the union of their constrained events — and returns a shortest
-//! distinguishing schedule on the first mismatch. [`check_refinement`]
-//! is the one-sided variant (every schedule of the left program is a
-//! schedule of the right).
+//! product* of two [`Program`]s — compiled as one product program
+//! (both constraint populations conjoined over the shared universe)
+//! and run through the engine's **parallel explorer**, so
+//! [`EquivOptions::workers`] threads expand each BFS level. At every
+//! freshly discovered product state, both sides' cursors are
+//! positioned and their acceptable-step sets enumerated over the union
+//! of their constrained events; the first mismatch (in canonical absorption
+//! order, identical for every worker count) stops the exploration at
+//! its level barrier and comes back as a shortest distinguishing
+//! schedule. [`check_refinement`] is the one-sided variant (every
+//! schedule of the left program is a schedule of the right).
 
-use moccml_engine::{Program, SolverOptions};
-use moccml_kernel::{EventId, Schedule, StateKey, Step};
-use std::collections::{HashMap, VecDeque};
+use crate::check::schedule_through_parents;
+use moccml_engine::{Cursor, ExploreOptions, ExploreVisitor, Program, SolverOptions, VisitControl};
+use moccml_kernel::{EventId, Schedule, Specification, StateKey, Step};
 use std::error::Error;
 use std::fmt;
 
@@ -97,6 +102,11 @@ pub struct EquivOptions {
     /// (`include_empty` is ignored: the empty step is acceptable to
     /// every specification and distinguishes nothing).
     pub solver: SolverOptions,
+    /// Worker threads expanding each BFS level of the product — the
+    /// same knob as [`ExploreOptions::workers`]. Defaults to
+    /// [`std::thread::available_parallelism`]; the verdict, including
+    /// any [`Distinguisher`], is identical for every value.
+    pub workers: usize,
 }
 
 impl Default for EquivOptions {
@@ -104,6 +114,9 @@ impl Default for EquivOptions {
         EquivOptions {
             max_states: 100_000,
             solver: SolverOptions::default(),
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
         }
     }
 }
@@ -113,6 +126,15 @@ impl EquivOptions {
     #[must_use]
     pub fn with_max_states(mut self, max_states: usize) -> Self {
         self.max_states = max_states;
+        self
+    }
+
+    /// Sets the worker-thread count (builder style); `1` runs the
+    /// explorer's inline serial path. Any value yields the same
+    /// verdict.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
         self
     }
 }
@@ -194,6 +216,83 @@ enum Mode {
     Refinement,
 }
 
+/// The [`ExploreVisitor`] that rides the product exploration: it
+/// mirrors the explorer's interning (one `(left key, right key)` pair
+/// per product state, derived by firing the absorbed step on both
+/// side cursors) and difference-checks every freshly discovered pair
+/// in canonical absorption order. The first mismatch stops the BFS at
+/// its level barrier — the same deterministic early-stop contract the
+/// property checker uses, so the returned [`Distinguisher`] is
+/// identical for every worker count.
+struct ProductVisitor<'a> {
+    lcur: Cursor,
+    rcur: Cursor,
+    /// `(left key, right key)` per product state index, in interning
+    /// order — parallel to the explorer's own state vector.
+    pairs: Vec<(StateKey, StateKey)>,
+    /// First-discovery parent links for shortest-schedule
+    /// reconstruction.
+    parents: Vec<Option<(usize, Step)>>,
+    union: &'a [EventId],
+    solver: SolverOptions,
+    mode: Mode,
+    violation: Option<Distinguisher>,
+}
+
+impl ProductVisitor<'_> {
+    /// Difference-checks product state `pair`, **assuming both side
+    /// cursors are already positioned at it**: enumerate their
+    /// acceptable steps over the event union, return the first
+    /// disagreement. (Callers position the cursors as a side effect of
+    /// deriving the pair, so no restore is needed here.)
+    fn check_positioned(&mut self, pair: usize) -> Option<Distinguisher> {
+        let ls = self.lcur.acceptable_steps_over(self.union, &self.solver);
+        let rs = self.rcur.acceptable_steps_over(self.union, &self.solver);
+        first_difference(&ls, &rs, self.mode).map(|(step, side)| Distinguisher {
+            schedule: schedule_through_parents(&self.parents, pair),
+            step,
+            only_accepted_by: side,
+        })
+    }
+}
+
+impl ExploreVisitor for ProductVisitor<'_> {
+    fn on_transition(&mut self, source: usize, step: &Step, target: usize, _depth: usize) {
+        if target != self.pairs.len() {
+            // a previously interned product state: nothing new to learn
+            return;
+        }
+        // fresh state, announced in canonical order with index ==
+        // pairs.len(): derive its pair by firing the step on both
+        // sides (the product accepts it, so each side does too), which
+        // leaves the cursors positioned exactly where the difference
+        // check needs them
+        let (lkey, rkey) = self.pairs[source].clone();
+        self.lcur.restore(&lkey).expect("interned keys restore");
+        self.rcur.restore(&rkey).expect("interned keys restore");
+        self.lcur
+            .fire(step)
+            .expect("product steps fire on the left");
+        self.rcur
+            .fire(step)
+            .expect("product steps fire on the right");
+        self.pairs
+            .push((self.lcur.state_key(), self.rcur.state_key()));
+        self.parents.push(Some((source, step.clone())));
+        if self.violation.is_none() {
+            self.violation = self.check_positioned(target);
+        }
+    }
+
+    fn on_level_end(&mut self, _depth: usize, _state_count: usize) -> VisitControl {
+        if self.violation.is_some() {
+            VisitControl::Stop
+        } else {
+            VisitControl::Continue
+        }
+    }
+}
+
 fn product_explore(
     left: &Program,
     right: &Program,
@@ -213,53 +312,49 @@ fn product_explore(
     };
     let solver = options.solver.clone().with_empty(false);
 
-    let mut lcur = left.cursor();
-    let mut rcur = right.cursor();
-    let root = (lcur.state_key(), rcur.state_key());
-    let mut keys: Vec<(StateKey, StateKey)> = vec![root.clone()];
-    let mut index: HashMap<(StateKey, StateKey), usize> = HashMap::from([(root, 0)]);
-    let mut parents: Vec<Option<(usize, Step)>> = vec![None];
-    let mut queue: VecDeque<usize> = VecDeque::from([0]);
-    let mut truncated = false;
-
-    while let Some(pair) = queue.pop_front() {
-        let (lkey, rkey) = keys[pair].clone();
-        lcur.restore(&lkey).expect("interned keys restore");
-        rcur.restore(&rkey).expect("interned keys restore");
-        let ls = lcur.acceptable_steps_over(&union, &solver);
-        let rs = rcur.acceptable_steps_over(&union, &solver);
-        if let Some((step, side)) = first_difference(&ls, &rs, mode) {
-            return Ok(EquivalenceVerdict::Distinguished(Distinguisher {
-                schedule: crate::check::schedule_through_parents(&parents, pair),
-                step,
-                only_accepted_by: side,
-            }));
-        }
-        // successors follow the agreed steps (equivalence: ls == rs;
-        // refinement: ls ⊆ rs), in sorted order
-        for step in &ls {
-            lcur.restore(&lkey).expect("interned keys restore");
-            rcur.restore(&rkey).expect("interned keys restore");
-            lcur.fire(step).expect("enumerated steps fire");
-            rcur.fire(step).expect("enumerated steps fire");
-            let succ = (lcur.state_key(), rcur.state_key());
-            if index.contains_key(&succ) {
-                continue;
-            }
-            if keys.len() >= options.max_states {
-                truncated = true;
-                continue;
-            }
-            let i = keys.len();
-            keys.push(succ.clone());
-            index.insert(succ, i);
-            parents.push(Some((pair, step.clone())));
-            queue.push_back(i);
-        }
+    // the synchronized product as one compiled program: both
+    // constraint populations conjoined over the shared universe. Its
+    // acceptable steps are exactly the steps *both* sides accept —
+    // which, at every difference-free pair, are exactly the successor
+    // steps the serial pair-BFS followed (equivalence: ls == rs;
+    // refinement: ls ⊆ rs, so the intersection is ls). Exploring it
+    // therefore visits the same pairs, now across worker threads.
+    let mut product = Specification::new("product", left.specification().universe().clone());
+    for constraint in left
+        .specification()
+        .constraints()
+        .iter()
+        .chain(right.specification().constraints())
+    {
+        product.add_constraint(constraint.boxed_clone());
     }
+    let product = Program::new(product);
 
-    let pairs_visited = keys.len();
-    Ok(if truncated {
+    let mut visitor = ProductVisitor {
+        lcur: left.cursor(),
+        rcur: right.cursor(),
+        pairs: vec![(left.template_key().clone(), right.template_key().clone())],
+        parents: vec![None],
+        union: &union,
+        solver: solver.clone(),
+        mode,
+        violation: None,
+    };
+    // the root pair is discovered by construction, not by transition:
+    // check it before exploring (the fresh cursors already sit at it)
+    if let Some(d) = visitor.check_positioned(0) {
+        return Ok(EquivalenceVerdict::Distinguished(d));
+    }
+    let explore_options = ExploreOptions::default()
+        .with_max_states(options.max_states)
+        .with_solver(solver)
+        .with_workers(options.workers);
+    let space = product.explore_with(&explore_options, &mut visitor);
+    if let Some(d) = visitor.violation {
+        return Ok(EquivalenceVerdict::Distinguished(d));
+    }
+    let pairs_visited = space.state_count();
+    Ok(if space.truncated() {
         EquivalenceVerdict::Unknown { pairs_visited }
     } else {
         EquivalenceVerdict::Equivalent { pairs_visited }
@@ -421,6 +516,71 @@ mod tests {
         let verdict = check_equivalence(&p1, &p2, &EquivOptions::default().with_max_states(8))
             .expect("same universe");
         assert_eq!(verdict, EquivalenceVerdict::Unknown { pairs_visited: 8 });
+    }
+
+    #[test]
+    fn verdicts_are_identical_for_every_worker_count() {
+        // the product of the alternation and the bounded precedence is
+        // distinguished a few levels deep; every worker count must
+        // return the *same* shortest distinguisher — and the same
+        // Equivalent/Unknown verdicts on the agreeing pairs
+        let mut u = Universe::new();
+        let (a, b, c) = (u.event("a"), u.event("b"), u.event("c"));
+        let alt = program_with(&u, |s| {
+            s.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+            s.add_constraint(Box::new(Precedence::strict("b<c", b, c).with_bound(3)));
+        });
+        let prec = program_with(&u, |s| {
+            s.add_constraint(Box::new(Precedence::strict("a<b", a, b).with_bound(1)));
+            s.add_constraint(Box::new(Precedence::strict("b<c", b, c).with_bound(3)));
+        });
+        let serial = check_equivalence(&alt, &prec, &EquivOptions::default().with_workers(1))
+            .expect("same universe");
+        assert!(
+            matches!(serial, EquivalenceVerdict::Distinguished(_)),
+            "{serial:?}"
+        );
+        for workers in [2, 8] {
+            let parallel =
+                check_equivalence(&alt, &prec, &EquivOptions::default().with_workers(workers))
+                    .expect("same universe");
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+        // refinement through the same parallel product
+        let serial = check_refinement(&prec, &alt, &EquivOptions::default().with_workers(1))
+            .expect("same universe");
+        for workers in [2, 8] {
+            let parallel =
+                check_refinement(&prec, &alt, &EquivOptions::default().with_workers(workers))
+                    .expect("same universe");
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn equivalent_verdicts_agree_across_workers_and_bounds() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let p1 = program_with(&u, |s| {
+            s.add_constraint(Box::new(Precedence::strict("a<b", a, b).with_bound(2)));
+        });
+        let p2 = program_with(&u, |s| {
+            s.add_constraint(Box::new(Precedence::strict("a<b2", a, b).with_bound(2)));
+        });
+        let serial = check_equivalence(&p1, &p2, &EquivOptions::default().with_workers(1))
+            .expect("same universe");
+        let EquivalenceVerdict::Equivalent { pairs_visited } = serial else {
+            panic!("identical bounded precedences are equivalent");
+        };
+        assert_eq!(pairs_visited, 3); // δ-pairs (0,0), (1,1), (2,2)
+        for workers in [2, 8] {
+            assert_eq!(
+                check_equivalence(&p1, &p2, &EquivOptions::default().with_workers(workers))
+                    .expect("same universe"),
+                serial,
+                "workers={workers}"
+            );
+        }
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   re-validated through a fresh [`Cursor`](moccml_engine::Cursor)
 //!   before they are returned — and byte-identical for every
 //!   [`workers`](moccml_engine::ExploreOptions::workers) count.
+//! * **Minimization** ([`minimize_witness`] / [`is_witness`]) —
+//!   greedily shrink any witness schedule (drop steps, thin events out
+//!   of steps), re-validating every candidate through a fresh cursor,
+//!   until it is *locally minimal*: no single step or event can be
+//!   removed without losing the violation.
 //! * **Conformance** ([`conformance`]) — replay any recorded
 //!   [`Schedule`](moccml_kernel::Schedule) (e.g. parsed from text with
 //!   `Schedule::parse_lines`) against a program; the verdict is
@@ -29,7 +34,10 @@
 //! * **Equivalence / refinement** ([`check_equivalence`] /
 //!   [`check_refinement`]) — bounded synchronized-product exploration
 //!   of two programs over one universe, returning a shortest
-//!   distinguishing schedule on failure.
+//!   distinguishing schedule on failure. The product is compiled into
+//!   one program and explored through the **parallel explorer**
+//!   ([`EquivOptions::workers`]), with the verdict identical for every
+//!   worker count.
 //!
 //! ## Worked example: safety + conformance
 //!
@@ -81,6 +89,7 @@
 mod check;
 mod conformance;
 mod equivalence;
+mod minimize;
 mod prop;
 
 pub use check::{check, check_props, CheckReport, Counterexample, PropStatus};
@@ -89,4 +98,5 @@ pub use equivalence::{
     check_equivalence, check_refinement, Distinguisher, EquivOptions, EquivalenceVerdict, Side,
     VerifyError,
 };
+pub use minimize::{is_witness, minimize_witness};
 pub use prop::Prop;

@@ -22,9 +22,15 @@
 //!   observers, and a deterministic parallel explorer;
 //! * [`verify`] — the verification layer: temporal properties
 //!   ([`verify::Prop`]) checked on the fly during exploration with
-//!   deterministic early stop and replayable
-//!   [`verify::Counterexample`]s, schedule conformance checking, and
-//!   bounded equivalence/refinement between two specifications;
+//!   deterministic early stop, replayable [`verify::Counterexample`]s
+//!   and greedy witness minimization
+//!   ([`verify::minimize_witness`]), schedule conformance checking,
+//!   and bounded equivalence/refinement between two specifications —
+//!   the synchronized product now runs through the parallel explorer;
+//! * [`lang`] — the textual frontend: the `.mcc` specification
+//!   format and property syntax ([`lang::parse_spec`],
+//!   [`lang::parse_prop`], [`lang::compile`]) behind the `moccml`
+//!   CLI binary (`check` / `explore` / `simulate` / `conformance`);
 //! * [`sdf`] — the paper's illustrative DSL (SigPML/SDF) and the PAM
 //!   case study.
 //!
@@ -72,6 +78,7 @@ pub use moccml_automata as automata;
 pub use moccml_ccsl as ccsl;
 pub use moccml_engine as engine;
 pub use moccml_kernel as kernel;
+pub use moccml_lang as lang;
 pub use moccml_metamodel as metamodel;
 pub use moccml_sdf as sdf;
 pub use moccml_verify as verify;

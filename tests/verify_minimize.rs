@@ -1,0 +1,168 @@
+//! Property-based contracts of counterexample minimization (ISSUE 5):
+//!
+//! * every minimized witness still **re-validates** — it replays via
+//!   `Cursor::fire` from the initial state and still exhibits the
+//!   violation (`is_witness`);
+//! * minimization is **locally minimal**: dropping any single step, or
+//!   removing any single event from any step, yields a non-witness;
+//! * minimization is **idempotent** and never grows the schedule;
+//! * deliberately padded witnesses (checker counterexamples extended
+//!   with further acceptable steps) shrink back to at most the
+//!   checker's shortest length — on safety properties, where padding
+//!   preserves witness-hood.
+//!
+//! Runs on the deterministic in-repo `moccml-testkit` harness over the
+//! shared random CCSL specification generator; failures report a
+//! replayable case seed.
+
+use moccml::engine::{ExploreOptions, Program, SolverOptions};
+use moccml::kernel::{EventId, Schedule, StepPred};
+use moccml::verify::{check_props, is_witness, minimize_witness, Prop, PropStatus};
+use moccml_testkit::{cases, prop_assert, prop_assert_eq, TestRng};
+
+mod common;
+use common::{build, random_recipe};
+
+const CASES: usize = 48;
+
+fn random_pred(rng: &mut TestRng) -> StepPred {
+    let e = |rng: &mut TestRng| EventId::from_index(rng.usize_in(0..5));
+    match rng.u8_in(0..5) {
+        0 => StepPred::fired(e(rng)),
+        1 => StepPred::excludes(e(rng), e(rng)),
+        2 => StepPred::implies(e(rng), e(rng)),
+        3 => StepPred::negate(StepPred::fired(e(rng))),
+        _ => StepPred::or(StepPred::fired(e(rng)), StepPred::fired(e(rng))),
+    }
+}
+
+fn random_prop(rng: &mut TestRng) -> Prop {
+    match rng.u8_in(0..6) {
+        0 | 1 => Prop::Never(random_pred(rng)),
+        2 => Prop::Always(random_pred(rng)),
+        3 => Prop::EventuallyWithin(random_pred(rng), rng.usize_in(1..6)),
+        _ => Prop::DeadlockFree,
+    }
+}
+
+/// Asserts the local-minimality contract: every single-step drop and
+/// every single-event removal invalidates the witness.
+fn assert_locally_minimal(
+    program: &Program,
+    prop: &Prop,
+    minimal: &Schedule,
+) -> Result<(), String> {
+    for i in 0..minimal.len() {
+        let mut dropped: Vec<_> = minimal.steps().to_vec();
+        dropped.remove(i);
+        let dropped: Schedule = dropped.into_iter().collect();
+        prop_assert!(
+            !is_witness(program, prop, &dropped),
+            "dropping step {} must invalidate the witness {}",
+            i,
+            minimal
+        );
+    }
+    for i in 0..minimal.len() {
+        for event in minimal.steps()[i].iter() {
+            let mut steps: Vec<_> = minimal.steps().to_vec();
+            steps[i].remove(event);
+            let thinned: Schedule = steps.into_iter().collect();
+            prop_assert!(
+                !is_witness(program, prop, &thinned),
+                "removing {} from step {} must invalidate the witness {}",
+                event,
+                i,
+                minimal
+            );
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn minimized_witnesses_revalidate_and_are_locally_minimal() {
+    cases(CASES).run(
+        "minimized_witnesses_revalidate_and_are_locally_minimal",
+        |rng| {
+            let recipes = rng.vec_of(1..5, random_recipe);
+            let spec = build(&recipes);
+            let program = Program::compile(&spec);
+            let prop = random_prop(rng);
+            let options = ExploreOptions::default().with_max_states(300);
+            let report = check_props(&program, std::slice::from_ref(&prop), &options);
+            let PropStatus::Violated(ce) = &report.statuses[0] else {
+                return Ok(()); // nothing to minimize this case
+            };
+            prop_assert!(
+                is_witness(&program, &prop, &ce.schedule),
+                "checker counterexamples are witnesses"
+            );
+            let minimal = minimize_witness(&program, &prop, &ce.schedule);
+            prop_assert!(
+                is_witness(&program, &prop, &minimal),
+                "minimization preserves witness-hood"
+            );
+            prop_assert!(
+                minimal.len() <= ce.schedule.len(),
+                "minimization never grows the schedule"
+            );
+            prop_assert_eq!(
+                minimize_witness(&program, &prop, &minimal),
+                minimal.clone(),
+                "minimization is idempotent"
+            );
+            assert_locally_minimal(&program, &prop, &minimal)?;
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn padded_safety_witnesses_shrink_back() {
+    cases(CASES).run("padded_safety_witnesses_shrink_back", |rng| {
+        let recipes = rng.vec_of(1..5, random_recipe);
+        let spec = build(&recipes);
+        let program = Program::compile(&spec);
+        let prop = match rng.u8_in(0..2) {
+            0 => Prop::Never(random_pred(rng)),
+            _ => Prop::Always(random_pred(rng)),
+        };
+        let options = ExploreOptions::default().with_max_states(300);
+        let report = check_props(&program, std::slice::from_ref(&prop), &options);
+        let PropStatus::Violated(ce) = &report.statuses[0] else {
+            return Ok(());
+        };
+        // pad the witness with further acceptable steps — safety
+        // violations survive any suffix
+        let mut cursor = program.cursor();
+        for step in &ce.schedule {
+            cursor.fire(step).map_err(|e| e.to_string())?;
+        }
+        let mut padded: Vec<_> = ce.schedule.steps().to_vec();
+        let solver = SolverOptions::default().with_empty(false);
+        for _ in 0..rng.usize_in(1..4) {
+            let Some(step) = cursor.acceptable_steps(&solver).first().cloned() else {
+                break;
+            };
+            cursor.fire(&step).map_err(|e| e.to_string())?;
+            padded.push(step);
+        }
+        let padded: Schedule = padded.into_iter().collect();
+        prop_assert!(
+            is_witness(&program, &prop, &padded),
+            "padded safety witnesses stay witnesses"
+        );
+        let minimal = minimize_witness(&program, &prop, &padded);
+        prop_assert!(is_witness(&program, &prop, &minimal));
+        prop_assert!(
+            minimal.len() <= ce.schedule.len(),
+            "padding must shrink back to at most the checker's shortest \
+             length ({} > {})",
+            minimal.len(),
+            ce.schedule.len()
+        );
+        assert_locally_minimal(&program, &prop, &minimal)?;
+        Ok(())
+    });
+}

@@ -281,3 +281,78 @@ fn strengthening_a_spec_refines_it() {
         Ok(())
     });
 }
+
+/// The equivalence/refinement product runs through the parallel
+/// explorer (ISSUE 5): on random specification pairs over one
+/// universe, the verdict — `Equivalent` pair counts, `Unknown`
+/// bounds and `Distinguished` schedules/steps/sides alike — is
+/// identical for workers ∈ {1, 2, 8}.
+#[test]
+fn equivalence_verdicts_are_identical_across_worker_counts() {
+    cases(CASES).run(
+        "equivalence_verdicts_are_identical_across_worker_counts",
+        |rng| {
+            let left_recipes = rng.vec_of(1..4, random_recipe);
+            let right_recipes = rng.vec_of(1..4, random_recipe);
+            let left = Program::new(build(&left_recipes));
+            let right = Program::new(build(&right_recipes));
+            let base = moccml_verify::EquivOptions::default().with_max_states(500);
+            let mut reference = None;
+            for &workers in &WORKERS {
+                let equivalence = moccml_verify::check_equivalence(
+                    &left,
+                    &right,
+                    &base.clone().with_workers(workers),
+                )
+                .map_err(|e| e.to_string())?;
+                let refinement = moccml_verify::check_refinement(
+                    &left,
+                    &right,
+                    &base.clone().with_workers(workers),
+                )
+                .map_err(|e| e.to_string())?;
+                match &reference {
+                    None => {
+                        // a distinguishing schedule must replay on both
+                        // sides, and the step on exactly the named one
+                        if let moccml_verify::EquivalenceVerdict::Distinguished(d) = &equivalence {
+                            prop_assert!(
+                                conformance(&left, &d.schedule).conforms()
+                                    && conformance(&right, &d.schedule).conforms(),
+                                "the common prefix replays on both sides \
+                                 (left {left_recipes:?}, right {right_recipes:?})"
+                            );
+                            let mut extended = d.schedule.clone();
+                            extended.push(d.step.clone());
+                            let (accepting, rejecting) = match d.only_accepted_by {
+                                moccml_verify::Side::Left => (&left, &right),
+                                moccml_verify::Side::Right => (&right, &left),
+                            };
+                            prop_assert!(
+                                conformance(accepting, &extended).conforms(),
+                                "the named side accepts the distinguishing step"
+                            );
+                            prop_assert!(
+                                !conformance(rejecting, &extended).conforms(),
+                                "the other side rejects the distinguishing step"
+                            );
+                        }
+                        reference = Some((equivalence, refinement));
+                    }
+                    Some((e0, r0)) => {
+                        prop_assert_eq!(
+                            e0,
+                            &equivalence,
+                            "equivalence workers={} (left {:?}, right {:?})",
+                            workers,
+                            left_recipes,
+                            right_recipes
+                        );
+                        prop_assert_eq!(r0, &refinement, "refinement workers={}", workers);
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
