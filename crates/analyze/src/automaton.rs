@@ -1,0 +1,310 @@
+//! Pass 1 — automaton lints: graph analysis over every
+//! [`AutomatonDefinition`](moccml_automata::AutomatonDefinition) in the
+//! spec's embedded `library { … }` blocks.
+//!
+//! Library blocks are opaque source slices to the `.mcc` parser, so all
+//! findings anchor at the block's `library` keyword; the message names
+//! the automaton and state/transition precisely.
+
+use crate::diagnostic::{Diagnostic, Severity};
+use moccml_automata::{AutomatonDefinition, BoolExpr, CmpOp, IntExpr, Transition};
+use moccml_lang::ast::{LibraryBlock, SpecAst};
+
+/// Runs the automaton lints over every library block of `ast`.
+pub(crate) fn lint_automata(ast: &SpecAst, out: &mut Vec<Diagnostic>) {
+    for block in ast.libraries() {
+        lint_block(block, out);
+    }
+}
+
+fn lint_block(block: &LibraryBlock, out: &mut Vec<Diagnostic>) {
+    let lib = &block.library;
+    let (line, column) = (block.line, block.column);
+    // A005: a block that declares nothing is dead weight
+    if lib.declarations().is_empty() && lib.definitions().is_empty() {
+        out.push(Diagnostic::new(
+            "A005",
+            Severity::Info,
+            line,
+            column,
+            format!(
+                "library `{}` declares no constraints or automata",
+                lib.name()
+            ),
+        ));
+    }
+    for def in lib.definitions() {
+        lint_definition(def, line, column, out);
+    }
+}
+
+fn lint_definition(
+    def: &AutomatonDefinition,
+    line: usize,
+    column: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let reachable = reachable_states(def);
+
+    // A001: states no transition path reaches from the initial state
+    for (idx, state) in def.states().iter().enumerate() {
+        if !reachable[idx] {
+            out.push(Diagnostic::new(
+                "A001",
+                Severity::Warn,
+                line,
+                column,
+                format!(
+                    "state `{}` of automaton `{}` is unreachable from the initial state `{}`",
+                    state,
+                    def.name(),
+                    def.states()[def.initial()]
+                ),
+            ));
+        }
+    }
+
+    // A002: transitions that can never fire
+    for (idx, t) in def.transitions().iter().enumerate() {
+        if let Some(reason) = dead_transition_reason(t) {
+            out.push(Diagnostic::new(
+                "A002",
+                Severity::Warn,
+                line,
+                column,
+                format!(
+                    "transition {} of automaton `{}` (`{}` -> `{}`) can never fire: {}",
+                    idx,
+                    def.name(),
+                    def.states()[t.source],
+                    def.states()[t.target],
+                    reason
+                ),
+            ));
+        }
+    }
+
+    // A003: overlapping guard-free transitions on the same triggers
+    for warning in def.determinism_warnings() {
+        out.push(Diagnostic::new(
+            "A003",
+            Severity::Warn,
+            line,
+            column,
+            format!(
+                "automaton `{}` is nondeterministic: {}",
+                def.name(),
+                warning
+            ),
+        ));
+    }
+
+    // A004: reachable non-final states with no way out — once entered,
+    // the automaton can only stutter and its events are blocked forever
+    for (idx, state) in def.states().iter().enumerate() {
+        let has_exit = def.transitions().iter().any(|t| t.source == idx);
+        if reachable[idx] && !has_exit && !def.finals().contains(&idx) {
+            out.push(Diagnostic::new(
+                "A004",
+                Severity::Warn,
+                line,
+                column,
+                format!(
+                    "state `{}` of automaton `{}` is a non-final sink: once entered, \
+                     the automaton only stutters and blocks its events forever",
+                    state,
+                    def.name()
+                ),
+            ));
+        }
+    }
+}
+
+/// Which states a transition path reaches from the initial state
+/// (ignoring guards — an over-approximation, so A001 never flags a
+/// state that is actually reachable).
+fn reachable_states(def: &AutomatonDefinition) -> Vec<bool> {
+    let mut reachable = vec![false; def.states().len()];
+    let mut stack = vec![def.initial()];
+    reachable[def.initial()] = true;
+    while let Some(s) = stack.pop() {
+        for t in def.transitions() {
+            if t.source == s && !reachable[t.target] {
+                reachable[t.target] = true;
+                stack.push(t.target);
+            }
+        }
+    }
+    reachable
+}
+
+/// Why a transition is statically dead, if it is.
+fn dead_transition_reason(t: &Transition) -> Option<String> {
+    if let Some(e) = t
+        .true_triggers
+        .iter()
+        .find(|e| t.false_triggers.contains(e))
+    {
+        return Some(format!(
+            "`{e}` is both required (`when`) and forbidden (`forbid`)"
+        ));
+    }
+    if let Some(false) = t.guard.as_ref().and_then(const_bool) {
+        return Some("its guard is constantly false".to_owned());
+    }
+    None
+}
+
+/// Constant-folds a guard. `Ref`s (parameters, variables) are unknown,
+/// so `Some(false)` means false for *every* instantiation and state.
+fn const_bool(e: &BoolExpr) -> Option<bool> {
+    match e {
+        BoolExpr::True => Some(true),
+        BoolExpr::False => Some(false),
+        BoolExpr::Not(inner) => const_bool(inner).map(|b| !b),
+        BoolExpr::And(l, r) => match (const_bool(l), const_bool(r)) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        BoolExpr::Or(l, r) => match (const_bool(l), const_bool(r)) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        BoolExpr::Cmp(l, op, r) => Some(apply_cmp(*op, const_int(l)?, const_int(r)?)),
+    }
+}
+
+fn const_int(e: &IntExpr) -> Option<i64> {
+    match e {
+        IntExpr::Const(v) => Some(*v),
+        IntExpr::Ref(_) => None,
+        IntExpr::Add(l, r) => Some(const_int(l)?.checked_add(const_int(r)?)?),
+        IntExpr::Sub(l, r) => Some(const_int(l)?.checked_sub(const_int(r)?)?),
+        IntExpr::Mul(l, r) => Some(const_int(l)?.checked_mul(const_int(r)?)?),
+        IntExpr::Neg(inner) => const_int(inner)?.checked_neg(),
+    }
+}
+
+fn apply_cmp(op: CmpOp, a: i64, b: i64) -> bool {
+    match op {
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moccml_lang::parse_spec;
+
+    fn lint_source(src: &str) -> Vec<Diagnostic> {
+        let ast = parse_spec(src).expect("parses");
+        let mut out = Vec::new();
+        lint_automata(&ast, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unreachable_dead_nondet_and_sink() {
+        let diags = lint_source(
+            "spec s {\n\
+               events a, b;\n\
+               library L {\n\
+                 constraint C(x: event, y: event)\n\
+                 automaton D implements C {\n\
+                   initial state S0;\n\
+                   state Trap;\n\
+                   final state Limbo;\n\
+                   from S0 to S0 when {x} forbid {y};\n\
+                   from S0 to Trap when {x};\n\
+                   from S0 to S0 when {x, y} forbid {y};\n\
+                   from Limbo to S0 when {x};\n\
+                 }\n\
+               }\n\
+               constraint c = C(a, b);\n\
+             }",
+        );
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"A001"), "Limbo unreachable: {codes:?}");
+        assert!(codes.contains(&"A002"), "when/forbid overlap: {codes:?}");
+        assert!(
+            codes.contains(&"A003"),
+            "two guard-free {{x}} exits: {codes:?}"
+        );
+        assert!(codes.contains(&"A004"), "Trap is a sink: {codes:?}");
+        // anchors point at the `library` keyword of the block
+        assert!(diags.iter().all(|d| (d.line, d.column) == (3, 1)));
+    }
+
+    #[test]
+    fn constant_false_guards_are_dead() {
+        let diags = lint_source(
+            "spec s {\n\
+               events a;\n\
+               library L {\n\
+                 constraint C(x: event)\n\
+                 automaton D implements C {\n\
+                   initial state S0; final state S0;\n\
+                   from S0 to S0 when {x} guard [1 > 2];\n\
+                 }\n\
+               }\n\
+               constraint c = C(a);\n\
+             }",
+        );
+        assert!(diags.iter().any(|d| d.code == "A002"));
+    }
+
+    #[test]
+    fn clean_automata_stay_clean() {
+        // the Fig. 3 place: guarded on both exits, single live state
+        let diags = lint_source(
+            "spec s {\n\
+               events w, r;\n\
+               library SDF {\n\
+                 constraint Place(write: event, read: event, cap: int)\n\
+                 automaton PlaceDef implements Place {\n\
+                   var size: int = 0;\n\
+                   initial state S0; final state S0;\n\
+                   from S0 to S0 when {write} forbid {read} guard [size < cap] do size += 1;\n\
+                   from S0 to S0 when {read} forbid {write} guard [size >= 1] do size -= 1;\n\
+                 }\n\
+               }\n\
+               constraint p = Place(w, r, 1);\n\
+             }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn empty_library_blocks_are_noted() {
+        let diags = lint_source("spec s {\n  events a;\n  library Empty { }\n}");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "A005");
+        assert_eq!(diags[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn final_sinks_are_intentional_termination() {
+        let diags = lint_source(
+            "spec s {\n\
+               events a;\n\
+               library L {\n\
+                 constraint C(x: event)\n\
+                 automaton D implements C {\n\
+                   initial state S0;\n\
+                   final state Done;\n\
+                   from S0 to Done when {x};\n\
+                 }\n\
+               }\n\
+               constraint c = C(a);\n\
+             }",
+        );
+        assert!(!diags.iter().any(|d| d.code == "A004"), "{diags:?}");
+    }
+}

@@ -1,0 +1,193 @@
+//! The `moccml lint` subcommand, and the front door of the `moccml`
+//! binary: `lint` is handled here, every other command is delegated to
+//! [`moccml_lang::cli::run`] unchanged (the binary lives in this crate
+//! because linting needs the analyzer, which depends on the frontend —
+//! not the other way round).
+//!
+//! ```text
+//! moccml lint <spec.mcc> [--deny warnings] [--format text|json]
+//! ```
+//!
+//! Exit codes follow the rest of the CLI: `0` the spec is clean (info
+//! findings never count), `1` the linter found errors — or warnings
+//! under `--deny warnings` — and `2` for usage, I/O, parse or
+//! compilation errors. Text output is compiler-style
+//! `path:line:col: severity[code]: message` lines followed by a
+//! one-line summary; `--format json` prints the machine-readable array
+//! of [`render_json`] and nothing else.
+
+use crate::diagnostic::{render_json, render_text, Diagnostic, Severity};
+use std::fmt::Write as _;
+
+pub use moccml_lang::cli::{EXIT_ERROR, EXIT_OK, EXIT_VIOLATED};
+
+const LINT_USAGE: &str = "\
+usage: moccml lint <spec.mcc> [options]
+
+options:
+  --deny warnings   treat warnings as errors (exit 1)
+  --format FMT      output format: text | json (default text)
+";
+
+/// Runs the CLI on `args` (without the program name), writing all
+/// output to `out`. Returns the process exit code.
+///
+/// The `lint` subcommand is resolved here; anything else — including
+/// `--help`, whose usage text advertises `lint` too — falls through to
+/// the frontend CLI.
+pub fn run(args: &[String], out: &mut String) -> i32 {
+    if args.first().map(String::as_str) != Some("lint") {
+        return moccml_lang::cli::run(args, out);
+    }
+    match try_lint(&args[1..], out) {
+        Ok(code) => code,
+        Err(message) => {
+            let _ = writeln!(out, "error: {message}");
+            EXIT_ERROR
+        }
+    }
+}
+
+fn try_lint(args: &[String], out: &mut String) -> Result<i32, String> {
+    let Some(spec_path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err(format!("missing <spec.mcc> path\n{LINT_USAGE}"));
+    };
+    let deny_warnings = match args.iter().position(|a| a == "--deny") {
+        None => false,
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("warnings") => true,
+            other => {
+                return Err(format!(
+                    "--deny expects `warnings`, got `{}`\n{LINT_USAGE}",
+                    other.unwrap_or("")
+                ))
+            }
+        },
+    };
+    let format = match args.iter().position(|a| a == "--format") {
+        None => "text",
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some(f @ ("text" | "json")) => f,
+            other => {
+                return Err(format!(
+                    "--format expects `text` or `json`, got `{}`\n{LINT_USAGE}",
+                    other.unwrap_or("")
+                ))
+            }
+        },
+    };
+    let source = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read `{spec_path}`: {e}"))?;
+    let diagnostics = crate::analyze_str(&source).map_err(|e| {
+        let (line, column) = e.position();
+        format!("{spec_path}:{line}:{column}: {e}")
+    })?;
+    let errors = count(&diagnostics, Severity::Error);
+    let warnings = count(&diagnostics, Severity::Warn);
+    match format {
+        "json" => out.push_str(&render_json(spec_path, &diagnostics)),
+        _ => {
+            out.push_str(&render_text(spec_path, &diagnostics));
+            let _ = writeln!(
+                out,
+                "{spec_path}: {} finding(s): {errors} error(s), {warnings} warning(s)",
+                diagnostics.len()
+            );
+        }
+    }
+    Ok(if errors > 0 || (deny_warnings && warnings > 0) {
+        EXIT_VIOLATED
+    } else {
+        EXIT_OK
+    })
+}
+
+fn count(diagnostics: &[Diagnostic], severity: Severity) -> usize {
+    diagnostics
+        .iter()
+        .filter(|d| d.severity == severity)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(format!("moccml-lint-test-{name}"));
+        std::fs::write(&path, content).expect("temp file writes");
+        path.to_str().expect("utf8 path").to_owned()
+    }
+
+    fn run_args(args: &[&str]) -> (i32, String) {
+        let args: Vec<String> = args.iter().map(ToString::to_string).collect();
+        let mut out = String::new();
+        let code = run(&args, &mut out);
+        (code, out)
+    }
+
+    const WARNY: &str = "spec s {\n  events a, b, orphan;\n  constraint c = alternates(a, b);\n  assert never((a && b));\n}\n";
+
+    #[test]
+    fn clean_specs_exit_zero_and_warnings_deny() {
+        let path = write_temp("warny.mcc", WARNY);
+        let (code, out) = run_args(&["lint", &path]);
+        assert_eq!(code, EXIT_OK, "warnings alone pass: {out}");
+        assert!(out.contains("warn[A010]"), "{out}");
+        assert!(out.contains("1 warning(s)"), "{out}");
+        let (code, _) = run_args(&["lint", &path, "--deny", "warnings"]);
+        assert_eq!(code, EXIT_VIOLATED);
+    }
+
+    #[test]
+    fn errors_always_fail() {
+        let path = write_temp(
+            "err.mcc",
+            "spec s {\n  events a, b;\n  constraint c = alternates(a, b);\n  assert eventually<=0(a);\n}\n",
+        );
+        let (code, out) = run_args(&["lint", &path]);
+        assert_eq!(code, EXIT_VIOLATED, "{out}");
+        assert!(out.contains("error[A021]"), "{out}");
+    }
+
+    #[test]
+    fn json_format_is_machine_readable_only() {
+        let path = write_temp("json.mcc", WARNY);
+        let (code, out) = run_args(&["lint", &path, "--format", "json"]);
+        assert_eq!(code, EXIT_OK);
+        assert!(out.starts_with('['), "{out}");
+        assert!(out.ends_with("]\n"), "{out}");
+        assert!(out.contains("\"code\": \"A010\""), "{out}");
+        assert!(!out.contains("finding(s)"), "no summary in json: {out}");
+    }
+
+    #[test]
+    fn non_lint_commands_delegate_to_the_frontend() {
+        let path = write_temp(
+            "delegate.mcc",
+            "spec s {\n  events a, b;\n  constraint c = alternates(a, b);\n  assert deadlock-free;\n}\n",
+        );
+        let (code, out) = run_args(&["check", &path]);
+        assert_eq!(code, EXIT_OK, "{out}");
+        assert!(out.contains("holds"), "{out}");
+        let (code, out) = run_args(&["--help"]);
+        assert_eq!(code, EXIT_OK);
+        assert!(out.contains("lint"), "usage advertises lint: {out}");
+    }
+
+    #[test]
+    fn lint_usage_and_io_errors() {
+        let (code, out) = run_args(&["lint"]);
+        assert_eq!(code, EXIT_ERROR);
+        assert!(out.contains("usage: moccml lint"), "{out}");
+        let (code, _) = run_args(&["lint", "/nonexistent/x.mcc"]);
+        assert_eq!(code, EXIT_ERROR);
+        let (code, out) = run_args(&["lint", "x.mcc", "--format", "yaml"]);
+        assert_eq!(code, EXIT_ERROR);
+        assert!(out.contains("--format expects"), "{out}");
+        let broken = write_temp("broken.mcc", "spec x {\n  events a b;\n}");
+        let (code, out) = run_args(&["lint", &broken]);
+        assert_eq!(code, EXIT_ERROR);
+        assert!(out.contains(":2:12:"), "{out}");
+    }
+}

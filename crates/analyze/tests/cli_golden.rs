@@ -1,12 +1,14 @@
-//! Golden end-to-end contract of the textual frontend (ISSUE 5): the
-//! `moccml` CLI verdict on `examples/specs/pam.mcc` equals the
-//! programmatic `verify::check` result on the same compiled spec —
-//! statuses, counterexample schedules and event names, byte for byte —
-//! and is identical for every `--workers` count. The spawned binary's
-//! output must equal the in-process CLI's output exactly.
+//! Golden end-to-end contract of the `moccml` CLI: the `check` verdict
+//! on `examples/specs/pam.mcc` equals the programmatic `verify::check`
+//! result on the same compiled spec — statuses, counterexample
+//! schedules and event names, byte for byte — and is identical for
+//! every `--workers` count; `lint` flags every seeded defect of the
+//! golden `tests/specs/defects.mcc` and reports `pam.mcc` clean under
+//! `--deny warnings`. The spawned binary's output must equal the
+//! in-process CLI's output exactly.
 
+use moccml_analyze::cli;
 use moccml_engine::ExploreOptions;
-use moccml_lang::cli;
 use moccml_verify::{check, is_witness, minimize_witness, PropStatus};
 use std::path::PathBuf;
 use std::process::Command;
@@ -15,6 +17,10 @@ fn spec_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../../examples/specs")
         .join(name)
+}
+
+fn defects_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/specs/defects.mcc")
 }
 
 #[test]
@@ -148,4 +154,66 @@ fn verification_spec_holds_and_conformance_replays() {
     );
     assert_eq!(code, cli::EXIT_OK, "{out}");
     assert!(out.contains("conforms"), "{out}");
+}
+
+/// Every lint code in the catalog, in order. The golden defect spec is
+/// engineered to trigger all of them at once.
+const ALL_CODES: [&str; 14] = [
+    "A001", "A002", "A003", "A004", "A005", "A010", "A011", "A012", "A013", "A020", "A021", "A022",
+    "A023", "A030",
+];
+
+#[test]
+fn lint_flags_every_seeded_defect_in_the_golden_spec() {
+    let path = defects_path();
+    let args: Vec<String> = ["lint", path.to_str().expect("utf8")]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let mut out = String::new();
+    let code = cli::run(&args, &mut out);
+    assert_eq!(code, cli::EXIT_VIOLATED, "A021 is an error:\n{out}");
+    for lint in ALL_CODES {
+        assert!(out.contains(&format!("[{lint}]")), "missing {lint}:\n{out}");
+    }
+    assert!(out.contains("1 error(s)"), "{out}");
+
+    // the JSON rendering carries the same codes and nothing else
+    let json_args: Vec<String> = ["lint", path.to_str().expect("utf8"), "--format", "json"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let mut json = String::new();
+    assert_eq!(cli::run(&json_args, &mut json), cli::EXIT_VIOLATED);
+    assert!(json.starts_with('[') && json.ends_with("]\n"), "{json}");
+    for lint in ALL_CODES {
+        assert!(
+            json.contains(&format!("\"code\": \"{lint}\"")),
+            "missing {lint} in json:\n{json}"
+        );
+    }
+    assert!(!json.contains("finding(s)"), "no summary line in json");
+
+    // the spawned binary agrees with the in-process CLI byte for byte
+    let output = Command::new(env!("CARGO_BIN_EXE_moccml"))
+        .args(&args)
+        .output()
+        .expect("moccml binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    assert_eq!(String::from_utf8_lossy(&output.stdout), out);
+}
+
+#[test]
+fn lint_reports_the_example_specs_clean_under_deny_warnings() {
+    for name in ["pam.mcc", "verification.mcc"] {
+        let path = spec_path(name);
+        let args: Vec<String> = ["lint", path.to_str().expect("utf8"), "--deny", "warnings"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let mut out = String::new();
+        let code = cli::run(&args, &mut out);
+        assert_eq!(code, cli::EXIT_OK, "{name} must lint clean:\n{out}");
+        assert!(out.contains("0 error(s), 0 warning(s)"), "{name}:\n{out}");
+    }
 }

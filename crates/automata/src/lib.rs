@@ -82,6 +82,7 @@ mod instance;
 mod metamodel;
 mod parser;
 mod render;
+pub mod symbols;
 
 pub use error::AutomataError;
 pub use expr::{Action, BoolExpr, CmpOp, IntExpr};

@@ -34,6 +34,7 @@ use crate::expr::{Action, BoolExpr, CmpOp, IntExpr};
 use crate::metamodel::{
     AutomatonDefinition, ConstraintDeclaration, ParamKind, RelationLibrary, Transition, VarDecl,
 };
+use crate::symbols::SymbolTable;
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Tok {
@@ -50,6 +51,7 @@ struct Token {
 }
 
 fn lex(input: &str) -> Result<Vec<Token>, AutomataError> {
+    let table = SymbolTable::library();
     let mut tokens = Vec::new();
     let mut line = 1usize;
     // index (into `bytes`) of the first char of the current line, so a
@@ -101,44 +103,22 @@ fn lex(input: &str) -> Result<Vec<Token>, AutomataError> {
                 });
             }
             _ => {
-                let two: String = bytes[i..(i + 2).min(bytes.len())].iter().collect();
-                let sym2 = ["<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "->"]
-                    .iter()
-                    .find(|s| **s == two);
-                if let Some(s) = sym2 {
-                    tokens.push(Token {
-                        tok: Tok::Sym(s),
-                        line,
-                        column,
-                    });
-                    i += 2;
-                    continue;
-                }
-                let one = match c {
-                    '{' => "{",
-                    '}' => "}",
-                    '(' => "(",
-                    ')' => ")",
-                    '[' => "[",
-                    ']' => "]",
-                    ',' => ",",
-                    ';' => ";",
-                    ':' => ":",
-                    '=' => "=",
-                    '<' => "<",
-                    '>' => ">",
-                    '+' => "+",
-                    '-' => "-",
-                    '*' => "*",
-                    '!' => "!",
-                    other => {
-                        return Err(AutomataError::Parse {
+                if let Some(d) = bytes.get(i + 1) {
+                    if let Some(s) = table.two_char(c, *d) {
+                        tokens.push(Token {
+                            tok: Tok::Sym(s),
                             line,
                             column,
-                            message: format!("unexpected character `{other}`"),
-                        })
+                        });
+                        i += 2;
+                        continue;
                     }
-                };
+                }
+                let one = table.one_char(c).ok_or_else(|| AutomataError::Parse {
+                    line,
+                    column,
+                    message: format!("unexpected character `{c}`"),
+                })?;
                 tokens.push(Token {
                     tok: Tok::Sym(one),
                     line,

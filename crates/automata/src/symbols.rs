@@ -1,0 +1,189 @@
+//! Shared symbol and keyword tables for the two MoCCML lexers.
+//!
+//! The repository has two textual dialects: the relation-library syntax
+//! of this crate ([`parse_library`](crate::parse_library), Fig. 3) and
+//! the `.mcc` specification syntax of `moccml-lang`, which embeds
+//! library blocks verbatim. Their lexers share almost every operator,
+//! and before this module each kept its own hand-mirrored list — adding
+//! an operator meant editing both and hoping they stayed in sync.
+//!
+//! This module is the single source of truth:
+//!
+//! * [`COMMON_SYM2`] / [`COMMON_SYM1`] — operators both dialects
+//!   accept, listed exactly once;
+//! * [`SymbolTable::library`] — the library dialect (adds `->`);
+//! * [`SymbolTable::spec`] — the `.mcc` dialect (adds `=>` and `#`);
+//! * [`LIBRARY_KEYWORDS`] / [`SPEC_KEYWORDS`] — the canonical keyword
+//!   lists (keywords lex as plain identifiers; the parsers give them
+//!   meaning positionally).
+//!
+//! All returned symbol strings are `&'static str`, so lexers can intern
+//! token text by reference without allocating.
+
+/// Two-character operators accepted by **both** dialects,
+/// longest-match-first relative to their one-character prefixes.
+pub const COMMON_SYM2: [&str; 8] = ["<=", ">=", "==", "!=", "&&", "||", "+=", "-="];
+
+/// Single-character symbols accepted by **both** dialects.
+pub const COMMON_SYM1: [&str; 16] = [
+    "{", "}", "(", ")", "[", "]", ",", ";", ":", "=", "<", ">", "+", "-", "*", "!",
+];
+
+/// Keywords of the relation-library dialect (Fig. 3 grammar). They lex
+/// as identifiers; [`parse_library`](crate::parse_library) recognizes
+/// them positionally, so they stay usable as state or variable names.
+pub const LIBRARY_KEYWORDS: [&str; 18] = [
+    "library",
+    "constraint",
+    "automaton",
+    "implements",
+    "var",
+    "int",
+    "event",
+    "initial",
+    "final",
+    "state",
+    "from",
+    "to",
+    "when",
+    "forbid",
+    "guard",
+    "do",
+    "true",
+    "false",
+];
+
+/// Keywords of the `.mcc` specification dialect (the `moccml-lang`
+/// grammar). Library blocks embedded in a spec additionally use
+/// [`LIBRARY_KEYWORDS`].
+pub const SPEC_KEYWORDS: [&str; 9] = [
+    "spec",
+    "events",
+    "constraint",
+    "assert",
+    "library",
+    "always",
+    "never",
+    "eventually",
+    "deadlock",
+];
+
+/// The operator table of one lexer dialect: the [`COMMON_SYM2`] /
+/// [`COMMON_SYM1`] core plus the dialect's own extras, looked up
+/// longest-match-first.
+#[derive(Debug, Clone, Copy)]
+pub struct SymbolTable {
+    common2: &'static [&'static str],
+    extra2: &'static [&'static str],
+    common1: &'static [&'static str],
+    extra1: &'static [&'static str],
+}
+
+static LIBRARY_TABLE: SymbolTable = SymbolTable {
+    common2: &COMMON_SYM2,
+    extra2: &["->"],
+    common1: &COMMON_SYM1,
+    extra1: &[],
+};
+
+static SPEC_TABLE: SymbolTable = SymbolTable {
+    common2: &COMMON_SYM2,
+    extra2: &["=>"],
+    common1: &COMMON_SYM1,
+    extra1: &["#"],
+};
+
+impl SymbolTable {
+    /// The relation-library dialect: the common core plus `->`.
+    #[must_use]
+    pub fn library() -> &'static SymbolTable {
+        &LIBRARY_TABLE
+    }
+
+    /// The `.mcc` specification dialect: the common core plus `=>` and
+    /// `#`.
+    #[must_use]
+    pub fn spec() -> &'static SymbolTable {
+        &SPEC_TABLE
+    }
+
+    /// The interned two-character operator starting with `a` then `b`,
+    /// if this dialect has one. Call before [`one_char`](Self::one_char)
+    /// for longest-match lexing.
+    #[must_use]
+    pub fn two_char(&self, a: char, b: char) -> Option<&'static str> {
+        self.common2.iter().chain(self.extra2).copied().find(|s| {
+            let mut cs = s.chars();
+            cs.next() == Some(a) && cs.next() == Some(b)
+        })
+    }
+
+    /// The interned single-character symbol for `c`, if this dialect
+    /// has one.
+    #[must_use]
+    pub fn one_char(&self, c: char) -> Option<&'static str> {
+        self.common1
+            .iter()
+            .chain(self.extra1)
+            .copied()
+            .find(|s| s.starts_with(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dialect_tables_extend_the_common_core() {
+        for table in [SymbolTable::library(), SymbolTable::spec()] {
+            for s in COMMON_SYM2 {
+                let mut cs = s.chars();
+                let (a, b) = (cs.next().unwrap(), cs.next().unwrap());
+                assert_eq!(table.two_char(a, b), Some(s));
+            }
+            for s in COMMON_SYM1 {
+                let c = s.chars().next().unwrap();
+                assert_eq!(table.one_char(c), Some(s));
+            }
+        }
+    }
+
+    #[test]
+    fn arrows_and_hash_are_dialect_specific() {
+        let lib = SymbolTable::library();
+        let spec = SymbolTable::spec();
+        assert_eq!(lib.two_char('-', '>'), Some("->"));
+        assert_eq!(spec.two_char('-', '>'), None);
+        assert_eq!(spec.two_char('=', '>'), Some("=>"));
+        assert_eq!(lib.two_char('=', '>'), None);
+        assert_eq!(spec.one_char('#'), Some("#"));
+        assert_eq!(lib.one_char('#'), None);
+    }
+
+    #[test]
+    fn two_char_lookup_wins_over_one_char_prefixes() {
+        // every two-char operator's first char is also a one-char
+        // symbol, so lexers must try two_char first; this pins the
+        // overlap the longest-match rule exists for
+        for table in [SymbolTable::library(), SymbolTable::spec()] {
+            let mut prefixed = 0;
+            for s in COMMON_SYM2 {
+                let c = s.chars().next().unwrap();
+                if table.one_char(c).is_some() {
+                    prefixed += 1;
+                }
+            }
+            assert!(prefixed >= 6, "only {prefixed} overlapping prefixes");
+        }
+    }
+
+    #[test]
+    fn keywords_lex_as_identifiers() {
+        // keywords never collide with the symbol tables: they are
+        // alphabetic, so both lexers emit them as Ident tokens
+        for kw in LIBRARY_KEYWORDS.iter().chain(SPEC_KEYWORDS.iter()) {
+            assert!(kw.chars().all(|c| c.is_ascii_alphabetic()), "{kw}");
+        }
+    }
+}

@@ -144,6 +144,36 @@ pub fn e7_violating_pam() -> (Specification, Prop) {
     (spec, Prop::Never(StepPred::fired(detect_start)))
 }
 
+/// E8 — the seeded slicing workload: the quad-core PAM deployment plus
+/// an independent telemetry alternation over two fresh events, with the
+/// same local safety property as [`e7_violating_pam`] ("the detector
+/// never starts"). The property's cone of influence closes over every
+/// PAM constraint but never reaches the telemetry pair, so a sliced
+/// `verify::check_with` run drops exactly one constraint — and explores
+/// strictly fewer states, because the alternation's two phases double
+/// the interleaved space (the `BENCH_analyze.json` claim).
+///
+/// # Panics
+///
+/// Panics if the embedded PAM models fail to build — a seed-data bug.
+#[must_use]
+pub fn e8_seeded_local_pam() -> (Specification, Prop) {
+    let (platform, deployment) = pam::deployment_quad_core();
+    let mut spec = pam::deployed(&platform, &deployment).expect("deploys");
+    let tick = spec.universe_mut().event("telemetry.tick");
+    let tock = spec.universe_mut().event("telemetry.tock");
+    spec.add_constraint(Box::new(moccml_ccsl::Alternation::new(
+        "telemetry",
+        tick,
+        tock,
+    )));
+    let detect_start = spec
+        .universe()
+        .lookup("detect.start")
+        .expect("PAM detector event");
+    (spec, Prop::Never(StepPred::fired(detect_start)))
+}
+
 /// E7 — a conforming reference trace for the conformance-checking
 /// bench: `steps` steps of the quad-core PAM deployment under the
 /// deadlock-avoiding policy.

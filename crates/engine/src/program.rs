@@ -161,11 +161,7 @@ impl Program {
         let template_key = spec.state_key();
         let keys = spec.constraint_state_keys();
         let formulas = spec.lowered_formulas();
-        let footprints: Vec<Step> = spec
-            .constraints()
-            .iter()
-            .map(|c| Step::from_events(c.constrained_events()))
-            .collect();
+        let footprints = spec.constraint_footprints();
         let memo = FormulaMemo::new();
         let initial_slots: Vec<(StateKey, Arc<StepFormula>)> = keys
             .into_iter()
@@ -260,10 +256,75 @@ impl Program {
         explore_program(self, self.template_key.clone(), options, visitor)
     }
 
-    /// The per-constraint event footprints (parallel to
-    /// `specification().constraints()`).
-    pub(crate) fn footprints(&self) -> &[Step] {
+    /// The per-constraint event footprints, parallel to
+    /// `specification().constraints()`: constraint `i` reacts to a step
+    /// iff the step intersects `footprints()[i]`.
+    #[must_use]
+    pub fn footprints(&self) -> &[Step] {
         &self.footprints
+    }
+
+    /// Indices of the constraints in the cone of influence of `seeds`:
+    /// the least fixpoint of "a constraint whose footprint intersects
+    /// the seed events (or the footprint of a constraint already in the
+    /// cone) is in the cone". Sorted ascending.
+    ///
+    /// Because every constraint stutters through steps disjoint from
+    /// its footprint (the kernel-wide contract documented on
+    /// [`Constraint`](moccml_kernel::Constraint)), constraints outside
+    /// the cone can neither block nor be blocked by anything the seeded
+    /// events do — they are independent of the seeds' behaviour.
+    #[must_use]
+    pub fn cone_of_influence(&self, seeds: &[EventId]) -> Vec<usize> {
+        let mut events = Step::from_events(seeds.iter().copied());
+        let mut in_cone = vec![false; self.footprints.len()];
+        loop {
+            let mut changed = false;
+            for (i, fp) in self.footprints.iter().enumerate() {
+                if !in_cone[i] && !fp.is_disjoint_from(&events) && !fp.is_empty() {
+                    in_cone[i] = true;
+                    events = events.union(fp);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        in_cone
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i))
+            .collect()
+    }
+
+    /// Compiles the cone-of-influence slice of this program for
+    /// `seeds`: a program over the **same universe** containing only
+    /// the constraints returned by
+    /// [`cone_of_influence`](Program::cone_of_influence), each cloned
+    /// in its compile-time state.
+    ///
+    /// When the cone covers every constraint the program itself is
+    /// returned (no recompilation). Schedules and steps transfer
+    /// between the slice and the full program unchanged, because event
+    /// ids are shared. Whether a *verdict* transfers is the caller's
+    /// proof obligation — `moccml-verify` applies the slice only to
+    /// stutter-invariant safety properties (see
+    /// `CheckOptions::with_slice` there).
+    #[must_use]
+    pub fn slice(&self, seeds: &[EventId]) -> Arc<Program> {
+        let cone = self.cone_of_influence(seeds);
+        if cone.len() == self.spec.constraint_count() {
+            return self
+                .self_ref
+                .upgrade()
+                .expect("a Program is only reachable through its Arc");
+        }
+        let mut sliced = Specification::new(self.spec.name(), self.spec.universe().clone());
+        for i in cone {
+            sliced.add_constraint(self.spec.constraints()[i].clone());
+        }
+        Program::new(sliced)
     }
 
     /// The starting slots of a fresh cursor.
@@ -355,5 +416,77 @@ mod tests {
         });
         // two automaton states, no matter how many workers visited them
         assert_eq!(program.cached_formula_count(), 2);
+    }
+
+    /// Two independent alternations over disjoint event pairs, so the
+    /// cone of either pair excludes the other constraint.
+    fn decoupled() -> (Specification, [EventId; 4]) {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let (x, y) = (u.event("x"), u.event("y"));
+        let mut spec = Specification::new("decoupled", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        spec.add_constraint(Box::new(Alternation::new("x~y", x, y)));
+        (spec, [a, b, x, y])
+    }
+
+    #[test]
+    fn cone_of_influence_closes_over_shared_footprints() {
+        let (spec, [a, b, x, _]) = decoupled();
+        let program = Program::new(spec);
+        assert_eq!(program.cone_of_influence(&[a]), vec![0]);
+        assert_eq!(program.cone_of_influence(&[b]), vec![0]);
+        assert_eq!(program.cone_of_influence(&[x]), vec![1]);
+        assert_eq!(program.cone_of_influence(&[a, x]), vec![0, 1]);
+        assert_eq!(program.cone_of_influence(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn cone_of_influence_chains_through_overlaps() {
+        let mut u = Universe::new();
+        let (a, b, c) = (u.event("a"), u.event("b"), u.event("c"));
+        let mut spec = Specification::new("chain", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        spec.add_constraint(Box::new(Alternation::new("b~c", b, c)));
+        let program = Program::new(spec);
+        // a pulls in a~b, whose footprint contains b, which pulls b~c
+        assert_eq!(program.cone_of_influence(&[a]), vec![0, 1]);
+    }
+
+    #[test]
+    fn slice_shares_the_program_when_the_cone_is_total() {
+        let (spec, [a, _, x, _]) = decoupled();
+        let program = Program::new(spec);
+        let total = program.slice(&[a, x]);
+        assert!(Arc::ptr_eq(&program, &total));
+    }
+
+    #[test]
+    fn slice_keeps_the_universe_and_drops_foreign_constraints() {
+        let (spec, [a, b, x, _]) = decoupled();
+        let program = Program::new(spec);
+        let sliced = program.slice(&[a]);
+        assert_eq!(sliced.specification().constraint_count(), 1);
+        assert_eq!(sliced.specification().constraints()[0].name(), "a~b");
+        assert_eq!(
+            sliced.specification().universe(),
+            program.specification().universe()
+        );
+        // steps transfer unchanged: the sliced program accepts the
+        // same a/b behaviour and ignores x entirely
+        let mut cursor = sliced.cursor();
+        cursor.fire(&Step::from_events([a])).expect("fires");
+        cursor.fire(&Step::from_events([b])).expect("fires");
+        assert!(!sliced.constrained_events().contains(&x));
+    }
+
+    #[test]
+    fn slice_snapshots_the_compile_time_constraint_state() {
+        let (mut spec, a, _) = alternating();
+        spec.fire(&Step::from_events([a])).expect("fires");
+        let program = Program::compile(&spec);
+        let sliced = program.slice(&[a]);
+        // cone is total here, but via a fresh compile the state is kept
+        assert_eq!(sliced.template_key(), program.template_key());
     }
 }

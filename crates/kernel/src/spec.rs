@@ -122,6 +122,22 @@ impl Specification {
         self.constraints.iter().map(|c| c.state_key()).collect()
     }
 
+    /// Per-constraint event footprints, in constraint order: the
+    /// [`constrained_events`](Constraint::constrained_events) of each
+    /// constraint as a [`Step`] bitset.
+    ///
+    /// This is the raw material of cone-of-influence slicing: two
+    /// constraints interact only if their footprints intersect, because
+    /// the stuttering contract makes every constraint indifferent to
+    /// steps over foreign events.
+    #[must_use]
+    pub fn constraint_footprints(&self) -> Vec<Step> {
+        self.constraints
+            .iter()
+            .map(|c| Step::from_events(c.constrained_events()))
+            .collect()
+    }
+
     /// The set of events restricted by at least one constraint.
     ///
     /// Events outside this set are *free*: nothing ever forbids or

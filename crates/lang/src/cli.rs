@@ -48,6 +48,8 @@ commands:
   explore      build the scheduling state-space and print its metrics
   simulate     run a simulation and print the schedule
   conformance  replay a recorded schedule: moccml conformance <spec.mcc> <trace>
+  lint         static analysis: moccml lint <spec.mcc> [--deny warnings]
+               [--format json]  (provided by moccml-analyze)
 
 options:
   --workers N     worker threads for exploration (default: all cores;
@@ -82,6 +84,16 @@ fn try_run(args: &[String], out: &mut String) -> Result<i32, String> {
     if command == "--help" || command == "-h" || command == "help" {
         let _ = write!(out, "{USAGE}");
         return Ok(EXIT_OK);
+    }
+    if command == "lint" {
+        // the shipped `moccml` binary (crates/analyze) resolves `lint`
+        // before delegating here; reaching this arm means the frontend
+        // CLI was driven directly
+        return Err(
+            "`lint` is provided by moccml-analyze: use the `moccml` binary or \
+             `moccml_analyze::cli::run`"
+                .to_owned(),
+        );
     }
     let Some(spec_path) = args.get(1).filter(|a| !a.starts_with("--")) else {
         return Err(format!("missing <spec.mcc> path\n{USAGE}"));

@@ -6,9 +6,14 @@
 //! syntax uses (`+=`, `-=`, `==`, …): the spec parser skips over
 //! `library { … }` blocks token by token (balancing braces) and hands
 //! the raw source slice to [`moccml_automata::parse_library`], so the
-//! lexer must at least tokenize that dialect without choking.
+//! lexer must at least tokenize that dialect without choking. Both
+//! dialects draw their operators from the shared
+//! [`moccml_automata::symbols`] tables —
+//! [`SymbolTable::spec`](moccml_automata::symbols::SymbolTable::spec)
+//! here — so a new operator is added in exactly one place.
 
 use crate::error::LangError;
+use moccml_automata::symbols::SymbolTable;
 
 /// One lexed token kind.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,11 +38,9 @@ pub(crate) struct Token {
     pub end: usize,
 }
 
-/// Two-character symbols, longest-match-first.
-const SYM2: [&str; 9] = ["<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "=>"];
-
 /// Lexes `input` into a token stream.
 pub(crate) fn lex(input: &str) -> Result<Vec<Token>, LangError> {
+    let table = SymbolTable::spec();
     let chars: Vec<(usize, char)> = input.char_indices().collect();
     let mut tokens = Vec::new();
     let mut line = 1usize;
@@ -99,8 +102,7 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Token>, LangError> {
             }
             _ => {
                 if let Some((_, d)) = chars.get(i + 1) {
-                    let two: String = [c, *d].iter().collect();
-                    if let Some(s) = SYM2.iter().find(|s| **s == two) {
+                    if let Some(s) = table.two_char(c, *d) {
                         tokens.push(Token {
                             tok: Tok::Sym(s),
                             line,
@@ -112,32 +114,11 @@ pub(crate) fn lex(input: &str) -> Result<Vec<Token>, LangError> {
                         continue;
                     }
                 }
-                let one = match c {
-                    '{' => "{",
-                    '}' => "}",
-                    '(' => "(",
-                    ')' => ")",
-                    '[' => "[",
-                    ']' => "]",
-                    ',' => ",",
-                    ';' => ";",
-                    ':' => ":",
-                    '=' => "=",
-                    '<' => "<",
-                    '>' => ">",
-                    '+' => "+",
-                    '-' => "-",
-                    '*' => "*",
-                    '!' => "!",
-                    '#' => "#",
-                    other => {
-                        return Err(LangError::Parse {
-                            line,
-                            column,
-                            message: format!("unexpected character `{other}`"),
-                        })
-                    }
-                };
+                let one = table.one_char(c).ok_or_else(|| LangError::Parse {
+                    line,
+                    column,
+                    message: format!("unexpected character `{c}`"),
+                })?;
                 tokens.push(Token {
                     tok: Tok::Sym(one),
                     line,

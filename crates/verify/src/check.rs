@@ -186,6 +186,124 @@ pub fn check(program: &Program, prop: &Prop, options: &ExploreOptions) -> PropSt
         .expect("one prop in, one status out")
 }
 
+/// Options for [`check_with`]: the exploration bounds plus the opt-in
+/// cone-of-influence slice.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOptions {
+    explore: ExploreOptions,
+    slice: bool,
+}
+
+impl CheckOptions {
+    /// Default exploration bounds, slicing off.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Uses `explore` as the exploration bounds.
+    #[must_use]
+    pub fn with_explore(mut self, explore: ExploreOptions) -> Self {
+        self.explore = explore;
+        self
+    }
+
+    /// Enables (or disables) cone-of-influence slicing. When enabled
+    /// and the property is eligible (see [`sliceable_events`]),
+    /// [`check_with`] explores only the constraints transitively
+    /// sharing events with the property — strictly fewer states
+    /// whenever the spec has independent parts.
+    #[must_use]
+    pub fn with_slice(mut self, slice: bool) -> Self {
+        self.slice = slice;
+        self
+    }
+
+    /// The exploration bounds.
+    #[must_use]
+    pub fn explore(&self) -> &ExploreOptions {
+        &self.explore
+    }
+
+    /// Whether slicing is enabled.
+    #[must_use]
+    pub fn slice(&self) -> bool {
+        self.slice
+    }
+}
+
+/// The seed events for cone-of-influence slicing of `prop`, or `None`
+/// when slicing is not verdict-preserving for it.
+///
+/// Slicing is sound exactly for the *stutter-invariant safety*
+/// properties: constraints outside the cone only ever add steps that
+/// are invisible to the predicate (they fire no cone event), so the
+/// predicate must not change verdict on such steps:
+///
+/// * `Always(p)` with `p(∅) = true` — a step over foreign events
+///   satisfies `p`, so dropping or adding foreign behaviour cannot
+///   introduce or mask a violation;
+/// * `Never(p)` with `p(∅) = false` — symmetric;
+/// * everything else (`EventuallyWithin`, whose bound counts foreign
+///   steps too; `DeadlockFree`, where a deadlock is a *joint* wedge of
+///   cone and remainder; polarity-mismatched `Always`/`Never`) must be
+///   checked on the full program.
+#[must_use]
+pub fn sliceable_events(prop: &Prop) -> Option<Vec<moccml_kernel::EventId>> {
+    let empty = Step::new();
+    let eligible = match prop {
+        Prop::Always(p) => p.eval(&empty),
+        Prop::Never(p) => !p.eval(&empty),
+        Prop::EventuallyWithin(..) | Prop::DeadlockFree => false,
+    };
+    match prop {
+        Prop::Always(p) | Prop::Never(p) if eligible => Some(p.events().iter().collect()),
+        _ => None,
+    }
+}
+
+/// Checks a single property with [`CheckOptions`], returning the full
+/// [`CheckReport`] (so callers can compare exploration effort).
+///
+/// With [`CheckOptions::with_slice`] enabled and an eligible property
+/// (see [`sliceable_events`]), the check runs on
+/// [`Program::slice`] of the property's events instead of the full
+/// program. The verdict is identical; a violation's witness has the
+/// same (shortest) length and replays on the **full** program, because
+/// out-of-cone constraints stutter through every step of the slice —
+/// this is re-asserted before returning. Witnesses are canonical *for
+/// the program actually explored*, so the sliced witness need not be
+/// byte-identical to the unsliced one.
+///
+/// # Panics
+///
+/// Panics if a counterexample fails to replay (see [`check_props`]) —
+/// including, for sliced runs, on the full program.
+#[must_use]
+pub fn check_with(program: &Program, prop: &Prop, options: &CheckOptions) -> CheckReport {
+    if options.slice() {
+        if let Some(seeds) = sliceable_events(prop) {
+            let sliced = program.slice(&seeds);
+            let full_count = program.specification().constraint_count();
+            if sliced.specification().constraint_count() < full_count {
+                let report = check_props(&sliced, std::slice::from_ref(prop), options.explore());
+                for status in &report.statuses {
+                    if let PropStatus::Violated(ce) = status {
+                        assert!(
+                            ce.replays_on(program),
+                            "sliced counterexample for `{prop}` does not replay on the \
+                             full program: {}",
+                            ce.schedule
+                        );
+                    }
+                }
+                return report;
+            }
+        }
+    }
+    check_props(program, std::slice::from_ref(prop), options.explore())
+}
+
 /// Exploration bookkeeping shared by all monitors: shortest-path parent
 /// links (for counterexample reconstruction), the adjacency the bounded
 /// liveness propagation walks (only populated when a liveness monitor
@@ -782,5 +900,91 @@ mod tests {
         // other two see a complete space iff the frontier was done
         assert!(report.statuses[2].is_violated());
         assert_eq!(report.first_violation().expect("violated").0, 2);
+    }
+
+    /// Two independent alternations: the cone of `a`/`b` excludes the
+    /// `x`/`y` constraint, so a sliced check explores strictly fewer
+    /// states (2 instead of the 2×2 product).
+    fn decoupled() -> (Arc<Program>, [EventId; 4]) {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let (x, y) = (u.event("x"), u.event("y"));
+        let mut spec = Specification::new("decoupled", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        spec.add_constraint(Box::new(Alternation::new("x~y", x, y)));
+        (Program::new(spec), [a, b, x, y])
+    }
+
+    #[test]
+    fn sliceable_events_matches_the_stutter_invariance_rule() {
+        let a = EventId::from_index(0);
+        // Never(fired(a)): p(∅) = false — sliceable
+        assert!(sliceable_events(&Prop::Never(StepPred::fired(a))).is_some());
+        // Always(implies(a, a)): p(∅) = true — sliceable
+        assert!(sliceable_events(&Prop::Always(StepPred::implies(a, a))).is_some());
+        // polarity mismatch: a foreign-event step would flip these
+        assert!(sliceable_events(&Prop::Always(StepPred::fired(a))).is_none());
+        assert!(sliceable_events(&Prop::Never(StepPred::negate(StepPred::fired(a)))).is_none());
+        // liveness and deadlock-freedom couple cone and remainder
+        assert!(sliceable_events(&Prop::EventuallyWithin(StepPred::fired(a), 3)).is_none());
+        assert!(sliceable_events(&Prop::DeadlockFree).is_none());
+    }
+
+    #[test]
+    fn sliced_check_preserves_holds_with_fewer_states() {
+        let (program, [a, b, _, _]) = decoupled();
+        let prop = Prop::Never(StepPred::and(StepPred::fired(a), StepPred::fired(b)));
+        let full = check_with(&program, &prop, &CheckOptions::new());
+        let sliced = check_with(&program, &prop, &CheckOptions::new().with_slice(true));
+        assert_eq!(full.statuses[0], PropStatus::Holds);
+        assert_eq!(sliced.statuses[0], PropStatus::Holds);
+        assert!(
+            sliced.states_visited < full.states_visited,
+            "{} !< {}",
+            sliced.states_visited,
+            full.states_visited
+        );
+    }
+
+    #[test]
+    fn sliced_violation_replays_on_the_full_program() {
+        let (program, [_, b, _, _]) = decoupled();
+        let prop = Prop::Never(StepPred::fired(b));
+        let full = check_with(&program, &prop, &CheckOptions::new());
+        let sliced = check_with(&program, &prop, &CheckOptions::new().with_slice(true));
+        let PropStatus::Violated(fce) = &full.statuses[0] else {
+            panic!("b fires");
+        };
+        let PropStatus::Violated(sce) = &sliced.statuses[0] else {
+            panic!("b fires in the slice too");
+        };
+        assert_eq!(fce.schedule.len(), sce.schedule.len());
+        assert!(sce.replays_on(&program));
+        assert!(sliced.states_visited <= full.states_visited);
+    }
+
+    #[test]
+    fn ineligible_props_fall_back_to_the_full_program() {
+        let (program, [_, _, x, _]) = decoupled();
+        // DeadlockFree must never slice: both reports are the full run
+        let full = check_with(&program, &Prop::DeadlockFree, &CheckOptions::new());
+        let sliced = check_with(
+            &program,
+            &Prop::DeadlockFree,
+            &CheckOptions::new().with_slice(true),
+        );
+        assert_eq!(full, sliced);
+        // a total cone also falls back (same program, no recompile)
+        let touching_all = Prop::Never(StepPred::and(
+            StepPred::fired(x),
+            StepPred::fired(EventId::from_index(0)),
+        ));
+        let f = check_with(&program, &touching_all, &CheckOptions::new());
+        let s = check_with(
+            &program,
+            &touching_all,
+            &CheckOptions::new().with_slice(true),
+        );
+        assert_eq!(f, s);
     }
 }

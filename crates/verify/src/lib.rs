@@ -21,6 +21,14 @@
 //!   re-validated through a fresh [`Cursor`](moccml_engine::Cursor)
 //!   before they are returned — and byte-identical for every
 //!   [`workers`](moccml_engine::ExploreOptions::workers) count.
+//! * **Cone-of-influence slicing** ([`check_with`] with
+//!   [`CheckOptions::with_slice`]) — stutter-invariant safety
+//!   properties (see [`sliceable_events`]) are checked on
+//!   [`Program::slice`](moccml_engine::Program::slice) over the
+//!   property's events instead of the full program: the verdict is
+//!   identical, a violation's witness keeps its shortest length and
+//!   replays on the full program, and the BFS visits at most — and on
+//!   specs with independent parts strictly fewer — states.
 //! * **Minimization** ([`minimize_witness`] / [`is_witness`]) —
 //!   greedily shrink any witness schedule (drop steps, thin events out
 //!   of steps), re-validating every candidate through a fresh cursor,
@@ -92,7 +100,10 @@ mod equivalence;
 mod minimize;
 mod prop;
 
-pub use check::{check, check_props, CheckReport, Counterexample, PropStatus};
+pub use check::{
+    check, check_props, check_with, sliceable_events, CheckOptions, CheckReport, Counterexample,
+    PropStatus,
+};
 pub use conformance::{conformance, Verdict};
 pub use equivalence::{
     check_equivalence, check_refinement, Distinguisher, EquivOptions, EquivalenceVerdict, Side,

@@ -30,7 +30,12 @@
 //! * [`lang`] — the textual frontend: the `.mcc` specification
 //!   format and property syntax ([`lang::parse_spec`],
 //!   [`lang::parse_prop`], [`lang::compile`]) behind the `moccml`
-//!   CLI binary (`check` / `explore` / `simulate` / `conformance`);
+//!   CLI binary (`check` / `explore` / `simulate` / `conformance` /
+//!   `lint`);
+//! * [`analyze`] — static analysis: the multi-pass lint engine
+//!   behind `moccml lint` ([`analyze::analyze_str`]), with stable
+//!   `A…` codes, text/JSON renderers, and the cone-of-influence
+//!   report that feeds `verify::check_with`'s slicing;
 //! * [`sdf`] — the paper's illustrative DSL (SigPML/SDF) and the PAM
 //!   case study.
 //!
@@ -74,6 +79,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use moccml_analyze as analyze;
 pub use moccml_automata as automata;
 pub use moccml_ccsl as ccsl;
 pub use moccml_engine as engine;

@@ -12,199 +12,20 @@
 //!   `Prop`; same for bare `StepPred`s through `parse_pred`;
 //! * parse errors never panic and always carry a 1-based `line:col`.
 //!
-//! Runs on the deterministic in-repo `moccml-testkit` harness;
-//! failures report a replayable case seed.
+//! The random-AST generators live in `tests/common/mod.rs`, shared
+//! with the analyzer and slicing suites. Runs on the deterministic
+//! in-repo `moccml-testkit` harness; failures report a replayable case
+//! seed.
 
+mod common;
+
+use common::{random_spec, EVENTS};
 use moccml::kernel::{EventId, StepPred, Universe};
-use moccml::lang::ast::{Arg, ConstraintDecl, Item, LibraryBlock, Name, PredAst, PropAst, SpecAst};
 use moccml::lang::{compile, parse_pred, parse_prop, parse_spec};
 use moccml::verify::Prop;
 use moccml_testkit::{cases, prop_assert, prop_assert_eq, TestRng};
 
 const CASES: usize = 64;
-const EVENTS: usize = 5;
-
-fn name(text: &str) -> Name {
-    Name::new(text, 1, 1)
-}
-
-fn event_name(rng: &mut TestRng) -> Name {
-    name(&format!("e{}", rng.usize_in(0..EVENTS)))
-}
-
-fn event_arg(rng: &mut TestRng) -> Arg {
-    Arg::Event(event_name(rng))
-}
-
-/// One random, always-compilable built-in constraint declaration.
-fn random_builtin(rng: &mut TestRng, index: usize) -> ConstraintDecl {
-    let cname = name(&format!("c{index}"));
-    let (ctor, args): (&str, Vec<Arg>) = match rng.u8_in(0..12) {
-        0 => ("subclock", vec![event_arg(rng), event_arg(rng)]),
-        1 => (
-            "exclusion",
-            (0..rng.usize_in(2..4)).map(|_| event_arg(rng)).collect(),
-        ),
-        2 => ("coincidence", vec![event_arg(rng), event_arg(rng)]),
-        3 => (
-            "precedes",
-            vec![
-                event_arg(rng),
-                event_arg(rng),
-                Arg::Int(rng.usize_in(1..4) as i64, 1, 1),
-            ],
-        ),
-        4 => ("weak_precedes", vec![event_arg(rng), event_arg(rng)]),
-        5 => ("alternates", vec![event_arg(rng), event_arg(rng)]),
-        6 => (
-            "union",
-            (0..rng.usize_in(2..4)).map(|_| event_arg(rng)).collect(),
-        ),
-        7 => (
-            "intersection",
-            (0..rng.usize_in(2..4)).map(|_| event_arg(rng)).collect(),
-        ),
-        8 => (
-            "delay",
-            vec![
-                event_arg(rng),
-                event_arg(rng),
-                Arg::Int(rng.usize_in(0..3) as i64, 1, 1),
-            ],
-        ),
-        9 => (
-            "periodic",
-            vec![
-                event_arg(rng),
-                event_arg(rng),
-                Arg::Int(rng.usize_in(0..3) as i64, 1, 1),
-                Arg::Int(rng.usize_in(1..4) as i64, 1, 1),
-            ],
-        ),
-        10 => (
-            "sampled",
-            vec![event_arg(rng), event_arg(rng), event_arg(rng)],
-        ),
-        _ => (
-            "filtered",
-            vec![
-                event_arg(rng),
-                event_arg(rng),
-                Arg::Bits(
-                    (0..rng.usize_in(0..3))
-                        .map(|_| rng.u8_in(0..2) == 1)
-                        .collect(),
-                    1,
-                    1,
-                ),
-                Arg::Bits(
-                    (0..rng.usize_in(1..4))
-                        .map(|_| rng.u8_in(0..2) == 1)
-                        .collect(),
-                    1,
-                    1,
-                ),
-            ],
-        ),
-    };
-    ConstraintDecl {
-        name: cname,
-        ctor: name(ctor),
-        args,
-    }
-}
-
-fn random_pred_ast(rng: &mut TestRng, depth: usize) -> PredAst {
-    if depth == 0 {
-        return PredAst::Fired(event_name(rng));
-    }
-    match rng.u8_in(0..6) {
-        0 => PredAst::Fired(event_name(rng)),
-        1 => PredAst::Excludes(event_name(rng), event_name(rng)),
-        2 => PredAst::Implies(event_name(rng), event_name(rng)),
-        3 => PredAst::And(
-            Box::new(random_pred_ast(rng, depth - 1)),
-            Box::new(random_pred_ast(rng, depth - 1)),
-        ),
-        4 => PredAst::Or(
-            Box::new(random_pred_ast(rng, depth - 1)),
-            Box::new(random_pred_ast(rng, depth - 1)),
-        ),
-        _ => PredAst::Not(Box::new(random_pred_ast(rng, depth - 1))),
-    }
-}
-
-fn random_prop_ast(rng: &mut TestRng) -> PropAst {
-    match rng.u8_in(0..4) {
-        0 => PropAst::Always(random_pred_ast(rng, 2)),
-        1 => PropAst::Never(random_pred_ast(rng, 2)),
-        2 => PropAst::EventuallyWithin(random_pred_ast(rng, 2), rng.usize_in(0..6)),
-        _ => PropAst::DeadlockFree,
-    }
-}
-
-/// The Fig. 3 place library as an embeddable block, plus `count`
-/// random instantiations of it.
-fn random_library_items(rng: &mut TestRng, first_index: usize) -> Vec<Item> {
-    let library = moccml::automata::parse_library(
-        "library SDF {\n\
-           constraint Place(write: event, read: event,\n\
-                            pushRate: int, popRate: int,\n\
-                            itsDelay: int, itsCapacity: int)\n\
-           automaton PlaceDef implements Place {\n\
-             var size: int = itsDelay;\n\
-             initial state S0;\n\
-             final state S0;\n\
-             from S0 to S0 when {write} forbid {read}\n\
-               guard [size <= itsCapacity - pushRate] do size += pushRate;\n\
-             from S0 to S0 when {read} forbid {write}\n\
-               guard [size >= popRate] do size -= popRate;\n\
-           }\n\
-         }",
-    )
-    .expect("embedded template parses");
-    let mut items = vec![Item::Library(LibraryBlock {
-        library,
-        line: 1,
-        column: 1,
-    })];
-    for i in 0..rng.usize_in(1..3) {
-        items.push(Item::Constraint(ConstraintDecl {
-            name: name(&format!("place{}_{}", first_index, i)),
-            ctor: name("Place"),
-            args: vec![
-                event_arg(rng),
-                event_arg(rng),
-                Arg::Int(1, 1, 1),
-                Arg::Int(1, 1, 1),
-                Arg::Int(rng.usize_in(0..3) as i64, 1, 1),
-                Arg::Int(rng.usize_in(1..4) as i64, 1, 1),
-            ],
-        }));
-    }
-    items
-}
-
-/// A random, always-compilable specification AST.
-fn random_spec(rng: &mut TestRng) -> SpecAst {
-    let mut items = vec![Item::Events(
-        (0..EVENTS).map(|i| name(&format!("e{i}"))).collect(),
-    )];
-    let constraint_count = rng.usize_in(0..5);
-    for i in 0..constraint_count {
-        items.push(Item::Constraint(random_builtin(rng, i)));
-    }
-    if rng.u8_in(0..3) == 0 {
-        items.extend(random_library_items(rng, constraint_count));
-    }
-    for _ in 0..rng.usize_in(0..4) {
-        items.push(Item::Assert(random_prop_ast(rng)));
-    }
-    SpecAst {
-        name: "random".to_owned(),
-        items,
-    }
-}
 
 #[test]
 fn spec_print_parse_round_trips_and_recompiles_identically() {
