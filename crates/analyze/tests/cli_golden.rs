@@ -4,14 +4,15 @@
 //! schedules and event names, byte for byte — and is identical for
 //! every `--workers` count; `lint` flags every seeded defect of the
 //! golden `tests/specs/defects.mcc` and reports `pam.mcc` clean under
-//! `--deny warnings`. The spawned binary's output must equal the
-//! in-process CLI's output exactly.
+//! `--deny warnings`. (The spawned `moccml` binary lives in
+//! `crates/serve` since the service layer took over the front door;
+//! `crates/serve/tests/cli_exit_codes.rs` pins that the installed
+//! binary byte-matches this in-process CLI.)
 
 use moccml_analyze::cli;
 use moccml_engine::ExploreOptions;
 use moccml_verify::{check, is_witness, minimize_witness, PropStatus};
 use std::path::PathBuf;
-use std::process::Command;
 
 fn spec_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -82,18 +83,6 @@ fn pam_cli_verdict_matches_the_programmatic_check() {
     }
     assert_eq!(cli_out.matches("holds").count(), 2, "{cli_out}");
     assert_eq!(cli_out.matches("VIOLATED").count(), 2, "{cli_out}");
-
-    // the spawned binary agrees with the in-process CLI byte for byte
-    let output = Command::new(env!("CARGO_BIN_EXE_moccml"))
-        .args(&args)
-        .output()
-        .expect("moccml binary runs");
-    assert_eq!(output.status.code(), Some(1), "exit code 1 on violation");
-    assert_eq!(
-        String::from_utf8_lossy(&output.stdout),
-        cli_out,
-        "binary and in-process CLI must print the same report"
-    );
 
     // and the whole report is identical for every worker count
     for workers in [1, 8] {
@@ -193,14 +182,6 @@ fn lint_flags_every_seeded_defect_in_the_golden_spec() {
         );
     }
     assert!(!json.contains("finding(s)"), "no summary line in json");
-
-    // the spawned binary agrees with the in-process CLI byte for byte
-    let output = Command::new(env!("CARGO_BIN_EXE_moccml"))
-        .args(&args)
-        .output()
-        .expect("moccml binary runs");
-    assert_eq!(output.status.code(), Some(1));
-    assert_eq!(String::from_utf8_lossy(&output.stdout), out);
 }
 
 #[test]

@@ -1,0 +1,117 @@
+//! Serve bench target — the verification service on the PAM workload:
+//! a cold `check` (capacity-0 cache, every request parses and
+//! compiles) against a cached `check` (warm LRU entry, the compiled
+//! program is shared), plus a sequential-throughput batch on the warm
+//! service.
+//!
+//! Runs on the in-repo `Instant`-based harness; emits
+//! `BENCH_serve.json` at the workspace root and prints the derived
+//! requests/second next to the latency medians. Before timing, the
+//! bench asserts the acceptance claims outright: the cached verdict is
+//! byte-identical to the cold one, the warm service reports the cache
+//! hits, and after measurement the cached median is *strictly* below
+//! the cold median.
+
+use moccml_bench::harness::BenchGroup;
+use moccml_serve::json::Json;
+use moccml_serve::{Service, ServiceConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+/// Requests folded into one throughput sample.
+const BATCH: usize = 16;
+
+fn pam_source() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/specs/pam.mcc");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn check_request(spec: &str) -> String {
+    Json::obj([
+        ("id", Json::str("bench")),
+        ("method", Json::str("check")),
+        ("spec", Json::str(spec)),
+    ])
+    .to_line()
+}
+
+/// Issues one `check` through the service and returns the result
+/// payload, panicking on any non-`result` terminal.
+fn check(service: &Service, line: &str) -> Json {
+    let events = service.call(line);
+    events
+        .iter()
+        .find(|e| e.get("event").and_then(Json::as_str) == Some("result"))
+        .and_then(|e| e.get("result"))
+        .cloned()
+        .unwrap_or_else(|| panic!("check must succeed: {events:?}"))
+}
+
+fn requests_per_second(median_ns: u128, requests: u128) -> u128 {
+    requests * 1_000_000_000 / median_ns.max(1)
+}
+
+fn main() {
+    let pam = pam_source();
+    let line = check_request(&pam);
+
+    // capacity 0: every request parses + compiles (a permanent miss)
+    let cold = Service::new(ServiceConfig {
+        cache_capacity: 0,
+        ..ServiceConfig::default()
+    });
+    // warm service: the first request compiles, the rest share the Arc
+    let cached = Service::new(ServiceConfig::default());
+
+    // claim 1: cached and cold verdicts are byte-identical
+    let cold_payload = check(&cold, &line).to_line();
+    let warm_payload = check(&cached, &line).to_line();
+    assert_eq!(
+        check(&cached, &line).to_line(),
+        cold_payload,
+        "the cached verdict must byte-match the cold one"
+    );
+    assert_eq!(warm_payload, cold_payload);
+
+    // claim 2: the warm service's hits are observable via `status`
+    let status = check(&cached, r#"{"id":"status","method":"status"}"#);
+    let hits = status
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_i64)
+        .expect("cache hit counter");
+    assert!(hits >= 1, "the warm-up hit must be visible: {status:?}");
+
+    let mut group = BenchGroup::new("serve").with_iters(30);
+    group.bench("check_cold/pam", || check(black_box(&cold), &line));
+    group.bench("check_cached/pam", || check(black_box(&cached), &line));
+    group.bench(&format!("check_cached/pam_batch_{BATCH}"), || {
+        for _ in 0..BATCH {
+            check(black_box(&cached), &line);
+        }
+    });
+    let records = group.finish();
+
+    // claim 3: a cache hit is strictly faster than a cold compile
+    let median = |name: &str| {
+        records
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("record {name}"))
+            .median_ns
+    };
+    let (cold_ns, cached_ns) = (median("check_cold/pam"), median("check_cached/pam"));
+    assert!(
+        cached_ns < cold_ns,
+        "a cached check ({cached_ns} ns) must be strictly faster than \
+         a cold one ({cold_ns} ns)"
+    );
+    let batch_ns = median(&format!("check_cached/pam_batch_{BATCH}"));
+    println!("requests/second (sequential, median):");
+    println!("  check_cold/pam:   {}", requests_per_second(cold_ns, 1));
+    println!("  check_cached/pam: {}", requests_per_second(cached_ns, 1));
+    println!(
+        "  check_cached/pam_batch_{BATCH}: {}",
+        requests_per_second(batch_ns, BATCH as u128)
+    );
+}

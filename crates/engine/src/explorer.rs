@@ -137,7 +137,32 @@ pub trait ExploreVisitor {
         let _ = (depth, state_count);
         VisitControl::Continue
     }
+
+    /// Periodic mid-absorption checkpoint: called once every
+    /// [`PROGRESS_INTERVAL`] absorbed transitions with the running
+    /// totals (`states` interned, `transitions` absorbed, current BFS
+    /// `depth`). Large levels can absorb hundreds of thousands of
+    /// transitions between two barriers; this hook is what lets a
+    /// long-running exploration report progress — and be cancelled —
+    /// *inside* a level instead of only at its end.
+    ///
+    /// Returning [`VisitControl::Stop`] aborts the exploration
+    /// immediately; the returned [`StateSpace`] contains everything
+    /// absorbed so far and is always marked
+    /// [`truncated`](StateSpace::truncated) (a mid-level stop leaves
+    /// the transition relation incomplete). Call points are a pure
+    /// function of the absorbed-transition count, so — like every
+    /// other callback — the hook sequence is identical for every
+    /// [`ExploreOptions::workers`] count.
+    fn on_progress(&mut self, states: usize, transitions: usize, depth: usize) -> VisitControl {
+        let _ = (states, transitions, depth);
+        VisitControl::Continue
+    }
 }
+
+/// Number of absorbed transitions between two
+/// [`ExploreVisitor::on_progress`] checkpoints.
+pub const PROGRESS_INTERVAL: usize = 1024;
 
 /// The always-continue visitor: plain exploration.
 impl ExploreVisitor for () {}
@@ -452,7 +477,7 @@ fn explore_with(
 
     let mut frontier: Vec<usize> = vec![0];
     let mut depth = 0usize;
-    while !frontier.is_empty() {
+    'levels: while !frontier.is_empty() {
         if depth >= options.max_depth {
             truncated = true;
             break;
@@ -497,6 +522,15 @@ fn explore_with(
                 };
                 visitor.on_transition(source, &step, target, depth);
                 transitions.push((source, step, target));
+                // mid-level checkpoint: call points depend only on the
+                // absorbed-transition count, never on who expanded what
+                if transitions.len() % PROGRESS_INTERVAL == 0
+                    && visitor.on_progress(states.len(), transitions.len(), depth)
+                        == VisitControl::Stop
+                {
+                    truncated = true;
+                    break 'levels;
+                }
             }
         }
         let control = visitor.on_level_end(depth, states.len());
@@ -949,6 +983,89 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Counts `on_progress` checkpoints; stops after `stop_after`.
+    struct ProgressProbe {
+        calls: Vec<(usize, usize, usize)>,
+        stop_after: usize,
+    }
+
+    impl ExploreVisitor for ProgressProbe {
+        fn on_progress(&mut self, states: usize, transitions: usize, depth: usize) -> VisitControl {
+            self.calls.push((states, transitions, depth));
+            if self.calls.len() >= self.stop_after {
+                VisitControl::Stop
+            } else {
+                VisitControl::Continue
+            }
+        }
+    }
+
+    /// A spec whose level widths grow without bound: three unbounded
+    /// precedences produce a 3-D grid with ever-wider BFS levels.
+    fn wide_grid() -> std::sync::Arc<Program> {
+        let mut u = Universe::new();
+        let pairs: Vec<_> = (0..3)
+            .map(|i| (u.event(&format!("a{i}")), u.event(&format!("b{i}"))))
+            .collect();
+        let mut spec = Specification::new("wide", u);
+        for (i, (a, b)) in pairs.into_iter().enumerate() {
+            spec.add_constraint(Box::new(Precedence::strict(&format!("p{i}"), a, b)));
+        }
+        Program::new(spec)
+    }
+
+    #[test]
+    fn progress_fires_every_interval_and_stop_aborts_mid_level() {
+        let program = wide_grid();
+        let mut probe = ProgressProbe {
+            calls: Vec::new(),
+            stop_after: 2,
+        };
+        let options = ExploreOptions::default().with_max_states(50_000);
+        let space = program.explore_with(&options, &mut probe);
+        assert_eq!(probe.calls.len(), 2, "stopped at the second checkpoint");
+        for (i, (states, transitions, _)) in probe.calls.iter().enumerate() {
+            assert_eq!(*transitions, (i + 1) * PROGRESS_INTERVAL);
+            assert!(*states > 0);
+        }
+        assert!(space.truncated(), "a mid-level stop truncates");
+        assert_eq!(space.transition_count(), 2 * PROGRESS_INTERVAL);
+    }
+
+    #[test]
+    fn progress_checkpoints_are_worker_count_independent() {
+        let program = wide_grid();
+        type Checkpoints = Vec<(usize, usize, usize)>;
+        let options = ExploreOptions::default().with_max_states(3_000);
+        let mut first: Option<(Checkpoints, StateSpace)> = None;
+        for workers in [1, 2, 8] {
+            let mut probe = ProgressProbe {
+                calls: Vec::new(),
+                stop_after: 3,
+            };
+            let space = program.explore_with(&options.clone().with_workers(workers), &mut probe);
+            match &first {
+                None => first = Some((probe.calls, space)),
+                Some((calls, s0)) => {
+                    assert_eq!(calls, &probe.calls, "workers={workers}");
+                    assert_eq!(s0, &space, "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_progress_hook_is_a_noop() {
+        // the alternation space is tiny: no checkpoint ever fires, and
+        // the default visitor keeps exploring to completion
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        let space = explore(&spec, &ExploreOptions::default());
+        assert!(!space.truncated());
     }
 
     #[test]

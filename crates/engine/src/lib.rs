@@ -111,6 +111,7 @@ pub use cursor::Cursor;
 pub use engine::{Engine, EngineBuilder, SimulationReport};
 pub use explorer::{
     explore, ExploreOptions, ExploreVisitor, StateSpace, StateSpaceStats, VisitControl,
+    PROGRESS_INTERVAL,
 };
 pub use export::{schedule_to_vcd, state_space_to_dot};
 pub use observer::{Metrics, MetricsObserver, Observer, VcdObserver};

@@ -1,12 +1,12 @@
-//! The `moccml` CLI entry point — see [`moccml_analyze::cli`].
+//! The `moccml` CLI entry point — see [`moccml_serve::cli`].
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = String::new();
-    let code = moccml_analyze::cli::run(&args, &mut out);
-    if code == moccml_analyze::cli::EXIT_ERROR {
+    let code = moccml_serve::cli::run(&args, &mut out);
+    if code == moccml_serve::cli::EXIT_ERROR {
         eprint!("{out}");
     } else {
         print!("{out}");

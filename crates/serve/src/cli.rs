@@ -1,0 +1,341 @@
+//! The front door of the `moccml` binary: `serve` and `client` are
+//! resolved here, `check`/`explore`/`simulate`/`conformance` gain a
+//! `--format json` mode backed by the shared [`crate::ops`] schema,
+//! and everything else — `lint`, the text modes, `--help` content —
+//! is delegated unchanged to [`moccml_analyze::cli::run`] (which in
+//! turn delegates to the frontend CLI).
+//!
+//! ```text
+//! moccml serve  [--listen ADDR] [--workers N] [--cache-capacity K] [--queue-depth Q]
+//! moccml client <ADDR> <script.jsonl>
+//! moccml check|explore|simulate|conformance … [--format text|json]
+//! ```
+//!
+//! Exit codes are uniform across every subcommand and both formats:
+//! `0` success (all properties hold, trace conforms, clean lint,
+//! client session all-green), `1` a verdict went against the input (a
+//! violated property, nonconforming trace, deadlocked simulation,
+//! denied lint, failed session), `2` usage, I/O, parse or compilation
+//! errors. `crates/serve/tests/cli_exit_codes.rs` pins all three on
+//! the installed binary.
+
+use crate::json::Json;
+use crate::ops;
+use crate::server;
+use crate::service::ServiceConfig;
+use moccml_engine::ExploreOptions;
+use std::fmt::Write as _;
+
+pub use moccml_lang::cli::{EXIT_ERROR, EXIT_OK, EXIT_VIOLATED};
+
+const SERVE_USAGE: &str = "\
+service:
+  serve        run the verification daemon (NDJSON over TCP)
+               [--listen ADDR] [--workers N] [--cache-capacity K] [--queue-depth Q]
+  client       run a scripted session: moccml client <ADDR> <script.jsonl>
+
+formats:
+  --format FMT check/explore/simulate/conformance output: text | json
+               (default text; json prints one machine-readable object)
+";
+
+/// Runs the CLI on `args` (without the program name), writing all
+/// output to `out`. Returns the process exit code.
+///
+/// The `serve` subcommand is the one exception to the pure-function
+/// contract: the daemon streams its banner and runs until shutdown,
+/// so it writes to the process stdout directly and `out` stays empty.
+pub fn run(args: &[String], out: &mut String) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("serve") => match try_serve(&args[1..]) {
+            Ok(code) => code,
+            Err(message) => {
+                let _ = writeln!(out, "error: {message}");
+                EXIT_ERROR
+            }
+        },
+        Some("client") => match try_client(&args[1..], out) {
+            Ok(code) => code,
+            Err(message) => {
+                let _ = writeln!(out, "error: {message}");
+                EXIT_ERROR
+            }
+        },
+        Some("check" | "explore" | "simulate" | "conformance") => match json_format(args) {
+            Ok(Some(stripped)) => match try_json(&stripped, out) {
+                Ok(code) => code,
+                Err(message) => {
+                    let _ = writeln!(out, "error: {message}");
+                    EXIT_ERROR
+                }
+            },
+            Ok(None) => {
+                let stripped = strip_text_format(args);
+                moccml_analyze::cli::run(&stripped, out)
+            }
+            Err(message) => {
+                let _ = writeln!(out, "error: {message}");
+                EXIT_ERROR
+            }
+        },
+        Some("--help" | "-h" | "help") => {
+            let code = moccml_analyze::cli::run(args, out);
+            out.push_str(SERVE_USAGE);
+            code
+        }
+        _ => moccml_analyze::cli::run(args, out),
+    }
+}
+
+/// `Some(args-without-the-format-flag)` when `--format json` is
+/// present, `None` for text (explicit or default).
+fn json_format(args: &[String]) -> Result<Option<Vec<String>>, String> {
+    let Some(i) = args.iter().position(|a| a == "--format") else {
+        return Ok(None);
+    };
+    match args.get(i + 1).map(String::as_str) {
+        Some("json") => {
+            let mut stripped = args.to_vec();
+            stripped.drain(i..=i + 1);
+            Ok(Some(stripped))
+        }
+        Some("text") => Ok(None),
+        other => Err(format!(
+            "--format expects `text` or `json`, got `{}`",
+            other.unwrap_or("")
+        )),
+    }
+}
+
+/// Removes an explicit `--format text` so the delegated CLIs (which do
+/// not know the flag) see their plain argument list.
+fn strip_text_format(args: &[String]) -> Vec<String> {
+    match args.iter().position(|a| a == "--format") {
+        Some(i) => {
+            let mut stripped = args.to_vec();
+            stripped.drain(i..=i + 1);
+            stripped
+        }
+        None => args.to_vec(),
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Result<Option<usize>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(Some)
+            .ok_or_else(|| format!("{name} needs a non-negative integer")),
+    }
+}
+
+fn string_flag(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{name} needs a value")),
+    }
+}
+
+fn try_serve(args: &[String]) -> Result<i32, String> {
+    let listen = string_flag(args, "--listen")?.unwrap_or_else(|| server::DEFAULT_ADDR.to_owned());
+    let mut config = ServiceConfig::default();
+    if let Some(n) = flag(args, "--workers")? {
+        config.workers = n.max(1);
+    }
+    if let Some(n) = flag(args, "--cache-capacity")? {
+        config.cache_capacity = n;
+    }
+    if let Some(n) = flag(args, "--queue-depth")? {
+        config.queue_depth = n.max(1);
+    }
+    let mut stdout = std::io::stdout();
+    server::serve(&listen, config, &mut stdout)?;
+    Ok(EXIT_OK)
+}
+
+fn try_client(args: &[String], out: &mut String) -> Result<i32, String> {
+    let (Some(addr), Some(script_path)) = (args.first(), args.get(1)) else {
+        return Err("usage: moccml client <ADDR> <script.jsonl>".to_owned());
+    };
+    let script = std::fs::read_to_string(script_path)
+        .map_err(|e| format!("cannot read `{script_path}`: {e}"))?;
+    crate::client::run_script(addr, &script, out)
+}
+
+fn explore_options(args: &[String]) -> Result<ExploreOptions, String> {
+    let mut options = ExploreOptions::default();
+    if let Some(n) = flag(args, "--max-states")? {
+        options = options.with_max_states(n);
+    }
+    if let Some(n) = flag(args, "--max-depth")? {
+        options = options.with_max_depth(n);
+    }
+    if let Some(n) = flag(args, "--workers")? {
+        options = options.with_workers(n);
+    }
+    Ok(options)
+}
+
+/// The `--format json` mode of `check`/`explore`/`simulate`/
+/// `conformance`: prints exactly one line — the [`crate::ops`] result
+/// object, identical to a serve `result` payload — and maps the
+/// verdict to the usual exit code.
+fn try_json(args: &[String], out: &mut String) -> Result<i32, String> {
+    let command = args.first().expect("dispatched on the command").clone();
+    let Some(spec_path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        return Err("missing <spec.mcc> path".to_owned());
+    };
+    let source = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read `{spec_path}`: {e}"))?;
+    let compiled = moccml_lang::compile_str(&source).map_err(|e| {
+        let (line, column) = e.position();
+        format!("{spec_path}:{line}:{column}: {e}")
+    })?;
+    let rest = &args[2..];
+    let (payload, code) = match command.as_str() {
+        "check" => {
+            let payload =
+                ops::check_json(&compiled, &explore_options(rest)?, &mut ops::no_progress());
+            let violated = payload.get("violated").and_then(Json::as_bool) == Some(true);
+            (payload, if violated { EXIT_VIOLATED } else { EXIT_OK })
+        }
+        "explore" => (
+            ops::explore_json(&compiled, &explore_options(rest)?, &mut ops::no_progress()),
+            EXIT_OK,
+        ),
+        "simulate" => {
+            let steps = flag(rest, "--steps")?.unwrap_or(20);
+            let seed = flag(rest, "--seed")?.unwrap_or(42) as u64;
+            let policy =
+                string_flag(rest, "--policy")?.unwrap_or_else(|| "lexicographic".to_owned());
+            let payload = ops::simulate_json(&compiled, steps, &policy, seed)?;
+            let deadlocked = payload.get("deadlocked").and_then(Json::as_bool) == Some(true);
+            (payload, if deadlocked { EXIT_VIOLATED } else { EXIT_OK })
+        }
+        "conformance" => {
+            let Some(trace_path) = rest.first().filter(|a| !a.starts_with("--")) else {
+                return Err("conformance needs a trace file".to_owned());
+            };
+            let trace = std::fs::read_to_string(trace_path)
+                .map_err(|e| format!("cannot read `{trace_path}`: {e}"))?;
+            let payload = ops::conformance_json(&compiled, &trace)
+                .map_err(|e| format!("{trace_path}: {e}"))?;
+            let conforms = payload.get("verdict").and_then(Json::as_str) == Some("conforms");
+            (payload, if conforms { EXIT_OK } else { EXIT_VIOLATED })
+        }
+        other => return Err(format!("unknown command `{other}`")),
+    };
+    let _ = writeln!(out, "{}", payload.to_line());
+    Ok(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALT: &str = "spec alt {\n  events a, b;\n  constraint alt = alternates(a, b);\n  assert never((a && b));\n  assert never(b);\n}\n";
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(format!("moccml-serve-cli-{name}"));
+        std::fs::write(&path, content).expect("temp file writes");
+        path.to_str().expect("utf8 path").to_owned()
+    }
+
+    fn run_args(args: &[&str]) -> (i32, String) {
+        let args: Vec<String> = args.iter().map(ToString::to_string).collect();
+        let mut out = String::new();
+        let code = run(&args, &mut out);
+        (code, out)
+    }
+
+    #[test]
+    fn json_check_matches_the_text_verdict() {
+        let path = write_temp("alt.mcc", ALT);
+        let (text_code, text_out) = run_args(&["check", &path]);
+        let (json_code, json_out) = run_args(&["check", &path, "--format", "json"]);
+        assert_eq!(text_code, EXIT_VIOLATED);
+        assert_eq!(json_code, EXIT_VIOLATED, "{json_out}");
+        let payload = Json::parse(json_out.trim()).expect("one JSON line");
+        assert_eq!(payload.get("violated").and_then(Json::as_bool), Some(true));
+        // the witness schedule is byte-identical across formats
+        let schedule = payload
+            .get("properties")
+            .and_then(Json::as_arr)
+            .and_then(|ps| ps[1].get("witness"))
+            .and_then(|w| w.get("schedule"))
+            .and_then(Json::as_str)
+            .expect("witness schedule");
+        assert!(text_out.contains(schedule), "{text_out} vs {schedule}");
+    }
+
+    #[test]
+    fn json_explore_simulate_conformance() {
+        let path = write_temp("alt2.mcc", ALT);
+        let (code, out) = run_args(&["explore", &path, "--format", "json"]);
+        assert_eq!(code, EXIT_OK);
+        let payload = Json::parse(out.trim()).expect("JSON");
+        assert_eq!(payload.get("states").and_then(Json::as_i64), Some(2));
+
+        let (code, out) = run_args(&["simulate", &path, "--steps", "4", "--format", "json"]);
+        assert_eq!(code, EXIT_OK);
+        let payload = Json::parse(out.trim()).expect("JSON");
+        assert_eq!(
+            payload.get("schedule").and_then(Json::as_str),
+            Some("a ; b ; a ; b")
+        );
+
+        let trace = write_temp("bad.trace", "a\na\n");
+        let (code, out) = run_args(&["conformance", &path, &trace, "--format", "json"]);
+        assert_eq!(code, EXIT_VIOLATED, "{out}");
+        let payload = Json::parse(out.trim()).expect("JSON");
+        assert_eq!(
+            payload.get("verdict").and_then(Json::as_str),
+            Some("violation")
+        );
+    }
+
+    #[test]
+    fn text_format_delegates_unchanged() {
+        let path = write_temp("alt3.mcc", ALT);
+        let (plain_code, plain_out) = run_args(&["check", &path]);
+        let (text_code, text_out) = run_args(&["check", &path, "--format", "text"]);
+        assert_eq!(plain_code, text_code);
+        assert_eq!(plain_out, text_out, "--format text is the default output");
+        let (code, out) = run_args(&["check", &path, "--format", "yaml"]);
+        assert_eq!(code, EXIT_ERROR);
+        assert!(out.contains("--format expects"), "{out}");
+    }
+
+    #[test]
+    fn help_advertises_the_service_and_delegation_still_works() {
+        let (code, out) = run_args(&["--help"]);
+        assert_eq!(code, EXIT_OK);
+        assert!(out.contains("serve"), "{out}");
+        assert!(out.contains("client"), "{out}");
+        assert!(out.contains("lint"), "{out}");
+        let path = write_temp("lint.mcc", ALT);
+        let (code, out) = run_args(&["lint", &path]);
+        assert_eq!(code, EXIT_OK, "{out}");
+    }
+
+    #[test]
+    fn usage_errors_exit_two() {
+        let (code, _) = run_args(&["client"]);
+        assert_eq!(code, EXIT_ERROR);
+        let (code, out) = run_args(&["client", "127.0.0.1:1", "/nonexistent.jsonl"]);
+        assert_eq!(code, EXIT_ERROR);
+        assert!(out.contains("cannot read"), "{out}");
+        let (code, _) = run_args(&["check", "/nonexistent.mcc", "--format", "json"]);
+        assert_eq!(code, EXIT_ERROR);
+        let (code, out) = run_args(&["serve", "--listen"]);
+        assert_eq!(code, EXIT_ERROR);
+        assert!(out.contains("--listen needs a value"), "{out}");
+    }
+}

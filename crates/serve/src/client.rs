@@ -1,0 +1,170 @@
+//! The bundled scripted client: `moccml client <addr> <script.jsonl>`.
+//!
+//! The script is one request per line (blank lines and `#` comments
+//! skipped). The client sends every request up front, prints each
+//! received event as its own line, and exits when every sent request
+//! has reached its terminal event (`result`, `error` or `cancelled`).
+//! Exit codes follow the CLI convention: `0` all requests succeeded,
+//! `1` at least one `error`/`cancelled` event, `2` I/O or usage
+//! errors. CI drives the daemon with exactly this client.
+
+use crate::json::Json;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+/// Runs a script against a serve daemon at `addr`, appending every
+/// received event line to `out`.
+///
+/// # Errors
+///
+/// Returns a message on connection failures, unreadable scripts, or
+/// script lines that are not JSON objects with an `id`.
+pub fn run_script(addr: &str, script: &str, out: &mut String) -> Result<i32, String> {
+    let mut pending: HashSet<String> = HashSet::new();
+    let mut requests: Vec<String> = Vec::new();
+    for (number, line) in script.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let value = Json::parse(trimmed).map_err(|e| format!("script line {}: {e}", number + 1))?;
+        let id = value
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("script line {}: request needs an `id`", number + 1))?;
+        // `shutdown`/`cancel` answer on their own ids like any other
+        // request, so tracking is uniform
+        pending.insert(id.to_owned());
+        requests.push(trimmed.to_owned());
+    }
+    if requests.is_empty() {
+        return Err("script contains no requests".to_owned());
+    }
+    let stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    let mut writer = BufWriter::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone the connection: {e}"))?,
+    );
+    for request in &requests {
+        writer
+            .write_all(request.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| format!("send failed: {e}"))?;
+    }
+    writer.flush().map_err(|e| format!("send failed: {e}"))?;
+    let reader = BufReader::new(stream);
+    let mut failed = false;
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("receive failed: {e}"))?;
+        let _ = writeln!(out, "{line}");
+        let Ok(event) = Json::parse(&line) else {
+            continue;
+        };
+        let kind = event.get("event").and_then(Json::as_str);
+        if matches!(kind, Some("error" | "cancelled")) {
+            failed = true;
+        }
+        if matches!(kind, Some("result" | "error" | "cancelled")) {
+            if let Some(id) = event.get("id").and_then(Json::as_str) {
+                pending.remove(id);
+            }
+        }
+        if pending.is_empty() {
+            break;
+        }
+    }
+    if !pending.is_empty() {
+        let mut missing: Vec<&str> = pending.iter().map(String::as_str).collect();
+        missing.sort_unstable();
+        return Err(format!(
+            "connection closed with requests unanswered: {}",
+            missing.join(", ")
+        ));
+    }
+    Ok(i32::from(failed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::serve;
+    use crate::service::ServiceConfig;
+
+    const ALT: &str = "spec alt {\n  events a, b;\n  constraint alt = alternates(a, b);\n  assert never((a && b));\n}\n";
+
+    fn boot() -> String {
+        let (tx, rx) = std::sync::mpsc::channel();
+        struct PipeOut(std::sync::mpsc::Sender<String>, Vec<u8>);
+        impl std::io::Write for PipeOut {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.1.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                let _ = self.0.send(String::from_utf8_lossy(&self.1).to_string());
+                Ok(())
+            }
+        }
+        std::thread::spawn(move || {
+            let mut out = PipeOut(tx, Vec::new());
+            serve("127.0.0.1:0", ServiceConfig::default(), &mut out).expect("serves");
+        });
+        let banner = rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("banner");
+        banner
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("address")
+            .to_owned()
+    }
+
+    #[test]
+    fn scripted_session_prints_events_and_exits_zero() {
+        let addr = boot();
+        let script = format!(
+            "# a comment\n\n{}\n{}\n{}\n",
+            Json::obj([
+                ("id", Json::str("r1")),
+                ("method", Json::str("check")),
+                ("spec", Json::str(ALT)),
+            ])
+            .to_line(),
+            r#"{"id":"s1","method":"status"}"#,
+            r#"{"id":"bye","method":"shutdown"}"#,
+        );
+        let mut out = String::new();
+        let code = run_script(&addr, &script, &mut out).expect("session runs");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains(r#""event":"accepted""#), "{out}");
+        assert!(out.contains(r#""kind":"check""#), "{out}");
+        assert!(out.contains(r#""kind":"status""#), "{out}");
+        assert!(out.contains(r#""kind":"shutdown""#), "{out}");
+    }
+
+    #[test]
+    fn failures_exit_one_and_bad_scripts_error() {
+        let addr = boot();
+        let script = format!(
+            "{}\n{}\n",
+            r#"{"id":"x","method":"check"}"#, // missing spec → error event
+            r#"{"id":"bye","method":"shutdown"}"#,
+        );
+        let mut out = String::new();
+        let code = run_script(&addr, &script, &mut out).expect("session runs");
+        assert_eq!(code, 1, "{out}");
+        assert!(run_script(&addr, "", &mut String::new()).is_err());
+        assert!(run_script(&addr, "not json\n", &mut String::new()).is_err());
+        assert!(run_script(
+            "127.0.0.1:1",
+            "{\"id\":\"a\",\"method\":\"status\"}\n",
+            &mut String::new()
+        )
+        .is_err());
+    }
+}

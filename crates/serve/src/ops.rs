@@ -1,0 +1,364 @@
+//! The shared machine-readable result schema: one builder per
+//! verification operation, used verbatim by **both** the daemon's
+//! `result` events and the CLI's `--format json` output.
+//!
+//! Everything here is derived from the same programmatic values the
+//! text CLI prints — statuses, state counts, witness schedules in the
+//! exact `a ; b` rendering — so a JSON verdict and its text twin can
+//! be golden-compared field by field. There is exactly one schema; the
+//! protocol does not get to drift from the CLI.
+
+use crate::json::Json;
+use moccml_engine::{
+    Engine, ExploreOptions, ExploreVisitor, Lexicographic, MaxParallel, MinSerial, Policy, Random,
+    SafeMaxParallel, VisitControl,
+};
+use moccml_kernel::{Schedule, Universe};
+use moccml_lang::Compiled;
+use moccml_verify::{check_props_observed, conformance, minimize_witness, PropStatus, Verdict};
+
+/// A progress observer: `(states, transitions, depth) -> control`.
+/// Return [`VisitControl::Stop`] to abandon the operation (the service
+/// does this on cancellation and deadline).
+pub type Progress<'a> = dyn FnMut(usize, usize, usize) -> VisitControl + 'a;
+
+/// A progress observer that never stops — the CLI path.
+pub fn no_progress() -> impl FnMut(usize, usize, usize) -> VisitControl {
+    |_, _, _| VisitControl::Continue
+}
+
+/// Renders a schedule as ` ; `-separated steps of space-separated
+/// event names — identical to the text CLI's rendering, so JSON and
+/// text verdicts carry byte-equal schedules.
+#[must_use]
+pub fn render_schedule(schedule: &Schedule, universe: &Universe) -> String {
+    match schedule.to_lines(universe) {
+        Ok(lines) => lines.trim_end().replace('\n', " ; "),
+        Err(_) => schedule.to_string(),
+    }
+}
+
+fn schedule_obj(schedule: &Schedule, universe: &Universe) -> Json {
+    Json::obj([
+        ("steps", Json::int(schedule.len())),
+        ("schedule", Json::Str(render_schedule(schedule, universe))),
+    ])
+}
+
+/// `check`: verifies every `assert`ed property, one exploration per
+/// property exactly like the text CLI, streaming progress through
+/// `progress`.
+///
+/// Shape: `{"kind":"check","spec",…,"properties":[{"prop","status":
+/// "holds"|"violated"|"undetermined","states",…,"witness"?,
+/// "minimized"?}],"violated":bool}`.
+#[must_use]
+pub fn check_json(compiled: &Compiled, options: &ExploreOptions, progress: &mut Progress) -> Json {
+    let universe = compiled.universe();
+    let mut properties = Vec::new();
+    let mut violated = false;
+    for prop in &compiled.props {
+        let report = check_props_observed(
+            &compiled.program,
+            std::slice::from_ref(prop),
+            options,
+            progress,
+        );
+        let mut members = vec![
+            ("prop".to_owned(), Json::Str(prop.display(universe))),
+            ("states".to_owned(), Json::int(report.states_visited)),
+        ];
+        match &report.statuses[0] {
+            PropStatus::Holds => {
+                members.insert(1, ("status".to_owned(), Json::str("holds")));
+            }
+            PropStatus::Violated(ce) => {
+                violated = true;
+                members.insert(1, ("status".to_owned(), Json::str("violated")));
+                members.push(("witness".to_owned(), schedule_obj(&ce.schedule, universe)));
+                let minimized = minimize_witness(&compiled.program, prop, &ce.schedule);
+                members.push(("minimized".to_owned(), schedule_obj(&minimized, universe)));
+            }
+            PropStatus::Undetermined => {
+                members.insert(1, ("status".to_owned(), Json::str("undetermined")));
+            }
+        }
+        properties.push(Json::Obj(members));
+    }
+    Json::obj([
+        ("kind", Json::str("check")),
+        ("spec", Json::str(&compiled.name)),
+        ("properties", Json::Arr(properties)),
+        ("violated", Json::Bool(violated)),
+    ])
+}
+
+/// Adapts a [`Progress`] closure to the explorer's visitor hook.
+struct ProgressVisitor<'a, 'b> {
+    progress: &'a mut Progress<'b>,
+}
+
+impl ExploreVisitor for ProgressVisitor<'_, '_> {
+    fn on_progress(&mut self, states: usize, transitions: usize, depth: usize) -> VisitControl {
+        (self.progress)(states, transitions, depth)
+    }
+
+    fn on_level_end(&mut self, depth: usize, state_count: usize) -> VisitControl {
+        // level barriers are extra cancellation points: cheap, and
+        // they catch deep-but-narrow spaces between interval ticks
+        (self.progress)(state_count, usize::MAX, depth)
+    }
+}
+
+/// `explore`: builds the state-space and reports the PAM metrics plus
+/// the schedule counts of lengths 1/2/4/8 (the text CLI's rows).
+///
+/// Counts past `i64` range are encoded as decimal strings.
+#[must_use]
+pub fn explore_json(
+    compiled: &Compiled,
+    options: &ExploreOptions,
+    progress: &mut Progress,
+) -> Json {
+    let mut visitor = ProgressVisitor { progress };
+    let space = compiled.program.explore_with(options, &mut visitor);
+    let stats = space.stats();
+    let schedules = [1usize, 2, 4, 8]
+        .iter()
+        .map(|len| {
+            Json::obj([
+                ("length", Json::int(*len)),
+                ("count", Json::u128(space.count_schedules(*len))),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("kind", Json::str("explore")),
+        ("spec", Json::str(&compiled.name)),
+        ("states", Json::int(stats.states)),
+        ("transitions", Json::int(stats.transitions)),
+        ("deadlocks", Json::int(stats.deadlocks)),
+        ("max_parallelism", Json::int(stats.max_step_parallelism)),
+        ("mean_branching", Json::Float(stats.mean_branching)),
+        ("truncated", Json::Bool(stats.truncated)),
+        ("schedules", Json::Arr(schedules)),
+    ])
+}
+
+fn boxed_policy(name: &str, seed: u64) -> Result<Box<dyn Policy>, String> {
+    Ok(match name {
+        "lexicographic" => Box::new(Lexicographic),
+        "random" => Box::new(Random::new(seed)),
+        "max-parallel" => Box::new(MaxParallel),
+        "min-serial" => Box::new(MinSerial),
+        "safe" => Box::new(SafeMaxParallel),
+        other => {
+            return Err(format!(
+                "unknown policy `{other}` (expected lexicographic, random, \
+                 max-parallel, min-serial or safe)"
+            ))
+        }
+    })
+}
+
+/// `simulate`: runs a policy-driven simulation for `steps` steps.
+///
+/// # Errors
+///
+/// Returns a message when `policy` is not a known policy name.
+pub fn simulate_json(
+    compiled: &Compiled,
+    steps: usize,
+    policy: &str,
+    seed: u64,
+) -> Result<Json, String> {
+    let boxed = boxed_policy(policy, seed)?;
+    let universe = compiled.universe().clone();
+    let mut engine = Engine::from_program(&compiled.program)
+        .policy_boxed(boxed)
+        .build();
+    let report = engine.run(steps);
+    Ok(Json::obj([
+        ("kind", Json::str("simulate")),
+        ("spec", Json::str(&compiled.name)),
+        ("policy", Json::str(policy)),
+        ("steps_taken", Json::int(report.steps_taken)),
+        ("deadlocked", Json::Bool(report.deadlocked)),
+        (
+            "schedule",
+            Json::Str(render_schedule(&report.schedule, &universe)),
+        ),
+    ]))
+}
+
+/// `conformance`: replays a recorded trace (the plain-text
+/// `Schedule::parse_lines` format) against the spec.
+///
+/// # Errors
+///
+/// Returns a message when the trace does not parse against the spec's
+/// universe.
+pub fn conformance_json(compiled: &Compiled, trace: &str) -> Result<Json, String> {
+    let universe = compiled.universe();
+    let schedule = Schedule::parse_lines(trace, universe).map_err(|e| format!("trace: {e}"))?;
+    let mut members = vec![
+        ("kind".to_owned(), Json::str("conformance")),
+        ("spec".to_owned(), Json::str(&compiled.name)),
+        ("steps".to_owned(), Json::int(schedule.len())),
+    ];
+    match conformance(&compiled.program, &schedule) {
+        Verdict::Conforms => {
+            members.push(("verdict".to_owned(), Json::str("conforms")));
+        }
+        Verdict::Violation { step, violated } => {
+            members.push(("verdict".to_owned(), Json::str("violation")));
+            members.push(("step".to_owned(), Json::int(step)));
+            members.push((
+                "violated".to_owned(),
+                Json::Arr(violated.into_iter().map(Json::Str).collect()),
+            ));
+        }
+    }
+    Ok(Json::Obj(members))
+}
+
+/// `lint`: runs the static analyzer and wraps its machine-readable
+/// diagnostics. `failed` applies the CLI's exit-code rule (errors
+/// always fail; warnings fail under `deny_warnings`).
+///
+/// # Errors
+///
+/// Returns a rendered `line:column` message when the spec does not
+/// parse or compile.
+pub fn lint_json(spec_name: &str, source: &str, deny_warnings: bool) -> Result<Json, String> {
+    let diagnostics = moccml_analyze::analyze_str(source).map_err(|e| {
+        let (line, column) = e.position();
+        format!("{line}:{column}: {e}")
+    })?;
+    let errors = diagnostics
+        .iter()
+        .filter(|d| d.severity == moccml_analyze::Severity::Error)
+        .count();
+    let warnings = diagnostics
+        .iter()
+        .filter(|d| d.severity == moccml_analyze::Severity::Warn)
+        .count();
+    // reuse the analyzer's own JSON rendering, re-parsed into the
+    // protocol's value tree so the diagnostics array is embedded (not
+    // double-encoded as a string)
+    let rendered = moccml_analyze::render_json(spec_name, &diagnostics);
+    let parsed = Json::parse(&rendered).map_err(|e| format!("internal: lint JSON: {e}"))?;
+    Ok(Json::obj([
+        ("kind", Json::str("lint")),
+        ("spec", Json::str(spec_name)),
+        ("errors", Json::int(errors)),
+        ("warnings", Json::int(warnings)),
+        (
+            "failed",
+            Json::Bool(errors > 0 || (deny_warnings && warnings > 0)),
+        ),
+        ("diagnostics", parsed),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALT: &str = "spec alt {\n  events a, b;\n  constraint alt = alternates(a, b);\n  assert never((a && b));\n  assert never(b);\n}\n";
+
+    fn compiled() -> Compiled {
+        moccml_lang::compile_str(ALT).expect("compiles")
+    }
+
+    #[test]
+    fn check_json_matches_the_text_verdicts() {
+        let c = compiled();
+        let json = check_json(&c, &ExploreOptions::default(), &mut no_progress());
+        assert_eq!(json.get("kind").and_then(Json::as_str), Some("check"));
+        assert_eq!(json.get("violated").and_then(Json::as_bool), Some(true));
+        let props = json
+            .get("properties")
+            .and_then(Json::as_arr)
+            .expect("array");
+        assert_eq!(props.len(), 2);
+        assert_eq!(props[0].get("status").and_then(Json::as_str), Some("holds"));
+        let violated = &props[1];
+        assert_eq!(
+            violated.get("status").and_then(Json::as_str),
+            Some("violated")
+        );
+        let witness = violated.get("witness").expect("witness");
+        assert_eq!(witness.get("steps").and_then(Json::as_i64), Some(2));
+        assert_eq!(
+            witness.get("schedule").and_then(Json::as_str),
+            Some("a ; b"),
+            "schedule rendering matches the text CLI"
+        );
+        assert!(violated.get("minimized").is_some());
+    }
+
+    #[test]
+    fn check_json_stopped_early_reports_undetermined() {
+        let c = compiled();
+        let mut stop = |_: usize, _: usize, _: usize| VisitControl::Stop;
+        let json = check_json(&c, &ExploreOptions::default(), &mut stop);
+        let props = json
+            .get("properties")
+            .and_then(Json::as_arr)
+            .expect("array");
+        for p in props {
+            assert_eq!(
+                p.get("status").and_then(Json::as_str),
+                Some("undetermined"),
+                "a stopped check never invents a verdict"
+            );
+        }
+    }
+
+    #[test]
+    fn explore_json_reports_the_pam_metrics() {
+        let c = compiled();
+        let json = explore_json(&c, &ExploreOptions::default(), &mut no_progress());
+        assert_eq!(json.get("states").and_then(Json::as_i64), Some(2));
+        assert_eq!(json.get("truncated").and_then(Json::as_bool), Some(false));
+        let schedules = json.get("schedules").and_then(Json::as_arr).expect("array");
+        assert_eq!(schedules.len(), 4);
+        assert_eq!(schedules[0].get("count").and_then(Json::as_i64), Some(1));
+    }
+
+    #[test]
+    fn simulate_and_conformance_round_trip() {
+        let c = compiled();
+        let sim = simulate_json(&c, 4, "lexicographic", 42).expect("simulates");
+        assert_eq!(sim.get("steps_taken").and_then(Json::as_i64), Some(4));
+        assert_eq!(
+            sim.get("schedule").and_then(Json::as_str),
+            Some("a ; b ; a ; b")
+        );
+        assert!(simulate_json(&c, 1, "bogus", 0).is_err());
+
+        let good = conformance_json(&c, "a\nb\n").expect("parses");
+        assert_eq!(good.get("verdict").and_then(Json::as_str), Some("conforms"));
+        let bad = conformance_json(&c, "a\na\n").expect("parses");
+        assert_eq!(bad.get("verdict").and_then(Json::as_str), Some("violation"));
+        assert_eq!(bad.get("step").and_then(Json::as_i64), Some(1));
+        assert!(conformance_json(&c, "a\nzzz\n").is_err());
+    }
+
+    #[test]
+    fn lint_json_wraps_the_analyzer() {
+        const WARNY: &str = "spec s {\n  events a, b, orphan;\n  constraint c = alternates(a, b);\n  assert never((a && b));\n}\n";
+        let json = lint_json("s.mcc", WARNY, false).expect("analyzes");
+        assert_eq!(json.get("warnings").and_then(Json::as_i64), Some(1));
+        assert_eq!(json.get("failed").and_then(Json::as_bool), Some(false));
+        let denied = lint_json("s.mcc", WARNY, true).expect("analyzes");
+        assert_eq!(denied.get("failed").and_then(Json::as_bool), Some(true));
+        let diags = json
+            .get("diagnostics")
+            .and_then(Json::as_arr)
+            .expect("array");
+        assert!(!diags.is_empty());
+        assert!(lint_json("s.mcc", "spec broken {", false).is_err());
+    }
+}

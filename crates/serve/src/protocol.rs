@@ -1,0 +1,309 @@
+//! The serve wire protocol: request decoding and event encoding.
+//!
+//! One request per line, one event per line, both JSON objects. A
+//! request names a `method` and carries the full `.mcc` `spec` text
+//! inline (plus method-specific options); the daemon answers with a
+//! stream of events correlated by the request's `id`:
+//!
+//! ```text
+//! → {"id":"r1","method":"check","spec":"spec s { … }"}
+//! ← {"event":"accepted","id":"r1","method":"check"}
+//! ← {"event":"progress","id":"r1","states":2048,"transitions":4096,"depth":11}
+//! ← {"event":"result","id":"r1","result":{"kind":"check", … }}
+//! ```
+//!
+//! Every request terminates with exactly one `result`, `error` or
+//! `cancelled` event; `progress` events are best-effort and only
+//! emitted for long-running jobs. The `result` payloads are the shared
+//! machine-readable objects of [`crate::ops`] — byte-identical to what
+//! `moccml <cmd> --format json` prints.
+
+use crate::json::Json;
+
+/// A protocol method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Verify every `assert`ed property of the spec.
+    Check,
+    /// Build the state-space and report its metrics.
+    Explore,
+    /// Run a policy-driven simulation.
+    Simulate,
+    /// Replay a recorded trace against the spec.
+    Conformance,
+    /// Static analysis of the spec.
+    Lint,
+    /// Service health: uptime, cache and queue counters, latencies.
+    Status,
+    /// Cooperatively cancel an in-flight request by id.
+    Cancel,
+    /// Drain in-flight jobs and stop the daemon.
+    Shutdown,
+}
+
+impl Method {
+    /// The wire name of the method.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Check => "check",
+            Method::Explore => "explore",
+            Method::Simulate => "simulate",
+            Method::Conformance => "conformance",
+            Method::Lint => "lint",
+            Method::Status => "status",
+            Method::Cancel => "cancel",
+            Method::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses a wire name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Method> {
+        Some(match name {
+            "check" => Method::Check,
+            "explore" => Method::Explore,
+            "simulate" => Method::Simulate,
+            "conformance" => Method::Conformance,
+            "lint" => Method::Lint,
+            "status" => Method::Status,
+            "cancel" => Method::Cancel,
+            "shutdown" => Method::Shutdown,
+            _ => return None,
+        })
+    }
+
+    /// Whether the method runs on the worker pool (as opposed to being
+    /// answered synchronously at dispatch).
+    #[must_use]
+    pub fn is_job(self) -> bool {
+        !matches!(self, Method::Status | Method::Cancel | Method::Shutdown)
+    }
+}
+
+/// Per-request knobs, all optional on the wire and clamped to the
+/// service budgets before use.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequestOptions {
+    /// Worker threads for this job's exploration.
+    pub workers: Option<usize>,
+    /// Exploration state bound.
+    pub max_states: Option<usize>,
+    /// Exploration depth bound.
+    pub max_depth: Option<usize>,
+    /// Wall-clock budget for the job, in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Simulation steps.
+    pub steps: Option<usize>,
+    /// Simulation policy name.
+    pub policy: Option<String>,
+    /// Simulation seed (random policy).
+    pub seed: Option<u64>,
+    /// Lint: treat warnings as errors.
+    pub deny_warnings: bool,
+}
+
+/// A decoded request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on every event.
+    pub id: String,
+    /// What to do.
+    pub method: Method,
+    /// The `.mcc` specification text (jobs other than `conformance`
+    /// without a spec are rejected at dispatch).
+    pub spec: Option<String>,
+    /// `conformance`: the recorded trace, `Schedule::parse_lines`
+    /// format (literal newlines, so JSON-escaped on the wire).
+    pub trace: Option<String>,
+    /// `cancel`: the id of the request to cancel.
+    pub target: Option<String>,
+    /// Budget and policy knobs.
+    pub options: RequestOptions,
+}
+
+impl Request {
+    /// Decodes one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the line is not valid
+    /// JSON, is missing `id`/`method`, or names an unknown method.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let value = Json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        let id = value
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string `id`")?
+            .to_owned();
+        let method_name = value
+            .get("method")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string `method`")?;
+        let method =
+            Method::parse(method_name).ok_or_else(|| format!("unknown method `{method_name}`"))?;
+        let str_field = |key: &str| value.get(key).and_then(Json::as_str).map(str::to_owned);
+        let usize_field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_i64)
+                .and_then(|v| usize::try_from(v).ok())
+        };
+        let options = RequestOptions {
+            workers: usize_field("workers"),
+            max_states: usize_field("max_states"),
+            max_depth: usize_field("max_depth"),
+            timeout_ms: value
+                .get("timeout_ms")
+                .and_then(Json::as_i64)
+                .and_then(|v| u64::try_from(v).ok()),
+            steps: usize_field("steps"),
+            policy: str_field("policy"),
+            seed: value
+                .get("seed")
+                .and_then(Json::as_i64)
+                .and_then(|v| u64::try_from(v).ok()),
+            deny_warnings: value
+                .get("deny_warnings")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        };
+        Ok(Request {
+            id,
+            method,
+            spec: str_field("spec"),
+            trace: str_field("trace"),
+            target: str_field("target"),
+            options,
+        })
+    }
+}
+
+/// `accepted`: the request was decoded and queued (or is being
+/// answered synchronously).
+#[must_use]
+pub fn accepted(id: &str, method: Method) -> Json {
+    Json::obj([
+        ("event", Json::str("accepted")),
+        ("id", Json::str(id)),
+        ("method", Json::str(method.name())),
+    ])
+}
+
+/// `progress`: a long-running job's periodic checkpoint.
+#[must_use]
+pub fn progress(id: &str, states: usize, transitions: usize, depth: usize) -> Json {
+    Json::obj([
+        ("event", Json::str("progress")),
+        ("id", Json::str(id)),
+        ("states", Json::int(states)),
+        ("transitions", Json::int(transitions)),
+        ("depth", Json::int(depth)),
+    ])
+}
+
+/// `result`: the job finished; `result` is an [`crate::ops`] object.
+#[must_use]
+pub fn result(id: &str, payload: Json) -> Json {
+    Json::obj([
+        ("event", Json::str("result")),
+        ("id", Json::str(id)),
+        ("result", payload),
+    ])
+}
+
+/// `error`: the request failed (bad input, budget exhausted, rejected).
+#[must_use]
+pub fn error(id: &str, message: &str) -> Json {
+    Json::obj([
+        ("event", Json::str("error")),
+        ("id", Json::str(id)),
+        ("error", Json::str(message)),
+    ])
+}
+
+/// `cancelled`: the job was stopped by a `cancel` request before it
+/// produced a verdict. No partial result is reported.
+#[must_use]
+pub fn cancelled(id: &str) -> Json {
+    Json::obj([("event", Json::str("cancelled")), ("id", Json::str(id))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_decode_with_all_options() {
+        let line = r#"{"id":"r7","method":"check","spec":"spec s {}","workers":2,
+                       "max_states":500,"max_depth":9,"timeout_ms":250,"steps":4,
+                       "policy":"random","seed":7,"deny_warnings":true}"#
+            .replace('\n', " ");
+        let req = Request::parse(&line).expect("decodes");
+        assert_eq!(req.id, "r7");
+        assert_eq!(req.method, Method::Check);
+        assert_eq!(req.spec.as_deref(), Some("spec s {}"));
+        assert_eq!(req.options.workers, Some(2));
+        assert_eq!(req.options.max_states, Some(500));
+        assert_eq!(req.options.max_depth, Some(9));
+        assert_eq!(req.options.timeout_ms, Some(250));
+        assert_eq!(req.options.steps, Some(4));
+        assert_eq!(req.options.policy.as_deref(), Some("random"));
+        assert_eq!(req.options.seed, Some(7));
+        assert!(req.options.deny_warnings);
+    }
+
+    #[test]
+    fn requests_reject_malformed_lines() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"method":"check"}"#).is_err());
+        assert!(Request::parse(r#"{"id":"x"}"#).is_err());
+        let err = Request::parse(r#"{"id":"x","method":"frobnicate"}"#).expect_err("unknown");
+        assert!(err.contains("frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn method_names_round_trip() {
+        for m in [
+            Method::Check,
+            Method::Explore,
+            Method::Simulate,
+            Method::Conformance,
+            Method::Lint,
+            Method::Status,
+            Method::Cancel,
+            Method::Shutdown,
+        ] {
+            assert_eq!(Method::parse(m.name()), Some(m));
+        }
+        assert!(Method::Check.is_job());
+        assert!(!Method::Status.is_job());
+        assert!(!Method::Cancel.is_job());
+        assert!(!Method::Shutdown.is_job());
+    }
+
+    #[test]
+    fn events_carry_the_request_id() {
+        assert_eq!(
+            accepted("r1", Method::Explore).to_line(),
+            r#"{"event":"accepted","id":"r1","method":"explore"}"#
+        );
+        assert_eq!(
+            progress("r1", 10, 20, 3).to_line(),
+            r#"{"event":"progress","id":"r1","states":10,"transitions":20,"depth":3}"#
+        );
+        assert_eq!(
+            cancelled("r1").to_line(),
+            r#"{"event":"cancelled","id":"r1"}"#
+        );
+        let e = error("r1", "queue full");
+        assert_eq!(e.get("error").and_then(Json::as_str), Some("queue full"));
+        let r = result("r1", Json::obj([("kind", Json::str("check"))]));
+        assert_eq!(
+            r.get("result")
+                .and_then(|v| v.get("kind"))
+                .and_then(Json::as_str),
+            Some("check")
+        );
+    }
+}

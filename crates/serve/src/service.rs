@@ -1,0 +1,868 @@
+//! The verification service: a bounded job queue in front of a fixed
+//! worker pool, the compiled-program cache, per-request budgets with
+//! cooperative cancellation, and the metrics the `status` method
+//! reports.
+//!
+//! The service is transport-agnostic: callers hand request lines to
+//! [`Service::handle_line`] together with an [`EventSink`] that
+//! receives the response events, and the TCP front end
+//! ([`crate::server`]) is one thin caller among others (the bundled
+//! client, the tests and the benches drive the same entry point via
+//! [`Service::call`]).
+//!
+//! Every accepted job runs under three budgets — a state bound, a
+//! depth bound and a wall-clock deadline, each clamped to the service
+//! caps — and checks a cancellation flag at the explorer's periodic
+//! progress checkpoints, so a `cancel` request stops a runaway
+//! exploration at the next checkpoint without poisoning the worker:
+//! the worker thread survives and picks up the next job.
+
+use crate::cache::{CacheStats, SpecCache};
+use crate::json::Json;
+use crate::metrics::Histogram;
+use crate::ops;
+use crate::protocol::{self, Method, Request};
+use moccml_engine::{ExploreOptions, VisitControl};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service-wide limits and defaults. Every per-request option is
+/// clamped to these caps before a job runs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Compiled-spec cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Maximum queued (not yet running) jobs; submissions beyond this
+    /// are rejected with a `queue full` error.
+    pub queue_depth: usize,
+    /// Wall-clock budget applied when a request names none (ms).
+    pub default_timeout_ms: u64,
+    /// Hard wall-clock cap (ms); request timeouts clamp to this.
+    pub max_timeout_ms: u64,
+    /// Hard cap on a job's exploration state bound.
+    pub max_states: usize,
+    /// Hard cap on a job's exploration depth bound.
+    pub max_depth: usize,
+    /// Hard cap on a job's simulation steps.
+    pub max_steps: usize,
+    /// Hard cap on a job's exploration worker threads.
+    pub max_job_workers: usize,
+    /// Minimum interval between `progress` events per job (ms); 0
+    /// emits one per checkpoint.
+    pub progress_interval_ms: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            cache_capacity: 32,
+            queue_depth: 64,
+            default_timeout_ms: 30_000,
+            max_timeout_ms: 300_000,
+            max_states: 1_000_000,
+            max_depth: usize::MAX,
+            max_steps: 100_000,
+            max_job_workers: 4,
+            progress_interval_ms: 200,
+        }
+    }
+}
+
+/// Receives response events. Implementations must tolerate being
+/// called from worker threads.
+pub trait EventSink: Send + Sync {
+    /// Delivers one event (one line on the wire).
+    fn emit(&self, event: &Json);
+}
+
+/// An in-memory sink collecting events, for tests and [`Service::call`].
+#[derive(Default)]
+pub struct CollectingSink {
+    events: Mutex<Vec<Json>>,
+    cv: Condvar,
+}
+
+impl CollectingSink {
+    /// A snapshot of everything emitted so far.
+    #[must_use]
+    pub fn events(&self) -> Vec<Json> {
+        self.events.lock().expect("sink lock").clone()
+    }
+
+    /// Blocks until an event with `"event"` ∈ {`result`, `error`,
+    /// `cancelled`} and the given id has been emitted, then returns a
+    /// snapshot. Panics after `timeout` (tests should never hang).
+    #[must_use]
+    pub fn wait_terminal(&self, id: &str, timeout: Duration) -> Vec<Json> {
+        let deadline = Instant::now() + timeout;
+        let mut events = self.events.lock().expect("sink lock");
+        loop {
+            if events.iter().any(|e| is_terminal_for(e, id)) {
+                return events.clone();
+            }
+            let now = Instant::now();
+            assert!(
+                now < deadline,
+                "no terminal event for `{id}` within {timeout:?}"
+            );
+            let (guard, _) = self
+                .cv
+                .wait_timeout(events, deadline - now)
+                .expect("sink lock");
+            events = guard;
+        }
+    }
+}
+
+fn is_terminal_for(event: &Json, id: &str) -> bool {
+    event.get("id").and_then(Json::as_str) == Some(id)
+        && matches!(
+            event.get("event").and_then(Json::as_str),
+            Some("result" | "error" | "cancelled")
+        )
+}
+
+impl EventSink for CollectingSink {
+    fn emit(&self, event: &Json) {
+        self.events.lock().expect("sink lock").push(event.clone());
+        self.cv.notify_all();
+    }
+}
+
+/// What [`Service::handle_line`] tells the transport to do next.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Keep reading lines.
+    Continue,
+    /// A `shutdown` request was accepted: drain the service (e.g. via
+    /// [`Service::shutdown`]), emit `result` for this id, then stop.
+    Shutdown {
+        /// The shutdown request's id, for the final `result` event.
+        id: String,
+    },
+}
+
+struct QueuedJob {
+    request: Request,
+    sink: Arc<dyn EventSink>,
+}
+
+/// Mutable queue state, all under one lock so the `queued`/`in_flight`
+/// numbers in `status` are a consistent snapshot.
+struct QueueState {
+    jobs: VecDeque<QueuedJob>,
+    in_flight: usize,
+    shutting_down: bool,
+}
+
+struct JobState {
+    cancel: AtomicBool,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    cache: Mutex<SpecCache>,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    drain_cv: Condvar,
+    jobs: Mutex<HashMap<String, Arc<JobState>>>,
+    metrics: Mutex<HashMap<Method, Histogram>>,
+    started: Instant,
+}
+
+/// The verification service. Dropping it shuts it down gracefully
+/// (drains queued jobs, joins the workers).
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Starts a service with `config.workers` worker threads.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Service {
+        let worker_count = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            cache: Mutex::new(SpecCache::new(config.cache_capacity)),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                in_flight: 0,
+                shutting_down: false,
+            }),
+            queue_cv: Condvar::new(),
+            drain_cv: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(HashMap::new()),
+            started: Instant::now(),
+            config,
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("moccml-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        Service {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Decodes and dispatches one request line, emitting all response
+    /// events to `sink` (synchronously for `status`/`cancel`/rejects,
+    /// from a worker thread for jobs).
+    pub fn handle_line(&self, line: &str, sink: &Arc<dyn EventSink>) -> Dispatch {
+        let request = match Request::parse(line) {
+            Ok(request) => request,
+            Err(message) => {
+                // best-effort id so the client can correlate the error
+                let id = Json::parse(line)
+                    .ok()
+                    .and_then(|v| v.get("id").and_then(Json::as_str).map(str::to_owned))
+                    .unwrap_or_default();
+                sink.emit(&protocol::error(&id, &message));
+                return Dispatch::Continue;
+            }
+        };
+        match request.method {
+            Method::Status => {
+                sink.emit(&protocol::accepted(&request.id, Method::Status));
+                sink.emit(&protocol::result(&request.id, self.status_json()));
+                Dispatch::Continue
+            }
+            Method::Cancel => {
+                sink.emit(&protocol::accepted(&request.id, Method::Cancel));
+                let target = request.target.clone().unwrap_or_default();
+                let found = match self.inner.jobs.lock().expect("jobs lock").get(&target) {
+                    Some(state) => {
+                        state.cancel.store(true, Ordering::Relaxed);
+                        true
+                    }
+                    None => false,
+                };
+                let payload = Json::obj([
+                    ("kind", Json::str("cancel")),
+                    ("target", Json::str(&target)),
+                    ("found", Json::Bool(found)),
+                ]);
+                sink.emit(&protocol::result(&request.id, payload));
+                Dispatch::Continue
+            }
+            Method::Shutdown => {
+                sink.emit(&protocol::accepted(&request.id, Method::Shutdown));
+                self.begin_shutdown();
+                Dispatch::Shutdown { id: request.id }
+            }
+            _ => {
+                self.submit(request, sink);
+                Dispatch::Continue
+            }
+        }
+    }
+
+    /// Enqueues a job request, emitting `accepted` or a rejection
+    /// `error` (`queue full`, duplicate id, shutting down).
+    fn submit(&self, request: Request, sink: &Arc<dyn EventSink>) {
+        {
+            let mut jobs = self.inner.jobs.lock().expect("jobs lock");
+            if jobs.contains_key(&request.id) {
+                sink.emit(&protocol::error(
+                    &request.id,
+                    &format!(
+                        "duplicate id `{}`: a request with this id is in flight",
+                        request.id
+                    ),
+                ));
+                return;
+            }
+            let mut queue = self.inner.queue.lock().expect("queue lock");
+            if queue.shutting_down {
+                sink.emit(&protocol::error(&request.id, "service is shutting down"));
+                return;
+            }
+            if queue.jobs.len() >= self.inner.config.queue_depth {
+                sink.emit(&protocol::error(&request.id, "queue full"));
+                return;
+            }
+            // registered before the job starts so cancel-before-start
+            // is honoured at pickup
+            jobs.insert(
+                request.id.clone(),
+                Arc::new(JobState {
+                    cancel: AtomicBool::new(false),
+                }),
+            );
+            sink.emit(&protocol::accepted(&request.id, request.method));
+            queue.jobs.push_back(QueuedJob {
+                request,
+                sink: Arc::clone(sink),
+            });
+        }
+        self.inner.queue_cv.notify_one();
+    }
+
+    /// Convenience for tests, benches and the CLI: dispatches `line`
+    /// with a fresh [`CollectingSink`], blocks until the terminal
+    /// event, and returns every event emitted for it.
+    #[must_use]
+    pub fn call(&self, line: &str) -> Vec<Json> {
+        let sink = Arc::new(CollectingSink::default());
+        let dyn_sink: Arc<dyn EventSink> = Arc::clone(&sink) as Arc<dyn EventSink>;
+        match self.handle_line(line, &dyn_sink) {
+            Dispatch::Continue => {
+                let id = Json::parse(line)
+                    .ok()
+                    .and_then(|v| v.get("id").and_then(Json::as_str).map(str::to_owned))
+                    .unwrap_or_default();
+                sink.wait_terminal(&id, Duration::from_secs(600))
+            }
+            Dispatch::Shutdown { id } => {
+                self.shutdown();
+                dyn_sink.emit(&protocol::result(
+                    &id,
+                    Json::obj([("kind", Json::str("shutdown"))]),
+                ));
+                sink.events()
+            }
+        }
+    }
+
+    /// Marks the service as shutting down: no new jobs are accepted,
+    /// idle workers exit once the queue drains.
+    pub fn begin_shutdown(&self) {
+        self.inner.queue.lock().expect("queue lock").shutting_down = true;
+        self.inner.queue_cv.notify_all();
+    }
+
+    /// Graceful shutdown: stops intake, waits for queued and in-flight
+    /// jobs to finish, and joins the worker threads. Idempotent.
+    pub fn shutdown(&self) {
+        self.begin_shutdown();
+        {
+            let mut queue = self.inner.queue.lock().expect("queue lock");
+            while !queue.jobs.is_empty() || queue.in_flight > 0 {
+                queue = self.inner.drain_cv.wait(queue).expect("queue lock");
+            }
+        }
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("workers lock")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// The `status` result payload.
+    #[must_use]
+    pub fn status_json(&self) -> Json {
+        let cache = self.inner.cache.lock().expect("cache lock").stats();
+        let (queued, in_flight) = {
+            let queue = self.inner.queue.lock().expect("queue lock");
+            (queue.jobs.len(), queue.in_flight)
+        };
+        let metrics = self.inner.metrics.lock().expect("metrics lock");
+        // fixed method order so status output is stable
+        let all = [
+            Method::Check,
+            Method::Explore,
+            Method::Simulate,
+            Method::Conformance,
+            Method::Lint,
+        ];
+        let methods = all
+            .iter()
+            .filter_map(|m| metrics.get(m).map(|h| (m, h)))
+            .map(|(m, h)| {
+                Json::obj([
+                    ("method", Json::str(m.name())),
+                    (
+                        "count",
+                        Json::Int(i64::try_from(h.count()).unwrap_or(i64::MAX)),
+                    ),
+                    (
+                        "mean_us",
+                        Json::Int(i64::try_from(h.mean_us()).unwrap_or(i64::MAX)),
+                    ),
+                    (
+                        "p50_us",
+                        Json::Int(i64::try_from(h.quantile_us(0.5)).unwrap_or(i64::MAX)),
+                    ),
+                    (
+                        "p95_us",
+                        Json::Int(i64::try_from(h.quantile_us(0.95)).unwrap_or(i64::MAX)),
+                    ),
+                    (
+                        "max_us",
+                        Json::Int(i64::try_from(h.max_us()).unwrap_or(i64::MAX)),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("kind", Json::str("status")),
+            (
+                "uptime_ms",
+                Json::Int(
+                    i64::try_from(self.inner.started.elapsed().as_millis()).unwrap_or(i64::MAX),
+                ),
+            ),
+            ("cache", cache_json(&cache)),
+            (
+                "queue",
+                Json::obj([
+                    ("queued", Json::int(queued)),
+                    ("capacity", Json::int(self.inner.config.queue_depth)),
+                    ("in_flight", Json::int(in_flight)),
+                ]),
+            ),
+            ("methods", Json::Arr(methods)),
+        ])
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn cache_json(stats: &CacheStats) -> Json {
+    Json::obj([
+        ("entries", Json::int(stats.entries)),
+        ("capacity", Json::int(stats.capacity)),
+        (
+            "hits",
+            Json::Int(i64::try_from(stats.hits).unwrap_or(i64::MAX)),
+        ),
+        (
+            "misses",
+            Json::Int(i64::try_from(stats.misses).unwrap_or(i64::MAX)),
+        ),
+        (
+            "evictions",
+            Json::Int(i64::try_from(stats.evictions).unwrap_or(i64::MAX)),
+        ),
+    ])
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    queue.in_flight += 1;
+                    break job;
+                }
+                if queue.shutting_down {
+                    return;
+                }
+                queue = inner.queue_cv.wait(queue).expect("queue lock");
+            }
+        };
+        let started = Instant::now();
+        let method = job.request.method;
+        let terminal = execute(inner, &job.request, &job.sink);
+        // metrics and the id registry settle *before* the terminal
+        // event goes out, so a client that saw the result observes the
+        // updated `status` and can immediately reuse the id
+        inner
+            .metrics
+            .lock()
+            .expect("metrics lock")
+            .entry(method)
+            .or_default()
+            .record(started.elapsed());
+        inner
+            .jobs
+            .lock()
+            .expect("jobs lock")
+            .remove(&job.request.id);
+        job.sink.emit(&terminal);
+        {
+            let mut queue = inner.queue.lock().expect("queue lock");
+            queue.in_flight -= 1;
+        }
+        inner.drain_cv.notify_all();
+    }
+}
+
+/// Why a job's progress observer stopped the operation early.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Interrupt {
+    Cancelled,
+    TimedOut,
+}
+
+/// Runs one job and returns its terminal event (`result`, `error` or
+/// `cancelled`); the caller emits it after settling metrics and the id
+/// registry. Progress events are emitted directly to `sink`.
+fn execute(inner: &Arc<Inner>, request: &Request, sink: &Arc<dyn EventSink>) -> Json {
+    let id = &request.id;
+    let state = inner
+        .jobs
+        .lock()
+        .expect("jobs lock")
+        .get(id)
+        .cloned()
+        .expect("job state registered at submit");
+    if state.cancel.load(Ordering::Relaxed) {
+        return protocol::cancelled(id);
+    }
+    let Some(spec) = request.spec.as_deref() else {
+        return protocol::error(id, "request needs a `spec` (the .mcc text)");
+    };
+    let compiled = {
+        let mut cache = inner.cache.lock().expect("cache lock");
+        match cache.get_or_compile(spec) {
+            Ok((compiled, _hit)) => compiled,
+            Err(e) => {
+                let (line, column) = e.position();
+                return protocol::error(id, &format!("spec:{line}:{column}: {e}"));
+            }
+        }
+    };
+    let config = &inner.config;
+    let options = &request.options;
+    let explore_options = ExploreOptions::default()
+        .with_max_states(options.max_states.unwrap_or(100_000).min(config.max_states))
+        .with_max_depth(
+            options
+                .max_depth
+                .unwrap_or(usize::MAX)
+                .min(config.max_depth),
+        )
+        .with_workers(
+            options
+                .workers
+                .unwrap_or(1)
+                .clamp(1, config.max_job_workers.max(1)),
+        );
+    let timeout = Duration::from_millis(
+        options
+            .timeout_ms
+            .unwrap_or(config.default_timeout_ms)
+            .min(config.max_timeout_ms),
+    );
+    let deadline = Instant::now() + timeout;
+    let throttle = Duration::from_millis(config.progress_interval_ms);
+    let mut last_emit: Option<Instant> = None;
+    let mut interrupt: Option<Interrupt> = None;
+    let mut progress = |states: usize, transitions: usize, depth: usize| {
+        if state.cancel.load(Ordering::Relaxed) {
+            interrupt = Some(Interrupt::Cancelled);
+            return VisitControl::Stop;
+        }
+        if Instant::now() >= deadline {
+            interrupt = Some(Interrupt::TimedOut);
+            return VisitControl::Stop;
+        }
+        // transitions == usize::MAX marks a barrier-only checkpoint
+        // (cancellation point, nothing meaningful to report)
+        if transitions != usize::MAX && last_emit.is_none_or(|t| t.elapsed() >= throttle) {
+            last_emit = Some(Instant::now());
+            sink.emit(&protocol::progress(id, states, transitions, depth));
+        }
+        VisitControl::Continue
+    };
+    let outcome = match request.method {
+        Method::Check => Ok(ops::check_json(&compiled, &explore_options, &mut progress)),
+        Method::Explore => Ok(ops::explore_json(
+            &compiled,
+            &explore_options,
+            &mut progress,
+        )),
+        Method::Simulate => ops::simulate_json(
+            &compiled,
+            options.steps.unwrap_or(20).min(config.max_steps),
+            options.policy.as_deref().unwrap_or("lexicographic"),
+            options.seed.unwrap_or(42),
+        ),
+        Method::Conformance => match request.trace.as_deref() {
+            Some(trace) => ops::conformance_json(&compiled, trace),
+            None => Err("conformance needs a `trace` (Schedule::parse_lines text)".to_owned()),
+        },
+        Method::Lint => ops::lint_json(&compiled.name, spec, options.deny_warnings),
+        Method::Status | Method::Cancel | Method::Shutdown => {
+            unreachable!("handled synchronously at dispatch")
+        }
+    };
+    match (interrupt, outcome) {
+        (Some(Interrupt::Cancelled), _) => protocol::cancelled(id),
+        (Some(Interrupt::TimedOut), _) => {
+            protocol::error(id, &format!("timed out after {}ms", timeout.as_millis()))
+        }
+        (None, Ok(payload)) => protocol::result(id, payload),
+        (None, Err(message)) => protocol::error(id, &message),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALT: &str = "spec alt {\n  events a, b;\n  constraint alt = alternates(a, b);\n  assert never((a && b));\n  assert never(b);\n}\n";
+
+    fn request(id: &str, method: &str, spec: &str) -> String {
+        Json::obj([
+            ("id", Json::str(id)),
+            ("method", Json::str(method)),
+            ("spec", Json::str(spec)),
+        ])
+        .to_line()
+    }
+
+    fn terminal(events: &[Json], id: &str) -> Json {
+        events
+            .iter()
+            .find(|e| is_terminal_for(e, id))
+            .unwrap_or_else(|| panic!("no terminal event for {id}: {events:?}"))
+            .clone()
+    }
+
+    #[test]
+    fn check_job_streams_accepted_then_result() {
+        let service = Service::new(ServiceConfig::default());
+        let events = service.call(&request("r1", "check", ALT));
+        assert_eq!(
+            events[0].get("event").and_then(Json::as_str),
+            Some("accepted")
+        );
+        let result = terminal(&events, "r1");
+        assert_eq!(result.get("event").and_then(Json::as_str), Some("result"));
+        let payload = result.get("result").expect("payload");
+        assert_eq!(payload.get("kind").and_then(Json::as_str), Some("check"));
+        assert_eq!(payload.get("violated").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn status_reports_cache_hits_and_latencies() {
+        let service = Service::new(ServiceConfig::default());
+        let _ = service.call(&request("r1", "explore", ALT));
+        let _ = service.call(&request("r2", "explore", ALT));
+        let events = service.call(r#"{"id":"s1","method":"status"}"#);
+        let payload = terminal(&events, "s1")
+            .get("result")
+            .cloned()
+            .expect("payload");
+        let cache = payload.get("cache").expect("cache");
+        assert_eq!(cache.get("hits").and_then(Json::as_i64), Some(1));
+        assert_eq!(cache.get("misses").and_then(Json::as_i64), Some(1));
+        let methods = payload
+            .get("methods")
+            .and_then(Json::as_arr)
+            .expect("methods");
+        assert_eq!(methods.len(), 1);
+        assert_eq!(
+            methods[0].get("method").and_then(Json::as_str),
+            Some("explore")
+        );
+        assert_eq!(methods[0].get("count").and_then(Json::as_i64), Some(2));
+    }
+
+    #[test]
+    fn malformed_and_invalid_requests_are_rejected() {
+        let service = Service::new(ServiceConfig::default());
+        let events = service.call("not json at all");
+        assert_eq!(events[0].get("event").and_then(Json::as_str), Some("error"));
+        let events = service.call(r#"{"id":"x","method":"check"}"#);
+        let e = terminal(&events, "x");
+        assert!(
+            e.get("error")
+                .and_then(Json::as_str)
+                .expect("msg")
+                .contains("spec"),
+            "{e:?}"
+        );
+        let events = service.call(&request("b1", "check", "spec broken {"));
+        let e = terminal(&events, "b1");
+        assert!(
+            e.get("error")
+                .and_then(Json::as_str)
+                .expect("msg")
+                .contains("spec:"),
+            "compile errors carry line:column: {e:?}"
+        );
+    }
+
+    #[test]
+    fn timeout_budget_interrupts_a_long_job() {
+        let service = Service::new(ServiceConfig::default());
+        // two chained unbounded precedences: the space is astronomically
+        // large, so only the deadline can end an unbounded exploration
+        let big = "spec big {\n  events a, b, c;\n  constraint c1 = precedes(a, b);\n  constraint c2 = precedes(b, c);\n}\n";
+        let line =
+            r#"{"id":"t1","method":"explore","spec":SPEC,"timeout_ms":50,"max_states":100000000}"#
+                .replace("SPEC", &Json::str(big).to_line());
+        let events = service.call(&line);
+        let e = terminal(&events, "t1");
+        assert_eq!(e.get("event").and_then(Json::as_str), Some("error"));
+        assert!(
+            e.get("error")
+                .and_then(Json::as_str)
+                .expect("msg")
+                .contains("timed out"),
+            "{e:?}"
+        );
+        // the worker survives: the next job runs normally
+        let events = service.call(&request("t2", "explore", ALT));
+        assert_eq!(
+            terminal(&events, "t2").get("event").and_then(Json::as_str),
+            Some("result")
+        );
+    }
+
+    #[test]
+    fn cancel_stops_a_running_job_without_poisoning_the_pool() {
+        let service = Service::new(ServiceConfig {
+            workers: 1,
+            progress_interval_ms: 0,
+            ..ServiceConfig::default()
+        });
+        let big = "spec big {\n  events a, b, c;\n  constraint c1 = precedes(a, b);\n  constraint c2 = precedes(b, c);\n}\n";
+        let sink = Arc::new(CollectingSink::default());
+        let dyn_sink: Arc<dyn EventSink> = Arc::clone(&sink) as Arc<dyn EventSink>;
+        let line = r#"{"id":"c1","method":"explore","spec":SPEC,"timeout_ms":60000,"max_states":100000000}"#
+            .replace("SPEC", &Json::str(big).to_line());
+        assert_eq!(service.handle_line(&line, &dyn_sink), Dispatch::Continue);
+        // wait until the job demonstrably runs (first progress event)
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !sink
+            .events()
+            .iter()
+            .any(|e| e.get("event").and_then(Json::as_str) == Some("progress"))
+        {
+            assert!(Instant::now() < deadline, "job never progressed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let cancel_events = service.call(r#"{"id":"k1","method":"cancel","target":"c1"}"#);
+        let cancel_result = terminal(&cancel_events, "k1");
+        assert_eq!(
+            cancel_result
+                .get("result")
+                .and_then(|r| r.get("found"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        let events = sink.wait_terminal("c1", Duration::from_secs(30));
+        let e = terminal(&events, "c1");
+        assert_eq!(
+            e.get("event").and_then(Json::as_str),
+            Some("cancelled"),
+            "a cancelled job never reports a verdict"
+        );
+        // the single worker is healthy afterwards
+        let events = service.call(&request("c2", "check", ALT));
+        assert_eq!(
+            terminal(&events, "c2").get("event").and_then(Json::as_str),
+            Some("result")
+        );
+    }
+
+    #[test]
+    fn cancel_before_start_and_unknown_targets() {
+        // zero progress interval + 1 worker: occupy the worker, then
+        // queue a second job and cancel it before it starts
+        let service = Service::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let big = "spec big {\n  events a, b, c;\n  constraint c1 = precedes(a, b);\n  constraint c2 = precedes(b, c);\n}\n";
+        let sink = Arc::new(CollectingSink::default());
+        let dyn_sink: Arc<dyn EventSink> = Arc::clone(&sink) as Arc<dyn EventSink>;
+        let slow =
+            r#"{"id":"s","method":"explore","spec":SPEC,"timeout_ms":10000,"max_states":10000000}"#
+                .replace("SPEC", &Json::str(big).to_line());
+        let _ = service.handle_line(&slow, &dyn_sink);
+        let _ = service.handle_line(&request("q", "check", ALT), &dyn_sink);
+        let cancel_events = service.call(r#"{"id":"k","method":"cancel","target":"q"}"#);
+        assert_eq!(
+            terminal(&cancel_events, "k")
+                .get("result")
+                .and_then(|r| r.get("found"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        let events = sink.wait_terminal("q", Duration::from_secs(60));
+        assert_eq!(
+            terminal(&events, "q").get("event").and_then(Json::as_str),
+            Some("cancelled")
+        );
+        // unblock the slow job so Drop's shutdown is quick
+        let _ = service.call(r#"{"id":"k2","method":"cancel","target":"s"}"#);
+        let _ = sink.wait_terminal("s", Duration::from_secs(60));
+        let not_found = service.call(r#"{"id":"k3","method":"cancel","target":"nope"}"#);
+        assert_eq!(
+            terminal(&not_found, "k3")
+                .get("result")
+                .and_then(|r| r.get("found"))
+                .and_then(Json::as_bool),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn duplicate_ids_and_shutdown_rejections() {
+        let service = Service::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let big = "spec big {\n  events a, b, c;\n  constraint c1 = precedes(a, b);\n  constraint c2 = precedes(b, c);\n}\n";
+        let sink = Arc::new(CollectingSink::default());
+        let dyn_sink: Arc<dyn EventSink> = Arc::clone(&sink) as Arc<dyn EventSink>;
+        let slow = r#"{"id":"dup","method":"explore","spec":SPEC,"timeout_ms":10000,"max_states":10000000}"#
+            .replace("SPEC", &Json::str(big).to_line());
+        let _ = service.handle_line(&slow, &dyn_sink);
+        let _ = service.handle_line(&slow, &dyn_sink);
+        let dup_error = sink
+            .events()
+            .iter()
+            .find(|e| e.get("event").and_then(Json::as_str) == Some("error"))
+            .cloned()
+            .expect("duplicate rejected");
+        assert!(
+            dup_error
+                .get("error")
+                .and_then(Json::as_str)
+                .expect("msg")
+                .contains("duplicate id"),
+            "{dup_error:?}"
+        );
+        let _ = service.call(r#"{"id":"k","method":"cancel","target":"dup"}"#);
+        let _ = sink.wait_terminal("dup", Duration::from_secs(60));
+        service.begin_shutdown();
+        let events = service.call(&request("late", "check", ALT));
+        assert!(terminal(&events, "late")
+            .get("error")
+            .and_then(Json::as_str)
+            .expect("msg")
+            .contains("shutting down"));
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_via_protocol_drains_and_reports() {
+        let service = Service::new(ServiceConfig::default());
+        let _ = service.call(&request("r1", "explore", ALT));
+        let events = service.call(r#"{"id":"bye","method":"shutdown"}"#);
+        let result = terminal(&events, "bye");
+        assert_eq!(
+            result
+                .get("result")
+                .and_then(|r| r.get("kind"))
+                .and_then(Json::as_str),
+            Some("shutdown")
+        );
+    }
+}

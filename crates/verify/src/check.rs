@@ -143,17 +143,61 @@ impl CheckReport {
 /// ```
 #[must_use]
 pub fn check_props(program: &Program, props: &[Prop], options: &ExploreOptions) -> CheckReport {
+    run_check(program, props, options, None)
+}
+
+/// A streaming progress callback for [`check_props_observed`]: called
+/// with `(states, transitions, depth)` at every explorer checkpoint —
+/// once per [`PROGRESS_INTERVAL`](moccml_engine::PROGRESS_INTERVAL)
+/// absorbed transitions and once per level barrier. Returning
+/// [`VisitControl::Stop`] aborts the check cooperatively: the report
+/// comes back with [`PropStatus::Undetermined`] for every property the
+/// absorbed prefix had not already decided.
+pub type ProgressFn<'a> = dyn FnMut(usize, usize, usize) -> VisitControl + 'a;
+
+/// [`check_props`] with a streaming [`ProgressFn`] — the plumbing a
+/// long-running service needs for progress events, wall-clock timeouts
+/// and cooperative cancellation.
+///
+/// The callback's [`VisitControl::Stop`] is threaded into the explorer
+/// exactly like a monitor's own early stop, so an aborted check leaves
+/// the worker pool healthy; any violation recorded before the abort is
+/// still returned (with its replay-validated counterexample), because
+/// every absorbed transition is real regardless of where the BFS ends.
+///
+/// # Panics
+///
+/// Panics if a reconstructed counterexample fails to replay through a
+/// fresh cursor — see [`check_props`].
+#[must_use]
+pub fn check_props_observed(
+    program: &Program,
+    props: &[Prop],
+    options: &ExploreOptions,
+    progress: &mut ProgressFn,
+) -> CheckReport {
+    run_check(program, props, options, Some(progress))
+}
+
+fn run_check<'a>(
+    program: &Program,
+    props: &[Prop],
+    options: &ExploreOptions,
+    progress: Option<&'a mut ProgressFn<'a>>,
+) -> CheckReport {
     let track_adj = props
         .iter()
         .any(|p| matches!(p, Prop::EventuallyWithin(..)));
     let mut visitor = CheckVisitor {
         monitors: props.iter().map(Monitor::new).collect(),
         shared: Shared::new(track_adj),
+        progress,
     };
     let space = program.explore_with(options, &mut visitor);
     let CheckVisitor {
         mut monitors,
         shared,
+        ..
     } = visitor;
     let completed = !space.truncated();
     let statuses: Vec<PropStatus> = monitors
@@ -610,13 +654,17 @@ impl Eventually {
     }
 }
 
-/// The [`ExploreVisitor`] wiring the monitors into the explorer.
-struct CheckVisitor {
+/// The [`ExploreVisitor`] wiring the monitors into the explorer; the
+/// optional progress callback is consulted at every checkpoint and at
+/// every level barrier, so a service can stream progress and cancel a
+/// check cooperatively.
+struct CheckVisitor<'a> {
     monitors: Vec<Monitor>,
     shared: Shared,
+    progress: Option<&'a mut ProgressFn<'a>>,
 }
 
-impl ExploreVisitor for CheckVisitor {
+impl ExploreVisitor for CheckVisitor<'_> {
     fn on_transition(&mut self, source: usize, step: &Step, target: usize, _depth: usize) {
         self.shared.note_transition(source, step, target);
         for m in &mut self.monitors {
@@ -644,7 +692,7 @@ impl ExploreVisitor for CheckVisitor {
         }
     }
 
-    fn on_level_end(&mut self, depth: usize, _state_count: usize) -> VisitControl {
+    fn on_level_end(&mut self, depth: usize, state_count: usize) -> VisitControl {
         for m in &mut self.monitors {
             if let Monitor::Eventually(ev) = m {
                 ev.at_barrier(depth, &self.shared);
@@ -653,9 +701,20 @@ impl ExploreVisitor for CheckVisitor {
         let any_violated = self.monitors.iter().any(Monitor::violated);
         let all_resolved = self.monitors.iter().all(Monitor::resolved);
         if any_violated || all_resolved {
-            VisitControl::Stop
-        } else {
-            VisitControl::Continue
+            return VisitControl::Stop;
+        }
+        // barriers double as cancellation points: small levels may
+        // never reach a transition-count checkpoint
+        match &mut self.progress {
+            Some(f) => f(state_count, self.shared.transitions, depth),
+            None => VisitControl::Continue,
+        }
+    }
+
+    fn on_progress(&mut self, states: usize, transitions: usize, depth: usize) -> VisitControl {
+        match &mut self.progress {
+            Some(f) => f(states, transitions, depth),
+            None => VisitControl::Continue,
         }
     }
 }
@@ -673,6 +732,55 @@ mod tests {
         let mut spec = Specification::new("alt", u);
         spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
         (Program::new(spec), a, b)
+    }
+
+    #[test]
+    fn observed_check_streams_progress_and_matches_plain_check() {
+        let (program, a, b) = alternating();
+        let prop = Prop::Never(StepPred::and(StepPred::fired(a), StepPred::fired(b)));
+        let mut calls = Vec::new();
+        let mut on_progress = |states: usize, transitions: usize, depth: usize| {
+            calls.push((states, transitions, depth));
+            VisitControl::Continue
+        };
+        let observed = check_props_observed(
+            &program,
+            std::slice::from_ref(&prop),
+            &ExploreOptions::default(),
+            &mut on_progress,
+        );
+        let plain = check_props(
+            &program,
+            std::slice::from_ref(&prop),
+            &ExploreOptions::default(),
+        );
+        assert_eq!(observed, plain, "the callback must not change the verdict");
+        assert!(
+            !calls.is_empty(),
+            "level barriers report progress even on tiny spaces"
+        );
+    }
+
+    #[test]
+    fn observed_check_stop_yields_undetermined_not_a_verdict() {
+        // an unbounded precedence: the space is infinite, `never(b)`
+        // is violated at depth 2 — but we abort at the very first
+        // checkpoint, before any level is absorbed into a verdict
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("unbounded", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        let program = Program::new(spec);
+        let prop = Prop::Never(StepPred::fired(b));
+        let mut on_progress = |_: usize, _: usize, _: usize| VisitControl::Stop;
+        let report = check_props_observed(
+            &program,
+            std::slice::from_ref(&prop),
+            &ExploreOptions::default(),
+            &mut on_progress,
+        );
+        assert!(!report.completed);
+        assert_eq!(report.statuses[0], PropStatus::Undetermined);
     }
 
     #[test]

@@ -101,8 +101,8 @@ mod minimize;
 mod prop;
 
 pub use check::{
-    check, check_props, check_with, sliceable_events, CheckOptions, CheckReport, Counterexample,
-    PropStatus,
+    check, check_props, check_props_observed, check_with, sliceable_events, CheckOptions,
+    CheckReport, Counterexample, ProgressFn, PropStatus,
 };
 pub use conformance::{conformance, Verdict};
 pub use equivalence::{

@@ -36,6 +36,12 @@
 //!   behind `moccml lint` ([`analyze::analyze_str`]), with stable
 //!   `A…` codes, text/JSON renderers, and the cone-of-influence
 //!   report that feeds `verify::check_with`'s slicing;
+//! * [`serve`] — the long-running verification service: an
+//!   NDJSON-over-TCP daemon (`moccml serve`) with an LRU
+//!   compiled-program cache keyed by the canonical pretty-printed
+//!   form, a bounded job queue with per-request budgets and
+//!   cooperative cancellation, and the shared machine-readable result
+//!   schema behind `--format json`; owns the `moccml` binary;
 //! * [`sdf`] — the paper's illustrative DSL (SigPML/SDF) and the PAM
 //!   case study.
 //!
@@ -87,4 +93,5 @@ pub use moccml_kernel as kernel;
 pub use moccml_lang as lang;
 pub use moccml_metamodel as metamodel;
 pub use moccml_sdf as sdf;
+pub use moccml_serve as serve;
 pub use moccml_verify as verify;

@@ -1,0 +1,264 @@
+//! Property-based contracts of the `moccml-serve` service layer
+//! (ISSUE 7):
+//!
+//! * **the LRU cache matches a reference model** — random access
+//!   sequences over random spec pools, replayed against a brute-force
+//!   recency list: every hit/miss verdict, the entry bound and each
+//!   eviction victim must agree, and the counters must add up;
+//! * **canonical keys unify formatting variants** — a spec accessed
+//!   through random comment/whitespace mutilations of its
+//!   `SpecAst::to_text` form always hits the entry its canonical form
+//!   created, and the shared compiled program is the same `Arc`;
+//! * **cancellation never invents a verdict** — a job cancelled at a
+//!   random point either reports `cancelled` (and then no `result`
+//!   ever arrives for its id) or completed first with the one correct
+//!   verdict; either way the service stays healthy and answers a
+//!   fresh request correctly afterwards.
+//!
+//! Runs on the deterministic in-repo `moccml-testkit` harness;
+//! failures report a replayable case seed.
+
+mod common;
+
+use common::random_spec;
+use moccml::serve::json::Json;
+use moccml::serve::{Service, ServiceConfig, SpecCache};
+use moccml_testkit::{cases, prop_assert, prop_assert_eq, TestRng};
+
+/// A brute-force LRU reference: canonical keys in recency order,
+/// most-recent last.
+struct ModelLru {
+    capacity: usize,
+    keys: Vec<String>,
+}
+
+impl ModelLru {
+    /// Replays one access; returns `(hit, evicted_key)`.
+    fn access(&mut self, key: &str) -> (bool, Option<String>) {
+        if let Some(i) = self.keys.iter().position(|k| k == key) {
+            let key = self.keys.remove(i);
+            self.keys.push(key);
+            return (true, None);
+        }
+        if self.capacity == 0 {
+            return (false, None);
+        }
+        let evicted = if self.keys.len() >= self.capacity {
+            Some(self.keys.remove(0))
+        } else {
+            None
+        };
+        self.keys.push(key.to_owned());
+        (false, evicted)
+    }
+}
+
+/// Injects lexically-irrelevant noise (comments, whitespace, blank
+/// lines) into a canonical spec text without changing its parse.
+fn mutilate(canonical: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    if rng.bool() {
+        out.push_str("// leading comment\n\n");
+    }
+    for line in canonical.lines() {
+        match rng.u8_in(0..4) {
+            0 => {
+                out.push_str("  ");
+                out.push_str(line);
+            }
+            1 => {
+                out.push_str(line);
+                out.push_str("   // trailing");
+            }
+            2 => {
+                out.push_str(line);
+                out.push('\n');
+            }
+            _ => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn lru_cache_matches_the_reference_model() {
+    cases(48).run("lru_cache_matches_the_reference_model", |rng| {
+        // a pool of random specs, addressed by canonical key
+        let pool: Vec<String> = (0..rng.usize_in(2..7))
+            .map(|_| random_spec(rng).to_text())
+            .collect();
+        let capacity = rng.usize_in(0..4);
+        let mut cache = SpecCache::new(capacity);
+        let mut model = ModelLru {
+            capacity,
+            keys: Vec::new(),
+        };
+        let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
+        for _ in 0..rng.usize_in(1..40) {
+            let source = &pool[rng.usize_in(0..pool.len())];
+            let canonical = moccml::lang::parse_spec(source)
+                .map_err(|e| format!("pool spec fails to parse: {e}"))?
+                .to_text();
+            let (model_hit, model_evicted) = model.access(&canonical);
+            let (_, hit) = cache
+                .get_or_compile(source)
+                .map_err(|e| format!("pool spec fails to compile: {e}\n{source}"))?;
+            prop_assert_eq!(hit, model_hit, "hit/miss verdict diverged from the model");
+            if hit {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+            if let Some(victim) = model_evicted {
+                evictions += 1;
+                prop_assert!(
+                    !cache.peek(&victim).map_err(|e| e.to_string())?,
+                    "the model's eviction victim is still cached"
+                );
+            }
+            // everything the model keeps must be present
+            for kept in &model.keys {
+                prop_assert!(
+                    cache.peek(kept).map_err(|e| e.to_string())?,
+                    "a model-resident key is missing from the cache"
+                );
+            }
+            let stats = cache.stats();
+            prop_assert_eq!(stats.entries, model.keys.len(), "entry count diverged");
+            prop_assert!(stats.entries <= capacity, "capacity bound violated");
+            prop_assert_eq!(stats.hits, hits, "hit counter diverged");
+            prop_assert_eq!(stats.misses, misses, "miss counter diverged");
+            prop_assert_eq!(stats.evictions, evictions, "eviction counter diverged");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn canonical_keys_unify_formatting_variants() {
+    cases(48).run("canonical_keys_unify_formatting_variants", |rng| {
+        let canonical = random_spec(rng).to_text();
+        let mut cache = SpecCache::new(4);
+        let (first, hit) = cache
+            .get_or_compile(&canonical)
+            .map_err(|e| format!("canonical form fails: {e}\n{canonical}"))?;
+        prop_assert!(!hit, "first access is a miss");
+        for _ in 0..rng.usize_in(1..4) {
+            let noisy = mutilate(&canonical, rng);
+            let (variant, hit) = cache
+                .get_or_compile(&noisy)
+                .map_err(|e| format!("mutilated form fails: {e}\n{noisy}"))?;
+            prop_assert!(hit, "a formatting variant missed the canonical entry");
+            prop_assert!(
+                std::sync::Arc::ptr_eq(&first.program, &variant.program),
+                "variants must share the compiled program"
+            );
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.entries, 1, "variants created extra entries");
+        prop_assert_eq!(stats.misses, 1, "variants recompiled");
+        Ok(())
+    });
+}
+
+#[test]
+fn cancellation_never_invents_a_verdict() {
+    // fewer cases: each spins up a real worker pool
+    cases(12).run("cancellation_never_invents_a_verdict", |rng| {
+        let service = Service::new(ServiceConfig {
+            workers: 1,
+            progress_interval_ms: 0,
+            ..ServiceConfig::default()
+        });
+        // an unbounded two-chain space (astronomical, deadlock-free by
+        // construction: `a` is always enabled), so the check can never
+        // find a violation — only cancel, a bound or the deadline ends
+        // it
+        let big = "spec big {\n  events a, b, c;\n  constraint c1 = precedes(a, b);\n  constraint c2 = precedes(b, c);\n  assert deadlock-free;\n}\n";
+        let sink = std::sync::Arc::new(moccml::serve::CollectingSink::default());
+        let dyn_sink: std::sync::Arc<dyn moccml::serve::EventSink> =
+            std::sync::Arc::clone(&sink) as _;
+        let line = Json::obj([
+            ("id", Json::str("job")),
+            ("method", Json::str(if rng.bool() { "check" } else { "explore" })),
+            ("spec", Json::str(big)),
+            ("max_states", Json::Int(2_000_000)),
+            ("timeout_ms", Json::Int(300_000)),
+        ])
+        .to_line();
+        let _ = service.handle_line(&line, &dyn_sink);
+        // cancel after a random (possibly zero) number of progress
+        // events — racing submit, pickup and mid-exploration states
+        let awaited = rng.usize_in(0..3);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        while sink
+            .events()
+            .iter()
+            .filter(|e| e.get("event").and_then(Json::as_str) == Some("progress"))
+            .count()
+            < awaited
+        {
+            prop_assert!(
+                std::time::Instant::now() < deadline,
+                "job never streamed progress"
+            );
+            std::thread::yield_now();
+        }
+        let _ = service.call(r#"{"id":"kill","method":"cancel","target":"job"}"#);
+        let events = sink.wait_terminal("job", std::time::Duration::from_secs(60));
+        let terminals: Vec<&Json> = events
+            .iter()
+            .filter(|e| {
+                e.get("id").and_then(Json::as_str) == Some("job")
+                    && matches!(
+                        e.get("event").and_then(Json::as_str),
+                        Some("result" | "error" | "cancelled")
+                    )
+            })
+            .collect();
+        prop_assert_eq!(terminals.len(), 1, "exactly one terminal event");
+        match terminals[0].get("event").and_then(Json::as_str) {
+            Some("cancelled") => {
+                prop_assert!(
+                    terminals[0].get("result").is_none(),
+                    "cancelled events carry no verdict"
+                );
+            }
+            Some("result") => {
+                // the job won the race: its verdict must be the real
+                // one (the property holds on the truncated space —
+                // undetermined — or the space was bounded)
+                let payload = terminals[0].get("result").expect("payload");
+                prop_assert!(
+                    payload.get("violated").and_then(Json::as_bool) != Some(true),
+                    "a never-violated property cannot report violated"
+                );
+            }
+            other => return Err(format!("unexpected terminal: {other:?}")),
+        }
+        // the pool survives: a fresh request gets the correct verdict
+        let alt = "spec alt {\n  events a, b;\n  constraint alt = alternates(a, b);\n  assert never((a && b));\n}\n";
+        let after = service.call(
+            &Json::obj([
+                ("id", Json::str("after")),
+                ("method", Json::str("check")),
+                ("spec", Json::str(alt)),
+            ])
+            .to_line(),
+        );
+        let result = after
+            .iter()
+            .find(|e| e.get("event").and_then(Json::as_str) == Some("result"))
+            .ok_or("the service is unhealthy after cancellation")?;
+        prop_assert_eq!(
+            result
+                .get("result")
+                .and_then(|r| r.get("violated"))
+                .and_then(Json::as_bool),
+            Some(false),
+            "post-cancel verdict is correct"
+        );
+        Ok(())
+    });
+}
