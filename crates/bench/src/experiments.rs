@@ -174,6 +174,38 @@ pub fn e8_seeded_local_pam() -> (Specification, Prop) {
     (spec, Prop::Never(StepPred::fired(detect_start)))
 }
 
+/// E9 — the explorer-scaling workload: three independent bounded
+/// strict precedences (`c_i < e_i`, drift ≤ `bound`) under one n-ary
+/// exclusion over all six events. The exclusion limits every step to a
+/// single event, so the reachable space is exactly the drift cube
+/// `(bound + 1)³` — `bound = 46` gives the 103,823-state workload of
+/// `BENCH_explore_scale.json` — with wide middle BFS levels (the state
+/// at drifts `(d₁, d₂, d₃)` sits at depth `d₁ + d₂ + d₃`), which is
+/// precisely the shape that exercises the work-stealing frontier.
+///
+/// Returns the specification and the expected reachable state count.
+#[must_use]
+pub fn e9_scale_spec(bound: u64) -> (Specification, usize) {
+    let mut u = Universe::new();
+    let mut all = Vec::with_capacity(6);
+    let mut pairs = Vec::with_capacity(3);
+    for i in 0..3 {
+        let c = u.event(&format!("c{i}"));
+        let e = u.event(&format!("e{i}"));
+        all.extend([c, e]);
+        pairs.push((c, e));
+    }
+    let mut spec = Specification::new("e9-scale", u);
+    for (i, (c, e)) in pairs.into_iter().enumerate() {
+        spec.add_constraint(Box::new(
+            moccml_ccsl::Precedence::strict(&format!("c{i}<e{i}"), c, e).with_bound(bound),
+        ));
+    }
+    spec.add_constraint(Box::new(moccml_ccsl::Exclusion::new("one-at-a-time", all)));
+    let side = usize::try_from(bound).expect("bound fits usize") + 1;
+    (spec, side * side * side)
+}
+
 /// E7 — a conforming reference trace for the conformance-checking
 /// bench: `steps` steps of the quad-core PAM deployment under the
 /// deadlock-avoiding policy.
@@ -241,6 +273,17 @@ pub fn stats_cells(stats: &StateSpaceStats) -> Vec<String> {
 mod tests {
     use super::*;
     use moccml_ccsl::Alternation;
+
+    #[test]
+    fn e9_scale_spec_reaches_exactly_the_drift_cube() {
+        let (spec, expected) = e9_scale_spec(2);
+        assert_eq!(expected, 27);
+        let stats = explore_stats(&spec, 1_000);
+        assert_eq!(stats.states, expected);
+        assert_eq!(stats.deadlocks, 0);
+        // the exclusion caps every step at a single event
+        assert_eq!(stats.max_step_parallelism, 1);
+    }
 
     #[test]
     fn stats_cells_have_five_columns() {

@@ -55,6 +55,7 @@ pub fn measure<T>(name: &str, warmup: u32, iters: u32, mut f: impl FnMut() -> T)
         median_ns: percentile(&samples, 50),
         p95_ns: percentile(&samples, 95),
         max_ns: samples[samples.len() - 1],
+        states: 0,
     }
 }
 
@@ -109,6 +110,28 @@ impl BenchGroup {
         let record = measure(name, self.warmup, self.iters, f);
         eprintln!(
             "  {}/{}: median {} (p95 {}, {} iters)",
+            self.group,
+            record.name,
+            crate::report::format_ns(record.median_ns),
+            crate::report::format_ns(record.p95_ns),
+            record.iters,
+        );
+        self.records.push(record);
+    }
+
+    /// Runs and records one *throughput* benchmark: `states` is the
+    /// number of work items (e.g. explored states) each iteration
+    /// processes, and the record's derived
+    /// [`states_per_sec`](BenchRecord::states_per_sec) lands in the
+    /// JSON baseline next to the timing statistics.
+    pub fn bench_states<T>(&mut self, name: &str, states: u64, f: impl FnMut() -> T) {
+        let mut record = measure(name, self.warmup, self.iters, f);
+        record.states = states;
+        let rate = record
+            .states_per_sec()
+            .map_or(String::new(), |sps| format!(", {sps:.0} states/s"));
+        eprintln!(
+            "  {}/{}: median {} (p95 {}, {} iters{rate})",
             self.group,
             record.name,
             crate::report::format_ns(record.median_ns),
@@ -189,5 +212,20 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_iters_panics() {
         measure("bad", 0, 0, || ());
+    }
+
+    #[test]
+    fn bench_states_tags_the_record_with_throughput() {
+        let mut g = BenchGroup::new("unit").with_iters(3).with_warmup(0);
+        g.bench_states("work", 1_000, || {
+            let mut acc = 0u64;
+            for i in 0..1_000u64 {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        });
+        let r = &g.records()[0];
+        assert_eq!(r.states, 1_000);
+        assert!(r.states_per_sec().expect("throughput set") > 0.0);
     }
 }

@@ -39,9 +39,22 @@ pub struct BenchRecord {
     pub p95_ns: u128,
     /// Slowest iteration, in nanoseconds.
     pub max_ns: u128,
+    /// Work items (e.g. explored states) processed per iteration;
+    /// `0` means "not a throughput benchmark" and suppresses the
+    /// derived `states_per_sec` JSON member.
+    pub states: u64,
 }
 
 impl BenchRecord {
+    /// Median throughput in items per second, or `None` for
+    /// non-throughput records ([`states`](BenchRecord::states) is 0).
+    #[must_use]
+    pub fn states_per_sec(&self) -> Option<f64> {
+        if self.states == 0 || self.median_ns == 0 {
+            return None;
+        }
+        Some(self.states as f64 * 1e9 / self.median_ns as f64)
+    }
     /// The five standard table cells for [`table_row`]:
     /// name, iters, median, p95, min.
     #[must_use]
@@ -104,9 +117,12 @@ pub fn write_bench_json(group: &str, records: &[BenchRecord]) -> std::io::Result
     out.push_str("  \"unit\": \"ns\",\n");
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
+        let throughput = r.states_per_sec().map_or(String::new(), |sps| {
+            format!(", \"states\": {}, \"states_per_sec\": {sps:.1}", r.states)
+        });
         out.push_str(&format!(
             "    {{\"name\": {}, \"iters\": {}, \"min_ns\": {}, \"mean_ns\": {}, \
-             \"median_ns\": {}, \"p95_ns\": {}, \"max_ns\": {}}}{}\n",
+             \"median_ns\": {}, \"p95_ns\": {}, \"max_ns\": {}{}}}{}\n",
             json_string(&r.name),
             r.iters,
             r.min_ns,
@@ -114,6 +130,7 @@ pub fn write_bench_json(group: &str, records: &[BenchRecord]) -> std::io::Result
             r.median_ns,
             r.p95_ns,
             r.max_ns,
+            throughput,
             if i + 1 < records.len() { "," } else { "" },
         ));
     }
@@ -178,6 +195,7 @@ mod tests {
             median_ns: 11,
             p95_ns: 15,
             max_ns: 16,
+            states: 0,
         }];
         let path = write_bench_json("selftest", &records).expect("writes");
         std::env::remove_var("MOCCML_BENCH_OUT");
@@ -185,6 +203,53 @@ mod tests {
         assert!(path.ends_with("BENCH_selftest.json"));
         assert!(text.contains("\"group\": \"selftest\""));
         assert!(text.contains("\"median_ns\": 11"));
+        assert!(
+            !text.contains("states_per_sec"),
+            "non-throughput records carry no derived rate"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn throughput_records_derive_states_per_sec() {
+        let record = BenchRecord {
+            name: "scale/workers=1".to_owned(),
+            iters: 5,
+            min_ns: 900,
+            mean_ns: 1_000,
+            median_ns: 1_000,
+            p95_ns: 1_100,
+            max_ns: 1_200,
+            states: 2_000,
+        };
+        // 2000 items in 1000 ns median → 2e9 items/sec
+        let sps = record.states_per_sec().expect("throughput record");
+        assert!((sps - 2e9).abs() < 1e-3, "{sps}");
+        let none = BenchRecord {
+            states: 0,
+            ..record
+        };
+        assert_eq!(none.states_per_sec(), None);
+
+        let _guard = ENV_LOCK.lock().expect("env lock");
+        let dir = std::env::temp_dir().join("moccml_bench_report_test_tp");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        std::env::set_var("MOCCML_BENCH_OUT", &dir);
+        let records = [BenchRecord {
+            states: 2_000,
+            name: "scale/workers=1".to_owned(),
+            iters: 5,
+            min_ns: 900,
+            mean_ns: 1_000,
+            median_ns: 1_000,
+            p95_ns: 1_100,
+            max_ns: 1_200,
+        }];
+        let path = write_bench_json("tp_selftest", &records).expect("writes");
+        std::env::remove_var("MOCCML_BENCH_OUT");
+        let text = std::fs::read_to_string(&path).expect("readable");
+        assert!(text.contains("\"states\": 2000"), "{text}");
+        assert!(text.contains("\"states_per_sec\": 2000000000.0"), "{text}");
         std::fs::remove_file(path).ok();
     }
 

@@ -7,40 +7,67 @@
 //! constraint states ([`StateKey`](moccml_kernel::StateKey) snapshots)
 //! and whose edges are acceptable non-empty steps.
 //!
-//! # Architecture: depth-synchronized parallel BFS
+//! # Architecture: work-stealing expansion, canonical replay
 //!
-//! Exploration proceeds level by level. Within a level, every frontier
-//! state is *expanded* independently — restore the state on a worker's
-//! [`Cursor`](crate::Cursor), enumerate its acceptable steps, fire each
-//! to learn the successor key. Expansion dominates the cost (it is
-//! where formulas are evaluated), and it embarrasses in parallel:
-//! [`ExploreOptions::workers`] worker threads pull striped batches of
-//! frontier states off the level, resolving successor keys against a
-//! sharded read-only index of all previously interned states.
+//! The explorer splits into two halves that run concurrently and meet
+//! only through interned state ids:
 //!
-//! At the level barrier, a single canonicalization pass absorbs the
-//! expansions *in frontier order*: new states are interned (and the
-//! [`max_states`](ExploreOptions::max_states) bound applied) in the
-//! order the serial explorer would have discovered them — by (source
-//! state index, step rank) — and transitions are appended in that same
-//! order. The result is **byte-identical for every worker count**: the
-//! worker threads only change *who computes* an expansion, never the
-//! order in which its results are absorbed. `workers == 1` skips the
-//! threads entirely and runs the identical algorithm inline.
+//! * **Asynchronous expansion.** Worker threads pull state ids from
+//!   per-worker deques (popping their own front, stealing half of a
+//!   neighbour's back when empty — plain `Mutex<VecDeque>` deques, no
+//!   dependencies). Each worker restores the state on its own
+//!   [`Cursor`](crate::Cursor) via the batched
+//!   [`Cursor::expand`](crate::Cursor::expand) API, enumerates its
+//!   acceptable steps, interns every successor into a sharded
+//!   fingerprint [`Interner`] (the struct-of-arrays state arena), and
+//!   streams the resulting record — `(deadlock?, [(step, successor
+//!   id)])` — back over a channel. There are **no level barriers**:
+//!   a worker that finishes a state immediately pulls the next one,
+//!   even if it belongs to a deeper BFS level.
 //!
-//! All of this uses only `std::thread` scoped threads and `mpsc`
-//! channels — no dependencies. Worker cursors share the program's
-//! sharded formula memo, so a constraint state reached by one worker is
-//! never re-lowered by another.
+//! * **Canonical replay.** The calling thread reconstructs the breadth
+//!   first graph *exactly as the serial explorer would*, by consuming
+//!   the records in frontier order: states are renumbered in BFS
+//!   discovery order, the [`max_states`](ExploreOptions::max_states)
+//!   bound, transition order, deadlock order, and every
+//!   [`ExploreVisitor`] callback are applied in that canonical order.
+//!   Worker-assigned ids are race-dependent, but they are only join
+//!   keys — the replay output is a pure function of the record
+//!   *contents*, which are pure functions of the state keys. The
+//!   resulting [`StateSpace`] is therefore **byte-identical for every
+//!   worker count**, including under truncation and mid-run
+//!   [`VisitControl::Stop`]. Replay also *feeds* the workers: a state
+//!   is enqueued for expansion the moment it is canonically accepted,
+//!   so the pipeline stays about one BFS level deep and workers never
+//!   idle at a barrier.
+//!
+//! `workers == 1` skips the threads entirely: the replay loop expands
+//! states inline, on demand, and is the exact serial algorithm.
+//!
+//! Early stop (a visitor returning [`VisitControl::Stop`], or a bound)
+//! flips a shared flag that workers check between states, bounding
+//! speculative work to the in-flight pipeline. This is what
+//! `moccml-verify` and `moccml serve` cancellation ride on: the stop
+//! decision is taken at a deterministic checkpoint in the replay, and
+//! the async machinery merely drains.
+//!
+//! Memory-wise the arena keeps exactly one copy of every interned key
+//! (sharded `Vec<StateKey>` indexed by `u32` ids) and hands the keys to
+//! the final [`StateSpace`] by move; the old `StateKey → usize` hash
+//! index is replaced by a fingerprint index (`u64 → Vec<u32>`) and a
+//! compact u32 CSR adjacency, cutting per-state overhead by an integer
+//! factor on large runs. All of this uses only `std` — scoped threads,
+//! `mpsc`, `Mutex`/`Condvar` and atomics.
 
 use crate::cursor::Cursor;
 use crate::program::Program;
 use crate::solver::SolverOptions;
 use moccml_kernel::{StateKey, Step};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::mpsc;
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Options bounding and configuring the exploration.
 #[derive(Debug, Clone)]
@@ -48,7 +75,8 @@ pub struct ExploreOptions {
     /// Stop after interning this many states (the graph is then marked
     /// [`truncated`](StateSpace::truncated)). Counters in constraints
     /// such as unbounded precedences make the space infinite; the bound
-    /// keeps exploration total.
+    /// keeps exploration total. Also used to pre-size the interner
+    /// (capped, so `usize::MAX` is safe).
     pub max_states: usize,
     /// Ignore states deeper than this BFS depth (`usize::MAX` = no
     /// bound).
@@ -58,11 +86,16 @@ pub struct ExploreOptions {
     /// `include_empty` is ignored: stuttering self-loops exist at every
     /// state and would only add noise.
     pub solver: SolverOptions,
-    /// Number of worker threads expanding each BFS level. Defaults to
+    /// Number of worker threads expanding states. Defaults to
     /// [`std::thread::available_parallelism`]; `1` runs the identical
     /// algorithm inline with no threads. The resulting [`StateSpace`]
     /// is byte-identical for every value.
     pub workers: usize,
+    /// Optional live throughput monitor. Updated by the replay thread
+    /// and the expansion pipeline; never influences the exploration
+    /// result or any [`ExploreVisitor`] callback (its readings are
+    /// timing-dependent, the graph is not).
+    pub monitor: Option<ExploreMonitor>,
 }
 
 impl Default for ExploreOptions {
@@ -74,98 +107,10 @@ impl Default for ExploreOptions {
             workers: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
+            monitor: None,
         }
     }
 }
-
-/// Flow control returned by [`ExploreVisitor::on_level_end`]: keep
-/// exploring, or stop at this level barrier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum VisitControl {
-    /// Continue with the next BFS level.
-    Continue,
-    /// Stop the exploration at this level barrier. The returned
-    /// [`StateSpace`] contains everything absorbed so far and is marked
-    /// [`truncated`](StateSpace::truncated) iff unexplored frontier
-    /// states remain.
-    Stop,
-}
-
-/// Streaming hook into the explorer's canonicalization pass — the
-/// on-the-fly half of `explore`.
-///
-/// Callbacks fire *inside the level barrier*, in the canonical
-/// absorption order (source frontier order, then step rank), which is
-/// identical for every [`ExploreOptions::workers`] count. A visitor
-/// therefore observes the exact same call sequence — and can stop at
-/// the exact same level — whether the expansion ran on one thread or
-/// eight. This is what lets `moccml-verify` evaluate property monitors
-/// during BFS and terminate deterministically at the first violating
-/// level instead of materialising the full space.
-///
-/// All methods have no-op defaults; `()` implements the trait as the
-/// always-continue visitor.
-pub trait ExploreVisitor {
-    /// A transition `(source, step, target)` was just recorded while
-    /// absorbing level `depth`. Target states of fresh keys are
-    /// announced here with their newly interned index.
-    fn on_transition(&mut self, source: usize, step: &Step, target: usize, depth: usize) {
-        let _ = (source, step, target, depth);
-    }
-
-    /// Frontier state `state` (expanded at level `depth`) has no
-    /// outgoing non-empty step.
-    fn on_deadlock(&mut self, state: usize, depth: usize) {
-        let _ = (state, depth);
-    }
-
-    /// The [`max_states`](ExploreOptions::max_states) bound just
-    /// dropped a freshly discovered successor (and its transition)
-    /// while absorbing level `depth`. From this point on the visitor
-    /// sees an *incomplete* transition relation: "nothing reachable"
-    /// conclusions drawn from the absorbed graph are no longer sound,
-    /// while every positively observed path remains real.
-    fn on_states_dropped(&mut self, depth: usize) {
-        let _ = depth;
-    }
-
-    /// Level `depth` was fully absorbed; `state_count` states are
-    /// interned so far. Returning [`VisitControl::Stop`] ends the
-    /// exploration at this barrier — deterministically, because the
-    /// barrier sequence itself is worker-count-independent.
-    fn on_level_end(&mut self, depth: usize, state_count: usize) -> VisitControl {
-        let _ = (depth, state_count);
-        VisitControl::Continue
-    }
-
-    /// Periodic mid-absorption checkpoint: called once every
-    /// [`PROGRESS_INTERVAL`] absorbed transitions with the running
-    /// totals (`states` interned, `transitions` absorbed, current BFS
-    /// `depth`). Large levels can absorb hundreds of thousands of
-    /// transitions between two barriers; this hook is what lets a
-    /// long-running exploration report progress — and be cancelled —
-    /// *inside* a level instead of only at its end.
-    ///
-    /// Returning [`VisitControl::Stop`] aborts the exploration
-    /// immediately; the returned [`StateSpace`] contains everything
-    /// absorbed so far and is always marked
-    /// [`truncated`](StateSpace::truncated) (a mid-level stop leaves
-    /// the transition relation incomplete). Call points are a pure
-    /// function of the absorbed-transition count, so — like every
-    /// other callback — the hook sequence is identical for every
-    /// [`ExploreOptions::workers`] count.
-    fn on_progress(&mut self, states: usize, transitions: usize, depth: usize) -> VisitControl {
-        let _ = (states, transitions, depth);
-        VisitControl::Continue
-    }
-}
-
-/// Number of absorbed transitions between two
-/// [`ExploreVisitor::on_progress`] checkpoints.
-pub const PROGRESS_INTERVAL: usize = 1024;
-
-/// The always-continue visitor: plain exploration.
-impl ExploreVisitor for () {}
 
 impl ExploreOptions {
     /// Bounds the number of states (builder style).
@@ -197,6 +142,428 @@ impl ExploreOptions {
         self.workers = workers.max(1);
         self
     }
+
+    /// Attaches a throughput monitor (builder style). The same monitor
+    /// can be polled from another thread while the exploration runs.
+    #[must_use]
+    pub fn with_monitor(mut self, monitor: &ExploreMonitor) -> Self {
+        self.monitor = Some(monitor.clone());
+        self
+    }
+}
+
+/// Flow control returned by [`ExploreVisitor::on_level_end`]: keep
+/// exploring, or stop at this level boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VisitControl {
+    /// Continue with the next BFS level.
+    Continue,
+    /// Stop the exploration at this level boundary. The returned
+    /// [`StateSpace`] contains everything absorbed so far and is marked
+    /// [`truncated`](StateSpace::truncated) iff unexplored frontier
+    /// states remain.
+    Stop,
+}
+
+/// Streaming hook into the explorer's canonical replay — the
+/// on-the-fly half of `explore`.
+///
+/// Callbacks fire *inside the replay*, in the canonical absorption
+/// order (source frontier order, then step rank), which is identical
+/// for every [`ExploreOptions::workers`] count. A visitor therefore
+/// observes the exact same call sequence — and can stop at the exact
+/// same point — whether the expansion ran on one thread or eight. This
+/// is what lets `moccml-verify` evaluate property monitors during BFS
+/// and terminate deterministically at the first violating level
+/// instead of materialising the full space.
+///
+/// All methods have no-op defaults; `()` implements the trait as the
+/// always-continue visitor.
+pub trait ExploreVisitor {
+    /// A transition `(source, step, target)` was just recorded while
+    /// absorbing level `depth`. Target states of fresh keys are
+    /// announced here with their newly interned index.
+    fn on_transition(&mut self, source: usize, step: &Step, target: usize, depth: usize) {
+        let _ = (source, step, target, depth);
+    }
+
+    /// Frontier state `state` (expanded at level `depth`) has no
+    /// outgoing non-empty step.
+    fn on_deadlock(&mut self, state: usize, depth: usize) {
+        let _ = (state, depth);
+    }
+
+    /// The [`max_states`](ExploreOptions::max_states) bound just
+    /// dropped a freshly discovered successor (and its transition)
+    /// while absorbing level `depth`. From this point on the visitor
+    /// sees an *incomplete* transition relation: "nothing reachable"
+    /// conclusions drawn from the absorbed graph are no longer sound,
+    /// while every positively observed path remains real.
+    fn on_states_dropped(&mut self, depth: usize) {
+        let _ = depth;
+    }
+
+    /// Level `depth` was fully absorbed; `state_count` states are
+    /// interned so far. Returning [`VisitControl::Stop`] ends the
+    /// exploration at this boundary — deterministically, because the
+    /// replay's level sequence is worker-count-independent. (Workers
+    /// may already be expanding deeper states speculatively; their
+    /// results are discarded.)
+    fn on_level_end(&mut self, depth: usize, state_count: usize) -> VisitControl {
+        let _ = (depth, state_count);
+        VisitControl::Continue
+    }
+
+    /// Periodic mid-absorption checkpoint: called once every
+    /// [`PROGRESS_INTERVAL`] absorbed transitions with the running
+    /// totals (`states` interned, `transitions` absorbed, current BFS
+    /// `depth`). Large levels can absorb hundreds of thousands of
+    /// transitions between two boundaries; this hook is what lets a
+    /// long-running exploration report progress — and be cancelled —
+    /// *inside* a level instead of only at its end.
+    ///
+    /// Returning [`VisitControl::Stop`] aborts the exploration
+    /// immediately; the returned [`StateSpace`] contains everything
+    /// absorbed so far and is always marked
+    /// [`truncated`](StateSpace::truncated) (a mid-level stop leaves
+    /// the transition relation incomplete). Call points are a pure
+    /// function of the absorbed-transition count, so — like every
+    /// other callback — the hook sequence is identical for every
+    /// [`ExploreOptions::workers`] count. This checkpoint is the
+    /// cancellation epoch: stopping here flips the shared stop flag
+    /// that in-flight workers observe between states.
+    fn on_progress(&mut self, states: usize, transitions: usize, depth: usize) -> VisitControl {
+        let _ = (states, transitions, depth);
+        VisitControl::Continue
+    }
+}
+
+/// Number of absorbed transitions between two
+/// [`ExploreVisitor::on_progress`] checkpoints.
+pub const PROGRESS_INTERVAL: usize = 1024;
+
+/// The always-continue visitor: plain exploration.
+impl ExploreVisitor for () {}
+
+/// Live throughput counters of a running (or finished) exploration.
+///
+/// Cloning is cheap (an [`Arc`]); attach one copy via
+/// [`ExploreOptions::with_monitor`] and poll [`snapshot`] from any
+/// thread. Readings are best-effort and timing-dependent — they exist
+/// for `--stats` output and `serve` progress events, and deliberately
+/// never feed back into the (deterministic) exploration itself.
+///
+/// [`snapshot`]: ExploreMonitor::snapshot
+#[derive(Clone, Default)]
+pub struct ExploreMonitor {
+    inner: Arc<MonitorInner>,
+}
+
+#[derive(Default)]
+struct MonitorInner {
+    states: AtomicUsize,
+    transitions: AtomicUsize,
+    depth: AtomicUsize,
+    pending: AtomicUsize,
+    peak_frontier: AtomicUsize,
+    interned: AtomicUsize,
+    buckets: AtomicUsize,
+    finished: AtomicBool,
+    elapsed_ns: AtomicU64,
+    start: Mutex<Option<Instant>>,
+}
+
+impl ExploreMonitor {
+    /// A fresh monitor, all counters zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current counters. During a run `elapsed` is the wall-clock time
+    /// since the exploration started; afterwards it is frozen at the
+    /// total duration.
+    #[must_use]
+    pub fn snapshot(&self) -> ExploreMetrics {
+        let i = &self.inner;
+        let finished = i.finished.load(Ordering::Acquire);
+        let elapsed = if finished {
+            Duration::from_nanos(i.elapsed_ns.load(Ordering::Acquire))
+        } else {
+            i.start
+                .lock()
+                .expect("monitor clock lock")
+                .map(|s| s.elapsed())
+                .unwrap_or_default()
+        };
+        ExploreMetrics {
+            states: i.states.load(Ordering::Relaxed),
+            transitions: i.transitions.load(Ordering::Relaxed),
+            depth: i.depth.load(Ordering::Relaxed),
+            pending: i.pending.load(Ordering::Relaxed),
+            peak_frontier: i.peak_frontier.load(Ordering::Relaxed),
+            interned: i.interned.load(Ordering::Relaxed),
+            interner_buckets: i.buckets.load(Ordering::Relaxed),
+            elapsed,
+            finished,
+        }
+    }
+
+    /// (Re-)arms the monitor at exploration start.
+    fn begin(&self) {
+        let i = &self.inner;
+        i.states.store(0, Ordering::Relaxed);
+        i.transitions.store(0, Ordering::Relaxed);
+        i.depth.store(0, Ordering::Relaxed);
+        i.pending.store(0, Ordering::Relaxed);
+        i.peak_frontier.store(0, Ordering::Relaxed);
+        i.interned.store(0, Ordering::Relaxed);
+        i.buckets.store(0, Ordering::Relaxed);
+        i.elapsed_ns.store(0, Ordering::Relaxed);
+        i.finished.store(false, Ordering::Release);
+        *self.inner.start.lock().expect("monitor clock lock") = Some(Instant::now());
+    }
+
+    /// Replay-side counter update (canonical totals — deterministic).
+    fn update(&self, states: usize, transitions: usize, depth: usize) {
+        let i = &self.inner;
+        i.states.store(states, Ordering::Relaxed);
+        i.transitions.store(transitions, Ordering::Relaxed);
+        i.depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Widest BFS level absorbed so far (deterministic).
+    fn note_frontier(&self, width: usize) {
+        self.inner.peak_frontier.fetch_max(width, Ordering::Relaxed);
+    }
+
+    /// Interner occupancy counters (includes speculative interns).
+    fn update_interner(&self, interned: usize, buckets: usize) {
+        self.inner.interned.store(interned, Ordering::Relaxed);
+        self.inner.buckets.store(buckets, Ordering::Relaxed);
+    }
+
+    /// Dispatched-but-not-yet-absorbed state count (pipeline depth).
+    fn set_pending(&self, pending: usize) {
+        self.inner.pending.store(pending, Ordering::Relaxed);
+    }
+
+    /// Freezes the clock at exploration end.
+    fn finish(&self) {
+        let i = &self.inner;
+        let elapsed = i
+            .start
+            .lock()
+            .expect("monitor clock lock")
+            .map(|s| s.elapsed())
+            .unwrap_or_default();
+        i.elapsed_ns.store(
+            elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+            Ordering::Release,
+        );
+        i.finished.store(true, Ordering::Release);
+    }
+}
+
+impl fmt::Debug for ExploreMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExploreMonitor")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+/// One reading of an [`ExploreMonitor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreMetrics {
+    /// Canonically interned states (what [`StateSpace::state_count`]
+    /// will report).
+    pub states: usize,
+    /// Absorbed transitions.
+    pub transitions: usize,
+    /// BFS level currently being absorbed.
+    pub depth: usize,
+    /// States dispatched for expansion but not yet absorbed — the
+    /// depth of the async pipeline (always 0 once finished).
+    pub pending: usize,
+    /// Widest BFS level absorbed so far — the peak frontier size.
+    pub peak_frontier: usize,
+    /// Keys in the interner arena. Can exceed `states` while workers
+    /// speculate past a bound or an early stop.
+    pub interned: usize,
+    /// Occupied fingerprint buckets in the interner.
+    pub interner_buckets: usize,
+    /// Wall-clock time since start (frozen at completion).
+    pub elapsed: Duration,
+    /// Whether the exploration has completed.
+    pub finished: bool,
+}
+
+impl ExploreMetrics {
+    /// Canonical states absorbed per second of wall-clock time.
+    #[must_use]
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.states as f64 / secs
+        }
+    }
+
+    /// Mean keys per occupied fingerprint bucket — `1.0` means the
+    /// interner saw no fingerprint collisions.
+    #[must_use]
+    pub fn interner_occupancy(&self) -> f64 {
+        if self.interner_buckets == 0 {
+            0.0
+        } else {
+            self.interned as f64 / self.interner_buckets as f64
+        }
+    }
+}
+
+/// Mixes one 64-bit lane into a running fingerprint (splitmix64
+/// finalizer — fast, dependency-free, and much cheaper than `SipHash`
+/// for the short integer vectors state keys are made of).
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// 64-bit fingerprint of a state key. Shard selection and bucket keys
+/// both derive from this single pass over the values.
+#[inline]
+fn fingerprint(key: &StateKey) -> u64 {
+    let mut h = mix64(0x9E37_79B9_7F4A_7C15 ^ key.values().len() as u64);
+    for &v in key.values() {
+        h = mix64(h ^ v as u64)
+            .rotate_left(23)
+            .wrapping_add(0xA24B_AED4_963E_E407);
+    }
+    mix64(h)
+}
+
+/// Number of interner shards (power of two; selected by the low
+/// fingerprint bits).
+const INTERNER_SHARDS: usize = 64;
+
+/// Cap on up-front capacity reservation derived from `max_states`, so
+/// `max_states = usize::MAX` does not try to reserve the address space.
+const RESERVE_CAP: usize = 1 << 20;
+
+/// One interner shard: fingerprint → collision bucket of arena slots,
+/// plus the slot → key arena itself.
+struct InternerShard {
+    buckets: HashMap<u64, Vec<u32>>,
+    keys: Vec<StateKey>,
+}
+
+/// Sharded fingerprint interner and state arena.
+///
+/// `intern` assigns each distinct [`StateKey`] a stable `u32` id
+/// (*arena slot × shard count + shard*, so ids stay dense while shards
+/// fill evenly). The lock taken is the shard's — selected by the key's
+/// fingerprint — so concurrent interns of different states contend only
+/// on fingerprint-colliding buckets, never on a global structure. Ids
+/// are race-dependent across runs and therefore **internal**: the
+/// canonical replay renumbers them into BFS discovery order.
+struct Interner {
+    shards: Vec<Mutex<InternerShard>>,
+    count: AtomicUsize,
+    buckets: AtomicUsize,
+}
+
+impl Interner {
+    /// An interner pre-sized for roughly `expected` keys (capped).
+    fn with_capacity(expected: usize) -> Self {
+        let per_shard = expected.min(RESERVE_CAP) / INTERNER_SHARDS + 1;
+        Interner {
+            shards: (0..INTERNER_SHARDS)
+                .map(|_| {
+                    Mutex::new(InternerShard {
+                        buckets: HashMap::with_capacity(per_shard),
+                        keys: Vec::with_capacity(per_shard),
+                    })
+                })
+                .collect(),
+            count: AtomicUsize::new(0),
+            buckets: AtomicUsize::new(0),
+        }
+    }
+
+    /// Interns `key`, returning its id and whether it was fresh.
+    fn intern(&self, key: &StateKey) -> (u32, bool) {
+        let fp = fingerprint(key);
+        let s = fp as usize & (INTERNER_SHARDS - 1);
+        let mut guard = self.shards[s].lock().expect("interner shard lock");
+        let shard = &mut *guard;
+        let bucket = shard.buckets.entry(fp).or_default();
+        for &slot in bucket.iter() {
+            if shard.keys[slot as usize] == *key {
+                return (compose_id(s, slot), false);
+            }
+        }
+        if bucket.is_empty() {
+            self.buckets.fetch_add(1, Ordering::Relaxed);
+        }
+        let slot = u32::try_from(shard.keys.len()).expect("interner shard within u32 slots");
+        assert!(
+            (slot as u64) < u64::from(u32::MAX) / INTERNER_SHARDS as u64,
+            "state arena exceeds u32 id space"
+        );
+        shard.keys.push(key.clone());
+        bucket.push(slot);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        (compose_id(s, slot), true)
+    }
+
+    /// The key behind id `id` (cloned out of the arena).
+    fn key(&self, id: u32) -> StateKey {
+        let (s, slot) = decompose_id(id);
+        self.shards[s].lock().expect("interner shard lock").keys[slot as usize].clone()
+    }
+
+    /// Total interned keys.
+    fn len(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Occupied fingerprint buckets.
+    fn bucket_count(&self) -> usize {
+        self.buckets.load(Ordering::Relaxed)
+    }
+
+    /// Consumes the arena, moving out the keys behind `ids` in order.
+    /// Keys not listed (speculative interns past a bound) are dropped.
+    fn into_states(self, ids: &[u32]) -> Vec<StateKey> {
+        let mut shards: Vec<Vec<StateKey>> = self
+            .shards
+            .into_iter()
+            .map(|m| m.into_inner().expect("interner shard lock").keys)
+            .collect();
+        ids.iter()
+            .map(|&id| {
+                let (s, slot) = decompose_id(id);
+                std::mem::replace(&mut shards[s][slot as usize], StateKey::new())
+            })
+            .collect()
+    }
+}
+
+#[inline]
+fn compose_id(shard: usize, slot: u32) -> u32 {
+    slot * INTERNER_SHARDS as u32 + shard as u32
+}
+
+#[inline]
+fn decompose_id(id: u32) -> (usize, u32) {
+    (
+        id as usize & (INTERNER_SHARDS - 1),
+        id / INTERNER_SHARDS as u32,
+    )
 }
 
 /// The reachable scheduling state-space of a specification.
@@ -205,17 +572,68 @@ impl ExploreOptions {
 /// initial state, deadlocks and the truncation flag — which is exactly
 /// the explorer's determinism contract: `explore` with any
 /// [`workers`](ExploreOptions::workers) count yields `==` spaces.
+///
+/// Internally the graph is compact: one copy of each key (moved out of
+/// the exploration arena), a fingerprint index (`u64 → Vec<u32>`)
+/// instead of a second `StateKey → usize` hash map, and a u32 CSR
+/// adjacency so [`outgoing`](StateSpace::outgoing) is O(out-degree)
+/// rather than a scan of every transition.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StateSpace {
     states: Vec<StateKey>,
-    index: HashMap<StateKey, usize>,
+    fingerprints: HashMap<u64, Vec<u32>>,
     transitions: Vec<(usize, Step, usize)>,
+    out_offsets: Vec<u32>,
+    out_edges: Vec<u32>,
     initial: usize,
     deadlocks: Vec<usize>,
     truncated: bool,
 }
 
 impl StateSpace {
+    /// Assembles the compact graph from replay output.
+    fn build(
+        states: Vec<StateKey>,
+        transitions: Vec<(usize, Step, usize)>,
+        deadlocks: Vec<usize>,
+        truncated: bool,
+    ) -> Self {
+        assert!(
+            u32::try_from(transitions.len()).is_ok(),
+            "transition count exceeds u32 adjacency space"
+        );
+        let mut fingerprints: HashMap<u64, Vec<u32>> = HashMap::with_capacity(states.len());
+        for (i, key) in states.iter().enumerate() {
+            fingerprints
+                .entry(fingerprint(key))
+                .or_default()
+                .push(i as u32);
+        }
+        let mut out_offsets = vec![0u32; states.len() + 1];
+        for (s, _, _) in &transitions {
+            out_offsets[s + 1] += 1;
+        }
+        for i in 1..out_offsets.len() {
+            out_offsets[i] += out_offsets[i - 1];
+        }
+        let mut cursor = out_offsets.clone();
+        let mut out_edges = vec![0u32; transitions.len()];
+        for (e, (s, _, _)) in transitions.iter().enumerate() {
+            out_edges[cursor[*s] as usize] = e as u32;
+            cursor[*s] += 1;
+        }
+        StateSpace {
+            states,
+            fingerprints,
+            transitions,
+            out_offsets,
+            out_edges,
+            initial: 0,
+            deadlocks,
+            truncated,
+        }
+    }
+
     /// Number of distinct reachable states.
     #[must_use]
     pub fn state_count(&self) -> usize {
@@ -261,12 +679,20 @@ impl StateSpace {
     /// Index of `key` if it was reached.
     #[must_use]
     pub fn state_index(&self, key: &StateKey) -> Option<usize> {
-        self.index.get(key).copied()
+        self.fingerprints
+            .get(&fingerprint(key))?
+            .iter()
+            .find(|&&i| self.states[i as usize] == *key)
+            .map(|&i| i as usize)
     }
 
-    /// Outgoing transitions of state `state`.
+    /// Outgoing transitions of state `state`, in absorption order.
     pub fn outgoing(&self, state: usize) -> impl Iterator<Item = &(usize, Step, usize)> {
-        self.transitions.iter().filter(move |(s, _, _)| *s == state)
+        let lo = self.out_offsets[state] as usize;
+        let hi = self.out_offsets[state + 1] as usize;
+        self.out_edges[lo..hi]
+            .iter()
+            .map(move |&e| &self.transitions[e as usize])
     }
 
     /// Counts the schedules (paths from the initial state) of exactly
@@ -372,109 +798,279 @@ pub fn explore(program: &Program, options: &ExploreOptions) -> StateSpace {
     program.explore(options)
 }
 
-/// Sharded `StateKey → state index` map: read concurrently by workers
-/// during a level, written only by the canonicalization pass at the
-/// level barrier — reads vastly outnumber writes, so shards are
-/// `RwLock`s. Shard selection is shared with the formula memo
-/// ([`shard_of`](crate::program::shard_of)).
-struct ShardedIndex {
-    shards: Vec<RwLock<HashMap<StateKey, usize>>>,
+/// One expanded state, keyed by interner id: deadlock flag plus the
+/// acceptable steps with interned successor ids, in canonical
+/// ([`Step`] `Ord`) order. Pure function of the state key — which is
+/// what makes the replay deterministic.
+struct Record {
+    deadlock: bool,
+    succs: Vec<(Step, u32)>,
 }
 
-impl ShardedIndex {
-    fn new() -> Self {
-        ShardedIndex {
-            shards: (0..crate::program::SHARD_COUNT)
-                .map(|_| RwLock::new(HashMap::new()))
-                .collect(),
+/// Expands the state behind `key` on `cursor` and interns every
+/// successor.
+fn expand_record(
+    cursor: &mut Cursor,
+    key: &StateKey,
+    solver: &SolverOptions,
+    interner: &Interner,
+) -> Record {
+    let expansion = cursor
+        .expand(key, solver)
+        .expect("interned keys restore cleanly");
+    let deadlock = expansion.is_deadlock();
+    let succs = expansion
+        .into_steps()
+        .into_iter()
+        .map(|(step, succ)| (step, interner.intern(&succ).0))
+        .collect();
+    Record { deadlock, succs }
+}
+
+/// How many states a worker takes from its own deque per lock
+/// acquisition.
+const WORKER_BATCH: usize = 16;
+
+/// The work-stealing frontier: one `Mutex<VecDeque>` per worker plus a
+/// condvar for sleepers. The replay thread pushes round-robin; workers
+/// pop their own front in FIFO order (≈ BFS order, keeping the
+/// pipeline shallow) and steal half of a neighbour's back when empty.
+struct WorkQueues {
+    queues: Vec<Mutex<VecDeque<u32>>>,
+    idle: Mutex<()>,
+    available: Condvar,
+    stop: AtomicBool,
+    panicked: AtomicBool,
+    next: AtomicUsize,
+}
+
+impl WorkQueues {
+    fn new(workers: usize) -> Self {
+        WorkQueues {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Mutex::new(()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+            next: AtomicUsize::new(0),
         }
     }
 
-    fn get(&self, key: &StateKey) -> Option<usize> {
-        self.shards[crate::program::shard_of(key, self.shards.len())]
-            .read()
-            .expect("state index shard lock")
-            .get(key)
-            .copied()
+    /// Enqueues one state id (round-robin across worker deques).
+    fn push(&self, id: u32) {
+        let w = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[w]
+            .lock()
+            .expect("work queue lock")
+            .push_back(id);
+        // take the idle lock so the notify cannot race a worker that
+        // just found every queue empty and is about to wait
+        let _idle = self.idle.lock().expect("idle lock");
+        self.available.notify_one();
     }
 
-    fn insert(&self, key: StateKey, index: usize) {
-        self.shards[crate::program::shard_of(&key, self.shards.len())]
-            .write()
-            .expect("state index shard lock")
-            .insert(key, index);
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Tells every worker to drain out (end of exploration, early
+    /// stop, or a sibling's panic).
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        let _idle = self.idle.lock().expect("idle lock");
+        self.available.notify_all();
+    }
+
+    /// Blocking pop for worker `me`: own front batch, else steal half
+    /// of a neighbour's back, else sleep. `None` means stop.
+    fn pop(&self, me: usize) -> Option<Vec<u32>> {
+        loop {
+            if self.stopped() {
+                return None;
+            }
+            {
+                let mut q = self.queues[me].lock().expect("work queue lock");
+                if !q.is_empty() {
+                    let take = q.len().min(WORKER_BATCH);
+                    return Some(q.drain(..take).collect());
+                }
+            }
+            let n = self.queues.len();
+            for off in 1..n {
+                let mut q = self.queues[(me + off) % n].lock().expect("work queue lock");
+                if !q.is_empty() {
+                    let take = q.len().div_ceil(2);
+                    let at = q.len() - take;
+                    let stolen = q.split_off(at);
+                    return Some(stolen.into());
+                }
+            }
+            let idle = self.idle.lock().expect("idle lock");
+            // a push may have landed between the scans and this lock;
+            // the timeout bounds the one remaining (benign) race
+            let _ = self
+                .available
+                .wait_timeout(idle, Duration::from_millis(10))
+                .expect("idle lock");
+        }
     }
 }
 
-/// A successor resolved by a worker: either a state interned in a
-/// previous level (index known) or a fresh key the barrier will intern.
-enum Target {
-    Known(usize),
-    New(StateKey),
+/// Sets the shared panic flag if its worker unwinds, so the replay
+/// thread fails loudly instead of waiting on a record that will never
+/// arrive.
+struct PanicFlag<'a> {
+    queues: &'a WorkQueues,
 }
 
-/// One frontier state's expansion: its position in the frontier (the
-/// canonical absorption order) and its outgoing steps, or a deadlock.
-struct Expansion {
-    order: usize,
-    deadlock: bool,
-    succs: Vec<(Step, Target)>,
+impl Drop for PanicFlag<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.queues.panicked.store(true, Ordering::Release);
+            self.queues.request_stop();
+        }
+    }
 }
 
-/// Expands one frontier state on `cursor`: enumerate its acceptable
-/// steps, fire each, resolve the successor against `index`.
-fn expand_state(
-    cursor: &mut Cursor,
-    order: usize,
-    key: &StateKey,
+/// One expansion worker: pull ids, expand, intern successors, stream
+/// records back. Exits on stop or when the replay hangs up.
+fn worker_loop(
+    me: usize,
+    program: &Program,
     solver: &SolverOptions,
-    index: &ShardedIndex,
-) -> Expansion {
-    cursor.restore(key).expect("interned keys restore cleanly");
-    let steps = cursor.acceptable_steps(solver);
-    if steps.is_empty() {
-        return Expansion {
-            order,
-            deadlock: true,
-            succs: Vec::new(),
-        };
-    }
-    let mut succs = Vec::with_capacity(steps.len());
-    for step in steps {
-        cursor.restore(key).expect("interned keys restore cleanly");
-        cursor.fire(&step).expect("solver returns acceptable steps");
-        let successor = cursor.state_key();
-        let target = match index.get(&successor) {
-            Some(t) => Target::Known(t),
-            None => Target::New(successor),
-        };
-        succs.push((step, target));
-    }
-    Expansion {
-        order,
-        deadlock: false,
-        succs,
+    interner: &Interner,
+    queues: &WorkQueues,
+    tx: mpsc::Sender<(u32, Record)>,
+) {
+    let _flag = PanicFlag { queues };
+    let mut cursor = program.cursor();
+    while let Some(batch) = queues.pop(me) {
+        for id in batch {
+            if queues.stopped() {
+                return;
+            }
+            let key = interner.key(id);
+            let record = expand_record(&mut cursor, &key, solver, interner);
+            if tx.send((id, record)).is_err() {
+                return;
+            }
+        }
     }
 }
 
-/// The canonical BFS construction shared by the serial and parallel
-/// paths. `expand_level` turns one frontier (as `(order, key)` jobs)
-/// into its expansions, in any order; everything order-sensitive —
-/// interning, the `max_states` bound, transition and deadlock
-/// recording — happens here, in frontier order.
-fn explore_with(
-    root: StateKey,
+/// Where the replay gets its expansions from: inline (serial) or the
+/// worker pipeline. `dispatch` announces a canonically accepted state;
+/// `fetch` blocks until that state's record is available. The replay
+/// fetches in exactly the order it dispatched.
+trait ExpansionSource {
+    fn dispatch(&mut self, id: u32);
+    fn fetch(&mut self, id: u32) -> Record;
+}
+
+/// Serial path: expand on demand, on the caller's thread.
+struct InlineSource<'a> {
+    cursor: Cursor,
+    solver: &'a SolverOptions,
+    interner: &'a Interner,
+}
+
+impl ExpansionSource for InlineSource<'_> {
+    fn dispatch(&mut self, _id: u32) {}
+
+    fn fetch(&mut self, id: u32) -> Record {
+        let key = self.interner.key(id);
+        expand_record(&mut self.cursor, &key, self.solver, self.interner)
+    }
+}
+
+/// Parallel path: dispatch feeds the work-stealing deques, fetch
+/// drains the record channel into a reorder cache until the wanted id
+/// arrives.
+struct PoolSource<'a> {
+    rx: mpsc::Receiver<(u32, Record)>,
+    queues: &'a WorkQueues,
+    cache: HashMap<u32, Record>,
+    pending: usize,
+    monitor: Option<ExploreMonitor>,
+}
+
+impl ExpansionSource for PoolSource<'_> {
+    fn dispatch(&mut self, id: u32) {
+        self.pending += 1;
+        if let Some(m) = &self.monitor {
+            m.set_pending(self.pending);
+        }
+        self.queues.push(id);
+    }
+
+    fn fetch(&mut self, id: u32) -> Record {
+        self.pending -= 1;
+        if let Some(m) = &self.monitor {
+            m.set_pending(self.pending);
+        }
+        if let Some(record) = self.cache.remove(&id) {
+            return record;
+        }
+        loop {
+            match self.rx.recv_timeout(Duration::from_millis(50)) {
+                Ok((got, record)) => {
+                    if got == id {
+                        return record;
+                    }
+                    self.cache.insert(got, record);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    assert!(
+                        !self.queues.panicked.load(Ordering::Acquire),
+                        "explorer worker died mid-exploration (see its panic above)"
+                    );
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    panic!("explorer workers exited before the replay finished")
+                }
+            }
+        }
+    }
+}
+
+/// What the replay produces; `ids` are interner ids in canonical (BFS
+/// discovery) order, everything else is already canonical.
+struct ReplayOutcome {
+    ids: Vec<u32>,
+    transitions: Vec<(usize, Step, usize)>,
+    deadlocks: Vec<usize>,
+    truncated: bool,
+}
+
+/// The canonical BFS replay — the single definition of the explorer's
+/// observable behaviour, shared verbatim by the serial and parallel
+/// paths.
+///
+/// Consumes expansion records in frontier order, renumbering interner
+/// ids into BFS discovery order and applying the `max_states` bound,
+/// transition recording, deadlock recording, and every visitor
+/// callback in that canonical order. Because each record is a pure
+/// function of its state key, the outcome is independent of how (and
+/// on how many threads) the records were produced.
+fn run_replay(
+    root_id: u32,
     options: &ExploreOptions,
-    index: &ShardedIndex,
+    interner: &Interner,
     visitor: &mut dyn ExploreVisitor,
-    mut expand_level: impl FnMut(Vec<(usize, StateKey)>, &ShardedIndex) -> Vec<Expansion>,
-) -> StateSpace {
-    let mut states = vec![root.clone()];
-    index.insert(root, 0);
-    let mut transitions = Vec::new();
-    let mut deadlocks = Vec::new();
+    source: &mut dyn ExpansionSource,
+) -> ReplayOutcome {
+    let monitor = options.monitor.as_ref();
+    let mut ids: Vec<u32> = vec![root_id];
+    // interner id → canonical index (dense: ids interleave shards)
+    let mut canon: Vec<u32> = Vec::new();
+    set_canon(&mut canon, root_id, 0);
+    let mut transitions: Vec<(usize, Step, usize)> = Vec::new();
+    let mut deadlocks: Vec<usize> = Vec::new();
     let mut truncated = false;
 
+    if options.max_depth > 0 {
+        source.dispatch(root_id);
+    }
     let mut frontier: Vec<usize> = vec![0];
     let mut depth = 0usize;
     'levels: while !frontier.is_empty() {
@@ -482,50 +1078,48 @@ fn explore_with(
             truncated = true;
             break;
         }
-        let jobs: Vec<(usize, StateKey)> = frontier
-            .iter()
-            .enumerate()
-            .map(|(order, &s)| (order, states[s].clone()))
-            .collect();
-        let mut expansions = expand_level(jobs, index);
-        expansions.sort_unstable_by_key(|e| e.order);
+        if let Some(m) = monitor {
+            m.note_frontier(frontier.len());
+            m.update_interner(interner.len(), interner.bucket_count());
+        }
         let mut next = Vec::new();
-        for expansion in expansions {
-            let source = frontier[expansion.order];
-            if expansion.deadlock {
-                deadlocks.push(source);
-                visitor.on_deadlock(source, depth);
+        for &source_state in &frontier {
+            let record = source.fetch(ids[source_state]);
+            if record.deadlock {
+                deadlocks.push(source_state);
+                visitor.on_deadlock(source_state, depth);
                 continue;
             }
-            for (step, target) in expansion.succs {
-                let target = match target {
-                    Target::Known(t) => t,
-                    Target::New(key) => {
-                        // the key may have been interned earlier in
-                        // this very pass (discovered twice in a level)
-                        match index.get(&key) {
-                            Some(t) => t,
-                            None => {
-                                if states.len() >= options.max_states {
-                                    truncated = true;
-                                    visitor.on_states_dropped(depth);
-                                    continue;
-                                }
-                                let t = states.len();
-                                states.push(key.clone());
-                                index.insert(key, t);
-                                next.push(t);
-                                t
-                            }
+            for (step, succ_id) in record.succs {
+                let target = match get_canon(&canon, succ_id) {
+                    Some(t) => t,
+                    None => {
+                        if ids.len() >= options.max_states {
+                            truncated = true;
+                            visitor.on_states_dropped(depth);
+                            continue;
                         }
+                        let t = ids.len();
+                        ids.push(succ_id);
+                        set_canon(&mut canon, succ_id, t as u32);
+                        next.push(t);
+                        // feed the pipeline the moment the state is
+                        // canonically accepted — no level barrier
+                        if depth + 1 < options.max_depth {
+                            source.dispatch(succ_id);
+                        }
+                        t
                     }
                 };
-                visitor.on_transition(source, &step, target, depth);
-                transitions.push((source, step, target));
+                visitor.on_transition(source_state, &step, target, depth);
+                transitions.push((source_state, step, target));
+                if let Some(m) = monitor {
+                    m.update(ids.len(), transitions.len(), depth);
+                }
                 // mid-level checkpoint: call points depend only on the
                 // absorbed-transition count, never on who expanded what
-                if transitions.len() % PROGRESS_INTERVAL == 0
-                    && visitor.on_progress(states.len(), transitions.len(), depth)
+                if transitions.len().is_multiple_of(PROGRESS_INTERVAL)
+                    && visitor.on_progress(ids.len(), transitions.len(), depth)
                         == VisitControl::Stop
                 {
                     truncated = true;
@@ -533,7 +1127,7 @@ fn explore_with(
                 }
             }
         }
-        let control = visitor.on_level_end(depth, states.len());
+        let control = visitor.on_level_end(depth, ids.len());
         frontier = next;
         depth += 1;
         if control == VisitControl::Stop {
@@ -546,20 +1140,33 @@ fn explore_with(
 
     deadlocks.sort_unstable();
     deadlocks.dedup();
-    let index = states
-        .iter()
-        .cloned()
-        .enumerate()
-        .map(|(i, k)| (k, i))
-        .collect();
-    StateSpace {
-        states,
-        index,
+    if let Some(m) = monitor {
+        m.update(ids.len(), transitions.len(), depth);
+        m.update_interner(interner.len(), interner.bucket_count());
+        m.set_pending(0);
+    }
+    ReplayOutcome {
+        ids,
         transitions,
-        initial: 0,
         deadlocks,
         truncated,
     }
+}
+
+fn set_canon(canon: &mut Vec<u32>, id: u32, value: u32) {
+    let at = id as usize;
+    if canon.len() <= at {
+        canon.resize(at + 1, u32::MAX);
+    }
+    canon[at] = value;
+}
+
+fn get_canon(canon: &[u32], id: u32) -> Option<usize> {
+    canon
+        .get(id as usize)
+        .copied()
+        .filter(|&v| v != u32::MAX)
+        .map(|v| v as usize)
 }
 
 /// BFS over `program` from `root`, serial or parallel per
@@ -573,116 +1180,55 @@ pub(crate) fn explore_program(
     // the empty step is a self-loop at every state: never enumerate it
     let solver = options.solver.clone().with_empty(false);
     let workers = options.workers.max(1);
-    let index = ShardedIndex::new();
-
-    if workers == 1 {
-        let mut cursor = program.cursor();
-        return explore_with(root, options, &index, visitor, |jobs, index| {
-            jobs.iter()
-                .map(|(order, key)| expand_state(&mut cursor, *order, key, &solver, index))
-                .collect()
-        });
+    let interner = Interner::with_capacity(options.max_states);
+    let (root_id, _) = interner.intern(&root);
+    if let Some(m) = &options.monitor {
+        m.begin();
+        m.update_interner(interner.len(), interner.bucket_count());
     }
 
-    // Parallel: `workers` persistent threads, one cursor each, fed one
-    // striped batch of the frontier per level. The scope borrows
-    // `program` and `index`; job/result channels carry owned data.
-    // Workers are spawned lazily, on the first frontier wide enough to
-    // amortise the channel round trip — narrow levels (and entire
-    // small explorations) run inline on the main thread's cursor, so
-    // a 2-state doctest pays for zero threads even at `workers = 8`.
-    std::thread::scope(|scope| {
-        let index = &index;
-        let solver = &solver;
-        let mut pool: Option<WorkerPool> = None;
-        let mut inline_cursor = program.cursor();
-
-        // the closure ignores its `&ShardedIndex` argument in favour of
-        // the captured `index` — same object, but the capture carries
-        // the scope-level lifetime the spawned workers need
-        let space = explore_with(root, options, index, visitor, |jobs, _| {
-            if jobs.len() < MIN_PARALLEL_FRONTIER.max(workers) {
-                return jobs
-                    .iter()
-                    .map(|(order, key)| {
-                        expand_state(&mut inline_cursor, *order, key, solver, index)
-                    })
-                    .collect();
+    let outcome = if workers == 1 {
+        let mut source = InlineSource {
+            cursor: program.cursor(),
+            solver: &solver,
+            interner: &interner,
+        };
+        run_replay(root_id, options, &interner, visitor, &mut source)
+    } else {
+        let queues = WorkQueues::new(workers);
+        let (tx, rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let tx = tx.clone();
+                let (solver, interner, queues) = (&solver, &interner, &queues);
+                scope.spawn(move || worker_loop(me, program, solver, interner, queues, tx));
             }
-            let pool = pool
-                .get_or_insert_with(|| WorkerPool::spawn(scope, workers, program, solver, index));
-            // stripe the frontier across workers: neighbouring states
-            // (often similar expansion cost) land on different threads
-            let mut batches: Vec<Vec<(usize, StateKey)>> = vec![Vec::new(); workers];
-            for (i, job) in jobs.into_iter().enumerate() {
-                batches[i % workers].push(job);
-            }
-            for (tx, batch) in pool.job_txs.iter().zip(batches) {
-                tx.send(batch).expect("worker alive while exploring");
-            }
-            let mut expansions = Vec::new();
-            for (w, rx) in pool.result_rxs.iter().enumerate() {
-                // a disconnected result channel means that worker
-                // panicked (a Constraint broke the restore/stuttering
-                // contract): fail loudly instead of waiting forever
-                expansions.extend(rx.recv().unwrap_or_else(|_| {
-                    panic!("explorer worker {w} died mid-level (see its panic above)")
-                }));
-            }
-            expansions
-        });
-        drop(pool); // job channels disconnect; workers drain and exit
-        space
-    })
-}
+            // workers hold the only senders: a fully disconnected
+            // channel means they are all gone
+            drop(tx);
+            let mut source = PoolSource {
+                rx,
+                queues: &queues,
+                cache: HashMap::new(),
+                pending: 0,
+                monitor: options.monitor.clone(),
+            };
+            let outcome = run_replay(root_id, options, &interner, visitor, &mut source);
+            queues.request_stop();
+            outcome
+        })
+    };
 
-/// Frontiers narrower than this are expanded inline even when worker
-/// threads are available: the per-level channel round trip costs more
-/// than enumerating a handful of states.
-const MIN_PARALLEL_FRONTIER: usize = 16;
-
-/// The lazily spawned expansion threads of one parallel exploration:
-/// per-worker job and result channels (one result vector per batch, so
-/// a worker that dies is detected as *its* channel disconnecting
-/// rather than a barrier that never completes).
-struct WorkerPool {
-    job_txs: Vec<mpsc::Sender<Vec<(usize, StateKey)>>>,
-    result_rxs: Vec<mpsc::Receiver<Vec<Expansion>>>,
-}
-
-impl WorkerPool {
-    fn spawn<'scope>(
-        scope: &'scope std::thread::Scope<'scope, '_>,
-        workers: usize,
-        program: &'scope Program,
-        solver: &'scope SolverOptions,
-        index: &'scope ShardedIndex,
-    ) -> Self {
-        let mut job_txs = Vec::with_capacity(workers);
-        let mut result_rxs = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let (job_tx, job_rx) = mpsc::channel::<Vec<(usize, StateKey)>>();
-            let (result_tx, result_rx) = mpsc::channel::<Vec<Expansion>>();
-            scope.spawn(move || {
-                let mut cursor = program.cursor();
-                while let Ok(batch) = job_rx.recv() {
-                    let out: Vec<Expansion> = batch
-                        .iter()
-                        .map(|(order, key)| expand_state(&mut cursor, *order, key, solver, index))
-                        .collect();
-                    if result_tx.send(out).is_err() {
-                        break;
-                    }
-                }
-            });
-            job_txs.push(job_tx);
-            result_rxs.push(result_rx);
-        }
-        WorkerPool {
-            job_txs,
-            result_rxs,
-        }
+    let states = interner.into_states(&outcome.ids);
+    if let Some(m) = &options.monitor {
+        m.finish();
     }
+    StateSpace::build(
+        states,
+        outcome.transitions,
+        outcome.deadlocks,
+        outcome.truncated,
+    )
 }
 
 #[cfg(test)]
@@ -778,6 +1324,9 @@ mod tests {
         assert_eq!(space.outgoing(space.initial()).count(), 1);
         let key = &space.states()[space.initial()];
         assert_eq!(space.state_index(key), Some(space.initial()));
+        // a key that was never reached misses the fingerprint index
+        let unseen = StateKey::from_values([i64::MIN, i64::MAX, 42]);
+        assert_eq!(space.state_index(&unseen), None);
     }
 
     #[test]
@@ -841,10 +1390,8 @@ mod tests {
     #[test]
     fn threaded_path_agrees_on_wide_frontiers() {
         // three independent bounded precedences: a 5×5×5 product space
-        // (125 states) whose BFS levels grow past MIN_PARALLEL_FRONTIER
-        // (level d holds the states with max coordinate d; d=2 already
-        // has 19), so multi-worker runs genuinely engage the thread
-        // pool instead of the inline small-frontier path
+        // (125 states) with BFS levels wide enough that multi-worker
+        // runs genuinely pipeline expansions across threads
         let mut u = Universe::new();
         let pairs: Vec<_> = (0..3)
             .map(|i| (u.event(&format!("a{i}")), u.event(&format!("b{i}"))))
@@ -859,6 +1406,24 @@ mod tests {
         assert_eq!(serial.state_count(), 125);
         for workers in [2, 4] {
             let parallel = explore(&spec, &ExploreOptions::default().with_workers(workers));
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn deep_narrow_chain_agrees_across_workers() {
+        // a single unbounded precedence discovers exactly one fresh
+        // state per level: the worst case for the async pipeline
+        // (pure dispatch → expand → fetch ping-pong, nothing to steal)
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("chain", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        let options = ExploreOptions::default().with_max_states(500);
+        let serial = explore(&spec, &options.clone().with_workers(1));
+        assert_eq!(serial.state_count(), 500);
+        for workers in [2, 4] {
+            let parallel = explore(&spec, &options.clone().with_workers(workers));
             assert_eq!(serial, parallel, "workers={workers}");
         }
     }
@@ -954,7 +1519,7 @@ mod tests {
             .collect();
         assert_eq!(seen, space.transitions().to_vec());
         assert!(recorder.deadlocks.is_empty());
-        // level barriers: depths strictly increasing, counts monotone
+        // level boundaries: depths strictly increasing, counts monotone
         assert!(recorder.levels.windows(2).all(|w| w[0].0 + 1 == w[1].0));
         assert_eq!(recorder.levels.last().unwrap().1, space.state_count());
     }
@@ -1090,5 +1655,100 @@ mod tests {
         let text = stats.to_string();
         assert!(text.contains("states=2"));
         assert!(text.contains("transitions=2"));
+    }
+
+    #[test]
+    fn interner_dedups_and_interleaves_shards() {
+        let interner = Interner::with_capacity(64);
+        let keys: Vec<StateKey> = (0..200)
+            .map(|i| StateKey::from_values([i, i * 31 + 7, -i]))
+            .collect();
+        let mut ids = Vec::new();
+        for key in &keys {
+            let (id, fresh) = interner.intern(key);
+            assert!(fresh, "first intern is fresh");
+            ids.push(id);
+        }
+        for (key, &id) in keys.iter().zip(&ids) {
+            let (again, fresh) = interner.intern(key);
+            assert!(!fresh, "re-intern is a hit");
+            assert_eq!(again, id, "ids are stable");
+            assert_eq!(&interner.key(id), key, "arena round-trips the key");
+        }
+        assert_eq!(interner.len(), keys.len());
+        assert!(interner.bucket_count() > 0);
+        // dense-ish ids: interleaving keeps the max id close to the count
+        let max = ids.iter().copied().max().unwrap() as usize;
+        assert!(max < keys.len() * INTERNER_SHARDS);
+        // ids decompose and recompose losslessly
+        for &id in &ids {
+            let (s, slot) = decompose_id(id);
+            assert_eq!(compose_id(s, slot), id);
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_value_sensitive() {
+        let a = StateKey::from_values([1, 2, 3]);
+        let b = StateKey::from_values([1, 2, 3]);
+        let c = StateKey::from_values([3, 2, 1]);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+        assert_ne!(
+            fingerprint(&StateKey::from_values([0])),
+            fingerprint(&StateKey::from_values([0, 0]))
+        );
+    }
+
+    #[test]
+    fn outgoing_adjacency_matches_transition_scan() {
+        let program = wide_grid();
+        let space = program.explore(&ExploreOptions::default().with_max_states(500));
+        for state in 0..space.state_count() {
+            let via_csr: Vec<_> = space.outgoing(state).collect();
+            let via_scan: Vec<_> = space
+                .transitions()
+                .iter()
+                .filter(|(s, _, _)| *s == state)
+                .collect();
+            assert_eq!(via_csr, via_scan, "state {state}");
+        }
+    }
+
+    #[test]
+    fn monitor_reports_counters_and_throughput() {
+        let program = wide_grid();
+        let monitor = ExploreMonitor::new();
+        let options = ExploreOptions::default()
+            .with_max_states(2_000)
+            .with_workers(2)
+            .with_monitor(&monitor);
+        let space = program.explore(&options);
+        let metrics = monitor.snapshot();
+        assert!(metrics.finished);
+        assert_eq!(metrics.states, space.state_count());
+        assert_eq!(metrics.transitions, space.transition_count());
+        assert_eq!(metrics.pending, 0, "pipeline drained");
+        assert!(metrics.peak_frontier >= 1);
+        assert!(
+            metrics.interned >= metrics.states,
+            "arena holds every state"
+        );
+        assert!(metrics.interner_occupancy() >= 1.0);
+        assert!(metrics.states_per_sec() > 0.0);
+        // the monitor is reusable: a second run re-arms it
+        let space2 = program.explore(&options);
+        assert_eq!(space, space2);
+        assert!(monitor.snapshot().finished);
+    }
+
+    #[test]
+    fn monitor_never_perturbs_the_space() {
+        let program = wide_grid();
+        let monitor = ExploreMonitor::new();
+        let options = ExploreOptions::default().with_max_states(1_500);
+        let bare = program.explore(&options);
+        let watched = program.explore(&options.clone().with_monitor(&monitor));
+        assert_eq!(bare, watched);
     }
 }

@@ -32,7 +32,7 @@
 //! metrics the paper's PAM study reports — breadth first, across
 //! [`ExploreOptions::workers`] threads, with a **byte-identical result
 //! for every worker count**. [`Program::explore_with`] additionally
-//! streams every absorbed transition, deadlock and level barrier to an
+//! streams every absorbed transition, deadlock and level boundary to an
 //! [`ExploreVisitor`] — in canonical order, worker-count-independent —
 //! which is the hook the `moccml-verify` crate checks temporal
 //! properties through on the fly, with deterministic early stop. The
@@ -107,11 +107,11 @@ pub use analysis::{
     dead_events, deadlock_witness, is_event_fireable, is_event_live, live_events, shortest_path_to,
     Witness,
 };
-pub use cursor::Cursor;
+pub use cursor::{Cursor, StateExpansion};
 pub use engine::{Engine, EngineBuilder, SimulationReport};
 pub use explorer::{
-    explore, ExploreOptions, ExploreVisitor, StateSpace, StateSpaceStats, VisitControl,
-    PROGRESS_INTERVAL,
+    explore, ExploreMetrics, ExploreMonitor, ExploreOptions, ExploreVisitor, StateSpace,
+    StateSpaceStats, VisitControl, PROGRESS_INTERVAL,
 };
 pub use export::{schedule_to_vcd, state_space_to_dot};
 pub use observer::{Metrics, MetricsObserver, Observer, VcdObserver};

@@ -241,10 +241,10 @@ impl Program {
     }
 
     /// Explores like [`explore`](Program::explore) while streaming every
-    /// absorbed transition, deadlock and level barrier to `visitor` —
+    /// absorbed transition, deadlock and level boundary to `visitor` —
     /// the on-the-fly hook `moccml-verify` checks properties through.
     /// The visitor runs in the canonical absorption order and can stop
-    /// the BFS at a level barrier; both the callback sequence and the
+    /// the BFS at a level boundary; both the callback sequence and the
     /// resulting (possibly early-stopped) [`StateSpace`] are identical
     /// for every [`ExploreOptions::workers`] count.
     #[must_use]
@@ -254,6 +254,24 @@ impl Program {
         visitor: &mut dyn crate::ExploreVisitor,
     ) -> StateSpace {
         explore_program(self, self.template_key.clone(), options, visitor)
+    }
+
+    /// Expands a batch of states on a fresh cursor — the one-shot form
+    /// of [`Cursor::expand_batch`](crate::Cursor::expand_batch), for
+    /// callers that do not keep a cursor around. The explorer's workers
+    /// use the cursor form directly (one persistent cursor per thread,
+    /// sharing this program's formula memo).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`](moccml_kernel::KernelError) if a key
+    /// does not match the constraint population.
+    pub fn expand_batch<'k>(
+        &self,
+        keys: impl IntoIterator<Item = &'k moccml_kernel::StateKey>,
+        solver: &crate::solver::SolverOptions,
+    ) -> Result<Vec<crate::cursor::StateExpansion>, moccml_kernel::KernelError> {
+        self.cursor().expand_batch(keys, solver)
     }
 
     /// The per-constraint event footprints, parallel to

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! moccml check       <spec.mcc> [--workers N] [--max-states N] [--max-depth N]
-//! moccml explore     <spec.mcc> [--workers N] [--max-states N] [--max-depth N]
+//! moccml explore     <spec.mcc> [--workers N] [--max-states N] [--max-depth N] [--stats]
 //! moccml simulate    <spec.mcc> [--steps N] [--policy P] [--seed N]
 //! moccml conformance <spec.mcc> <trace.txt>
 //! ```
@@ -56,6 +56,8 @@ options:
                   results are identical for every value)
   --max-states N  exploration bound (default 100000)
   --max-depth N   BFS depth bound (default: unbounded)
+  --stats         explore only: print throughput (states/sec, peak
+                  frontier, interner occupancy) after the metrics
   --steps N       simulation steps (default 20)
   --policy P      simulation policy: lexicographic | random |
                   max-parallel | min-serial | safe (default lexicographic)
@@ -104,7 +106,7 @@ fn try_run(args: &[String], out: &mut String) -> Result<i32, String> {
     let rest = &args[2..];
     match command.as_str() {
         "check" => Ok(check(&compiled, &explore_options(rest)?, out)),
-        "explore" => Ok(explore(&compiled, &explore_options(rest)?, out)),
+        "explore" => Ok(explore(&compiled, rest, &explore_options(rest)?, out)),
         "simulate" => simulate(&compiled, rest, out),
         "conformance" => {
             let Some(trace_path) = rest.first().filter(|a| !a.starts_with("--")) else {
@@ -219,8 +221,20 @@ fn check(compiled: &Compiled, options: &ExploreOptions, out: &mut String) -> i32
     }
 }
 
-fn explore(compiled: &Compiled, options: &ExploreOptions, out: &mut String) -> i32 {
-    let space = compiled.program.explore(options);
+fn explore(
+    compiled: &Compiled,
+    args: &[String],
+    options: &ExploreOptions,
+    out: &mut String,
+) -> i32 {
+    let stats = args.iter().any(|a| a == "--stats");
+    let monitor = moccml_engine::ExploreMonitor::new();
+    let options = if stats {
+        options.clone().with_monitor(&monitor)
+    } else {
+        options.clone()
+    };
+    let space = compiled.program.explore(&options);
     let _ = writeln!(out, "spec `{}`: {}", compiled.name, space.stats());
     let _ = writeln!(
         out,
@@ -230,6 +244,19 @@ fn explore(compiled: &Compiled, options: &ExploreOptions, out: &mut String) -> i
         space.count_schedules(4),
         space.count_schedules(8)
     );
+    if stats {
+        let m = monitor.snapshot();
+        let _ = writeln!(
+            out,
+            "throughput: {:.0} states/sec over {:.1} ms; peak frontier {}; \
+             interner: {} keys, occupancy {:.3}",
+            m.states_per_sec(),
+            m.elapsed.as_secs_f64() * 1_000.0,
+            m.peak_frontier,
+            m.interned,
+            m.interner_occupancy(),
+        );
+    }
     EXIT_OK
 }
 
@@ -371,6 +398,25 @@ mod tests {
         );
         assert!(out.contains("4 step(s)"), "{out}");
         assert!(out.contains("schedule: a ; b ; a ; b"), "{out}");
+    }
+
+    #[test]
+    fn explore_stats_prints_throughput() {
+        let path = write_temp("alt-stats.mcc", ALT);
+        let p = path.to_str().expect("utf8 path").to_owned();
+        let mut out = String::new();
+        assert_eq!(
+            run(&["explore".into(), p.clone(), "--stats".into()], &mut out),
+            EXIT_OK
+        );
+        assert!(out.contains("throughput:"), "{out}");
+        assert!(out.contains("states/sec"), "{out}");
+        assert!(out.contains("peak frontier"), "{out}");
+        assert!(out.contains("occupancy"), "{out}");
+        // without the flag the extra line stays out
+        let mut out = String::new();
+        assert_eq!(run(&["explore".into(), p], &mut out), EXIT_OK);
+        assert!(!out.contains("throughput:"), "{out}");
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::json::Json;
 use crate::ops;
 use crate::server;
 use crate::service::ServiceConfig;
-use moccml_engine::ExploreOptions;
+use moccml_engine::{ExploreMonitor, ExploreOptions};
 use std::fmt::Write as _;
 
 pub use moccml_lang::cli::{EXIT_ERROR, EXIT_OK, EXIT_VIOLATED};
@@ -37,6 +37,8 @@ service:
 formats:
   --format FMT check/explore/simulate/conformance output: text | json
                (default text; json prints one machine-readable object)
+  --stats      explore only: append throughput counters (states/sec,
+               peak frontier, interner occupancy) to the output
 ";
 
 /// Runs the CLI on `args` (without the program name), writing all
@@ -206,10 +208,19 @@ fn try_json(args: &[String], out: &mut String) -> Result<i32, String> {
             let violated = payload.get("violated").and_then(Json::as_bool) == Some(true);
             (payload, if violated { EXIT_VIOLATED } else { EXIT_OK })
         }
-        "explore" => (
-            ops::explore_json(&compiled, &explore_options(rest)?, &mut ops::no_progress()),
-            EXIT_OK,
-        ),
+        "explore" => {
+            let stats = rest.iter().any(|a| a == "--stats");
+            let monitor = ExploreMonitor::new();
+            let mut options = explore_options(rest)?;
+            if stats {
+                options = options.with_monitor(&monitor);
+            }
+            let mut payload = ops::explore_json(&compiled, &options, &mut ops::no_progress());
+            if stats {
+                payload = ops::with_metrics(payload, &monitor.snapshot());
+            }
+            (payload, EXIT_OK)
+        }
         "simulate" => {
             let steps = flag(rest, "--steps")?.unwrap_or(20);
             let seed = flag(rest, "--seed")?.unwrap_or(42) as u64;
@@ -299,6 +310,29 @@ mod tests {
             payload.get("verdict").and_then(Json::as_str),
             Some("violation")
         );
+    }
+
+    #[test]
+    fn json_explore_stats_appends_counters() {
+        let path = write_temp("alt-stats.mcc", ALT);
+        let (code, out) = run_args(&["explore", &path, "--stats", "--format", "json"]);
+        assert_eq!(code, EXIT_OK);
+        let payload = Json::parse(out.trim()).expect("JSON");
+        let stats = payload.get("stats").expect("stats member");
+        for key in [
+            "states_per_sec",
+            "elapsed_ms",
+            "peak_frontier",
+            "interned",
+            "interner_occupancy",
+        ] {
+            assert!(stats.get(key).is_some(), "missing {key} in {out}");
+        }
+        // without --stats the schema is unchanged
+        let (code, out) = run_args(&["explore", &path, "--format", "json"]);
+        assert_eq!(code, EXIT_OK);
+        let payload = Json::parse(out.trim()).expect("JSON");
+        assert!(payload.get("stats").is_none());
     }
 
     #[test]

@@ -104,7 +104,7 @@ impl ExploreVisitor for ProgressVisitor<'_, '_> {
     }
 
     fn on_level_end(&mut self, depth: usize, state_count: usize) -> VisitControl {
-        // level barriers are extra cancellation points: cheap, and
+        // level boundaries are extra cancellation points: cheap, and
         // they catch deep-but-narrow spaces between interval ticks
         (self.progress)(state_count, usize::MAX, depth)
     }
@@ -143,6 +143,41 @@ pub fn explore_json(
         ("truncated", Json::Bool(stats.truncated)),
         ("schedules", Json::Arr(schedules)),
     ])
+}
+
+/// JSON rendering of a throughput [`ExploreMetrics`](moccml_engine::ExploreMetrics) reading — the
+/// block `moccml explore --stats --format json` appends and `serve`
+/// progress events embed. Timing-dependent by nature, so it is opt-in
+/// and never part of a byte-compared result payload.
+#[must_use]
+pub fn metrics_json(metrics: &moccml_engine::ExploreMetrics) -> Json {
+    Json::obj([
+        ("states_per_sec", Json::Float(metrics.states_per_sec())),
+        (
+            "elapsed_ms",
+            Json::Float(metrics.elapsed.as_secs_f64() * 1_000.0),
+        ),
+        ("peak_frontier", Json::int(metrics.peak_frontier)),
+        ("interned", Json::int(metrics.interned)),
+        (
+            "interner_occupancy",
+            Json::Float(metrics.interner_occupancy()),
+        ),
+    ])
+}
+
+/// Appends a `stats` member (from [`metrics_json`]) to a result
+/// payload object — how the CLI's `--stats` flag decorates
+/// [`explore_json`] without perturbing the stats-less schema.
+#[must_use]
+pub fn with_metrics(payload: Json, metrics: &moccml_engine::ExploreMetrics) -> Json {
+    match payload {
+        Json::Obj(mut members) => {
+            members.push(("stats".to_owned(), metrics_json(metrics)));
+            Json::Obj(members)
+        }
+        other => other,
+    }
 }
 
 fn boxed_policy(name: &str, seed: u64) -> Result<Box<dyn Policy>, String> {

@@ -202,6 +202,36 @@ pub fn progress(id: &str, states: usize, transitions: usize, depth: usize) -> Js
     ])
 }
 
+/// [`progress`] extended with throughput counters from a live
+/// [`ExploreMonitor`](moccml_engine::ExploreMonitor) reading: the same
+/// numbers `moccml explore --stats` prints. The counters are
+/// best-effort (timing-dependent); the `states`/`transitions`/`depth`
+/// triple stays the canonical, deterministic one.
+#[must_use]
+pub fn progress_with(
+    id: &str,
+    states: usize,
+    transitions: usize,
+    depth: usize,
+    metrics: &moccml_engine::ExploreMetrics,
+) -> Json {
+    Json::obj([
+        ("event", Json::str("progress")),
+        ("id", Json::str(id)),
+        ("states", Json::int(states)),
+        ("transitions", Json::int(transitions)),
+        ("depth", Json::int(depth)),
+        ("states_per_sec", Json::Float(metrics.states_per_sec())),
+        ("pending", Json::int(metrics.pending)),
+        ("peak_frontier", Json::int(metrics.peak_frontier)),
+        ("interned", Json::int(metrics.interned)),
+        (
+            "interner_occupancy",
+            Json::Float(metrics.interner_occupancy()),
+        ),
+    ])
+}
+
 /// `result`: the job finished; `result` is an [`crate::ops`] object.
 #[must_use]
 pub fn result(id: &str, payload: Json) -> Json {
@@ -305,5 +335,23 @@ mod tests {
                 .and_then(Json::as_str),
             Some("check")
         );
+    }
+
+    #[test]
+    fn progress_with_carries_throughput_counters() {
+        let monitor = moccml_engine::ExploreMonitor::new();
+        let metrics = monitor.snapshot();
+        let event = progress_with("r1", 10, 20, 3, &metrics);
+        assert_eq!(event.get("event").and_then(Json::as_str), Some("progress"));
+        assert_eq!(event.get("states").and_then(Json::as_i64), Some(10));
+        for key in [
+            "states_per_sec",
+            "pending",
+            "peak_frontier",
+            "interned",
+            "interner_occupancy",
+        ] {
+            assert!(event.get(key).is_some(), "missing {key}");
+        }
     }
 }

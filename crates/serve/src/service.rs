@@ -535,7 +535,11 @@ fn execute(inner: &Arc<Inner>, request: &Request, sink: &Arc<dyn EventSink>) -> 
     };
     let config = &inner.config;
     let options = &request.options;
+    // live throughput counters for progress events; never part of the
+    // (byte-compared) result payload
+    let monitor = moccml_engine::ExploreMonitor::new();
     let explore_options = ExploreOptions::default()
+        .with_monitor(&monitor)
         .with_max_states(options.max_states.unwrap_or(100_000).min(config.max_states))
         .with_max_depth(
             options
@@ -568,11 +572,17 @@ fn execute(inner: &Arc<Inner>, request: &Request, sink: &Arc<dyn EventSink>) -> 
             interrupt = Some(Interrupt::TimedOut);
             return VisitControl::Stop;
         }
-        // transitions == usize::MAX marks a barrier-only checkpoint
+        // transitions == usize::MAX marks a boundary-only checkpoint
         // (cancellation point, nothing meaningful to report)
         if transitions != usize::MAX && last_emit.is_none_or(|t| t.elapsed() >= throttle) {
             last_emit = Some(Instant::now());
-            sink.emit(&protocol::progress(id, states, transitions, depth));
+            sink.emit(&protocol::progress_with(
+                id,
+                states,
+                transitions,
+                depth,
+                &monitor.snapshot(),
+            ));
         }
         VisitControl::Continue
     };

@@ -3,7 +3,7 @@
 //! [`check_props`] compiles each [`Prop`] into an observer monitor and
 //! runs them *inside* the explorer's canonicalization pass, through the
 //! [`ExploreVisitor`](moccml_engine::ExploreVisitor) hook: every
-//! absorbed transition, deadlock and level barrier is fed to the
+//! absorbed transition, deadlock and level boundary is fed to the
 //! monitors in canonical order, so the BFS terminates at the first
 //! violating level instead of materialising the full state-space — and
 //! does so **deterministically for every worker count**, because the
@@ -108,7 +108,7 @@ impl CheckReport {
 ///
 /// The explorer runs under `options` (bounds, solver, `workers` — the
 /// result is identical for every worker count) and stops at the first
-/// level barrier where at least one property is violated, or as soon
+/// level boundary where at least one property is violated, or as soon
 /// as every property is resolved. Properties left undecided by an
 /// early stop report [`PropStatus::Undetermined`].
 ///
@@ -149,7 +149,7 @@ pub fn check_props(program: &Program, props: &[Prop], options: &ExploreOptions) 
 /// A streaming progress callback for [`check_props_observed`]: called
 /// with `(states, transitions, depth)` at every explorer checkpoint —
 /// once per [`PROGRESS_INTERVAL`](moccml_engine::PROGRESS_INTERVAL)
-/// absorbed transitions and once per level barrier. Returning
+/// absorbed transitions and once per level boundary. Returning
 /// [`VisitControl::Stop`] aborts the check cooperatively: the report
 /// comes back with [`PropStatus::Undetermined`] for every property the
 /// absorbed prefix had not already decided.
@@ -544,7 +544,7 @@ enum EvOutcome {
 /// satisfies `pred`; `levels[j]` records, for every member of S_j, the
 /// predecessor link that discovered it (for witness reconstruction).
 /// S_{d+1} only needs the outgoing edges of S_d's members — all of BFS
-/// depth ≤ d, hence fully absorbed by the level-`d` barrier — so the
+/// depth ≤ d, hence fully absorbed by the level-`d` boundary — so the
 /// propagation runs level-synchronized with the exploration itself.
 struct Eventually {
     pred: StepPred,
@@ -573,9 +573,9 @@ impl Eventually {
         ev
     }
 
-    /// Called at the barrier that just absorbed level `depth` — all
+    /// Called at the boundary that just absorbed level `depth` — all
     /// outgoing edges of states at BFS depth ≤ `depth` are now known.
-    fn at_barrier(&mut self, depth: usize, shared: &Shared) {
+    fn at_boundary(&mut self, depth: usize, shared: &Shared) {
         if self.outcome.is_some() || self.depth != depth {
             return;
         }
@@ -656,7 +656,7 @@ impl Eventually {
 
 /// The [`ExploreVisitor`] wiring the monitors into the explorer; the
 /// optional progress callback is consulted at every checkpoint and at
-/// every level barrier, so a service can stream progress and cancel a
+/// every level boundary, so a service can stream progress and cancel a
 /// check cooperatively.
 struct CheckVisitor<'a> {
     monitors: Vec<Monitor>,
@@ -695,7 +695,7 @@ impl ExploreVisitor for CheckVisitor<'_> {
     fn on_level_end(&mut self, depth: usize, state_count: usize) -> VisitControl {
         for m in &mut self.monitors {
             if let Monitor::Eventually(ev) = m {
-                ev.at_barrier(depth, &self.shared);
+                ev.at_boundary(depth, &self.shared);
             }
         }
         let any_violated = self.monitors.iter().any(Monitor::violated);
@@ -703,7 +703,7 @@ impl ExploreVisitor for CheckVisitor<'_> {
         if any_violated || all_resolved {
             return VisitControl::Stop;
         }
-        // barriers double as cancellation points: small levels may
+        // boundaries double as cancellation points: small levels may
         // never reach a transition-count checkpoint
         match &mut self.progress {
             Some(f) => f(state_count, self.shared.transitions, depth),
@@ -757,7 +757,7 @@ mod tests {
         assert_eq!(observed, plain, "the callback must not change the verdict");
         assert!(
             !calls.is_empty(),
-            "level barriers report progress even on tiny spaces"
+            "level boundaries report progress even on tiny spaces"
         );
     }
 

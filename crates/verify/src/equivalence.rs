@@ -12,7 +12,7 @@
 //! positioned and their acceptable-step sets enumerated over the union
 //! of their constrained events; the first mismatch (in canonical absorption
 //! order, identical for every worker count) stops the exploration at
-//! its level barrier and comes back as a shortest distinguishing
+//! its level boundary and comes back as a shortest distinguishing
 //! schedule. [`check_refinement`] is the one-sided variant (every
 //! schedule of the left program is a schedule of the right).
 
@@ -221,7 +221,7 @@ enum Mode {
 /// per product state, derived by firing the absorbed step on both
 /// side cursors) and difference-checks every freshly discovered pair
 /// in canonical absorption order. The first mismatch stops the BFS at
-/// its level barrier — the same deterministic early-stop contract the
+/// its level boundary — the same deterministic early-stop contract the
 /// property checker uses, so the returned [`Distinguisher`] is
 /// identical for every worker count.
 struct ProductVisitor<'a> {

@@ -1,0 +1,273 @@
+//! Property-based determinism of the *asynchronous* work-stealing
+//! explorer (ISSUE 8): with speculative expansion and canonical
+//! replay, `explore` must remain a pure function of the specification
+//! — not of the worker count, the steal schedule, or the wall clock.
+//!
+//! Pinned here, for workers ∈ {1, 2, 8} on random CCSL specifications:
+//!
+//! * **mid-run `VisitControl::Stop`** — stopping at a random level
+//!   boundary or a random mid-level progress checkpoint yields a
+//!   byte-identical truncated `StateSpace` *and* an identical visitor
+//!   callback sequence for every worker count;
+//! * **combined truncation** — `max_states` and `max_depth` applied
+//!   together (the two bounds interact: whichever bites first must
+//!   bite identically);
+//! * **verify counterexamples** — `verify::check_props` returns
+//!   byte-identical reports (statuses, `Counterexample` schedules,
+//!   visited counts) for every worker count, *including truncated
+//!   runs* where which violations are even reachable depends on the
+//!   exact absorption order.
+//!
+//! Complements `tests/explore_parallel.rs` (full/`max_states`/
+//! `max_depth` space identity), which predates the async frontier and
+//! keeps guarding the same surface.
+//!
+//! Runs on the deterministic in-repo `moccml-testkit` harness;
+//! failures report a replayable case seed.
+
+use moccml_engine::{ExploreOptions, ExploreVisitor, Program, StateSpace, VisitControl};
+use moccml_kernel::Step;
+use moccml_testkit::{cases, prop_assert, prop_assert_eq, TestRng};
+use moccml_verify::{check_props, Prop};
+use std::sync::Arc;
+
+mod common;
+use common::{build, random_recipe};
+
+const CASES: usize = 56;
+const WORKERS: [usize; 3] = [1, 2, 8];
+
+/// One visitor callback, recorded verbatim — the cross-worker identity
+/// surface is the *entire* event sequence, not just the final space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Event {
+    Transition(usize, Step, usize, usize),
+    Deadlock(usize, usize),
+    Dropped(usize),
+    LevelEnd(usize, usize),
+    Progress(usize, usize, usize),
+}
+
+/// Records every callback and stops — deterministically — after a
+/// fixed number of level boundaries and/or progress checkpoints.
+struct StoppingRecorder {
+    events: Vec<Event>,
+    levels_left: Option<usize>,
+    checkpoints_left: Option<usize>,
+}
+
+impl StoppingRecorder {
+    fn new(levels_left: Option<usize>, checkpoints_left: Option<usize>) -> Self {
+        StoppingRecorder {
+            events: Vec::new(),
+            levels_left,
+            checkpoints_left,
+        }
+    }
+}
+
+impl ExploreVisitor for StoppingRecorder {
+    fn on_transition(&mut self, source: usize, step: &Step, target: usize, depth: usize) {
+        self.events
+            .push(Event::Transition(source, step.clone(), target, depth));
+    }
+    fn on_deadlock(&mut self, state: usize, depth: usize) {
+        self.events.push(Event::Deadlock(state, depth));
+    }
+    fn on_states_dropped(&mut self, depth: usize) {
+        self.events.push(Event::Dropped(depth));
+    }
+    fn on_level_end(&mut self, depth: usize, state_count: usize) -> VisitControl {
+        self.events.push(Event::LevelEnd(depth, state_count));
+        match self.levels_left.as_mut() {
+            Some(0) => VisitControl::Stop,
+            Some(n) => {
+                *n -= 1;
+                VisitControl::Continue
+            }
+            None => VisitControl::Continue,
+        }
+    }
+    fn on_progress(&mut self, states: usize, transitions: usize, depth: usize) -> VisitControl {
+        self.events
+            .push(Event::Progress(states, transitions, depth));
+        match self.checkpoints_left.as_mut() {
+            Some(0) => VisitControl::Stop,
+            Some(n) => {
+                *n -= 1;
+                VisitControl::Continue
+            }
+            None => VisitControl::Continue,
+        }
+    }
+}
+
+fn assert_identical(serial: &StateSpace, parallel: &StateSpace, ctx: &str) -> Result<(), String> {
+    prop_assert_eq!(serial.states(), parallel.states(), "states: {ctx}");
+    prop_assert_eq!(
+        serial.transitions(),
+        parallel.transitions(),
+        "transitions: {ctx}"
+    );
+    prop_assert_eq!(serial.deadlocks(), parallel.deadlocks(), "deadlocks: {ctx}");
+    prop_assert_eq!(serial.truncated(), parallel.truncated(), "truncated: {ctx}");
+    prop_assert!(serial == parallel, "PartialEq must agree: {ctx}");
+    Ok(())
+}
+
+/// Stopping at a random level boundary is identical — space *and*
+/// callback sequence — for every worker count, even though workers may
+/// already be expanding deeper states speculatively when the stop
+/// lands.
+#[test]
+fn mid_run_level_stop_agrees_across_workers() {
+    cases(CASES).run("mid_run_level_stop_agrees_across_workers", |rng| {
+        let recipes = rng.vec_of(2..6, random_recipe);
+        let spec = build(&recipes);
+        let program = Program::compile(&spec);
+        let stop_after = rng.usize_in(0..4);
+        let base = ExploreOptions::default().with_max_states(3_000);
+        let mut serial_rec = StoppingRecorder::new(Some(stop_after), None);
+        let serial = program.explore_with(&base.clone().with_workers(WORKERS[0]), &mut serial_rec);
+        for &workers in &WORKERS[1..] {
+            let mut rec = StoppingRecorder::new(Some(stop_after), None);
+            let space = program.explore_with(&base.clone().with_workers(workers), &mut rec);
+            let ctx = format!("workers={workers}, stop_after={stop_after}, recipes {recipes:?}");
+            assert_identical(&serial, &space, &ctx)?;
+            prop_assert_eq!(&serial_rec.events, &rec.events, "callback sequence: {ctx}");
+        }
+        Ok(())
+    });
+}
+
+/// Stopping at a random mid-level progress checkpoint — the
+/// cancellation epoch — is identical for every worker count.
+#[test]
+fn mid_run_progress_stop_agrees_across_workers() {
+    cases(CASES).run("mid_run_progress_stop_agrees_across_workers", |rng| {
+        // several stateful constraints so most draws exceed one
+        // PROGRESS_INTERVAL worth of transitions
+        let recipes = rng.vec_of(3..7, random_recipe);
+        let spec = build(&recipes);
+        let program = Program::compile(&spec);
+        let stop_after = rng.usize_in(0..3);
+        let base = ExploreOptions::default().with_max_states(5_000);
+        let mut serial_rec = StoppingRecorder::new(None, Some(stop_after));
+        let serial = program.explore_with(&base.clone().with_workers(WORKERS[0]), &mut serial_rec);
+        for &workers in &WORKERS[1..] {
+            let mut rec = StoppingRecorder::new(None, Some(stop_after));
+            let space = program.explore_with(&base.clone().with_workers(workers), &mut rec);
+            let ctx = format!("workers={workers}, stop_after={stop_after}, recipes {recipes:?}");
+            assert_identical(&serial, &space, &ctx)?;
+            prop_assert_eq!(&serial_rec.events, &rec.events, "callback sequence: {ctx}");
+        }
+        Ok(())
+    });
+}
+
+/// `max_states` and `max_depth` applied *together* truncate
+/// identically for every worker count (each bound alone is covered by
+/// `tests/explore_parallel.rs`; their interaction is pinned here).
+#[test]
+fn combined_truncation_agrees_across_workers() {
+    cases(CASES).run("combined_truncation_agrees_across_workers", |rng| {
+        let recipes = rng.vec_of(2..6, random_recipe);
+        let spec = build(&recipes);
+        let program = Program::compile(&spec);
+        let max_states = rng.usize_in(1..60);
+        let max_depth = rng.usize_in(0..6);
+        let base = ExploreOptions::default()
+            .with_max_states(max_states)
+            .with_max_depth(max_depth);
+        let serial = program.explore(&base.clone().with_workers(WORKERS[0]));
+        prop_assert!(serial.state_count() <= max_states);
+        for &workers in &WORKERS[1..] {
+            let parallel = program.explore(&base.clone().with_workers(workers));
+            assert_identical(
+                &serial,
+                &parallel,
+                &format!(
+                    "workers={workers}, max_states={max_states}, \
+                     max_depth={max_depth}, recipes {recipes:?}"
+                ),
+            )?;
+        }
+        Ok(())
+    });
+}
+
+fn random_pred(rng: &mut TestRng) -> moccml_kernel::StepPred {
+    use moccml_kernel::{EventId, StepPred};
+    let e = |rng: &mut TestRng| EventId::from_index(rng.usize_in(0..5));
+    match rng.u8_in(0..4) {
+        0 => StepPred::fired(e(rng)),
+        1 => StepPred::excludes(e(rng), e(rng)),
+        2 => StepPred::implies(e(rng), e(rng)),
+        _ => StepPred::negate(StepPred::fired(e(rng))),
+    }
+}
+
+fn random_prop(rng: &mut TestRng) -> Prop {
+    match rng.u8_in(0..5) {
+        0 | 1 => Prop::Never(random_pred(rng)),
+        2 => Prop::Always(random_pred(rng)),
+        3 => Prop::EventuallyWithin(random_pred(rng), rng.usize_in(1..5)),
+        _ => Prop::DeadlockFree,
+    }
+}
+
+/// `verify::check_props` — statuses, counterexample schedules and
+/// visited counts — is byte-identical for every worker count, on
+/// *truncated* explorations where which states get interned at the
+/// bound depends on the exact absorption order.
+#[test]
+fn truncated_check_reports_agree_across_workers() {
+    cases(CASES).run("truncated_check_reports_agree_across_workers", |rng| {
+        let recipes = rng.vec_of(2..6, random_recipe);
+        let spec = build(&recipes);
+        let program = Arc::new(Program::compile(&spec));
+        let props: Vec<Prop> = rng.vec_of(1..4, random_prop);
+        let max_states = rng.usize_in(1..120);
+        let base = ExploreOptions::default().with_max_states(max_states);
+        let serial = check_props(&program, &props, &base.clone().with_workers(WORKERS[0]));
+        for &workers in &WORKERS[1..] {
+            let parallel = check_props(&program, &props, &base.clone().with_workers(workers));
+            let ctx = format!(
+                "workers={workers}, max_states={max_states}, props {props:?}, \
+                 recipes {recipes:?}"
+            );
+            prop_assert_eq!(&serial.statuses, &parallel.statuses, "statuses: {ctx}");
+            prop_assert_eq!(
+                serial.states_visited,
+                parallel.states_visited,
+                "states_visited: {ctx}"
+            );
+            prop_assert_eq!(
+                serial.transitions_visited,
+                parallel.transitions_visited,
+                "transitions_visited: {ctx}"
+            );
+            prop_assert_eq!(serial.completed, parallel.completed, "completed: {ctx}");
+            prop_assert!(
+                serial == parallel,
+                "CheckReport PartialEq must agree: {ctx}"
+            );
+        }
+        // every counterexample that did come back re-validates
+        for (i, ce) in serial
+            .statuses
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                moccml_verify::PropStatus::Violated(ce) => Some((i, ce)),
+                _ => None,
+            })
+        {
+            prop_assert!(
+                ce.replays_on(&program),
+                "counterexample for prop {i} must replay: recipes {recipes:?}"
+            );
+        }
+        Ok(())
+    });
+}
