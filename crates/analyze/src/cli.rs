@@ -17,6 +17,7 @@
 //! of [`render_json`] and nothing else.
 
 use crate::diagnostic::{render_json, render_text, Diagnostic, Severity};
+use moccml_obs::Recorder;
 use std::fmt::Write as _;
 
 pub use moccml_lang::cli::{EXIT_ERROR, EXIT_OK, EXIT_VIOLATED};
@@ -36,10 +37,19 @@ options:
 /// `--help`, whose usage text advertises `lint` too — falls through to
 /// the frontend CLI.
 pub fn run(args: &[String], out: &mut String) -> i32 {
+    run_with(args, out, &Recorder::disabled())
+}
+
+/// [`run`] with an observability [`Recorder`]: `lint` opens a `lint`
+/// span around the analysis, everything else delegates to
+/// [`moccml_lang::cli::run_with`] so the frontend phases
+/// (`parse`/`compile`/`check`/…) record under the same handle. Output
+/// is byte-identical with recording on or off.
+pub fn run_with(args: &[String], out: &mut String, recorder: &Recorder) -> i32 {
     if args.first().map(String::as_str) != Some("lint") {
-        return moccml_lang::cli::run(args, out);
+        return moccml_lang::cli::run_with(args, out, recorder);
     }
-    match try_lint(&args[1..], out) {
+    match try_lint(&args[1..], out, recorder) {
         Ok(code) => code,
         Err(message) => {
             let _ = writeln!(out, "error: {message}");
@@ -48,7 +58,7 @@ pub fn run(args: &[String], out: &mut String) -> i32 {
     }
 }
 
-fn try_lint(args: &[String], out: &mut String) -> Result<i32, String> {
+fn try_lint(args: &[String], out: &mut String, recorder: &Recorder) -> Result<i32, String> {
     let Some(spec_path) = args.first().filter(|a| !a.starts_with("--")) else {
         return Err(format!("missing <spec.mcc> path\n{LINT_USAGE}"));
     };
@@ -78,10 +88,13 @@ fn try_lint(args: &[String], out: &mut String) -> Result<i32, String> {
     };
     let source = std::fs::read_to_string(spec_path)
         .map_err(|e| format!("cannot read `{spec_path}`: {e}"))?;
-    let diagnostics = crate::analyze_str(&source).map_err(|e| {
-        let (line, column) = e.position();
-        format!("{spec_path}:{line}:{column}: {e}")
-    })?;
+    let diagnostics = {
+        let _span = recorder.span("lint");
+        crate::analyze_str(&source).map_err(|e| {
+            let (line, column) = e.position();
+            format!("{spec_path}:{line}:{column}: {e}")
+        })?
+    };
     let errors = count(&diagnostics, Severity::Error);
     let warnings = count(&diagnostics, Severity::Warn);
     match format {

@@ -1,0 +1,95 @@
+//! E10 bench target — observability overhead on the seeded PAM
+//! quad-core check ([`e8_seeded_local_pam`] at 4 workers): the same
+//! `check_props` run measured three ways — no recorder field touched
+//! (the default), an explicitly-constructed disabled [`Recorder`], and
+//! a fully enabled recorder draining into a snapshot.
+//!
+//! The acceptance claim is *asserted*, not footnoted: the disabled
+//! recorder is the same `None`-pointer fast path as the default, so
+//! its best-case time must stay within 5% of the baseline's (plus a
+//! small absolute floor so sub-millisecond jitter on loaded CI hosts
+//! cannot fail an honest run). The enabled row is reported for the
+//! record but unconstrained — paying for observation is allowed, just
+//! never by default.
+//!
+//! Runs on the in-repo `Instant`-based harness (criterion is not
+//! fetchable offline); emits `BENCH_obs.json` at the workspace root.
+
+use moccml_bench::experiments::e8_seeded_local_pam;
+use moccml_bench::harness::BenchGroup;
+use moccml_bench::report::BenchRecord;
+use moccml_engine::{ExploreOptions, Program};
+use moccml_obs::Recorder;
+use moccml_verify::check_props;
+use std::hint::black_box;
+
+const WORKERS: usize = 4;
+
+fn main() {
+    let (spec, prop) = e8_seeded_local_pam();
+    let program = Program::compile(&spec);
+    let props = std::slice::from_ref(&prop);
+    let base = ExploreOptions::default().with_workers(WORKERS);
+
+    // Non-perturbation gate before any timing: all three variants must
+    // produce the identical report.
+    let plain = check_props(&program, props, &base);
+    let off = check_props(
+        &program,
+        props,
+        &base.clone().with_recorder(&Recorder::disabled()),
+    );
+    let recorder = Recorder::new();
+    let on = check_props(&program, props, &base.clone().with_recorder(&recorder));
+    assert!(plain.any_violated(), "the seeded property is violated");
+    assert_eq!(plain, off, "a disabled recorder perturbed the verdict");
+    assert_eq!(plain, on, "an enabled recorder perturbed the verdict");
+    assert!(
+        recorder.snapshot().counter_sum("explore_expansions_w") > 0,
+        "the enabled run must actually record expansions"
+    );
+
+    let mut group = BenchGroup::new("obs").with_iters(20).with_warmup(2);
+    group.bench("check/pam_quad/no_recorder", || {
+        check_props(black_box(&program), props, &base)
+    });
+    group.bench("check/pam_quad/recorder_disabled", || {
+        let options = base.clone().with_recorder(&Recorder::disabled());
+        check_props(black_box(&program), props, &options)
+    });
+    group.bench("check/pam_quad/recorder_enabled", || {
+        let recorder = Recorder::new();
+        let options = base.clone().with_recorder(&recorder);
+        let report = check_props(black_box(&program), props, &options);
+        (report, recorder.snapshot().counters.len())
+    });
+    assert_overhead(&group.finish());
+}
+
+/// The in-bench acceptance assertion: the disabled-recorder path must
+/// cost the same as never mentioning a recorder at all. Compared on
+/// `min_ns` (the least scheduler-noise-sensitive statistic) with a 5%
+/// relative budget and a 200µs absolute floor for sub-millisecond
+/// workloads on loaded hosts.
+fn assert_overhead(records: &[BenchRecord]) {
+    let min = |suffix: &str| {
+        records
+            .iter()
+            .find(|r| r.name.ends_with(suffix))
+            .unwrap_or_else(|| panic!("record {suffix} measured"))
+            .min_ns
+    };
+    let baseline = min("no_recorder");
+    let disabled = min("recorder_disabled");
+    let budget = (baseline + baseline / 20).max(baseline + 200_000);
+    assert!(
+        disabled <= budget,
+        "disabled-recorder check ({disabled} ns) exceeded the 5% \
+         overhead budget over the bare baseline ({baseline} ns)"
+    );
+    println!();
+    println!(
+        "overhead gate: disabled {disabled} ns <= budget {budget} ns \
+         (baseline {baseline} ns + max(5%, 200us))"
+    );
+}

@@ -1,0 +1,105 @@
+//! E10 — observability non-perturbation smoke: one run of the seeded
+//! PAM quad-core check ([`e8_seeded_local_pam`]) per worker count,
+//! each executed three times — bare, disabled recorder, enabled
+//! recorder — with the verdict, the visited-state effort and the full
+//! `StateSpace` asserted identical across all three. The enabled run's
+//! recorded totals are printed alongside so the observation itself is
+//! visible in the same table that proves it changed nothing.
+//!
+//! CI-smokeable single-shot version of the `BENCH_obs.json` bench:
+//!
+//! ```text
+//! exp_e10_obs_overhead --workers 4
+//! ```
+//!
+//! Flags:
+//!
+//! * `--workers N` — highest worker count to run (default 4; every
+//!   power of two up to `N` is run, always including the serial
+//!   baseline).
+
+use moccml_bench::experiments::{e8_seeded_local_pam, parse_flag, table_header, table_row};
+use moccml_engine::{ExploreOptions, Program};
+use moccml_obs::Recorder;
+use moccml_verify::check_props;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let max_workers = parse_flag(&args, "--workers").unwrap_or(4).max(1);
+    let mut worker_counts = vec![1];
+    while *worker_counts.last().expect("non-empty") * 2 <= max_workers {
+        worker_counts.push(worker_counts.last().expect("non-empty") * 2);
+    }
+    if *worker_counts.last().expect("non-empty") != max_workers {
+        worker_counts.push(max_workers);
+    }
+
+    let (spec, prop) = e8_seeded_local_pam();
+    let program = Program::compile(&spec);
+    let props = std::slice::from_ref(&prop);
+
+    println!("# E10 — observability non-perturbation on the seeded PAM check");
+    println!();
+    table_header(&[
+        "workers",
+        "violated",
+        "states visited",
+        "recorded expansions",
+        "recorded spans",
+        "identical off/on",
+    ]);
+
+    for &workers in &worker_counts {
+        let base = ExploreOptions::default().with_workers(workers);
+
+        let bare = check_props(&program, props, &base);
+        let off = check_props(
+            &program,
+            props,
+            &base.clone().with_recorder(&Recorder::disabled()),
+        );
+        let recorder = Recorder::new();
+        let on = {
+            let _span = recorder.span("check");
+            check_props(&program, props, &base.clone().with_recorder(&recorder))
+        };
+        let identical = bare == off && bare == on;
+
+        // the StateSpace itself must also be byte-identical on/on:
+        // verdict equality alone would miss a recorder that reorders
+        // absorption
+        let space_off = program.explore(&base);
+        let on_recorder = Recorder::new();
+        let space_on = program.explore(&base.clone().with_recorder(&on_recorder));
+        let spaces_identical = space_off == space_on;
+
+        let snapshot = recorder.snapshot();
+        table_row(&[
+            workers.to_string(),
+            bare.any_violated().to_string(),
+            bare.states_visited.to_string(),
+            snapshot.counter_sum("explore_expansions_w").to_string(),
+            snapshot.spans.len().to_string(),
+            (identical && spaces_identical).to_string(),
+        ]);
+        assert!(
+            identical,
+            "workers={workers}: the recorder perturbed the check verdict — \
+             the non-perturbation contract is broken"
+        );
+        assert!(
+            spaces_identical,
+            "workers={workers}: the recorder perturbed the StateSpace — \
+             the non-perturbation contract is broken"
+        );
+        assert!(
+            snapshot.counter_sum("explore_expansions_w") > 0,
+            "workers={workers}: the enabled recorder saw no expansions"
+        );
+    }
+
+    println!();
+    println!("Every row must be identical with the recorder off and on: the");
+    println!("recorder only counts what the explorer does, it never changes");
+    println!("what the explorer does.");
+}

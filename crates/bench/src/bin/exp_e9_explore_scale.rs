@@ -23,7 +23,7 @@
 //!   reachable space is `(N + 1)³`).
 
 use moccml_bench::experiments::{e9_scale_spec, parse_flag, table_header, table_row};
-use moccml_engine::{ExploreOptions, Program, StateSpace};
+use moccml_engine::{ExploreMonitor, ExploreOptions, Program, StateSpace};
 use std::time::Instant;
 
 fn main() {
@@ -62,11 +62,16 @@ fn main() {
 
     let mut serial: Option<StateSpace> = None;
     for &workers in &worker_counts {
+        // throughput comes from the monitor, whose clock freezes at the
+        // exploration's terminal record — the outer wall-clock (printed
+        // alongside) also pays for pool teardown and arena moves, which
+        // used to deflate the states/sec figure at high worker counts
+        let monitor = ExploreMonitor::new();
         let start = Instant::now();
-        let space = program.explore(&base.clone().with_workers(workers));
+        let space = program.explore(&base.clone().with_workers(workers).with_monitor(&monitor));
         let elapsed = start.elapsed();
         let identical = serial.as_ref().is_none_or(|s| *s == space);
-        let rate = space.state_count() as f64 / elapsed.as_secs_f64();
+        let rate = monitor.snapshot().states_per_sec();
         table_row(&[
             workers.to_string(),
             space.state_count().to_string(),

@@ -66,6 +66,8 @@ pub struct Cursor {
     program: Arc<Program>,
     spec: Specification,
     slots: Vec<Slot>,
+    memo_hits: u64,
+    memo_misses: u64,
 }
 
 impl Cursor {
@@ -84,7 +86,25 @@ impl Cursor {
             program,
             spec,
             slots,
+            memo_hits: 0,
+            memo_misses: 0,
         }
+    }
+
+    /// L1 cache hits across all slot refreshes: `(constraint, state)`
+    /// pairs this cursor had already met, resolved without touching
+    /// the program's shared memo. Plain per-cursor tallies — no
+    /// atomics — read by the explorer's memo-hit-rate counters.
+    #[must_use]
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
+    }
+
+    /// L1 cache misses: refreshes that went to the shared memo (and
+    /// possibly lowered a formula program-wide first).
+    #[must_use]
+    pub fn memo_misses(&self) -> u64 {
+        self.memo_misses
     }
 
     /// The program this cursor executes.
@@ -168,11 +188,17 @@ impl Cursor {
             program,
             spec,
             slots,
+            memo_hits,
+            memo_misses,
         } = self;
         let footprints = program.footprints();
         for (i, (slot, c)) in slots.iter_mut().zip(spec.constraints()).enumerate() {
             if !footprints[i].is_disjoint_from(step) {
-                refresh(program, i, slot, c.as_ref());
+                tally(
+                    refresh(program, i, slot, c.as_ref()),
+                    memo_hits,
+                    memo_misses,
+                );
             }
         }
         Ok(())
@@ -284,10 +310,27 @@ impl Cursor {
             program,
             spec,
             slots,
+            memo_hits,
+            memo_misses,
         } = self;
         for (i, (slot, c)) in slots.iter_mut().zip(spec.constraints()).enumerate() {
-            refresh(program, i, slot, c.as_ref());
+            tally(
+                refresh(program, i, slot, c.as_ref()),
+                memo_hits,
+                memo_misses,
+            );
         }
+    }
+}
+
+/// Folds one refresh outcome into the cursor's memo tallies (`None`
+/// means the slot was already current — no cache was consulted).
+#[inline]
+fn tally(outcome: Option<bool>, hits: &mut u64, misses: &mut u64) {
+    match outcome {
+        Some(true) => *hits += 1,
+        Some(false) => *misses += 1,
+        None => {}
     }
 }
 
@@ -328,22 +371,30 @@ impl StateExpansion {
 
 /// Brings `slot` up to date with `c`'s current state, lowering the
 /// formula only on the program-wide first visit of that state.
-fn refresh(program: &Program, index: usize, slot: &mut Slot, c: &dyn moccml_kernel::Constraint) {
+/// Returns `Some(true)` on an L1 hit, `Some(false)` when the shared
+/// memo had to be consulted, and `None` when the slot was current.
+fn refresh(
+    program: &Program,
+    index: usize,
+    slot: &mut Slot,
+    c: &dyn moccml_kernel::Constraint,
+) -> Option<bool> {
     let key = c.state_key();
     if key == slot.key {
-        return;
+        return None;
     }
-    let formula = if let Some(f) = slot.l1.get(&key) {
-        Arc::clone(f)
+    let (formula, hit) = if let Some(f) = slot.l1.get(&key) {
+        (Arc::clone(f), true)
     } else {
         let f = program
             .memo()
             .get_or_insert(index, &key, || c.current_formula().simplify());
         slot.l1.insert(key.clone(), Arc::clone(&f));
-        f
+        (f, false)
     };
     slot.formula = formula;
     slot.key = key;
+    Some(hit)
 }
 
 #[cfg(test)]
@@ -408,6 +459,20 @@ mod tests {
             cursor.fire(&Step::from_events([a])).expect("fires");
         }
         assert_eq!(program.cached_formula_count(), after_cycle);
+    }
+
+    #[test]
+    fn memo_counters_track_l1_hits_and_misses() {
+        let (spec, a, b) = alternating();
+        let program = Program::new(spec);
+        let mut cursor = program.cursor();
+        assert_eq!((cursor.memo_hits(), cursor.memo_misses()), (0, 0));
+        cursor.fire(&Step::from_events([a])).expect("fires");
+        // first visit of the post-`a` state: the L1 misses
+        assert_eq!(cursor.memo_misses(), 1);
+        cursor.fire(&Step::from_events([b])).expect("fires");
+        // back to the initial state, which seeded the L1
+        assert_eq!(cursor.memo_hits(), 1);
     }
 
     #[test]

@@ -63,6 +63,7 @@ use crate::cursor::Cursor;
 use crate::program::Program;
 use crate::solver::SolverOptions;
 use moccml_kernel::{StateKey, Step};
+use moccml_obs::{Counter, Gauge, Recorder};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -96,6 +97,17 @@ pub struct ExploreOptions {
     /// result or any [`ExploreVisitor`] callback (its readings are
     /// timing-dependent, the graph is not).
     pub monitor: Option<ExploreMonitor>,
+    /// Opt-in observability recorder (disabled by default). When
+    /// enabled, the explorer opens an `explore` span and maintains
+    /// per-worker expansion/steal/batch counters, interner occupancy
+    /// gauges, the replay-cache peak depth and the cursor memo hit
+    /// rate — all through lock-free [`Counter`]/[`Gauge`] handles
+    /// registered on the cold path. Like the monitor, the recorder is
+    /// observationally inert: nothing it collects feeds back into the
+    /// exploration, so the [`StateSpace`], every visitor callback and
+    /// the truncation behaviour are byte-identical with recording on
+    /// or off (pinned by the `obs_properties` suite).
+    pub recorder: Recorder,
 }
 
 impl Default for ExploreOptions {
@@ -108,6 +120,7 @@ impl Default for ExploreOptions {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
             monitor: None,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -148,6 +161,15 @@ impl ExploreOptions {
     #[must_use]
     pub fn with_monitor(mut self, monitor: &ExploreMonitor) -> Self {
         self.monitor = Some(monitor.clone());
+        self
+    }
+
+    /// Attaches an observability recorder (builder style). Pass an
+    /// enabled [`Recorder`] to collect spans and counters; the default
+    /// disabled recorder makes every instrumentation point a no-op.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: &Recorder) -> Self {
+        self.recorder = recorder.clone();
         self
     }
 }
@@ -269,6 +291,7 @@ struct MonitorInner {
     interned: AtomicUsize,
     buckets: AtomicUsize,
     finished: AtomicBool,
+    elapsed_frozen: AtomicBool,
     elapsed_ns: AtomicU64,
     start: Mutex<Option<Instant>>,
 }
@@ -281,13 +304,15 @@ impl ExploreMonitor {
     }
 
     /// Current counters. During a run `elapsed` is the wall-clock time
-    /// since the exploration started; afterwards it is frozen at the
-    /// total duration.
+    /// since the exploration started; once the replay absorbs its
+    /// terminal record the clock freezes at that duration, so finished
+    /// readings (and [`ExploreMetrics::states_per_sec`]) never include
+    /// worker-pool teardown or arena moves.
     #[must_use]
     pub fn snapshot(&self) -> ExploreMetrics {
         let i = &self.inner;
         let finished = i.finished.load(Ordering::Acquire);
-        let elapsed = if finished {
+        let elapsed = if i.elapsed_frozen.load(Ordering::Acquire) {
             Duration::from_nanos(i.elapsed_ns.load(Ordering::Acquire))
         } else {
             i.start
@@ -320,6 +345,7 @@ impl ExploreMonitor {
         i.interned.store(0, Ordering::Relaxed);
         i.buckets.store(0, Ordering::Relaxed);
         i.elapsed_ns.store(0, Ordering::Relaxed);
+        i.elapsed_frozen.store(false, Ordering::Release);
         i.finished.store(false, Ordering::Release);
         *self.inner.start.lock().expect("monitor clock lock") = Some(Instant::now());
     }
@@ -348,9 +374,15 @@ impl ExploreMonitor {
         self.inner.pending.store(pending, Ordering::Relaxed);
     }
 
-    /// Freezes the clock at exploration end.
-    fn finish(&self) {
+    /// Freezes the clock — idempotent, first caller wins. The replay
+    /// calls this at its terminal record so throughput figures exclude
+    /// pool teardown; `finish` calls it again as a fallback for
+    /// monitors that never reached a replay (e.g. a panic unwound).
+    fn freeze_clock(&self) {
         let i = &self.inner;
+        if i.elapsed_frozen.load(Ordering::Acquire) {
+            return;
+        }
         let elapsed = i
             .start
             .lock()
@@ -361,7 +393,14 @@ impl ExploreMonitor {
             elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
             Ordering::Release,
         );
-        i.finished.store(true, Ordering::Release);
+        i.elapsed_frozen.store(true, Ordering::Release);
+    }
+
+    /// Marks the exploration complete (freezing the clock if the
+    /// replay has not already).
+    fn finish(&self) {
+        self.freeze_clock();
+        self.inner.finished.store(true, Ordering::Release);
     }
 }
 
@@ -882,8 +921,10 @@ impl WorkQueues {
     }
 
     /// Blocking pop for worker `me`: own front batch, else steal half
-    /// of a neighbour's back, else sleep. `None` means stop.
-    fn pop(&self, me: usize) -> Option<Vec<u32>> {
+    /// of a neighbour's back, else sleep. `None` means stop. `obs`
+    /// tallies batch sizes and steal attempts/hits (no-ops when the
+    /// recorder is disabled).
+    fn pop(&self, me: usize, obs: &WorkerObs) -> Option<Vec<u32>> {
         loop {
             if self.stopped() {
                 return None;
@@ -892,16 +933,22 @@ impl WorkQueues {
                 let mut q = self.queues[me].lock().expect("work queue lock");
                 if !q.is_empty() {
                     let take = q.len().min(WORKER_BATCH);
+                    obs.batches.incr();
+                    obs.batch_states.add(take as u64);
                     return Some(q.drain(..take).collect());
                 }
             }
             let n = self.queues.len();
+            obs.steal_attempts.incr();
             for off in 1..n {
                 let mut q = self.queues[(me + off) % n].lock().expect("work queue lock");
                 if !q.is_empty() {
                     let take = q.len().div_ceil(2);
                     let at = q.len() - take;
                     let stolen = q.split_off(at);
+                    obs.steal_hits.incr();
+                    obs.batches.incr();
+                    obs.batch_states.add(stolen.len() as u64);
                     return Some(stolen.into());
                 }
             }
@@ -932,6 +979,41 @@ impl Drop for PanicFlag<'_> {
     }
 }
 
+/// Per-worker observability counters, registered once per worker on
+/// the cold path. Every handle is a no-op when the recorder is
+/// disabled, so the hot loop pays a `None` check at most.
+struct WorkerObs {
+    expansions: Counter,
+    batches: Counter,
+    batch_states: Counter,
+    steal_attempts: Counter,
+    steal_hits: Counter,
+    memo_hits: Counter,
+    memo_misses: Counter,
+}
+
+impl WorkerObs {
+    fn new(recorder: &Recorder, me: usize) -> WorkerObs {
+        WorkerObs {
+            expansions: recorder.counter(&format!("explore_expansions_w{me}")),
+            batches: recorder.counter(&format!("explore_batches_w{me}")),
+            batch_states: recorder.counter(&format!("explore_batch_states_w{me}")),
+            steal_attempts: recorder.counter(&format!("explore_steal_attempts_w{me}")),
+            steal_hits: recorder.counter(&format!("explore_steal_hits_w{me}")),
+            // memo tallies aggregate across workers: one shared atomic
+            memo_hits: recorder.counter("cursor_memo_hits"),
+            memo_misses: recorder.counter("cursor_memo_misses"),
+        }
+    }
+
+    /// Flushes a cursor's plain memo tallies into the shared counters
+    /// (called once, when the worker exits).
+    fn flush_memo(&self, cursor: &Cursor) {
+        self.memo_hits.add(cursor.memo_hits());
+        self.memo_misses.add(cursor.memo_misses());
+    }
+}
+
 /// One expansion worker: pull ids, expand, intern successors, stream
 /// records back. Exits on stop or when the replay hangs up.
 fn worker_loop(
@@ -940,22 +1022,26 @@ fn worker_loop(
     solver: &SolverOptions,
     interner: &Interner,
     queues: &WorkQueues,
+    recorder: &Recorder,
     tx: mpsc::Sender<(u32, Record)>,
 ) {
     let _flag = PanicFlag { queues };
     let mut cursor = program.cursor();
-    while let Some(batch) = queues.pop(me) {
+    let obs = WorkerObs::new(recorder, me);
+    'work: while let Some(batch) = queues.pop(me, &obs) {
         for id in batch {
             if queues.stopped() {
-                return;
+                break 'work;
             }
             let key = interner.key(id);
             let record = expand_record(&mut cursor, &key, solver, interner);
+            obs.expansions.incr();
             if tx.send((id, record)).is_err() {
-                return;
+                break 'work;
             }
         }
     }
+    obs.flush_memo(&cursor);
 }
 
 /// Where the replay gets its expansions from: inline (serial) or the
@@ -972,6 +1058,7 @@ struct InlineSource<'a> {
     cursor: Cursor,
     solver: &'a SolverOptions,
     interner: &'a Interner,
+    expansions: Counter,
 }
 
 impl ExpansionSource for InlineSource<'_> {
@@ -979,6 +1066,7 @@ impl ExpansionSource for InlineSource<'_> {
 
     fn fetch(&mut self, id: u32) -> Record {
         let key = self.interner.key(id);
+        self.expansions.incr();
         expand_record(&mut self.cursor, &key, self.solver, self.interner)
     }
 }
@@ -992,6 +1080,7 @@ struct PoolSource<'a> {
     cache: HashMap<u32, Record>,
     pending: usize,
     monitor: Option<ExploreMonitor>,
+    cache_peak: Gauge,
 }
 
 impl ExpansionSource for PoolSource<'_> {
@@ -1018,6 +1107,7 @@ impl ExpansionSource for PoolSource<'_> {
                         return record;
                     }
                     self.cache.insert(got, record);
+                    self.cache_peak.raise(self.cache.len() as u64);
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     assert!(
@@ -1144,6 +1234,9 @@ fn run_replay(
         m.update(ids.len(), transitions.len(), depth);
         m.update_interner(interner.len(), interner.bucket_count());
         m.set_pending(0);
+        // the terminal record: freeze the throughput clock here, so
+        // states/sec never divides by pool teardown or arena moves
+        m.freeze_clock();
     }
     ReplayOutcome {
         ids,
@@ -1187,13 +1280,24 @@ pub(crate) fn explore_program(
         m.update_interner(interner.len(), interner.bucket_count());
     }
 
+    let recorder = &options.recorder;
+    let explore_span = recorder.span("explore");
+
     let outcome = if workers == 1 {
         let mut source = InlineSource {
             cursor: program.cursor(),
             solver: &solver,
             interner: &interner,
+            expansions: recorder.counter("explore_expansions_w0"),
         };
-        run_replay(root_id, options, &interner, visitor, &mut source)
+        let outcome = run_replay(root_id, options, &interner, visitor, &mut source);
+        recorder
+            .counter("cursor_memo_hits")
+            .add(source.cursor.memo_hits());
+        recorder
+            .counter("cursor_memo_misses")
+            .add(source.cursor.memo_misses());
+        outcome
     } else {
         let queues = WorkQueues::new(workers);
         let (tx, rx) = mpsc::channel();
@@ -1201,7 +1305,9 @@ pub(crate) fn explore_program(
             for me in 0..workers {
                 let tx = tx.clone();
                 let (solver, interner, queues) = (&solver, &interner, &queues);
-                scope.spawn(move || worker_loop(me, program, solver, interner, queues, tx));
+                scope.spawn(move || {
+                    worker_loop(me, program, solver, interner, queues, recorder, tx)
+                });
             }
             // workers hold the only senders: a fully disconnected
             // channel means they are all gone
@@ -1212,6 +1318,7 @@ pub(crate) fn explore_program(
                 cache: HashMap::new(),
                 pending: 0,
                 monitor: options.monitor.clone(),
+                cache_peak: recorder.gauge("explore_replay_cache_peak"),
             };
             let outcome = run_replay(root_id, options, &interner, visitor, &mut source);
             queues.request_stop();
@@ -1219,6 +1326,22 @@ pub(crate) fn explore_program(
         })
     };
 
+    if recorder.is_enabled() {
+        recorder.gauge("explore_workers").set(workers as u64);
+        recorder
+            .gauge("explore_states")
+            .set(outcome.ids.len() as u64);
+        recorder
+            .gauge("explore_transitions")
+            .set(outcome.transitions.len() as u64);
+        recorder
+            .gauge("explore_interner_keys")
+            .set(interner.len() as u64);
+        recorder
+            .gauge("explore_interner_buckets")
+            .set(interner.bucket_count() as u64);
+    }
+    drop(explore_span);
     let states = interner.into_states(&outcome.ids);
     if let Some(m) = &options.monitor {
         m.finish();
@@ -1441,6 +1564,94 @@ mod tests {
             let parallel = explore(&spec, &options.clone().with_workers(workers));
             assert_eq!(serial, parallel, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn recorder_collects_counters_without_perturbing_the_space() {
+        let mut u = Universe::new();
+        let pairs: Vec<_> = (0..3)
+            .map(|i| (u.event(&format!("a{i}")), u.event(&format!("b{i}"))))
+            .collect();
+        let mut spec = Specification::new("grid", u);
+        for (i, (a, b)) in pairs.into_iter().enumerate() {
+            spec.add_constraint(Box::new(
+                Precedence::strict(&format!("p{i}"), a, b).with_bound(4),
+            ));
+        }
+        let plain = explore(&spec, &ExploreOptions::default().with_workers(4));
+        let rec = moccml_obs::Recorder::new();
+        let recorded = explore(
+            &spec,
+            &ExploreOptions::default()
+                .with_workers(4)
+                .with_recorder(&rec),
+        );
+        assert_eq!(plain, recorded, "recording is observationally inert");
+        let snap = rec.snapshot();
+        // every canonically accepted state is expanded exactly once
+        assert_eq!(
+            snap.counter_sum("explore_expansions_w"),
+            recorded.state_count() as u64
+        );
+        assert_eq!(snap.gauge("explore_states"), Some(125));
+        assert_eq!(snap.gauge("explore_workers"), Some(4));
+        assert_eq!(
+            snap.counter_sum("explore_batch_states_w"),
+            snap.counter_sum("explore_expansions_w"),
+            "batches deliver each state once"
+        );
+        assert!(
+            snap.counter_sum("cursor_memo_hits") + snap.counter_sum("cursor_memo_misses") > 0,
+            "stateful constraints exercise the memo"
+        );
+        let spans = snap.spans;
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "explore");
+        assert!(spans[0].dur_us > 0 || spans[0].start_us == 0);
+    }
+
+    #[test]
+    fn serial_recorder_counts_inline_expansions() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        let rec = moccml_obs::Recorder::new();
+        let space = explore(
+            &spec,
+            &ExploreOptions::default()
+                .with_workers(1)
+                .with_recorder(&rec),
+        );
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.counter("explore_expansions_w0"),
+            Some(space.state_count() as u64)
+        );
+        assert!(snap.counter("cursor_memo_hits").is_some());
+    }
+
+    #[test]
+    fn monitor_elapsed_freezes_at_the_terminal_record() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("unbounded", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        let monitor = ExploreMonitor::new();
+        let options = ExploreOptions::default()
+            .with_max_states(50)
+            .with_workers(2)
+            .with_monitor(&monitor);
+        let _ = explore(&spec, &options);
+        let first = monitor.snapshot();
+        assert!(first.finished);
+        std::thread::sleep(Duration::from_millis(5));
+        let second = monitor.snapshot();
+        assert_eq!(
+            first.elapsed, second.elapsed,
+            "finished elapsed is frozen, not live"
+        );
+        assert_eq!(first.states, 50);
     }
 
     #[test]

@@ -30,6 +30,7 @@ use moccml_engine::{
     Engine, ExploreOptions, Lexicographic, MaxParallel, MinSerial, Policy, Random, SafeMaxParallel,
 };
 use moccml_kernel::{Schedule, Universe};
+use moccml_obs::Recorder;
 use moccml_verify::{check_props, conformance, minimize_witness, PropStatus, Verdict};
 use std::fmt::Write as _;
 
@@ -56,8 +57,9 @@ options:
                   results are identical for every value)
   --max-states N  exploration bound (default 100000)
   --max-depth N   BFS depth bound (default: unbounded)
-  --stats         explore only: print throughput (states/sec, peak
-                  frontier, interner occupancy) after the metrics
+  --stats         print throughput after the verdicts: states/sec and
+                  elapsed for check/conformance, plus peak frontier and
+                  interner occupancy for explore
   --steps N       simulation steps (default 20)
   --policy P      simulation policy: lexicographic | random |
                   max-parallel | min-serial | safe (default lexicographic)
@@ -70,7 +72,19 @@ options:
 /// Factored out of `main` so integration tests can drive the CLI
 /// in-process and golden-compare its output.
 pub fn run(args: &[String], out: &mut String) -> i32 {
-    match try_run(args, out) {
+    run_with(args, out, &Recorder::disabled())
+}
+
+/// [`run`] with an observability [`Recorder`]: when enabled, the
+/// subcommands open `parse`/`compile` spans around the frontend,
+/// phase spans around their own work (`check` and `explore` come from
+/// the verifier and the explorer, `minimize`, `simulate` and
+/// `conformance` from here), and the explorer maintains its counters.
+/// The printed output is byte-identical either way — recording is
+/// observationally inert. This is what `moccml --trace <file>` rides
+/// on.
+pub fn run_with(args: &[String], out: &mut String, recorder: &Recorder) -> i32 {
+    match try_run(args, out, recorder) {
         Ok(code) => code,
         Err(message) => {
             let _ = writeln!(out, "error: {message}");
@@ -79,7 +93,7 @@ pub fn run(args: &[String], out: &mut String) -> i32 {
     }
 }
 
-fn try_run(args: &[String], out: &mut String) -> Result<i32, String> {
+fn try_run(args: &[String], out: &mut String, recorder: &Recorder) -> Result<i32, String> {
     let Some(command) = args.first() else {
         return Err(format!("missing command\n{USAGE}"));
     };
@@ -102,17 +116,25 @@ fn try_run(args: &[String], out: &mut String) -> Result<i32, String> {
     };
     let source = std::fs::read_to_string(spec_path)
         .map_err(|e| format!("cannot read `{spec_path}`: {e}"))?;
-    let compiled = crate::compile_str(&source).map_err(|e| render_error(spec_path, &e))?;
+    let ast = {
+        let _span = recorder.span("parse");
+        crate::parse_spec(&source).map_err(|e| render_error(spec_path, &e))?
+    };
+    let compiled = {
+        let _span = recorder.span("compile");
+        crate::compile(&ast).map_err(|e| render_error(spec_path, &e))?
+    };
     let rest = &args[2..];
+    let options = |rest| explore_options(rest).map(|o| o.with_recorder(recorder));
     match command.as_str() {
-        "check" => Ok(check(&compiled, &explore_options(rest)?, out)),
-        "explore" => Ok(explore(&compiled, rest, &explore_options(rest)?, out)),
-        "simulate" => simulate(&compiled, rest, out),
+        "check" => Ok(check(&compiled, rest, &options(rest)?, recorder, out)),
+        "explore" => Ok(explore(&compiled, rest, &options(rest)?, out)),
+        "simulate" => simulate(&compiled, rest, recorder, out),
         "conformance" => {
             let Some(trace_path) = rest.first().filter(|a| !a.starts_with("--")) else {
                 return Err(format!("conformance needs a trace file\n{USAGE}"));
             };
-            conformance_cmd(&compiled, trace_path, out)
+            conformance_cmd(&compiled, trace_path, rest, recorder, out)
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
@@ -160,7 +182,13 @@ fn render_schedule(schedule: &Schedule, universe: &Universe) -> String {
     }
 }
 
-fn check(compiled: &Compiled, options: &ExploreOptions, out: &mut String) -> i32 {
+fn check(
+    compiled: &Compiled,
+    args: &[String],
+    options: &ExploreOptions,
+    recorder: &Recorder,
+    out: &mut String,
+) -> i32 {
     let universe = compiled.universe();
     if compiled.props.is_empty() {
         let _ = writeln!(
@@ -170,12 +198,26 @@ fn check(compiled: &Compiled, options: &ExploreOptions, out: &mut String) -> i32
         );
         return EXIT_OK;
     }
+    let stats = args.iter().any(|a| a == "--stats");
     let mut violated = false;
+    let mut total_states = 0usize;
+    let mut total_elapsed = std::time::Duration::ZERO;
     // one exploration per property (the programmatic `check` call), so
     // every property is decided — and each row shows its own
     // early-stop cost
     for prop in &compiled.props {
-        let report = check_props(&compiled.program, std::slice::from_ref(prop), options);
+        let monitor = moccml_engine::ExploreMonitor::new();
+        let options = if stats {
+            options.clone().with_monitor(&monitor)
+        } else {
+            options.clone()
+        };
+        let report = check_props(&compiled.program, std::slice::from_ref(prop), &options);
+        if stats {
+            let m = monitor.snapshot();
+            total_states += m.states;
+            total_elapsed += m.elapsed;
+        }
         match &report.statuses[0] {
             PropStatus::Holds => {
                 let _ = writeln!(
@@ -195,7 +237,10 @@ fn check(compiled: &Compiled, options: &ExploreOptions, out: &mut String) -> i32
                     ce.schedule.len(),
                     render_schedule(&ce.schedule, universe)
                 );
-                let minimized = minimize_witness(&compiled.program, prop, &ce.schedule);
+                let minimized = {
+                    let _span = recorder.span("minimize");
+                    minimize_witness(&compiled.program, prop, &ce.schedule)
+                };
                 let _ = writeln!(
                     out,
                     "{:<40} minimized ({} steps): {}",
@@ -214,10 +259,29 @@ fn check(compiled: &Compiled, options: &ExploreOptions, out: &mut String) -> i32
             }
         }
     }
+    if stats {
+        let _ = writeln!(
+            out,
+            "throughput: {:.0} states/sec over {:.1} ms",
+            throughput(total_states, total_elapsed),
+            total_elapsed.as_secs_f64() * 1_000.0,
+        );
+    }
     if violated {
         EXIT_VIOLATED
     } else {
         EXIT_OK
+    }
+}
+
+/// States/second, zero-safe: an instantaneous run reports 0 rather
+/// than dividing by zero.
+fn throughput(states: usize, elapsed: std::time::Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        states as f64 / secs
+    } else {
+        0.0
     }
 }
 
@@ -276,7 +340,12 @@ fn boxed_policy(name: &str, seed: u64) -> Result<Box<dyn Policy>, String> {
     })
 }
 
-fn simulate(compiled: &Compiled, args: &[String], out: &mut String) -> Result<i32, String> {
+fn simulate(
+    compiled: &Compiled,
+    args: &[String],
+    recorder: &Recorder,
+    out: &mut String,
+) -> Result<i32, String> {
     let steps = flag(args, "--steps")?.unwrap_or(20);
     let seed = flag(args, "--seed")?.unwrap_or(42) as u64;
     let policy_name = match args.iter().position(|a| a == "--policy") {
@@ -293,7 +362,10 @@ fn simulate(compiled: &Compiled, args: &[String], out: &mut String) -> Result<i3
     let mut engine = Engine::from_program(&compiled.program)
         .policy_boxed(policy)
         .build();
-    let report = engine.run(steps);
+    let report = {
+        let _span = recorder.span("simulate");
+        engine.run(steps)
+    };
     let _ = writeln!(
         out,
         "spec `{}`, policy {policy_name}: {} step(s){}",
@@ -321,29 +393,53 @@ fn simulate(compiled: &Compiled, args: &[String], out: &mut String) -> Result<i3
     })
 }
 
-fn conformance_cmd(compiled: &Compiled, trace_path: &str, out: &mut String) -> Result<i32, String> {
+fn conformance_cmd(
+    compiled: &Compiled,
+    trace_path: &str,
+    args: &[String],
+    recorder: &Recorder,
+    out: &mut String,
+) -> Result<i32, String> {
     let text = std::fs::read_to_string(trace_path)
         .map_err(|e| format!("cannot read `{trace_path}`: {e}"))?;
     let universe = compiled.universe();
     let schedule =
         Schedule::parse_lines(&text, universe).map_err(|e| format!("{trace_path}: {e}"))?;
-    match conformance(&compiled.program, &schedule) {
+    let stats = args.iter().any(|a| a == "--stats");
+    let started = std::time::Instant::now();
+    let verdict = {
+        let _span = recorder.span("conformance");
+        conformance(&compiled.program, &schedule)
+    };
+    let elapsed = started.elapsed();
+    let code = match verdict {
         Verdict::Conforms => {
             let _ = writeln!(
                 out,
                 "trace conforms ({} steps replay cleanly)",
                 schedule.len()
             );
-            Ok(EXIT_OK)
+            EXIT_OK
         }
         Verdict::Violation { step, violated } => {
             let _ = writeln!(
                 out,
                 "trace VIOLATES at step {step}: constraints {violated:?}"
             );
-            Ok(EXIT_VIOLATED)
+            EXIT_VIOLATED
         }
+    };
+    if stats {
+        // one replayed step per schedule entry — the conformance
+        // analogue of a visited state
+        let _ = writeln!(
+            out,
+            "throughput: {:.0} states/sec over {:.1} ms",
+            throughput(schedule.len(), elapsed),
+            elapsed.as_secs_f64() * 1_000.0,
+        );
     }
+    Ok(code)
 }
 
 #[cfg(test)]
@@ -417,6 +513,75 @@ mod tests {
         let mut out = String::new();
         assert_eq!(run(&["explore".into(), p], &mut out), EXIT_OK);
         assert!(!out.contains("throughput:"), "{out}");
+    }
+
+    #[test]
+    fn check_stats_prints_the_same_throughput_line_as_explore() {
+        let path = write_temp("alt-check-stats.mcc", ALT);
+        let p = path.to_str().expect("utf8 path").to_owned();
+        let mut out = String::new();
+        assert_eq!(
+            run(&["check".into(), p.clone(), "--stats".into()], &mut out),
+            EXIT_VIOLATED
+        );
+        assert!(out.contains("throughput:"), "{out}");
+        assert!(out.contains("states/sec over"), "{out}");
+        assert!(out.contains(" ms\n"), "{out}");
+        // verdict lines are untouched by the flag
+        assert!(out.contains("VIOLATED"), "{out}");
+        let mut out = String::new();
+        assert_eq!(run(&["check".into(), p], &mut out), EXIT_VIOLATED);
+        assert!(!out.contains("throughput:"), "{out}");
+    }
+
+    #[test]
+    fn conformance_stats_prints_throughput() {
+        let spec = write_temp("alt-conf-stats.mcc", ALT);
+        let good = write_temp("good-stats.trace", "a\nb\n");
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &[
+                    "conformance".into(),
+                    spec.to_str().expect("utf8").into(),
+                    good.to_str().expect("utf8").into(),
+                    "--stats".into(),
+                ],
+                &mut out
+            ),
+            EXIT_OK
+        );
+        assert!(out.contains("trace conforms"), "{out}");
+        assert!(out.contains("throughput:"), "{out}");
+        assert!(out.contains("states/sec over"), "{out}");
+    }
+
+    #[test]
+    fn recorder_spans_cover_the_cli_phases() {
+        let path = write_temp("alt-spans.mcc", ALT);
+        let p = path.to_str().expect("utf8 path").to_owned();
+        let recorder = Recorder::new();
+        let mut out = String::new();
+        assert_eq!(
+            run_with(&["check".into(), p], &mut out, &recorder),
+            EXIT_VIOLATED
+        );
+        let snap = recorder.snapshot();
+        let names: Vec<&str> = snap.spans.iter().map(|s| s.name.as_str()).collect();
+        for expected in ["parse", "compile", "check", "explore", "minimize"] {
+            assert!(
+                names.contains(&expected),
+                "missing span `{expected}` in {names:?}"
+            );
+        }
+        // the recorded run prints exactly what the unrecorded one does
+        let mut plain = String::new();
+        let path2 = write_temp("alt-spans2.mcc", ALT);
+        run(
+            &["check".into(), path2.to_str().expect("utf8").into()],
+            &mut plain,
+        );
+        assert_eq!(out, plain);
     }
 
     #[test]

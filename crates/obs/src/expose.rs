@@ -1,0 +1,220 @@
+//! Prometheus-style text exposition (text format version 0.0.4):
+//! `# HELP` / `# TYPE` comment pairs followed by `name{labels} value`
+//! sample lines. The serve daemon's `metrics` method renders its
+//! combined explorer/cache/latency view through this builder.
+
+use crate::histogram::{Histogram, BUCKETS};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Incrementally builds one text exposition. Metric families may be
+/// emitted in several calls (e.g. one histogram per method label);
+/// the `# HELP`/`# TYPE` header is written only the first time a
+/// family name appears.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+    headed: BTreeSet<String>,
+}
+
+fn labels(pairs: &[(&str, &str)]) -> String {
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = pairs.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+impl Exposition {
+    /// An empty exposition.
+    #[must_use]
+    pub fn new() -> Exposition {
+        Exposition::default()
+    }
+
+    fn header(&mut self, name: &str, kind: &str, help: &str) {
+        if self.headed.insert(name.to_owned()) {
+            let _ = writeln!(self.out, "# HELP {name} {help}");
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        }
+    }
+
+    /// Emits one counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, pairs: &[(&str, &str)], value: u64) {
+        self.header(name, "counter", help);
+        let _ = writeln!(self.out, "{name}{} {value}", labels(pairs));
+    }
+
+    /// Emits one gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, pairs: &[(&str, &str)], value: f64) {
+        self.header(name, "gauge", help);
+        let _ = writeln!(self.out, "{name}{} {value}", labels(pairs));
+    }
+
+    /// Emits one histogram family member: cumulative `_bucket` lines
+    /// up to the highest occupied bucket, the `+Inf` bucket, `_sum`
+    /// and `_count`. Bucket edges are the histogram's power-of-two
+    /// microsecond upper edges.
+    pub fn histogram(&mut self, name: &str, help: &str, pairs: &[(&str, &str)], h: &Histogram) {
+        self.header(name, "histogram", help);
+        let counts = h.bucket_counts();
+        let top = counts.iter().rposition(|&n| n > 0).map_or(0, |i| i + 1);
+        let mut cumulative = 0u64;
+        for (i, n) in counts.iter().enumerate().take(top.min(BUCKETS)) {
+            cumulative += n;
+            let mut with_le = pairs.to_vec();
+            let le = Histogram::bucket_upper_us(i).to_string();
+            with_le.push(("le", &le));
+            let _ = writeln!(self.out, "{name}_bucket{} {cumulative}", labels(&with_le));
+        }
+        let mut with_inf = pairs.to_vec();
+        with_inf.push(("le", "+Inf"));
+        let _ = writeln!(self.out, "{name}_bucket{} {}", labels(&with_inf), h.count());
+        let _ = writeln!(self.out, "{name}_sum{} {}", labels(pairs), h.sum_us());
+        let _ = writeln!(self.out, "{name}_count{} {}", labels(pairs), h.count());
+    }
+
+    /// The finished exposition text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Validates that every line of `text` is well-formed exposition
+/// syntax: a `# HELP`/`# TYPE` comment or a
+/// `name{labels} value` sample whose value parses as a float and
+/// whose name is a valid metric identifier. Returns the first
+/// offending line on failure. This is the check the CI test suite
+/// runs against the serve `metrics` output.
+pub fn validate(text: &str) -> Result<(), String> {
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name.chars().enumerate().all(|(i, c)| {
+                c == '_' || c == ':' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit())
+            })
+    }
+    for (lineno, line) in text.lines().enumerate() {
+        let fail = |why: &str| Err(format!("line {}: {why}: {line}", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if !(rest.starts_with("HELP ") || rest.starts_with("TYPE ")) {
+                return fail("comment is neither HELP nor TYPE");
+            }
+            continue;
+        }
+        let (name_part, value_part) = match line.rsplit_once(' ') {
+            Some(parts) => parts,
+            None => return fail("no value separator"),
+        };
+        let name = match name_part.split_once('{') {
+            Some((name, labels)) => {
+                if !labels.ends_with('}') {
+                    return fail("unterminated label set");
+                }
+                let body = &labels[..labels.len() - 1];
+                for pair in body.split(',') {
+                    let Some((k, v)) = pair.split_once('=') else {
+                        return fail("label without `=`");
+                    };
+                    if !valid_name(k) || !v.starts_with('"') || !v.ends_with('"') {
+                        return fail("malformed label pair");
+                    }
+                }
+                name
+            }
+            None => name_part,
+        };
+        if !valid_name(name) {
+            return fail("invalid metric name");
+        }
+        if value_part != "+Inf" && value_part.parse::<f64>().is_err() {
+            return fail("value is not a number");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn counters_and_gauges_render_with_headers_once() {
+        let mut exp = Exposition::new();
+        exp.counter(
+            "moccml_requests_total",
+            "Requests seen.",
+            &[("method", "check")],
+            3,
+        );
+        exp.counter(
+            "moccml_requests_total",
+            "Requests seen.",
+            &[("method", "lint")],
+            1,
+        );
+        exp.gauge("moccml_queue_depth", "Jobs queued.", &[], 2.0);
+        let text = exp.finish();
+        assert_eq!(text.matches("# TYPE moccml_requests_total").count(), 1);
+        assert!(text.contains("moccml_requests_total{method=\"check\"} 3"));
+        assert!(text.contains("moccml_requests_total{method=\"lint\"} 1"));
+        assert!(text.contains("moccml_queue_depth 2"));
+        validate(&text).expect("well-formed");
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets() {
+        let mut h = Histogram::default();
+        h.record(Duration::from_micros(3)); // bucket 1, upper edge 3
+        h.record(Duration::from_micros(100)); // bucket 6, upper edge 127
+        let mut exp = Exposition::new();
+        exp.histogram("moccml_latency_us", "Latency.", &[("method", "check")], &h);
+        let text = exp.finish();
+        assert!(
+            text.contains("moccml_latency_us_bucket{method=\"check\",le=\"3\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("moccml_latency_us_bucket{method=\"check\",le=\"127\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("moccml_latency_us_bucket{method=\"check\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("moccml_latency_us_sum{method=\"check\"} 103"),
+            "{text}"
+        );
+        assert!(
+            text.contains("moccml_latency_us_count{method=\"check\"} 2"),
+            "{text}"
+        );
+        validate(&text).expect("well-formed");
+    }
+
+    #[test]
+    fn empty_histogram_still_emits_count_and_inf() {
+        let mut exp = Exposition::new();
+        exp.histogram("h", "Empty.", &[], &Histogram::default());
+        let text = exp.finish();
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 0"), "{text}");
+        assert!(text.contains("h_count 0"), "{text}");
+        validate(&text).expect("well-formed");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_lines() {
+        assert!(validate("just words here are fine? no").is_err());
+        assert!(validate("9leading_digit 1").is_err());
+        assert!(validate("name{unterminated 1").is_err());
+        assert!(validate("name nan_but_not_a_number").is_err());
+        assert!(validate("# COMMENT nope").is_err());
+        assert!(validate("ok_name 1.5\n").is_ok());
+        assert!(validate("").is_ok());
+    }
+}

@@ -1,0 +1,199 @@
+//! A log₂ histogram shared by every layer that measures durations:
+//! the serve daemon's per-method latency registry, the recorder's
+//! phase timings, and the bench harness's sanity checks.
+//!
+//! Observations land in power-of-two microsecond buckets (bucket `i`
+//! covers `[2^i, 2^(i+1))` µs), which makes quantile estimation a
+//! cumulative walk with bounded relative error — no allocation, no
+//! sorting, no timestamps kept. This type started life private to
+//! `crates/serve/src/metrics.rs`; it moved here unchanged so the
+//! daemon, the CLI and the recorder agree on bucket edges.
+
+use std::time::Duration;
+
+/// Number of buckets: 2^39 µs ≈ 6.4 days — effectively unbounded.
+pub const BUCKETS: usize = 40;
+
+/// A latency histogram with power-of-two microsecond buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&mut self, elapsed: Duration) {
+        self.record_us(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one observation given directly in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        let bucket = if us == 0 {
+            0
+        } else {
+            (63 - us.leading_zeros()) as usize
+        };
+        self.buckets[bucket.min(BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations, in microseconds (saturating).
+    #[must_use]
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Largest observation, in microseconds.
+    #[must_use]
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Mean observation, in microseconds (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The raw per-bucket counts; bucket `i` covers `[2^i, 2^(i+1))`
+    /// µs (bucket 0 additionally holds sub-microsecond observations).
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// The inclusive upper edge of bucket `i`, in microseconds.
+    #[must_use]
+    pub fn bucket_upper_us(i: usize) -> u64 {
+        (1u64 << (i.min(BUCKETS - 1) + 1)).saturating_sub(1)
+    }
+
+    /// Estimates the quantile `q` in `[0, 1]` by cumulative walk,
+    /// reporting the upper edge of the bucket holding it (0 when
+    /// empty). The estimate is exact to within a factor of two — ample
+    /// for a health endpoint.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // upper edge of bucket i, clamped to the recorded max
+                return (1u64 << (i + 1)).saturating_sub(1).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_us(), 0);
+        assert_eq!(h.max_us(), 0);
+        assert_eq!(h.quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn records_land_in_log2_buckets() {
+        let mut h = Histogram::default();
+        for us in [0u64, 1, 2, 3, 1000, 1_000_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max_us(), 1_000_000);
+        assert_eq!(h.mean_us(), (1 + 2 + 3 + 1000 + 1_000_000) / 6);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_distribution() {
+        let mut h = Histogram::default();
+        // 90 fast requests (~100 µs), 10 slow ones (~50 ms)
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(50_000));
+        }
+        let p50 = h.quantile_us(0.5);
+        let p95 = h.quantile_us(0.95);
+        assert!((64..256).contains(&p50), "p50 within 2x of 100us: {p50}");
+        assert!(p95 >= 32_768, "p95 lands in the slow bucket: {p95}");
+        assert!(h.quantile_us(1.0) <= h.max_us());
+        // monotone in q
+        assert!(p50 <= p95);
+    }
+
+    #[test]
+    fn extreme_durations_saturate() {
+        let mut h = Histogram::default();
+        h.record(Duration::from_secs(u64::MAX / 2_000_000));
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile_us(0.5) <= h.max_us());
+    }
+
+    #[test]
+    fn merge_adds_counts_and_keeps_max() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(5_000));
+        b.record(Duration::from_micros(7));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_us(), 5_000);
+        assert_eq!(a.sum_us(), 10 + 5_000 + 7);
+    }
+
+    #[test]
+    fn bucket_upper_edges_are_monotone() {
+        let mut last = 0;
+        for i in 0..BUCKETS {
+            let edge = Histogram::bucket_upper_us(i);
+            assert!(edge > last, "edges strictly increase");
+            last = edge;
+        }
+    }
+}

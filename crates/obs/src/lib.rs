@@ -1,0 +1,37 @@
+//! `moccml-obs` — unified observability for the MoCCML toolchain:
+//! hierarchical spans with monotonic timings, lock-free counters and
+//! gauges, a shared log₂ latency [`Histogram`], Chrome trace-event
+//! export and Prometheus-style text exposition. Zero dependencies,
+//! std only.
+//!
+//! The central type is the opt-in [`Recorder`]: disabled by default
+//! (every operation a no-op), and *observationally inert* when
+//! enabled — recording never feeds back into the computation, so
+//! state spaces, visitor callback sequences and verdicts stay
+//! byte-identical with recording on or off. See [`recorder`] for the
+//! contract and [`trace`]/[`expose`] for the output formats.
+//!
+//! ```
+//! use moccml_obs::{trace, Recorder};
+//!
+//! let rec = Recorder::new();
+//! {
+//!     let _span = rec.span("explore");
+//!     rec.counter("explore_states").add(1024);
+//! }
+//! let snapshot = rec.snapshot();
+//! let catapult = trace::catapult_json(&snapshot, "example");
+//! assert!(catapult.contains("\"traceEvents\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expose;
+pub mod histogram;
+pub mod recorder;
+pub mod trace;
+
+pub use expose::Exposition;
+pub use histogram::Histogram;
+pub use recorder::{Counter, Gauge, Recorder, Snapshot, Span, SpanRecord};

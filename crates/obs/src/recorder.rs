@@ -1,0 +1,437 @@
+//! The opt-in recording handle every layer threads through: spans for
+//! phase timings, counters and gauges for hot-loop accounting.
+//!
+//! # Design
+//!
+//! A [`Recorder`] is either *enabled* (an `Arc` to shared storage) or
+//! *disabled* (`None`); both are cheap to clone and pass by value.
+//! Registration (`counter`, `gauge`, `span`) takes a lock and may
+//! allocate, so call it once per phase or per worker on the cold path;
+//! the returned [`Counter`]/[`Gauge`] handles are lock-free —
+//! incrementing is a single relaxed atomic `fetch_add` when enabled
+//! and a `None` check when disabled. Readings are never fed back into
+//! the computation being measured, so an enabled recorder is
+//! observationally inert: state spaces, visitor callback sequences and
+//! verdicts are byte-identical with recording on or off (pinned by the
+//! `obs_properties` suite at the workspace root).
+//!
+//! Spans nest per thread: a span opened while another is live on the
+//! same thread records it as its parent, which is what the Chrome
+//! trace-event export uses to draw the parse → compile → explore →
+//! check flame. Opening a span locks a mutex, so spans belong on phase
+//! boundaries, never inside per-state work.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// One closed span: a named phase with monotonic start/duration
+/// microseconds relative to the recorder's epoch.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Phase name (`parse`, `compile`, `slice`, `explore`, `check`,
+    /// `minimize`, …).
+    pub name: String,
+    /// Start offset from the recorder epoch, in microseconds.
+    pub start_us: u64,
+    /// Duration in microseconds (0 until the span closes).
+    pub dur_us: u64,
+    /// Index of the enclosing span in the snapshot, if any.
+    pub parent: Option<usize>,
+    /// Small dense id of the opening thread (0 for the first thread
+    /// that opened a span on this recorder).
+    pub tid: u64,
+}
+
+#[derive(Default)]
+struct SpanLog {
+    records: Vec<SpanRecord>,
+    /// Per-thread stack of open span indices (parent tracking).
+    stacks: HashMap<ThreadId, Vec<usize>>,
+    /// Dense thread ids, assigned in first-span order.
+    tids: HashMap<ThreadId, u64>,
+}
+
+struct Inner {
+    epoch: Instant,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    spans: Mutex<SpanLog>,
+}
+
+/// A point-in-time copy of everything a recorder has collected.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Monotone counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Last-value gauges, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Spans in opening order; `parent` indexes into this vector.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Snapshot {
+    /// Looks up a counter by exact name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by exact name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Sums all counters whose name starts with `prefix` — per-worker
+    /// counters (`explore_expansions_w0`, `_w1`, …) roll up this way.
+    #[must_use]
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+}
+
+/// The opt-in observability handle. See the [module docs](self) for
+/// the enabled/disabled contract.
+///
+/// ```
+/// use moccml_obs::Recorder;
+///
+/// let rec = Recorder::new();
+/// let expansions = rec.counter("explore_expansions_w0");
+/// {
+///     let _span = rec.span("explore");
+///     expansions.add(17); // lock-free: one relaxed fetch_add
+/// }
+/// let snap = rec.snapshot();
+/// assert_eq!(snap.counter("explore_expansions_w0"), Some(17));
+/// assert_eq!(snap.spans.len(), 1);
+/// assert_eq!(snap.spans[0].name, "explore");
+///
+/// // A disabled recorder accepts the same calls and records nothing.
+/// let off = Recorder::disabled();
+/// off.counter("x").add(1);
+/// assert!(off.snapshot().counters.is_empty());
+/// ```
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// An enabled recorder with a fresh epoch.
+    #[must_use]
+    pub fn new() -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                spans: Mutex::new(SpanLog::default()),
+            })),
+        }
+    }
+
+    /// A disabled recorder: every operation is a no-op, every handle
+    /// it vends is a `None` check. This is the default everywhere.
+    #[must_use]
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// Whether this recorder actually records.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers (or fetches) the counter `name` and returns a
+    /// lock-free handle to it. Cold path: takes a lock.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|inner| {
+            let mut counters = inner.counters.lock().expect("obs counters lock");
+            Arc::clone(counters.entry(name.to_owned()).or_default())
+        }))
+    }
+
+    /// Registers (or fetches) the gauge `name` and returns a lock-free
+    /// handle to it. Cold path: takes a lock.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|inner| {
+            let mut gauges = inner.gauges.lock().expect("obs gauges lock");
+            Arc::clone(gauges.entry(name.to_owned()).or_default())
+        }))
+    }
+
+    /// Opens a span named `name`; it closes (and records its duration)
+    /// when the returned guard drops. Spans opened while this one is
+    /// live on the same thread become its children. Cold path: takes a
+    /// lock on open and close.
+    pub fn span(&self, name: &str) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span(None);
+        };
+        let start_us = us_since(inner.epoch);
+        let mut log = inner.spans.lock().expect("obs spans lock");
+        let thread = std::thread::current().id();
+        let next_tid = log.tids.len() as u64;
+        let tid = *log.tids.entry(thread).or_insert(next_tid);
+        let stack = log.stacks.entry(thread).or_default();
+        let parent = stack.last().copied();
+        let index = log.records.len();
+        log.records.push(SpanRecord {
+            name: name.to_owned(),
+            start_us,
+            dur_us: 0,
+            parent,
+            tid,
+        });
+        log.stacks
+            .get_mut(&thread)
+            .expect("stack just inserted")
+            .push(index);
+        drop(log);
+        Span(Some((Arc::clone(inner), index)))
+    }
+
+    /// Copies out everything recorded so far. Open spans appear with
+    /// `dur_us == 0`. Empty when disabled.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::default();
+        };
+        let counters = inner
+            .counters
+            .lock()
+            .expect("obs counters lock")
+            .iter()
+            .map(|(name, v)| (name.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .expect("obs gauges lock")
+            .iter()
+            .map(|(name, v)| (name.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let spans = inner.spans.lock().expect("obs spans lock").records.clone();
+        Snapshot {
+            counters,
+            gauges,
+            spans,
+        }
+    }
+}
+
+fn us_since(epoch: Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// A lock-free monotone counter handle vended by
+/// [`Recorder::counter`]. Cloning shares the underlying atomic.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds `n`. One relaxed `fetch_add` when enabled, a `None` check
+    /// when disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A lock-free last-value gauge handle vended by [`Recorder::gauge`].
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Stores `v` (relaxed).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if it is below it (relaxed max).
+    #[inline]
+    pub fn raise(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Guard returned by [`Recorder::span`]; records the span's duration
+/// on drop.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records ~0µs"]
+pub struct Span(Option<(Arc<Inner>, usize)>);
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((inner, index)) = self.0.take() else {
+            return;
+        };
+        let now_us = us_since(inner.epoch);
+        let mut log = inner.spans.lock().expect("obs spans lock");
+        let record = &mut log.records[index];
+        record.dur_us = now_us.saturating_sub(record.start_us);
+        let thread = std::thread::current().id();
+        if let Some(stack) = log.stacks.get_mut(&thread) {
+            if let Some(pos) = stack.iter().rposition(|&i| i == index) {
+                stack.remove(pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        let c = rec.counter("c");
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let g = rec.gauge("g");
+        g.set(9);
+        g.raise(99);
+        assert_eq!(g.get(), 0);
+        drop(rec.span("s"));
+        let snap = rec.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let rec = Recorder::new();
+        let c = rec.counter("hits");
+        let c2 = rec.counter("hits"); // same atomic
+        c.add(3);
+        c2.incr();
+        assert_eq!(c.get(), 4);
+        let g = rec.gauge("depth");
+        g.set(7);
+        g.raise(3); // below: no-op
+        g.raise(11);
+        assert_eq!(g.get(), 11);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("hits"), Some(4));
+        assert_eq!(snap.gauge("depth"), Some(11));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn counter_sum_rolls_up_prefixes() {
+        let rec = Recorder::new();
+        rec.counter("exp_w0").add(2);
+        rec.counter("exp_w1").add(3);
+        rec.counter("other").add(100);
+        assert_eq!(rec.snapshot().counter_sum("exp_w"), 5);
+    }
+
+    #[test]
+    fn spans_nest_per_thread() {
+        let rec = Recorder::new();
+        {
+            let _outer = rec.span("check");
+            let _inner = rec.span("explore");
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.spans[0].name, "check");
+        assert_eq!(snap.spans[0].parent, None);
+        assert_eq!(snap.spans[1].name, "explore");
+        assert_eq!(snap.spans[1].parent, Some(0));
+        assert!(snap.spans[1].start_us >= snap.spans[0].start_us);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let rec = Recorder::new();
+        let outer = rec.span("check");
+        drop(rec.span("slice"));
+        drop(rec.span("explore"));
+        drop(outer);
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans[1].parent, Some(0));
+        assert_eq!(snap.spans[2].parent, Some(0));
+        assert!(snap.spans[0].dur_us >= snap.spans[2].dur_us);
+    }
+
+    #[test]
+    fn spans_from_other_threads_get_their_own_tid() {
+        let rec = Recorder::new();
+        let _main = rec.span("main");
+        let clone = rec.clone();
+        std::thread::spawn(move || drop(clone.span("worker")))
+            .join()
+            .expect("worker thread");
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.spans[0].tid, 0);
+        assert_eq!(snap.spans[1].tid, 1);
+        // no cross-thread parenting
+        assert_eq!(snap.spans[1].parent, None);
+    }
+
+    #[test]
+    fn handles_survive_the_recorder_clone() {
+        let rec = Recorder::new();
+        let c = rec.counter("n");
+        let rec2 = rec.clone();
+        c.add(1);
+        rec2.counter("n").add(1);
+        assert_eq!(rec.snapshot().counter("n"), Some(2));
+    }
+}

@@ -1,0 +1,176 @@
+//! Trace export: Chrome trace-event (catapult) JSON for
+//! `chrome://tracing` / Perfetto, and a JSONL raw event stream for
+//! scripted analysis. Both render a [`Snapshot`] — take one at the
+//! end of a run and write both files side by side.
+
+use crate::recorder::Snapshot;
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `snapshot` as Chrome trace-event JSON (the "JSON object
+/// format": a top-level object with a `traceEvents` array), loadable
+/// in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+///
+/// Spans become `ph:"X"` complete events (`ts`/`dur` in microseconds
+/// since the recorder epoch); counters and gauges are attached as the
+/// `args` of one final `ph:"I"` instant event so the viewer shows
+/// them in the event detail pane. `process_name` labels the trace via
+/// a `ph:"M"` metadata event.
+#[must_use]
+pub fn catapult_json(snapshot: &Snapshot, process_name: &str) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape(process_name)
+    );
+    let mut end_us = 0u64;
+    for span in &snapshot.spans {
+        end_us = end_us.max(span.start_us.saturating_add(span.dur_us));
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{},\"dur\":{}}}",
+            escape(&span.name),
+            span.tid,
+            span.start_us,
+            span.dur_us
+        );
+    }
+    if !snapshot.counters.is_empty() || !snapshot.gauges.is_empty() {
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"counters\",\"ph\":\"I\",\"pid\":1,\"tid\":0,\
+             \"ts\":{end_us},\"s\":\"g\",\"args\":{{"
+        );
+        let mut first = true;
+        for (name, value) in snapshot.counters.iter().chain(snapshot.gauges.iter()) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{value}", escape(name));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders `snapshot` as a JSONL raw event stream: one JSON object
+/// per line (`type` ∈ {`span`, `counter`, `gauge`}), spans first in
+/// opening order, then counters and gauges sorted by name. Every line
+/// is a complete JSON document.
+#[must_use]
+pub fn jsonl(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (index, span) in snapshot.spans.iter().enumerate() {
+        let parent = span
+            .parent
+            .map_or_else(|| "null".to_owned(), |p| p.to_string());
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span\",\"index\":{index},\"name\":\"{}\",\
+             \"start_us\":{},\"dur_us\":{},\"parent\":{parent},\"tid\":{}}}",
+            escape(&span.name),
+            span.start_us,
+            span.dur_us,
+            span.tid
+        );
+    }
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+            escape(name)
+        );
+    }
+    for (name, value) in &snapshot.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{value}}}",
+            escape(name)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn sample() -> Snapshot {
+        let rec = Recorder::new();
+        {
+            let _check = rec.span("check");
+            let _explore = rec.span("explore");
+            rec.counter("states").add(42);
+            rec.gauge("depth").set(7);
+        }
+        rec.snapshot()
+    }
+
+    #[test]
+    fn catapult_output_has_trace_events_and_counters() {
+        let out = catapult_json(&sample(), "moccml check");
+        assert!(out.starts_with("{\"traceEvents\":["));
+        assert!(out.contains("\"ph\":\"M\""), "{out}");
+        assert!(out.contains("\"name\":\"explore\",\"ph\":\"X\""), "{out}");
+        assert!(out.contains("\"states\":42"), "{out}");
+        assert!(out.contains("\"depth\":7"), "{out}");
+        assert!(out.trim_end().ends_with("]}"), "{out}");
+    }
+
+    #[test]
+    fn jsonl_is_one_document_per_line() {
+        let out = jsonl(&sample());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "{out}");
+        assert!(lines[0].contains("\"type\":\"span\""));
+        assert!(lines[1].contains("\"parent\":0"));
+        assert!(lines[2].contains("\"type\":\"counter\""));
+        assert!(lines[3].contains("\"type\":\"gauge\""));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let rec = Recorder::new();
+        drop(rec.span("weird \"name\"\n"));
+        let snap = rec.snapshot();
+        let out = catapult_json(&snap, "p");
+        assert!(out.contains("weird \\\"name\\\"\\n"), "{out}");
+        let out = jsonl(&snap);
+        assert!(out.contains("weird \\\"name\\\"\\n"), "{out}");
+    }
+
+    #[test]
+    fn empty_snapshot_is_still_valid() {
+        let out = catapult_json(&Snapshot::default(), "p");
+        assert!(out.contains("traceEvents"));
+        assert!(!out.contains("\"ph\":\"I\""), "no counters event: {out}");
+        assert_eq!(jsonl(&Snapshot::default()), "");
+    }
+}

@@ -24,6 +24,7 @@ use crate::ops;
 use crate::server;
 use crate::service::ServiceConfig;
 use moccml_engine::{ExploreMonitor, ExploreOptions};
+use moccml_obs::Recorder;
 use std::fmt::Write as _;
 
 pub use moccml_lang::cli::{EXIT_ERROR, EXIT_OK, EXIT_VIOLATED};
@@ -37,8 +38,12 @@ service:
 formats:
   --format FMT check/explore/simulate/conformance output: text | json
                (default text; json prints one machine-readable object)
-  --stats      explore only: append throughput counters (states/sec,
-               peak frontier, interner occupancy) to the output
+  --stats      check/explore/conformance: append throughput (states/sec
+               and elapsed; explore adds peak frontier and interner
+               occupancy) to the output
+  --trace FILE record phase spans (parse/compile/check/explore/…) and
+               explorer counters, then write a Chrome trace-event JSON
+               to FILE and the raw event stream to FILE.jsonl
 ";
 
 /// Runs the CLI on `args` (without the program name), writing all
@@ -48,6 +53,31 @@ formats:
 /// contract: the daemon streams its banner and runs until shutdown,
 /// so it writes to the process stdout directly and `out` stays empty.
 pub fn run(args: &[String], out: &mut String) -> i32 {
+    let (args, trace_path) = match trace_flag(args) {
+        Ok(split) => split,
+        Err(message) => {
+            let _ = writeln!(out, "error: {message}");
+            return EXIT_ERROR;
+        }
+    };
+    // recording is opt-in: without --trace every layer sees a no-op
+    // recorder and the disabled fast path
+    let recorder = if trace_path.is_some() {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    };
+    let code = run_recorded(&args, out, &recorder);
+    if let Some(path) = trace_path {
+        if let Err(message) = write_trace(&path, &recorder) {
+            let _ = writeln!(out, "error: {message}");
+            return EXIT_ERROR;
+        }
+    }
+    code
+}
+
+fn run_recorded(args: &[String], out: &mut String, recorder: &Recorder) -> i32 {
     match args.first().map(String::as_str) {
         Some("serve") => match try_serve(&args[1..]) {
             Ok(code) => code,
@@ -64,7 +94,7 @@ pub fn run(args: &[String], out: &mut String) -> i32 {
             }
         },
         Some("check" | "explore" | "simulate" | "conformance") => match json_format(args) {
-            Ok(Some(stripped)) => match try_json(&stripped, out) {
+            Ok(Some(stripped)) => match try_json(&stripped, out, recorder) {
                 Ok(code) => code,
                 Err(message) => {
                     let _ = writeln!(out, "error: {message}");
@@ -73,7 +103,7 @@ pub fn run(args: &[String], out: &mut String) -> i32 {
             },
             Ok(None) => {
                 let stripped = strip_text_format(args);
-                moccml_analyze::cli::run(&stripped, out)
+                moccml_analyze::cli::run_with(&stripped, out, recorder)
             }
             Err(message) => {
                 let _ = writeln!(out, "error: {message}");
@@ -81,12 +111,39 @@ pub fn run(args: &[String], out: &mut String) -> i32 {
             }
         },
         Some("--help" | "-h" | "help") => {
-            let code = moccml_analyze::cli::run(args, out);
+            let code = moccml_analyze::cli::run_with(args, out, recorder);
             out.push_str(SERVE_USAGE);
             code
         }
-        _ => moccml_analyze::cli::run(args, out),
+        _ => moccml_analyze::cli::run_with(args, out, recorder),
     }
+}
+
+/// Splits a `--trace <file>` flag off the argument list.
+fn trace_flag(args: &[String]) -> Result<(Vec<String>, Option<String>), String> {
+    let Some(i) = args.iter().position(|a| a == "--trace") else {
+        return Ok((args.to_vec(), None));
+    };
+    let path = args
+        .get(i + 1)
+        .filter(|v| !v.starts_with("--"))
+        .cloned()
+        .ok_or("--trace needs an output file path")?;
+    let mut stripped = args.to_vec();
+    stripped.drain(i..=i + 1);
+    Ok((stripped, Some(path)))
+}
+
+/// Writes the recorder's snapshot as Chrome trace-event (catapult)
+/// JSON to `path` — loadable in `chrome://tracing` / Perfetto — plus
+/// the raw JSONL event stream to `path.jsonl`.
+fn write_trace(path: &str, recorder: &Recorder) -> Result<(), String> {
+    let snapshot = recorder.snapshot();
+    std::fs::write(path, moccml_obs::trace::catapult_json(&snapshot, "moccml"))
+        .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+    let raw_path = format!("{path}.jsonl");
+    std::fs::write(&raw_path, moccml_obs::trace::jsonl(&snapshot))
+        .map_err(|e| format!("cannot write trace `{raw_path}`: {e}"))
 }
 
 /// `Some(args-without-the-format-flag)` when `--format json` is
@@ -189,29 +246,43 @@ fn explore_options(args: &[String]) -> Result<ExploreOptions, String> {
 /// `conformance`: prints exactly one line — the [`crate::ops`] result
 /// object, identical to a serve `result` payload — and maps the
 /// verdict to the usual exit code.
-fn try_json(args: &[String], out: &mut String) -> Result<i32, String> {
+fn try_json(args: &[String], out: &mut String, recorder: &Recorder) -> Result<i32, String> {
     let command = args.first().expect("dispatched on the command").clone();
     let Some(spec_path) = args.get(1).filter(|a| !a.starts_with("--")) else {
         return Err("missing <spec.mcc> path".to_owned());
     };
     let source = std::fs::read_to_string(spec_path)
         .map_err(|e| format!("cannot read `{spec_path}`: {e}"))?;
-    let compiled = moccml_lang::compile_str(&source).map_err(|e| {
-        let (line, column) = e.position();
-        format!("{spec_path}:{line}:{column}: {e}")
-    })?;
+    let ast = {
+        let _span = recorder.span("parse");
+        moccml_lang::parse_spec(&source).map_err(|e| {
+            let (line, column) = e.position();
+            format!("{spec_path}:{line}:{column}: {e}")
+        })?
+    };
+    let compiled = {
+        let _span = recorder.span("compile");
+        moccml_lang::compile(&ast).map_err(|e| {
+            let (line, column) = e.position();
+            format!("{spec_path}:{line}:{column}: {e}")
+        })?
+    };
     let rest = &args[2..];
+    let stats = rest.iter().any(|a| a == "--stats");
     let (payload, code) = match command.as_str() {
         "check" => {
-            let payload =
-                ops::check_json(&compiled, &explore_options(rest)?, &mut ops::no_progress());
+            let options = explore_options(rest)?.with_recorder(recorder);
+            let payload = if stats {
+                ops::check_json_with_stats(&compiled, &options, &mut ops::no_progress())
+            } else {
+                ops::check_json(&compiled, &options, &mut ops::no_progress())
+            };
             let violated = payload.get("violated").and_then(Json::as_bool) == Some(true);
             (payload, if violated { EXIT_VIOLATED } else { EXIT_OK })
         }
         "explore" => {
-            let stats = rest.iter().any(|a| a == "--stats");
             let monitor = ExploreMonitor::new();
-            let mut options = explore_options(rest)?;
+            let mut options = explore_options(rest)?.with_recorder(recorder);
             if stats {
                 options = options.with_monitor(&monitor);
             }
@@ -226,7 +297,10 @@ fn try_json(args: &[String], out: &mut String) -> Result<i32, String> {
             let seed = flag(rest, "--seed")?.unwrap_or(42) as u64;
             let policy =
                 string_flag(rest, "--policy")?.unwrap_or_else(|| "lexicographic".to_owned());
-            let payload = ops::simulate_json(&compiled, steps, &policy, seed)?;
+            let payload = {
+                let _span = recorder.span("simulate");
+                ops::simulate_json(&compiled, steps, &policy, seed)?
+            };
             let deadlocked = payload.get("deadlocked").and_then(Json::as_bool) == Some(true);
             (payload, if deadlocked { EXIT_VIOLATED } else { EXIT_OK })
         }
@@ -236,8 +310,20 @@ fn try_json(args: &[String], out: &mut String) -> Result<i32, String> {
             };
             let trace = std::fs::read_to_string(trace_path)
                 .map_err(|e| format!("cannot read `{trace_path}`: {e}"))?;
-            let payload = ops::conformance_json(&compiled, &trace)
-                .map_err(|e| format!("{trace_path}: {e}"))?;
+            let started = std::time::Instant::now();
+            let mut payload = {
+                let _span = recorder.span("conformance");
+                ops::conformance_json(&compiled, &trace)
+                    .map_err(|e| format!("{trace_path}: {e}"))?
+            };
+            if stats {
+                let steps = payload
+                    .get("steps")
+                    .and_then(Json::as_i64)
+                    .and_then(|v| usize::try_from(v).ok())
+                    .unwrap_or(0);
+                payload = ops::with_throughput(payload, steps, started.elapsed());
+            }
             let conforms = payload.get("verdict").and_then(Json::as_str) == Some("conforms");
             (payload, if conforms { EXIT_OK } else { EXIT_VIOLATED })
         }
@@ -333,6 +419,69 @@ mod tests {
         assert_eq!(code, EXIT_OK);
         let payload = Json::parse(out.trim()).expect("JSON");
         assert!(payload.get("stats").is_none());
+    }
+
+    #[test]
+    fn json_check_and_conformance_stats_append_throughput() {
+        let path = write_temp("alt-check-stats.mcc", ALT);
+        let (code, out) = run_args(&["check", &path, "--stats", "--format", "json"]);
+        assert_eq!(code, EXIT_VIOLATED);
+        let payload = Json::parse(out.trim()).expect("JSON");
+        let stats = payload.get("stats").expect("stats member");
+        assert!(stats.get("states_per_sec").is_some(), "{out}");
+        assert!(stats.get("elapsed_ms").is_some(), "{out}");
+        // without --stats the schema is unchanged
+        let (_, out) = run_args(&["check", &path, "--format", "json"]);
+        assert!(Json::parse(out.trim())
+            .expect("JSON")
+            .get("stats")
+            .is_none());
+
+        let trace = write_temp("good-stats.trace", "a\nb\n");
+        let (code, out) = run_args(&["conformance", &path, &trace, "--stats", "--format", "json"]);
+        assert_eq!(code, EXIT_OK, "{out}");
+        let payload = Json::parse(out.trim()).expect("JSON");
+        let stats = payload.get("stats").expect("stats member");
+        assert!(stats.get("states_per_sec").is_some(), "{out}");
+        assert!(stats.get("elapsed_ms").is_some(), "{out}");
+    }
+
+    #[test]
+    fn trace_flag_writes_catapult_json_and_the_raw_stream() {
+        let spec = write_temp("alt-trace.mcc", ALT);
+        let trace_out = std::env::temp_dir().join("moccml-serve-cli-trace.json");
+        let trace_path = trace_out.to_str().expect("utf8 path").to_owned();
+        let (code, out) = run_args(&["check", &spec, "--trace", &trace_path]);
+        assert_eq!(code, EXIT_VIOLATED, "{out}");
+        // verdict output is byte-identical with tracing on
+        let (_, plain) = run_args(&["check", &spec]);
+        assert_eq!(out, plain, "tracing never perturbs the output");
+        // the catapult file parses with our own JSON parser and names
+        // the CLI phases
+        let catapult = std::fs::read_to_string(&trace_path).expect("trace written");
+        let parsed = Json::parse(catapult.trim()).expect("valid trace-event JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        for phase in ["parse", "compile", "check", "explore"] {
+            assert!(names.contains(&phase), "missing {phase} in {names:?}");
+        }
+        // the raw stream is one JSON object per line
+        let raw = std::fs::read_to_string(format!("{trace_path}.jsonl")).expect("jsonl written");
+        assert!(!raw.is_empty());
+        for line in raw.lines() {
+            let event = Json::parse(line).expect("every raw line parses");
+            assert!(event.get("type").is_some(), "{line}");
+        }
+        // --trace without a file path is a usage error
+        let (code, out) = run_args(&["check", &spec, "--trace"]);
+        assert_eq!(code, EXIT_ERROR);
+        assert!(out.contains("--trace needs"), "{out}");
     }
 
     #[test]

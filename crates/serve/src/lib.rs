@@ -28,8 +28,12 @@
 //!   cancellation through
 //!   [`VisitControl::Stop`](moccml_engine::VisitControl) — a cancelled
 //!   exploration stops at the next checkpoint and the worker lives on.
-//! * **Metrics** ([`metrics`]) — std-only log₂ latency histograms and
-//!   cache/queue counters behind the `status` method.
+//! * **Metrics** ([`metrics`]) — per-method log₂ latency histograms
+//!   (the shared [`moccml_obs::Histogram`]) and cache/queue counters
+//!   behind the `status` method, plus a `metrics` method rendering the
+//!   combined explorer/cache/latency view as Prometheus-style text
+//!   exposition. Result envelopes carry per-job span summaries, and
+//!   `--trace <file>` on the CLI writes Chrome trace-event JSON.
 //! * **One result schema** ([`ops`]) — the JSON verdict objects are
 //!   shared between serve's `result` events and the CLI's
 //!   `--format json` mode, and derived from the same values the text

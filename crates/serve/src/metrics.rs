@@ -1,138 +1,223 @@
-//! Std-only service metrics: per-method request counters and
-//! logarithmic latency histograms, surfaced by the `status` method.
+//! Service metrics: the shared log₂ latency [`Histogram`] keyed by
+//! method, and the Prometheus-style text exposition the `metrics`
+//! protocol method returns.
 //!
-//! Latencies land in power-of-two microsecond buckets (bucket `i`
-//! covers `[2^i, 2^(i+1))` µs), which makes quantile estimation a
-//! cumulative walk with bounded relative error — no allocation, no
-//! sorting, no timestamps kept.
+//! The histogram type itself lives in [`moccml_obs`] (it moved there
+//! so the daemon, the explorer benches and the CLI share one bucketing
+//! scheme); this module re-exports it — same power-of-two microsecond
+//! buckets, same cumulative quantile walk — so the `status` payload is
+//! byte-compatible with the pre-move output.
 
-use std::time::Duration;
+pub use moccml_obs::Histogram;
 
-const BUCKETS: usize = 40; // 2^39 µs ≈ 6.4 days — effectively unbounded
+use crate::cache::CacheStats;
+use crate::protocol::Method;
+use moccml_obs::{Exposition, Snapshot};
 
-/// A latency histogram with power-of-two microsecond buckets.
-#[derive(Debug, Clone)]
-pub struct Histogram {
-    buckets: [u64; BUCKETS],
-    count: u64,
-    sum_us: u64,
-    max_us: u64,
-}
+/// Per-worker explorer counters rolled up across workers and jobs:
+/// `(snapshot prefix, metric name, help)`.
+const EXPLORER_COUNTERS: &[(&str, &str, &str)] = &[
+    (
+        "explore_expansions_w",
+        "moccml_explore_expansions_total",
+        "States expanded by the explorer, summed over workers and jobs.",
+    ),
+    (
+        "explore_batches_w",
+        "moccml_explore_batches_total",
+        "Work batches taken from the explorer deques.",
+    ),
+    (
+        "explore_batch_states_w",
+        "moccml_explore_batch_states_total",
+        "States carried by those batches.",
+    ),
+    (
+        "explore_steal_attempts_w",
+        "moccml_explore_steal_attempts_total",
+        "Neighbour-scan rounds entered with an empty own deque.",
+    ),
+    (
+        "explore_steal_hits_w",
+        "moccml_explore_steal_hits_total",
+        "Steal attempts that found work.",
+    ),
+    (
+        "cursor_memo_hits",
+        "moccml_cursor_memo_hits_total",
+        "Cursor L1 formula-memo hits.",
+    ),
+    (
+        "cursor_memo_misses",
+        "moccml_cursor_memo_misses_total",
+        "Cursor L1 formula-memo misses (shared memo consulted).",
+    ),
+];
 
-impl Default for Histogram {
-    fn default() -> Histogram {
-        Histogram {
-            buckets: [0; BUCKETS],
-            count: 0,
-            sum_us: 0,
-            max_us: 0,
-        }
+/// Peak-valued explorer gauges: `(snapshot name, metric name, help)`.
+const EXPLORER_GAUGES: &[(&str, &str, &str)] = &[
+    (
+        "explore_states",
+        "moccml_explore_states_peak",
+        "Largest state count any single job explored.",
+    ),
+    (
+        "explore_transitions",
+        "moccml_explore_transitions_peak",
+        "Largest transition count any single job explored.",
+    ),
+    (
+        "explore_replay_cache_peak",
+        "moccml_explore_replay_cache_peak",
+        "Peak replay-cache depth across jobs.",
+    ),
+    (
+        "explore_interner_keys",
+        "moccml_explore_interner_keys_peak",
+        "Peak interned fingerprint count across jobs.",
+    ),
+    (
+        "explore_workers",
+        "moccml_explore_workers_peak",
+        "Largest worker count any job explored with.",
+    ),
+];
+
+/// Renders the combined explorer/cache/queue/latency view as one
+/// Prometheus text exposition (format 0.0.4). `methods` are the
+/// completed-job latency histograms in a fixed order; `explorer` is
+/// the service-wide roll-up of every job's explorer counters.
+#[must_use]
+pub fn exposition(
+    uptime_ms: u64,
+    cache: &CacheStats,
+    queued: usize,
+    in_flight: usize,
+    methods: &[(Method, Histogram)],
+    explorer: &Snapshot,
+) -> String {
+    let mut exp = Exposition::new();
+    #[allow(clippy::cast_precision_loss)]
+    exp.gauge(
+        "moccml_uptime_ms",
+        "Milliseconds since the service started.",
+        &[],
+        uptime_ms as f64,
+    );
+    exp.counter(
+        "moccml_cache_hits_total",
+        "Compiled-spec cache hits.",
+        &[],
+        cache.hits,
+    );
+    exp.counter(
+        "moccml_cache_misses_total",
+        "Compiled-spec cache misses (compilations).",
+        &[],
+        cache.misses,
+    );
+    exp.counter(
+        "moccml_cache_evictions_total",
+        "Compiled specs evicted from the LRU cache.",
+        &[],
+        cache.evictions,
+    );
+    #[allow(clippy::cast_precision_loss)]
+    {
+        exp.gauge(
+            "moccml_cache_entries",
+            "Compiled specs currently cached.",
+            &[],
+            cache.entries as f64,
+        );
+        exp.gauge(
+            "moccml_queue_depth",
+            "Jobs queued but not yet running.",
+            &[],
+            queued as f64,
+        );
+        exp.gauge(
+            "moccml_jobs_in_flight",
+            "Jobs currently running on the worker pool.",
+            &[],
+            in_flight as f64,
+        );
     }
-}
-
-impl Histogram {
-    /// Records one observation.
-    pub fn record(&mut self, elapsed: Duration) {
-        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        let bucket = if us == 0 {
-            0
-        } else {
-            (63 - us.leading_zeros()) as usize
-        };
-        self.buckets[bucket.min(BUCKETS - 1)] += 1;
-        self.count += 1;
-        self.sum_us = self.sum_us.saturating_add(us);
-        self.max_us = self.max_us.max(us);
+    for (method, h) in methods {
+        let label = [("method", method.name())];
+        exp.counter(
+            "moccml_requests_total",
+            "Completed jobs per method.",
+            &label,
+            h.count(),
+        );
+        exp.histogram(
+            "moccml_request_duration_us",
+            "Job wall-clock latency in microseconds.",
+            &label,
+            h,
+        );
     }
-
-    /// Number of observations.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.count
+    for (prefix, name, help) in EXPLORER_COUNTERS {
+        exp.counter(name, help, &[], explorer.counter_sum(prefix));
     }
-
-    /// Largest observation, in microseconds.
-    #[must_use]
-    pub fn max_us(&self) -> u64 {
-        self.max_us
+    #[allow(clippy::cast_precision_loss)]
+    for (gauge, name, help) in EXPLORER_GAUGES {
+        exp.gauge(name, help, &[], explorer.gauge(gauge).unwrap_or(0) as f64);
     }
-
-    /// Mean observation, in microseconds (0 when empty).
-    #[must_use]
-    pub fn mean_us(&self) -> u64 {
-        self.sum_us.checked_div(self.count).unwrap_or(0)
-    }
-
-    /// Estimates the quantile `q` in `[0, 1]` by cumulative walk,
-    /// reporting the upper edge of the bucket holding it (0 when
-    /// empty). The estimate is exact to within a factor of two — ample
-    /// for a health endpoint.
-    #[must_use]
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                // upper edge of bucket i, clamped to the recorded max
-                return (1u64 << (i + 1)).saturating_sub(1).min(self.max_us);
-            }
-        }
-        self.max_us
-    }
+    exp.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
-    fn empty_histogram_reports_zeroes() {
-        let h = Histogram::default();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean_us(), 0);
-        assert_eq!(h.max_us(), 0);
-        assert_eq!(h.quantile_us(0.5), 0);
-    }
-
-    #[test]
-    fn records_land_in_log2_buckets() {
+    fn status_compatible_histogram_surface() {
+        // the re-exported type answers exactly what status_json reads
         let mut h = Histogram::default();
-        for us in [0u64, 1, 2, 3, 1000, 1_000_000] {
+        for us in [100u64, 100, 50_000] {
             h.record(Duration::from_micros(us));
         }
-        assert_eq!(h.count(), 6);
-        assert_eq!(h.max_us(), 1_000_000);
-        assert_eq!(h.mean_us(), (1 + 2 + 3 + 1000 + 1_000_000) / 6);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean_us(), (100 + 100 + 50_000) / 3);
+        assert!(h.quantile_us(0.5) < h.quantile_us(1.0));
+        assert_eq!(h.max_us(), 50_000);
     }
 
     #[test]
-    fn quantiles_walk_the_cumulative_distribution() {
+    fn exposition_covers_every_section_and_validates() {
+        let cache = CacheStats {
+            entries: 2,
+            capacity: 32,
+            hits: 5,
+            misses: 3,
+            evictions: 1,
+        };
         let mut h = Histogram::default();
-        // 90 fast requests (~100 µs), 10 slow ones (~50 ms)
-        for _ in 0..90 {
-            h.record(Duration::from_micros(100));
-        }
-        for _ in 0..10 {
-            h.record(Duration::from_micros(50_000));
-        }
-        let p50 = h.quantile_us(0.5);
-        let p95 = h.quantile_us(0.95);
-        assert!((64..256).contains(&p50), "p50 within 2x of 100us: {p50}");
-        assert!(p95 >= 32_768, "p95 lands in the slow bucket: {p95}");
-        assert!(h.quantile_us(1.0) <= h.max_us());
-        // monotone in q
-        assert!(p50 <= p95);
-    }
-
-    #[test]
-    fn extreme_durations_saturate() {
-        let mut h = Histogram::default();
-        h.record(Duration::from_secs(u64::MAX / 2_000_000));
-        assert_eq!(h.count(), 1);
-        assert!(h.quantile_us(0.5) <= h.max_us());
+        h.record(Duration::from_micros(250));
+        let obs = moccml_obs::Recorder::new();
+        obs.counter("explore_expansions_w0").add(40);
+        obs.counter("explore_expansions_w1").add(60);
+        obs.gauge("explore_states").raise(100);
+        let text = exposition(1234, &cache, 1, 2, &[(Method::Check, h)], &obs.snapshot());
+        moccml_obs::expose::validate(&text).expect("well-formed exposition");
+        assert!(text.contains("moccml_cache_hits_total 5"), "{text}");
+        assert!(text.contains("moccml_queue_depth 1"), "{text}");
+        assert!(text.contains("moccml_jobs_in_flight 2"), "{text}");
+        assert!(
+            text.contains("moccml_requests_total{method=\"check\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("moccml_request_duration_us_count{method=\"check\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("moccml_explore_expansions_total 100"),
+            "workers roll up: {text}"
+        );
+        assert!(text.contains("moccml_explore_states_peak 100"), "{text}");
     }
 }

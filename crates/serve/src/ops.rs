@@ -54,16 +54,59 @@ fn schedule_obj(schedule: &Schedule, universe: &Universe) -> Json {
 /// "minimized"?}],"violated":bool}`.
 #[must_use]
 pub fn check_json(compiled: &Compiled, options: &ExploreOptions, progress: &mut Progress) -> Json {
+    check_json_inner(compiled, options, progress, None)
+}
+
+/// [`check_json`] plus a `stats` member: per-property monitors
+/// aggregated into the same states/sec + elapsed figures the text
+/// CLI's `--stats` flag prints after the verdicts. Timing-dependent,
+/// so opt-in and never part of a byte-compared payload.
+#[must_use]
+pub fn check_json_with_stats(
+    compiled: &Compiled,
+    options: &ExploreOptions,
+    progress: &mut Progress,
+) -> Json {
+    let mut total_states = 0usize;
+    let mut total_elapsed = std::time::Duration::ZERO;
+    let payload = check_json_inner(
+        compiled,
+        options,
+        progress,
+        Some((&mut total_states, &mut total_elapsed)),
+    );
+    with_throughput(payload, total_states, total_elapsed)
+}
+
+fn check_json_inner(
+    compiled: &Compiled,
+    options: &ExploreOptions,
+    progress: &mut Progress,
+    mut totals: Option<(&mut usize, &mut std::time::Duration)>,
+) -> Json {
     let universe = compiled.universe();
     let mut properties = Vec::new();
     let mut violated = false;
     for prop in &compiled.props {
+        // when accumulating, attach a fresh monitor per property (one
+        // exploration each) and sum its terminal reading
+        let monitor = moccml_engine::ExploreMonitor::new();
+        let options = if totals.is_some() {
+            options.clone().with_monitor(&monitor)
+        } else {
+            options.clone()
+        };
         let report = check_props_observed(
             &compiled.program,
             std::slice::from_ref(prop),
-            options,
+            &options,
             progress,
         );
+        if let Some((states, elapsed)) = totals.as_mut() {
+            let m = monitor.snapshot();
+            **states += m.states;
+            **elapsed += m.elapsed;
+        }
         let mut members = vec![
             ("prop".to_owned(), Json::Str(prop.display(universe))),
             ("states".to_owned(), Json::int(report.states_visited)),
@@ -76,7 +119,10 @@ pub fn check_json(compiled: &Compiled, options: &ExploreOptions, progress: &mut 
                 violated = true;
                 members.insert(1, ("status".to_owned(), Json::str("violated")));
                 members.push(("witness".to_owned(), schedule_obj(&ce.schedule, universe)));
-                let minimized = minimize_witness(&compiled.program, prop, &ce.schedule);
+                let minimized = {
+                    let _span = options.recorder.span("minimize");
+                    minimize_witness(&compiled.program, prop, &ce.schedule)
+                };
                 members.push(("minimized".to_owned(), schedule_obj(&minimized, universe)));
             }
             PropStatus::Undetermined => {
@@ -174,6 +220,32 @@ pub fn with_metrics(payload: Json, metrics: &moccml_engine::ExploreMetrics) -> J
     match payload {
         Json::Obj(mut members) => {
             members.push(("stats".to_owned(), metrics_json(metrics)));
+            Json::Obj(members)
+        }
+        other => other,
+    }
+}
+
+/// Appends the `stats` member `check` and `conformance` carry under
+/// `--stats`: aggregate throughput only (`states_per_sec` +
+/// `elapsed_ms`), the JSON twin of the text CLI's
+/// `throughput: … states/sec over … ms` line.
+#[must_use]
+pub fn with_throughput(payload: Json, states: usize, elapsed: std::time::Duration) -> Json {
+    let secs = elapsed.as_secs_f64();
+    #[allow(clippy::cast_precision_loss)]
+    let states_per_sec = if secs > 0.0 {
+        states as f64 / secs
+    } else {
+        0.0
+    };
+    let stats = Json::obj([
+        ("states_per_sec", Json::Float(states_per_sec)),
+        ("elapsed_ms", Json::Float(secs * 1_000.0)),
+    ]);
+    match payload {
+        Json::Obj(mut members) => {
+            members.push(("stats".to_owned(), stats));
             Json::Obj(members)
         }
         other => other,

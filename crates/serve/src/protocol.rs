@@ -35,6 +35,9 @@ pub enum Method {
     Lint,
     /// Service health: uptime, cache and queue counters, latencies.
     Status,
+    /// Prometheus-style text exposition of the service's combined
+    /// explorer/cache/queue/latency metrics.
+    Metrics,
     /// Cooperatively cancel an in-flight request by id.
     Cancel,
     /// Drain in-flight jobs and stop the daemon.
@@ -52,6 +55,7 @@ impl Method {
             Method::Conformance => "conformance",
             Method::Lint => "lint",
             Method::Status => "status",
+            Method::Metrics => "metrics",
             Method::Cancel => "cancel",
             Method::Shutdown => "shutdown",
         }
@@ -67,6 +71,7 @@ impl Method {
             "conformance" => Method::Conformance,
             "lint" => Method::Lint,
             "status" => Method::Status,
+            "metrics" => Method::Metrics,
             "cancel" => Method::Cancel,
             "shutdown" => Method::Shutdown,
             _ => return None,
@@ -77,7 +82,10 @@ impl Method {
     /// answered synchronously at dispatch).
     #[must_use]
     pub fn is_job(self) -> bool {
-        !matches!(self, Method::Status | Method::Cancel | Method::Shutdown)
+        !matches!(
+            self,
+            Method::Status | Method::Metrics | Method::Cancel | Method::Shutdown
+        )
     }
 }
 
@@ -242,6 +250,56 @@ pub fn result(id: &str, payload: Json) -> Json {
     ])
 }
 
+/// Attaches a per-job span summary to a terminal event envelope —
+/// aggregated by span name in first-opened order, as a **sibling** of
+/// the `result` payload so byte-comparisons against the payload (CI
+/// greps the `--format json` line inside session transcripts) keep
+/// matching. No-op when `spans` is empty.
+#[must_use]
+pub fn with_spans(event: Json, spans: &[moccml_obs::SpanRecord]) -> Json {
+    if spans.is_empty() {
+        return event;
+    }
+    let mut order: Vec<&str> = Vec::new();
+    let mut totals: Vec<(u64, u64)> = Vec::new(); // (count, total_us)
+    for span in spans {
+        let at = match order.iter().position(|n| *n == span.name) {
+            Some(at) => at,
+            None => {
+                order.push(&span.name);
+                totals.push((0, 0));
+                order.len() - 1
+            }
+        };
+        totals[at].0 += 1;
+        totals[at].1 += span.dur_us;
+    }
+    let summary = order
+        .iter()
+        .zip(&totals)
+        .map(|(name, (count, total_us))| {
+            Json::obj([
+                ("name", Json::str(name)),
+                (
+                    "count",
+                    Json::Int(i64::try_from(*count).unwrap_or(i64::MAX)),
+                ),
+                (
+                    "total_us",
+                    Json::Int(i64::try_from(*total_us).unwrap_or(i64::MAX)),
+                ),
+            ])
+        })
+        .collect();
+    match event {
+        Json::Obj(mut members) => {
+            members.push(("spans".to_owned(), Json::Arr(summary)));
+            Json::Obj(members)
+        }
+        other => other,
+    }
+}
+
 /// `error`: the request failed (bad input, budget exhausted, rejected).
 #[must_use]
 pub fn error(id: &str, message: &str) -> Json {
@@ -301,6 +359,7 @@ mod tests {
             Method::Conformance,
             Method::Lint,
             Method::Status,
+            Method::Metrics,
             Method::Cancel,
             Method::Shutdown,
         ] {
@@ -308,6 +367,7 @@ mod tests {
         }
         assert!(Method::Check.is_job());
         assert!(!Method::Status.is_job());
+        assert!(!Method::Metrics.is_job());
         assert!(!Method::Cancel.is_job());
         assert!(!Method::Shutdown.is_job());
     }
@@ -335,6 +395,33 @@ mod tests {
                 .and_then(Json::as_str),
             Some("check")
         );
+    }
+
+    #[test]
+    fn with_spans_summarizes_as_an_envelope_sibling() {
+        let rec = moccml_obs::Recorder::new();
+        {
+            let _check = rec.span("check");
+            drop(rec.span("explore"));
+        }
+        drop(rec.span("explore"));
+        let payload = Json::obj([("kind", Json::str("check"))]);
+        let payload_line = payload.to_line();
+        let event = with_spans(result("r1", payload), &rec.snapshot().spans);
+        let line = event.to_line();
+        // the payload bytes survive untouched inside the envelope
+        assert!(line.contains(&payload_line), "{line}");
+        let spans = event.get("spans").and_then(Json::as_arr).expect("summary");
+        assert_eq!(spans.len(), 2, "aggregated by name");
+        assert_eq!(spans[0].get("name").and_then(Json::as_str), Some("check"));
+        assert_eq!(spans[0].get("count").and_then(Json::as_i64), Some(1));
+        assert_eq!(spans[1].get("name").and_then(Json::as_str), Some("explore"));
+        assert_eq!(spans[1].get("count").and_then(Json::as_i64), Some(2));
+        // the result payload itself has no spans member
+        assert!(event.get("result").expect("payload").get("spans").is_none());
+        // empty span lists leave the envelope untouched
+        let bare = result("r2", Json::obj([("kind", Json::str("simulate"))]));
+        assert_eq!(with_spans(bare.clone(), &[]).to_line(), bare.to_line());
     }
 
     #[test]

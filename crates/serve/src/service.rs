@@ -19,10 +19,11 @@
 
 use crate::cache::{CacheStats, SpecCache};
 use crate::json::Json;
-use crate::metrics::Histogram;
+use crate::metrics::{self, Histogram};
 use crate::ops;
 use crate::protocol::{self, Method, Request};
 use moccml_engine::{ExploreOptions, VisitControl};
+use moccml_obs::Recorder;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -172,6 +173,10 @@ struct Inner {
     drain_cv: Condvar,
     jobs: Mutex<HashMap<String, Arc<JobState>>>,
     metrics: Mutex<HashMap<Method, Histogram>>,
+    /// Service-wide roll-up of every job's explorer counters and peak
+    /// gauges (no spans — those stay per-job), read by the `metrics`
+    /// method's exposition.
+    obs: Recorder,
     started: Instant,
 }
 
@@ -198,6 +203,7 @@ impl Service {
             drain_cv: Condvar::new(),
             jobs: Mutex::new(HashMap::new()),
             metrics: Mutex::new(HashMap::new()),
+            obs: Recorder::new(),
             started: Instant::now(),
             config,
         });
@@ -236,6 +242,11 @@ impl Service {
             Method::Status => {
                 sink.emit(&protocol::accepted(&request.id, Method::Status));
                 sink.emit(&protocol::result(&request.id, self.status_json()));
+                Dispatch::Continue
+            }
+            Method::Metrics => {
+                sink.emit(&protocol::accepted(&request.id, Method::Metrics));
+                sink.emit(&protocol::result(&request.id, self.metrics_json()));
                 Dispatch::Continue
             }
             Method::Cancel => {
@@ -429,6 +440,49 @@ impl Service {
             ("methods", Json::Arr(methods)),
         ])
     }
+
+    /// The combined explorer/cache/queue/latency view as Prometheus
+    /// text exposition (format 0.0.4) — what the `metrics` method
+    /// wraps. Every line passes [`moccml_obs::expose::validate`].
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        let cache = self.inner.cache.lock().expect("cache lock").stats();
+        let (queued, in_flight) = {
+            let queue = self.inner.queue.lock().expect("queue lock");
+            (queue.jobs.len(), queue.in_flight)
+        };
+        let histograms = self.inner.metrics.lock().expect("metrics lock");
+        // same fixed method order as `status`
+        let methods: Vec<(Method, Histogram)> = [
+            Method::Check,
+            Method::Explore,
+            Method::Simulate,
+            Method::Conformance,
+            Method::Lint,
+        ]
+        .iter()
+        .filter_map(|m| histograms.get(m).map(|h| (*m, h.clone())))
+        .collect();
+        drop(histograms);
+        metrics::exposition(
+            u64::try_from(self.inner.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+            &cache,
+            queued,
+            in_flight,
+            &methods,
+            &self.inner.obs.snapshot(),
+        )
+    }
+
+    /// The `metrics` result payload: the exposition text wrapped in
+    /// one JSON member, so the event stream stays line-oriented.
+    #[must_use]
+    pub fn metrics_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::str("metrics")),
+            ("exposition", Json::Str(self.metrics_text())),
+        ])
+    }
 }
 
 impl Drop for Service {
@@ -538,8 +592,13 @@ fn execute(inner: &Arc<Inner>, request: &Request, sink: &Arc<dyn EventSink>) -> 
     // live throughput counters for progress events; never part of the
     // (byte-compared) result payload
     let monitor = moccml_engine::ExploreMonitor::new();
+    // per-job recorder: spans summarize onto this job's result
+    // envelope, counters roll up into the service-wide exposition;
+    // observationally inert either way
+    let job_obs = Recorder::new();
     let explore_options = ExploreOptions::default()
         .with_monitor(&monitor)
+        .with_recorder(&job_obs)
         .with_max_states(options.max_states.unwrap_or(100_000).min(config.max_states))
         .with_max_depth(
             options
@@ -604,16 +663,25 @@ fn execute(inner: &Arc<Inner>, request: &Request, sink: &Arc<dyn EventSink>) -> 
             None => Err("conformance needs a `trace` (Schedule::parse_lines text)".to_owned()),
         },
         Method::Lint => ops::lint_json(&compiled.name, spec, options.deny_warnings),
-        Method::Status | Method::Cancel | Method::Shutdown => {
+        Method::Status | Method::Metrics | Method::Cancel | Method::Shutdown => {
             unreachable!("handled synchronously at dispatch")
         }
     };
+    let snap = job_obs.snapshot();
+    // settle the roll-up before the terminal event goes out, so a
+    // client that saw the result observes its job in `metrics`
+    for (name, value) in &snap.counters {
+        inner.obs.counter(name).add(*value);
+    }
+    for (name, value) in &snap.gauges {
+        inner.obs.gauge(name).raise(*value);
+    }
     match (interrupt, outcome) {
         (Some(Interrupt::Cancelled), _) => protocol::cancelled(id),
         (Some(Interrupt::TimedOut), _) => {
             protocol::error(id, &format!("timed out after {}ms", timeout.as_millis()))
         }
-        (None, Ok(payload)) => protocol::result(id, payload),
+        (None, Ok(payload)) => protocol::with_spans(protocol::result(id, payload), &snap.spans),
         (None, Err(message)) => protocol::error(id, &message),
     }
 }
@@ -679,6 +747,58 @@ mod tests {
             Some("explore")
         );
         assert_eq!(methods[0].get("count").and_then(Json::as_i64), Some(2));
+    }
+
+    #[test]
+    fn metrics_exposition_covers_explorer_cache_and_latency() {
+        let service = Service::new(ServiceConfig::default());
+        let _ = service.call(&request("r1", "check", ALT));
+        let events = service.call(r#"{"id":"m1","method":"metrics"}"#);
+        let payload = terminal(&events, "m1")
+            .get("result")
+            .cloned()
+            .expect("payload");
+        assert_eq!(payload.get("kind").and_then(Json::as_str), Some("metrics"));
+        let text = payload
+            .get("exposition")
+            .and_then(Json::as_str)
+            .expect("exposition text")
+            .to_owned();
+        moccml_obs::expose::validate(&text).expect("valid exposition");
+        assert!(
+            text.contains("moccml_requests_total{method=\"check\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("moccml_cache_misses_total 1"), "{text}");
+        let expansions = text
+            .lines()
+            .find_map(|l| l.strip_prefix("moccml_explore_expansions_total "))
+            .and_then(|v| v.parse::<u64>().ok())
+            .expect("expansions sample");
+        assert!(expansions > 0, "job counters rolled up: {text}");
+    }
+
+    #[test]
+    fn result_envelopes_carry_span_summaries_outside_the_payload() {
+        let service = Service::new(ServiceConfig::default());
+        let events = service.call(&request("r1", "check", ALT));
+        let result = terminal(&events, "r1");
+        let spans = result
+            .get("spans")
+            .and_then(Json::as_arr)
+            .expect("span summary on the envelope");
+        let names: Vec<&str> = spans
+            .iter()
+            .filter_map(|s| s.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"check"), "{names:?}");
+        assert!(names.contains(&"explore"), "{names:?}");
+        // the byte-compared payload stays free of timing data
+        assert!(result
+            .get("result")
+            .expect("payload")
+            .get("spans")
+            .is_none());
     }
 
     #[test]

@@ -185,6 +185,8 @@ fn run_check<'a>(
     options: &ExploreOptions,
     progress: Option<&'a mut ProgressFn<'a>>,
 ) -> CheckReport {
+    // phase span: the explorer's own `explore` span nests inside it
+    let _span = options.recorder.span("check");
     let track_adj = props
         .iter()
         .any(|p| matches!(p, Prop::EventuallyWithin(..)));
@@ -327,7 +329,10 @@ pub fn sliceable_events(prop: &Prop) -> Option<Vec<moccml_kernel::EventId>> {
 pub fn check_with(program: &Program, prop: &Prop, options: &CheckOptions) -> CheckReport {
     if options.slice() {
         if let Some(seeds) = sliceable_events(prop) {
-            let sliced = program.slice(&seeds);
+            let sliced = {
+                let _span = options.explore().recorder.span("slice");
+                program.slice(&seeds)
+            };
             let full_count = program.specification().constraint_count();
             if sliced.specification().constraint_count() < full_count {
                 let report = check_props(&sliced, std::slice::from_ref(prop), options.explore());

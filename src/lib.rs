@@ -92,6 +92,7 @@ pub use moccml_engine as engine;
 pub use moccml_kernel as kernel;
 pub use moccml_lang as lang;
 pub use moccml_metamodel as metamodel;
+pub use moccml_obs as obs;
 pub use moccml_sdf as sdf;
 pub use moccml_serve as serve;
 pub use moccml_verify as verify;
