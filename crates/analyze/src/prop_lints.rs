@@ -60,9 +60,9 @@ pub(crate) fn lint_props(
             }
         }
 
-        // A021: eventually<=0 is unsatisfiable by construction
-        if let PropAst::EventuallyWithin(_, 0) = prop_ast {
-            out.push(Diagnostic::new(
+        // A021: a zero liveness bound is unsatisfiable by construction
+        match prop_ast {
+            PropAst::EventuallyWithin(_, 0) => out.push(Diagnostic::new(
                 "A021",
                 Severity::Error,
                 anchor.0,
@@ -70,11 +70,21 @@ pub(crate) fn lint_props(
                 "`eventually<=0(…)` is unsatisfiable by construction: no step can \
                  occur within a bound of 0"
                     .to_owned(),
-            ));
+            )),
+            PropAst::UntilWithin(_, _, 0) => out.push(Diagnostic::new(
+                "A021",
+                Severity::Error,
+                anchor.0,
+                anchor.1,
+                "`until<=0(…, …)` is unsatisfiable by construction: the fulfilling \
+                 step cannot occur within a bound of 0"
+                    .to_owned(),
+            )),
+            _ => {}
         }
 
-        // A022 / A023: the predicate itself is constant
-        if let Some(pred) = prop_pred(prop) {
+        // A022 / A023: a predicate of the property is constant
+        for pred in prop_preds(prop) {
             match constant_truth(pred) {
                 Some(true) => out.push(Diagnostic::new(
                     "A022",
@@ -126,11 +136,13 @@ pub(crate) fn lint_props(
     }
 }
 
-/// The compiled step predicate of a property, if it has one.
-fn prop_pred(prop: &Prop) -> Option<&StepPred> {
+/// The compiled step predicates of a property (two for the bounded
+/// binary temporal forms, none for `deadlock-free`).
+fn prop_preds(prop: &Prop) -> Vec<&StepPred> {
     match prop {
-        Prop::Always(p) | Prop::Never(p) | Prop::EventuallyWithin(p, _) => Some(p),
-        Prop::DeadlockFree => None,
+        Prop::Always(p) | Prop::Never(p) | Prop::EventuallyWithin(p, _) => vec![p],
+        Prop::UntilWithin(p, q, _) | Prop::ReleaseWithin(p, q, _) => vec![p, q],
+        Prop::DeadlockFree => Vec::new(),
     }
 }
 
@@ -172,6 +184,10 @@ fn prop_names(prop: &PropAst) -> Vec<&Name> {
     match prop {
         PropAst::Always(p) | PropAst::Never(p) | PropAst::EventuallyWithin(p, _) => {
             pred_names(p, &mut out);
+        }
+        PropAst::UntilWithin(p, q, _) | PropAst::ReleaseWithin(p, q, _) => {
+            pred_names(p, &mut out);
+            pred_names(q, &mut out);
         }
         PropAst::DeadlockFree => {}
     }
@@ -225,6 +241,38 @@ mod tests {
         assert!(codes.contains(&"A023"), "b && !b: {codes:?}");
         let unsat = diags.iter().find(|d| d.code == "A021").expect("A021");
         assert_eq!(unsat.severity, Severity::Error);
+    }
+
+    #[test]
+    fn bounded_until_gets_the_same_scrutiny() {
+        let diags = lint_source(
+            "spec s {\n\
+               events a, b, ghost;\n\
+               constraint c = alternates(a, b);\n\
+               assert until<=0(a, b);\n\
+               assert until<=3((a || !a), b);\n\
+               assert release<=3(a, ghost);\n\
+             }",
+        );
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"A021"), "until<=0: {codes:?}");
+        assert!(codes.contains(&"A022"), "constant sustain pred: {codes:?}");
+        assert!(
+            codes.contains(&"A020"),
+            "ghost in a release fulfil pred: {codes:?}"
+        );
+        // a healthy bounded until stays clean
+        let clean = lint_source(
+            "spec s {\n\
+               events a, b;\n\
+               constraint c = alternates(a, b);\n\
+               assert until<=4(a, b);\n\
+             }",
+        );
+        assert!(
+            clean.iter().all(|d| d.code == "A030"),
+            "only cone infos allowed: {clean:?}"
+        );
     }
 
     #[test]

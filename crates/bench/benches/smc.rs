@@ -1,0 +1,106 @@
+//! Statistical model checking bench — Monte-Carlo trace sampling over
+//! the drift workload (three `precedes(w, r, 1000)` channels, ~10^9
+//! reachable states), where exhaustive exploration is infeasible.
+//!
+//! Runs on the in-repo `Instant`-based harness; emits `BENCH_smc.json`
+//! at the workspace root. The records carry the acceptance numbers of
+//! the statistical checker: sampled-trace throughput via the
+//! `states`/`states_per_sec` fields (one state = one trace) and the
+//! SPRT convergence point encoded in the benchmark name — the claim,
+//! asserted outright before timing, is that the sequential test
+//! decides with strictly fewer traces than the Okamoto fixed-sample
+//! bound it is capped by.
+
+use moccml_bench::harness::BenchGroup;
+use moccml_lang::compile_str;
+use moccml_smc::{check_statistical, okamoto_sample_size, SmcOptions, SmcVerdict};
+use moccml_verify::Prop;
+use std::hint::black_box;
+
+/// The drift spec of `examples/specs/drift.mcc`, inlined so the bench
+/// has no working-directory dependence.
+const DRIFT: &str = "spec drift {\n\
+     events produce, consume, tick, tock, send, recv;\n\
+     constraint buffer  = precedes(produce, consume, 1000);\n\
+     constraint clock   = precedes(tick, tock, 1000);\n\
+     constraint channel = precedes(send, recv, 1000);\n\
+     assert deadlock-free;\n\
+     assert until<=6((!consume), produce);\n\
+     assert release<=8((produce && consume), (!consume));\n\
+   }\n";
+
+fn main() {
+    let compiled = compile_str(DRIFT).expect("drift spec compiles");
+    let program = &compiled.program;
+    let until = compiled.props[1].clone();
+    let release = compiled.props[2].clone();
+
+    // the claims under test, measured once before timing: the SPRT
+    // decides the release property (p ~ 0.96 vs theta = 0.5) well
+    // before the Okamoto cap, and the fixed-sample estimate of the
+    // until property lands a nonzero violation rate with a witness
+    let epsilon = 0.05;
+    let delta = 0.05;
+    let cap = okamoto_sample_size(epsilon, delta);
+    let sprt_options = SmcOptions::default()
+        .with_epsilon(epsilon)
+        .with_delta(delta)
+        .with_prob_threshold(0.5)
+        .with_seed(7)
+        .with_workers(2);
+    let sprt = check_statistical(program, &release, &sprt_options);
+    assert_eq!(sprt.verdict, SmcVerdict::AboveThreshold);
+    assert!(
+        sprt.traces < cap,
+        "SPRT must converge ({} traces) before the Okamoto cap ({cap})",
+        sprt.traces
+    );
+
+    let est_options = SmcOptions::default()
+        .with_epsilon(epsilon)
+        .with_delta(delta)
+        .with_seed(7)
+        .with_workers(2);
+    let est = check_statistical(program, &until, &est_options);
+    assert_eq!(est.traces, cap, "fixed-sample mode draws the full bound");
+    assert!(est.violations > 0, "the seeded violation must be sampled");
+    assert!(est.witness.is_some(), "a minimized witness must survive");
+
+    let mut group = BenchGroup::new("smc").with_iters(5);
+
+    // throughput: traces per second at the fixed Okamoto sample size,
+    // one and two workers (the until property decides within 6 steps)
+    for workers in [1usize, 2] {
+        let options = est_options.clone().with_workers(workers);
+        group.bench_states(
+            &format!("fixed_sample/drift_until_w{workers}_traces_{cap}"),
+            cap as u64,
+            || check_statistical(black_box(program), &until, &options),
+        );
+    }
+
+    // convergence: the sequential test against theta = 0.5, its
+    // decision point in the name next to the cap it undercuts
+    group.bench_states(
+        &format!("sprt/drift_release_decided_{}_of_cap_{cap}", sprt.traces),
+        sprt.traces as u64,
+        || check_statistical(black_box(program), &release, &sprt_options),
+    );
+
+    // the rare-event side: deadlock-freedom holds on every sampled
+    // trace, so the estimate is a CI upper bound at zero violations
+    let deadlock = SmcOptions::default()
+        .with_epsilon(0.1)
+        .with_delta(delta)
+        .with_max_trace_len(64)
+        .with_seed(7)
+        .with_workers(2);
+    let dl_cap = okamoto_sample_size(0.1, delta);
+    group.bench_states(
+        &format!("fixed_sample/drift_deadlock_free_traces_{dl_cap}"),
+        dl_cap as u64,
+        || check_statistical(black_box(program), &Prop::DeadlockFree, &deadlock),
+    );
+
+    group.finish();
+}

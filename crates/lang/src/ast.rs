@@ -142,6 +142,10 @@ pub enum PropAst {
     Never(PredAst),
     /// `eventually<=k(p)`.
     EventuallyWithin(PredAst, usize),
+    /// `until<=k(p, q)`.
+    UntilWithin(PredAst, PredAst, usize),
+    /// `release<=k(p, q)`.
+    ReleaseWithin(PredAst, PredAst, usize),
     /// `deadlock-free`.
     DeadlockFree,
 }

@@ -362,6 +362,12 @@ impl PropAst {
             PropAst::Always(p) => Prop::Always(p.resolve(universe)?),
             PropAst::Never(p) => Prop::Never(p.resolve(universe)?),
             PropAst::EventuallyWithin(p, k) => Prop::EventuallyWithin(p.resolve(universe)?, *k),
+            PropAst::UntilWithin(p, q, k) => {
+                Prop::UntilWithin(p.resolve(universe)?, q.resolve(universe)?, *k)
+            }
+            PropAst::ReleaseWithin(p, q, k) => {
+                Prop::ReleaseWithin(p.resolve(universe)?, q.resolve(universe)?, *k)
+            }
             PropAst::DeadlockFree => Prop::DeadlockFree,
         })
     }

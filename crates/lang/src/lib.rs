@@ -28,7 +28,10 @@
 //! arg         := IDENT | ["-"] INT | "[" [INT ("," INT)*] "]"
 //! assert      := "assert" prop ";"
 //! prop        := "always" "(" pred ")" | "never" "(" pred ")"
-//!              | "eventually" "<=" INT "(" pred ")" | "deadlock" "-" "free"
+//!              | "eventually" "<=" INT "(" pred ")"
+//!              | "until" "<=" INT "(" pred "," pred ")"
+//!              | "release" "<=" INT "(" pred "," pred ")"
+//!              | "deadlock" "-" "free"
 //! pred        := andPred ("||" andPred)*
 //! andPred     := notPred ("&&" notPred)*
 //! notPred     := "!" notPred | "(" pred ")" | IDENT [("#" | "=>") IDENT]
@@ -135,9 +138,10 @@ pub fn compile_str(input: &str) -> Result<Compiled, LangError> {
 }
 
 /// Parses one property in the textual syntax (`always(…)`,
-/// `never(…)`, `eventually<=k(…)`, `deadlock-free`) and resolves its
-/// event names against `universe` — the small textual property syntax
-/// feeding [`Prop`].
+/// `never(…)`, `eventually<=k(…)`, `until<=k(…, …)`,
+/// `release<=k(…, …)`, `deadlock-free`) and resolves its event names
+/// against `universe` — the small textual property syntax feeding
+/// [`Prop`].
 ///
 /// The accepted syntax is exactly what [`Prop::display`] prints:
 ///

@@ -15,6 +15,8 @@
 //! prop        := "always" "(" pred ")"
 //!              | "never" "(" pred ")"
 //!              | "eventually" "<=" INT "(" pred ")"
+//!              | "until" "<=" INT "(" pred "," pred ")"
+//!              | "release" "<=" INT "(" pred "," pred ")"
 //!              | "deadlock" "-" "free"
 //! pred        := andPred ("||" andPred)*
 //! andPred     := notPred ("&&" notPred)*
@@ -329,6 +331,28 @@ impl<'a> Parser<'a> {
             self.expect_sym(")")?;
             return Ok(PropAst::EventuallyWithin(p, k));
         }
+        if self.at_keyword("until") || self.at_keyword("release") {
+            let release = self.at_keyword("release");
+            self.pos += 1;
+            self.expect_sym("<=")?;
+            let (line, column) = self.position();
+            let k = self.expect_int("a step bound")?;
+            let k = usize::try_from(k).map_err(|_| LangError::Parse {
+                line,
+                column,
+                message: format!("step bound `{k}` must be non-negative"),
+            })?;
+            self.expect_sym("(")?;
+            let p = self.pred()?;
+            self.expect_sym(",")?;
+            let q = self.pred()?;
+            self.expect_sym(")")?;
+            return Ok(if release {
+                PropAst::ReleaseWithin(p, q, k)
+            } else {
+                PropAst::UntilWithin(p, q, k)
+            });
+        }
         if self.at_keyword("deadlock") {
             self.pos += 1;
             self.expect_sym("-")?;
@@ -336,7 +360,8 @@ impl<'a> Parser<'a> {
             return Ok(PropAst::DeadlockFree);
         }
         Err(self.err(format!(
-            "expected `always`, `never`, `eventually<=k` or `deadlock-free`, found {}",
+            "expected `always`, `never`, `eventually<=k`, `until<=k`, `release<=k` or \
+             `deadlock-free`, found {}",
             self.describe()
         )))
     }
@@ -501,6 +526,10 @@ spec pipeline {
             ("always(a)", 0usize),
             ("never((a && b))", 0),
             ("eventually<=4((a || !b))", 4),
+            ("until<=3(a, b)", 0),
+            ("until<=7((a && !b), (b || c))", 0),
+            ("release<=2(a => b, c)", 0),
+            ("release<=0(!a, b # c)", 0),
             ("always(a => b)", 0),
             ("never(!a # b)", 0),
             ("deadlock-free", 0),
@@ -540,6 +569,15 @@ spec pipeline {
             ),
             // a property typo
             ("spec x {\n  events a;\n  assert allways(a);\n}", 3, 10),
+            // until with one predicate: error at the `)` where the
+            // `,` was expected
+            ("spec x {\n  events a;\n  assert until<=2(a);\n}", 3, 20),
+            // release missing its bound: error at the `(`
+            (
+                "spec x {\n  events a, b;\n  assert release<=(a, b);\n}",
+                3,
+                19,
+            ),
             // stray token at top level
             ("spec x { events a; } garbage", 1, 22),
             // a non-bit in a bit vector
@@ -594,6 +632,12 @@ spec pipeline {
             "spec x { constraint = subclock(a, b); }",
             "spec x { assert eventually<=(a); }",
             "spec x { assert eventually<=-1(a); }",
+            "spec x { assert until<=2(a); }",
+            "spec x { assert until<=(a, b); }",
+            "spec x { assert until<=-1(a, b); }",
+            "spec x { assert release<=2(a b); }",
+            "spec x { assert release<=2(a, ); }",
+            "spec x { assert until(a, b); }",
             "spec x { assert deadlock-locked; }",
             "spec x { library L }",
             "spec x { constraint c = subclock(a,); }",

@@ -31,6 +31,8 @@ impl fmt::Display for PropAst {
             PropAst::Always(p) => write!(f, "always({p})"),
             PropAst::Never(p) => write!(f, "never({p})"),
             PropAst::EventuallyWithin(p, k) => write!(f, "eventually<={k}({p})"),
+            PropAst::UntilWithin(p, q, k) => write!(f, "until<={k}({p}, {q})"),
+            PropAst::ReleaseWithin(p, q, k) => write!(f, "release<={k}({p}, {q})"),
             PropAst::DeadlockFree => write!(f, "deadlock-free"),
         }
     }

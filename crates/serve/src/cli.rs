@@ -25,6 +25,7 @@ use crate::server;
 use crate::service::ServiceConfig;
 use moccml_engine::{ExploreMonitor, ExploreOptions};
 use moccml_obs::Recorder;
+use moccml_smc::{check_statistical_observed, okamoto_sample_size, SmcRun, SmcVerdict};
 use std::fmt::Write as _;
 
 pub use moccml_lang::cli::{EXIT_ERROR, EXIT_OK, EXIT_VIOLATED};
@@ -34,6 +35,15 @@ service:
   serve        run the verification daemon (NDJSON over TCP)
                [--listen ADDR] [--workers N] [--cache-capacity K] [--queue-depth Q]
   client       run a scripted session: moccml client <ADDR> <script.jsonl>
+
+statistical:
+  --statistical
+               check: Monte-Carlo trace sampling (Okamoto budget, or
+               Wald's SPRT with --prob-threshold) instead of exhaustive
+               exploration; [--epsilon E] [--delta D]
+               [--prob-threshold P] [--max-trace-len N] [--seed S]
+               [--workers N] — the report is identical for any worker
+               count given the same seed
 
 formats:
   --format FMT check/explore/simulate/conformance output: text | json
@@ -93,6 +103,15 @@ fn run_recorded(args: &[String], out: &mut String, recorder: &Recorder) -> i32 {
                 EXIT_ERROR
             }
         },
+        Some("check") if args.iter().any(|a| a == "--statistical") => {
+            match try_statistical(args, out, recorder) {
+                Ok(code) => code,
+                Err(message) => {
+                    let _ = writeln!(out, "error: {message}");
+                    EXIT_ERROR
+                }
+            }
+        }
         Some("check" | "explore" | "simulate" | "conformance") => match json_format(args) {
             Ok(Some(stripped)) => match try_json(&stripped, out, recorder) {
                 Ok(code) => code,
@@ -179,6 +198,17 @@ fn strip_text_format(args: &[String]) -> Vec<String> {
     }
 }
 
+fn float_flag(args: &[String], name: &str) -> Result<Option<f64>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse::<f64>().ok())
+            .map(Some)
+            .ok_or_else(|| format!("{name} needs a number")),
+    }
+}
+
 fn flag(args: &[String], name: &str) -> Result<Option<usize>, String> {
     match args.iter().position(|a| a == name) {
         None => Ok(None),
@@ -240,6 +270,116 @@ fn explore_options(args: &[String]) -> Result<ExploreOptions, String> {
         options = options.with_workers(n);
     }
     Ok(options)
+}
+
+/// The `check --statistical` mode: Monte-Carlo trace sampling through
+/// [`moccml_smc`] instead of exhaustive exploration. Text prints one
+/// aligned row per property (plus the minimized witness when sampling
+/// found one); `--format json` prints the [`ops::smc_json`] object —
+/// byte-identical to a serve `smc` result payload, and invariant under
+/// `--workers` for a fixed `--seed`.
+fn try_statistical(args: &[String], out: &mut String, recorder: &Recorder) -> Result<i32, String> {
+    let (json, mut args) = match json_format(args)? {
+        Some(stripped) => (true, stripped),
+        None => (false, strip_text_format(args)),
+    };
+    args.retain(|a| a != "--statistical");
+    let Some(spec_path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        return Err("missing <spec.mcc> path".to_owned());
+    };
+    let source = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read `{spec_path}`: {e}"))?;
+    let ast = {
+        let _span = recorder.span("parse");
+        moccml_lang::parse_spec(&source).map_err(|e| {
+            let (line, column) = e.position();
+            format!("{spec_path}:{line}:{column}: {e}")
+        })?
+    };
+    let compiled = {
+        let _span = recorder.span("compile");
+        moccml_lang::compile(&ast).map_err(|e| {
+            let (line, column) = e.position();
+            format!("{spec_path}:{line}:{column}: {e}")
+        })?
+    };
+    let rest = &args[2..];
+    let options = ops::smc_options(
+        float_flag(rest, "--epsilon")?,
+        float_flag(rest, "--delta")?,
+        float_flag(rest, "--prob-threshold")?,
+        flag(rest, "--max-trace-len")?,
+        flag(rest, "--seed")?.map(|s| s as u64),
+        flag(rest, "--workers")?,
+    )?;
+    let run = SmcRun::new(recorder);
+    if json {
+        let payload = ops::smc_json(&compiled, &options, &run);
+        let violated = payload.get("violated").and_then(Json::as_bool) == Some(true);
+        let _ = writeln!(out, "{}", payload.to_line());
+        return Ok(if violated { EXIT_VIOLATED } else { EXIT_OK });
+    }
+    let universe = compiled.universe();
+    if compiled.props.is_empty() {
+        let _ = writeln!(
+            out,
+            "spec `{}`: no properties to check (add `assert …;` items)",
+            compiled.name
+        );
+        return Ok(EXIT_OK);
+    }
+    match options.prob_threshold {
+        Some(threshold) => {
+            let _ = writeln!(
+                out,
+                "statistical check (SPRT): threshold {threshold}, epsilon {}, delta {}",
+                options.epsilon, options.delta
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "statistical check: epsilon {}, delta {} ({:.1}% confidence), {} traces",
+                options.epsilon,
+                options.delta,
+                (1.0 - options.delta) * 100.0,
+                okamoto_sample_size(options.epsilon, options.delta)
+            );
+        }
+    }
+    let mut violated = false;
+    for prop in &compiled.props {
+        let report = check_statistical_observed(&compiled.program, prop, &options, &run);
+        violated |= report.witness.is_some() || report.verdict == SmcVerdict::AboveThreshold;
+        let label = match report.verdict {
+            SmcVerdict::Estimated => "estimated",
+            SmcVerdict::AboveThreshold => "ABOVE",
+            SmcVerdict::BelowThreshold => "below",
+            SmcVerdict::Undecided => "undecided",
+            SmcVerdict::Cancelled => "cancelled",
+        };
+        let _ = writeln!(
+            out,
+            "{:<40} {:<12} p = {:.4} in [{:.4}, {:.4}] ({} traces, {} violations)",
+            prop.display(universe),
+            label,
+            report.estimate,
+            report.ci_low,
+            report.ci_high,
+            report.traces,
+            report.violations
+        );
+        if let Some(ce) = &report.witness {
+            let _ = writeln!(
+                out,
+                "{:<40} witness (minimized, {} steps): {}",
+                "",
+                ce.schedule.len(),
+                ops::render_schedule(&ce.schedule, universe)
+            );
+        }
+    }
+    Ok(if violated { EXIT_VIOLATED } else { EXIT_OK })
 }
 
 /// The `--format json` mode of `check`/`explore`/`simulate`/
@@ -482,6 +622,52 @@ mod tests {
         let (code, out) = run_args(&["check", &spec, "--trace"]);
         assert_eq!(code, EXIT_ERROR);
         assert!(out.contains("--trace needs"), "{out}");
+    }
+
+    #[test]
+    fn statistical_check_runs_in_both_formats() {
+        let path = write_temp("alt-smc.mcc", ALT);
+        let base = [
+            "check",
+            path.as_str(),
+            "--statistical",
+            "--epsilon",
+            "0.1",
+            "--seed",
+            "7",
+        ];
+        let (code, out) = run_args(&base);
+        assert_eq!(code, EXIT_VIOLATED, "{out}");
+        assert!(out.contains("statistical check"), "{out}");
+        assert!(out.contains("estimated"), "{out}");
+        assert!(out.contains("witness (minimized, 2 steps): a ; b"), "{out}");
+
+        let mut json_args = base.to_vec();
+        json_args.extend(["--format", "json"]);
+        let (jcode, jout) = run_args(&json_args);
+        assert_eq!(jcode, EXIT_VIOLATED, "{jout}");
+        let payload = Json::parse(jout.trim()).expect("one JSON line");
+        assert_eq!(payload.get("kind").and_then(Json::as_str), Some("smc"));
+        assert_eq!(payload.get("violated").and_then(Json::as_bool), Some(true));
+        // the report is byte-identical for any worker count
+        let mut two = json_args.clone();
+        two.extend(["--workers", "2"]);
+        let (_, two_out) = run_args(&two);
+        assert_eq!(jout, two_out, "worker-count invariance");
+
+        // SPRT mode decides both ways on this spec
+        let mut sprt = base.to_vec();
+        sprt.extend(["--prob-threshold", "0.5"]);
+        let (code, out) = run_args(&sprt);
+        assert_eq!(code, EXIT_VIOLATED, "{out}");
+        assert!(out.contains("SPRT"), "{out}");
+        assert!(out.contains("ABOVE"), "{out}");
+        assert!(out.contains("below"), "{out}");
+
+        // out-of-range knobs are usage errors, not panics
+        let (code, out) = run_args(&["check", &path, "--statistical", "--epsilon", "2"]);
+        assert_eq!(code, EXIT_ERROR);
+        assert!(out.contains("epsilon"), "{out}");
     }
 
     #[test]

@@ -96,6 +96,18 @@ impl Json {
         }
     }
 
+    /// The numeric payload as a float: floats directly, integers
+    /// widened (statistical knobs like `epsilon` accept both `0.05`
+    /// and a bare `1`).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(v) => Some(*v),
+            Json::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
     /// The boolean payload, if this is a boolean.
     #[must_use]
     pub fn as_bool(&self) -> Option<bool> {
@@ -522,9 +534,14 @@ mod tests {
 
     #[test]
     fn accessors_select_members() {
-        let value = Json::parse(r#"{"id":"r1","n":3,"ok":false,"xs":[1]}"#).expect("parses");
+        let value =
+            Json::parse(r#"{"id":"r1","n":3,"ok":false,"xs":[1],"f":2.5}"#).expect("parses");
         assert_eq!(value.get("id").and_then(Json::as_str), Some("r1"));
         assert_eq!(value.get("n").and_then(Json::as_i64), Some(3));
+        assert_eq!(value.get("f").and_then(Json::as_f64), Some(2.5));
+        // integers widen through the float accessor, strings do not
+        assert_eq!(value.get("n").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(value.get("id").and_then(Json::as_f64), None);
         assert_eq!(value.get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(
             value.get("xs").and_then(Json::as_arr).map(<[Json]>::len),

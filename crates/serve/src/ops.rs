@@ -15,6 +15,7 @@ use moccml_engine::{
 };
 use moccml_kernel::{Schedule, Universe};
 use moccml_lang::Compiled;
+use moccml_smc::{check_statistical_observed, okamoto_sample_size, SmcOptions, SmcRun, SmcVerdict};
 use moccml_verify::{check_props_observed, conformance, minimize_witness, PropStatus, Verdict};
 
 /// A progress observer: `(states, transitions, depth) -> control`.
@@ -252,6 +253,122 @@ pub fn with_throughput(payload: Json, states: usize, elapsed: std::time::Duratio
     }
 }
 
+/// Builds validated [`SmcOptions`] from optional wire/CLI knobs,
+/// turning out-of-range values into messages instead of the library's
+/// panics (daemon workers and the CLI both want a clean `error`).
+///
+/// # Errors
+///
+/// Returns a message naming the offending knob and its valid range.
+pub fn smc_options(
+    epsilon: Option<f64>,
+    delta: Option<f64>,
+    prob_threshold: Option<f64>,
+    max_trace_len: Option<usize>,
+    seed: Option<u64>,
+    workers: Option<usize>,
+) -> Result<SmcOptions, String> {
+    let mut options = SmcOptions::default();
+    if let Some(e) = epsilon {
+        if !(e > 0.0 && e < 1.0) {
+            return Err(format!("epsilon must be in (0, 1), got {e}"));
+        }
+        options = options.with_epsilon(e);
+    }
+    if let Some(d) = delta {
+        if !(d > 0.0 && d < 1.0) {
+            return Err(format!("delta must be in (0, 1), got {d}"));
+        }
+        options = options.with_delta(d);
+    }
+    if let Some(t) = prob_threshold {
+        if !(t > 0.0 && t < 1.0) {
+            return Err(format!("prob-threshold must be in (0, 1), got {t}"));
+        }
+        options = options.with_prob_threshold(t);
+    }
+    if let Some(len) = max_trace_len {
+        if len == 0 {
+            return Err("max-trace-len must be positive".to_owned());
+        }
+        options = options.with_max_trace_len(len);
+    }
+    if let Some(s) = seed {
+        options = options.with_seed(s);
+    }
+    if let Some(w) = workers {
+        options = options.with_workers(w.max(1));
+    }
+    Ok(options)
+}
+
+/// `smc`: statistically checks every `assert`ed property by
+/// Monte-Carlo trace sampling, one [`SmcReport`](moccml_smc::SmcReport)
+/// per property rendered into the shared schema.
+///
+/// Shape: `{"kind":"smc","spec",…,"epsilon","delta","confidence",
+/// "mode":"fixed-sample"|"sequential",("samples"|"threshold"),
+/// "properties":[{"prop","verdict","traces","violations","estimate",
+/// "ci_low","ci_high","witness_trace"?,"witness"?}],"violated":bool}`.
+/// The witness schedule is already minimized (the report re-validates
+/// and minimizes it through the verify layer).
+#[must_use]
+pub fn smc_json(compiled: &Compiled, options: &SmcOptions, run: &SmcRun<'_>) -> Json {
+    let universe = compiled.universe();
+    let mut properties = Vec::new();
+    let mut violated = false;
+    for prop in &compiled.props {
+        let report = check_statistical_observed(&compiled.program, prop, options, run);
+        let verdict = match report.verdict {
+            SmcVerdict::Estimated => "estimated",
+            SmcVerdict::AboveThreshold => "above-threshold",
+            SmcVerdict::BelowThreshold => "below-threshold",
+            SmcVerdict::Undecided => "undecided",
+            SmcVerdict::Cancelled => "cancelled",
+        };
+        violated |= report.witness.is_some() || report.verdict == SmcVerdict::AboveThreshold;
+        let mut members = vec![
+            ("prop".to_owned(), Json::Str(prop.display(universe))),
+            ("verdict".to_owned(), Json::str(verdict)),
+            ("traces".to_owned(), Json::int(report.traces)),
+            ("violations".to_owned(), Json::int(report.violations)),
+            ("estimate".to_owned(), Json::Float(report.estimate)),
+            ("ci_low".to_owned(), Json::Float(report.ci_low)),
+            ("ci_high".to_owned(), Json::Float(report.ci_high)),
+        ];
+        if let Some(index) = report.witness_trace {
+            members.push(("witness_trace".to_owned(), Json::int(index)));
+        }
+        if let Some(ce) = &report.witness {
+            members.push(("witness".to_owned(), schedule_obj(&ce.schedule, universe)));
+        }
+        properties.push(Json::Obj(members));
+    }
+    let mut top = vec![
+        ("kind".to_owned(), Json::str("smc")),
+        ("spec".to_owned(), Json::str(&compiled.name)),
+        ("epsilon".to_owned(), Json::Float(options.epsilon)),
+        ("delta".to_owned(), Json::Float(options.delta)),
+        ("confidence".to_owned(), Json::Float(1.0 - options.delta)),
+    ];
+    match options.prob_threshold {
+        Some(threshold) => {
+            top.push(("mode".to_owned(), Json::str("sequential")));
+            top.push(("threshold".to_owned(), Json::Float(threshold)));
+        }
+        None => {
+            top.push(("mode".to_owned(), Json::str("fixed-sample")));
+            top.push((
+                "samples".to_owned(),
+                Json::int(okamoto_sample_size(options.epsilon, options.delta)),
+            ));
+        }
+    }
+    top.push(("properties".to_owned(), Json::Arr(properties)));
+    top.push(("violated".to_owned(), Json::Bool(violated)));
+    Json::Obj(top)
+}
+
 fn boxed_policy(name: &str, seed: u64) -> Result<Box<dyn Policy>, String> {
     Ok(match name {
         "lexicographic" => Box::new(Lexicographic),
@@ -451,6 +568,72 @@ mod tests {
         assert_eq!(bad.get("verdict").and_then(Json::as_str), Some("violation"));
         assert_eq!(bad.get("step").and_then(Json::as_i64), Some(1));
         assert!(conformance_json(&c, "a\nzzz\n").is_err());
+    }
+
+    #[test]
+    fn smc_json_estimates_and_carries_minimized_witnesses() {
+        let c = compiled();
+        let options =
+            smc_options(Some(0.1), Some(0.05), None, None, Some(7), Some(2)).expect("valid knobs");
+        let recorder = moccml_obs::Recorder::disabled();
+        let json = smc_json(&c, &options, &SmcRun::new(&recorder));
+        assert_eq!(json.get("kind").and_then(Json::as_str), Some("smc"));
+        assert_eq!(
+            json.get("mode").and_then(Json::as_str),
+            Some("fixed-sample")
+        );
+        assert_eq!(json.get("samples").and_then(Json::as_i64), Some(185));
+        assert_eq!(json.get("violated").and_then(Json::as_bool), Some(true));
+        let props = json
+            .get("properties")
+            .and_then(Json::as_arr)
+            .expect("array");
+        assert_eq!(props.len(), 2);
+        // never((a && b)) holds on every sampled trace
+        assert_eq!(
+            props[0].get("verdict").and_then(Json::as_str),
+            Some("estimated")
+        );
+        assert_eq!(props[0].get("violations").and_then(Json::as_i64), Some(0));
+        assert!(props[0].get("witness").is_none());
+        // never(b) is violated on every trace: estimate 1, witness `b`
+        assert_eq!(props[1].get("estimate").and_then(Json::as_f64), Some(1.0));
+        let witness = props[1].get("witness").expect("witness");
+        assert_eq!(
+            witness.get("schedule").and_then(Json::as_str),
+            Some("a ; b"),
+            "minimized witness in the shared schedule rendering"
+        );
+
+        // sequential mode names its threshold and decides
+        let seq = smc_options(Some(0.1), Some(0.05), Some(0.5), None, Some(7), None)
+            .expect("valid knobs");
+        let json = smc_json(&c, &seq, &SmcRun::new(&recorder));
+        assert_eq!(json.get("mode").and_then(Json::as_str), Some("sequential"));
+        assert_eq!(json.get("threshold").and_then(Json::as_f64), Some(0.5));
+        let props = json
+            .get("properties")
+            .and_then(Json::as_arr)
+            .expect("array");
+        assert_eq!(
+            props[0].get("verdict").and_then(Json::as_str),
+            Some("below-threshold")
+        );
+        assert_eq!(
+            props[1].get("verdict").and_then(Json::as_str),
+            Some("above-threshold")
+        );
+    }
+
+    #[test]
+    fn smc_options_reject_out_of_range_knobs() {
+        assert!(smc_options(Some(0.0), None, None, None, None, None).is_err());
+        assert!(smc_options(None, Some(1.0), None, None, None, None).is_err());
+        assert!(smc_options(None, None, Some(-0.5), None, None, None).is_err());
+        assert!(smc_options(None, None, None, Some(0), None, None).is_err());
+        // zero workers clamp up instead of erroring (mirrors serve)
+        let clamped = smc_options(None, None, None, None, None, Some(0)).expect("clamps");
+        assert_eq!(clamped.workers, 1);
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub enum Method {
     Simulate,
     /// Replay a recorded trace against the spec.
     Conformance,
+    /// Statistical model checking: Monte-Carlo trace sampling with
+    /// Okamoto/SPRT bounds instead of exhaustive exploration.
+    Smc,
     /// Static analysis of the spec.
     Lint,
     /// Service health: uptime, cache and queue counters, latencies.
@@ -53,6 +56,7 @@ impl Method {
             Method::Explore => "explore",
             Method::Simulate => "simulate",
             Method::Conformance => "conformance",
+            Method::Smc => "smc",
             Method::Lint => "lint",
             Method::Status => "status",
             Method::Metrics => "metrics",
@@ -69,6 +73,7 @@ impl Method {
             "explore" => Method::Explore,
             "simulate" => Method::Simulate,
             "conformance" => Method::Conformance,
+            "smc" => Method::Smc,
             "lint" => Method::Lint,
             "status" => Method::Status,
             "metrics" => Method::Metrics,
@@ -91,7 +96,7 @@ impl Method {
 
 /// Per-request knobs, all optional on the wire and clamped to the
 /// service budgets before use.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RequestOptions {
     /// Worker threads for this job's exploration.
     pub workers: Option<usize>,
@@ -105,14 +110,23 @@ pub struct RequestOptions {
     pub steps: Option<usize>,
     /// Simulation policy name.
     pub policy: Option<String>,
-    /// Simulation seed (random policy).
+    /// Simulation seed (random policy); also the `smc` base seed.
     pub seed: Option<u64>,
     /// Lint: treat warnings as errors.
     pub deny_warnings: bool,
+    /// `smc`: estimation half-width ε.
+    pub epsilon: Option<f64>,
+    /// `smc`: error bound δ (confidence is `1 - δ`).
+    pub delta: Option<f64>,
+    /// `smc`: run the sequential SPRT against this violation
+    /// probability threshold instead of a fixed-size estimate.
+    pub prob_threshold: Option<f64>,
+    /// `smc`: per-trace length cap.
+    pub max_trace_len: Option<usize>,
 }
 
 /// A decoded request line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Client-chosen correlation id, echoed on every event.
     pub id: String,
@@ -175,6 +189,10 @@ impl Request {
                 .get("deny_warnings")
                 .and_then(Json::as_bool)
                 .unwrap_or(false),
+            epsilon: value.get("epsilon").and_then(Json::as_f64),
+            delta: value.get("delta").and_then(Json::as_f64),
+            prob_threshold: value.get("prob_threshold").and_then(Json::as_f64),
+            max_trace_len: usize_field("max_trace_len"),
         };
         Ok(Request {
             id,
@@ -237,6 +255,20 @@ pub fn progress_with(
             "interner_occupancy",
             Json::Float(metrics.interner_occupancy()),
         ),
+    ])
+}
+
+/// `progress` for a statistical (`smc`) job: consumed traces and
+/// violations so far against the planned Okamoto budget (sequential
+/// runs usually stop long before `planned`).
+#[must_use]
+pub fn smc_progress(id: &str, traces: usize, violations: usize, planned: usize) -> Json {
+    Json::obj([
+        ("event", Json::str("progress")),
+        ("id", Json::str(id)),
+        ("traces", Json::int(traces)),
+        ("violations", Json::int(violations)),
+        ("planned", Json::int(planned)),
     ])
 }
 
@@ -325,7 +357,9 @@ mod tests {
     fn requests_decode_with_all_options() {
         let line = r#"{"id":"r7","method":"check","spec":"spec s {}","workers":2,
                        "max_states":500,"max_depth":9,"timeout_ms":250,"steps":4,
-                       "policy":"random","seed":7,"deny_warnings":true}"#
+                       "policy":"random","seed":7,"deny_warnings":true,
+                       "epsilon":0.05,"delta":0.01,"prob_threshold":0.5,
+                       "max_trace_len":128}"#
             .replace('\n', " ");
         let req = Request::parse(&line).expect("decodes");
         assert_eq!(req.id, "r7");
@@ -339,6 +373,10 @@ mod tests {
         assert_eq!(req.options.policy.as_deref(), Some("random"));
         assert_eq!(req.options.seed, Some(7));
         assert!(req.options.deny_warnings);
+        assert_eq!(req.options.epsilon, Some(0.05));
+        assert_eq!(req.options.delta, Some(0.01));
+        assert_eq!(req.options.prob_threshold, Some(0.5));
+        assert_eq!(req.options.max_trace_len, Some(128));
     }
 
     #[test]
@@ -357,6 +395,7 @@ mod tests {
             Method::Explore,
             Method::Simulate,
             Method::Conformance,
+            Method::Smc,
             Method::Lint,
             Method::Status,
             Method::Metrics,
@@ -366,6 +405,7 @@ mod tests {
             assert_eq!(Method::parse(m.name()), Some(m));
         }
         assert!(Method::Check.is_job());
+        assert!(Method::Smc.is_job());
         assert!(!Method::Status.is_job());
         assert!(!Method::Metrics.is_job());
         assert!(!Method::Cancel.is_job());
@@ -381,6 +421,10 @@ mod tests {
         assert_eq!(
             progress("r1", 10, 20, 3).to_line(),
             r#"{"event":"progress","id":"r1","states":10,"transitions":20,"depth":3}"#
+        );
+        assert_eq!(
+            smc_progress("r1", 512, 3, 18_445).to_line(),
+            r#"{"event":"progress","id":"r1","traces":512,"violations":3,"planned":18445}"#
         );
         assert_eq!(
             cancelled("r1").to_line(),

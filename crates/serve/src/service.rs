@@ -389,6 +389,7 @@ impl Service {
             Method::Explore,
             Method::Simulate,
             Method::Conformance,
+            Method::Smc,
             Method::Lint,
         ];
         let methods = all
@@ -458,6 +459,7 @@ impl Service {
             Method::Explore,
             Method::Simulate,
             Method::Conformance,
+            Method::Smc,
             Method::Lint,
         ]
         .iter()
@@ -622,6 +624,12 @@ fn execute(inner: &Arc<Inner>, request: &Request, sink: &Arc<dyn EventSink>) -> 
     let throttle = Duration::from_millis(config.progress_interval_ms);
     let mut last_emit: Option<Instant> = None;
     let mut interrupt: Option<Interrupt> = None;
+    // the smc sampler takes a shared-reference progress hook and a
+    // plain cancel flag, so its interrupt bookkeeping is atomic rather
+    // than captured mutably like the explorer's
+    let smc_stop = AtomicBool::new(false);
+    let smc_cancelled = AtomicBool::new(false);
+    let smc_timed_out = AtomicBool::new(false);
     let mut progress = |states: usize, transitions: usize, depth: usize| {
         if state.cancel.load(Ordering::Relaxed) {
             interrupt = Some(Interrupt::Cancelled);
@@ -663,10 +671,57 @@ fn execute(inner: &Arc<Inner>, request: &Request, sink: &Arc<dyn EventSink>) -> 
             None => Err("conformance needs a `trace` (Schedule::parse_lines text)".to_owned()),
         },
         Method::Lint => ops::lint_json(&compiled.name, spec, options.deny_warnings),
+        Method::Smc => ops::smc_options(
+            options.epsilon,
+            options.delta,
+            options.prob_threshold,
+            options.max_trace_len,
+            options.seed,
+            Some(
+                options
+                    .workers
+                    .unwrap_or(1)
+                    .clamp(1, config.max_job_workers.max(1)),
+            ),
+        )
+        .map(|smc_options| {
+            let smc_last_emit: Mutex<Option<Instant>> = Mutex::new(None);
+            let on_progress = |p: &moccml_smc::SmcProgress| {
+                if state.cancel.load(Ordering::Relaxed) {
+                    smc_cancelled.store(true, Ordering::Relaxed);
+                    smc_stop.store(true, Ordering::Relaxed);
+                } else if Instant::now() >= deadline {
+                    smc_timed_out.store(true, Ordering::Relaxed);
+                    smc_stop.store(true, Ordering::Relaxed);
+                }
+                let mut last = smc_last_emit.lock().expect("throttle lock");
+                if last.is_none_or(|t| t.elapsed() >= throttle) {
+                    *last = Some(Instant::now());
+                    sink.emit(&protocol::smc_progress(
+                        id,
+                        p.traces,
+                        p.violations,
+                        p.planned,
+                    ));
+                }
+            };
+            let run = moccml_smc::SmcRun {
+                recorder: &job_obs,
+                progress: Some(&on_progress),
+                cancel: Some(&smc_stop),
+                progress_every: 0,
+            };
+            ops::smc_json(&compiled, &smc_options, &run)
+        }),
         Method::Status | Method::Metrics | Method::Cancel | Method::Shutdown => {
             unreachable!("handled synchronously at dispatch")
         }
     };
+    if smc_cancelled.load(Ordering::Relaxed) {
+        interrupt = Some(Interrupt::Cancelled);
+    } else if smc_timed_out.load(Ordering::Relaxed) {
+        interrupt = Some(Interrupt::TimedOut);
+    }
     let snap = job_obs.snapshot();
     // settle the roll-up before the terminal event goes out, so a
     // client that saw the result observes its job in `metrics`
@@ -722,6 +777,58 @@ mod tests {
         let payload = result.get("result").expect("payload");
         assert_eq!(payload.get("kind").and_then(Json::as_str), Some("check"));
         assert_eq!(payload.get("violated").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn smc_job_estimates_with_progress_and_rejects_bad_knobs() {
+        let service = Service::new(ServiceConfig {
+            progress_interval_ms: 0,
+            ..ServiceConfig::default()
+        });
+        let line = r#"{"id":"s1","method":"smc","spec":SPEC,"epsilon":0.1,"seed":7}"#
+            .replace("SPEC", &Json::str(ALT).to_line());
+        let events = service.call(&line);
+        let result = terminal(&events, "s1");
+        assert_eq!(result.get("event").and_then(Json::as_str), Some("result"));
+        let payload = result.get("result").expect("payload");
+        assert_eq!(payload.get("kind").and_then(Json::as_str), Some("smc"));
+        assert_eq!(payload.get("violated").and_then(Json::as_bool), Some(true));
+        // the aggregator's final checkpoint always emits a progress event
+        assert!(
+            events.iter().any(|e| {
+                e.get("event").and_then(Json::as_str) == Some("progress")
+                    && e.get("traces").is_some()
+            }),
+            "{events:?}"
+        );
+        // out-of-range knobs become a protocol error, not a panic
+        let bad = r#"{"id":"s2","method":"smc","spec":SPEC,"epsilon":7.0}"#
+            .replace("SPEC", &Json::str(ALT).to_line());
+        let events = service.call(&bad);
+        let e = terminal(&events, "s2");
+        assert!(
+            e.get("error")
+                .and_then(Json::as_str)
+                .expect("msg")
+                .contains("epsilon"),
+            "{e:?}"
+        );
+        // the smc latency histogram lands in status under its own name
+        let events = service.call(r#"{"id":"st","method":"status"}"#);
+        let payload = terminal(&events, "st")
+            .get("result")
+            .cloned()
+            .expect("payload");
+        let methods = payload
+            .get("methods")
+            .and_then(Json::as_arr)
+            .expect("methods");
+        assert!(
+            methods
+                .iter()
+                .any(|m| m.get("method").and_then(Json::as_str) == Some("smc")),
+            "{methods:?}"
+        );
     }
 
     #[test]

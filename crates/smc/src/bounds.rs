@@ -1,0 +1,296 @@
+//! The statistical machinery: sample-size bounds, sequential tests and
+//! confidence intervals.
+//!
+//! Everything here is plain arithmetic on the trace verdict stream —
+//! no randomness, no threading — so the sampler can stay the only
+//! place where nondeterminism could creep in (and it forks seeds per
+//! trace index precisely so it doesn't).
+
+/// The Okamoto/Chernoff fixed sample size: the smallest `N` such that
+/// `N` Bernoulli samples estimate the true probability within
+/// `epsilon` with confidence `1 - delta`,
+/// `N = ⌈ln(2/δ) / (2ε²)⌉`.
+///
+/// # Example
+///
+/// ```
+/// // the classic (ε = 0.01, δ = 0.05) budget
+/// assert_eq!(moccml_smc::okamoto_sample_size(0.01, 0.05), 18_445);
+/// ```
+///
+/// # Panics
+///
+/// Panics unless `0 < epsilon < 1` and `0 < delta < 1`.
+#[must_use]
+pub fn okamoto_sample_size(epsilon: f64, delta: f64) -> usize {
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "epsilon must be in (0, 1), got {epsilon}"
+    );
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "delta must be in (0, 1), got {delta}"
+    );
+    let n = ((2.0 / delta).ln() / (2.0 * epsilon * epsilon)).ceil();
+    n as usize
+}
+
+/// The Wilson score interval for `violations` successes out of
+/// `traces` Bernoulli samples at confidence `1 - delta`. Returns
+/// `(0.0, 1.0)` for an empty sample.
+///
+/// Unlike the naive normal interval, Wilson stays inside `[0, 1]` and
+/// keeps coverage near the boundaries — exactly where rare-violation
+/// estimates live.
+#[must_use]
+pub fn wilson_interval(violations: usize, traces: usize, delta: f64) -> (f64, f64) {
+    if traces == 0 {
+        return (0.0, 1.0);
+    }
+    let n = traces as f64;
+    let p = violations as f64 / n;
+    let z = normal_quantile(1.0 - delta / 2.0);
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// The standard normal quantile function `Φ⁻¹(p)`, computed with
+/// Acklam's rational approximation (absolute error below `1.15e-9`
+/// over the open unit interval) — enough for confidence intervals,
+/// without pulling a numerics dependency into the workspace.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+#[must_use]
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile needs p in (0, 1), got {p}");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let tail = |q: f64| -> f64 {
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    if p < P_LOW {
+        tail((-2.0 * p.ln()).sqrt())
+    } else if p > 1.0 - P_LOW {
+        -tail((-2.0 * (1.0 - p).ln()).sqrt())
+    } else {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    }
+}
+
+/// Wald's sequential probability ratio test for "the violation
+/// probability exceeds `threshold`", with indifference region
+/// `[threshold - epsilon, threshold + epsilon]` and symmetric error
+/// bounds `alpha = beta = delta`.
+///
+/// Feed it the trace verdicts **in trace-index order** (the sampler's
+/// aggregator guarantees this) and it answers as soon as the
+/// accumulated log-likelihood ratio crosses a boundary — typically
+/// orders of magnitude earlier than the fixed Okamoto budget when the
+/// true probability is far from the threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sprt {
+    llr: f64,
+    llr_violation: f64,
+    llr_ok: f64,
+    accept_above: f64,
+    accept_below: f64,
+}
+
+/// The outcome of a decided [`Sprt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SprtDecision {
+    /// `H1` accepted: the violation probability is at or above
+    /// `threshold + epsilon` (with error probability at most `delta`).
+    Above,
+    /// `H0` accepted: the violation probability is at or below
+    /// `threshold - epsilon` (with error probability at most `delta`).
+    Below,
+}
+
+impl Sprt {
+    /// A fresh test of `p >= threshold` versus `p <= threshold` with
+    /// indifference half-width `epsilon` and error bound `delta`. The
+    /// two hypothesis points are clamped into the open unit interval,
+    /// so thresholds near 0 or 1 stay well-defined.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threshold`, `epsilon` and `delta` all lie in
+    /// `(0, 1)`.
+    #[must_use]
+    pub fn new(threshold: f64, epsilon: f64, delta: f64) -> Sprt {
+        assert!(
+            threshold > 0.0 && threshold < 1.0,
+            "threshold must be in (0, 1), got {threshold}"
+        );
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0, 1), got {epsilon}"
+        );
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "delta must be in (0, 1), got {delta}"
+        );
+        let p0 = (threshold - epsilon).max(1e-9);
+        let p1 = (threshold + epsilon).min(1.0 - 1e-9);
+        Sprt {
+            llr: 0.0,
+            llr_violation: (p1 / p0).ln(),
+            llr_ok: ((1.0 - p1) / (1.0 - p0)).ln(),
+            accept_above: ((1.0 - delta) / delta).ln(),
+            accept_below: (delta / (1.0 - delta)).ln(),
+        }
+    }
+
+    /// Folds in the next trace verdict; returns the decision once a
+    /// boundary is crossed. Observations after a decision keep
+    /// returning a decision (the ratio only moves further out), but
+    /// the sampler stops at the first one.
+    pub fn observe(&mut self, violated: bool) -> Option<SprtDecision> {
+        self.llr += if violated {
+            self.llr_violation
+        } else {
+            self.llr_ok
+        };
+        if self.llr >= self.accept_above {
+            Some(SprtDecision::Above)
+        } else if self.llr <= self.accept_below {
+            Some(SprtDecision::Below)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn okamoto_matches_hand_computed_budgets() {
+        // ln(2/0.05) / (2·0.01²) = 3.6889/0.0002 = 18444.4 → 18445
+        assert_eq!(okamoto_sample_size(0.01, 0.05), 18_445);
+        // ln(2/0.05) / (2·0.1²) = 3.6889/0.02 = 184.4 → 185
+        assert_eq!(okamoto_sample_size(0.1, 0.05), 185);
+        // tighter delta only grows the budget logarithmically
+        assert!(okamoto_sample_size(0.1, 0.005) < 2 * okamoto_sample_size(0.1, 0.05));
+    }
+
+    #[test]
+    fn normal_quantile_hits_the_textbook_values() {
+        for (p, z) in [
+            (0.5, 0.0),
+            (0.975, 1.959_964),
+            (0.995, 2.575_829),
+            (0.025, -1.959_964),
+            (0.001, -3.090_232), // tail branch
+        ] {
+            assert!(
+                (normal_quantile(p) - z).abs() < 1e-4,
+                "Φ⁻¹({p}) = {} ≠ {z}",
+                normal_quantile(p)
+            );
+        }
+    }
+
+    #[test]
+    fn wilson_brackets_the_estimate_and_stays_in_the_unit_interval() {
+        for (v, n) in [(0usize, 100usize), (1, 100), (50, 100), (100, 100)] {
+            let (lo, hi) = wilson_interval(v, n, 0.05);
+            let p = v as f64 / n as f64;
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+            assert!(lo <= p && p <= hi, "[{lo}, {hi}] misses {p}");
+        }
+        assert_eq!(wilson_interval(0, 0, 0.05), (0.0, 1.0));
+    }
+
+    #[test]
+    fn wilson_tightens_with_more_samples() {
+        let (lo1, hi1) = wilson_interval(10, 100, 0.05);
+        let (lo2, hi2) = wilson_interval(100, 1000, 0.05);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn sprt_accepts_above_on_a_violation_streak() {
+        let mut sprt = Sprt::new(0.5, 0.1, 0.05);
+        let mut decision = None;
+        for i in 0..1000 {
+            decision = sprt.observe(true);
+            if decision.is_some() {
+                assert!(i < 100, "streak should decide quickly");
+                break;
+            }
+        }
+        assert_eq!(decision, Some(SprtDecision::Above));
+    }
+
+    #[test]
+    fn sprt_accepts_below_on_a_clean_streak() {
+        let mut sprt = Sprt::new(0.5, 0.1, 0.05);
+        let mut decision = None;
+        for _ in 0..1000 {
+            decision = sprt.observe(false);
+            if decision.is_some() {
+                break;
+            }
+        }
+        assert_eq!(decision, Some(SprtDecision::Below));
+    }
+
+    #[test]
+    fn sprt_stays_undecided_inside_the_indifference_region() {
+        // perfectly alternating verdicts ≈ p = 0.5 = the threshold:
+        // the ratio oscillates around 0 and never escapes
+        let mut sprt = Sprt::new(0.5, 0.1, 0.05);
+        for i in 0..10_000 {
+            assert_eq!(sprt.observe(i % 2 == 0), None, "at observation {i}");
+        }
+    }
+
+    #[test]
+    fn extreme_thresholds_are_clamped_not_infinite() {
+        let low = Sprt::new(0.05, 0.1, 0.05); // p0 clamps to 1e-9
+        assert!(low.llr_violation.is_finite() && low.llr_ok.is_finite());
+        let high = Sprt::new(0.95, 0.1, 0.05); // p1 clamps to 1 - 1e-9
+        assert!(high.llr_violation.is_finite() && high.llr_ok.is_finite());
+    }
+}

@@ -1,0 +1,295 @@
+//! # moccml-smc
+//!
+//! Statistical model checking for the MoCCML reproduction: when the
+//! scheduling state-space is too large to explore exhaustively,
+//! estimate the probability that a random schedule violates a property
+//! — with explicit statistical guarantees instead of exhaustiveness.
+//!
+//! The checker samples random traces of a compiled
+//! [`Program`](moccml_engine::Program) (fresh
+//! [`Cursor`](moccml_engine::Cursor) per trace, a pluggable
+//! [`TraceScheduler`] choosing uniformly among the acceptable steps)
+//! and evaluates each against the same bounded-temporal monitor core
+//! ([`TraceEvaluator`](moccml_verify::TraceEvaluator)) the exhaustive
+//! checker compiles its observers from — one semantics, two search
+//! strategies. Two statistical regimes share the sampler:
+//!
+//! * **Fixed-sample estimation** (the default): the
+//!   Okamoto/Chernoff bound [`okamoto_sample_size`] turns `(ε, δ)`
+//!   into a sample count `N = ⌈ln(2/δ)/(2ε²)⌉` such that the reported
+//!   estimate is within `ε` of the true violation probability with
+//!   confidence `1 − δ`.
+//! * **Sequential testing** ([`SmcOptions::with_prob_threshold`]):
+//!   Wald's [`Sprt`] decides "violation probability above/below θ"
+//!   with indifference region `θ ± ε`, typically after a small
+//!   fraction of the fixed budget.
+//!
+//! Every report carries a Wilson score interval
+//! ([`wilson_interval`]), and the first violating trace comes back as
+//! an ordinary [`Counterexample`](moccml_verify::Counterexample) —
+//! re-validated and minimized through the verify layer, so a
+//! rare-event witness found statistically replays exactly like one
+//! found exhaustively.
+//!
+//! Reports are **independent of the worker count**: trace `i` forks
+//! its scheduler seed from the base seed by SplitMix64 stream
+//! splitting, and the aggregator consumes verdicts in trace-index
+//! order, discarding parallel overshoot past the decision point.
+//!
+//! ## Example
+//!
+//! ```
+//! use moccml_ccsl::Alternation;
+//! use moccml_engine::Program;
+//! use moccml_kernel::{Specification, StepPred, Universe};
+//! use moccml_smc::{check_statistical, SmcOptions, SmcVerdict};
+//! use moccml_verify::Prop;
+//!
+//! let mut u = Universe::new();
+//! let (a, b) = (u.event("a"), u.event("b"));
+//! let mut spec = Specification::new("alt", u);
+//! spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+//! let program = Program::new(spec);
+//!
+//! // "b never fires" is violated on every sampled trace: the
+//! // estimate converges to 1 and a minimized witness comes back
+//! let prop = Prop::Never(StepPred::fired(b));
+//! let options = SmcOptions::default().with_epsilon(0.1).with_delta(0.05);
+//! let report = check_statistical(&program, &prop, &options);
+//! assert_eq!(report.verdict, SmcVerdict::Estimated);
+//! assert!(report.estimate > 0.9);
+//! let witness = report.witness.expect("every trace violates");
+//! assert!(witness.replays_on(&program));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounds;
+mod sampler;
+
+pub use bounds::{normal_quantile, okamoto_sample_size, wilson_interval, Sprt, SprtDecision};
+pub use sampler::{
+    check_statistical, check_statistical_observed, SchedulerFactory, SmcMode, SmcOptions,
+    SmcProgress, SmcReport, SmcRun, SmcVerdict, TraceScheduler, UniformScheduler,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moccml_ccsl::{Alternation, Exclusion, SubClock};
+    use moccml_engine::Program;
+    use moccml_kernel::{Specification, StepPred, Universe};
+    use moccml_obs::Recorder;
+    use moccml_verify::Prop;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Two free-running events under exclusion: each step fires `a`
+    /// or `b` (never both), so "eventually a within k" is violated
+    /// exactly by the all-`b` prefixes — probability 2⁻ᵏ per trace
+    /// under the uniform scheduler.
+    fn coin_flip() -> (Arc<Program>, moccml_kernel::EventId, moccml_kernel::EventId) {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("coin", u);
+        spec.add_constraint(Box::new(Exclusion::new("a#b", [a, b])));
+        (Program::new(spec), a, b)
+    }
+
+    #[test]
+    fn estimate_tracks_the_true_probability() {
+        let (program, a, _) = coin_flip();
+        // violated iff the first 2 steps both miss `a`: p = 1/4
+        let prop = Prop::EventuallyWithin(StepPred::fired(a), 2);
+        let options = SmcOptions::default().with_epsilon(0.05).with_delta(0.02);
+        let report = check_statistical(&program, &prop, &options);
+        assert_eq!(report.verdict, SmcVerdict::Estimated);
+        assert!(
+            (report.estimate - 0.25).abs() < 0.05,
+            "estimate {} should be within ε of 0.25",
+            report.estimate
+        );
+        assert!(report.ci_low <= report.estimate && report.estimate <= report.ci_high);
+        assert_eq!(report.traces, okamoto_sample_size(0.05, 0.02));
+    }
+
+    #[test]
+    fn reports_are_identical_for_every_worker_count() {
+        let (program, a, _) = coin_flip();
+        let prop = Prop::EventuallyWithin(StepPred::fired(a), 3);
+        let options = SmcOptions::default().with_epsilon(0.08).with_seed(7);
+        let baseline = check_statistical(&program, &prop, &options.clone().with_workers(1));
+        for workers in [2, 8] {
+            let parallel =
+                check_statistical(&program, &prop, &options.clone().with_workers(workers));
+            assert_eq!(baseline, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn witnesses_replay_and_are_minimal() {
+        let (program, a, _) = coin_flip();
+        let prop = Prop::EventuallyWithin(StepPred::fired(a), 2);
+        let options = SmcOptions::default().with_epsilon(0.1);
+        let report = check_statistical(&program, &prop, &options);
+        let witness = report.witness.expect("p = 1/4 surfaces a witness");
+        assert!(witness.replays_on(&program));
+        assert!(moccml_verify::is_witness(
+            &program,
+            &prop,
+            &witness.schedule
+        ));
+        // minimal witness for eventually<=2: two steps without `a`
+        assert_eq!(witness.schedule.len(), 2);
+        assert!(report.witness_trace.is_some());
+    }
+
+    #[test]
+    fn sprt_decides_early_on_a_sure_violation() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        let program = Program::new(spec);
+        // alternation forces a;b;a;… — "never b" is violated with p = 1
+        let prop = Prop::Never(StepPred::fired(b));
+        let options = SmcOptions::default().with_prob_threshold(0.5);
+        let report = check_statistical(&program, &prop, &options);
+        assert_eq!(report.verdict, SmcVerdict::AboveThreshold);
+        assert!(
+            report.traces < okamoto_sample_size(options.epsilon, options.delta) / 10,
+            "SPRT should stop well before the fixed budget, used {}",
+            report.traces
+        );
+        assert_eq!(report.violations, report.traces);
+    }
+
+    #[test]
+    fn sprt_rejects_when_violations_are_impossible() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("sub", u);
+        spec.add_constraint(Box::new(SubClock::new("a⊆b", a, b)));
+        let program = Program::new(spec);
+        // a only fires with b, so `a && !b` never holds: p = 0
+        let prop = Prop::Always(StepPred::implies(a, b));
+        let options = SmcOptions::default().with_prob_threshold(0.3);
+        let report = check_statistical(&program, &prop, &options);
+        assert_eq!(report.verdict, SmcVerdict::BelowThreshold);
+        assert_eq!(report.violations, 0);
+        assert!(report.witness.is_none());
+    }
+
+    #[test]
+    fn observed_run_records_counters_and_progress() {
+        let (program, a, _) = coin_flip();
+        let prop = Prop::EventuallyWithin(StepPred::fired(a), 2);
+        let options = SmcOptions::default().with_epsilon(0.1).with_workers(2);
+        let recorder = Recorder::new();
+        let calls = AtomicUsize::new(0);
+        let progress = |_: &SmcProgress| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        };
+        let run = SmcRun {
+            recorder: &recorder,
+            progress: Some(&progress),
+            cancel: None,
+            progress_every: 64,
+        };
+        let report = check_statistical_observed(&program, &prop, &options, &run);
+        let snap = recorder.snapshot();
+        // counters tally every executed trace (overshoot included),
+        // so they are at least what the report consumed
+        assert!(snap.counter("smc_traces").unwrap_or(0) >= report.traces as u64);
+        assert_eq!(
+            snap.counter_sum("smc_worker"),
+            snap.counter("smc_traces").unwrap_or(0),
+            "per-worker counters roll up to the total"
+        );
+        assert!(snap.counter("smc_violations").unwrap_or(0) >= report.violations as u64);
+        assert!(
+            calls.load(Ordering::Relaxed) >= 2,
+            "throttled progress fired"
+        );
+        assert!(snap.spans.iter().any(|s| s.name == "smc"));
+    }
+
+    #[test]
+    fn cancellation_stops_the_run_cooperatively() {
+        let (program, a, _) = coin_flip();
+        let prop = Prop::EventuallyWithin(StepPred::fired(a), 4);
+        // a big budget that a cancelled run must not finish
+        let options = SmcOptions::default().with_epsilon(0.005).with_delta(0.01);
+        let recorder = Recorder::disabled();
+        let cancel = AtomicBool::new(false);
+        let progress = |p: &SmcProgress| {
+            if p.traces >= 256 {
+                cancel.store(true, Ordering::Relaxed);
+            }
+        };
+        let run = SmcRun {
+            recorder: &recorder,
+            progress: Some(&progress),
+            cancel: Some(&cancel),
+            progress_every: 128,
+        };
+        let report = check_statistical_observed(&program, &prop, &options, &run);
+        assert_eq!(report.verdict, SmcVerdict::Cancelled);
+        assert!(report.traces < okamoto_sample_size(0.005, 0.01));
+    }
+
+    #[test]
+    fn custom_schedulers_plug_in() {
+        /// Always picks the last (largest) candidate — deterministic,
+        /// so every trace is the same maximal run.
+        struct LastStep;
+        impl TraceScheduler for LastStep {
+            fn choose(&mut self, candidates: &[moccml_kernel::Step]) -> usize {
+                candidates.len() - 1
+            }
+        }
+        let (program, a, _) = coin_flip();
+        // the largest step in the exclusion spec fires `b` (sorted
+        // order puts {b} last), so `a` never fires: p = 1
+        let prop = Prop::EventuallyWithin(StepPred::fired(a), 3);
+        let options = SmcOptions::default()
+            .with_epsilon(0.1)
+            .with_scheduler(Arc::new(|_| Box::new(LastStep)));
+        let report = check_statistical(&program, &prop, &options);
+        assert!(report.estimate == 1.0 || report.estimate == 0.0);
+        // whichever branch the canonical order picks, it picks it for
+        // every trace
+        assert!(report.violations == 0 || report.violations == report.traces);
+    }
+
+    #[test]
+    fn deadlocks_conclude_liveness_as_violated() {
+        // two strict precedences in a cycle block both events forever:
+        // every state is a deadlock, so DeadlockFree is violated with
+        // probability 1 — by the zero-length schedule
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("dead", u);
+        spec.add_constraint(Box::new(moccml_ccsl::Precedence::strict("a<b", a, b)));
+        spec.add_constraint(Box::new(moccml_ccsl::Precedence::strict("b<a", b, a)));
+        let program = Program::new(spec);
+        let prop = Prop::DeadlockFree;
+        let options = SmcOptions::default()
+            .with_epsilon(0.1)
+            .with_max_trace_len(8);
+        let report = check_statistical(&program, &prop, &options);
+        assert_eq!(report.verdict, SmcVerdict::Estimated);
+        assert!((report.estimate - 1.0).abs() < f64::EPSILON);
+        let witness = report.witness.expect("deadlock witness");
+        assert!(witness.schedule.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn out_of_range_epsilon_is_rejected() {
+        let (program, a, _) = coin_flip();
+        let prop = Prop::EventuallyWithin(StepPred::fired(a), 2);
+        let _ = check_statistical(&program, &prop, &SmcOptions::default().with_epsilon(0.0));
+    }
+}

@@ -1,0 +1,601 @@
+//! The parallel trace engine: fork-seeded Monte-Carlo sampling with an
+//! index-ordered aggregator.
+//!
+//! Determinism contract: trace `i` is driven by a scheduler seeded
+//! from `fork(seed, i)` — a SplitMix64 stream split, independent of
+//! which worker runs it — and the aggregator consumes verdicts in
+//! strict trace-index order, discarding any overshoot past the
+//! decision point. The resulting [`SmcReport`] is therefore identical
+//! for every `workers` count, which the property suite pins at
+//! `{1, 2, 8}`.
+
+use crate::bounds::{okamoto_sample_size, wilson_interval, Sprt, SprtDecision};
+use moccml_engine::{Cursor, Program, SolverOptions, SplitMix64};
+use moccml_kernel::{Schedule, Step};
+use moccml_obs::Recorder;
+use moccml_verify::{
+    is_witness, minimize_witness, Counterexample, Prop, TraceEvaluator, TraceStatus,
+};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+/// Strategy for picking one step among the acceptable ones along a
+/// sampled trace — the pluggable scheduler of the statistical checker.
+///
+/// Unlike the engine's [`Policy`](moccml_engine::Policy) (which sees a
+/// cursor for lookahead), a trace scheduler only sees the sorted
+/// candidate list: it must be a pure function of its seed and the
+/// candidates, so trace `i` replays identically on any worker.
+pub trait TraceScheduler: Send {
+    /// Picks the index of one candidate. `candidates` is never empty
+    /// (the sampler concludes a deadlock itself).
+    fn choose(&mut self, candidates: &[Step]) -> usize;
+}
+
+/// The default scheduler: uniformly random among the acceptable steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniformScheduler {
+    rng: SplitMix64,
+}
+
+impl UniformScheduler {
+    /// A uniform scheduler driven by `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> UniformScheduler {
+        UniformScheduler {
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+impl TraceScheduler for UniformScheduler {
+    fn choose(&mut self, candidates: &[Step]) -> usize {
+        self.rng.next_below(candidates.len())
+    }
+}
+
+/// Builds one scheduler per trace from the trace's forked seed.
+pub type SchedulerFactory = Arc<dyn Fn(u64) -> Box<dyn TraceScheduler> + Send + Sync>;
+
+/// Tuning knobs for [`check_statistical`]. All fields have
+/// conservative defaults; the builder methods mirror the CLI flags.
+#[derive(Clone)]
+pub struct SmcOptions {
+    /// Half-width of the estimation error (fixed-sample mode) and of
+    /// the SPRT indifference region (sequential mode). Default `0.01`.
+    pub epsilon: f64,
+    /// Allowed error probability; every report carries a `1 - delta`
+    /// confidence interval. Default `0.05`.
+    pub delta: f64,
+    /// `Some(θ)` switches to sequential (SPRT) mode, deciding whether
+    /// the violation probability exceeds `θ`. Default `None`
+    /// (fixed-sample estimation with the Okamoto budget).
+    pub prob_threshold: Option<f64>,
+    /// Traces longer than this are truncated and counted as
+    /// non-violating unless already decided. Default `256`.
+    pub max_trace_len: usize,
+    /// Base seed; trace `i` forks its own SplitMix64 stream from it.
+    /// Default `0xDA7E_2015`.
+    pub seed: u64,
+    /// Worker threads. The report is identical for every value.
+    /// Default `1`.
+    pub workers: usize,
+    /// The scheduler factory — [`UniformScheduler`] unless replaced
+    /// with [`with_scheduler`](SmcOptions::with_scheduler).
+    pub scheduler: SchedulerFactory,
+}
+
+impl fmt::Debug for SmcOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SmcOptions")
+            .field("epsilon", &self.epsilon)
+            .field("delta", &self.delta)
+            .field("prob_threshold", &self.prob_threshold)
+            .field("max_trace_len", &self.max_trace_len)
+            .field("seed", &self.seed)
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for SmcOptions {
+    fn default() -> Self {
+        SmcOptions {
+            epsilon: 0.01,
+            delta: 0.05,
+            prob_threshold: None,
+            max_trace_len: 256,
+            seed: 0xDA7E_2015,
+            workers: 1,
+            scheduler: Arc::new(|seed| Box::new(UniformScheduler::new(seed))),
+        }
+    }
+}
+
+impl SmcOptions {
+    /// Sets the estimation half-width ε.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the error probability δ.
+    #[must_use]
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Switches to sequential (SPRT) mode against `threshold`.
+    #[must_use]
+    pub fn with_prob_threshold(mut self, threshold: f64) -> Self {
+        self.prob_threshold = Some(threshold);
+        self
+    }
+
+    /// Sets the trace truncation length.
+    #[must_use]
+    pub fn with_max_trace_len(mut self, len: usize) -> Self {
+        self.max_trace_len = len;
+        self
+    }
+
+    /// Sets the base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Replaces the per-trace scheduler factory.
+    #[must_use]
+    pub fn with_scheduler(mut self, factory: SchedulerFactory) -> Self {
+        self.scheduler = factory;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.epsilon > 0.0 && self.epsilon < 1.0,
+            "epsilon must be in (0, 1), got {}",
+            self.epsilon
+        );
+        assert!(
+            self.delta > 0.0 && self.delta < 1.0,
+            "delta must be in (0, 1), got {}",
+            self.delta
+        );
+        if let Some(t) = self.prob_threshold {
+            assert!(
+                t > 0.0 && t < 1.0,
+                "prob-threshold must be in (0, 1), got {t}"
+            );
+        }
+        assert!(self.max_trace_len > 0, "max-trace-len must be positive");
+        assert!(self.workers > 0, "workers must be positive");
+    }
+}
+
+/// Which statistical regime produced a report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SmcMode {
+    /// Fixed-sample estimation with the Okamoto budget `samples`.
+    FixedSample {
+        /// The precomputed `⌈ln(2/δ)/(2ε²)⌉` sample count.
+        samples: usize,
+    },
+    /// Sequential (SPRT) hypothesis testing against `threshold`.
+    Sequential {
+        /// The tested violation-probability threshold.
+        threshold: f64,
+    },
+}
+
+/// The conclusion of a statistical check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmcVerdict {
+    /// Fixed-sample mode ran its full budget: `estimate` is within
+    /// ε of the true violation probability with confidence `1 - δ`.
+    Estimated,
+    /// SPRT: the violation probability exceeds the threshold.
+    AboveThreshold,
+    /// SPRT: the violation probability is below the threshold.
+    BelowThreshold,
+    /// SPRT exhausted the Okamoto fallback budget without crossing a
+    /// boundary (the true probability sits inside the indifference
+    /// region); `estimate` still carries its Wilson interval.
+    Undecided,
+    /// The run was cancelled cooperatively; the report summarises the
+    /// prefix sampled so far.
+    Cancelled,
+}
+
+/// The result of a statistical check. Byte-identical for every
+/// `workers` count given the same options (cancelled runs excepted —
+/// cancellation is a wall-clock event).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmcReport {
+    /// The regime that ran.
+    pub mode: SmcMode,
+    /// The conclusion.
+    pub verdict: SmcVerdict,
+    /// Traces consumed by the decision (overshoot from parallel
+    /// workers is discarded, not counted).
+    pub traces: usize,
+    /// Violating traces among [`traces`](SmcReport::traces).
+    pub violations: usize,
+    /// The point estimate `violations / traces`.
+    pub estimate: f64,
+    /// `1 - delta`, the confidence of the interval below.
+    pub confidence: f64,
+    /// Lower end of the Wilson score interval.
+    pub ci_low: f64,
+    /// Upper end of the Wilson score interval.
+    pub ci_high: f64,
+    /// Index of the first violating trace, if any.
+    pub witness_trace: Option<usize>,
+    /// The first violating trace as an ordinary counterexample:
+    /// re-validated through [`is_witness`] and minimized through the
+    /// verify layer's greedy minimizer. Its `state` field is `0` — a
+    /// statistical run has no explored state-space to index into.
+    pub witness: Option<Counterexample>,
+}
+
+/// Live progress of a running check, handed to the progress callback
+/// every [`SmcRun::progress_every`] consumed traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmcProgress {
+    /// Traces consumed in index order so far.
+    pub traces: usize,
+    /// Violations among them.
+    pub violations: usize,
+    /// The sampling budget (Okamoto size; SPRT usually stops earlier).
+    pub planned: usize,
+}
+
+/// Observation and control hooks for
+/// [`check_statistical_observed`]. The plain [`check_statistical`]
+/// entry point runs with all of them off.
+pub struct SmcRun<'a> {
+    /// Counters (`smc_traces`, `smc_violations`,
+    /// `smc_worker<i>_traces`) and the `smc` span land here; pass
+    /// [`Recorder::disabled`] for zero overhead.
+    pub recorder: &'a Recorder,
+    /// Called from the aggregator with monotone trace counts.
+    pub progress: Option<&'a (dyn Fn(&SmcProgress) + Sync)>,
+    /// Cooperative cancellation: workers re-check before every trace.
+    pub cancel: Option<&'a AtomicBool>,
+    /// Consumed-trace interval between progress calls; `0` means the
+    /// default of 256.
+    pub progress_every: usize,
+}
+
+impl<'a> SmcRun<'a> {
+    /// Hooks with observability into `recorder` and nothing else.
+    #[must_use]
+    pub fn new(recorder: &'a Recorder) -> SmcRun<'a> {
+        SmcRun {
+            recorder,
+            progress: None,
+            cancel: None,
+            progress_every: 0,
+        }
+    }
+}
+
+impl fmt::Debug for SmcRun<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SmcRun")
+            .field("recorder", self.recorder)
+            .field("progress", &self.progress.is_some())
+            .field("cancel", &self.cancel.is_some())
+            .field("progress_every", &self.progress_every)
+            .finish()
+    }
+}
+
+/// SplitMix64 stream splitting, mirroring the testkit's
+/// `TestRng::fork`: trace `i` draws from a stream that depends only on
+/// `(base, i)`, never on which worker picked it up.
+fn fork(base: u64, index: u64) -> u64 {
+    SplitMix64::new(base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
+
+/// One sampled trace's outcome, as sent to the aggregator. The
+/// schedule is only shipped for violating traces (witness material).
+struct TraceOutcome {
+    violated: bool,
+    schedule: Option<Schedule>,
+}
+
+/// Samples one trace: uniform-or-custom scheduler over the acceptable
+/// non-empty steps, verdict from the shared bounded-temporal
+/// [`TraceEvaluator`] (deadlock concludes, truncation at
+/// `max_trace_len` counts as non-violating).
+fn run_trace(
+    cursor: &mut Cursor,
+    prop: &Prop,
+    options: &SmcOptions,
+    scheduler: &mut dyn TraceScheduler,
+) -> TraceOutcome {
+    cursor.reset();
+    let solver = SolverOptions::default();
+    let mut eval = TraceEvaluator::new(prop);
+    let mut schedule = Schedule::new();
+    loop {
+        match eval.status() {
+            TraceStatus::Violated => {
+                return TraceOutcome {
+                    violated: true,
+                    schedule: Some(schedule),
+                }
+            }
+            TraceStatus::Satisfied => {
+                return TraceOutcome {
+                    violated: false,
+                    schedule: None,
+                }
+            }
+            TraceStatus::Undecided => {}
+        }
+        let deadlocked = if schedule.len() >= options.max_trace_len {
+            false
+        } else {
+            let candidates = cursor.acceptable_steps(&solver);
+            if candidates.is_empty() {
+                true
+            } else {
+                let step = candidates[scheduler.choose(&candidates)].clone();
+                cursor
+                    .fire(&step)
+                    .expect("scheduler picked an acceptable step");
+                eval.observe(&step);
+                schedule.push(step);
+                continue;
+            }
+        };
+        let violated = eval.conclude(deadlocked);
+        return TraceOutcome {
+            violated,
+            schedule: violated.then_some(schedule),
+        };
+    }
+}
+
+/// Statistically checks `prop` on `program` by Monte-Carlo trace
+/// sampling — [`check_statistical_observed`] with observation and
+/// cancellation off.
+///
+/// # Panics
+///
+/// Panics if `options` carry out-of-range parameters (see
+/// [`SmcOptions`] field docs).
+#[must_use]
+pub fn check_statistical(program: &Program, prop: &Prop, options: &SmcOptions) -> SmcReport {
+    let recorder = Recorder::disabled();
+    check_statistical_observed(program, prop, options, &SmcRun::new(&recorder))
+}
+
+/// Statistically checks `prop` on `program`: samples random traces in
+/// parallel, evaluates each with the shared bounded-temporal monitor,
+/// and aggregates verdicts in trace-index order into an
+/// [`SmcReport`].
+///
+/// In fixed-sample mode (no threshold) it runs the full Okamoto
+/// budget and reports the estimate with its Wilson interval. In
+/// sequential mode it feeds the index-ordered verdict stream to
+/// Wald's SPRT and stops at the first boundary crossing, falling back
+/// to [`SmcVerdict::Undecided`] if the Okamoto budget runs out first.
+///
+/// # Panics
+///
+/// Panics if `options` carry out-of-range parameters.
+#[must_use]
+pub fn check_statistical_observed(
+    program: &Program,
+    prop: &Prop,
+    options: &SmcOptions,
+    run: &SmcRun<'_>,
+) -> SmcReport {
+    options.validate();
+    let _span = run.recorder.span("smc");
+    let planned = okamoto_sample_size(options.epsilon, options.delta);
+    let mode = match options.prob_threshold {
+        Some(threshold) => SmcMode::Sequential { threshold },
+        None => SmcMode::FixedSample { samples: planned },
+    };
+    let progress_every = if run.progress_every == 0 {
+        256
+    } else {
+        run.progress_every
+    };
+
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let traces_counter = run.recorder.counter("smc_traces");
+    let violations_counter = run.recorder.counter("smc_violations");
+    let (tx, rx) = mpsc::channel::<(usize, TraceOutcome)>();
+
+    let agg = thread::scope(|scope| {
+        for w in 0..options.workers {
+            let tx = tx.clone();
+            let worker_counter = run.recorder.counter(&format!("smc_worker{w}_traces"));
+            let traces_counter = traces_counter.clone();
+            let violations_counter = violations_counter.clone();
+            let (next, stop) = (&next, &stop);
+            let cancel = run.cancel;
+            scope.spawn(move || {
+                let mut cursor = program.cursor();
+                loop {
+                    if stop.load(Ordering::Relaxed)
+                        || cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+                    {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= planned {
+                        break;
+                    }
+                    let mut scheduler = (options.scheduler)(fork(options.seed, i as u64));
+                    let outcome = run_trace(&mut cursor, prop, options, scheduler.as_mut());
+                    traces_counter.incr();
+                    worker_counter.incr();
+                    if outcome.violated {
+                        violations_counter.incr();
+                    }
+                    if tx.send((i, outcome)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        aggregate(&rx, &stop, &mode, options, run, planned, progress_every)
+    });
+
+    let estimate = if agg.consumed == 0 {
+        0.0
+    } else {
+        agg.violations as f64 / agg.consumed as f64
+    };
+    let (ci_low, ci_high) = wilson_interval(agg.violations, agg.consumed, options.delta);
+    let verdict = if agg.cancelled {
+        SmcVerdict::Cancelled
+    } else {
+        match (&mode, agg.decision) {
+            (SmcMode::FixedSample { .. }, _) => SmcVerdict::Estimated,
+            (SmcMode::Sequential { .. }, Some(SprtDecision::Above)) => SmcVerdict::AboveThreshold,
+            (SmcMode::Sequential { .. }, Some(SprtDecision::Below)) => SmcVerdict::BelowThreshold,
+            (SmcMode::Sequential { .. }, None) => SmcVerdict::Undecided,
+        }
+    };
+    let (witness_trace, witness) = match agg.witness {
+        Some((index, schedule)) => {
+            debug_assert!(
+                is_witness(program, prop, &schedule),
+                "sampled witnesses replay"
+            );
+            let minimized = minimize_witness(program, prop, &schedule);
+            (
+                Some(index),
+                Some(Counterexample {
+                    schedule: minimized,
+                    state: 0,
+                }),
+            )
+        }
+        None => (None, None),
+    };
+    SmcReport {
+        mode,
+        verdict,
+        traces: agg.consumed,
+        violations: agg.violations,
+        estimate,
+        confidence: 1.0 - options.delta,
+        ci_low,
+        ci_high,
+        witness_trace,
+        witness,
+    }
+}
+
+struct Aggregate {
+    consumed: usize,
+    violations: usize,
+    witness: Option<(usize, Schedule)>,
+    decision: Option<SprtDecision>,
+    cancelled: bool,
+}
+
+/// Consumes verdicts in strict trace-index order (out-of-order
+/// arrivals park in `pending`), feeds the SPRT in sequential mode and
+/// raises `stop` at the decision point. Everything the report is
+/// built from flows through here, which is what makes it independent
+/// of the worker count.
+fn aggregate(
+    rx: &mpsc::Receiver<(usize, TraceOutcome)>,
+    stop: &AtomicBool,
+    mode: &SmcMode,
+    options: &SmcOptions,
+    run: &SmcRun<'_>,
+    planned: usize,
+    progress_every: usize,
+) -> Aggregate {
+    let mut pending: HashMap<usize, TraceOutcome> = HashMap::new();
+    let mut sprt = match mode {
+        SmcMode::Sequential { threshold } => {
+            Some(Sprt::new(*threshold, options.epsilon, options.delta))
+        }
+        SmcMode::FixedSample { .. } => None,
+    };
+    let mut agg = Aggregate {
+        consumed: 0,
+        violations: 0,
+        witness: None,
+        decision: None,
+        cancelled: false,
+    };
+    'recv: while let Ok((index, outcome)) = rx.recv() {
+        pending.insert(index, outcome);
+        while let Some(outcome) = pending.remove(&agg.consumed) {
+            if outcome.violated {
+                agg.violations += 1;
+                if agg.witness.is_none() {
+                    let schedule = outcome.schedule.expect("violations carry their schedule");
+                    agg.witness = Some((agg.consumed, schedule));
+                }
+            }
+            agg.consumed += 1;
+            if let Some(sprt) = &mut sprt {
+                agg.decision = sprt.observe(outcome.violated);
+            }
+            if agg.consumed.is_multiple_of(progress_every) {
+                if let Some(progress) = run.progress {
+                    progress(&SmcProgress {
+                        traces: agg.consumed,
+                        violations: agg.violations,
+                        planned,
+                    });
+                }
+            }
+            if agg.decision.is_some() || agg.consumed == planned {
+                stop.store(true, Ordering::Relaxed);
+                break 'recv;
+            }
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    // an incomplete prefix with no decision means the workers quit on
+    // the cancel flag
+    agg.cancelled = agg.decision.is_none() && agg.consumed < planned_target(mode, planned) && {
+        run.cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+    };
+    if let Some(progress) = run.progress {
+        progress(&SmcProgress {
+            traces: agg.consumed,
+            violations: agg.violations,
+            planned,
+        });
+    }
+    agg
+}
+
+/// How many consumed traces count as "ran to completion" for `mode`.
+fn planned_target(mode: &SmcMode, planned: usize) -> usize {
+    match mode {
+        SmcMode::FixedSample { samples } => *samples,
+        SmcMode::Sequential { .. } => planned,
+    }
+}

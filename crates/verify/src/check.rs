@@ -16,6 +16,7 @@
 
 use crate::conformance::{conformance, Verdict};
 use crate::prop::Prop;
+use crate::temporal::{StepClass, TemporalSpec};
 use moccml_engine::{ExploreOptions, ExploreVisitor, Program, VisitControl};
 use moccml_kernel::{Schedule, Step, StepPred};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -187,9 +188,12 @@ fn run_check<'a>(
 ) -> CheckReport {
     // phase span: the explorer's own `explore` span nests inside it
     let _span = options.recorder.span("check");
-    let track_adj = props
-        .iter()
-        .any(|p| matches!(p, Prop::EventuallyWithin(..)));
+    let track_adj = props.iter().any(|p| {
+        matches!(
+            p,
+            Prop::EventuallyWithin(..) | Prop::UntilWithin(..) | Prop::ReleaseWithin(..)
+        )
+    });
     let mut visitor = CheckVisitor {
         monitors: props.iter().map(Monitor::new).collect(),
         shared: Shared::new(track_adj),
@@ -290,17 +294,21 @@ impl CheckOptions {
 ///   satisfies `p`, so dropping or adding foreign behaviour cannot
 ///   introduce or mask a violation;
 /// * `Never(p)` with `p(∅) = false` — symmetric;
-/// * everything else (`EventuallyWithin`, whose bound counts foreign
-///   steps too; `DeadlockFree`, where a deadlock is a *joint* wedge of
-///   cone and remainder; polarity-mismatched `Always`/`Never`) must be
-///   checked on the full program.
+/// * everything else (the bounded-temporal properties
+///   `EventuallyWithin`/`UntilWithin`/`ReleaseWithin`, whose bounds
+///   count foreign steps too; `DeadlockFree`, where a deadlock is a
+///   *joint* wedge of cone and remainder; polarity-mismatched
+///   `Always`/`Never`) must be checked on the full program.
 #[must_use]
 pub fn sliceable_events(prop: &Prop) -> Option<Vec<moccml_kernel::EventId>> {
     let empty = Step::new();
     let eligible = match prop {
         Prop::Always(p) => p.eval(&empty),
         Prop::Never(p) => !p.eval(&empty),
-        Prop::EventuallyWithin(..) | Prop::DeadlockFree => false,
+        Prop::EventuallyWithin(..)
+        | Prop::UntilWithin(..)
+        | Prop::ReleaseWithin(..)
+        | Prop::DeadlockFree => false,
     };
     match prop {
         Prop::Always(p) | Prop::Never(p) if eligible => Some(p.events().iter().collect()),
@@ -354,9 +362,9 @@ pub fn check_with(program: &Program, prop: &Prop, options: &CheckOptions) -> Che
 }
 
 /// Exploration bookkeeping shared by all monitors: shortest-path parent
-/// links (for counterexample reconstruction), the adjacency the bounded
-/// liveness propagation walks (only populated when a liveness monitor
-/// is present — pure safety/deadlock checks skip that memory), the
+/// links (for counterexample reconstruction), the adjacency the
+/// bounded-temporal propagation walks (only populated when a temporal
+/// monitor is present — pure safety/deadlock checks skip that memory), the
 /// known deadlock states, and whether the `max_states` bound has
 /// dropped any transition yet (poisoning "nothing reachable"
 /// conclusions).
@@ -436,9 +444,11 @@ enum Monitor {
     },
     /// Violated by the first reported deadlock state.
     DeadlockFree { violation: Option<usize> },
-    /// Bounded liveness, tracked by level-synchronized propagation of
-    /// the pred-free-reachable state set.
-    Eventually(Eventually),
+    /// A bounded-temporal obligation
+    /// (`eventually<=k`/`until<=k`/`release<=k`), tracked by
+    /// level-synchronized propagation of the obligation-open state set
+    /// over the shared [`TemporalSpec`] step classification.
+    Temporal(Temporal),
 }
 
 impl Monitor {
@@ -453,7 +463,9 @@ impl Monitor {
                 violation: None,
             },
             Prop::DeadlockFree => Monitor::DeadlockFree { violation: None },
-            Prop::EventuallyWithin(p, k) => Monitor::Eventually(Eventually::new(p.clone(), *k)),
+            temporal => Monitor::Temporal(Temporal::new(
+                TemporalSpec::from_prop(temporal).expect("remaining variants are temporal"),
+            )),
         }
     }
 
@@ -461,10 +473,14 @@ impl Monitor {
         match self {
             Monitor::Safety { violation, .. } => violation.is_some(),
             Monitor::DeadlockFree { violation } => violation.is_some(),
-            Monitor::Eventually(ev) => {
+            Monitor::Temporal(tm) => {
                 matches!(
-                    ev.outcome,
-                    Some(EvOutcome::Prefix { .. } | EvOutcome::Wedged { .. })
+                    tm.outcome,
+                    Some(
+                        TemporalOutcome::Prefix { .. }
+                            | TemporalOutcome::Wedged { .. }
+                            | TemporalOutcome::Edge { .. }
+                    )
                 )
             }
         }
@@ -472,7 +488,7 @@ impl Monitor {
 
     fn resolved(&self) -> bool {
         match self {
-            Monitor::Eventually(ev) => ev.outcome.is_some(),
+            Monitor::Temporal(tm) => tm.outcome.is_some(),
             _ => self.violated(),
         }
     }
@@ -499,83 +515,116 @@ impl Monitor {
                 None if completed => PropStatus::Holds,
                 None => PropStatus::Undetermined,
             },
-            Monitor::Eventually(ev) => {
-                ev.finish(completed, shared);
-                match &ev.outcome {
-                    Some(EvOutcome::Holds) => PropStatus::Holds,
-                    Some(EvOutcome::Prefix { state }) => PropStatus::Violated(Counterexample {
-                        schedule: ev.witness(*state, ev.depth),
-                        state: *state,
-                    }),
-                    Some(EvOutcome::Wedged { state, depth }) => {
+            Monitor::Temporal(tm) => {
+                tm.finish(completed, shared);
+                match &tm.outcome {
+                    Some(TemporalOutcome::Holds) => PropStatus::Holds,
+                    Some(TemporalOutcome::Prefix { state }) => {
                         PropStatus::Violated(Counterexample {
-                            schedule: ev.witness(*state, *depth),
+                            schedule: tm.witness(*state, tm.depth),
                             state: *state,
                         })
                     }
-                    Some(EvOutcome::Inconclusive) | None => PropStatus::Undetermined,
+                    Some(TemporalOutcome::Wedged { state, depth }) => {
+                        PropStatus::Violated(Counterexample {
+                            schedule: tm.witness(*state, *depth),
+                            state: *state,
+                        })
+                    }
+                    Some(TemporalOutcome::Edge {
+                        source,
+                        step,
+                        depth,
+                        target,
+                    }) => {
+                        let mut schedule = tm.witness(*source, *depth);
+                        schedule.push(step.clone());
+                        PropStatus::Violated(Counterexample {
+                            schedule,
+                            state: *target,
+                        })
+                    }
+                    Some(TemporalOutcome::Inconclusive) | None => PropStatus::Undetermined,
                 }
             }
         }
     }
 }
 
-/// How an [`Eventually`] monitor resolved.
-enum EvOutcome {
-    /// Every pred-free path died out before the bound: the property
-    /// holds. Only concluded while the absorbed transition relation is
-    /// still complete (no `max_states` drop yet): the propagated set
-    /// under-approximates afterwards, so an empty set would prove
-    /// nothing.
+/// How a [`Temporal`] monitor resolved.
+enum TemporalOutcome {
+    /// Every obligation-open path resolved without a violation: the
+    /// property holds. Only concluded while the absorbed transition
+    /// relation is still complete (no `max_states` drop yet): the
+    /// propagated set under-approximates afterwards, so neither an
+    /// empty set nor a clean bound expiry would prove anything.
     Holds,
-    /// A pred-free prefix of full length `bound` exists, ending in
-    /// `state`.
+    /// (Liveness only.) An obligation-open prefix of full length
+    /// `bound` exists, ending in `state`.
     Prefix { state: usize },
-    /// A pred-free path of length `depth < bound` ends in deadlock
-    /// `state`: the run can never satisfy the predicate.
+    /// (Liveness only.) An obligation-open path of length
+    /// `depth < bound` ends in deadlock `state`: the run can never
+    /// fulfil the obligation.
     Wedged { state: usize, depth: usize },
-    /// The pred-free set emptied *after* the `max_states` bound
-    /// started dropping transitions: no violation was found, but
-    /// "holds" would be unsound and nothing more can be learned from
-    /// the incomplete graph — reported as
-    /// [`PropStatus::Undetermined`].
+    /// An obligation-open path of length `depth` from `source` takes a
+    /// [`StepClass::Violate`] step into `target` — an `until` step
+    /// refuting both `p` and `q`, or a `release` step refuting `q`.
+    Edge {
+        source: usize,
+        step: Step,
+        depth: usize,
+        target: usize,
+    },
+    /// The open set resolved *after* the `max_states` bound started
+    /// dropping transitions: no violation was found, but "holds" would
+    /// be unsound and nothing more can be learned from the incomplete
+    /// graph — reported as [`PropStatus::Undetermined`].
     Inconclusive,
 }
 
-/// The `EventuallyWithin(pred, bound)` monitor.
+/// The shared bounded-temporal monitor, parameterized by a
+/// [`TemporalSpec`] — one implementation for
+/// `EventuallyWithin`, `UntilWithin` and `ReleaseWithin`.
 ///
 /// Invariant: `current` is S_d, the set of states reachable from the
-/// initial state by a schedule of exactly `depth` steps none of which
-/// satisfies `pred`; `levels[j]` records, for every member of S_j, the
-/// predecessor link that discovered it (for witness reconstruction).
-/// S_{d+1} only needs the outgoing edges of S_d's members — all of BFS
-/// depth ≤ d, hence fully absorbed by the level-`d` boundary — so the
-/// propagation runs level-synchronized with the exploration itself.
-struct Eventually {
-    pred: StepPred,
-    bound: usize,
+/// initial state by a schedule of exactly `depth` steps each
+/// classified [`StepClass::Carry`] (the obligation stayed open);
+/// `levels[j]` records, for every member of S_j, the predecessor link
+/// that discovered it (for witness reconstruction). S_{d+1} only needs
+/// the outgoing edges of S_d's members — all of BFS depth ≤ d, hence
+/// fully absorbed by the level-`d` boundary — so the propagation runs
+/// level-synchronized with the exploration itself.
+struct Temporal {
+    spec: TemporalSpec,
     depth: usize,
     current: BTreeSet<usize>,
     levels: Vec<HashMap<usize, (usize, Step)>>,
-    outcome: Option<EvOutcome>,
+    outcome: Option<TemporalOutcome>,
 }
 
-impl Eventually {
-    fn new(pred: StepPred, bound: usize) -> Self {
-        let mut ev = Eventually {
-            pred,
-            bound,
+impl Temporal {
+    fn new(spec: TemporalSpec) -> Self {
+        let zero_bound = spec.bound() == 0;
+        let liveness = spec.liveness();
+        let mut tm = Temporal {
+            spec,
             depth: 0,
             current: BTreeSet::from([0]),
             levels: vec![HashMap::new()],
             outcome: None,
         };
-        if bound == 0 {
-            // "within zero steps" is unsatisfiable: the empty prefix
-            // is already pred-free and of full length
-            ev.outcome = Some(EvOutcome::Prefix { state: 0 });
+        if zero_bound {
+            // "within zero steps" resolves before any step fires:
+            // unsatisfiable for the liveness flavors (the empty prefix
+            // is already obligation-open and of full length),
+            // trivially satisfied for release
+            tm.outcome = Some(if liveness {
+                TemporalOutcome::Prefix { state: 0 }
+            } else {
+                TemporalOutcome::Holds
+            });
         }
-        ev
+        tm
     }
 
     /// Called at the boundary that just absorbed level `depth` — all
@@ -590,24 +639,49 @@ impl Eventually {
         }
     }
 
-    /// A deadlocked member of S_d (d < bound) wedges the run pred-free.
+    /// A deadlocked member of S_d (d < bound) wedges the run with its
+    /// obligation open — a violation for the liveness flavors only
+    /// (release discharges on run end, so its deadlocked members
+    /// simply stop contributing successors).
     fn check_deadlocks(&mut self, shared: &Shared) {
+        if !self.spec.liveness() {
+            return;
+        }
         if let Some(&s) = self.current.iter().find(|s| shared.deadlocks.contains(*s)) {
-            self.outcome = Some(EvOutcome::Wedged {
+            self.outcome = Some(TemporalOutcome::Wedged {
                 state: s,
                 depth: self.depth,
             });
         }
     }
 
-    /// One propagation step: S_d → S_{d+1} over the absorbed adjacency.
+    /// One propagation step: S_d → S_{d+1} over the absorbed
+    /// adjacency, classifying every outgoing edge through the shared
+    /// [`TemporalSpec`]. The scan order (BTreeSet members, canonical
+    /// absorption order within each adjacency list) is worker-count
+    /// independent, so the first violating edge — and hence the
+    /// counterexample — is too.
     fn propagate(&mut self, shared: &Shared) {
         let mut next = BTreeSet::new();
         let mut level: HashMap<usize, (usize, Step)> = HashMap::new();
         for &s in &self.current {
             for (step, t) in &shared.adj[s] {
-                if !self.pred.eval(step) && next.insert(*t) {
-                    level.insert(*t, (s, step.clone()));
+                match self.spec.classify(step) {
+                    StepClass::Discharge => {}
+                    StepClass::Carry => {
+                        if next.insert(*t) {
+                            level.insert(*t, (s, step.clone()));
+                        }
+                    }
+                    StepClass::Violate => {
+                        self.outcome = Some(TemporalOutcome::Edge {
+                            source: s,
+                            step: step.clone(),
+                            depth: self.depth,
+                            target: *t,
+                        });
+                        return;
+                    }
                 }
             }
         }
@@ -615,23 +689,36 @@ impl Eventually {
         self.current = next;
         self.depth += 1;
         if self.current.is_empty() {
-            // an empty set proves the property only while the absorbed
-            // graph is complete; after a max_states drop it may merely
-            // reflect the missing transitions
+            // every open path resolved; this proves the property only
+            // while the absorbed graph is complete — after a
+            // max_states drop it may merely reflect missing
+            // transitions (including missed violating edges)
             self.outcome = Some(if shared.dropped {
-                EvOutcome::Inconclusive
+                TemporalOutcome::Inconclusive
             } else {
-                EvOutcome::Holds
+                TemporalOutcome::Holds
             });
-        } else if self.depth == self.bound {
-            let state = *self.current.iter().next().expect("non-empty");
-            self.outcome = Some(EvOutcome::Prefix { state });
+        } else if self.depth == self.spec.bound() {
+            self.outcome = Some(if self.spec.liveness() {
+                // an obligation-open prefix of full length: states in
+                // `current` are genuinely reached, so this is sound
+                // even on an incomplete graph
+                let state = *self.current.iter().next().expect("non-empty");
+                TemporalOutcome::Prefix { state }
+            } else if shared.dropped {
+                TemporalOutcome::Inconclusive
+            } else {
+                // release: the obligation expired with `q` sustained
+                // on every surviving path — discharged
+                TemporalOutcome::Holds
+            });
         }
     }
 
     /// After a *complete* exploration the adjacency is final: keep
-    /// propagating (cycles can extend pred-free paths past the BFS
-    /// horizon) until the monitor resolves — at most `bound` rounds.
+    /// propagating (cycles can extend obligation-open paths past the
+    /// BFS horizon) until the monitor resolves — at most `bound`
+    /// rounds.
     fn finish(&mut self, completed: bool, shared: &Shared) {
         if !completed {
             return;
@@ -644,8 +731,8 @@ impl Eventually {
         }
     }
 
-    /// Reconstructs the pred-free schedule of length `depth` ending in
-    /// `state`, through the per-level predecessor links.
+    /// Reconstructs the obligation-open schedule of length `depth`
+    /// ending in `state`, through the per-level predecessor links.
     fn witness(&self, state: usize, depth: usize) -> Schedule {
         let mut steps = Vec::new();
         let mut s = state;
@@ -699,8 +786,8 @@ impl ExploreVisitor for CheckVisitor<'_> {
 
     fn on_level_end(&mut self, depth: usize, state_count: usize) -> VisitControl {
         for m in &mut self.monitors {
-            if let Monitor::Eventually(ev) = m {
-                ev.at_boundary(depth, &self.shared);
+            if let Monitor::Temporal(tm) = m {
+                tm.at_boundary(depth, &self.shared);
             }
         }
         let any_violated = self.monitors.iter().any(Monitor::violated);
@@ -941,6 +1028,121 @@ mod tests {
             panic!("k=0 is unsatisfiable");
         };
         assert!(ce.schedule.is_empty());
+    }
+
+    #[test]
+    fn bounded_until_holds_when_the_goal_is_forced() {
+        let (program, a, b) = alternating();
+        // every run is a ; b ; a ; b …: a sustains until b discharges
+        let status = check(
+            &program,
+            &Prop::UntilWithin(StepPred::fired(a), StepPred::fired(b), 2),
+            &ExploreOptions::default(),
+        );
+        assert_eq!(status, PropStatus::Holds);
+    }
+
+    #[test]
+    fn bounded_until_violated_by_a_sustain_breaking_step() {
+        let (program, a, _) = alternating();
+        // "a sustains until c" with c outside the spec (never fires):
+        // the b-step at depth 2 refutes both — the shortest violating
+        // edge
+        let c = EventId::from_index(2);
+        let status = check(
+            &program,
+            &Prop::UntilWithin(StepPred::fired(a), StepPred::fired(c), 5),
+            &ExploreOptions::default(),
+        );
+        let PropStatus::Violated(ce) = status else {
+            panic!("the b step breaks the sustain");
+        };
+        assert_eq!(ce.schedule.len(), 2);
+        assert!(ce.replays_on(&program));
+    }
+
+    #[test]
+    fn bounded_until_expires_like_eventually() {
+        // until<=k(⊤-like sustain, q) must agree with eventually<=k(q)
+        // when the sustain always holds
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("lazy", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b)));
+        let program = Program::new(spec);
+        let status = check(
+            &program,
+            &Prop::UntilWithin(StepPred::fired(a), StepPred::fired(b), 3),
+            &ExploreOptions::default(),
+        );
+        let PropStatus::Violated(ce) = status else {
+            panic!("a a a never fires b");
+        };
+        assert_eq!(ce.schedule.len(), 3);
+        assert!(ce.replays_on(&program));
+    }
+
+    #[test]
+    fn bounded_release_violated_when_q_breaks_early() {
+        let (program, a, b) = alternating();
+        // "a holds released by b" — but b's own step drops a
+        let status = check(
+            &program,
+            &Prop::ReleaseWithin(StepPred::fired(b), StepPred::fired(a), 4),
+            &ExploreOptions::default(),
+        );
+        let PropStatus::Violated(ce) = status else {
+            panic!("the b step refutes the sustained a");
+        };
+        assert_eq!(ce.schedule.len(), 2);
+        assert!(ce.replays_on(&program));
+    }
+
+    #[test]
+    fn bounded_release_holds_on_expiry_and_discharge() {
+        let (program, a, b) = alternating();
+        // expiry: a holds for the single step the obligation lives
+        let expiry = check(
+            &program,
+            &Prop::ReleaseWithin(StepPred::fired(b), StepPred::fired(a), 1),
+            &ExploreOptions::default(),
+        );
+        assert_eq!(expiry, PropStatus::Holds);
+        // discharge: the first step both sustains and releases
+        let discharge = check(
+            &program,
+            &Prop::ReleaseWithin(StepPred::fired(a), StepPred::fired(a), 9),
+            &ExploreOptions::default(),
+        );
+        assert_eq!(discharge, PropStatus::Holds);
+        // zero bound holds trivially
+        let zero = check(
+            &program,
+            &Prop::ReleaseWithin(StepPred::fired(b), StepPred::fired(a), 0),
+            &ExploreOptions::default(),
+        );
+        assert_eq!(zero, PropStatus::Holds);
+    }
+
+    #[test]
+    fn bounded_until_detects_wedged_runs() {
+        let mut u = Universe::new();
+        let (a, b, c) = (u.event("a"), u.event("b"), u.event("c"));
+        let mut spec = Specification::new("wedge", u);
+        spec.add_constraint(Box::new(Precedence::strict("a<b", a, b).with_bound(1)));
+        spec.add_constraint(Box::new(Precedence::strict("c<b", c, b)));
+        spec.add_constraint(Box::new(Precedence::strict("b<c", b, c)));
+        let program = Program::new(spec);
+        let status = check(
+            &program,
+            &Prop::UntilWithin(StepPred::fired(a), StepPred::fired(b), 50),
+            &ExploreOptions::default(),
+        );
+        let PropStatus::Violated(ce) = status else {
+            panic!("wedged with the obligation open");
+        };
+        assert!(ce.schedule.len() <= 1);
+        assert!(ce.replays_on(&program));
     }
 
     #[test]

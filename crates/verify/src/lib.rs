@@ -9,9 +9,12 @@
 //! turns the engine's deterministic parallel explorer into a checker:
 //!
 //! * **Properties** ([`Prop`]) — safety (`Always`/`Never` over
-//!   [`StepPred`](moccml_kernel::StepPred) step predicates), bounded
-//!   liveness (`EventuallyWithin(k)`) and deadlock-freedom, compiled
-//!   into observer monitors.
+//!   [`StepPred`](moccml_kernel::StepPred) step predicates), the
+//!   bounded-temporal family (`EventuallyWithin(k)`,
+//!   `UntilWithin(p, q, k)`, `ReleaseWithin(p, q, k)` — one shared
+//!   monitor core, also exposed per trace as [`TraceEvaluator`] for
+//!   the statistical checker) and deadlock-freedom, compiled into
+//!   observer monitors.
 //! * **On-the-fly checking** ([`check`] / [`check_props`]) — monitors
 //!   run *inside* the explorer's canonicalization pass through the
 //!   [`ExploreVisitor`](moccml_engine::ExploreVisitor) hook, so the BFS
@@ -99,6 +102,7 @@ mod conformance;
 mod equivalence;
 mod minimize;
 mod prop;
+mod temporal;
 
 pub use check::{
     check, check_props, check_props_observed, check_with, sliceable_events, CheckOptions,
@@ -111,3 +115,4 @@ pub use equivalence::{
 };
 pub use minimize::{is_witness, minimize_witness};
 pub use prop::Prop;
+pub use temporal::{TraceEvaluator, TraceStatus};

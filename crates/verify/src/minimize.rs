@@ -16,6 +16,7 @@
 use crate::check::Counterexample;
 use crate::conformance::{conformance, Verdict};
 use crate::prop::Prop;
+use crate::temporal::{TraceEvaluator, TraceStatus};
 use moccml_engine::{Program, SolverOptions};
 use moccml_kernel::Schedule;
 
@@ -30,10 +31,18 @@ use moccml_kernel::Schedule;
 /// * [`Prop::Never`]\(p\): some step satisfies `p`;
 /// * [`Prop::DeadlockFree`]: the reached state has no acceptable
 ///   non-empty step;
-/// * [`Prop::EventuallyWithin`]\(p, k\): the first `k` steps are
-///   `p`-free (steps past the bound are irrelevant — the run already
-///   missed it), **or** the whole schedule is `p`-free, shorter than
-///   `k`, and ends in a deadlock (the run can never satisfy `p`).
+/// * the bounded-temporal properties ([`Prop::EventuallyWithin`],
+///   [`Prop::UntilWithin`], [`Prop::ReleaseWithin`]) are decided by
+///   the shared [`TraceEvaluator`] — the same per-step classification
+///   the exhaustive checker and the statistical checker use. For
+///   `eventually<=k(p)` that means: the first `k` steps are `p`-free
+///   (steps past the bound are irrelevant — the run already missed
+///   it), **or** the whole schedule is `p`-free, shorter than `k`,
+///   and ends in a deadlock (the run can never satisfy `p`). For
+///   `until<=k(p, q)` add the third witness shape: a step refuting
+///   both `p` and `q` before any `q`-step. For `release<=k(p, q)` the
+///   only witness shape is a step refuting `q` while the obligation
+///   is open.
 ///
 /// This is the re-validation predicate minimization shrinks against;
 /// it is also useful on its own to vet externally supplied witnesses.
@@ -49,12 +58,18 @@ pub fn is_witness(program: &Program, prop: &Prop, schedule: &Schedule) -> bool {
         Prop::Always(p) => schedule.iter().any(|s| !p.eval(s)),
         Prop::Never(p) => schedule.iter().any(|s| p.eval(s)),
         Prop::DeadlockFree => reaches_deadlock(program, schedule),
-        Prop::EventuallyWithin(p, k) => {
-            if schedule.len() >= *k {
-                schedule.iter().take(*k).all(|s| !p.eval(s))
-            } else {
-                schedule.iter().all(|s| !p.eval(s)) && reaches_deadlock(program, schedule)
+        Prop::EventuallyWithin(..) | Prop::UntilWithin(..) | Prop::ReleaseWithin(..) => {
+            let mut eval = TraceEvaluator::new(prop);
+            for step in schedule {
+                match eval.observe(step) {
+                    TraceStatus::Violated => return true,
+                    TraceStatus::Satisfied => return false,
+                    TraceStatus::Undecided => {}
+                }
             }
+            // undecided by the steps alone: an open liveness
+            // obligation is violated exactly when the run is wedged
+            eval.conclude(reaches_deadlock(program, schedule))
         }
     }
 }
@@ -240,6 +255,36 @@ mod tests {
         let minimal = minimize_witness(&program, &prop, &sloppy);
         assert_eq!(minimal.len(), 1);
         assert!(minimal.steps()[0].contains(a));
+    }
+
+    #[test]
+    fn until_and_release_witnesses_minimize_and_revalidate() {
+        let mut u = Universe::new();
+        let (a, b) = (u.event("a"), u.event("b"));
+        let mut spec = Specification::new("alt", u);
+        spec.add_constraint(Box::new(Alternation::new("a~b", a, b)));
+        let program = Program::new(spec);
+        // until: the b step refutes both the sustain (a) and a goal
+        // that never fires
+        let until = Prop::UntilWithin(
+            StepPred::fired(a),
+            StepPred::and(StepPred::fired(a), StepPred::fired(b)),
+            5,
+        );
+        let PropStatus::Violated(ce) = check(&program, &until, &ExploreOptions::default()) else {
+            panic!("a ; b breaks the sustain");
+        };
+        let minimal = ce.minimized(&program, &until);
+        assert!(is_witness(&program, &until, &minimal));
+        assert_eq!(minimal.len(), 2, "a ; b is already minimal");
+        // release: same violating shape through the safety flavor
+        let release = Prop::ReleaseWithin(StepPred::fired(b), StepPred::fired(a), 5);
+        let PropStatus::Violated(ce) = check(&program, &release, &ExploreOptions::default()) else {
+            panic!("the b step refutes the sustained a");
+        };
+        let minimal = ce.minimized(&program, &release);
+        assert!(is_witness(&program, &release, &minimal));
+        assert_eq!(minimal.len(), 2);
     }
 
     #[test]

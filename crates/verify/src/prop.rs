@@ -23,7 +23,21 @@ use std::fmt;
 /// * [`EventuallyWithin(p, k)`](Prop::EventuallyWithin) — every run
 ///   satisfies `p` within its first `k` steps. Violated by a `p`-free
 ///   schedule of length `k`, or by a `p`-free schedule into a deadlock
-///   (the run cannot be extended to ever satisfy `p`).
+///   (the run cannot be extended to ever satisfy `p`). Equivalent to
+///   `UntilWithin(⊤, p, k)` — and checked by the same monitor.
+/// * [`UntilWithin(p, q, k)`](Prop::UntilWithin) — every run fires a
+///   `q`-step within its first `k` steps, with every step strictly
+///   before that `q`-step satisfying `p` (bounded strong until).
+///   Violated by a schedule whose last step refutes both `p` and `q`
+///   while no `q`-step has occurred yet, by a `q`-free `p`-holding
+///   schedule of length `k`, or by a `q`-free `p`-holding schedule
+///   into a deadlock.
+/// * [`ReleaseWithin(p, q, k)`](Prop::ReleaseWithin) — `q` holds on
+///   every step until and including the first `p`-step, with the
+///   obligation expiring (discharged) after `k` steps (bounded
+///   release). Violated only by a schedule whose last step refutes
+///   `q` while the obligation is still open — it is bounded safety,
+///   so neither running out the bound nor deadlocking violates it.
 /// * [`DeadlockFree`](Prop::DeadlockFree) — no reachable state lacks
 ///   an outgoing non-empty step. Violated by a schedule into a
 ///   deadlock state.
@@ -49,6 +63,14 @@ pub enum Prop {
     /// Every run satisfies the predicate within its first `k` steps
     /// (bounded liveness). `k = 0` is unsatisfiable by construction.
     EventuallyWithin(StepPred, usize),
+    /// `until<=k(p, q)`: every run fires a `q`-step within its first
+    /// `k` steps, with every step strictly before it satisfying `p`
+    /// (bounded strong until). `k = 0` is unsatisfiable.
+    UntilWithin(StepPred, StepPred, usize),
+    /// `release<=k(p, q)`: `q` holds on every step until and including
+    /// the first `p`-step, the obligation expiring after `k` steps
+    /// (bounded release — safety). `k = 0` holds trivially.
+    ReleaseWithin(StepPred, StepPred, usize),
     /// No reachable state is a deadlock.
     DeadlockFree,
 }
@@ -63,6 +85,20 @@ impl Prop {
             Prop::EventuallyWithin(p, k) => {
                 format!("eventually<={k}({})", p.display(universe))
             }
+            Prop::UntilWithin(p, q, k) => {
+                format!(
+                    "until<={k}({}, {})",
+                    p.display(universe),
+                    q.display(universe)
+                )
+            }
+            Prop::ReleaseWithin(p, q, k) => {
+                format!(
+                    "release<={k}({}, {})",
+                    p.display(universe),
+                    q.display(universe)
+                )
+            }
             Prop::DeadlockFree => "deadlock-free".to_owned(),
         }
     }
@@ -74,6 +110,8 @@ impl fmt::Display for Prop {
             Prop::Always(p) => write!(f, "always({p})"),
             Prop::Never(p) => write!(f, "never({p})"),
             Prop::EventuallyWithin(p, k) => write!(f, "eventually<={k}({p})"),
+            Prop::UntilWithin(p, q, k) => write!(f, "until<={k}({p}, {q})"),
+            Prop::ReleaseWithin(p, q, k) => write!(f, "release<={k}({p}, {q})"),
             Prop::DeadlockFree => write!(f, "deadlock-free"),
         }
     }
@@ -91,5 +129,17 @@ mod tests {
         assert_eq!(p.display(&u), "always(start)");
         assert_eq!(p.to_string(), "always(e0)");
         assert_eq!(Prop::DeadlockFree.display(&u), "deadlock-free");
+    }
+
+    #[test]
+    fn bounded_until_and_release_display() {
+        let mut u = Universe::new();
+        let (req, ack) = (u.event("req"), u.event("ack"));
+        let until = Prop::UntilWithin(StepPred::fired(req), StepPred::fired(ack), 4);
+        assert_eq!(until.display(&u), "until<=4(req, ack)");
+        assert_eq!(until.to_string(), "until<=4(e0, e1)");
+        let release = Prop::ReleaseWithin(StepPred::fired(ack), StepPred::fired(req), 3);
+        assert_eq!(release.display(&u), "release<=3(ack, req)");
+        assert_eq!(release.to_string(), "release<=3(e1, e0)");
     }
 }

@@ -240,10 +240,20 @@ pub fn random_pred_ast(rng: &mut TestRng, depth: usize) -> PredAst {
 }
 
 pub fn random_prop_ast(rng: &mut TestRng) -> PropAst {
-    match rng.u8_in(0..4) {
+    match rng.u8_in(0..6) {
         0 => PropAst::Always(random_pred_ast(rng, 2)),
         1 => PropAst::Never(random_pred_ast(rng, 2)),
         2 => PropAst::EventuallyWithin(random_pred_ast(rng, 2), rng.usize_in(0..6)),
+        3 => PropAst::UntilWithin(
+            random_pred_ast(rng, 2),
+            random_pred_ast(rng, 2),
+            rng.usize_in(0..6),
+        ),
+        4 => PropAst::ReleaseWithin(
+            random_pred_ast(rng, 2),
+            random_pred_ast(rng, 2),
+            rng.usize_in(0..6),
+        ),
         _ => PropAst::DeadlockFree,
     }
 }

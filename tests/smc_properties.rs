@@ -1,0 +1,330 @@
+//! Property-based contracts of the `moccml-smc` statistical checker
+//! (ISSUE 10):
+//!
+//! * the fixed-sample **estimate tracks the exact violation
+//!   probability** — computed by exhaustive enumeration of the uniform
+//!   scheduler's trace distribution — well within the Okamoto/Hoeffding
+//!   tolerance;
+//! * reports are **byte-identical for `workers` ∈ {1, 2, 8}** given the
+//!   same seed, in fixed-sample and sequential (SPRT) mode alike;
+//! * the SPRT verdict agrees with the exact probability whenever the
+//!   truth sits well outside the indifference region;
+//! * every sampled witness **replays step by step through
+//!   `Cursor::fire`**, survives minimization, and re-validates through
+//!   the shared bounded-temporal monitor;
+//! * agreement with the exhaustive checker: a property that holds on
+//!   the fully explored space is never "violated" statistically, and a
+//!   sampled witness implies an exhaustive violation;
+//! * the testkit's `TestRng::fork` — the same SplitMix64 stream split
+//!   that seeds trace `i` — is pure (forking never advances the
+//!   parent) and yields non-overlapping streams for distinct ids.
+//!
+//! Runs on the deterministic in-repo `moccml-testkit` harness;
+//! failures report a replayable case seed.
+
+use moccml_engine::{ExploreOptions, Program, SolverOptions};
+use moccml_kernel::{EventId, Step, StepPred};
+use moccml_smc::{check_statistical, okamoto_sample_size, SmcMode, SmcOptions, SmcVerdict};
+use moccml_testkit::{cases, prop_assert, prop_assert_eq, TestRng};
+use moccml_verify::{check_props, is_witness, Prop, PropStatus, TraceEvaluator, TraceStatus};
+
+mod common;
+use common::{build, random_recipe};
+
+const CASES: usize = 24;
+const WORKERS: [usize; 3] = [1, 2, 8];
+/// Trace truncation length for the exact-enumeration comparisons: deep
+/// enough for the bounded props below, shallow enough that the uniform
+/// trace tree stays exhaustively enumerable.
+const MAX_LEN: usize = 3;
+
+fn random_pred(rng: &mut TestRng) -> StepPred {
+    let e = |rng: &mut TestRng| EventId::from_index(rng.usize_in(0..5));
+    match rng.u8_in(0..5) {
+        0 => StepPred::fired(e(rng)),
+        1 => StepPred::excludes(e(rng), e(rng)),
+        2 => StepPred::implies(e(rng), e(rng)),
+        3 => StepPred::negate(StepPred::fired(e(rng))),
+        _ => StepPred::or(StepPred::fired(e(rng)), StepPred::fired(e(rng))),
+    }
+}
+
+/// Random properties weighted toward the bounded binary forms the
+/// statistical checker was built around.
+fn random_prop(rng: &mut TestRng) -> Prop {
+    match rng.u8_in(0..6) {
+        0 => Prop::Never(random_pred(rng)),
+        1 => Prop::EventuallyWithin(random_pred(rng), rng.usize_in(1..4)),
+        2 | 3 => Prop::UntilWithin(random_pred(rng), random_pred(rng), rng.usize_in(1..4)),
+        4 => Prop::ReleaseWithin(random_pred(rng), random_pred(rng), rng.usize_in(1..4)),
+        _ => Prop::DeadlockFree,
+    }
+}
+
+/// The exact violation probability of `prop` under the sampler's own
+/// trace distribution: a uniform choice among the acceptable steps at
+/// every state, truncation at `max_len` counted as non-violating,
+/// deadlock concluded — the decision order mirrors the sampler's
+/// `run_trace` exactly, so this is the ground truth the Monte-Carlo
+/// estimate must approach.
+fn exact_violation_probability(program: &Program, prop: &Prop, max_len: usize) -> f64 {
+    let solver = SolverOptions::default();
+    let mut prefix = Vec::new();
+    violation_mass(program, prop, &solver, &mut prefix, max_len)
+}
+
+fn violation_mass(
+    program: &Program,
+    prop: &Prop,
+    solver: &SolverOptions,
+    prefix: &mut Vec<Step>,
+    max_len: usize,
+) -> f64 {
+    let mut eval = TraceEvaluator::new(prop);
+    for step in prefix.iter() {
+        eval.observe(step);
+    }
+    match eval.status() {
+        TraceStatus::Violated => return 1.0,
+        TraceStatus::Satisfied => return 0.0,
+        TraceStatus::Undecided => {}
+    }
+    if prefix.len() >= max_len {
+        return if eval.conclude(false) { 1.0 } else { 0.0 };
+    }
+    let mut cursor = program.cursor();
+    for step in prefix.iter() {
+        cursor.fire(step).expect("enumerated prefixes replay");
+    }
+    let candidates = cursor.acceptable_steps(solver);
+    if candidates.is_empty() {
+        return if eval.conclude(true) { 1.0 } else { 0.0 };
+    }
+    let weight = 1.0 / candidates.len() as f64;
+    let mut total = 0.0;
+    for step in candidates {
+        prefix.push(step);
+        total += weight * violation_mass(program, prop, solver, prefix, max_len);
+        prefix.pop();
+    }
+    total
+}
+
+/// Fixed-sample estimates land within a generous multiple of ε of the
+/// enumerated ground truth (Hoeffding puts the failure probability of
+/// the 2.5ε margin at ~2e-10 per case), and the sample size is exactly
+/// the Okamoto bound.
+#[test]
+fn estimate_tracks_the_exact_violation_probability() {
+    cases(CASES).run("estimate_tracks_the_exact_violation_probability", |rng| {
+        let recipes = rng.vec_of(1..4, random_recipe);
+        let spec = build(&recipes);
+        let program = Program::compile(&spec);
+        let prop = random_prop(rng);
+        let truth = exact_violation_probability(&program, &prop, MAX_LEN);
+        let epsilon = 0.1;
+        let options = SmcOptions::default()
+            .with_epsilon(epsilon)
+            .with_delta(0.05)
+            .with_max_trace_len(MAX_LEN)
+            .with_seed(rng.any_u64());
+        let report = check_statistical(&program, &prop, &options);
+        prop_assert_eq!(report.verdict, SmcVerdict::Estimated, "fixed-sample mode");
+        prop_assert_eq!(
+            report.traces,
+            okamoto_sample_size(epsilon, 0.05),
+            "the full Okamoto budget is drawn"
+        );
+        prop_assert!(
+            (report.estimate - truth).abs() <= 2.5 * epsilon,
+            "estimate {} vs exact {} (prop {}, recipes {:?})",
+            report.estimate,
+            truth,
+            prop,
+            recipes
+        );
+        // the Wilson interval centers on an adjusted estimate, so it
+        // need not bracket the raw ratio at the extremes — but it must
+        // be an ordered sub-interval of [0, 1]
+        prop_assert!(
+            0.0 <= report.ci_low && report.ci_low <= report.ci_high && report.ci_high <= 1.0,
+            "Wilson interval [{}, {}] must be ordered within [0, 1]",
+            report.ci_low,
+            report.ci_high
+        );
+        Ok(())
+    });
+}
+
+/// The acceptance property: the report — verdict, counts, estimate,
+/// interval, witness — is identical for every worker count, in both
+/// statistical regimes.
+#[test]
+fn reports_are_identical_across_worker_counts() {
+    cases(CASES).run("reports_are_identical_across_worker_counts", |rng| {
+        let recipes = rng.vec_of(1..4, random_recipe);
+        let spec = build(&recipes);
+        let program = Program::compile(&spec);
+        let prop = random_prop(rng);
+        let seed = rng.any_u64();
+        let fixed = SmcOptions::default()
+            .with_epsilon(0.1)
+            .with_max_trace_len(MAX_LEN)
+            .with_seed(seed);
+        let sprt = fixed.clone().with_prob_threshold(0.5);
+        for options in [fixed, sprt] {
+            let mut reference = None;
+            for &workers in &WORKERS {
+                let report =
+                    check_statistical(&program, &prop, &options.clone().with_workers(workers));
+                match &reference {
+                    None => reference = Some(report),
+                    Some(r) => prop_assert_eq!(
+                        r,
+                        &report,
+                        "workers={}, mode {:?}, prop {}, recipes {:?}",
+                        workers,
+                        report.mode,
+                        prop,
+                        recipes
+                    ),
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+/// SPRT: when the exact probability sits well outside the indifference
+/// region, the sequential verdict must point the right way; inside it,
+/// any verdict is admissible but the mode must still be sequential.
+#[test]
+fn sprt_agrees_with_the_exact_probability_outside_the_indifference_region() {
+    cases(CASES).run(
+        "sprt_agrees_with_the_exact_probability_outside_the_indifference_region",
+        |rng| {
+            let recipes = rng.vec_of(1..4, random_recipe);
+            let spec = build(&recipes);
+            let program = Program::compile(&spec);
+            let prop = random_prop(rng);
+            let truth = exact_violation_probability(&program, &prop, MAX_LEN);
+            let threshold = *rng.choice(&[0.3, 0.5, 0.7]);
+            let epsilon = 0.1;
+            // delta 1e-4 makes a wrong-side crossing (bounded by delta)
+            // negligible for the deterministic seed matrix
+            let options = SmcOptions::default()
+                .with_epsilon(epsilon)
+                .with_delta(1e-4)
+                .with_prob_threshold(threshold)
+                .with_max_trace_len(MAX_LEN)
+                .with_seed(rng.any_u64())
+                .with_workers(2);
+            let report = check_statistical(&program, &prop, &options);
+            prop_assert_eq!(report.mode, SmcMode::Sequential { threshold }, "mode");
+            let ctx = format!("truth {truth}, threshold {threshold}, prop {prop}");
+            if truth >= threshold + 3.0 * epsilon {
+                prop_assert_eq!(report.verdict, SmcVerdict::AboveThreshold, "{}", ctx);
+            } else if truth <= threshold - 3.0 * epsilon {
+                prop_assert_eq!(report.verdict, SmcVerdict::BelowThreshold, "{}", ctx);
+            } else {
+                prop_assert!(
+                    matches!(
+                        report.verdict,
+                        SmcVerdict::AboveThreshold
+                            | SmcVerdict::BelowThreshold
+                            | SmcVerdict::Undecided
+                    ),
+                    "near the threshold any decision is admissible: {ctx}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Witness contract: a report with violations names the first violating
+/// trace and carries a minimized schedule that replays through
+/// `Cursor::fire` and re-validates through the shared monitor; and
+/// statistical and exhaustive checking never contradict each other.
+#[test]
+fn witnesses_replay_and_agree_with_the_exhaustive_checker() {
+    cases(CASES).run(
+        "witnesses_replay_and_agree_with_the_exhaustive_checker",
+        |rng| {
+            let recipes = rng.vec_of(1..4, random_recipe);
+            let spec = build(&recipes);
+            let program = Program::compile(&spec);
+            let prop = random_prop(rng);
+            let options = SmcOptions::default()
+                .with_epsilon(0.1)
+                .with_max_trace_len(MAX_LEN)
+                .with_seed(rng.any_u64())
+                .with_workers(2);
+            let report = check_statistical(&program, &prop, &options);
+            let exhaustive = check_props(
+                &program,
+                std::slice::from_ref(&prop),
+                &ExploreOptions::default().with_max_states(5_000),
+            );
+            let ctx = format!("prop {prop}, recipes {recipes:?}");
+            if let Some(ce) = &report.witness {
+                prop_assert!(report.witness_trace.is_some(), "witness names its trace");
+                prop_assert!(report.violations > 0, "a witness implies violations");
+                let mut cursor = program.cursor();
+                for (i, step) in ce.schedule.iter().enumerate() {
+                    prop_assert!(!step.is_empty(), "minimized steps are non-empty");
+                    prop_assert!(cursor.accepts(step), "step {i} rejected: {ctx}");
+                    cursor.fire(step).map_err(|e| format!("step {i}: {e}"))?;
+                }
+                prop_assert!(
+                    is_witness(&program, &prop, &ce.schedule),
+                    "minimized witness re-validates: {ctx}"
+                );
+                prop_assert!(
+                    !matches!(exhaustive.statuses[0], PropStatus::Holds),
+                    "a sampled witness contradicts an exhaustive Holds: {ctx}"
+                );
+            } else {
+                prop_assert!(report.witness_trace.is_none(), "no witness, no trace index");
+            }
+            if matches!(exhaustive.statuses[0], PropStatus::Holds) {
+                prop_assert_eq!(
+                    report.violations,
+                    0,
+                    "no trace can violate a property that holds exhaustively: {}",
+                    ctx
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The stream split that seeds trace `i`: forking is a pure read of
+/// the parent (the same id always yields the same stream, other forks
+/// and parent draws notwithstanding), and distinct ids yield streams
+/// with no common prefix values.
+#[test]
+fn forked_streams_are_pure_and_non_overlapping() {
+    cases(CASES).run("forked_streams_are_pure_and_non_overlapping", |rng| {
+        let seed = rng.any_u64();
+        let parent = TestRng::new(seed);
+        // purity: fork(i) is a function of the parent state and i only
+        let before: Vec<u64> = (0..8).map(|i| parent.fork(i).next_u64()).collect();
+        let _scattered = parent.fork(1_000_003);
+        let after: Vec<u64> = (0..8).map(|i| parent.fork(i).next_u64()).collect();
+        prop_assert_eq!(&before, &after, "forking must not advance the parent");
+        // non-overlap: 32 streams x 8 draws, all 256 values distinct
+        let mut draws: Vec<u64> = (0..32)
+            .flat_map(|i| {
+                let mut child = parent.fork(i);
+                (0..8).map(|_| child.next_u64()).collect::<Vec<u64>>()
+            })
+            .collect();
+        let total = draws.len();
+        draws.sort_unstable();
+        draws.dedup();
+        prop_assert_eq!(draws.len(), total, "stream collision under seed {}", seed);
+        Ok(())
+    });
+}

@@ -22,7 +22,7 @@ use moccml_engine::{ExploreOptions, Program, SolverOptions};
 use moccml_kernel::{EventId, Schedule, Step, StepPred};
 use moccml_testkit::{cases, prop_assert, prop_assert_eq, TestRng};
 use moccml_verify::{
-    check_props, check_refinement, conformance, CheckReport, Prop, PropStatus, Verdict,
+    check_props, check_refinement, conformance, is_witness, CheckReport, Prop, PropStatus, Verdict,
 };
 use std::sync::Arc;
 
@@ -44,10 +44,12 @@ fn random_pred(rng: &mut TestRng) -> StepPred {
 }
 
 fn random_prop(rng: &mut TestRng) -> Prop {
-    match rng.u8_in(0..6) {
+    match rng.u8_in(0..8) {
         0 | 1 => Prop::Never(random_pred(rng)),
         2 => Prop::Always(random_pred(rng)),
         3 => Prop::EventuallyWithin(random_pred(rng), rng.usize_in(1..6)),
+        4 => Prop::UntilWithin(random_pred(rng), random_pred(rng), rng.usize_in(1..6)),
+        5 => Prop::ReleaseWithin(random_pred(rng), random_pred(rng), rng.usize_in(1..6)),
         _ => Prop::DeadlockFree,
     }
 }
@@ -105,6 +107,15 @@ fn assert_witnesses(
                     "short liveness witness must end in a wedged state"
                 );
             }
+        }
+        Prop::UntilWithin(..) | Prop::ReleaseWithin(..) => {
+            // the bounded binary forms delegate to the shared trace
+            // monitor; `is_witness` replays through the same
+            // `TraceEvaluator` the checkers use
+            prop_assert!(
+                is_witness(program, prop, &ce.schedule),
+                "bounded-until/release witness must re-validate through the monitor"
+            );
         }
     }
     Ok(())
